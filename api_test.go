@@ -1,0 +1,144 @@
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// The facade exposes the full pipeline: every re-exported entry point works
+// together on the paper's running example.
+func TestFacadeEndToEnd(t *testing.T) {
+	mission := repro.Mission()
+	if mission.Len() != 10 {
+		t.Fatalf("Mission = %d tuples", mission.Len())
+	}
+	view, err := repro.Beta(mission, repro.Classified, repro.Cautious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 4 {
+		t.Fatalf("β cautious at C = %d tuples", view.Len())
+	}
+
+	db, err := repro.FromRelation(mission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := repro.NewProver(db, repro.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := repro.ParseGoals(`s[mission(K: objective -C-> spying)] << cau`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 { // voyager and phantom
+		t.Fatalf("cautious spying at S = %d answers", len(answers))
+	}
+
+	red, err := repro.ReduceMultiLog(db, repro.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redAnswers, err := red.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redAnswers) != len(answers) {
+		t.Fatalf("Theorem 6.1 through the facade: %d vs %d", len(redAnswers), len(answers))
+	}
+
+	sql := repro.NewSQLEngine()
+	sql.Register(mission)
+	res, err := sql.Execute(`user context s select starship from mission where objective = spying believed cautiously`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SQL applies certain-answer semantics: the phantom objective forks
+	// (spying vs supply at equal class S), so only voyager is certain —
+	// the engine-level query above keeps both maximal cells instead.
+	if len(res.Rows) != 1 || res.Rows[0][0] != "voyager" {
+		t.Fatalf("SQL rows = %v", res.Rows)
+	}
+}
+
+func TestFacadeLatticeAndDatalog(t *testing.T) {
+	p, err := repro.Chain("low", "mid", "high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Dominates("high", "low") {
+		t.Error("chain broken through facade")
+	}
+	prog, err := repro.ParseDatalog(`edge(a, b). tc(X, Y) :- edge(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := repro.EvalDatalog(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Len() != 2 {
+		t.Errorf("model = %d facts", model.Len())
+	}
+}
+
+// ExampleBeta mirrors the quickstart: the cautious belief of a C-cleared
+// subject about the Mission relation.
+func ExampleBeta() {
+	view, err := repro.Beta(repro.Mission(), repro.Classified, repro.Cautious)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range view.Rows() {
+		fmt.Println(row)
+	}
+	// Output:
+	// atlantis U | diplomacy U | vulcan U | C
+	// voyager U | training U | mars U | C
+	// falcon U | piracy U | venus U | C
+	// eagle U | patrolling U | degoba U | C
+}
+
+// ExampleNewProver proves the paper's Example 5.2 query with its proof
+// tree.
+func ExampleNewProver() {
+	prover, err := repro.NewProver(repro.D1(), repro.Classified)
+	if err != nil {
+		panic(err)
+	}
+	answers, err := prover.Prove(repro.D1Query(), 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(answers[0].Bindings)
+	fmt.Println("proof height:", answers[0].Proof.Height())
+	// Output:
+	// {R/u}
+	// proof height: 4
+}
+
+// ExampleNewSQLEngine runs a belief-SQL query.
+func ExampleNewSQLEngine() {
+	e := repro.NewSQLEngine()
+	e.Register(repro.Mission())
+	res, err := e.Execute(`
+		user context s
+		select starship from mission
+		where destination = mars and objective = spying
+		believed cautiously`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.TrimSpace(res.Render()))
+	// Output:
+	// starship
+	// voyager
+}

@@ -1,0 +1,492 @@
+// Benchmarks for every experiment in EXPERIMENTS.md. Figure benchmarks
+// (Fig2..Fig12, Q1, T1, T2) measure the cost of regenerating the paper's
+// artifacts; the P-series measures scaling on the workload generators and
+// the ablations DESIGN.md calls out.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/belief"
+	"repro/internal/datalog"
+	"repro/internal/figures"
+	"repro/internal/lattice"
+	"repro/internal/mls"
+	"repro/internal/mlsql"
+	"repro/internal/multilog"
+	"repro/internal/workload"
+)
+
+// --- Figure benchmarks -------------------------------------------------
+
+func BenchmarkFig2ViewAtU(b *testing.B) {
+	m := mls.Mission()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := m.ViewAt(lattice.Unclassified, mls.ViewOptions{}); v.Len() != 5 {
+			b.Fatal("wrong view")
+		}
+	}
+}
+
+func BenchmarkFig3ViewAtC(b *testing.B) {
+	m := mls.Mission()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := m.ViewAt(lattice.Classified, mls.ViewOptions{}); v.Len() != 6 {
+			b.Fatal("wrong view")
+		}
+	}
+}
+
+func BenchmarkFig4JVView(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := MissionJV(); len(r.Tuples) != 10 {
+			b.Fatal("wrong relation")
+		}
+	}
+}
+
+func BenchmarkFig5Interpret(b *testing.B) {
+	r := MissionJV()
+	levels := []lattice.Label{lattice.Unclassified, lattice.Classified, lattice.Secret}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := r.InterpretAll(levels); len(m) != 10 {
+			b.Fatal("wrong matrix")
+		}
+	}
+}
+
+func BenchmarkFig6Firm(b *testing.B) {
+	m := mls.Mission()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := belief.FirmView(m, lattice.Classified); v.Len() != 1 {
+			b.Fatal("wrong view")
+		}
+	}
+}
+
+func BenchmarkFig7Optimistic(b *testing.B) {
+	m := mls.Mission()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := belief.OptimisticView(m, lattice.Classified); v.Len() != 6 {
+			b.Fatal("wrong view")
+		}
+	}
+}
+
+func BenchmarkFig8Cautious(b *testing.B) {
+	m := mls.Mission()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if models := belief.CautiousModels(m, lattice.Classified); len(models) != 1 {
+			b.Fatal("wrong models")
+		}
+	}
+}
+
+func BenchmarkFig9ProofRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11ProofTree(b *testing.B) {
+	db := multilog.D1()
+	q := multilog.D1Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prover, err := multilog.NewProver(db, lattice.Classified)
+		if err != nil {
+			b.Fatal(err)
+		}
+		answers, err := prover.Prove(q, 0)
+		if err != nil || len(answers) != 1 {
+			b.Fatalf("answers=%d err=%v", len(answers), err)
+		}
+	}
+}
+
+func BenchmarkFig12Reduction(b *testing.B) {
+	db := multilog.D1()
+	q := multilog.D1Query()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red, err := multilog.Reduce(db, lattice.Classified)
+		if err != nil {
+			b.Fatal(err)
+		}
+		answers, err := red.Query(q)
+		if err != nil || len(answers) != 1 {
+			b.Fatalf("answers=%d err=%v", len(answers), err)
+		}
+	}
+}
+
+func BenchmarkQ1BeliefSQL(b *testing.B) {
+	e := mlsql.NewEngine()
+	e.Register(mls.Mission())
+	const query = `
+		user context s
+		select starship from mission m
+		where m.starship in (select starship from mission
+		                     where destination = mars and objective = spying
+		                     believed cautiously)
+		intersect (select starship from mission
+		           where destination = mars and objective = spying
+		           believed firmly)
+		intersect (select starship from mission
+		           where destination = mars and objective = spying
+		           believed optimistically)
+	`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Execute(query)
+		if err != nil || len(res.Rows) != 1 {
+			b.Fatalf("rows=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkT1Equivalence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.T1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT2DatalogSpecialCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.T2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- P1: belief modes vs. relation size --------------------------------
+
+func BenchmarkBeliefModesScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		p := workload.Lattice(workload.ShapeChain, 4, 1)
+		rel := workload.Relation(workload.RelationConfig{Poset: p, Attrs: 3, Keys: n, PolyRate: 0.3, Seed: 1})
+		top := p.Maximal()[0]
+		for _, mode := range []belief.Mode{belief.Firm, belief.Optimistic, belief.Cautious} {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := belief.BetaModels(rel, top, mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- P2: lattice shape and size -----------------------------------------
+
+func BenchmarkLatticeShape(b *testing.B) {
+	for _, shape := range []workload.LatticeShape{workload.ShapeChain, workload.ShapeDiamond, workload.ShapeDAG} {
+		for _, levels := range []int{4, 16, 64} {
+			p := workload.Lattice(shape, levels, 2)
+			rel := workload.Relation(workload.RelationConfig{Poset: p, Attrs: 2, Keys: 500, PolyRate: 0.3, Seed: 2})
+			top := p.Maximal()[0]
+			b.Run(fmt.Sprintf("shape=%s/levels=%d", shape, levels), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := belief.BetaModels(rel, top, belief.Cautious); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- P3: operational vs. reduction semantics ----------------------------
+
+func BenchmarkOperationalVsReduction(b *testing.B) {
+	for _, facts := range []int{20, 80, 320} {
+		src := workload.ProgramSource(workload.ProgramConfig{Levels: 4, Facts: facts, Rules: 5, Preds: 3, Seed: 3})
+		db, err := multilog.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top := workload.Level(3)
+		q, err := multilog.ParseGoals(`L[p0(K: a -C-> V)] << cau`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("facts=%d/engine=operational", facts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prover, err := multilog.NewProver(db, top)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := prover.Prove(q, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("facts=%d/engine=reduction", facts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				red, err := multilog.Reduce(db, top)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := red.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- P4: naive vs. semi-naive evaluation (ablation) ----------------------
+
+func BenchmarkNaiveVsSemiNaive(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		src := "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+		}
+		prog, err := datalog.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/eval=seminaive", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var e datalog.Evaluator
+				if _, err := e.Eval(prog, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/eval=naive", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := datalog.Evaluator{Naive: true}
+				if _, err := e.Eval(prog, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- P5: subsumption and σ-filter cost (ablation) ------------------------
+
+func BenchmarkSubsumption(b *testing.B) {
+	p := workload.Lattice(workload.ShapeChain, 4, 4)
+	mid := workload.Level(2)
+	for _, rate := range []float64{0, 0.5, 1} {
+		rel := workload.Relation(workload.RelationConfig{Poset: p, Attrs: 3, Keys: 300, PolyRate: rate, Seed: 4})
+		b.Run(fmt.Sprintf("poly=%.1f/subsumption=on", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rel.ViewAt(mid, mls.ViewOptions{})
+			}
+		})
+		b.Run(fmt.Sprintf("poly=%.1f/subsumption=off", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rel.ViewAt(mid, mls.ViewOptions{NoSubsumption: true})
+			}
+		})
+	}
+}
+
+// --- P6: MultiLog vs. hand-written relational path ------------------------
+// The paper's §8 future-work comparison: the same belief question answered
+// by the relational β directly and by the MultiLog engine over the encoded
+// relation.
+
+func BenchmarkMultiLogVsRelational(b *testing.B) {
+	p := workload.Lattice(workload.ShapeChain, 3, 5)
+	top := p.Maximal()[0]
+	for _, keys := range []int{50, 200} {
+		rel := workload.Relation(workload.RelationConfig{Poset: p, Attrs: 2, Keys: keys, PolyRate: 0.4, Seed: 5})
+		b.Run(fmt.Sprintf("keys=%d/path=relational", keys), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := belief.BetaModels(rel, top, belief.Cautious); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		db, err := multilog.FromRelation(rel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("keys=%d/path=multilog", keys), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				red, err := multilog.Reduce(db, top)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := red.BeliefFacts(top, multilog.ModeCau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- P7: magic sets vs. plain bottom-up (ablation) ------------------------
+// A bound query over a long chain: the magic rewriting restricts derivation
+// to the reachable suffix, while plain evaluation materializes the full
+// quadratic closure.
+
+func BenchmarkMagicSets(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		src := "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+		}
+		prog, err := datalog.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		goal, err := datalog.ParseAtom(fmt.Sprintf("tc(n%d, W)", n-8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/rewriting=magic", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				subs, err := datalog.QueryMagic(prog, nil, goal)
+				if err != nil || len(subs) != 8 {
+					b.Fatalf("answers=%d err=%v", len(subs), err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/rewriting=none", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				subs, err := datalog.Query(prog, nil, goal)
+				if err != nil || len(subs) != 8 {
+					b.Fatalf("answers=%d err=%v", len(subs), err)
+				}
+			}
+		})
+	}
+}
+
+// --- P8: tabling vs. magic sets vs. plain (goal direction, two ways) ------
+// The same bound query answered by the dynamic (tabling) and static (magic
+// rewriting) goal-directed strategies, against the plain bottom-up baseline.
+
+func BenchmarkTabledVsMagic(b *testing.B) {
+	const n = 128
+	src := "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+	}
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	goal, err := datalog.ParseAtom(fmt.Sprintf("tc(n%d, W)", n-8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("strategy=tabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subs, err := datalog.NewTabled(prog).Prove(goal)
+			if err != nil || len(subs) != 8 {
+				b.Fatalf("answers=%d err=%v", len(subs), err)
+			}
+		}
+	})
+	b.Run("strategy=magic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subs, err := datalog.QueryMagic(prog, nil, goal)
+			if err != nil || len(subs) != 8 {
+				b.Fatalf("answers=%d err=%v", len(subs), err)
+			}
+		}
+	})
+	b.Run("strategy=plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subs, err := datalog.Query(prog, nil, goal)
+			if err != nil || len(subs) != 8 {
+				b.Fatalf("answers=%d err=%v", len(subs), err)
+			}
+		}
+	})
+}
+
+// --- P9: parallel semi-naive evaluation (ablation) -------------------------
+
+func BenchmarkParallelEval(b *testing.B) {
+	// A join-heavy program: same-generation over a wide tree.
+	src := `
+		sg(X, X) :- person(X).
+		sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+	`
+	id := 0
+	var grow func(parent string, depth int)
+	grow = func(parent string, depth int) {
+		if depth == 0 {
+			return
+		}
+		for c := 0; c < 3; c++ {
+			id++
+			child := fmt.Sprintf("p%d", id)
+			src += fmt.Sprintf("par(%s, %s).\nperson(%s).\n", child, parent, child)
+			grow(child, depth-1)
+		}
+	}
+	src += "person(root).\n"
+	grow("root", 5)
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := datalog.Evaluator{Parallel: true, Workers: workers}
+				if _, err := e.Eval(prog, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var e datalog.Evaluator
+			if _, err := e.Eval(prog, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Indexing ablation ---------------------------------------------------
+
+func BenchmarkIndexing(b *testing.B) {
+	src := "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+	for i := 0; i < 128; i++ {
+		src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+	}
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("index=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var e datalog.Evaluator
+			if _, err := e.Eval(prog, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("index=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := datalog.Evaluator{NoIndex: true}
+			if _, err := e.Eval(prog, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

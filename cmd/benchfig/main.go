@@ -1,0 +1,48 @@
+// Command benchfig regenerates the paper's figures and verification
+// artifacts from the implementation.
+//
+// Usage:
+//
+//	benchfig            # print every artifact, paper order
+//	benchfig -fig 3     # print one artifact (1..13, q1, t1, t2)
+//	benchfig -list      # list artifact ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "", "artifact id to print (1..13, q1, t1, t2); empty prints all")
+	list := flag.Bool("list", false, "list artifact ids and titles")
+	flag.Parse()
+
+	if *list {
+		for _, e := range figures.Index() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	found := false
+	for _, e := range figures.Index() {
+		if *fig != "" && e.ID != *fig {
+			continue
+		}
+		found = true
+		fmt.Printf("==== %s ====\n", e.Title)
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "benchfig: unknown artifact %q (try -list)\n", *fig)
+		os.Exit(2)
+	}
+}

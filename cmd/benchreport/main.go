@@ -1,0 +1,59 @@
+// Command benchreport renders `go test -bench` output as the markdown
+// tables EXPERIMENTS.md uses.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | tee bench_output.txt
+//	benchreport -in bench_output.txt
+//	benchreport -in bench_output.txt -ratio NaiveVsSemiNaive/eval/seminaive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/benchreport"
+)
+
+func main() {
+	in := flag.String("in", "-", "benchmark output file ('-' for stdin)")
+	ratio := flag.String("ratio", "", "optional ratio spec group/dim/base, e.g. NaiveVsSemiNaive/eval/seminaive")
+	flag.Parse()
+
+	if err := run(*in, *ratio, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, ratio string, out io.Writer) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := benchreport.Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines in %s", in)
+	}
+	if ratio != "" {
+		parts := strings.Split(ratio, "/")
+		if len(parts) != 3 {
+			return fmt.Errorf("ratio spec must be group/dim/base")
+		}
+		fmt.Fprint(out, benchreport.Ratios(results, parts[0], parts[1], parts[2]))
+		return nil
+	}
+	fmt.Fprint(out, benchreport.Render(results))
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `BenchmarkFoo/n=1/kind=a  	     100	      1000 ns/op
+BenchmarkFoo/n=1/kind=b  	      10	     10000 ns/op
+PASS
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRender(t *testing.T) {
+	var out strings.Builder
+	if err := run(writeSample(t), "", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "### Foo") || !strings.Contains(out.String(), "| n=1/kind=b | 10.0 µs |") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunRatio(t *testing.T) {
+	var out strings.Builder
+	if err := run(writeSample(t), "Foo/kind/a", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kind=b is 10.0x") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/no/such/file", "", &strings.Builder{}); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run(writeSample(t), "badspec", &strings.Builder{}); err == nil {
+		t.Error("bad ratio spec must fail")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	os.WriteFile(empty, []byte("no benches here\n"), 0o644)
+	if err := run(empty, "", &strings.Builder{}); err == nil {
+		t.Error("no benchmark lines must fail")
+	}
+}

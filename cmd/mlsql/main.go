@@ -1,0 +1,83 @@
+// Command mlsql runs belief-SQL (§3.2) against a multilevel relation.
+//
+// Usage:
+//
+//	mlsql -mission -sql 'user context s select starship from mission believed cautiously'
+//	mlsql -rel data.mlr -sql 'user context c select * from r'
+//	mlsql -mission -q1           # the paper's "spying on Mars" query
+//
+// Relation files use the mls text format:
+//
+//	relation mission(starship, objective, destination)
+//	levels u < c < s
+//	tuple avenger:s shipping:s pluto:s @ s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/mls"
+	"repro/internal/mlsql"
+)
+
+func main() {
+	relPath := flag.String("rel", "", "relation file (mls text format)")
+	mission := flag.Bool("mission", false, "use the paper's Mission relation (Figure 1)")
+	sql := flag.String("sql", "", "statement to execute")
+	q1 := flag.Bool("q1", false, "run the §3.2 query at every level")
+	flag.Parse()
+
+	if err := run(*relPath, *mission, *sql, *q1); err != nil {
+		fmt.Fprintln(os.Stderr, "mlsql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(relPath string, mission bool, sql string, q1 bool) error {
+	engine := mlsql.NewEngine()
+	switch {
+	case mission:
+		engine.Register(mls.Mission())
+	case relPath != "":
+		src, err := os.ReadFile(relPath)
+		if err != nil {
+			return err
+		}
+		rel, err := mls.ParseRelation(string(src))
+		if err != nil {
+			return err
+		}
+		engine.Register(rel)
+	default:
+		return fmt.Errorf("need -rel <file> or -mission")
+	}
+	if q1 {
+		out, err := figures.Q1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	if sql == "" {
+		return fmt.Errorf("need -sql <statement> (or -q1)")
+	}
+	if mlsql.IsDML(sql) {
+		n, err := engine.ExecuteDML(sql)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%d tuple(s) affected)\n", n)
+		return nil
+	}
+	res, err := engine.Execute(sql)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunMissionBuiltin(t *testing.T) {
+	if err := run("", true, "user context s select starship from mission believed cautiously", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", true, "", true); err != nil { // -q1
+		t.Fatal(err)
+	}
+}
+
+func TestRunDML(t *testing.T) {
+	// DML against the built-in Mission works and routes through IsDML.
+	if err := run("", true, "user context c insert into mission values (newship, survey, io)", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", true, "user context c update ghosts set a = b where k = c", false); err == nil {
+		t.Error("DML against an unknown relation must fail")
+	}
+}
+
+func TestRunRelationFile(t *testing.T) {
+	if err := run("testdata/mission.mlr", false,
+		"user context c select starship, objective from mission believed optimistically", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, "select 1", false); err == nil {
+		t.Error("no relation source must fail")
+	}
+	if err := run("testdata/nope.mlr", false, "select 1", false); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run("", true, "", false); err == nil {
+		t.Error("no SQL and no -q1 must fail")
+	}
+	if err := run("", true, "not sql at all", false); err == nil {
+		t.Error("bad SQL must fail")
+	}
+}

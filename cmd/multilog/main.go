@@ -1,0 +1,176 @@
+// Command multilog runs MultiLog programs: it loads a database Δ =
+// ⟨Λ, Σ, Π, Q⟩ from a .mlg file (or the paper's D1 with -d1), fixes the
+// user clearance, and answers the stored and ad hoc queries under either
+// semantics.
+//
+// Usage:
+//
+//	multilog -d1 -user c -proofs                      # Example 5.2 / Figure 11
+//	multilog -db prog.mlg -user s -query 'L[p(k: a -C-> V)] << cau'
+//	multilog -db prog.mlg -user s -engine reduction   # run stored queries
+//	multilog -db prog.mlg -user s -facts              # dump ⟦Σ⟧
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lattice"
+	"repro/internal/multilog"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "MultiLog program file")
+	useD1 := flag.Bool("d1", false, "use the paper's Figure 10 database D1")
+	user := flag.String("user", "", "user clearance level (required)")
+	query := flag.String("query", "", "ad hoc query (in addition to stored queries)")
+	engine := flag.String("engine", "operational", "semantics: operational | reduction | both")
+	proofs := flag.Bool("proofs", false, "print proof trees (operational engine)")
+	filter := flag.Bool("filter", false, "enable the Figure 13 FILTER/FILTER-NULL rules")
+	facts := flag.Bool("facts", false, "dump the derived m-facts ⟦Σ⟧ and exit")
+	interactive := flag.Bool("i", false, "start an interactive session (login, load, query)")
+	flag.Parse()
+
+	if *interactive {
+		if err := newREPL(os.Stdin, os.Stdout).run(); err != nil {
+			fmt.Fprintln(os.Stderr, "multilog:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*dbPath, *useD1, *user, *query, *engine, *proofs, *filter, *facts); err != nil {
+		fmt.Fprintln(os.Stderr, "multilog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath string, useD1 bool, user, query, engine string, proofs, filter, facts bool) error {
+	var db *multilog.Database
+	switch {
+	case useD1:
+		db = multilog.D1()
+	case dbPath != "":
+		src, err := os.ReadFile(dbPath)
+		if err != nil {
+			return err
+		}
+		db, err = multilog.Parse(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -db <file> or -d1")
+	}
+	if user == "" {
+		return fmt.Errorf("need -user <level>")
+	}
+	lvl := lattice.Label(user)
+
+	queries := append([]multilog.Query(nil), db.Queries...)
+	if query != "" {
+		q, err := multilog.ParseGoals(query)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, q)
+	}
+
+	if facts {
+		red, err := multilog.ReduceOpts(db, lvl, multilog.Options{Filter: filter})
+		if err != nil {
+			return err
+		}
+		fs, err := red.MFacts()
+		if err != nil {
+			return err
+		}
+		for _, f := range fs {
+			fmt.Println(f.MAtom().String() + ".")
+		}
+		return nil
+	}
+
+	if len(queries) == 0 {
+		return fmt.Errorf("no queries: the program has no ?- clauses and no -query was given")
+	}
+
+	runOperational := engine == "operational" || engine == "both"
+	runReduction := engine == "reduction" || engine == "both"
+	if !runOperational && !runReduction {
+		return fmt.Errorf("unknown engine %q (operational | reduction | both)", engine)
+	}
+
+	for _, q := range queries {
+		fmt.Printf("?- %s.\n", queryString(q))
+		if runOperational {
+			prover, err := multilog.NewProver(db, lvl)
+			if err != nil {
+				return err
+			}
+			prover.Filter = filter
+			answers, err := prover.Prove(q, 0)
+			if err != nil {
+				return err
+			}
+			printAnswers("operational", len(answers))
+			for _, a := range answers {
+				fmt.Printf("  %s\n", a.Bindings)
+				if proofs {
+					fmt.Println(indent(a.Proof.String(), "    "))
+				}
+			}
+		}
+		if runReduction {
+			red, err := multilog.ReduceOpts(db, lvl, multilog.Options{Filter: filter})
+			if err != nil {
+				return err
+			}
+			answers, err := red.Query(q)
+			if err != nil {
+				return err
+			}
+			printAnswers("reduction", len(answers))
+			for _, a := range answers {
+				fmt.Printf("  %s\n", a.Bindings)
+			}
+		}
+	}
+	return nil
+}
+
+func queryString(q multilog.Query) string {
+	s := q.String()
+	return s[3 : len(s)-1] // strip "?- " and "."
+}
+
+func printAnswers(engine string, n int) {
+	if n == 0 {
+		fmt.Printf("  [%s] no\n", engine)
+		return
+	}
+	fmt.Printf("  [%s] %d answer(s):\n", engine, n)
+}
+
+func indent(s, pad string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += pad + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

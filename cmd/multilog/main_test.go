@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunD1(t *testing.T) {
+	for _, engine := range []string{"operational", "reduction", "both"} {
+		if err := run("", true, "c", "", engine, true, false, false); err != nil {
+			t.Errorf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunMissionFile(t *testing.T) {
+	if err := run("testdata/mission.mlg", false, "s", "", "both", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Ad hoc query on top of the stored one.
+	if err := run("testdata/mission.mlg", false, "c", `c[mission(K: objective -C-> V)] << cau`, "both", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Fact dump.
+	if err := run("testdata/mission.mlg", false, "s", "", "operational", false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	// With FILTER the surprise story becomes queryable at c.
+	if err := run("testdata/mission.mlg", false, "c", `c[mission(phantom: objective -C-> V)]`, "both", false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"no-db", func() error { return run("", false, "c", "", "both", false, false, false) }},
+		{"no-user", func() error { return run("", true, "", "", "both", false, false, false) }},
+		{"missing-file", func() error { return run("testdata/nope.mlg", false, "c", "", "both", false, false, false) }},
+		{"bad-engine", func() error { return run("", true, "c", "", "warp", false, false, false) }},
+		{"bad-query", func() error { return run("", true, "c", "((", "both", false, false, false) }},
+		{"bad-level", func() error { return run("", true, "zz", "", "both", false, false, false) }},
+		{"no-queries", func() error {
+			return run("testdata/mission.mlg", false, "s", "", "both", false, false, false)
+		}},
+	}
+	for _, c := range cases {
+		err := c.f()
+		if c.name == "no-queries" {
+			// mission.mlg has a stored query, so this succeeds.
+			if err != nil {
+				t.Errorf("%s: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}

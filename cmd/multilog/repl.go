@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lattice"
+	"repro/internal/multilog"
+)
+
+// repl is an interactive MultiLog session. The clearance is fixed by
+// `login`, mirroring §5.2: "the context u may be determined at login time
+// ... the interpreter may use the clearance level u dictated by the user's
+// login id".
+type repl struct {
+	db      *multilog.Database
+	user    lattice.Label
+	engine  string
+	proofs  bool
+	filter  bool
+	out     io.Writer
+	scanner *bufio.Scanner
+}
+
+const replHelp = `commands:
+  login <level>        set the session clearance (required before queries)
+  load <file>          load a MultiLog program (replaces the current one)
+  d1                   load the paper's Figure 10 database
+  engine <op|red|both> choose the semantics (default both)
+  proofs <on|off>      print proof trees (operational engine)
+  filter <on|off>      enable the Figure 13 FILTER rules
+  facts                dump the derived m-facts ⟦Σ⟧
+  levels               show the security lattice
+  ?- <goals>.          run a query (the ?- and . are optional)
+  help                 this text
+  quit                 leave`
+
+func newREPL(in io.Reader, out io.Writer) *repl {
+	return &repl{engine: "both", out: out, scanner: bufio.NewScanner(in)}
+}
+
+// run processes commands until EOF or quit.
+func (r *repl) run() error {
+	fmt.Fprintln(r.out, "MultiLog. Type 'help' for commands.")
+	for {
+		fmt.Fprintf(r.out, "%s> ", r.prompt())
+		if !r.scanner.Scan() {
+			fmt.Fprintln(r.out)
+			return r.scanner.Err()
+		}
+		line := strings.TrimSpace(r.scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := r.dispatch(line); err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+		}
+	}
+}
+
+func (r *repl) prompt() string {
+	if r.user == lattice.NoLabel {
+		return "multilog"
+	}
+	return fmt.Sprintf("multilog(%s)", r.user)
+}
+
+func (r *repl) dispatch(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "help":
+		fmt.Fprintln(r.out, replHelp)
+		return nil
+	case "login":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: login <level>")
+		}
+		lvl := lattice.Label(fields[1])
+		if r.db != nil {
+			poset, err := r.db.Poset()
+			if err != nil {
+				return err
+			}
+			if !poset.Has(lvl) {
+				return fmt.Errorf("level %q is not asserted by the loaded program", lvl)
+			}
+		}
+		r.user = lvl
+		fmt.Fprintf(r.out, "cleared at %s\n", lvl)
+		return nil
+	case "load":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: load <file>")
+		}
+		src, err := os.ReadFile(fields[1])
+		if err != nil {
+			return err
+		}
+		db, err := multilog.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		r.db = db
+		fmt.Fprintf(r.out, "loaded %s: |Λ|=%d |Σ|=%d |Π|=%d queries=%d\n",
+			fields[1], len(db.Lambda), len(db.Sigma), len(db.Pi), len(db.Queries))
+		return nil
+	case "d1":
+		r.db = multilog.D1()
+		fmt.Fprintln(r.out, "loaded D1 (Figure 10)")
+		return nil
+	case "engine":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: engine <op|red|both>")
+		}
+		switch fields[1] {
+		case "op", "operational":
+			r.engine = "operational"
+		case "red", "reduction":
+			r.engine = "reduction"
+		case "both":
+			r.engine = "both"
+		default:
+			return fmt.Errorf("unknown engine %q", fields[1])
+		}
+		fmt.Fprintf(r.out, "engine: %s\n", r.engine)
+		return nil
+	case "proofs", "filter":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			return fmt.Errorf("usage: %s <on|off>", fields[0])
+		}
+		on := fields[1] == "on"
+		if fields[0] == "proofs" {
+			r.proofs = on
+		} else {
+			r.filter = on
+		}
+		fmt.Fprintf(r.out, "%s: %s\n", fields[0], fields[1])
+		return nil
+	case "facts":
+		if err := r.ready(); err != nil {
+			return err
+		}
+		red, err := multilog.ReduceOpts(r.db, r.user, multilog.Options{Filter: r.filter})
+		if err != nil {
+			return err
+		}
+		fs, err := red.MFacts()
+		if err != nil {
+			return err
+		}
+		for _, f := range fs {
+			fmt.Fprintln(r.out, f.MAtom().String()+".")
+		}
+		fmt.Fprintf(r.out, "(%d m-facts)\n", len(fs))
+		return nil
+	case "levels":
+		if r.db == nil {
+			return fmt.Errorf("no program loaded")
+		}
+		poset, err := r.db.Poset()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.out, poset.String())
+		return nil
+	}
+	// Anything else is a query; "?-" prefix and trailing "." are optional.
+	return r.query(line)
+}
+
+func (r *repl) ready() error {
+	if r.db == nil {
+		return fmt.Errorf("no program loaded (use 'load <file>' or 'd1')")
+	}
+	if r.user == lattice.NoLabel {
+		return fmt.Errorf("not logged in (use 'login <level>')")
+	}
+	return nil
+}
+
+func (r *repl) query(line string) error {
+	if err := r.ready(); err != nil {
+		return err
+	}
+	line = strings.TrimSpace(strings.TrimPrefix(line, "?-"))
+	line = strings.TrimSuffix(line, ".")
+	q, err := multilog.ParseGoals(line)
+	if err != nil {
+		return err
+	}
+	if r.engine == "operational" || r.engine == "both" {
+		prover, err := multilog.NewProver(r.db, r.user)
+		if err != nil {
+			return err
+		}
+		prover.Filter = r.filter
+		answers, err := prover.Prove(q, 0)
+		if err != nil {
+			return err
+		}
+		r.printCount("operational", len(answers))
+		for _, a := range answers {
+			fmt.Fprintf(r.out, "  %s\n", a.Bindings)
+			if r.proofs {
+				fmt.Fprint(r.out, indent(a.Proof.String(), "    "))
+			}
+		}
+	}
+	if r.engine == "reduction" || r.engine == "both" {
+		red, err := multilog.ReduceOpts(r.db, r.user, multilog.Options{Filter: r.filter})
+		if err != nil {
+			return err
+		}
+		answers, err := red.Query(q)
+		if err != nil {
+			return err
+		}
+		r.printCount("reduction", len(answers))
+		for _, a := range answers {
+			fmt.Fprintf(r.out, "  %s\n", a.Bindings)
+		}
+	}
+	return nil
+}
+
+func (r *repl) printCount(engine string, n int) {
+	if n == 0 {
+		fmt.Fprintf(r.out, "[%s] no\n", engine)
+		return
+	}
+	fmt.Fprintf(r.out, "[%s] %d answer(s):\n", engine, n)
+}

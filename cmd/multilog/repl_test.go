@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// replSession runs a scripted session and returns the transcript.
+func replSession(t *testing.T, lines ...string) string {
+	t.Helper()
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var out strings.Builder
+	if err := newREPL(in, &out).run(); err != nil {
+		t.Fatalf("repl: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestREPLExample52Session(t *testing.T) {
+	out := replSession(t,
+		"d1",
+		"login c",
+		"?- c[p(k: a -R-> v)] << opt.",
+		"quit",
+	)
+	for _, want := range []string{"loaded D1", "cleared at c", "{R/u}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLLoadAndEngines(t *testing.T) {
+	out := replSession(t,
+		"load testdata/mission.mlg",
+		"login s",
+		"levels",
+		"engine red",
+		"s[alert(K: reason -s-> R)]",
+		"engine op",
+		"proofs on",
+		"s[alert(K: reason -s-> R)]",
+		"facts",
+		"quit",
+	)
+	for _, want := range []string{
+		"loaded testdata/mission.mlg",
+		"u<c, c<s",
+		"[reduction] 2 answer(s):", // voyager and phantom are spying
+		"[operational] 2 answer(s):",
+		"descend-", // a proof tree is printed
+		"m-facts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLFilterToggle(t *testing.T) {
+	out := replSession(t,
+		"load testdata/mission.mlg",
+		"login c",
+		"c[mission(phantom: objective -C-> V)]",
+		"filter on",
+		"c[mission(phantom: objective -C-> V)]",
+		"quit",
+	)
+	// Without filter: no; with filter: the FILTER-NULL answer surfaces.
+	if !strings.Contains(out, "[operational] no") && !strings.Contains(out, "[reduction] no") {
+		t.Errorf("expected a 'no' before enabling filter:\n%s", out)
+	}
+	if !strings.Contains(out, "V/null") {
+		t.Errorf("expected the surprise-story null after enabling filter:\n%s", out)
+	}
+}
+
+func TestREPLErrorsAreRecoverable(t *testing.T) {
+	out := replSession(t,
+		"p(X)",     // not logged in, nothing loaded
+		"login",    // bad usage
+		"login zz", // fine before a program is loaded
+		"d1",
+		"login zz", // now rejected: not in Λ
+		"login c",
+		"load /no/such/file",
+		"engine warp",
+		"proofs maybe",
+		"?- broken((",
+		"help",
+		"quit",
+	)
+	if got := strings.Count(out, "error:"); got < 6 {
+		t.Errorf("expected at least 6 recoverable errors, saw %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Errorf("help missing:\n%s", out)
+	}
+}
+
+func TestREPLQuitAndEOF(t *testing.T) {
+	// quit…
+	out := replSession(t, "quit")
+	if !strings.Contains(out, "MultiLog") {
+		t.Errorf("banner missing:\n%s", out)
+	}
+	// …and bare EOF both terminate cleanly.
+	in := strings.NewReader("")
+	var sb strings.Builder
+	if err := newREPL(in, &sb).run(); err != nil {
+		t.Fatalf("EOF termination: %v", err)
+	}
+}

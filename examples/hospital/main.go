@@ -1,0 +1,129 @@
+// Hospital: a MultiLog program over a medical records database with three
+// clearances (staff < doctor < board). It shows the deductive side of the
+// paper — recursive rules, m-clauses deriving new classified facts from
+// beliefs at lower levels, and belief speculation: a board reviewer
+// theorizing about what the floor staff currently believe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const program = `
+% Λ — three clearances.
+level(staff). level(doctor). level(board).
+order(staff, doctor). order(doctor, board).
+
+% Σ — patient records. Staff file admissions; doctors polyinstantiate the
+% diagnosis when the working diagnosis is a cover story for the floor.
+staff[patient(jones: name -staff-> jones; ward -staff-> w3; diagnosis -staff-> observation)].
+doctor[patient(jones: name -staff-> jones; diagnosis -doctor-> oncology)].
+staff[patient(riley: name -staff-> riley; ward -staff-> w1; diagnosis -staff-> fracture)].
+doctor[patient(moss: name -doctor-> moss; ward -doctor-> icu; diagnosis -doctor-> cardiac)].
+
+% A board-level derived fact: a case is escalated if the board cautiously
+% believes (highest classification wins) its diagnosis is oncology.
+board[review(jones: status -board-> escalated)] :-
+    board[patient(jones: diagnosis -C-> oncology)] << cau.
+
+% Π — classical ward adjacency, with recursion.
+adjacent(w1, w2). adjacent(w2, w3).
+reachable(X, Y) :- adjacent(X, Y).
+reachable(X, Z) :- adjacent(X, Y), reachable(Y, Z).
+`
+
+func main() {
+	db, err := repro.ParseMultiLog(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The floor staff's belief about Jones: the observation cover story.
+	prover, err := repro.NewProver(db, "staff")
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := repro.ParseGoals(`staff[patient(jones: diagnosis -C-> D)] << cau`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err := prover.Prove(q, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("What the floor staff believe about Jones:")
+	for _, a := range answers {
+		fmt.Printf("  %s\n", a.Bindings)
+	}
+
+	// The board reviewer. First: own cautious belief (the doctor's
+	// oncology diagnosis overrides the observation cover story).
+	board, err := repro.NewProver(db, "board")
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err = repro.ParseGoals(`board[patient(jones: diagnosis -C-> D)] << cau`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err = board.Prove(q, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("What the board cautiously believes about Jones:")
+	for _, a := range answers {
+		fmt.Printf("  %s\n", a.Bindings)
+	}
+
+	// Belief speculation (§1: "it is imperative for users to theorize
+	// about the belief of other users at different levels"): the board
+	// asks what the STAFF level believes, without logging in as staff.
+	q, err = repro.ParseGoals(`staff[patient(jones: diagnosis -C-> D)] << cau`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err = board.Prove(q, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The board speculating about the staff's belief:")
+	for _, a := range answers {
+		fmt.Printf("  %s   (the cover story is holding)\n", a.Bindings)
+	}
+
+	// The derived board fact — deduction through a b-atom body.
+	q, err = repro.ParseGoals(`board[review(jones: status -board-> S)]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err = board.Prove(q, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Escalation rule (fires through the cautious belief):")
+	for _, a := range answers {
+		fmt.Printf("  %s\n", a.Bindings)
+	}
+
+	// Classical recursion lives alongside (Proposition 6.1): wards
+	// reachable from w1, via the reduction engine this time.
+	red, err := repro.ReduceMultiLog(db, "board")
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err = repro.ParseGoals(`reachable(w1, W)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	redAnswers, err := red.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Wards reachable from w1 (classical recursion, reduction engine):")
+	for _, a := range redAnswers {
+		fmt.Printf("  %s\n", a.Bindings)
+	}
+}

@@ -1,0 +1,94 @@
+// Newsroom drives the concurrent session store: three desks with different
+// clearances work on the same story database at once, the executive desk
+// plants a cover story, and afterwards the audit journal explains who
+// believed what — including the Jukic-Vrbsky belief labels derived from
+// the trail.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro"
+	"repro/internal/jv"
+)
+
+func main() {
+	scheme, err := repro.NewScheme("story", repro.UCS(), "slug", "status", "angle")
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := repro.NewStore(scheme)
+
+	staff, err := store.Open(repro.Unclassified)
+	if err != nil {
+		log.Fatal(err)
+	}
+	editor, err := store.Open(repro.Classified)
+	if err != nil {
+		log.Fatal(err)
+	}
+	executive, err := store.Open(repro.Secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The desks work concurrently; the store serializes and journals.
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		staff.Insert("merger", "rumor", "tech")
+		staff.Insert("election", "draft", "politics")
+	}()
+	go func() {
+		defer wg.Done()
+		editor.Insert("budget", "review", "economy")
+	}()
+	go func() {
+		defer wg.Done()
+		executive.Insert("takeover", "embargoed", "finance")
+	}()
+	wg.Wait()
+
+	// The executive learns the merger is real but keeps the staff's
+	// "rumor" line as a cover story: required polyinstantiation creates
+	// the executive's version without touching the staff's.
+	if err := executive.UpdateChain("merger", repro.Unclassified, "status", "confirmed"); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sess := range []*repro.Session{staff, editor, executive} {
+		fmt.Printf("--- the %s desk sees ---\n", sess.Level())
+		fmt.Println(sess.View().Render())
+	}
+
+	// The cautious belief of the executive: its own confirmation wins.
+	cautious, err := repro.Beta(executive.Snapshot(), repro.Secret, repro.Cautious)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("executive cautious belief:")
+	fmt.Println(cautious.Render())
+
+	// The audit trail, and the JV labels it implies: the staff's "rumor"
+	// becomes a U-S label — believed at U, denied at S.
+	fmt.Println("audit trail:")
+	fmt.Println(store.Audit())
+	labelled, err := jv.FromJournal(store.Journal())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("derived Jukic-Vrbsky labels:")
+	fmt.Println(labelled.Render())
+	for _, t := range labelled.Tuples {
+		if t.Values[0] != "merger" {
+			continue
+		}
+		fmt.Printf("merger (%s): staff desk reads it as %s, executive as %s\n",
+			t.TC.Render(labelled.Poset),
+			labelled.Interpret(t, repro.Unclassified),
+			labelled.Interpret(t, repro.Secret))
+	}
+}

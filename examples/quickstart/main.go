@@ -1,0 +1,48 @@
+// Quickstart: the Mission relation, its level views, and the three belief
+// modes — the paper's §3 in a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	mission := repro.Mission() // Figure 1
+
+	fmt.Println("The Mission relation (Figure 1):")
+	fmt.Println(mission.Render())
+
+	// What a C-cleared subject sees under plain Jajodia-Sandhu filtering
+	// (Figure 3) — note the two null-carrying Phantom tuples, the paper's
+	// surprise stories.
+	fmt.Println("Jajodia-Sandhu view at C (Figure 3):")
+	fmt.Println(mission.ViewAt(repro.Classified, repro.ViewOptions{}).Render())
+
+	// The three belief modes of Definition 3.1. β works on the raw
+	// relation, so the surprise stories are gone.
+	for _, mode := range []repro.BeliefMode{repro.Firm, repro.Optimistic, repro.Cautious} {
+		view, err := repro.Beta(mission, repro.Classified, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("β(Mission, C, %s):\n%s\n", mode, view.Render())
+	}
+
+	// Ad hoc belief reasoning in SQL (§3.2).
+	sql := repro.NewSQLEngine()
+	sql.Register(mission)
+	res, err := sql.Execute(`
+		user context s
+		select starship from mission
+		where destination = mars and objective = spying
+		believed cautiously
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Spying on Mars, believed cautiously at S:")
+	fmt.Print(res.Render())
+}

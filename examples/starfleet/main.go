@@ -1,0 +1,106 @@
+// Starfleet walks the paper's full §3 narrative: how polyinstantiating
+// updates create cover stories and surprise stories, how every party's
+// beliefs differ (including the Jukic-Vrbsky fixed interpretations of
+// Figures 4-5), and how the §3.2 belief-SQL query separates fact from
+// cover story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Replay the update history behind the Phantom rows of Figure 1:
+	// U files a flight plan, S rewrites the objective under required
+	// polyinstantiation, U deletes its tuple — and the S version, keyed at
+	// U, becomes a surprise story.
+	rel, err := repro.MissionByUpdates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("After the update history (the Phantom chains of Figure 1):")
+	fmt.Println(rel.Render())
+
+	fmt.Println("Surprise stories visible at C (nulls that leak the existence of cover stories):")
+	for _, t := range rel.SurpriseStories(repro.Classified) {
+		fmt.Printf("  %v\n", t.Values)
+	}
+	fmt.Println()
+
+	// The full Figure 1 relation, and what each clearance believes.
+	mission := repro.Mission()
+	for _, level := range []repro.Label{repro.Unclassified, repro.Classified, repro.Secret} {
+		fmt.Printf("--- a %s-cleared analyst ---\n", level)
+		firm, err := repro.Beta(mission, level, repro.Firm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("firm (only own-level writes): %d missions\n", firm.Len())
+		opt, err := repro.Beta(mission, level, repro.Optimistic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("optimistic (believe everything visible): %d missions\n", opt.Len())
+		models, err := repro.BetaModels(mission, level, repro.Cautious)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cautious (higher classification overrides): %d model(s)\n", len(models))
+		for _, m := range models {
+			fmt.Println(m.Render())
+		}
+	}
+
+	// The Jukic-Vrbsky baseline assigns each tuple a FIXED interpretation
+	// (Figure 5) — exactly the rigidity §3.1 criticises.
+	fmt.Println("--- the Jukic-Vrbsky fixed interpretations (Figures 4-5) ---")
+	jvRel := repro.MissionJV()
+	levels := []repro.Label{repro.Unclassified, repro.Classified, repro.Secret}
+	for _, t := range jvRel.Tuples {
+		fmt.Printf("%-9s (%s):", t.Values[0], t.TC.Render(jvRel.Poset))
+		for _, l := range levels {
+			fmt.Printf("  %s=%s", l, jvRel.Interpret(t, l))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// The §3.2 query: who is *really* spying on Mars? An S analyst wants
+	// certainty in every mode at once.
+	sql := repro.NewSQLEngine()
+	sql.Register(mission)
+	res, err := sql.Execute(`
+		user context s
+		select starship from mission m
+		where m.starship in (select starship from mission
+		                     where destination = mars and objective = spying
+		                     believed cautiously)
+		intersect (select starship from mission
+		           where destination = mars and objective = spying
+		           believed firmly)
+		intersect (select starship from mission
+		           where destination = mars and objective = spying
+		           believed optimistically)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Spying on Mars without any doubt (§3.2):")
+	fmt.Print(res.Render())
+
+	// At U the same query returns nothing: the U world only holds the
+	// 'training' cover story.
+	resU, err := sql.Execute(`
+		user context u
+		select starship from mission
+		where destination = mars and objective = spying
+		believed optimistically
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("The same question at U: %d rows — the cover story held.\n", len(resU.Rows))
+}

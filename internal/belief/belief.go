@@ -1,0 +1,292 @@
+// Package belief implements the paper's belief models for MLS relations:
+// the intuitive firm / optimistic / cautious views of §3.1 (Figures 6-8)
+// and the parametric belief function β of Definition 3.2 (§3.2), together
+// with Cuppens' derived modes and a registry for user-defined belief modes
+// (§7).
+//
+// The two families deliberately differ, as the paper itself notes: the
+// §3.1 views are computed over the σ-filtered view at the subject's level
+// and therefore contain the null-carrying tuples that flowed down from
+// higher levels (Figure 7's t4/t5, Figure 8's t5); β is computed over the
+// raw relation and "by disallowing these tuples, we are avoiding the
+// generation of the surprise stories" (§3.2).
+package belief
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+// Mode names a belief mode. The paper's shorthands are fir, opt and cau.
+type Mode string
+
+const (
+	// Firm: believe only data created at one's own level (Figure 6).
+	Firm Mode = "fir"
+	// Optimistic: accumulate every visible tuple monotonically (Figure 7).
+	Optimistic Mode = "opt"
+	// Cautious: inherit with overriding — the highest-classified value of
+	// each attribute wins (Figure 8).
+	Cautious Mode = "cau"
+)
+
+// FirmView is the §3.1 conservative view at level s: exactly the tuples
+// whose TC equals s, kept verbatim (Figure 6).
+func FirmView(r *mls.Relation, s lattice.Label) *mls.Relation {
+	out := mls.NewRelation(r.Scheme)
+	for _, t := range r.Tuples {
+		if t.TC == s {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// OptimisticView is the §3.1 optimistic view at level s: every tuple of the
+// σ-filtered view at s, with TC retagged to s ("In the optimistic view, the
+// TC values become C", §3.1) and duplicates collapsed (Figure 7).
+func OptimisticView(r *mls.Relation, s lattice.Label) *mls.Relation {
+	view := r.ViewAt(s, mls.ViewOptions{})
+	out := mls.NewRelation(r.Scheme)
+	seen := map[string]bool{}
+	for _, t := range view.Tuples {
+		t.TC = s
+		if k := tupleKey(t); !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// CautiousModels computes the §3.1 cautious (overriding) views at level s
+// from the σ-filtered view: tuples sharing an apparent-key *value* are
+// merged attribute-wise, the cell with the dominating classification
+// winning (Figure 8). With incomparable security levels several maximal
+// cells can remain for an attribute; each combination yields one model —
+// the multiple-model situation §3.1 predicts for partial orders. The models
+// share the scheme and differ only on conflicted cells.
+func CautiousModels(r *mls.Relation, s lattice.Label) []*mls.Relation {
+	view := r.ViewAt(s, mls.ViewOptions{})
+	return mergeByKey(r.Scheme, view.Tuples, s, func(t mls.Tuple) string {
+		return t.Values[r.Scheme.KeyIdx].Data
+	})
+}
+
+// CautiousView returns the single cautious view at s, or an error when the
+// lattice's incomparabilities make the view ambiguous (multiple models).
+func CautiousView(r *mls.Relation, s lattice.Label) (*mls.Relation, error) {
+	models := CautiousModels(r, s)
+	if len(models) != 1 {
+		return nil, fmt.Errorf("belief: cautious view at %s is ambiguous: %d models (incomparable sources)", s, len(models))
+	}
+	return models[0], nil
+}
+
+// Beta is the parametric belief function β : R × S × μ → R of
+// Definition 3.1, computed over the raw relation so that no surprise
+// stories are generated. It returns an error for an unknown mode or an
+// ambiguous cautious merge; BetaModels exposes the full model set.
+func Beta(r *mls.Relation, s lattice.Label, m Mode) (*mls.Relation, error) {
+	models, err := BetaModels(r, s, m)
+	if err != nil {
+		return nil, err
+	}
+	if len(models) != 1 {
+		return nil, fmt.Errorf("belief: β(%s, %s) is ambiguous: %d models (incomparable sources)", s, m, len(models))
+	}
+	return models[0], nil
+}
+
+// BetaModels is Beta returning every model of the cautious merge; firm and
+// optimistic always have exactly one model.
+func BetaModels(r *mls.Relation, s lattice.Label, m Mode) ([]*mls.Relation, error) {
+	if !r.Scheme.Poset.Has(s) {
+		return nil, fmt.Errorf("belief: undeclared level %q", s)
+	}
+	p := r.Scheme.Poset
+	switch m {
+	case Firm:
+		return []*mls.Relation{FirmView(r, s)}, nil
+	case Optimistic:
+		out := mls.NewRelation(r.Scheme)
+		seen := map[string]bool{}
+		for _, t := range r.Tuples {
+			if p.Dominates(s, t.TC) {
+				t2 := t
+				t2.Values = append([]mls.Value(nil), t.Values...)
+				t2.TC = s
+				k := tupleKey(t2)
+				if !seen[k] {
+					seen[k] = true
+					out.Tuples = append(out.Tuples, t2)
+				}
+			}
+		}
+		return []*mls.Relation{out}, nil
+	case Cautious:
+		// Visible tuples only (u[TC] ⪯ s); one output tuple per apparent
+		// key cell (AK, C_AK) occurring among them, attributes merged
+		// across every visible tuple with the same key value.
+		var visible []mls.Tuple
+		for _, t := range r.Tuples {
+			if p.Dominates(s, t.TC) {
+				visible = append(visible, t)
+			}
+		}
+		return mergeByKey(r.Scheme, visible, s, func(t mls.Tuple) string {
+			return t.Values[r.Scheme.KeyIdx].Data
+		}), nil
+	default:
+		return nil, fmt.Errorf("belief: unknown mode %q", m)
+	}
+}
+
+// mergeByKey groups tuples by groupKey and merges each group with
+// overriding inheritance: for every attribute the cells with maximal
+// classification among the group survive; several incomparable maxima (or
+// equal maxima with conflicting values) fork the result into multiple
+// models. Each merged tuple is classified at level s.
+func mergeByKey(scheme *mls.Scheme, tuples []mls.Tuple, s lattice.Label, groupKey func(mls.Tuple) string) []*mls.Relation {
+	p := scheme.Poset
+	groups := map[string][]mls.Tuple{}
+	var order []string
+	for _, t := range tuples {
+		k := groupKey(t)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	// For each group, per attribute, the list of candidate cells.
+	type mergedTuple struct {
+		candidates [][]mls.Value // per attribute
+	}
+	var merged []mergedTuple
+	for _, k := range order {
+		group := groups[k]
+		mt := mergedTuple{candidates: make([][]mls.Value, len(scheme.Attrs))}
+		for ai := range scheme.Attrs {
+			var cells []mls.Value
+			var classes []lattice.Label
+			for _, t := range group {
+				cells = append(cells, t.Values[ai])
+				classes = append(classes, t.Values[ai].Class)
+			}
+			maxClasses := p.MaximalAmong(classes)
+			var winners []mls.Value
+			for _, cell := range cells {
+				if !containsLabel(maxClasses, cell.Class) {
+					continue
+				}
+				dup := false
+				for _, w := range winners {
+					if w.Equal(cell) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					winners = append(winners, cell)
+				}
+			}
+			mt.candidates[ai] = winners
+		}
+		merged = append(merged, mt)
+	}
+	// Expand the per-attribute choices into full models. Unambiguous
+	// groups (one choice) append to every current model in place; only
+	// genuine conflicts fork, so the common case stays linear.
+	models := []*mls.Relation{mls.NewRelation(scheme)}
+	seen := []map[string]bool{{}}
+	appendTo := func(i int, t mls.Tuple) {
+		k := tupleKey(t)
+		if !seen[i][k] {
+			seen[i][k] = true
+			models[i].Tuples = append(models[i].Tuples, t)
+		}
+	}
+	for _, mt := range merged {
+		choices := cartesian(mt.candidates)
+		if len(choices) == 1 {
+			for i := range models {
+				appendTo(i, mls.Tuple{Values: choices[0], TC: s})
+			}
+			continue
+		}
+		var nextModels []*mls.Relation
+		var nextSeen []map[string]bool
+		for i, m := range models {
+			for _, choice := range choices {
+				if len(nextModels) >= maxModels {
+					// Guard against exponential blow-up on adversarial
+					// inputs.
+					break
+				}
+				nm := m.Clone()
+				ns := make(map[string]bool, len(seen[i]))
+				for k := range seen[i] {
+					ns[k] = true
+				}
+				nextModels = append(nextModels, nm)
+				nextSeen = append(nextSeen, ns)
+				t := mls.Tuple{Values: choice, TC: s}
+				k := tupleKey(t)
+				if !ns[k] {
+					ns[k] = true
+					nm.Tuples = append(nm.Tuples, t)
+				}
+			}
+		}
+		models, seen = nextModels, nextSeen
+	}
+	return models
+}
+
+// tupleKey is a canonical map key for a tuple's cells and TC.
+func tupleKey(t mls.Tuple) string {
+	var b strings.Builder
+	for _, v := range t.Values {
+		if v.Null {
+			b.WriteString("\x00⊥\x01")
+		} else {
+			b.WriteString(v.Data)
+			b.WriteByte(0)
+		}
+		b.WriteString(string(v.Class))
+		b.WriteByte(2)
+	}
+	b.WriteString(string(t.TC))
+	return b.String()
+}
+
+// maxModels bounds the number of cautious models materialized; beyond this
+// the ambiguity is reported but not fully enumerated.
+const maxModels = 64
+
+func cartesian(candidates [][]mls.Value) [][]mls.Value {
+	out := [][]mls.Value{nil}
+	for _, cs := range candidates {
+		var next [][]mls.Value
+		for _, prefix := range out {
+			for _, c := range cs {
+				row := append(append([]mls.Value(nil), prefix...), c)
+				next = append(next, row)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func containsLabel(ls []lattice.Label, l lattice.Label) bool {
+	for _, m := range ls {
+		if m == l {
+			return true
+		}
+	}
+	return false
+}

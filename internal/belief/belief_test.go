@@ -1,0 +1,327 @@
+package belief
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+const (
+	u = lattice.Unclassified
+	c = lattice.Classified
+	s = lattice.Secret
+)
+
+func rowsOf(r *mls.Relation) map[string]bool {
+	m := map[string]bool{}
+	for _, row := range r.Rows() {
+		m[row] = true
+	}
+	return m
+}
+
+func assertRows(t *testing.T, got *mls.Relation, want []string) {
+	t.Helper()
+	gotSet := rowsOf(got)
+	if len(gotSet) != len(want) {
+		t.Fatalf("got %d rows, want %d:\n%s", len(gotSet), len(want), got.Render())
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("missing row %q; got:\n%s", w, got.Render())
+		}
+	}
+}
+
+// Figure 6: the firm view of Mission at C contains exactly t6.
+func TestFirmFig6(t *testing.T) {
+	assertRows(t, FirmView(mls.Mission(), c), []string{
+		"atlantis U | diplomacy U | vulcan U | C",
+	})
+}
+
+// Figure 7: the optimistic view of Mission at C — six tuples, TC retagged
+// to C, including the null-carrying t4 and t5.
+func TestOptimisticFig7(t *testing.T) {
+	assertRows(t, OptimisticView(mls.Mission(), c), []string{
+		"phantom U | ⊥ U | omega U | C",
+		"phantom C | ⊥ C | ⊥ C | C",
+		"atlantis U | diplomacy U | vulcan U | C",
+		"voyager U | training U | mars U | C",
+		"falcon U | piracy U | venus U | C",
+		"eagle U | patrolling U | degoba U | C",
+	})
+}
+
+// Figure 8: the cautious view at C — the two Phantom tuples merge with
+// overriding (the C-classified cells win), everything else carries over.
+func TestCautiousFig8(t *testing.T) {
+	view, err := CautiousView(mls.Mission(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, view, []string{
+		"phantom C | ⊥ C | ⊥ C | C",
+		"atlantis U | diplomacy U | vulcan U | C",
+		"voyager U | training U | mars U | C",
+		"falcon U | piracy U | venus U | C",
+		"eagle U | patrolling U | degoba U | C",
+	})
+}
+
+// §3.2: β differs from the intuitive views exactly on the surprise
+// stories — "the above function β will produce the views in figure 6
+// through 8 except the tuples t4 and t5 in figure 7 and t5 in figure 8".
+func TestBetaSuppressesSurpriseStories(t *testing.T) {
+	m := mls.Mission()
+
+	firm, err := Beta(m, c, Firm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, firm, []string{"atlantis U | diplomacy U | vulcan U | C"})
+
+	opt, err := Beta(m, c, Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, opt, []string{
+		"atlantis U | diplomacy U | vulcan U | C",
+		"voyager U | training U | mars U | C",
+		"falcon U | piracy U | venus U | C",
+		"eagle U | patrolling U | degoba U | C",
+	})
+
+	cau, err := Beta(m, c, Cautious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, cau, []string{
+		"atlantis U | diplomacy U | vulcan U | C",
+		"voyager U | training U | mars U | C",
+		"falcon U | piracy U | venus U | C",
+		"eagle U | patrolling U | degoba U | C",
+	})
+}
+
+func TestBetaAtSecret(t *testing.T) {
+	m := mls.Mission()
+	firm, err := Beta(m, s, Firm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1..t5 have TC=S.
+	if firm.Len() != 5 {
+		t.Fatalf("firm at S should have 5 tuples, got %d:\n%s", firm.Len(), firm.Render())
+	}
+	opt, err := Beta(m, s, Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ten tuples are visible; t2/t6/t7 collapse after retagging.
+	if opt.Len() != 8 {
+		t.Fatalf("optimistic at S should have 8 tuples, got %d:\n%s", opt.Len(), opt.Render())
+	}
+	// Cautious at S forks: the two Phantom chains both classify their
+	// objective at S with conflicting values (spying vs supply), so the
+	// maximal-class winner is not unique — ambiguity can arise from
+	// parallel chains even on a totally ordered lattice.
+	models, err := BetaModels(m, s, Cautious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("cautious at S should fork on the phantom objective, got %d models", len(models))
+	}
+	objectives := map[string]bool{}
+	for _, cau := range models {
+		// One merged tuple per distinct starship: avenger, atlantis,
+		// voyager, phantom, falcon, eagle.
+		if cau.Len() != 6 {
+			t.Fatalf("each cautious model at S should have 6 tuples, got %d:\n%s", cau.Len(), cau.Render())
+		}
+		rows := rowsOf(cau)
+		// Voyager: spying (S) overrides training (U); mars stays.
+		if !rows["voyager U | spying S | mars U | S"] {
+			t.Errorf("voyager merge wrong:\n%s", cau.Render())
+		}
+		for _, obj := range []string{"supply", "venus", "spying"} {
+			if rows["phantom C | "+obj+" S | venus S | S"] {
+				objectives[obj] = true
+			}
+		}
+	}
+	if !objectives["supply"] || !objectives["spying"] {
+		t.Errorf("the two models should differ on the phantom objective: %v", objectives)
+	}
+}
+
+func TestBetaFirmEqualsView(t *testing.T) {
+	m := mls.Mission()
+	for _, lvl := range []lattice.Label{u, c, s} {
+		b, err := Beta(m, lvl, Firm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := FirmView(m, lvl)
+		if b.Render() != v.Render() {
+			t.Errorf("firm β and firm view differ at %s", lvl)
+		}
+	}
+}
+
+func TestBetaErrors(t *testing.T) {
+	m := mls.Mission()
+	if _, err := Beta(m, "zz", Firm); err == nil {
+		t.Error("undeclared level must fail")
+	}
+	if _, err := Beta(m, c, "bogus"); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+// With incomparable levels the cautious merge forks into multiple models
+// (§3.1: "we must settle for multiple models and associated
+// unpredictability").
+func TestCautiousMultipleModels(t *testing.T) {
+	p, err := lattice.Diamond("lo", "left", "right", "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := mls.NewScheme("r", p, "k", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mls.NewRelation(scheme)
+	r.MustInsert(mls.Tuple{Values: []mls.Value{mls.V("k1", "lo"), mls.V("fromleft", "left")}})
+	r.MustInsert(mls.Tuple{Values: []mls.Value{mls.V("k1", "lo"), mls.V("fromright", "right")}})
+	models, err := BetaModels(r, "top", Cautious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("want 2 models for incomparable sources, got %d", len(models))
+	}
+	if _, err := Beta(r, "top", Cautious); err == nil {
+		t.Error("Beta must report the ambiguity")
+	}
+	vals := map[string]bool{}
+	for _, m := range models {
+		vals[m.Tuples[0].Values[1].Data] = true
+	}
+	if !vals["fromleft"] || !vals["fromright"] {
+		t.Errorf("models should differ on the conflicted cell: %v", vals)
+	}
+}
+
+func TestCautiousSingleModelAtC(t *testing.T) {
+	// At C the filtered Phantom cells are nulls whose classifications
+	// differ (U vs C), so the merge is unambiguous — Figure 8 is a single
+	// model.
+	if _, err := CautiousView(mls.Mission(), c); err != nil {
+		t.Errorf("Figure 8 must be a single model: %v", err)
+	}
+	// At S the equal-class conflicting objectives fork the §3.1 view too.
+	if models := CautiousModels(mls.Mission(), s); len(models) != 2 {
+		t.Errorf("cautious §3.1 view at S should have 2 models, got %d", len(models))
+	}
+}
+
+// Believed-monotonicity invariants relating the modes on a total order.
+func TestModeContainments(t *testing.T) {
+	m := mls.Mission()
+	for _, lvl := range []lattice.Label{u, c, s} {
+		firm, _ := Beta(m, lvl, Firm)
+		opt, _ := Beta(m, lvl, Optimistic)
+		// Every firm tuple appears in the optimistic view with TC
+		// unchanged (firm tuples already carry TC = lvl).
+		optRows := rowsOf(opt)
+		for _, row := range firm.Rows() {
+			if !optRows[row] {
+				t.Errorf("at %s, firm row %q missing from optimistic view", lvl, row)
+			}
+		}
+	}
+}
+
+func TestRegistryBuiltinsAndAliases(t *testing.T) {
+	reg := NewRegistry()
+	m := mls.Mission()
+	for _, pair := range [][2]Mode{
+		{Firm, "suspicious"}, {Optimistic, "additive"}, {Cautious, "trusted"},
+		{Firm, "firm"}, {Optimistic, "optimistic"}, {Cautious, "cautious"},
+	} {
+		a, err := reg.Apply(m, c, pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := reg.Apply(m, c, pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Render() != b.Render() {
+			t.Errorf("mode %s and alias %s disagree", pair[0], pair[1])
+		}
+	}
+	if !reg.Has("trusted") || reg.Has("bogus") {
+		t.Error("Has broken")
+	}
+	if len(reg.Modes()) != 9 {
+		t.Errorf("expected 9 built-in modes, got %v", reg.Modes())
+	}
+}
+
+func TestRegistryUserDefinedMode(t *testing.T) {
+	reg := NewRegistry()
+	// A paranoid mode: believe only unclassified data.
+	paranoid := func(r *mls.Relation, s lattice.Label) (*mls.Relation, error) {
+		out := mls.NewRelation(r.Scheme)
+		for _, t := range r.Tuples {
+			if t.TC == u {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+		return out, nil
+	}
+	if err := reg.Register("paranoid", paranoid); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Apply(mls.Mission(), s, "paranoid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Errorf("paranoid mode should see the 4 TC=U tuples, got %d", got.Len())
+	}
+	if err := reg.Register("paranoid", paranoid); err == nil {
+		t.Error("double registration must fail")
+	}
+	if err := reg.Register("nilmode", nil); err == nil {
+		t.Error("nil ModeFunc must fail")
+	}
+	if _, err := reg.Apply(mls.Mission(), s, "unknown"); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+// WithoutDoubt is the library form of the §3.2 query: at C only the
+// Atlantis mission survives all three modes; the surprise stories and
+// lower-level-only tuples do not.
+func TestWithoutDoubt(t *testing.T) {
+	view, err := WithoutDoubt(mls.Mission(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, view, []string{"atlantis U | diplomacy U | vulcan U | C"})
+	// At U: the firm tuples t7..t10 are also optimistically and cautiously
+	// believed — except voyager? t8 is the maximal visible cell set, so all
+	// four survive.
+	viewU, err := WithoutDoubt(mls.Mission(), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viewU.Len() != 4 {
+		t.Fatalf("at U, 4 tuples are beyond doubt, got %d:\n%s", viewU.Len(), viewU.Render())
+	}
+}

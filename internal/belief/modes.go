@@ -1,0 +1,148 @@
+package belief
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+// ModeFunc computes a belief view of a relation at a level. User-defined
+// modes (§7: "user tailored function is always possible") are plain
+// functions of this type registered under a name.
+type ModeFunc func(r *mls.Relation, s lattice.Label) (*mls.Relation, error)
+
+// Registry maps mode names to belief functions. NewRegistry pre-registers
+// the paper's three modes and Cuppens' derived modes; Register adds
+// user-defined ones. §7 argues this extension "does not pose any security
+// threat ... because the provability of m-atoms stays unchanged": a mode
+// only ever re-interprets tuples already visible at the subject's level,
+// which holds for every ModeFunc built from Beta or the §3.1 views.
+type Registry struct {
+	modes map[Mode]ModeFunc
+	names []Mode
+}
+
+// NewRegistry returns a registry with the built-in modes:
+//
+//	fir, opt, cau          — Definition 3.1's β;
+//	firm, optimistic, cautious — long aliases;
+//	additive, suspicious, trusted — Cuppens' views [7], which §3.1 claims
+//	    are subsumed by ours: additive accumulates like optimistic,
+//	    suspicious trusts only one's own level like firm, and trusted
+//	    prefers the dominating source like cautious.
+func NewRegistry() *Registry {
+	r := &Registry{modes: map[Mode]ModeFunc{}}
+	beta := func(m Mode) ModeFunc {
+		return func(rel *mls.Relation, s lattice.Label) (*mls.Relation, error) {
+			return Beta(rel, s, m)
+		}
+	}
+	for _, m := range []Mode{Firm, "firm", "suspicious"} {
+		r.mustRegister(m, beta(Firm))
+	}
+	for _, m := range []Mode{Optimistic, "optimistic", "additive"} {
+		r.mustRegister(m, beta(Optimistic))
+	}
+	for _, m := range []Mode{Cautious, "cautious", "trusted"} {
+		r.mustRegister(m, beta(Cautious))
+	}
+	return r
+}
+
+// Register adds a user-defined mode; re-registering a name is an error.
+func (r *Registry) Register(name Mode, fn ModeFunc) error {
+	if fn == nil {
+		return fmt.Errorf("belief: nil ModeFunc for %q", name)
+	}
+	if _, ok := r.modes[name]; ok {
+		return fmt.Errorf("belief: mode %q already registered", name)
+	}
+	r.modes[name] = fn
+	r.names = append(r.names, name)
+	return nil
+}
+
+func (r *Registry) mustRegister(name Mode, fn ModeFunc) {
+	if err := r.Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Apply looks a mode up and applies it.
+func (r *Registry) Apply(rel *mls.Relation, s lattice.Label, name Mode) (*mls.Relation, error) {
+	fn, ok := r.modes[name]
+	if !ok {
+		return nil, fmt.Errorf("belief: unknown mode %q (have %v)", name, r.Modes())
+	}
+	return fn(rel, s)
+}
+
+// Has reports whether the mode is registered.
+func (r *Registry) Has(name Mode) bool {
+	_, ok := r.modes[name]
+	return ok
+}
+
+// Modes returns the registered mode names, sorted.
+func (r *Registry) Modes() []Mode {
+	out := append([]Mode(nil), r.names...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WithoutDoubt computes the §3.2 "without any doubt" view: the tuples a
+// subject at level s believes under *every* built-in mode at once — the
+// intersection the paper's example query spells out with three BELIEVED
+// subqueries. Tuples are compared on their attribute cells (TC is retagged
+// by opt/cau but kept by firm, so it is excluded from the comparison), and
+// the cautious side uses certain answers across its models.
+func WithoutDoubt(rel *mls.Relation, s lattice.Label) (*mls.Relation, error) {
+	firm, err := Beta(rel, s, Firm)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := Beta(rel, s, Optimistic)
+	if err != nil {
+		return nil, err
+	}
+	cauModels, err := BetaModels(rel, s, Cautious)
+	if err != nil {
+		return nil, err
+	}
+	cellsKey := func(t mls.Tuple) string {
+		u := t
+		u.TC = lattice.NoLabel
+		return tupleKey(u)
+	}
+	inAll := map[string]int{}
+	for _, m := range cauModels {
+		seen := map[string]bool{}
+		for _, t := range m.Tuples {
+			k := cellsKey(t)
+			if !seen[k] {
+				seen[k] = true
+				inAll[k]++
+			}
+		}
+	}
+	certain := map[string]bool{}
+	for k, n := range inAll {
+		if n == len(cauModels) {
+			certain[k] = true
+		}
+	}
+	optSet := map[string]bool{}
+	for _, t := range opt.Tuples {
+		optSet[cellsKey(t)] = true
+	}
+	out := mls.NewRelation(rel.Scheme)
+	for _, t := range firm.Tuples {
+		k := cellsKey(t)
+		if optSet[k] && certain[k] {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package belief
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+// randomRelation builds a seeded relation over either a chain or a diamond
+// lattice, always integrity-clean.
+func randomRelation(r *rand.Rand) *mls.Relation {
+	var p *lattice.Poset
+	var err error
+	if r.Intn(2) == 0 {
+		p, err = lattice.Chain("l0", "l1", "l2", "l3")
+	} else {
+		p, err = lattice.Diamond("l0", "l1", "l2", "l3")
+	}
+	if err != nil {
+		panic(err)
+	}
+	scheme, err := mls.NewScheme("r", p, "id", "a", "b")
+	if err != nil {
+		panic(err)
+	}
+	rel := mls.NewRelation(scheme)
+	levels := p.Labels()
+	nKeys := 1 + r.Intn(6)
+	for k := 0; k < nKeys; k++ {
+		base := levels[r.Intn(len(levels))]
+		key := fmt.Sprintf("k%d", k)
+		vals := []mls.Value{
+			mls.V(key, base),
+			mls.V(fmt.Sprintf("a%d", r.Intn(3)), base),
+			mls.V(fmt.Sprintf("b%d", r.Intn(3)), base),
+		}
+		rel.MustInsert(mls.Tuple{Values: vals})
+		if r.Intn(2) == 0 {
+			ups := p.UpSet(base)
+			if len(ups) > 1 {
+				hi := ups[1+r.Intn(len(ups)-1)]
+				pv := append([]mls.Value(nil), vals...)
+				pv[1+r.Intn(2)] = mls.V(fmt.Sprintf("c%d", r.Intn(3)), hi)
+				rel.MustInsert(mls.Tuple{Values: pv, TC: hi})
+			}
+		}
+	}
+	return rel
+}
+
+// cells flattens a relation into its classified cells, ignoring TC.
+func cells(r *mls.Relation) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range r.Tuples {
+		key := t.Values[r.Scheme.KeyIdx]
+		for i, v := range t.Values {
+			val := v.Data
+			if v.Null {
+				val = "⊥"
+			}
+			out[fmt.Sprintf("%s/%s/%s/%s", key.Data, r.Scheme.Attrs[i], val, v.Class)] = true
+		}
+	}
+	return out
+}
+
+// Firm beliefs are a subset of optimistic beliefs at every level.
+func TestQuickFirmSubsetOfOptimistic(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		for _, lvl := range rel.Scheme.Poset.Labels() {
+			firm, err := Beta(rel, lvl, Firm)
+			if err != nil {
+				return false
+			}
+			opt, err := Beta(rel, lvl, Optimistic)
+			if err != nil {
+				return false
+			}
+			optCells := cells(opt)
+			for c := range cells(firm) {
+				if !optCells[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every cautious model's cells are a subset of the optimistic cells: the
+// cautious mode filters, never invents.
+func TestQuickCautiousSubsetOfOptimistic(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		for _, lvl := range rel.Scheme.Poset.Labels() {
+			opt, err := Beta(rel, lvl, Optimistic)
+			if err != nil {
+				return false
+			}
+			optCells := cells(opt)
+			models, err := BetaModels(rel, lvl, Cautious)
+			if err != nil {
+				return false
+			}
+			for _, m := range models {
+				for c := range cells(m) {
+					if !optCells[c] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Each cautious model has exactly one tuple per visible key (the merge
+// collapses polyinstantiation chains).
+func TestQuickCautiousOneTuplePerKey(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		p := rel.Scheme.Poset
+		for _, lvl := range p.Labels() {
+			visibleKeys := map[string]bool{}
+			for _, t := range rel.Tuples {
+				if p.Dominates(lvl, t.TC) {
+					visibleKeys[t.Values[0].Data] = true
+				}
+			}
+			models, err := BetaModels(rel, lvl, Cautious)
+			if err != nil {
+				return false
+			}
+			for _, m := range models {
+				seen := map[string]int{}
+				for _, t := range m.Tuples {
+					seen[t.Values[0].Data]++
+				}
+				if len(seen) != len(visibleKeys) {
+					return false
+				}
+				for _, n := range seen {
+					if n != 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Beliefs never read up: every cell in any β view at lvl is classified ⪯
+// lvl, and every tuple class equals lvl or is ⪯ lvl (firm keeps the
+// original TC = lvl; opt/cau retag to lvl).
+func TestQuickBetaNoReadUp(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		p := rel.Scheme.Poset
+		for _, lvl := range p.Labels() {
+			for _, mode := range []Mode{Firm, Optimistic, Cautious} {
+				models, err := BetaModels(rel, lvl, mode)
+				if err != nil {
+					return false
+				}
+				for _, m := range models {
+					for _, t := range m.Tuples {
+						if !p.Dominates(lvl, t.TC) {
+							return false
+						}
+						for _, v := range t.Values {
+							if !p.Dominates(lvl, v.Class) {
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// β is deterministic: repeated evaluation yields identical renders.
+func TestQuickBetaDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		relA, relB := randomRelation(r1), randomRelation(r2)
+		for _, lvl := range relA.Scheme.Poset.Labels() {
+			for _, mode := range []Mode{Firm, Optimistic, Cautious} {
+				ma, errA := BetaModels(relA, lvl, mode)
+				mb, errB := BetaModels(relB, lvl, mode)
+				if (errA == nil) != (errB == nil) || len(ma) != len(mb) {
+					return false
+				}
+				for i := range ma {
+					if ma[i].Render() != mb[i].Render() {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On a chain lattice with at most one chain per key, cautious is never
+// ambiguous.
+func TestQuickCautiousUnambiguousOnSingleChains(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, err := lattice.Chain("l0", "l1", "l2")
+		if err != nil {
+			return false
+		}
+		scheme, err := mls.NewScheme("r", p, "id", "a")
+		if err != nil {
+			return false
+		}
+		rel := mls.NewRelation(scheme)
+		for k := 0; k < 1+r.Intn(5); k++ {
+			base := p.Labels()[r.Intn(3)]
+			key := fmt.Sprintf("k%d", k)
+			rel.MustInsert(mls.Tuple{Values: []mls.Value{mls.V(key, base), mls.V("v", base)}})
+			// One optional higher polyinstantiation per key, at a strictly
+			// higher class: never two cells with equal maximal class.
+			ups := p.UpSet(base)
+			if len(ups) > 1 && r.Intn(2) == 0 {
+				hi := ups[1+r.Intn(len(ups)-1)]
+				rel.MustInsert(mls.Tuple{Values: []mls.Value{mls.V(key, base), mls.V("w", hi)}, TC: hi})
+			}
+		}
+		for _, lvl := range p.Labels() {
+			if _, err := Beta(rel, lvl, Cautious); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

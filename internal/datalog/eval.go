@@ -1,0 +1,287 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// Stats reports work done by an evaluation, for the benchmark harness and
+// the naive-vs-semi-naive ablation.
+type Stats struct {
+	Iterations  int // fixpoint rounds summed over strata
+	RuleFirings int // rule body evaluations attempted
+	Derivations int // head instances produced (including duplicates)
+	Facts       int // facts in the final model
+}
+
+// Evaluator computes the minimal model of a stratified Datalog program by
+// bottom-up fixpoint iteration. The zero value evaluates semi-naively with
+// indexing; fields may be toggled for ablation.
+type Evaluator struct {
+	Naive   bool // disable the semi-naive delta optimization
+	NoIndex bool // disable argument indexing in the derived store
+	// Parallel fires the (rule × delta) jobs of each round concurrently;
+	// derivations become visible at round boundaries, so the model is
+	// unchanged. Workers bounds the goroutines (0 = NumCPU). Parallel is
+	// ignored when Naive is set.
+	Parallel bool
+	Workers  int
+	Stats    Stats
+}
+
+// Eval computes the minimal model of program ∪ edb. edb may be nil. The
+// returned store contains the EDB facts plus everything derivable. Eval
+// fails if the program is unsafe or not stratifiable.
+func (e *Evaluator) Eval(p *Program, edb *Store) (*Store, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	strata, err := Strata(p)
+	if err != nil {
+		return nil, err
+	}
+	var full *Store
+	if e.NoIndex {
+		full = NewStoreNoIndex()
+	} else {
+		full = NewStore()
+	}
+	if edb != nil {
+		for _, pred := range edb.Preds() {
+			for _, f := range edb.Facts(pred) {
+				full.Insert(f)
+			}
+		}
+	}
+	for _, clauses := range strata {
+		var err error
+		if e.Parallel && !e.Naive {
+			err = e.evalStratumParallel(clauses, full)
+		} else {
+			err = e.evalStratum(clauses, full)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.Stats.Facts = full.Len()
+	return full, nil
+}
+
+// Eval is a convenience wrapper: semi-naive evaluation with default options.
+func Eval(p *Program, edb *Store) (*Store, error) {
+	var e Evaluator
+	return e.Eval(p, edb)
+}
+
+// evalStratum iterates the clauses of one stratum to fixpoint against full,
+// which already contains all lower strata.
+func (e *Evaluator) evalStratum(clauses []Clause, full *Store) error {
+	// Facts fire once.
+	var rules []Clause
+	for _, c := range clauses {
+		if c.IsFact() {
+			if !c.Head.IsGround() {
+				return fmt.Errorf("datalog: non-ground fact %s", c.Head)
+			}
+			full.Insert(c.Head)
+		} else {
+			rules = append(rules, c)
+		}
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	// Which predicates are defined by rules in this stratum? Those are the
+	// ones whose growth drives re-evaluation.
+	idb := map[string]bool{}
+	for _, c := range rules {
+		idb[c.Head.Pred] = true
+	}
+
+	if e.Naive {
+		for {
+			e.Stats.Iterations++
+			changed := false
+			for _, c := range rules {
+				e.Stats.RuleFirings++
+				err := e.solveBody(c, full, nil, -1, func(head Atom) error {
+					e.Stats.Derivations++
+					if full.Insert(head) {
+						changed = true
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			if !changed {
+				return nil
+			}
+		}
+	}
+
+	// Semi-naive: first round evaluates every rule fully; subsequent rounds
+	// require one body literal to match the previous round's delta.
+	delta := NewStore()
+	e.Stats.Iterations++
+	for _, c := range rules {
+		e.Stats.RuleFirings++
+		err := e.solveBody(c, full, nil, -1, func(head Atom) error {
+			e.Stats.Derivations++
+			if full.Insert(head) {
+				delta.Insert(head)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for delta.Len() > 0 {
+		e.Stats.Iterations++
+		next := NewStore()
+		for _, c := range rules {
+			for i, l := range c.Body {
+				if l.Negated || l.Atom.IsBuiltin() || !idb[l.Atom.Pred] {
+					continue
+				}
+				if len(delta.Facts(l.Atom.Pred)) == 0 {
+					continue
+				}
+				e.Stats.RuleFirings++
+				err := e.solveBody(c, full, delta, i, func(head Atom) error {
+					e.Stats.Derivations++
+					if full.Insert(head) {
+						next.Insert(head)
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		delta = next
+	}
+	return nil
+}
+
+// solveBody enumerates all substitutions satisfying c's body against full
+// (literal deltaIdx, if ≥ 0, matched against delta instead) and calls emit
+// with each resulting ground head. Literals are consumed in a "first ready"
+// order: built-in '!=' and negated literals wait until ground, which safety
+// guarantees will happen.
+func (e *Evaluator) solveBody(c Clause, full, delta *Store, deltaIdx int, emit func(Atom) error) error {
+	remaining := make([]int, len(c.Body))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var rec func(rem []int, s term.Subst) error
+	rec = func(rem []int, s term.Subst) error {
+		if len(rem) == 0 {
+			head := c.Head.Apply(s)
+			if !head.IsGround() {
+				return fmt.Errorf("datalog: derived non-ground head %s from %s", head, c)
+			}
+			return emit(head)
+		}
+		// Pick the first ready literal.
+		pick := -1
+		for pi, bi := range rem {
+			l := c.Body[bi]
+			switch {
+			case !l.Negated && !l.Atom.IsBuiltin():
+				pick = pi
+			case l.Atom.Pred == BuiltinEq && !l.Negated:
+				pick = pi
+			default: // '!=' or negation: ready only when ground
+				if l.Apply(s).Atom.IsGround() {
+					pick = pi
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			return fmt.Errorf("datalog: floundering clause %s (validate should have caught this)", c)
+		}
+		bi := rem[pick]
+		rest := make([]int, 0, len(rem)-1)
+		rest = append(rest, rem[:pick]...)
+		rest = append(rest, rem[pick+1:]...)
+		l := c.Body[bi]
+		switch {
+		case l.Atom.Pred == BuiltinEq:
+			s2 := s.Clone()
+			if term.Unify(l.Atom.Args[0], l.Atom.Args[1], s2) {
+				return rec(rest, s2)
+			}
+			return nil
+		case l.Atom.Pred == BuiltinNeq:
+			g := l.Atom.Apply(s)
+			if !g.Args[0].Equal(g.Args[1]) {
+				return rec(rest, s)
+			}
+			return nil
+		case l.Negated:
+			g := l.Atom.Apply(s)
+			if !full.Contains(g) {
+				return rec(rest, s)
+			}
+			return nil
+		default:
+			src := full
+			if bi == deltaIdx {
+				src = delta
+			}
+			var innerErr error
+			src.Match(l.Atom, s, func(s2 term.Subst) bool {
+				if err := rec(rest, s2); err != nil {
+					innerErr = err
+					return false
+				}
+				return true
+			})
+			return innerErr
+		}
+	}
+	return rec(remaining, term.Subst{})
+}
+
+// Query evaluates the program and returns every substitution (restricted to
+// the goal's variables) making goal true in the minimal model, in a
+// deterministic order.
+func Query(p *Program, edb *Store, goal Atom) ([]term.Subst, error) {
+	model, err := Eval(p, edb)
+	if err != nil {
+		return nil, err
+	}
+	return QueryStore(model, goal), nil
+}
+
+// QueryStore matches goal against an already-computed model.
+func QueryStore(model *Store, goal Atom) []term.Subst {
+	goalVars := map[string]bool{}
+	for _, v := range goal.Vars(nil) {
+		goalVars[v] = true
+	}
+	var out []term.Subst
+	seen := map[string]bool{}
+	model.Match(goal, term.Subst{}, func(s term.Subst) bool {
+		restricted := term.Subst{}
+		for v := range goalVars {
+			restricted[v] = s.Apply(term.Var(v))
+		}
+		k := restricted.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, restricted)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,391 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+func answersOf(t *testing.T, src, goal string) []string {
+	t.Helper()
+	p := mustParse(t, src)
+	g, err := ParseAtom(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := Query(p, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		out[i] = s.String()
+	}
+	return out
+}
+
+func TestEvalTransitiveClosure(t *testing.T) {
+	src := `
+		edge(a, b). edge(b, c). edge(c, d).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+	`
+	got := answersOf(t, src, "tc(a, X)")
+	if len(got) != 3 {
+		t.Fatalf("tc(a, X) should have 3 answers, got %v", got)
+	}
+	want := map[string]bool{"{X/b}": true, "{X/c}": true, "{X/d}": true}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected answer %s", g)
+		}
+	}
+}
+
+func TestEvalSameGeneration(t *testing.T) {
+	src := `
+		par(c1, p). par(c2, p). par(g1, c1). par(g2, c2).
+		sg(X, X) :- person(X).
+		sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+		person(c1). person(c2). person(g1). person(g2). person(p).
+	`
+	got := answersOf(t, src, "sg(g1, Y)")
+	want := map[string]bool{"{Y/g1}": true, "{Y/g2}": true}
+	if len(got) != len(want) {
+		t.Fatalf("sg(g1, Y) = %v", got)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected answer %s", g)
+		}
+	}
+}
+
+func TestEvalStratifiedNegation(t *testing.T) {
+	src := `
+		node(a). node(b). node(c).
+		edge(a, b).
+		haspar(Y) :- edge(X, Y).
+		root(X) :- node(X), not haspar(X).
+	`
+	got := answersOf(t, src, "root(X)")
+	want := map[string]bool{"{X/a}": true, "{X/c}": true}
+	if len(got) != 2 {
+		t.Fatalf("root(X) = %v", got)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected answer %s", g)
+		}
+	}
+}
+
+func TestEvalMultipleStrata(t *testing.T) {
+	// win(X) :- move(X,Y), not win(Y) is NOT stratifiable; this variant is.
+	src := `
+		e(a, b). e(b, c).
+		reach(X) :- start(X).
+		reach(Y) :- reach(X), e(X, Y).
+		start(a).
+		unreached(X) :- node(X), not reach(X).
+		node(a). node(b). node(c). node(d).
+		doubly(X) :- unreached(X), not special(X).
+		special(d).
+	`
+	got := answersOf(t, src, "doubly(X)")
+	if len(got) != 0 {
+		t.Fatalf("doubly(X) = %v, want none (only d is unreached and d is special)", got)
+	}
+	got = answersOf(t, src, "unreached(X)")
+	if len(got) != 1 || got[0] != "{X/d}" {
+		t.Fatalf("unreached(X) = %v", got)
+	}
+}
+
+func TestEvalRejectsUnstratifiable(t *testing.T) {
+	src := `
+		move(a, b). move(b, a).
+		win(X) :- move(X, Y), not win(Y).
+	`
+	p := mustParse(t, src)
+	if _, err := Eval(p, nil); err == nil {
+		t.Fatal("win-move must be rejected as unstratifiable")
+	}
+}
+
+func TestEvalBuiltins(t *testing.T) {
+	src := `
+		n(a). n(b).
+		pair(X, Y) :- n(X), n(Y), X != Y.
+		same(X, Y) :- n(X), n(Y), X = Y.
+	`
+	got := answersOf(t, src, "pair(X, Y)")
+	if len(got) != 2 {
+		t.Fatalf("pair = %v", got)
+	}
+	got = answersOf(t, src, "same(X, Y)")
+	if len(got) != 2 {
+		t.Fatalf("same = %v", got)
+	}
+	for _, g := range got {
+		if g != "{X/a, Y/a}" && g != "{X/b, Y/b}" {
+			t.Errorf("unexpected same answer %s", g)
+		}
+	}
+}
+
+func TestEvalEqualityBinds(t *testing.T) {
+	src := `
+		n(a).
+		tag(X, Y) :- n(X), Y = wrapped(X).
+	`
+	got := answersOf(t, src, "tag(a, Y)")
+	if len(got) != 1 || got[0] != "{Y/wrapped(a)}" {
+		t.Fatalf("tag = %v", got)
+	}
+}
+
+func TestValidateUnsafeClauses(t *testing.T) {
+	for _, src := range []string{
+		"p(X) :- q(Y).",           // head var unbound
+		"p(X) :- q(X), not r(Y).", // var only in negation
+		"p(X) :- q(X), X != Y.",   // var only in !=
+		"p(X, Y) :- q(X), Y != X.",
+	} {
+		p := mustParse(t, src+"\nq(a).\nr(a).")
+		if _, err := Eval(p, nil); err == nil {
+			t.Errorf("Eval(%q) should reject unsafe clause", src)
+		}
+	}
+}
+
+func TestValidateEqualityMakesSafe(t *testing.T) {
+	src := `
+		q(a).
+		p(Y) :- q(X), Y = X.
+		r(Y) :- q(X), wrapped(Y) = wrapped(X).
+	`
+	p := mustParse(t, src)
+	if err := Validate(p); err != nil {
+		t.Fatalf("equality-bound variables should be safe: %v", err)
+	}
+	if got := answersOf(t, src, "r(Y)"); len(got) != 1 || got[0] != "{Y/a}" {
+		t.Fatalf("r = %v", got)
+	}
+}
+
+func TestEvalWithEDB(t *testing.T) {
+	edb := NewStore()
+	edb.Insert(NewAtom("edge", term.Const("x"), term.Const("y")))
+	edb.Insert(NewAtom("edge", term.Const("y"), term.Const("z")))
+	p := mustParse(t, `tc(A, B) :- edge(A, B). tc(A, C) :- edge(A, B), tc(B, C).`)
+	m, err := Eval(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Contains(NewAtom("tc", term.Const("x"), term.Const("z"))) {
+		t.Error("tc(x,z) should be derivable from the EDB")
+	}
+}
+
+func TestNaiveAndSemiNaiveAgree(t *testing.T) {
+	src := chainProgram(30)
+	p := mustParse(t, src)
+	semi := Evaluator{}
+	naive := Evaluator{Naive: true}
+	m1, err := semi.Eval(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := naive.Eval(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() != m2.String() {
+		t.Error("naive and semi-naive models differ")
+	}
+	if semi.Stats.Derivations >= naive.Stats.Derivations {
+		t.Errorf("semi-naive should derive fewer duplicates: semi=%d naive=%d",
+			semi.Stats.Derivations, naive.Stats.Derivations)
+	}
+}
+
+func chainProgram(n int) string {
+	src := "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+	}
+	return src
+}
+
+func TestIndexedAndUnindexedAgree(t *testing.T) {
+	p := mustParse(t, chainProgram(20))
+	idx := Evaluator{}
+	noidx := Evaluator{NoIndex: true}
+	m1, err := idx.Eval(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := noidx.Eval(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() != m2.String() {
+		t.Error("indexed and unindexed models differ")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	a := NewAtom("p", term.Const("x"))
+	if !s.Insert(a) {
+		t.Error("first insert should be new")
+	}
+	if s.Insert(a) {
+		t.Error("duplicate insert should report false")
+	}
+	if !s.Contains(a) || s.Len() != 1 {
+		t.Error("store lost the fact")
+	}
+	if got := s.Facts("p"); len(got) != 1 || !got[0].Equal(a) {
+		t.Errorf("Facts = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert of non-ground atom must panic")
+		}
+	}()
+	s.Insert(NewAtom("p", term.Var("X")))
+}
+
+func TestStoreMatchUsesIndex(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		s.Insert(NewAtom("p", term.Const(fmt.Sprintf("k%d", i)), term.Const("v")))
+	}
+	count := 0
+	s.Match(NewAtom("p", term.Const("k42"), term.Var("V")), term.Subst{}, func(sub term.Subst) bool {
+		count++
+		if !sub.Apply(term.Var("V")).Equal(term.Const("v")) {
+			t.Error("wrong binding from indexed match")
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("indexed match found %d facts", count)
+	}
+}
+
+func TestStoreClone(t *testing.T) {
+	s := NewStore()
+	s.Insert(NewAtom("p", term.Const("a")))
+	c := s.Clone()
+	c.Insert(NewAtom("p", term.Const("b")))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("clone is not independent")
+	}
+}
+
+func TestStratify(t *testing.T) {
+	p := mustParse(t, `
+		b(X) :- a(X).
+		c(X) :- b(X), not d(X).
+		d(X) :- a(X), not e(X).
+		a(k). e(k).
+	`)
+	strata, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(strata["e"] < strata["d"] && strata["d"] < strata["c"]) {
+		t.Errorf("strata wrong: %v", strata)
+	}
+	if strata["a"] != 0 {
+		t.Errorf("EDB predicate a should be stratum 0, got %d", strata["a"])
+	}
+}
+
+func TestStratifyNegativeCycle(t *testing.T) {
+	p := mustParse(t, `
+		p(X) :- base(X), not q(X).
+		q(X) :- base(X), not p(X).
+		base(a).
+	`)
+	if _, err := Stratify(p); err == nil {
+		t.Fatal("p/q negation cycle must not stratify")
+	}
+}
+
+func TestDependencyGraph(t *testing.T) {
+	p := mustParse(t, `p(X) :- q(X), not r(X), X != a. p(X) :- q(X).`)
+	edges := DependencyGraph(p)
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	for _, e := range edges {
+		switch e.To {
+		case "q":
+			if e.Negative {
+				t.Error("p->q should be positive")
+			}
+		case "r":
+			if !e.Negative {
+				t.Error("p->r should be negative")
+			}
+		default:
+			t.Errorf("unexpected edge %v", e)
+		}
+	}
+}
+
+// Property: naive and semi-naive agree on random acyclic edge programs with
+// negation on top.
+func TestQuickNaiveSemiNaiveAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(6)
+		src := `
+			tc(X, Y) :- edge(X, Y).
+			tc(X, Z) :- edge(X, Y), tc(Y, Z).
+			nonleaf(X) :- edge(X, Y).
+			leaf(X) :- node(X), not nonleaf(X).
+		`
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("node(n%d).\n", i)
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					src += fmt.Sprintf("edge(n%d, n%d).\n", i, j)
+				}
+			}
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		semi := Evaluator{}
+		naive := Evaluator{Naive: true}
+		m1, err1 := semi.Eval(p, nil)
+		m2, err2 := naive.Eval(p, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return m1.String() == m2.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalStatsPopulated(t *testing.T) {
+	var e Evaluator
+	p := mustParse(t, chainProgram(5))
+	if _, err := e.Eval(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Iterations == 0 || e.Stats.Facts == 0 || e.Stats.RuleFirings == 0 {
+		t.Errorf("stats not populated: %+v", e.Stats)
+	}
+}

@@ -1,0 +1,217 @@
+package datalog
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF       tokenKind = iota
+	tokIdent               // lower-case identifier or quoted atom: parent, 'two words'
+	tokVar                 // upper-case or _-prefixed identifier: X, _G1
+	tokNumber              // digit run, kept as an opaque constant: 42
+	tokLParen              // (
+	tokRParen              // )
+	tokComma               // ,
+	tokDot                 // .
+	tokColonDash           // :-
+	tokQueryDash           // ?-
+	tokNot                 // the keyword "not" (recognised from tokIdent)
+	tokEq                  // =
+	tokNeq                 // !=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokColonDash:
+		return "':-'"
+	case tokQueryDash:
+		return "'?-'"
+	case tokNot:
+		return "'not'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer tokenizes Datalog source. Comments run from '%' or "//" to newline.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("datalog: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() rune {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '%':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLower(r) }
+func isVarStart(r rune) bool   { return unicode.IsUpper(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := lx.peek()
+	switch {
+	case r == '(':
+		lx.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case r == ')':
+		lx.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case r == ',':
+		lx.advance()
+		return token{tokComma, ",", line, col}, nil
+	case r == '.':
+		lx.advance()
+		return token{tokDot, ".", line, col}, nil
+	case r == '=':
+		lx.advance()
+		return token{tokEq, "=", line, col}, nil
+	case r == '!':
+		lx.advance()
+		if lx.peek() != '=' {
+			return token{}, lx.errorf(line, col, "unexpected '!'; did you mean '!='?")
+		}
+		lx.advance()
+		return token{tokNeq, "!=", line, col}, nil
+	case r == ':':
+		lx.advance()
+		if lx.peek() != '-' {
+			return token{}, lx.errorf(line, col, "unexpected ':'; did you mean ':-'?")
+		}
+		lx.advance()
+		return token{tokColonDash, ":-", line, col}, nil
+	case r == '?':
+		lx.advance()
+		if lx.peek() != '-' {
+			return token{}, lx.errorf(line, col, "unexpected '?'; did you mean '?-'?")
+		}
+		lx.advance()
+		return token{tokQueryDash, "?-", line, col}, nil
+	case r == '\'':
+		lx.advance()
+		var text []rune
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errorf(line, col, "unterminated quoted atom")
+			}
+			c := lx.advance()
+			if c == '\'' {
+				break
+			}
+			text = append(text, c)
+		}
+		return token{tokIdent, string(text), line, col}, nil
+	case unicode.IsDigit(r):
+		var text []rune
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			text = append(text, lx.advance())
+		}
+		return token{tokNumber, string(text), line, col}, nil
+	case isIdentStart(r):
+		var text []rune
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			text = append(text, lx.advance())
+		}
+		s := string(text)
+		if s == "not" {
+			return token{tokNot, s, line, col}, nil
+		}
+		return token{tokIdent, s, line, col}, nil
+	case isVarStart(r):
+		var text []rune
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			text = append(text, lx.advance())
+		}
+		return token{tokVar, string(text), line, col}, nil
+	}
+	return token{}, lx.errorf(line, col, "unexpected character %q", r)
+}

@@ -1,0 +1,216 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+func answersVia(t *testing.T, fn func(*Program, *Store, Atom) ([]term.Subst, error), src, goal string) map[string]bool {
+	t.Helper()
+	p := mustParse(t, src)
+	g, err := ParseAtom(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := fn(p, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, s := range subs {
+		out[s.String()] = true
+	}
+	return out
+}
+
+func assertSameAnswers(t *testing.T, src, goal string) {
+	t.Helper()
+	plain := answersVia(t, Query, src, goal)
+	magic := answersVia(t, QueryMagic, src, goal)
+	if len(plain) != len(magic) {
+		t.Fatalf("%s: plain %v vs magic %v", goal, plain, magic)
+	}
+	for a := range plain {
+		if !magic[a] {
+			t.Errorf("%s: answer %s missing under magic sets", goal, a)
+		}
+	}
+}
+
+func TestMagicTransitiveClosureBound(t *testing.T) {
+	src := `
+		edge(a, b). edge(b, c). edge(c, d). edge(x, y).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+	`
+	assertSameAnswers(t, src, "tc(a, W)")
+	assertSameAnswers(t, src, "tc(a, d)")
+	assertSameAnswers(t, src, "tc(W, d)")
+	assertSameAnswers(t, src, "tc(X, Y)") // all-free: magic degenerates gracefully
+	assertSameAnswers(t, src, "tc(a, nosuch)")
+}
+
+func TestMagicSameGeneration(t *testing.T) {
+	src := `
+		par(c1, p). par(c2, p). par(g1, c1). par(g2, c2).
+		person(c1). person(c2). person(g1). person(g2). person(p).
+		sg(X, X) :- person(X).
+		sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+	`
+	assertSameAnswers(t, src, "sg(g1, W)")
+	assertSameAnswers(t, src, "sg(g1, g2)")
+}
+
+func TestMagicWithEDBNegationAndBuiltins(t *testing.T) {
+	src := `
+		edge(a, b). edge(b, c). blocked(b).
+		path(X, Y) :- edge(X, Y), not blocked(Y).
+		path(X, Z) :- edge(X, Y), not blocked(Y), path(Y, Z), Y != Z.
+	`
+	assertSameAnswers(t, src, "path(a, W)")
+}
+
+func TestMagicRejectsIDBNegation(t *testing.T) {
+	src := `
+		node(a). node(b). edge(a, b).
+		haspar(Y) :- edge(X, Y).
+		root(X) :- node(X), not haspar(X).
+	`
+	p := mustParse(t, src)
+	g, _ := ParseAtom("root(W)")
+	if _, _, err := MagicSet(p, g); err == nil {
+		t.Fatal("negation over IDB must be rejected by the transform")
+	}
+	// But QueryMagic falls back and still answers correctly.
+	assertSameAnswers(t, src, "root(W)")
+}
+
+func TestMagicEDBQueryPassthrough(t *testing.T) {
+	src := `edge(a, b). edge(b, c).`
+	p := mustParse(t, src)
+	g, _ := ParseAtom("edge(a, W)")
+	rw, goal, err := MagicSet(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw != p || goal.Pred != "edge" {
+		t.Error("EDB queries should pass through untransformed")
+	}
+}
+
+func TestMagicIDBFactsGuarded(t *testing.T) {
+	src := `
+		tc(seed, seed).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+		edge(a, seed). edge(seed, b).
+	`
+	assertSameAnswers(t, src, "tc(a, W)")
+}
+
+// The point of the transformation: a bound query over a long chain must
+// not materialize the full quadratic closure.
+func TestMagicRestrictsDerivations(t *testing.T) {
+	src := "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+	for i := 0; i < 60; i++ {
+		src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+	}
+	p := mustParse(t, src)
+	goal, _ := ParseAtom("tc(n55, W)")
+
+	var full Evaluator
+	if _, err := full.Eval(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	rewritten, adorned, err := MagicSet(p, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restricted Evaluator
+	model, err := restricted.Eval(rewritten, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restricted.Stats.Derivations*4 > full.Stats.Derivations {
+		t.Errorf("magic should cut derivations by far more than 4x: full=%d magic=%d",
+			full.Stats.Derivations, restricted.Stats.Derivations)
+	}
+	if got := QueryStore(model, adorned); len(got) != 5 {
+		t.Errorf("tc(n55, W) should reach 5 nodes, got %d", len(got))
+	}
+}
+
+func TestMagicAdornedNames(t *testing.T) {
+	p := mustParse(t, `
+		edge(a, b).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+	`)
+	goal, _ := ParseAtom("tc(a, W)")
+	rw, adorned, err := MagicSet(p, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adorned.Pred != "tc__bf" {
+		t.Errorf("adorned goal = %s", adorned.Pred)
+	}
+	text := rw.String()
+	for _, want := range []string{"m__tc__bf(a).", "tc__bf(X, Y) :- m__tc__bf(X), edge(X, Y).", "m__tc__bf(Y) :- m__tc__bf(X), edge(X, Y)."} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rewritten program missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Property: plain and magic evaluation agree on random acyclic graphs and
+// random bound/free query mixes.
+func TestQuickMagicAgreesWithPlain(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(6)
+		src := `
+			tc(X, Y) :- edge(X, Y).
+			tc(X, Z) :- edge(X, Y), tc(Y, Z).
+		`
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					src += fmt.Sprintf("edge(n%d, n%d).\n", i, j)
+				}
+			}
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		goals := []Atom{
+			NewAtom("tc", term.Const(fmt.Sprintf("n%d", r.Intn(n))), term.Var("W")),
+			NewAtom("tc", term.Var("W"), term.Const(fmt.Sprintf("n%d", r.Intn(n)))),
+			NewAtom("tc", term.Var("X"), term.Var("Y")),
+		}
+		for _, g := range goals {
+			plain, err1 := Query(p, nil, g)
+			magic, err2 := QueryMagic(p, nil, g)
+			if err1 != nil || err2 != nil || len(plain) != len(magic) {
+				return false
+			}
+			set := map[string]bool{}
+			for _, s := range plain {
+				set[s.String()] = true
+			}
+			for _, s := range magic {
+				if !set[s.String()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

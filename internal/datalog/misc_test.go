@@ -1,0 +1,103 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestProgramPredicates(t *testing.T) {
+	p := mustParse(t, `
+		p(X) :- q(X), not r(X), X != a.
+		q(a).
+		?- s(W).
+	`)
+	preds := p.Predicates()
+	want := []string{"p", "q", "r", "s"}
+	if len(preds) != len(want) {
+		t.Fatalf("Predicates = %v", preds)
+	}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Errorf("Predicates = %v, want %v", preds, want)
+		}
+	}
+}
+
+func TestStorePredsAndString(t *testing.T) {
+	s := NewStore()
+	s.Insert(NewAtom("b", term.Const("1")))
+	s.Insert(NewAtom("a", term.Const("2")))
+	if preds := s.Preds(); len(preds) != 2 || preds[0] != "a" || preds[1] != "b" {
+		t.Errorf("Preds = %v", preds)
+	}
+	if got := s.String(); !strings.Contains(got, "a(2).") || !strings.Contains(got, "b(1).") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNaiveStats(t *testing.T) {
+	p := mustParse(t, chainProgram(8))
+	e := Evaluator{Naive: true}
+	if _, err := e.Eval(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Iterations < 8 {
+		t.Errorf("naive TC over an 8-chain needs ≥ 8 rounds, got %d", e.Stats.Iterations)
+	}
+}
+
+func TestStratifyErrorNamesAPredicate(t *testing.T) {
+	p := mustParse(t, `
+		win(X) :- move(X, Y), not win(Y).
+		move(a, b). move(b, a).
+	`)
+	_, err := Stratify(p)
+	if err == nil || !strings.Contains(err.Error(), "win") {
+		t.Errorf("diagnostic should name the offending predicate: %v", err)
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	l := Neg(NewAtom("p", term.Var("X")))
+	if l.String() != "not p(X)" {
+		t.Errorf("Literal.String = %q", l.String())
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	c, _ := ParseClause("p(X) :- q(X), not r(X).")
+	if c.String() != "p(X) :- q(X), not r(X)." {
+		t.Errorf("Clause.String = %q", c.String())
+	}
+	f := Fact(NewAtom("p", term.Const("a")))
+	if f.String() != "p(a)." {
+		t.Errorf("Fact.String = %q", f.String())
+	}
+}
+
+func TestEvalRejectsNonGroundFact(t *testing.T) {
+	p := &Program{}
+	p.Add(Clause{Head: NewAtom("p", term.Var("X"))})
+	if _, err := Eval(p, nil); err == nil {
+		t.Error("non-ground facts must be rejected")
+	}
+	e := Evaluator{Parallel: true}
+	if _, err := e.Eval(p, nil); err == nil {
+		t.Error("non-ground facts must be rejected in parallel mode too")
+	}
+}
+
+// Compound terms flow through evaluation (the engine is not function-free,
+// only tabling's termination is).
+func TestEvalWithCompoundTerms(t *testing.T) {
+	src := `
+		base(pair(a, b)).
+		left(X) :- base(pair(X, Y)).
+	`
+	got := answersOf(t, src, "left(W)")
+	if len(got) != 1 || got[0] != "{W/a}" {
+		t.Fatalf("left = %v", got)
+	}
+}

@@ -1,0 +1,121 @@
+package datalog
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// evalStratumParallel is the parallel variant of the semi-naive stratum
+// loop: within each round, the (rule × delta-position) jobs fire
+// concurrently against a read-only view of the store, each collecting its
+// derivations locally; the derivations merge sequentially between rounds.
+// Facts derived in a round become visible in the next round, so the result
+// is the same minimal model (the fixpoint is reached, possibly in a
+// different number of rounds).
+func (e *Evaluator) evalStratumParallel(clauses []Clause, full *Store) error {
+	var rules []Clause
+	for _, c := range clauses {
+		if c.IsFact() {
+			if !c.Head.IsGround() {
+				return fmt.Errorf("datalog: non-ground fact %s", c.Head)
+			}
+			full.Insert(c.Head)
+		} else {
+			rules = append(rules, c)
+		}
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	idb := map[string]bool{}
+	for _, c := range rules {
+		idb[c.Head.Pred] = true
+	}
+
+	type job struct {
+		clause   Clause
+		deltaIdx int
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	runJobs := func(jobs []job, delta *Store) ([][]Atom, error) {
+		results := make([][]Atom, len(jobs))
+		errs := make([]error, len(jobs))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, j := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, j job) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				var local []Atom
+				errs[i] = e.solveBody(j.clause, full, delta, j.deltaIdx, func(head Atom) error {
+					local = append(local, head)
+					return nil
+				})
+				results[i] = local
+			}(i, j)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	merge := func(results [][]Atom, next *Store) {
+		for _, local := range results {
+			for _, head := range local {
+				e.Stats.Derivations++
+				if full.Insert(head) && next != nil {
+					next.Insert(head)
+				}
+			}
+		}
+	}
+
+	// First round: every rule in full.
+	var firstJobs []job
+	for _, c := range rules {
+		firstJobs = append(firstJobs, job{c, -1})
+	}
+	e.Stats.Iterations++
+	e.Stats.RuleFirings += len(firstJobs)
+	delta := NewStore()
+	results, err := runJobs(firstJobs, nil)
+	if err != nil {
+		return err
+	}
+	merge(results, delta)
+
+	for delta.Len() > 0 {
+		e.Stats.Iterations++
+		var jobs []job
+		for _, c := range rules {
+			for i, l := range c.Body {
+				if l.Negated || l.Atom.IsBuiltin() || !idb[l.Atom.Pred] {
+					continue
+				}
+				if len(delta.Facts(l.Atom.Pred)) == 0 {
+					continue
+				}
+				jobs = append(jobs, job{c, i})
+			}
+		}
+		e.Stats.RuleFirings += len(jobs)
+		next := NewStore()
+		results, err := runJobs(jobs, delta)
+		if err != nil {
+			return err
+		}
+		merge(results, next)
+		delta = next
+	}
+	return nil
+}

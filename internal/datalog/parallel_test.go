@@ -1,0 +1,105 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelAgreesWithSequential(t *testing.T) {
+	src := chainProgram(40) + `
+		nonleaf(X) :- edge(X, Y).
+		leaf(X) :- node(X), not nonleaf(X).
+	`
+	for i := 0; i <= 40; i++ {
+		src += fmt.Sprintf("node(n%d).\n", i)
+	}
+	p := mustParse(t, src)
+	seq := Evaluator{}
+	par := Evaluator{Parallel: true}
+	m1, err := seq.Eval(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := par.Eval(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() != m2.String() {
+		t.Error("parallel and sequential models differ")
+	}
+}
+
+func TestParallelWorkerBound(t *testing.T) {
+	p := mustParse(t, chainProgram(10))
+	for _, workers := range []int{1, 2, 8} {
+		e := Evaluator{Parallel: true, Workers: workers}
+		m, err := e.Eval(p, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !m.Contains(mustAtom(t, "tc(n0, n10)")) {
+			t.Errorf("workers=%d: missing closure fact", workers)
+		}
+	}
+}
+
+func mustAtom(t *testing.T, src string) Atom {
+	t.Helper()
+	a, err := ParseAtom(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestParallelErrorPropagates(t *testing.T) {
+	// A clause that flounders at run time cannot exist after validation,
+	// so exercise the error path with a non-ground derived head by
+	// bypassing nothing — instead check that unsafe programs still fail
+	// before parallel evaluation starts.
+	p := mustParse(t, `p(X) :- q(Y).`+"\nq(a).")
+	e := Evaluator{Parallel: true}
+	if _, err := e.Eval(p, nil); err == nil {
+		t.Fatal("unsafe program must fail under parallel evaluation too")
+	}
+}
+
+// Property: sequential and parallel evaluation produce identical models on
+// random programs with recursion and stratified negation.
+func TestQuickParallelAgrees(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(8)
+		src := `
+			tc(X, Y) :- edge(X, Y).
+			tc(X, Z) :- edge(X, Y), tc(Y, Z).
+			nonleaf(X) :- edge(X, Y).
+			leaf(X) :- node(X), not nonleaf(X).
+		`
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("node(n%d).\n", i)
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					src += fmt.Sprintf("edge(n%d, n%d).\n", i, j)
+				}
+			}
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		seq := Evaluator{}
+		par := Evaluator{Parallel: true, Workers: 1 + r.Intn(4)}
+		m1, err1 := seq.Eval(p, nil)
+		m2, err2 := par.Eval(p, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return m1.String() == m2.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

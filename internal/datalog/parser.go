@@ -1,0 +1,287 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// Parse parses Datalog source into a Program. Syntax:
+//
+//	parent(adam, abel).              % a fact
+//	anc(X, Y) :- parent(X, Y).       % a rule
+//	anc(X, Z) :- parent(X, Y), anc(Y, Z).
+//	root(X) :- node(X), not haspar(X).
+//	diff(X, Y) :- node(X), node(Y), X != Y.
+//	?- anc(adam, X).                 % a query
+//
+// Identifiers starting lower-case (or quoted with single quotes, or numeric)
+// are constants; upper-case or '_' start variables; "null" is the
+// distinguished ⊥. Comments run from '%' or '//' to end of line.
+func Parse(src string) (*Program, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokQueryDash {
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			goal, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokDot); err != nil {
+				return nil, err
+			}
+			prog.AddQuery(goal)
+			continue
+		}
+		c, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(c)
+	}
+	return prog, nil
+}
+
+// ParseClause parses a single clause (fact or rule) terminated by '.'.
+func ParseClause(src string) (Clause, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.bump(); err != nil {
+		return Clause{}, err
+	}
+	c, err := p.clause()
+	if err != nil {
+		return Clause{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return Clause{}, p.errf("trailing input after clause")
+	}
+	return c, nil
+}
+
+// ParseAtom parses a single atom with no trailing '.'.
+func ParseAtom(src string) (Atom, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.bump(); err != nil {
+		return Atom{}, err
+	}
+	a, err := p.atom()
+	if err != nil {
+		return Atom{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return Atom{}, p.errf("trailing input after atom")
+	}
+	return a, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) bump() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("datalog: %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	return p.bump()
+}
+
+func (p *parser) clause() (Clause, error) {
+	head, err := p.atom()
+	if err != nil {
+		return Clause{}, err
+	}
+	if head.IsBuiltin() {
+		return Clause{}, p.errf("a built-in cannot be a clause head")
+	}
+	c := Clause{Head: head}
+	if p.tok.kind == tokColonDash {
+		if err := p.bump(); err != nil {
+			return Clause{}, err
+		}
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return Clause{}, err
+			}
+			c.Body = append(c.Body, lit)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.bump(); err != nil {
+				return Clause{}, err
+			}
+		}
+	}
+	if err := p.expect(tokDot); err != nil {
+		return Clause{}, err
+	}
+	return c, nil
+}
+
+func (p *parser) literal() (Literal, error) {
+	negated := false
+	if p.tok.kind == tokNot {
+		negated = true
+		if err := p.bump(); err != nil {
+			return Literal{}, err
+		}
+	}
+	a, err := p.atom()
+	if err != nil {
+		return Literal{}, err
+	}
+	if negated && a.IsBuiltin() {
+		return Literal{}, p.errf("negating a built-in is not supported; use the dual operator")
+	}
+	return Literal{Atom: a, Negated: negated}, nil
+}
+
+// atom parses p(t1,...,tn), a propositional atom p, or the infix built-ins
+// t1 = t2 and t1 != t2.
+func (p *parser) atom() (Atom, error) {
+	// An atom can start with a term when it is an infix built-in (X != Y),
+	// so parse a term first and decide.
+	if p.tok.kind == tokVar || p.tok.kind == tokNumber {
+		left, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		return p.infixRest(left)
+	}
+	if p.tok.kind != tokIdent {
+		return Atom{}, p.errf("expected atom, found %s %q", p.tok.kind, p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.bump(); err != nil {
+		return Atom{}, err
+	}
+	if p.tok.kind != tokLParen {
+		// Either a propositional atom or the left side of an infix built-in.
+		if p.tok.kind == tokEq || p.tok.kind == tokNeq {
+			return p.infixRest(constOrNull(name))
+		}
+		return Atom{Pred: name}, nil
+	}
+	if err := p.bump(); err != nil { // consume '('
+		return Atom{}, err
+	}
+	var args []term.Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		if p.tok.kind == tokComma {
+			if err := p.bump(); err != nil {
+				return Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: name, Args: args}
+	// f(x) = Y is also legal: compound on the left of infix.
+	if p.tok.kind == tokEq || p.tok.kind == tokNeq {
+		return p.infixRest(term.Comp(name, args...))
+	}
+	return a, nil
+}
+
+func (p *parser) infixRest(left term.Term) (Atom, error) {
+	var pred string
+	switch p.tok.kind {
+	case tokEq:
+		pred = BuiltinEq
+	case tokNeq:
+		pred = BuiltinNeq
+	default:
+		return Atom{}, p.errf("expected '=' or '!=' after term, found %s", p.tok.kind)
+	}
+	if err := p.bump(); err != nil {
+		return Atom{}, err
+	}
+	right, err := p.term()
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Pred: pred, Args: []term.Term{left, right}}, nil
+}
+
+func (p *parser) term() (term.Term, error) {
+	switch p.tok.kind {
+	case tokVar:
+		name := p.tok.text
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		return term.Var(name), nil
+	case tokNumber:
+		text := p.tok.text
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		return term.Const(text), nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		if p.tok.kind != tokLParen {
+			return constOrNull(name), nil
+		}
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		var args []term.Term
+		for {
+			t, err := p.term()
+			if err != nil {
+				return term.Term{}, err
+			}
+			args = append(args, t)
+			if p.tok.kind == tokComma {
+				if err := p.bump(); err != nil {
+					return term.Term{}, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return term.Term{}, err
+		}
+		return term.Comp(name, args...), nil
+	}
+	return term.Term{}, p.errf("expected term, found %s %q", p.tok.kind, p.tok.text)
+}
+
+func constOrNull(name string) term.Term {
+	if name == "null" {
+		return term.Null()
+	}
+	return term.Const(name)
+}

@@ -1,0 +1,151 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseFactsRulesQueries(t *testing.T) {
+	p := mustParse(t, `
+		% genealogy
+		parent(adam, abel).
+		parent(adam, cain). // line comment
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Z) :- parent(X, Y), anc(Y, Z).
+		?- anc(adam, X).
+	`)
+	if len(p.Clauses) != 4 || len(p.Queries) != 1 {
+		t.Fatalf("got %d clauses, %d queries", len(p.Clauses), len(p.Queries))
+	}
+	if !p.Clauses[0].IsFact() {
+		t.Error("first clause should be a fact")
+	}
+	if p.Clauses[3].Head.Pred != "anc" || len(p.Clauses[3].Body) != 2 {
+		t.Errorf("rule parsed wrong: %s", p.Clauses[3])
+	}
+	if p.Queries[0].Pred != "anc" {
+		t.Errorf("query parsed wrong: %s", p.Queries[0])
+	}
+}
+
+func TestParseNegationAndBuiltins(t *testing.T) {
+	p := mustParse(t, `
+		sibling(X, Y) :- parent(P, X), parent(P, Y), X != Y.
+		orphanless(X) :- person(X), not orphan(X).
+		alias(X, Y) :- person(X), Y = X.
+	`)
+	c := p.Clauses[0]
+	if c.Body[2].Atom.Pred != BuiltinNeq {
+		t.Errorf("expected != builtin, got %s", c.Body[2])
+	}
+	if !p.Clauses[1].Body[1].Negated {
+		t.Error("expected negated literal")
+	}
+	if p.Clauses[2].Body[1].Atom.Pred != BuiltinEq {
+		t.Errorf("expected = builtin, got %s", p.Clauses[2].Body[1])
+	}
+}
+
+func TestParseQuotedNumbersNull(t *testing.T) {
+	p := mustParse(t, `fact('two words', 42, null).`)
+	args := p.Clauses[0].Head.Args
+	if !args[0].Equal(term.Const("two words")) {
+		t.Errorf("quoted atom: %s", args[0])
+	}
+	if !args[1].Equal(term.Const("42")) {
+		t.Errorf("number: %s", args[1])
+	}
+	if !args[2].IsNull() {
+		t.Errorf("null: %s", args[2])
+	}
+}
+
+func TestParseCompoundTerms(t *testing.T) {
+	p := mustParse(t, `likes(mary, food(pizza, X)).`)
+	arg := p.Clauses[0].Head.Args[1]
+	if arg.Kind() != term.KindCompound || arg.Name() != "food" {
+		t.Errorf("compound term: %s", arg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"p(a",                 // unbalanced
+		"p(a) :- q(b)",        // missing dot
+		"p(a). q(",            // second clause broken
+		":- p(a).",            // headless
+		"p(a) :- not X != Y.", // negated builtin
+		"X = Y.",              // builtin as head (infix-only clause)
+		"p('unterminated.",
+		"p(a)!",
+		"p(a) ? q(b).",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `parent(adam, abel).
+anc(X, Z) :- parent(X, Y), anc(Y, Z), X != Z.
+root(X) :- node(X), not inner(X).
+?- anc(adam, X).
+`
+	p := mustParse(t, src)
+	again := mustParse(t, p.String())
+	if p.String() != again.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", p, again)
+	}
+}
+
+func TestParseClauseAndAtom(t *testing.T) {
+	c, err := ParseClause("p(X) :- q(X).")
+	if err != nil || c.Head.Pred != "p" {
+		t.Fatalf("ParseClause: %v %v", c, err)
+	}
+	if _, err := ParseClause("p(X) :- q(X). extra"); err == nil {
+		t.Error("trailing input must fail")
+	}
+	a, err := ParseAtom("q(a, B)")
+	if err != nil || a.Pred != "q" || !a.Args[1].IsVar() {
+		t.Fatalf("ParseAtom: %v %v", a, err)
+	}
+	if _, err := ParseAtom("q(a) extra"); err == nil {
+		t.Error("trailing input must fail")
+	}
+}
+
+func TestAtomStringInfix(t *testing.T) {
+	a := NewAtom(BuiltinNeq, term.Var("X"), term.Var("Y"))
+	if a.String() != "X != Y" {
+		t.Errorf("infix rendering: %q", a.String())
+	}
+}
+
+func TestClauseRenameApart(t *testing.T) {
+	c, _ := ParseClause("p(X, Y) :- q(X), r(Y, X).")
+	var r term.Renamer
+	rc := c.Rename(&r)
+	if rc.Head.Args[0].Equal(term.Var("X")) {
+		t.Error("rename must produce fresh variables")
+	}
+	// Consistency: X in head equals X in body.
+	if !rc.Head.Args[0].Equal(rc.Body[0].Atom.Args[0]) {
+		t.Error("rename must be consistent across the clause")
+	}
+	if !strings.HasPrefix(rc.Head.Args[0].Name(), "_") {
+		t.Errorf("fresh variables should be '_'-prefixed: %s", rc.Head.Args[0])
+	}
+}

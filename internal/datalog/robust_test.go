@@ -1,0 +1,51 @@
+package datalog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Parsers must never panic: random byte soup and random token shuffles
+// either parse or return an error.
+func TestQuickParseNeverPanics(t *testing.T) {
+	tokens := []string{
+		"p", "q(", ")", "(", ",", ".", ":-", "?-", "X", "a", "not ",
+		"!=", "=", "'quoted'", "42", "null", "%c", "\n", " ",
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < r.Intn(40); i++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+		}
+		_, _ = Parse(b.String())
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRandomBytesNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(string(data))
+		_, _ = ParseAtom(string(data))
+		_, _ = ParseClause(string(data))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

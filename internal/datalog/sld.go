@@ -1,0 +1,186 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// ProofNode is a node of an SLD proof tree: the proved goal instance and
+// the subproofs of the clause body used to prove it. A leaf with Rule ==
+// "fact" was matched directly against a fact; Rule == "builtin" records an
+// in-place built-in evaluation; otherwise Rule names the clause used
+// ("clause <n>").
+type ProofNode struct {
+	Goal     Atom
+	Rule     string
+	Children []*ProofNode
+}
+
+// Height returns the maximum number of nodes on any root-to-leaf branch,
+// matching the paper's definition of proof height (§5.4).
+func (n *ProofNode) Height() int {
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height(); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// Size returns the number of nodes in the tree (§5.4).
+func (n *ProofNode) Size() int {
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// String renders the tree indented, one goal per line.
+func (n *ProofNode) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *ProofNode) render(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s%s  [%s]\n", strings.Repeat("  ", depth), n.Goal, n.Rule)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// SLD is a top-down resolution prover over a Datalog program. Negated body
+// literals are handled by negation-as-failure against a bottom-up model of
+// the program, so SLD answers agree with the stratified semantics.
+type SLD struct {
+	prog     *Program
+	model    *Store // for NAF checks; computed lazily on first negation
+	renamer  term.Renamer
+	MaxDepth int // resolution depth bound; 0 means the default (512)
+}
+
+// NewSLD builds a prover for the program.
+func NewSLD(p *Program) *SLD { return &SLD{prog: p} }
+
+// Answer is one solution to a query: the bindings for the goal's variables
+// and the proof tree that justifies it.
+type Answer struct {
+	Bindings term.Subst
+	Proof    *ProofNode
+}
+
+// Prove enumerates up to max answers for the goal (max ≤ 0 means all). Each
+// answer carries a proof tree whose leaves are facts or built-ins.
+func (sld *SLD) Prove(goal Atom, max int) ([]Answer, error) {
+	depthBound := sld.MaxDepth
+	if depthBound == 0 {
+		depthBound = 512
+	}
+	goalVars := goal.Vars(nil)
+	var answers []Answer
+	seen := map[string]bool{}
+	stop := fmt.Errorf("done")
+	var solve func(g Atom, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error
+	solve = func(g Atom, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error {
+		if depth > depthBound {
+			return fmt.Errorf("datalog: SLD depth bound %d exceeded proving %s", depthBound, g.Apply(s))
+		}
+		switch g.Pred {
+		case BuiltinEq:
+			s2 := s.Clone()
+			if term.Unify(g.Args[0], g.Args[1], s2) {
+				return k(s2, &ProofNode{Goal: g.Apply(s2), Rule: "builtin"})
+			}
+			return nil
+		case BuiltinNeq:
+			inst := g.Apply(s)
+			if !inst.IsGround() {
+				return fmt.Errorf("datalog: SLD '!=' on non-ground goal %s", inst)
+			}
+			if !inst.Args[0].Equal(inst.Args[1]) {
+				return k(s, &ProofNode{Goal: inst, Rule: "builtin"})
+			}
+			return nil
+		}
+		for ci, c := range sld.prog.Clauses {
+			if c.Head.Pred != g.Pred || c.Head.Arity() != g.Arity() {
+				continue
+			}
+			rc := c.Rename(&sld.renamer)
+			s2 := s.Clone()
+			if !term.UnifyAll(g.Args, rc.Head.Args, s2) {
+				continue
+			}
+			ruleName := fmt.Sprintf("clause %d", ci+1)
+			if rc.IsFact() {
+				ruleName = "fact"
+			}
+			// Prove the body left to right, accumulating subproofs.
+			var proveBody func(i int, s term.Subst, subs []*ProofNode) error
+			proveBody = func(i int, s term.Subst, subs []*ProofNode) error {
+				if i == len(rc.Body) {
+					return k(s, &ProofNode{Goal: g.Apply(s), Rule: ruleName, Children: subs})
+				}
+				l := rc.Body[i]
+				if l.Negated {
+					inst := l.Atom.Apply(s)
+					if !inst.IsGround() {
+						return fmt.Errorf("datalog: SLD floundering on %s in clause %s", l, c)
+					}
+					m, err := sld.ensureModel()
+					if err != nil {
+						return err
+					}
+					if m.Contains(inst) {
+						return nil
+					}
+					return proveBody(i+1, s, append(subs[:len(subs):len(subs)],
+						&ProofNode{Goal: inst, Rule: "naf"}))
+				}
+				return solve(l.Atom, s, depth+1, func(s2 term.Subst, sub *ProofNode) error {
+					return proveBody(i+1, s2, append(subs[:len(subs):len(subs)], sub))
+				})
+			}
+			if err := proveBody(0, s2, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	err := solve(goal, term.Subst{}, 0, func(s term.Subst, proof *ProofNode) error {
+		bindings := term.Subst{}
+		for _, v := range goalVars {
+			bindings[v] = s.Apply(term.Var(v))
+		}
+		key := bindings.String()
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		answers = append(answers, Answer{Bindings: bindings, Proof: proof})
+		if max > 0 && len(answers) >= max {
+			return stop
+		}
+		return nil
+	})
+	if err != nil && err != stop {
+		return nil, err
+	}
+	return answers, nil
+}
+
+func (sld *SLD) ensureModel() (*Store, error) {
+	if sld.model == nil {
+		m, err := Eval(sld.prog, nil)
+		if err != nil {
+			return nil, err
+		}
+		sld.model = m
+	}
+	return sld.model, nil
+}

@@ -1,0 +1,168 @@
+package datalog
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestSLDFactAndRule(t *testing.T) {
+	p := mustParse(t, `
+		parent(adam, abel). parent(adam, cain). parent(cain, enoch).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Z) :- parent(X, Y), anc(Y, Z).
+	`)
+	sld := NewSLD(p)
+	ans, err := sld.Prove(NewAtom("anc", term.Const("adam"), term.Var("W")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, a := range ans {
+		got = append(got, a.Bindings.String())
+	}
+	sort.Strings(got)
+	want := []string{"{W/abel}", "{W/cain}", "{W/enoch}"}
+	if len(got) != len(want) {
+		t.Fatalf("answers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("answers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSLDProofTreeShape(t *testing.T) {
+	p := mustParse(t, `
+		parent(adam, cain). parent(cain, enoch).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Z) :- parent(X, Y), anc(Y, Z).
+	`)
+	sld := NewSLD(p)
+	ans, err := sld.Prove(NewAtom("anc", term.Const("adam"), term.Const("enoch")), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 {
+		t.Fatalf("want one proof, got %d", len(ans))
+	}
+	proof := ans[0].Proof
+	// anc(adam,enoch) <- parent(adam,cain), anc(cain,enoch) <- parent(cain,enoch)
+	if proof.Size() != 4 {
+		t.Errorf("proof size = %d, want 4:\n%s", proof.Size(), proof)
+	}
+	if proof.Height() != 3 {
+		t.Errorf("proof height = %d, want 3:\n%s", proof.Height(), proof)
+	}
+	if len(proof.Children) != 2 {
+		t.Errorf("root should have two children:\n%s", proof)
+	}
+	if proof.Children[0].Rule != "fact" {
+		t.Errorf("first child should be a fact leaf: %s", proof.Children[0].Rule)
+	}
+}
+
+func TestSLDAgreesWithBottomUp(t *testing.T) {
+	src := `
+		edge(a, b). edge(b, c). edge(c, d). edge(b, d).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+	`
+	p := mustParse(t, src)
+	goal := NewAtom("tc", term.Var("X"), term.Var("Y"))
+	bottomUp, err := Query(p, nil, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sld := NewSLD(p)
+	topDown, err := sld.Prove(goal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buSet := map[string]bool{}
+	for _, s := range bottomUp {
+		buSet[s.String()] = true
+	}
+	if len(topDown) != len(bottomUp) {
+		t.Fatalf("top-down found %d answers, bottom-up %d", len(topDown), len(bottomUp))
+	}
+	for _, a := range topDown {
+		if !buSet[a.Bindings.String()] {
+			t.Errorf("SLD answer %s missing from bottom-up model", a.Bindings)
+		}
+	}
+}
+
+func TestSLDNegationAsFailure(t *testing.T) {
+	p := mustParse(t, `
+		node(a). node(b). edge(a, b).
+		haspar(Y) :- edge(X, Y).
+		root(X) :- node(X), not haspar(X).
+	`)
+	sld := NewSLD(p)
+	ans, err := sld.Prove(NewAtom("root", term.Var("X")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || ans[0].Bindings.String() != "{X/a}" {
+		t.Fatalf("root answers = %v", ans)
+	}
+	// The NAF step appears in the proof as a leaf.
+	found := false
+	var walk func(n *ProofNode)
+	walk = func(n *ProofNode) {
+		if n.Rule == "naf" {
+			found = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(ans[0].Proof)
+	if !found {
+		t.Error("expected a naf leaf in the proof tree")
+	}
+}
+
+func TestSLDBuiltins(t *testing.T) {
+	p := mustParse(t, `
+		n(a). n(b).
+		distinct(X, Y) :- n(X), n(Y), X != Y.
+	`)
+	sld := NewSLD(p)
+	ans, err := sld.Prove(NewAtom("distinct", term.Var("X"), term.Var("Y")), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("distinct answers = %d", len(ans))
+	}
+}
+
+func TestSLDDepthBound(t *testing.T) {
+	// Left recursion loops in SLD; the depth bound must turn that into an
+	// error rather than a hang.
+	p := mustParse(t, `
+		loop(X) :- loop(X).
+		loop(a).
+	`)
+	sld := NewSLD(p)
+	sld.MaxDepth = 32
+	if _, err := sld.Prove(NewAtom("loop", term.Const("b")), 0); err == nil {
+		t.Fatal("expected depth-bound error on left recursion")
+	}
+}
+
+func TestSLDMaxAnswers(t *testing.T) {
+	p := mustParse(t, `n(a). n(b). n(c).`)
+	sld := NewSLD(p)
+	ans, err := sld.Prove(NewAtom("n", term.Var("X")), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("max answers not honored: %d", len(ans))
+	}
+}

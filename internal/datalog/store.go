@@ -1,0 +1,178 @@
+package datalog
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Store holds ground facts grouped by predicate, with optional per-argument
+// hash indexes to accelerate joins. The zero value is not usable; call
+// NewStore.
+type Store struct {
+	rels     map[string]*relation
+	indexing bool
+}
+
+// NewStore returns an empty store with argument indexing enabled.
+func NewStore() *Store { return &Store{rels: map[string]*relation{}, indexing: true} }
+
+// NewStoreNoIndex returns an empty store with indexing disabled; used by the
+// indexing ablation benchmark.
+func NewStoreNoIndex() *Store { return &Store{rels: map[string]*relation{}} }
+
+type relation struct {
+	facts []Atom          // insertion order
+	seen  map[string]bool // fact key -> present
+	// index[pos][key] lists offsets into facts whose argument at pos has
+	// that term key. Built lazily per argument position.
+	index map[int]map[string][]int
+}
+
+func newRelation() *relation {
+	return &relation{seen: map[string]bool{}, index: map[int]map[string][]int{}}
+}
+
+// Insert adds a ground fact; it reports whether the fact was new.
+// Insert panics on a non-ground atom: stores hold only ground facts.
+func (s *Store) Insert(a Atom) bool {
+	if !a.IsGround() {
+		panic("datalog: Insert of non-ground atom " + a.String())
+	}
+	r := s.rels[a.Pred]
+	if r == nil {
+		r = newRelation()
+		s.rels[a.Pred] = r
+	}
+	k := a.Key()
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	pos := len(r.facts)
+	r.facts = append(r.facts, a)
+	if s.indexing {
+		for i, t := range a.Args {
+			m := r.index[i]
+			if m == nil {
+				m = map[string][]int{}
+				r.index[i] = m
+			}
+			tk := t.Key()
+			m[tk] = append(m[tk], pos)
+		}
+	}
+	return true
+}
+
+// Contains reports whether the ground atom is present.
+func (s *Store) Contains(a Atom) bool {
+	r := s.rels[a.Pred]
+	return r != nil && r.seen[a.Key()]
+}
+
+// Facts returns all facts for a predicate in insertion order. The slice must
+// not be modified.
+func (s *Store) Facts(pred string) []Atom {
+	r := s.rels[pred]
+	if r == nil {
+		return nil
+	}
+	return r.facts
+}
+
+// Len returns the total number of facts.
+func (s *Store) Len() int {
+	n := 0
+	for _, r := range s.rels {
+		n += len(r.facts)
+	}
+	return n
+}
+
+// Preds returns the predicates present, sorted.
+func (s *Store) Preds() []string {
+	var out []string
+	for p := range s.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Match calls fn for every stored fact of query.Pred that unifies with query
+// under an extension of base. fn receives the extended substitution (a fresh
+// clone per match) and may return false to stop early. Match uses an
+// argument index when the query has a ground argument position.
+func (s *Store) Match(query Atom, base term.Subst, fn func(term.Subst) bool) {
+	r := s.rels[query.Pred]
+	if r == nil {
+		return
+	}
+	candidates := r.facts
+	if s.indexing {
+		// Pick the most selective index among ground argument positions.
+		best := -1
+		var bestList []int
+		for i, t := range query.Args {
+			bound := base.Apply(t)
+			if !bound.IsGround() {
+				continue
+			}
+			m := r.index[i]
+			if m == nil {
+				continue
+			}
+			list := m[bound.Key()]
+			if best == -1 || len(list) < len(bestList) {
+				best, bestList = i, list
+			}
+		}
+		if best >= 0 {
+			for _, off := range bestList {
+				s2 := base.Clone()
+				if term.UnifyAll(query.Args, candidates[off].Args, s2) {
+					if !fn(s2) {
+						return
+					}
+				}
+			}
+			return
+		}
+	}
+	for _, f := range candidates {
+		if len(f.Args) != len(query.Args) {
+			continue
+		}
+		s2 := base.Clone()
+		if term.UnifyAll(query.Args, f.Args, s2) {
+			if !fn(s2) {
+				return
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	c := &Store{rels: map[string]*relation{}, indexing: s.indexing}
+	for _, r := range s.rels {
+		for _, f := range r.facts {
+			c.Insert(f)
+		}
+	}
+	return c
+}
+
+// String renders all facts sorted, one per line — handy in tests and the CLI.
+func (s *Store) String() string {
+	var lines []string
+	for _, p := range s.Preds() {
+		for _, f := range s.rels[p].facts {
+			lines = append(lines, f.String()+".")
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,136 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DepEdge is an edge of the predicate dependency graph: Head depends on Body
+// (positively or through negation).
+type DepEdge struct {
+	From, To string // From = head predicate, To = body predicate
+	Negative bool
+}
+
+// DependencyGraph returns the dependency edges of the program, deduplicated,
+// keeping an edge negative if any occurrence is negative.
+func DependencyGraph(p *Program) []DepEdge {
+	type key struct{ from, to string }
+	neg := map[key]bool{}
+	seen := map[key]bool{}
+	var order []key
+	for _, c := range p.Clauses {
+		for _, l := range c.Body {
+			if l.Atom.IsBuiltin() {
+				continue
+			}
+			k := key{c.Head.Pred, l.Atom.Pred}
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+			if l.Negated {
+				neg[k] = true
+			}
+		}
+	}
+	out := make([]DepEdge, len(order))
+	for i, k := range order {
+		out[i] = DepEdge{From: k.from, To: k.to, Negative: neg[k]}
+	}
+	return out
+}
+
+// Stratify assigns each predicate a stratum number such that positive
+// dependencies stay within or below a stratum and negative dependencies go
+// strictly below. It returns an error when the program is not stratifiable
+// (a negative edge participates in a dependency cycle).
+func Stratify(p *Program) (map[string]int, error) {
+	preds := p.Predicates()
+	stratum := map[string]int{}
+	for _, q := range preds {
+		stratum[q] = 0
+	}
+	edges := DependencyGraph(p)
+	// Standard iterative lifting; at most |preds| rounds, more means a
+	// negative cycle.
+	for round := 0; ; round++ {
+		changed := false
+		for _, e := range edges {
+			want := stratum[e.To]
+			if e.Negative {
+				want++
+			}
+			if stratum[e.From] < want {
+				stratum[e.From] = want
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > len(preds)+1 {
+			return nil, fmt.Errorf("datalog: program is not stratifiable: negation through recursion involving %s", findNegCycle(edges))
+		}
+	}
+	return stratum, nil
+}
+
+// findNegCycle names one predicate on a negative cycle, for diagnostics.
+func findNegCycle(edges []DepEdge) string {
+	adj := map[string][]DepEdge{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	var preds []string
+	for p := range adj {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, start := range preds {
+		// DFS looking for a cycle back to start that uses ≥1 negative edge.
+		type frame struct {
+			node   string
+			sawNeg bool
+		}
+		stack := []frame{{start, false}}
+		visited := map[frame]bool{}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[f] {
+				continue
+			}
+			visited[f] = true
+			for _, e := range adj[f.node] {
+				sawNeg := f.sawNeg || e.Negative
+				if e.To == start && sawNeg {
+					return start
+				}
+				stack = append(stack, frame{e.To, sawNeg})
+			}
+		}
+	}
+	return "(unknown)"
+}
+
+// Strata groups the program's clauses by the stratum of their head
+// predicate, lowest first.
+func Strata(p *Program) ([][]Clause, error) {
+	stratum, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]Clause, maxS+1)
+	for _, c := range p.Clauses {
+		s := stratum[c.Head.Pred]
+		out[s] = append(out[s], c)
+	}
+	return out, nil
+}

@@ -1,0 +1,263 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Tabled is a top-down evaluator with tabling (OLDT-style answer
+// memoization): answers for every subgoal variant are accumulated in
+// tables, and recursive calls consume tabled answers instead of re-deriving
+// them, so left-recursive programs — on which plain SLD loops — terminate.
+//
+// Tabling is goal-directed like SLD but complete like bottom-up: it
+// computes only the subgoal variants the query actually reaches, making it
+// the dynamic counterpart of the static magic-sets rewriting (the two are
+// compared by BenchmarkTabledVsMagic).
+//
+// Negated literals are checked against a bottom-up model of the program,
+// as in SLD, so answers agree with the stratified semantics.
+type Tabled struct {
+	prog    *Program
+	tables  map[string]*answerTable
+	model   *Store // lazily computed for NAF checks
+	renamer term.Renamer
+	// MaxRounds bounds the per-table fixpoint rounds, guarding against
+	// programs that grow terms without bound (tabling, like Datalog
+	// itself, assumes an essentially function-free active domain).
+	// 0 means the default (10000).
+	MaxRounds int
+}
+
+type answerTable struct {
+	goal    Atom // the canonical variant
+	answers []Atom
+	seen    map[string]bool
+}
+
+// NewTabled builds a tabled evaluator for the program.
+func NewTabled(p *Program) *Tabled {
+	return &Tabled{prog: p, tables: map[string]*answerTable{}}
+}
+
+// variantKey canonicalizes a goal up to variable renaming so that variant
+// subgoals share one table.
+func variantKey(a Atom) string {
+	memo := map[string]string{}
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	var walk func(t term.Term)
+	walk = func(t term.Term) {
+		switch t.Kind() {
+		case term.KindVar:
+			name, ok := memo[t.Name()]
+			if !ok {
+				name = fmt.Sprintf("_V%d", len(memo))
+				memo[t.Name()] = name
+			}
+			b.WriteString(name)
+		case term.KindNull:
+			b.WriteString("null")
+		case term.KindConst:
+			b.WriteString("c:")
+			b.WriteString(t.Name())
+		case term.KindCompound:
+			b.WriteString(t.Name())
+			b.WriteByte('(')
+			for i, arg := range t.Args() {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				walk(arg)
+			}
+			b.WriteByte(')')
+		}
+	}
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		walk(t)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Prove returns every substitution (restricted to the goal's variables)
+// making the goal true, in a deterministic order.
+func (tb *Tabled) Prove(goal Atom) ([]term.Subst, error) {
+	if goal.IsBuiltin() {
+		return nil, fmt.Errorf("datalog: cannot table a built-in goal %s", goal)
+	}
+	tab, err := tb.solve(goal)
+	if err != nil {
+		return nil, err
+	}
+	goalVars := map[string]bool{}
+	for _, v := range goal.Vars(nil) {
+		goalVars[v] = true
+	}
+	var out []term.Subst
+	seen := map[string]bool{}
+	for _, ans := range tab.answers {
+		s := term.Subst{}
+		if !term.UnifyAll(goal.Args, ans.Args, s) {
+			continue
+		}
+		restricted := term.Subst{}
+		for v := range goalVars {
+			restricted[v] = s.Apply(term.Var(v))
+		}
+		key := restricted.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, restricted)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+// solve registers the goal's variant and drives the global fixpoint: every
+// registered table is re-passed until no table grows and no new variant
+// appears. This is "tabling as goal-driven bottom-up": only variants the
+// query transitively reaches get tables, and each pass consumes the
+// answers accumulated so far, so mutual recursion converges without any
+// premature completion.
+func (tb *Tabled) solve(goal Atom) (*answerTable, error) {
+	tab := tb.ensureTable(goal)
+	maxRounds := tb.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 10000
+	}
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("datalog: tabling exceeded %d rounds on %s (non-terminating term growth?)", maxRounds, goal)
+		}
+		answersBefore := tb.totalAnswers()
+		tablesBefore := len(tb.tables)
+		var keys []string
+		for k := range tb.tables {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if err := tb.onePass(tb.tables[key]); err != nil {
+				return nil, err
+			}
+		}
+		if tb.totalAnswers() == answersBefore && len(tb.tables) == tablesBefore {
+			return tab, nil
+		}
+	}
+}
+
+// ensureTable registers a variant without driving it.
+func (tb *Tabled) ensureTable(goal Atom) *answerTable {
+	key := variantKey(goal)
+	if tab, ok := tb.tables[key]; ok {
+		return tab
+	}
+	tab := &answerTable{goal: goal, seen: map[string]bool{}}
+	tb.tables[key] = tab
+	return tab
+}
+
+// onePass runs every matching clause once against the table's goal.
+func (tb *Tabled) onePass(tab *answerTable) error {
+	goal := tab.goal
+	for _, c := range tb.prog.Clauses {
+		if c.Head.Pred != goal.Pred || c.Head.Arity() != goal.Arity() {
+			continue
+		}
+		rc := c.Rename(&tb.renamer)
+		s := term.Subst{}
+		if !term.UnifyAll(goal.Args, rc.Head.Args, s) {
+			continue
+		}
+		err := tb.solveBody(rc.Body, s, func(s2 term.Subst) error {
+			ans := rc.Head.Apply(s2)
+			if !ans.IsGround() {
+				return fmt.Errorf("datalog: tabled answer %s is not ground (unsafe clause %s)", ans, c)
+			}
+			k := ans.Key()
+			if !tab.seen[k] {
+				tab.seen[k] = true
+				tab.answers = append(tab.answers, ans)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tb *Tabled) totalAnswers() int {
+	n := 0
+	for _, t := range tb.tables {
+		n += len(t.answers)
+	}
+	return n
+}
+
+// solveBody enumerates substitutions satisfying the body left to right,
+// resolving positive non-builtin literals through tables.
+func (tb *Tabled) solveBody(body []Literal, s term.Subst, emit func(term.Subst) error) error {
+	if len(body) == 0 {
+		return emit(s)
+	}
+	l, rest := body[0], body[1:]
+	switch {
+	case l.Atom.Pred == BuiltinEq:
+		s2 := s.Clone()
+		if term.Unify(l.Atom.Args[0], l.Atom.Args[1], s2) {
+			return tb.solveBody(rest, s2, emit)
+		}
+		return nil
+	case l.Atom.Pred == BuiltinNeq:
+		inst := l.Atom.Apply(s)
+		if !inst.IsGround() {
+			return fmt.Errorf("datalog: tabled '!=' on non-ground goal %s", inst)
+		}
+		if !inst.Args[0].Equal(inst.Args[1]) {
+			return tb.solveBody(rest, s, emit)
+		}
+		return nil
+	case l.Negated:
+		inst := l.Atom.Apply(s)
+		if !inst.IsGround() {
+			return fmt.Errorf("datalog: tabled floundering on %s", l)
+		}
+		if tb.model == nil {
+			m, err := Eval(tb.prog, nil)
+			if err != nil {
+				return err
+			}
+			tb.model = m
+		}
+		if tb.model.Contains(inst) {
+			return nil
+		}
+		return tb.solveBody(rest, s, emit)
+	default:
+		call := l.Atom.Apply(s)
+		tab := tb.ensureTable(call)
+		// Consume the table's answers as they stand; outer fixpoint
+		// rounds pick up late answers.
+		for _, ans := range tab.answers {
+			s2 := s.Clone()
+			if term.UnifyAll(call.Args, ans.Args, s2) {
+				if err := tb.solveBody(rest, s2, emit); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,76 @@
+package datalog
+
+import "fmt"
+
+// EvalTrace computes the minimal model like Eval, additionally recording
+// for every fact the fixpoint stage at which it first appeared: stage 0
+// holds the EDB and stratum facts, and each naive round increments the
+// stage. The trace realizes the T_P operator's stage structure that the
+// paper's Theorem 6.1 proof sketch appeals to ("the goal τ(G)[θ] is
+// computed at step k by the fix-point operator T_Δr").
+//
+// The evaluation is naive (full rounds), because stage numbers are defined
+// by T_P iterations, not by semi-naive delta bookkeeping.
+func EvalTrace(p *Program, edb *Store) (*Store, map[string]int, error) {
+	if err := Validate(p); err != nil {
+		return nil, nil, err
+	}
+	strata, err := Strata(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	full := NewStore()
+	stages := map[string]int{}
+	if edb != nil {
+		for _, pred := range edb.Preds() {
+			for _, f := range edb.Facts(pred) {
+				if full.Insert(f) {
+					stages[f.Key()] = 0
+				}
+			}
+		}
+	}
+	var e Evaluator
+	// Offset so stages keep increasing across strata: a stratum's first
+	// round continues from the last stage of the previous stratum.
+	base := 0
+	for _, clauses := range strata {
+		var rules []Clause
+		for _, c := range clauses {
+			if c.IsFact() {
+				if !c.Head.IsGround() {
+					return nil, nil, fmt.Errorf("datalog: non-ground fact %s", c.Head)
+				}
+				if full.Insert(c.Head) {
+					stages[c.Head.Key()] = base
+				}
+			} else {
+				rules = append(rules, c)
+			}
+		}
+		for round := 1; ; round++ {
+			changed := false
+			var derived []Atom
+			for _, c := range rules {
+				err := e.solveBody(c, full, nil, -1, func(head Atom) error {
+					derived = append(derived, head)
+					return nil
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			for _, head := range derived {
+				if full.Insert(head) {
+					stages[head.Key()] = base + round
+					changed = true
+				}
+			}
+			if !changed {
+				base += round
+				break
+			}
+		}
+	}
+	return full, stages, nil
+}

@@ -1,0 +1,84 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// Validate checks every clause for safety (range restriction):
+//
+//   - every variable in the head occurs in a positive, non-built-in body
+//     literal (or is bound through '=' chains rooted in such literals);
+//   - every variable in a negated literal or in a '!=' built-in is bound
+//     the same way.
+//
+// Safe programs never flounder: the evaluator can always ground a negated
+// literal before testing it.
+func Validate(p *Program) error {
+	for _, c := range p.Clauses {
+		if err := ValidateClause(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateClause checks a single clause for safety.
+func ValidateClause(c Clause) error {
+	safe := map[string]bool{}
+	for _, l := range c.Body {
+		if !l.Negated && !l.Atom.IsBuiltin() {
+			for _, v := range l.Atom.Vars(nil) {
+				safe[v] = true
+			}
+		}
+	}
+	// Propagate through equalities: X = t makes X safe when all of t's
+	// variables are safe, and vice versa.
+	for changed := true; changed; {
+		changed = false
+		for _, l := range c.Body {
+			if l.Negated || l.Atom.Pred != BuiltinEq || len(l.Atom.Args) != 2 {
+				continue
+			}
+			lv, rv := l.Atom.Args[0].Vars(nil), l.Atom.Args[1].Vars(nil)
+			if allSafe(safe, lv) && !allSafe(safe, rv) {
+				for _, v := range rv {
+					safe[v] = true
+				}
+				changed = true
+			}
+			if allSafe(safe, rv) && !allSafe(safe, lv) {
+				for _, v := range lv {
+					safe[v] = true
+				}
+				changed = true
+			}
+		}
+	}
+	for _, v := range c.Head.Vars(nil) {
+		if !safe[v] {
+			return fmt.Errorf("datalog: unsafe clause %s: head variable %s is not range-restricted", c, v)
+		}
+	}
+	for _, l := range c.Body {
+		needGround := l.Negated || l.Atom.Pred == BuiltinNeq
+		if !needGround {
+			continue
+		}
+		for _, v := range l.Atom.Vars(nil) {
+			if !safe[v] {
+				return fmt.Errorf("datalog: unsafe clause %s: variable %s in %q is not range-restricted", c, v, l)
+			}
+		}
+	}
+	return nil
+}
+
+func allSafe(safe map[string]bool, vars []string) bool {
+	for _, v := range vars {
+		if !safe[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,517 @@
+// Package figures regenerates every figure of the paper from the
+// implementation, as printable text. cmd/benchfig is a thin wrapper around
+// this package; the package tests assert the content matches the paper, so
+// "regenerate Figure n" is a checked operation, not a formatting exercise.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/belief"
+	"repro/internal/datalog"
+	"repro/internal/jv"
+	"repro/internal/lattice"
+	"repro/internal/mls"
+	"repro/internal/mlsql"
+	"repro/internal/multilog"
+)
+
+const (
+	u = lattice.Unclassified
+	c = lattice.Classified
+	s = lattice.Secret
+)
+
+// Entry is one regenerable artifact.
+type Entry struct {
+	ID    string // "1".."13", "q1", "t1", "t2"
+	Title string
+	Run   func() (string, error)
+}
+
+// Index returns every artifact in paper order.
+func Index() []Entry {
+	return []Entry{
+		{"1", "Figure 1: the MLS relation Mission", Fig1},
+		{"2", "Figure 2: U level view of Mission", Fig2},
+		{"3", "Figure 3: a C level user view of Mission", Fig3},
+		{"4", "Figure 4: Jukic and Vrbsky's view of Mission", Fig4},
+		{"5", "Figure 5: interpretation of tuples at different levels", Fig5},
+		{"6", "Figure 6: conservative (firm) view of Mission at level C", Fig6},
+		{"7", "Figure 7: an optimistic view of Mission at level C", Fig7},
+		{"8", "Figure 8: cautious view of Mission at level C", Fig8},
+		{"9", "Figure 9: the MultiLog proof system (rule coverage)", Fig9},
+		{"10", "Figure 10: database D1", Fig10},
+		{"11", "Figure 11: proof tree for ⟨D1,c⟩ ⊢ c[p(k: a -R-> v)] << opt", Fig11},
+		{"12", "Figure 12: the MultiLog inference engine (reduction axioms)", Fig12},
+		{"13", "Figure 13: FILTER, FILTER-NULL and USER-BELIEF", Fig13},
+		{"q1", "§3.2: starships spying on Mars without any doubt", Q1},
+		{"t1", "Theorem 6.1: operational ≡ reduction semantics", T1},
+		{"t1s", "Theorem 6.1 proof sketch: fixpoint stages vs proof height", T1Stages},
+		{"t2", "Proposition 6.1: Datalog is a special case of MultiLog", T2},
+	}
+}
+
+// Fig1 prints the Mission relation.
+func Fig1() (string, error) {
+	return mls.Mission().Render(), nil
+}
+
+// Fig2 prints the U-level Jajodia-Sandhu view.
+func Fig2() (string, error) {
+	return mls.Mission().ViewAt(u, mls.ViewOptions{}).Render(), nil
+}
+
+// Fig3 prints the C-level view.
+func Fig3() (string, error) {
+	return mls.Mission().ViewAt(c, mls.ViewOptions{}).Render(), nil
+}
+
+// Fig4 prints the Jukic-Vrbsky labelled relation.
+func Fig4() (string, error) {
+	return jv.MissionJV().Render(), nil
+}
+
+// Fig5 prints the JV interpretation matrix.
+func Fig5() (string, error) {
+	r := jv.MissionJV()
+	levels := []lattice.Label{u, c, s}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-12s %-12s %-12s\n", "tuple", "U level", "C level", "S level")
+	matrix := r.InterpretAll(levels)
+	for i, row := range matrix {
+		fmt.Fprintf(&b, "%-10s", r.Tuples[i].Values[0])
+		for _, st := range row {
+			fmt.Fprintf(&b, " %-12s", st)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Fig6 prints the firm view at C.
+func Fig6() (string, error) {
+	return belief.FirmView(mls.Mission(), c).Render(), nil
+}
+
+// Fig7 prints the optimistic view at C, and the β delta (the suppressed
+// surprise stories).
+func Fig7() (string, error) {
+	var b strings.Builder
+	view := belief.OptimisticView(mls.Mission(), c)
+	b.WriteString(view.Render())
+	beta, err := belief.Beta(mls.Mission(), c, belief.Optimistic)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\nβ(Mission, C, opt) — surprise stories suppressed (§3.2):\n")
+	b.WriteString(beta.Render())
+	return b.String(), nil
+}
+
+// Fig8 prints the cautious view at C, and the β delta.
+func Fig8() (string, error) {
+	var b strings.Builder
+	view, err := belief.CautiousView(mls.Mission(), c)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(view.Render())
+	beta, err := belief.Beta(mls.Mission(), c, belief.Cautious)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\nβ(Mission, C, cau) — surprise stories suppressed (§3.2):\n")
+	b.WriteString(beta.Render())
+	return b.String(), nil
+}
+
+// fig9Cases exercises each proof rule once; shared with the tests.
+type fig9Case struct {
+	Rule  string
+	Sigma string
+	User  lattice.Label
+	Query string
+}
+
+func fig9Cases() []fig9Case {
+	return []fig9Case{
+		{multilog.RuleEmpty, `p(x).`, c, `p(x)`},
+		{multilog.RuleAnd, `p(x). q(y).`, c, `p(X), q(Y)`},
+		{multilog.RuleDeductionG, `p(x).`, c, `p(X)`},
+		{multilog.RuleDeductionGP, `c[p(k: a -c-> v)].`, s, `c[p(k: a -c-> V)]`},
+		{multilog.RuleBelief, `u[p(k: a -u-> v)].`, s, `s[p(k: a -u-> V)] << opt`},
+		{multilog.RuleDescendO, `u[p(k: a -u-> v)].`, s, `s[p(k: a -u-> V)] << opt`},
+		{multilog.RuleDescendC1, `c[p(k: a -c-> v)].`, s, `c[p(k: a -c-> V)] << cau`},
+		{multilog.RuleDescendC2, `u[p(k: a -u-> v)].`, s, `c[p(k: a -u-> V)] << cau`},
+		{multilog.RuleDescendC3, `u[p(k: a -c-> w)]. c[p(k: a -u-> x)].`, s, `c[p(k: a -C-> V)] << cau`},
+		{multilog.RuleDescendC4, `u[p(k: a -u-> w)]. c[p(k: a -c-> x)].`, s, `c[p(k: a -C-> V)] << cau`},
+		{multilog.RuleDeductionB, `u[p(k: a -u-> v)]. c[q(k: b -c-> y)] :- c[p(k: a -u-> v)] << opt.`, c, `c[q(k: b -c-> V)]`},
+		{multilog.RuleUserBelief, `u[p(k: a -u-> v)]. bel(p, k, a, v, u, L, myway) :- level(L).`, c, `c[p(k: a -u-> V)] << myway`},
+	}
+}
+
+// Fig9 proves one goal per proof rule and reports which rules the trees
+// used — the executable rendition of the Figure 9 rule table.
+func Fig9() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-34s %s\n", "rule", "probe goal", "exercised")
+	for _, cse := range fig9Cases() {
+		db, err := multilog.Parse(`
+			level(u). level(c). level(s). order(u, c). order(c, s).
+		` + cse.Sigma)
+		if err != nil {
+			return "", err
+		}
+		prover, err := multilog.NewProver(db, cse.User)
+		if err != nil {
+			return "", err
+		}
+		q, err := multilog.ParseGoals(cse.Query)
+		if err != nil {
+			return "", err
+		}
+		answers, err := prover.Prove(q, 0)
+		if err != nil {
+			return "", err
+		}
+		// DEDUCTION-B states ⊢^μ = ⊢ on non-m goals; it has no node of its
+		// own — its observable effect is the b-atom subproof (a BELIEF
+		// node) embedded in the derived clause's proof.
+		checkRule := cse.Rule
+		if cse.Rule == multilog.RuleDeductionB {
+			checkRule = multilog.RuleBelief
+		}
+		used := false
+		for _, a := range answers {
+			if a.Proof.Rules()[checkRule] {
+				used = true
+			}
+		}
+		fmt.Fprintf(&b, "%-14s %-34s %v\n", cse.Rule, cse.Query, used)
+	}
+	return b.String(), nil
+}
+
+// Fig10 prints the D1 database.
+func Fig10() (string, error) {
+	return multilog.D1().String(), nil
+}
+
+// Fig11 prints the proof tree for the Example 5.2 query.
+func Fig11() (string, error) {
+	prover, err := multilog.NewProver(multilog.D1(), c)
+	if err != nil {
+		return "", err
+	}
+	answers, err := prover.Prove(multilog.D1Query(), 0)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, a := range answers {
+		fmt.Fprintf(&b, "⟨D1, c⟩ ⊢%s %s\n\n%s", a.Bindings, multilog.D1Query(), a.Proof)
+	}
+	return b.String(), nil
+}
+
+// Fig12 prints the reduced D1 program — the Figure 12 axiom instances plus
+// the translated clauses — and cross-checks the engine's beliefs against
+// the declarative β on the Mission relation.
+func Fig12() (string, error) {
+	red, err := multilog.Reduce(multilog.D1(), c)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Reduced D1 at level c (τ(Δ) ∪ A):\n")
+	b.WriteString(red.Program.String())
+
+	b.WriteString("\nEngine beliefs vs. β on Mission (cells per level and mode):\n")
+	db, err := multilog.FromRelation(mls.Mission())
+	if err != nil {
+		return "", err
+	}
+	for _, lvl := range []lattice.Label{u, c, s} {
+		mred, err := multilog.Reduce(db, lvl)
+		if err != nil {
+			return "", err
+		}
+		for _, mode := range []multilog.Mode{multilog.ModeFir, multilog.ModeOpt, multilog.ModeCau} {
+			facts, err := mred.BeliefFacts(lvl, mode)
+			if err != nil {
+				return "", err
+			}
+			models, err := belief.BetaModels(mls.Mission(), lvl, belief.Mode(mode))
+			if err != nil {
+				return "", err
+			}
+			betaCells := map[string]bool{}
+			for _, m := range models {
+				for _, t := range m.Tuples {
+					for i, v := range t.Values {
+						val := v.Data
+						if v.Null {
+							val = "⊥"
+						}
+						betaCells[fmt.Sprintf("%s/%s/%s/%s", t.Values[0].Data, m.Scheme.Attrs[i], val, v.Class)] = true
+					}
+				}
+			}
+			status := "MATCH"
+			if len(betaCells) != len(facts) {
+				status = fmt.Sprintf("MISMATCH (%d vs %d)", len(facts), len(betaCells))
+			}
+			fmt.Fprintf(&b, "  level %s mode %s: %3d cells  %s\n", lvl, mode, len(facts), status)
+		}
+	}
+	return b.String(), nil
+}
+
+// Fig13 demonstrates the §7 extensions: the FILTER rules re-admitting the
+// surprise stories, and a user-defined belief mode.
+func Fig13() (string, error) {
+	var b strings.Builder
+	db, err := multilog.Parse(`
+		level(u). level(c). level(s). order(u, c). order(c, s).
+		s[mission(phantom: starship -u-> phantom; objective -s-> spying; destination -u-> omega)].
+	`)
+	if err != nil {
+		return "", err
+	}
+	run := func(filter bool) (int, error) {
+		prover, err := multilog.NewProver(db, c)
+		if err != nil {
+			return 0, err
+		}
+		prover.Filter = filter
+		goals, err := multilog.ParseGoals(`c[mission(phantom: objective -C-> V)]`)
+		if err != nil {
+			return 0, err
+		}
+		answers, err := prover.Prove(goals, 0)
+		if err != nil {
+			return 0, err
+		}
+		return len(answers), nil
+	}
+	off, err := run(false)
+	if err != nil {
+		return "", err
+	}
+	on, err := run(true)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "c[mission(phantom: objective -C-> V)] without FILTER: %d answers (no surprise story)\n", off)
+	fmt.Fprintf(&b, "c[mission(phantom: objective -C-> V)] with FILTER:    %d answer(s) — the null surfaces (FILTER-NULL)\n", on)
+
+	db2, err := multilog.Parse(`
+		level(u). level(c). level(s). order(u, c). order(c, s).
+		u[p(k: a -u-> v)].
+		bel(p, k, a, v, u, L, myway) :- level(L).
+	`)
+	if err != nil {
+		return "", err
+	}
+	prover, err := multilog.NewProver(db2, c)
+	if err != nil {
+		return "", err
+	}
+	goals, err := multilog.ParseGoals(`c[p(k: a -u-> V)] << myway`)
+	if err != nil {
+		return "", err
+	}
+	answers, err := prover.Prove(goals, 0)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "user-defined mode 'myway' via bel/7 (USER-BELIEF): %d answer(s)\n", len(answers))
+	return b.String(), nil
+}
+
+// Q1 runs the §3.2 belief-SQL query at every level.
+func Q1() (string, error) {
+	e := mlsql.NewEngine()
+	e.Register(mls.Mission())
+	var b strings.Builder
+	for _, lvl := range []lattice.Label{u, c, s} {
+		res, err := e.Execute(fmt.Sprintf(`
+			user context %s
+			select starship from mission m
+			where m.starship in (select starship from mission
+			                     where destination = mars and objective = spying
+			                     believed cautiously)
+			intersect (select starship from mission
+			           where destination = mars and objective = spying
+			           believed firmly)
+			intersect (select starship from mission
+			           where destination = mars and objective = spying
+			           believed optimistically)
+		`, lvl))
+		if err != nil {
+			return "", err
+		}
+		var names []string
+		for _, row := range res.Rows {
+			names = append(names, row[0])
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "user context %s: spying on mars without any doubt = {%s}\n", lvl, strings.Join(names, ", "))
+	}
+	return b.String(), nil
+}
+
+// T1 verifies Theorem 6.1 on D1 and a family of seeded programs, reporting
+// agreement counts.
+func T1() (string, error) {
+	probe := func(db *multilog.Database, levels []lattice.Label, queries []string) (agree, total int, err error) {
+		for _, lvl := range levels {
+			red, err := multilog.Reduce(db, lvl)
+			if err != nil {
+				return 0, 0, err
+			}
+			prover, err := multilog.NewProver(db, lvl)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, qsrc := range queries {
+				q, err := multilog.ParseGoals(qsrc)
+				if err != nil {
+					return 0, 0, err
+				}
+				ra, err := red.Query(q)
+				if err != nil {
+					return 0, 0, err
+				}
+				oa, err := prover.Prove(q, 0)
+				if err != nil {
+					return 0, 0, err
+				}
+				total++
+				rset := map[string]bool{}
+				for _, a := range ra {
+					rset[a.Bindings.String()] = true
+				}
+				same := len(rset) == len(oa)
+				for _, a := range oa {
+					if !rset[a.Bindings.String()] {
+						same = false
+					}
+				}
+				if same {
+					agree++
+				}
+			}
+		}
+		return agree, total, nil
+	}
+	var b strings.Builder
+	agree, total, err := probe(multilog.D1(), []lattice.Label{u, c, s}, []string{
+		`c[p(k: a -R-> v)] << opt`, `L[p(k: a -C-> V)]`,
+		`L[p(k: a -C-> V)] << fir`, `L[p(k: a -C-> V)] << opt`, `L[p(k: a -C-> V)] << cau`,
+	})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "D1: %d/%d probe queries agree between ⊢ and lfp(T_Δr)\n", agree, total)
+	return b.String(), nil
+}
+
+// T1Stages prints the T_Δr fixpoint stage of every fact of the reduced D1
+// next to the operational proof heights — the correlation the Theorem 6.1
+// proof sketch rests on ("if the proof tree has height k, then the goal is
+// computed at step k by the fix-point operator").
+func T1Stages() (string, error) {
+	red, err := multilog.Reduce(multilog.D1(), s)
+	if err != nil {
+		return "", err
+	}
+	model, stages, err := datalog.EvalTrace(red.Program, nil)
+	if err != nil {
+		return "", err
+	}
+	type row struct {
+		fact  string
+		stage int
+	}
+	var rows []row
+	for _, pred := range model.Preds() {
+		if !strings.HasPrefix(pred, "mlrel_") && !strings.HasPrefix(pred, "mlbel_") {
+			continue
+		}
+		for _, f := range model.Facts(pred) {
+			rows = append(rows, row{f.String(), stages[f.Key()]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].stage != rows[j].stage {
+			return rows[i].stage < rows[j].stage
+		}
+		return rows[i].fact < rows[j].fact
+	})
+	var b strings.Builder
+	b.WriteString("T_Δr stages for D1 at level s (rel and bel facts):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  stage %d  %s\n", r.stage, r.fact)
+	}
+
+	prover, err := multilog.NewProver(multilog.D1(), s)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\noperational proof heights:\n")
+	for _, qsrc := range []string{
+		`u[p(k: a -u-> v)]`,
+		`c[p(k: a -c-> t)]`,
+		`s[p(k: a -u-> v)]`,
+	} {
+		q, err := multilog.ParseGoals(qsrc)
+		if err != nil {
+			return "", err
+		}
+		answers, err := prover.Prove(q, 0)
+		if err != nil {
+			return "", err
+		}
+		for _, a := range answers {
+			fmt.Fprintf(&b, "  height %d  %s\n", a.Proof.Height(), qsrc)
+		}
+	}
+	return b.String(), nil
+}
+
+// T2 verifies Proposition 6.1 on classical programs.
+func T2() (string, error) {
+	src := `
+		level(system).
+		parent(adam, cain). parent(cain, enoch). parent(enoch, irad).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Z) :- parent(X, Y), anc(Y, Z).
+	`
+	db, err := multilog.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	red, err := multilog.Reduce(db, "system")
+	if err != nil {
+		return "", err
+	}
+	q, err := multilog.ParseGoals(`anc(adam, W)`)
+	if err != nil {
+		return "", err
+	}
+	answers, err := red.Query(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Datalog program ancestor/2 run as a MultiLog database with Λ = Σ = ∅:\n")
+	for _, a := range answers {
+		fmt.Fprintf(&b, "  anc(adam, W) %s\n", a.Bindings)
+	}
+	fmt.Fprintf(&b, "%d answers — identical to the classical engine (see multilog.TestProposition61)\n", len(answers))
+	return b.String(), nil
+}

@@ -1,0 +1,94 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every artifact regenerates without error and non-trivially.
+func TestIndexRunsClean(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Index() {
+		if ids[e.ID] {
+			t.Errorf("duplicate artifact id %s", e.ID)
+		}
+		ids[e.ID] = true
+		out, err := e.Run()
+		if err != nil {
+			t.Errorf("%s (%s): %v", e.ID, e.Title, err)
+			continue
+		}
+		if len(strings.TrimSpace(out)) == 0 {
+			t.Errorf("%s (%s): empty output", e.ID, e.Title)
+		}
+	}
+	for _, want := range []string{"1", "13", "q1", "t1", "t2"} {
+		if !ids[want] {
+			t.Errorf("missing artifact %s", want)
+		}
+	}
+}
+
+// Spot checks that the regenerated artifacts carry the paper's content.
+func TestFigureContent(t *testing.T) {
+	checks := map[string][]string{
+		"1":  {"avenger S", "phantom C", "eagle U"},
+		"2":  {"⊥ U", "omega U"},
+		"3":  {"⊥ C"},
+		"4":  {"UCS", "U-S", "C-S"},
+		"5":  {"cover story", "mirage", "irrelevant", "invisible"},
+		"6":  {"atlantis U"},
+		"7":  {"surprise stories suppressed"},
+		"8":  {"phantom C", "surprise stories suppressed"},
+		"9":  {"descend-c4", "user-belief", "true"},
+		"10": {"order(u, c)", "<< cau"},
+		"11": {"{R/u}", "descend-o", "belief"},
+		"12": {"mlbel_p_c_cau", "dominate(X, Y) :- order(X, Y).", "MATCH"},
+		"13": {"FILTER", "myway"},
+		"q1": {"user context s: spying on mars without any doubt = {voyager}"},
+		"t1": {"15/15"},
+		"t2": {"{W/cain}", "3 answers"},
+	}
+	for _, e := range Index() {
+		wants, ok := checks[e.ID]
+		if !ok {
+			continue
+		}
+		out, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("artifact %s output missing %q:\n%s", e.ID, w, out)
+			}
+		}
+	}
+}
+
+// Figure 9's coverage table must report every rule as exercised.
+func TestFig9AllRulesExercised(t *testing.T) {
+	out, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		if !strings.HasSuffix(strings.TrimSpace(line), "true") {
+			t.Errorf("rule not exercised: %s", line)
+		}
+	}
+}
+
+// Figure 12's cross-check must report MATCH on every (level, mode) pair.
+func TestFig12AllMatch(t *testing.T) {
+	out, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("engine/β mismatch:\n%s", out)
+	}
+	if strings.Count(out, "MATCH") != 9 {
+		t.Errorf("expected 9 (level, mode) MATCH lines:\n%s", out)
+	}
+}

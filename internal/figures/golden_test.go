@@ -1,0 +1,54 @@
+package figures
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// The deterministic artifacts are locked byte-for-byte against golden
+// files: any change to a figure's content or layout must be reviewed via
+// `go test ./internal/figures -run Golden -update`.
+func TestGoldenFigures(t *testing.T) {
+	deterministic := map[string]bool{
+		"1": true, "2": true, "3": true, "4": true, "5": true,
+		"6": true, "7": true, "8": true, "9": true, "10": true,
+		"11": true, "13": true, "q1": true, "t1": true, "t1s": true, "t2": true,
+		// "12" prints the whole reduced program; its clause order is
+		// deterministic too, so lock it as well.
+		"12": true,
+	}
+	for _, e := range Index() {
+		if !deterministic[e.ID] {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			got, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "fig"+e.ID+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("artifact %s drifted from its golden file.\n--- got ---\n%s\n--- want ---\n%s",
+					e.ID, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package jv
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+// FromJournal derives a Jukic-Vrbsky belief-labelled relation from an
+// audited MLS relation: the journal records which subject wrote which
+// value, which is exactly the information JV's labels encode and plain
+// MLS relations discard. The derivation rules:
+//
+//   - every subject with a version of a key (a write at its level)
+//     contributes one JV row holding its latest cell values;
+//   - a cell value is *believed* by the writing subject and by every
+//     subject whose own latest value for that cell agrees;
+//   - a cell value is *denied* by every strictly dominating subject whose
+//     own latest value differs — the lower value is a cover story from
+//     the higher subject's point of view (Figure 4's "U-S" labels);
+//   - the key attribute is believed by every subject holding a version
+//     (the entity's existence is shared), so an overwritten tuple reads
+//     as a *cover story* at the denier, not a *mirage*.
+//
+// Mirages (denial of the entity itself, Figure 5's t9) require an explicit
+// denial assertion that no relational update expresses; they remain
+// manual, via Label.Denied.
+func FromJournal(j *mls.Journal) (*Relation, error) {
+	scheme := j.Relation().Scheme
+	out, err := NewRelation(scheme.Name, scheme.Poset, scheme.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	type versionKey struct {
+		key     string
+		subject lattice.Label
+	}
+	// Latest cell values per (key, subject, attr), from the journal.
+	latest := map[versionKey][]string{}
+	var order []versionKey
+	touch := func(vk versionKey) []string {
+		if _, ok := latest[vk]; !ok {
+			latest[vk] = make([]string, len(scheme.Attrs))
+			order = append(order, vk)
+		}
+		return latest[vk]
+	}
+	for _, op := range j.Ops() {
+		switch op.Kind {
+		case mls.OpInsert:
+			if len(op.Data) != len(scheme.Attrs) {
+				return nil, fmt.Errorf("jv: journaled insert arity mismatch")
+			}
+			vk := versionKey{op.Data[scheme.KeyIdx], op.Subject}
+			copy(touch(vk), op.Data)
+		case mls.OpUpdate:
+			ai := scheme.AttrIndex(op.Attr)
+			if ai < 0 {
+				return nil, fmt.Errorf("jv: journaled update of unknown attribute %s", op.Attr)
+			}
+			vk := versionKey{op.Key, op.Subject}
+			vals := touch(vk)
+			if vals[scheme.KeyIdx] == "" {
+				// First touch by this subject: inherit the visible cells
+				// of lower versions, then overwrite.
+				vals[scheme.KeyIdx] = op.Key
+				for i := range vals {
+					if i == scheme.KeyIdx || vals[i] != "" {
+						continue
+					}
+					for _, lk := range order {
+						if lk.key == op.Key && scheme.Poset.StrictlyDominates(op.Subject, lk.subject) &&
+							latest[lk][i] != "" {
+							vals[i] = latest[lk][i]
+						}
+					}
+				}
+			}
+			vals[ai] = op.NewValue
+		case mls.OpDelete:
+			// The subject's own version disappears, but its historical
+			// assertions stay in the journal; JV keeps the belief row —
+			// that is the point: t4 survives U's delete as U's belief.
+		}
+	}
+
+	// Build rows: one per (key, subject) version, labels from agreement
+	// and denial across versions of the same key.
+	for _, vk := range order {
+		vals := latest[vk]
+		if vals[scheme.KeyIdx] == "" {
+			continue
+		}
+		row := Tuple{Values: append([]string(nil), vals...)}
+		var tcBel, tcDen []lattice.Label
+		for i := range scheme.Attrs {
+			lbl := Label{}
+			for _, other := range order {
+				if other.key != vk.key {
+					continue
+				}
+				ov := latest[other]
+				switch {
+				case i == scheme.KeyIdx:
+					// Key: every version holder believes the entity.
+					lbl.Believers = appendLevel(lbl.Believers, other.subject)
+				case ov[i] == vals[i] && ov[i] != "":
+					lbl.Believers = appendLevel(lbl.Believers, other.subject)
+				case ov[i] != "" && scheme.Poset.StrictlyDominates(other.subject, vk.subject):
+					lbl.Deniers = appendLevel(lbl.Deniers, other.subject)
+				}
+			}
+			if len(lbl.Believers) == 0 {
+				lbl.Believers = []lattice.Label{vk.subject}
+			}
+			row.Labels = append(row.Labels, lbl)
+			if i == scheme.KeyIdx {
+				continue
+			}
+			tcBel = mergeLevels(tcBel, lbl.Believers)
+			tcDen = mergeLevels(tcDen, lbl.Deniers)
+		}
+		// The tuple class: believed where every cell is believed, denied
+		// where any cell is denied.
+		row.TC = Label{Believers: intersectBelievers(row.Labels, scheme.KeyIdx), Deniers: tcDen}
+		if len(row.TC.Believers) == 0 {
+			row.TC.Believers = []lattice.Label{vk.subject}
+		}
+		// A level cannot both believe and deny; belief (its own latest
+		// agreement) wins.
+		row.TC.Deniers = subtractLevels(row.TC.Deniers, row.TC.Believers)
+		if err := out.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func appendLevel(ls []lattice.Label, l lattice.Label) []lattice.Label {
+	for _, m := range ls {
+		if m == l {
+			return ls
+		}
+	}
+	return append(ls, l)
+}
+
+func mergeLevels(a, b []lattice.Label) []lattice.Label {
+	for _, l := range b {
+		a = appendLevel(a, l)
+	}
+	return a
+}
+
+func subtractLevels(a, b []lattice.Label) []lattice.Label {
+	var out []lattice.Label
+	for _, l := range a {
+		drop := false
+		for _, m := range b {
+			if l == m {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// intersectBelievers returns the levels believing every non-key cell.
+func intersectBelievers(labels []Label, keyIdx int) []lattice.Label {
+	var out []lattice.Label
+	first := true
+	for i, lbl := range labels {
+		if i == keyIdx {
+			continue
+		}
+		if first {
+			out = append([]lattice.Label(nil), lbl.Believers...)
+			first = false
+			continue
+		}
+		var kept []lattice.Label
+		for _, l := range out {
+			if lbl.Believes(l) {
+				kept = append(kept, l)
+			}
+		}
+		out = kept
+	}
+	return out
+}

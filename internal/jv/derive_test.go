@@ -1,0 +1,130 @@
+package jv
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+// The Phantom narrative of §3, through the journal, derives the Figure 4
+// label pattern: the U version becomes "objective U-S" (U believes the
+// cover story, S denies it) with key "US", and the S version gets
+// objective "S".
+func TestFromJournalPhantomLabels(t *testing.T) {
+	j := mls.NewJournal(mls.MissionScheme())
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Insert(u, "phantom", "smuggling", "omega"))
+	must(j.Update(s, "phantom", u, mls.AttrObjective, "spying"))
+	must(j.Delete(u, "phantom"))
+
+	rel, err := FromJournal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Tuples) != 2 {
+		t.Fatalf("want the U and S versions, got %d rows:\n%s", len(rel.Tuples), rel.Render())
+	}
+	var uRow, sRow *Tuple
+	for i := range rel.Tuples {
+		switch {
+		case rel.Tuples[i].TC.Believes(u):
+			uRow = &rel.Tuples[i]
+		case rel.Tuples[i].TC.Believes(s):
+			sRow = &rel.Tuples[i]
+		}
+	}
+	if uRow == nil || sRow == nil {
+		t.Fatalf("rows not attributable:\n%s", rel.Render())
+	}
+	// U's version: smuggling believed at U, denied at S; the key is shared.
+	if got := uRow.Labels[1].Render(rel.Poset); got != "U-S" {
+		t.Errorf("U objective label = %s, want U-S", got)
+	}
+	if got := uRow.Labels[0].Render(rel.Poset); got != "US" {
+		t.Errorf("U key label = %s, want US", got)
+	}
+	if uRow.Values[1] != "smuggling" {
+		t.Errorf("U objective = %s", uRow.Values[1])
+	}
+	// S's version carries the real objective, believed only at S.
+	if sRow.Values[1] != "spying" {
+		t.Errorf("S objective = %s", sRow.Values[1])
+	}
+	if got := sRow.Labels[1].Render(rel.Poset); got != "S" {
+		t.Errorf("S objective label = %s, want S", got)
+	}
+	// The shared destination is believed by both versions' subjects.
+	if got := sRow.Labels[2].Render(rel.Poset); got != "US" {
+		t.Errorf("S destination label = %s, want US", got)
+	}
+
+	// Interpretations follow Figure 5's t4/t4' pattern.
+	if got := rel.Interpret(*uRow, u); got != True {
+		t.Errorf("U row at U = %s, want true", got)
+	}
+	if got := rel.Interpret(*uRow, c); got != Irrelevant {
+		t.Errorf("U row at C = %s, want irrelevant", got)
+	}
+	if got := rel.Interpret(*uRow, s); got != CoverStory {
+		t.Errorf("U row at S = %s, want cover story", got)
+	}
+	if got := rel.Interpret(*sRow, u); got != Invisible {
+		t.Errorf("S row at U = %s, want invisible", got)
+	}
+	if got := rel.Interpret(*sRow, s); got != True {
+		t.Errorf("S row at S = %s, want true", got)
+	}
+}
+
+// Agreement across levels merges into multi-level believer sets (the t2
+// "UCS" pattern): three subjects inserting the same tuple.
+func TestFromJournalAgreement(t *testing.T) {
+	j := mls.NewJournal(mls.MissionScheme())
+	for _, lvl := range []lattice.Label{u, c, s} {
+		if err := j.Insert(lvl, "atlantis", "diplomacy", "vulcan"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, err := FromJournal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Tuples) != 3 {
+		t.Fatalf("rows = %d", len(rel.Tuples))
+	}
+	for _, row := range rel.Tuples {
+		if got := row.TC.Render(rel.Poset); got != "UCS" {
+			t.Errorf("TC = %s, want UCS", got)
+		}
+		for i, lbl := range row.Labels {
+			if got := lbl.Render(rel.Poset); got != "UCS" {
+				t.Errorf("label %d = %s, want UCS", i, got)
+			}
+		}
+	}
+	// Everyone interprets every version as true.
+	for _, row := range rel.Tuples {
+		for _, lvl := range []lattice.Label{u, c, s} {
+			if got := rel.Interpret(row, lvl); got != True {
+				t.Errorf("at %s = %s, want true", lvl, got)
+			}
+		}
+	}
+}
+
+func TestFromJournalEmpty(t *testing.T) {
+	j := mls.NewJournal(mls.MissionScheme())
+	rel, err := FromJournal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Tuples) != 0 {
+		t.Errorf("empty journal should derive an empty relation")
+	}
+}

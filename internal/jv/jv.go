@@ -1,0 +1,241 @@
+// Package jv implements the Jukic-Vrbsky belief model [16], the baseline
+// the paper contrasts with MultiLog in §3 (Figures 4 and 5). JV enrich MLS
+// tuples with belief labels: for every cell (and for the tuple as a whole)
+// the label records which levels *believe* the value and which levels
+// *deny* it (know it to be a cover story). The interpretation of a tuple at
+// a level is then fixed: true, invisible, irrelevant, cover story or
+// mirage — the paper criticises exactly this fixedness ("the Jukic-Vrbsky
+// model is too restrictive and has only fixed interpretations", §3.1).
+package jv
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// Status is the interpretation of a tuple at a level (Figure 5).
+type Status int
+
+const (
+	// Invisible: the subject's clearance does not reach the tuple.
+	Invisible Status = iota
+	// True: the subject's level believes the tuple.
+	True
+	// Irrelevant: visible, but the level neither asserted nor denied it.
+	Irrelevant
+	// CoverStory: the level knows the tuple is a cover story for lower
+	// levels (it believes the entity exists but not this version of it).
+	CoverStory
+	// Mirage: the level knows even the entity does not exist.
+	Mirage
+)
+
+// String renders the status as in Figure 5.
+func (s Status) String() string {
+	switch s {
+	case Invisible:
+		return "invisible"
+	case True:
+		return "true"
+	case Irrelevant:
+		return "irrelevant"
+	case CoverStory:
+		return "cover story"
+	case Mirage:
+		return "mirage"
+	}
+	return "?"
+}
+
+// Label is a JV belief label: the set of levels that believe the value and
+// the set that deny it. Figure 4 renders believers as concatenated level
+// names ("UCS") and deniers with a '-' prefix ("U-S" = believed at U,
+// denied at S).
+type Label struct {
+	Believers []lattice.Label
+	Deniers   []lattice.Label
+}
+
+// Bel builds a label with the given believers.
+func Bel(levels ...lattice.Label) Label { return Label{Believers: levels} }
+
+// Denied adds deniers to a label.
+func (l Label) Denied(levels ...lattice.Label) Label {
+	l.Deniers = append(append([]lattice.Label(nil), l.Deniers...), levels...)
+	return l
+}
+
+// Believes reports whether level is among the believers.
+func (l Label) Believes(level lattice.Label) bool { return containsLevel(l.Believers, level) }
+
+// Denies reports whether level is among the deniers.
+func (l Label) Denies(level lattice.Label) bool { return containsLevel(l.Deniers, level) }
+
+func containsLevel(ls []lattice.Label, l lattice.Label) bool {
+	for _, m := range ls {
+		if m == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Render prints the label in Figure 4's notation, ordering levels bottom-up
+// according to the poset.
+func (l Label) Render(p *lattice.Poset) string {
+	var b strings.Builder
+	for _, lev := range p.TopoOrder() {
+		if l.Believes(lev) {
+			b.WriteString(strings.ToUpper(string(lev)))
+		}
+	}
+	for _, lev := range p.TopoOrder() {
+		if l.Denies(lev) {
+			b.WriteString("-")
+			b.WriteString(strings.ToUpper(string(lev)))
+		}
+	}
+	return b.String()
+}
+
+// Tuple is a JV multilevel tuple: data values with per-attribute belief
+// labels, plus the tuple-level label TC.
+type Tuple struct {
+	Values []string
+	Labels []Label
+	TC     Label
+}
+
+// Relation is a JV relation: a scheme (attribute names, first is the key)
+// over a level poset, plus tuples.
+type Relation struct {
+	Name   string
+	Attrs  []string
+	Poset  *lattice.Poset
+	Tuples []Tuple
+}
+
+// NewRelation builds an empty JV relation; the first attribute is the key.
+func NewRelation(name string, p *lattice.Poset, attrs ...string) (*Relation, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("jv: relation %s needs at least one attribute", name)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Relation{Name: name, Attrs: attrs, Poset: p}, nil
+}
+
+// Insert validates label well-formedness and appends the tuple: every label
+// level must be declared, believers and deniers must be disjoint, and every
+// label must have at least one believer (someone asserted the value).
+func (r *Relation) Insert(t Tuple) error {
+	if len(t.Values) != len(r.Attrs) || len(t.Labels) != len(r.Attrs) {
+		return fmt.Errorf("jv: %s: tuple arity mismatch", r.Name)
+	}
+	check := func(l Label, what string) error {
+		if len(l.Believers) == 0 {
+			return fmt.Errorf("jv: %s: %s has no believers", r.Name, what)
+		}
+		for _, lev := range append(append([]lattice.Label(nil), l.Believers...), l.Deniers...) {
+			if !r.Poset.Has(lev) {
+				return fmt.Errorf("jv: %s: %s uses undeclared level %q", r.Name, what, lev)
+			}
+		}
+		for _, lev := range l.Believers {
+			if l.Denies(lev) {
+				return fmt.Errorf("jv: %s: %s both believed and denied at %s", r.Name, what, lev)
+			}
+		}
+		return nil
+	}
+	for i, l := range t.Labels {
+		if err := check(l, "attribute "+r.Attrs[i]); err != nil {
+			return err
+		}
+	}
+	if err := check(t.TC, "TC"); err != nil {
+		return err
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// MustInsert is Insert panicking on error, for static datasets.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// Visible reports whether a subject at level sees the tuple: the clearance
+// must dominate some believer of the tuple label (the lowest level that
+// asserted the tuple bounds its visibility from below).
+func (r *Relation) Visible(t Tuple, level lattice.Label) bool {
+	for _, b := range t.TC.Believers {
+		if r.Poset.Dominates(level, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Interpret returns the fixed JV interpretation of the tuple at the level
+// (the Figure 5 table):
+//
+//	invisible    when the tuple is not visible at the level;
+//	true         when the level believes the tuple;
+//	cover story  when the level denies the tuple but believes its key
+//	             (the entity exists, this version of it is a lie);
+//	mirage       when the level denies the tuple and its key
+//	             (even the entity is a lie);
+//	irrelevant   when the tuple is visible but the level has no stake.
+func (r *Relation) Interpret(t Tuple, level lattice.Label) Status {
+	if !r.Visible(t, level) {
+		return Invisible
+	}
+	switch {
+	case t.TC.Believes(level):
+		return True
+	case t.TC.Denies(level):
+		if t.Labels[0].Believes(level) {
+			return CoverStory
+		}
+		return Mirage
+	default:
+		return Irrelevant
+	}
+}
+
+// InterpretAll returns the Figure 5 matrix: for each tuple, its status at
+// each of the given levels.
+func (r *Relation) InterpretAll(levels []lattice.Label) [][]Status {
+	out := make([][]Status, len(r.Tuples))
+	for i, t := range r.Tuples {
+		row := make([]Status, len(levels))
+		for j, l := range levels {
+			row[j] = r.Interpret(t, l)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Render prints the relation in Figure 4's layout.
+func (r *Relation) Render() string {
+	var b strings.Builder
+	for _, a := range r.Attrs {
+		fmt.Fprintf(&b, "%s | ", a)
+	}
+	b.WriteString("TC\n")
+	for _, t := range r.Tuples {
+		for i, v := range t.Values {
+			fmt.Fprintf(&b, "%s %s | ", v, t.Labels[i].Render(r.Poset))
+		}
+		b.WriteString(t.TC.Render(r.Poset))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package jv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+const (
+	u = lattice.Unclassified
+	c = lattice.Classified
+	s = lattice.Secret
+)
+
+// Figure 4: the JV label rendering of Mission.
+func TestFig4Labels(t *testing.T) {
+	r := MissionJV()
+	want := []struct {
+		key, keyLabel, tcLabel string
+	}{
+		{"avenger", "S", "S"},
+		{"atlantis", "UCS", "UCS"},
+		{"voyager", "US", "S"},
+		{"phantom", "US", "U-S"},
+		{"phantom", "US", "S"},
+		{"phantom", "CS", "S"},
+		{"phantom", "CS", "C-S"},
+		{"voyager", "US", "U-S"},
+		{"falcon", "U-S", "U-S"},
+		{"eagle", "U", "U"},
+	}
+	if len(r.Tuples) != len(want) {
+		t.Fatalf("Figure 4 has %d rows, got %d", len(want), len(r.Tuples))
+	}
+	for i, w := range want {
+		tp := r.Tuples[i]
+		if tp.Values[0] != w.key {
+			t.Errorf("row %d key = %s, want %s", i+1, tp.Values[0], w.key)
+		}
+		if got := tp.Labels[0].Render(r.Poset); got != w.keyLabel {
+			t.Errorf("row %d key label = %s, want %s", i+1, got, w.keyLabel)
+		}
+		if got := tp.TC.Render(r.Poset); got != w.tcLabel {
+			t.Errorf("row %d TC label = %s, want %s", i+1, got, w.tcLabel)
+		}
+	}
+}
+
+// Figure 5: the interpretation of every tuple at U, C and S.
+func TestFig5Interpretations(t *testing.T) {
+	r := MissionJV()
+	want := [][]Status{
+		{Invisible, Invisible, True},   // t1
+		{True, True, True},             // t2
+		{Invisible, Invisible, True},   // t3
+		{True, Irrelevant, CoverStory}, // t4
+		{Invisible, Invisible, True},   // t4'
+		{Invisible, Invisible, True},   // t5
+		{Invisible, True, CoverStory},  // t5'
+		{True, Irrelevant, CoverStory}, // t8
+		{True, Irrelevant, Mirage},     // t9
+		{True, Irrelevant, Irrelevant}, // t10
+	}
+	got := r.InterpretAll([]lattice.Label{u, c, s})
+	if len(got) != len(want) {
+		t.Fatalf("matrix has %d rows", len(got))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("row %d level %d: got %s, want %s", i+1, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestLabelRendering(t *testing.T) {
+	p := lattice.UCS()
+	cases := []struct {
+		l    Label
+		want string
+	}{
+		{Bel(u, c, s), "UCS"},
+		{Bel(u, s), "US"},
+		{Bel(u).Denied(s), "U-S"},
+		{Bel(c).Denied(s), "C-S"},
+		{Bel(s), "S"},
+	}
+	for _, cse := range cases {
+		if got := cse.l.Render(p); got != cse.want {
+			t.Errorf("Render(%v) = %q, want %q", cse.l, got, cse.want)
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	r, err := NewRelation("r", lattice.UCS(), "k", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arity mismatch.
+	if err := r.Insert(Tuple{Values: []string{"x"}, Labels: []Label{Bel(u)}, TC: Bel(u)}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	// No believers.
+	if err := r.Insert(Tuple{Values: []string{"x", "y"}, Labels: []Label{Bel(u), {}}, TC: Bel(u)}); err == nil {
+		t.Error("label without believers must fail")
+	}
+	// Undeclared level.
+	if err := r.Insert(Tuple{Values: []string{"x", "y"}, Labels: []Label{Bel(u), Bel("zz")}, TC: Bel(u)}); err == nil {
+		t.Error("undeclared level must fail")
+	}
+	// Believe and deny at once.
+	if err := r.Insert(Tuple{Values: []string{"x", "y"}, Labels: []Label{Bel(u), Bel(u).Denied(u)}, TC: Bel(u)}); err == nil {
+		t.Error("level cannot both believe and deny")
+	}
+	// Valid.
+	if err := r.Insert(Tuple{Values: []string{"x", "y"}, Labels: []Label{Bel(u), Bel(u).Denied(s)}, TC: Bel(u)}); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	r := MissionJV()
+	// t5' (index 6) has TC believed at C only: invisible to U, visible to C and S.
+	t5p := r.Tuples[6]
+	if r.Visible(t5p, u) {
+		t.Error("t5' must be invisible at U")
+	}
+	if !r.Visible(t5p, c) || !r.Visible(t5p, s) {
+		t.Error("t5' must be visible at C and S")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Invisible: "invisible", True: "true", Irrelevant: "irrelevant",
+		CoverStory: "cover story", Mirage: "mirage",
+	} {
+		if st.String() != want {
+			t.Errorf("Status(%d).String() = %q", st, st.String())
+		}
+	}
+}
+
+func TestRenderFig4(t *testing.T) {
+	out := MissionJV().Render()
+	for _, want := range []string{"atlantis UCS", "spying U-S", "falcon U-S", "eagle U"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package jv
+
+import (
+	"repro/internal/lattice"
+)
+
+// MissionJV returns the Jukic-Vrbsky rendering of the Mission relation,
+// exactly as the paper's Figure 4 (rows t1, t2, t3, t4, t4', t5, t5', t8,
+// t9, t10 in order). The belief labels encode the update history behind
+// Figure 1: e.g. the "U-S" tuple class of t4 says level U believes the
+// tuple while level S knows it is a cover story.
+func MissionJV() *Relation {
+	const (
+		u = lattice.Unclassified
+		c = lattice.Classified
+		s = lattice.Secret
+	)
+	r, err := NewRelation("mission", lattice.UCS(), "starship", "objective", "destination")
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	rows := []Tuple{
+		{ // t1
+			Values: []string{"avenger", "shipping", "pluto"},
+			Labels: []Label{Bel(s), Bel(s), Bel(s)},
+			TC:     Bel(s),
+		},
+		{ // t2
+			Values: []string{"atlantis", "diplomacy", "vulcan"},
+			Labels: []Label{Bel(u, c, s), Bel(u, c, s), Bel(u, c, s)},
+			TC:     Bel(u, c, s),
+		},
+		{ // t3
+			Values: []string{"voyager", "spying", "mars"},
+			Labels: []Label{Bel(u, s), Bel(s), Bel(u, s)},
+			TC:     Bel(s),
+		},
+		{ // t4
+			Values: []string{"phantom", "spying", "omega"},
+			Labels: []Label{Bel(u, s), Bel(u).Denied(s), Bel(u, s)},
+			TC:     Bel(u).Denied(s),
+		},
+		{ // t4'
+			Values: []string{"phantom", "spying", "omega"},
+			Labels: []Label{Bel(u, s), Bel(s), Bel(u, s)},
+			TC:     Bel(s),
+		},
+		{ // t5
+			Values: []string{"phantom", "supply", "venus"},
+			Labels: []Label{Bel(c, s), Bel(s), Bel(s)},
+			TC:     Bel(s),
+		},
+		{ // t5'
+			Values: []string{"phantom", "supply", "venus"},
+			Labels: []Label{Bel(c, s), Bel(c).Denied(s), Bel(c).Denied(s)},
+			TC:     Bel(c).Denied(s),
+		},
+		{ // t8
+			Values: []string{"voyager", "training", "mars"},
+			Labels: []Label{Bel(u, s), Bel(u).Denied(s), Bel(u, s)},
+			TC:     Bel(u).Denied(s),
+		},
+		{ // t9
+			Values: []string{"falcon", "piracy", "venus"},
+			Labels: []Label{Bel(u).Denied(s), Bel(u).Denied(s), Bel(u).Denied(s)},
+			TC:     Bel(u).Denied(s),
+		},
+		{ // t10
+			Values: []string{"eagle", "patrolling", "degoba"},
+			Labels: []Label{Bel(u), Bel(u), Bel(u)},
+			TC:     Bel(u),
+		},
+	}
+	for _, t := range rows {
+		r.MustInsert(t)
+	}
+	return r
+}

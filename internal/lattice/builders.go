@@ -1,0 +1,128 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical military hierarchy levels used throughout the paper's examples:
+// Unclassified < Classified < Secret < TopSecret (U < C < S < T, §2 fn 1).
+const (
+	Unclassified Label = "u"
+	Classified   Label = "c"
+	Secret       Label = "s"
+	TopSecret    Label = "t"
+)
+
+// Military returns the four-level total order U < C < S < T of §2.
+func Military() *Poset {
+	p, err := Chain(Unclassified, Classified, Secret, TopSecret)
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	return p
+}
+
+// UCS returns the three-level chain U < C < S used by the Mission example.
+func UCS() *Poset {
+	p, err := Chain(Unclassified, Classified, Secret)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Chain builds the total order labels[0] < labels[1] < ... .
+func Chain(labels ...Label) (*Poset, error) {
+	p := New()
+	for _, l := range labels {
+		p.Add(l)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		if err := p.AddOrder(labels[i], labels[i+1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Diamond builds the four-point lattice bottom < {left, right} < top, the
+// smallest poset exhibiting incomparable labels — the multiple-inheritance
+// situation §3.1 warns about for the cautious mode.
+func Diamond(bottom, left, right, top Label) (*Poset, error) {
+	p := New()
+	for _, pair := range [][2]Label{{bottom, left}, {bottom, right}, {left, top}, {right, top}} {
+		if err := p.AddOrder(pair[0], pair[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Product builds the access-class lattice of §2 in full generality: labels
+// are pairs of a hierarchy level and a set of categories, ordered by
+// (l1,C1) ⪰ (l2,C2) iff l1 ⪰ l2 and C1 ⊇ C2. Label names are rendered as
+// "level{cat1,cat2}" with categories sorted.
+func Product(levels *Poset, categories []string) (*Poset, error) {
+	if err := levels.Validate(); err != nil {
+		return nil, err
+	}
+	cats := append([]string(nil), categories...)
+	sort.Strings(cats)
+	type class struct {
+		level Label
+		cats  uint // bitmask over cats
+	}
+	if len(cats) > 16 {
+		return nil, fmt.Errorf("lattice: product with %d categories exceeds the supported 16", len(cats))
+	}
+	var classes []class
+	for _, l := range levels.Labels() {
+		for mask := uint(0); mask < 1<<uint(len(cats)); mask++ {
+			classes = append(classes, class{l, mask})
+		}
+	}
+	name := func(c class) Label {
+		if c.cats == 0 {
+			return c.level
+		}
+		var sel []string
+		for i, cat := range cats {
+			if c.cats&(1<<uint(i)) != 0 {
+				sel = append(sel, cat)
+			}
+		}
+		return Label(fmt.Sprintf("%s{%s}", c.level, strings.Join(sel, ",")))
+	}
+	p := New()
+	for _, c := range classes {
+		p.Add(name(c))
+	}
+	// Covering edges: raise the level by one cover, or add one category.
+	for _, c := range classes {
+		for _, hi := range levels.Covers(c.level) {
+			if err := p.AddOrder(name(c), name(class{hi, c.cats})); err != nil {
+				return nil, err
+			}
+		}
+		for i := range cats {
+			bit := uint(1) << uint(i)
+			if c.cats&bit == 0 {
+				if err := p.AddOrder(name(c), name(class{c.level, c.cats | bit})); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,503 @@
+// Package lattice implements partially ordered sets of security labels as
+// used by the Bell-LaPadula model and by MultiLog's Λ component.
+//
+// A Poset is built from a set of declared labels (the paper's l-atoms,
+// level(s)) and a covering relation (the paper's h-atoms, order(l,h), which
+// assert that l is immediately below h). Dominance is the reflexive
+// transitive closure of the covering relation. A Lattice is a Poset in which
+// every pair of labels has a least upper bound and a greatest lower bound.
+//
+// The paper drops the category component of access classes "without the loss
+// of any generality" (§2); we keep that generality available through the
+// Product constructor, which builds the classical level×category-set lattice.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label names a security access class. Labels are opaque: their ordering is
+// given entirely by the Poset they belong to, never by string comparison.
+type Label string
+
+// Bottom is returned by methods that need a sentinel for "no label". It is
+// never a valid member of a Poset.
+const NoLabel Label = ""
+
+// Poset is a finite partially ordered set of labels. The zero value is an
+// empty poset ready for Add/AddOrder; most callers use a builder from this
+// package or construct one from MultiLog's Λ clauses.
+type Poset struct {
+	labels []Label           // insertion order, for deterministic iteration
+	index  map[Label]int     // label -> position in labels
+	covers map[Label][]Label // l -> labels that immediately cover l (order(l,h))
+	// dom[i] is the set of label indices dominated by label i, as a bitset
+	// over positions in labels; dom is rebuilt lazily after mutation.
+	dom   []bitset
+	dirty bool
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) or(other bitset) (changed bool) {
+	for i := range b {
+		old := b[i]
+		b[i] |= other[i]
+		if b[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// New returns an empty poset.
+func New() *Poset {
+	return &Poset{index: make(map[Label]int), covers: make(map[Label][]Label)}
+}
+
+// Add declares a label (the paper's level(s)). Adding an existing label is a
+// no-op, so posets can be built straight from a fact base with duplicates.
+func (p *Poset) Add(l Label) {
+	if l == NoLabel {
+		return
+	}
+	if _, ok := p.index[l]; ok {
+		return
+	}
+	p.index[l] = len(p.labels)
+	p.labels = append(p.labels, l)
+	p.dirty = true
+}
+
+// AddOrder asserts the covering fact order(lo, hi): lo is immediately below
+// hi. Both labels are declared implicitly. AddOrder returns an error if
+// lo == hi, since a label cannot cover itself.
+func (p *Poset) AddOrder(lo, hi Label) error {
+	if lo == hi {
+		return fmt.Errorf("lattice: order(%s, %s): a label cannot cover itself", lo, hi)
+	}
+	if lo == NoLabel || hi == NoLabel {
+		return fmt.Errorf("lattice: order with empty label")
+	}
+	p.Add(lo)
+	p.Add(hi)
+	for _, h := range p.covers[lo] {
+		if h == hi {
+			return nil
+		}
+	}
+	p.covers[lo] = append(p.covers[lo], hi)
+	p.dirty = true
+	return nil
+}
+
+// Has reports whether l is a declared label.
+func (p *Poset) Has(l Label) bool {
+	_, ok := p.index[l]
+	return ok
+}
+
+// Labels returns the declared labels in insertion order. The returned slice
+// must not be modified.
+func (p *Poset) Labels() []Label { return p.labels }
+
+// Len returns the number of declared labels.
+func (p *Poset) Len() int { return len(p.labels) }
+
+// rebuild recomputes the dominance closure. It reports an error if the
+// covering relation is cyclic (which would make ⪯ not a partial order).
+func (p *Poset) rebuild() error {
+	n := len(p.labels)
+	dom := make([]bitset, n)
+	for i := range dom {
+		dom[i] = newBitset(n)
+		dom[i].set(i) // reflexive
+	}
+	// Warshall-style closure over the covering edges hi -> dominates lo.
+	// Iterate until no change; with a cyclic covering relation two distinct
+	// labels end up dominating each other, which we detect below.
+	for changed := true; changed; {
+		changed = false
+		for lo, his := range p.covers {
+			li := p.index[lo]
+			for _, hi := range his {
+				hi := p.index[hi]
+				if dom[hi].or(dom[li]) {
+					changed = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && dom[i].get(j) && dom[j].get(i) {
+				return fmt.Errorf("lattice: covering relation is cyclic: %s and %s dominate each other",
+					p.labels[i], p.labels[j])
+			}
+		}
+	}
+	p.dom = dom
+	p.dirty = false
+	return nil
+}
+
+// Validate checks that the covering relation induces a partial order
+// (acyclicity; reflexivity and transitivity hold by construction).
+func (p *Poset) Validate() error {
+	if p.dirty {
+		return p.rebuild()
+	}
+	return nil
+}
+
+func (p *Poset) ensure() {
+	if p.dirty {
+		if err := p.rebuild(); err != nil {
+			panic(err) // callers must Validate after mutation; see Dominates
+		}
+	}
+}
+
+// Dominates reports hi ⪰ lo: hi's access class is at least lo's.
+// Dominates panics if the poset was mutated into a cyclic state without an
+// intervening Validate; builders in this package always validate.
+func (p *Poset) Dominates(hi, lo Label) bool {
+	hiI, ok := p.index[hi]
+	if !ok {
+		return false
+	}
+	loI, ok := p.index[lo]
+	if !ok {
+		return false
+	}
+	p.ensure()
+	return p.dom[hiI].get(loI)
+}
+
+// StrictlyDominates reports hi ≻ lo.
+func (p *Poset) StrictlyDominates(hi, lo Label) bool {
+	return hi != lo && p.Dominates(hi, lo)
+}
+
+// Comparable reports whether a and b are ordered either way.
+func (p *Poset) Comparable(a, b Label) bool {
+	return p.Dominates(a, b) || p.Dominates(b, a)
+}
+
+// Covers returns the labels immediately above l, sorted for determinism.
+func (p *Poset) Covers(l Label) []Label {
+	out := append([]Label(nil), p.covers[l]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CoverEdges returns all covering facts order(lo,hi) in deterministic order.
+func (p *Poset) CoverEdges() [][2]Label {
+	var out [][2]Label
+	for _, lo := range p.labels {
+		for _, hi := range p.Covers(lo) {
+			out = append(out, [2]Label{lo, hi})
+		}
+	}
+	return out
+}
+
+// DownSet returns every label dominated by l (including l), in insertion
+// order. It is the set of classifications a subject cleared at l may read.
+func (p *Poset) DownSet(l Label) []Label {
+	li, ok := p.index[l]
+	if !ok {
+		return nil
+	}
+	p.ensure()
+	var out []Label
+	for j, m := range p.labels {
+		if p.dom[li].get(j) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// UpSet returns every label that dominates l (including l).
+func (p *Poset) UpSet(l Label) []Label {
+	lj, ok := p.index[l]
+	if !ok {
+		return nil
+	}
+	p.ensure()
+	var out []Label
+	for i, m := range p.labels {
+		if p.dom[i].get(lj) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Lub returns the least upper bound of a and b, or NoLabel and false when no
+// unique least upper bound exists (the poset is then not a lattice on this
+// pair). The paper writes lub{...} when defining tuple classes (Def 2.2).
+func (p *Poset) Lub(a, b Label) (Label, bool) {
+	ai, ok := p.index[a]
+	if !ok {
+		return NoLabel, false
+	}
+	bi, ok := p.index[b]
+	if !ok {
+		return NoLabel, false
+	}
+	p.ensure()
+	// Upper bounds: labels u with dom[u] ⊇ {a, b}.
+	var uppers []int
+	for i := range p.labels {
+		if p.dom[i].get(ai) && p.dom[i].get(bi) {
+			uppers = append(uppers, i)
+		}
+	}
+	return p.leastOf(uppers)
+}
+
+// Glb returns the greatest lower bound of a and b, or NoLabel and false when
+// none exists.
+func (p *Poset) Glb(a, b Label) (Label, bool) {
+	ai, ok := p.index[a]
+	if !ok {
+		return NoLabel, false
+	}
+	bi, ok := p.index[b]
+	if !ok {
+		return NoLabel, false
+	}
+	p.ensure()
+	var lowers []int
+	for i := range p.labels {
+		if p.dom[ai].get(i) && p.dom[bi].get(i) {
+			lowers = append(lowers, i)
+		}
+	}
+	return p.greatestOf(lowers)
+}
+
+// LubAll folds Lub over labels; it returns false on an empty slice or when
+// any intermediate lub is undefined.
+func (p *Poset) LubAll(labels []Label) (Label, bool) {
+	if len(labels) == 0 {
+		return NoLabel, false
+	}
+	acc := labels[0]
+	for _, l := range labels[1:] {
+		var ok bool
+		acc, ok = p.Lub(acc, l)
+		if !ok {
+			return NoLabel, false
+		}
+	}
+	return acc, true
+}
+
+// leastOf returns the unique member of candidate indices dominated by all
+// other candidates.
+func (p *Poset) leastOf(cands []int) (Label, bool) {
+	for _, c := range cands {
+		least := true
+		for _, d := range cands {
+			if !p.dom[d].get(c) {
+				least = false
+				break
+			}
+		}
+		if least {
+			return p.labels[c], true
+		}
+	}
+	return NoLabel, false
+}
+
+func (p *Poset) greatestOf(cands []int) (Label, bool) {
+	for _, c := range cands {
+		greatest := true
+		for _, d := range cands {
+			if !p.dom[c].get(d) {
+				greatest = false
+				break
+			}
+		}
+		if greatest {
+			return p.labels[c], true
+		}
+	}
+	return NoLabel, false
+}
+
+// IsLattice reports whether every pair of labels has both a lub and a glb.
+func (p *Poset) IsLattice() bool {
+	if err := p.Validate(); err != nil {
+		return false
+	}
+	for _, a := range p.labels {
+		for _, b := range p.labels {
+			if _, ok := p.Lub(a, b); !ok {
+				return false
+			}
+			if _, ok := p.Glb(a, b); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsTotalOrder reports whether every pair of labels is comparable.
+func (p *Poset) IsTotalOrder() bool {
+	if err := p.Validate(); err != nil {
+		return false
+	}
+	for i, a := range p.labels {
+		for _, b := range p.labels[i+1:] {
+			if !p.Comparable(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TopoOrder returns the labels bottom-up: every label appears after all
+// labels it strictly dominates. MultiLog's level-stratified evaluation
+// computes beliefs in this order.
+func (p *Poset) TopoOrder() []Label {
+	p.ensure()
+	type ranked struct {
+		l    Label
+		rank int // number of labels strictly dominated
+		pos  int
+	}
+	rs := make([]ranked, len(p.labels))
+	for i, l := range p.labels {
+		count := 0
+		for j := range p.labels {
+			if j != i && p.dom[i].get(j) {
+				count++
+			}
+		}
+		rs[i] = ranked{l, count, i}
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].rank != rs[j].rank {
+			return rs[i].rank < rs[j].rank
+		}
+		return rs[i].pos < rs[j].pos
+	})
+	out := make([]Label, len(rs))
+	for i, r := range rs {
+		out[i] = r.l
+	}
+	return out
+}
+
+// Maximal returns the labels not strictly dominated by any other label.
+func (p *Poset) Maximal() []Label {
+	p.ensure()
+	var out []Label
+	for j, l := range p.labels {
+		top := true
+		for i := range p.labels {
+			if i != j && p.dom[i].get(j) {
+				top = false
+				break
+			}
+		}
+		if top {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Minimal returns the labels that strictly dominate no other label.
+func (p *Poset) Minimal() []Label {
+	p.ensure()
+	var out []Label
+	for i, l := range p.labels {
+		bottom := true
+		for j := range p.labels {
+			if i != j && p.dom[i].get(j) {
+				bottom = false
+				break
+			}
+		}
+		if bottom {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// MaximalAmong returns the members of set that are not strictly dominated by
+// another member. It implements the "retain the highest classification"
+// selection used by the cautious belief mode; with an incomparable set the
+// result has several members — the multiple-model situation the paper notes.
+func (p *Poset) MaximalAmong(set []Label) []Label {
+	var out []Label
+	for _, a := range set {
+		maximal := true
+		for _, b := range set {
+			if p.StrictlyDominates(b, a) {
+				maximal = false
+				break
+			}
+		}
+		if maximal && !containsLabel(out, a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func containsLabel(ls []Label, l Label) bool {
+	for _, m := range ls {
+		if m == l {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the poset as its covering facts, e.g. "u<c, c<s".
+func (p *Poset) String() string {
+	var parts []string
+	for _, e := range p.CoverEdges() {
+		parts = append(parts, fmt.Sprintf("%s<%s", e[0], e[1]))
+	}
+	if len(parts) == 0 {
+		var ls []string
+		for _, l := range p.labels {
+			ls = append(ls, string(l))
+		}
+		return "{" + strings.Join(ls, ", ") + "}"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Clone returns a deep copy of the poset.
+func (p *Poset) Clone() *Poset {
+	q := New()
+	for _, l := range p.labels {
+		q.Add(l)
+	}
+	for lo, his := range p.covers {
+		for _, hi := range his {
+			q.covers[lo] = append(q.covers[lo], hi)
+		}
+	}
+	q.dirty = true
+	return q
+}

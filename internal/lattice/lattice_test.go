@@ -1,0 +1,373 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMilitaryChain(t *testing.T) {
+	p := Military()
+	cases := []struct {
+		hi, lo Label
+		want   bool
+	}{
+		{TopSecret, Secret, true},
+		{Secret, Classified, true},
+		{Classified, Unclassified, true},
+		{TopSecret, Unclassified, true},
+		{Unclassified, TopSecret, false},
+		{Secret, Secret, true},
+		{Unclassified, Unclassified, true},
+	}
+	for _, c := range cases {
+		if got := p.Dominates(c.hi, c.lo); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.hi, c.lo, got, c.want)
+		}
+	}
+	if !p.IsTotalOrder() {
+		t.Error("Military() should be a total order")
+	}
+	if !p.IsLattice() {
+		t.Error("Military() should be a lattice")
+	}
+}
+
+func TestStrictDominance(t *testing.T) {
+	p := Military()
+	if p.StrictlyDominates(Secret, Secret) {
+		t.Error("a label must not strictly dominate itself")
+	}
+	if !p.StrictlyDominates(Secret, Unclassified) {
+		t.Error("s should strictly dominate u")
+	}
+}
+
+func TestUnknownLabels(t *testing.T) {
+	p := Military()
+	if p.Dominates("bogus", Unclassified) || p.Dominates(Secret, "bogus") {
+		t.Error("dominance must be false for undeclared labels")
+	}
+	if _, ok := p.Lub("bogus", Secret); ok {
+		t.Error("Lub with an undeclared label must fail")
+	}
+}
+
+func TestDiamondIncomparability(t *testing.T) {
+	p, err := Diamond("lo", "a", "b", "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Comparable("a", "b") {
+		t.Error("diamond arms must be incomparable")
+	}
+	if l, ok := p.Lub("a", "b"); !ok || l != "hi" {
+		t.Errorf("Lub(a,b) = %v,%v, want hi,true", l, ok)
+	}
+	if l, ok := p.Glb("a", "b"); !ok || l != "lo" {
+		t.Errorf("Glb(a,b) = %v,%v, want lo,true", l, ok)
+	}
+	if p.IsTotalOrder() {
+		t.Error("diamond is not a total order")
+	}
+	if !p.IsLattice() {
+		t.Error("diamond is a lattice")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	p := New()
+	mustOrder(t, p, "a", "b")
+	mustOrder(t, p, "b", "c")
+	mustOrder(t, p, "c", "a")
+	if err := p.Validate(); err == nil {
+		t.Error("cyclic covering relation must fail validation")
+	}
+}
+
+func TestSelfCoverRejected(t *testing.T) {
+	p := New()
+	if err := p.AddOrder("a", "a"); err == nil {
+		t.Error("order(a,a) must be rejected")
+	}
+}
+
+func TestLubAll(t *testing.T) {
+	p := Military()
+	got, ok := p.LubAll([]Label{Unclassified, Secret, Classified})
+	if !ok || got != Secret {
+		t.Errorf("LubAll(u,s,c) = %v,%v, want s,true", got, ok)
+	}
+	if _, ok := p.LubAll(nil); ok {
+		t.Error("LubAll(nil) must fail")
+	}
+}
+
+func TestDownUpSets(t *testing.T) {
+	p := Military()
+	down := p.DownSet(Classified)
+	if len(down) != 2 || !containsLabel(down, Unclassified) || !containsLabel(down, Classified) {
+		t.Errorf("DownSet(c) = %v, want {u,c}", down)
+	}
+	up := p.UpSet(Classified)
+	if len(up) != 3 || !containsLabel(up, Secret) || !containsLabel(up, TopSecret) {
+		t.Errorf("UpSet(c) = %v, want {c,s,t}", up)
+	}
+}
+
+func TestTopoOrderRespectsDominance(t *testing.T) {
+	p, err := Diamond("lo", "a", "b", "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := p.TopoOrder()
+	pos := map[Label]int{}
+	for i, l := range order {
+		pos[l] = i
+	}
+	for _, hi := range p.Labels() {
+		for _, lo := range p.Labels() {
+			if p.StrictlyDominates(hi, lo) && pos[hi] < pos[lo] {
+				t.Errorf("topo order places %s before %s it dominates", hi, lo)
+			}
+		}
+	}
+}
+
+func TestMaximalMinimal(t *testing.T) {
+	p, _ := Diamond("lo", "a", "b", "hi")
+	if m := p.Maximal(); len(m) != 1 || m[0] != "hi" {
+		t.Errorf("Maximal = %v, want [hi]", m)
+	}
+	if m := p.Minimal(); len(m) != 1 || m[0] != "lo" {
+		t.Errorf("Minimal = %v, want [lo]", m)
+	}
+}
+
+func TestMaximalAmong(t *testing.T) {
+	p, _ := Diamond("lo", "a", "b", "hi")
+	got := p.MaximalAmong([]Label{"lo", "a", "b"})
+	if len(got) != 2 || !containsLabel(got, "a") || !containsLabel(got, "b") {
+		t.Errorf("MaximalAmong(lo,a,b) = %v, want {a,b}", got)
+	}
+	got = p.MaximalAmong([]Label{"lo", "a", "hi"})
+	if len(got) != 1 || got[0] != "hi" {
+		t.Errorf("MaximalAmong(lo,a,hi) = %v, want {hi}", got)
+	}
+	got = p.MaximalAmong([]Label{"a", "a"})
+	if len(got) != 1 {
+		t.Errorf("MaximalAmong must deduplicate, got %v", got)
+	}
+}
+
+func TestProductLattice(t *testing.T) {
+	p, err := Product(UCS(), []string{"nato", "army"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3*4 {
+		t.Fatalf("product of 3 levels × 2 categories should have 12 classes, got %d", p.Len())
+	}
+	if !p.Dominates("s{army,nato}", "u{army}") {
+		t.Error("s{army,nato} must dominate u{army}")
+	}
+	if p.Comparable("s{army}", "c{nato}") {
+		t.Error("s{army} and c{nato} must be incomparable")
+	}
+	if p.Comparable("u{army}", "u{nato}") {
+		t.Error("same level, disjoint categories must be incomparable")
+	}
+	if !p.IsLattice() {
+		t.Error("the product construction must yield a lattice")
+	}
+	if l, ok := p.Lub("u{army}", "u{nato}"); !ok || l != "u{army,nato}" {
+		t.Errorf("Lub(u{army}, u{nato}) = %v,%v", l, ok)
+	}
+}
+
+func TestProductTooManyCategories(t *testing.T) {
+	cats := make([]string, 17)
+	for i := range cats {
+		cats[i] = string(rune('a' + i))
+	}
+	if _, err := Product(UCS(), cats); err == nil {
+		t.Error("Product must reject more than 16 categories")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := Military()
+	q := p.Clone()
+	mustOrder(t, q, TopSecret, "cosmic")
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Has("cosmic") {
+		t.Error("mutating a clone must not affect the original")
+	}
+	if !q.Dominates("cosmic", Unclassified) {
+		t.Error("clone lost dominance facts")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := UCS()
+	if s := p.String(); s != "u<c, c<s" {
+		t.Errorf("String() = %q", s)
+	}
+	q := New()
+	q.Add("solo")
+	if s := q.String(); s != "{solo}" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// randomPoset builds a random DAG poset over n labels; edges only go from
+// lower to higher index so acyclicity is guaranteed.
+func randomPoset(r *rand.Rand, n int) *Poset {
+	p := New()
+	labels := make([]Label, n)
+	for i := range labels {
+		labels[i] = Label(rune('a'+i%26)) + Label(rune('0'+i/26))
+		p.Add(labels[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(3) == 0 {
+				p.AddOrder(labels[i], labels[j])
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestQuickDominanceIsPartialOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPoset(r, 2+r.Intn(10))
+		ls := p.Labels()
+		// Reflexive.
+		for _, a := range ls {
+			if !p.Dominates(a, a) {
+				return false
+			}
+		}
+		// Antisymmetric and transitive.
+		for _, a := range ls {
+			for _, b := range ls {
+				if a != b && p.Dominates(a, b) && p.Dominates(b, a) {
+					return false
+				}
+				for _, c := range ls {
+					if p.Dominates(a, b) && p.Dominates(b, c) && !p.Dominates(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLubIsLeastUpperBound(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPoset(r, 2+r.Intn(8))
+		ls := p.Labels()
+		for _, a := range ls {
+			for _, b := range ls {
+				l, ok := p.Lub(a, b)
+				if !ok {
+					continue // not every random poset is a lattice
+				}
+				if !p.Dominates(l, a) || !p.Dominates(l, b) {
+					return false
+				}
+				for _, u := range ls {
+					if p.Dominates(u, a) && p.Dominates(u, b) && !p.Dominates(u, l) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopoOrderComplete(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPoset(r, 1+r.Intn(12))
+		order := p.TopoOrder()
+		if len(order) != p.Len() {
+			return false
+		}
+		seen := map[Label]bool{}
+		for i, early := range order {
+			if seen[early] {
+				return false
+			}
+			seen[early] = true
+			for _, late := range order[i+1:] {
+				if p.StrictlyDominates(early, late) {
+					// Bottom-up order: a label must come after everything
+					// it strictly dominates.
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustOrder(t *testing.T, p *Poset, lo, hi Label) {
+	t.Helper()
+	if err := p.AddOrder(lo, hi); err != nil {
+		t.Fatalf("AddOrder(%s,%s): %v", lo, hi, err)
+	}
+}
+
+func TestProductWithoutCategoriesIsLevels(t *testing.T) {
+	p, err := Product(UCS(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("product with no categories should equal the level chain, got %d", p.Len())
+	}
+	if !p.Dominates(Secret, Unclassified) {
+		t.Error("ordering lost")
+	}
+}
+
+func TestMaximalAmongEmpty(t *testing.T) {
+	p := UCS()
+	if got := p.MaximalAmong(nil); len(got) != 0 {
+		t.Errorf("MaximalAmong(nil) = %v", got)
+	}
+}
+
+func TestGlbOnChain(t *testing.T) {
+	p := Military()
+	if g, ok := p.Glb(Secret, Classified); !ok || g != Classified {
+		t.Errorf("Glb(s, c) = %v, %v", g, ok)
+	}
+	if _, ok := p.Glb("zz", Secret); ok {
+		t.Error("Glb with unknown label must fail")
+	}
+}

@@ -1,0 +1,58 @@
+package mls
+
+import (
+	"fmt"
+)
+
+// CheckIntegrity verifies the instance-wide integrity properties of
+// Definition 5.4 (carried over from [12]):
+//
+//   - entity integrity and null integrity per tuple (also enforced at
+//     Insert time; re-checked here for relations built directly);
+//   - no two distinct tuples subsume each other;
+//   - polyinstantiation integrity: the functional dependency
+//     AK, C_AK, C_i → A_i holds for every data attribute A_i.
+func (r *Relation) CheckIntegrity() error {
+	for _, t := range r.Tuples {
+		if err := r.checkTuple(t); err != nil {
+			return err
+		}
+	}
+	// Mutual subsumption means identical cells; that is legal when the TCs
+	// differ (Figure 1 stores the Atlantis tuple at U, C and S — one belief
+	// per level), so only exact duplicates are violations.
+	for i, u := range r.Tuples {
+		for j, v := range r.Tuples {
+			if i < j && u.Equal(v) {
+				return fmt.Errorf("mls: %s: tuples %d and %d are duplicates and subsume each other", r.Scheme.Name, i+1, j+1)
+			}
+		}
+	}
+	return r.checkPolyinstantiation()
+}
+
+// checkPolyinstantiation verifies AK, C_AK, C_i → A_i.
+func (r *Relation) checkPolyinstantiation() error {
+	keyIdx := r.Scheme.KeyIdx
+	type fdKey struct {
+		key, keyClass string
+		attr          int
+		class         string
+	}
+	seen := map[fdKey]Value{}
+	for _, t := range r.Tuples {
+		k := t.Values[keyIdx]
+		for i, v := range t.Values {
+			fk := fdKey{k.Data, string(k.Class), i, string(v.Class)}
+			if prev, ok := seen[fk]; ok {
+				if prev.Null != v.Null || (!v.Null && prev.Data != v.Data) {
+					return fmt.Errorf("mls: %s: polyinstantiation integrity violated for key (%s,%s), attribute %s at class %s: %s vs %s",
+						r.Scheme.Name, k.Data, k.Class, r.Scheme.Attrs[i], v.Class, prev, v)
+				}
+				continue
+			}
+			seen[fk] = v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package mls
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// OpKind discriminates journal operations.
+type OpKind int
+
+const (
+	OpInsert OpKind = iota
+	OpUpdate
+	OpDelete
+)
+
+// Op is one journaled multilevel operation, always attributed to a subject
+// clearance — the raw material of the §3 narratives, where knowing *who*
+// wrote *what at which level* is what separates a cover story from a
+// surprise story.
+type Op struct {
+	Kind    OpKind
+	Subject lattice.Label
+	// Insert
+	Data []string
+	// Update
+	Key      string
+	KeyClass lattice.Label // NoLabel means every visible chain
+	Attr     string
+	NewValue string
+}
+
+// String renders the operation as an audit line.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpInsert:
+		return fmt.Sprintf("%s: insert (%s)", o.Subject, strings.Join(o.Data, ", "))
+	case OpUpdate:
+		chain := ""
+		if o.KeyClass != lattice.NoLabel {
+			chain = fmt.Sprintf(" [chain %s]", o.KeyClass)
+		}
+		return fmt.Sprintf("%s: update %s%s set %s = %s", o.Subject, o.Key, chain, o.Attr, o.NewValue)
+	case OpDelete:
+		return fmt.Sprintf("%s: delete %s", o.Subject, o.Key)
+	}
+	return "?"
+}
+
+// Journal wraps a relation with an append-only audit trail: every mutation
+// goes through the journal, is applied to the live relation, and can be
+// replayed from scratch onto a fresh instance. Replay determinism is the
+// invariant the tests check: audit(replay(J)) ≡ audit(J).
+type Journal struct {
+	rel *Relation
+	ops []Op
+}
+
+// NewJournal starts a journal over an empty instance of the scheme.
+func NewJournal(scheme *Scheme) *Journal {
+	return &Journal{rel: NewRelation(scheme)}
+}
+
+// Relation returns the live relation. Callers must not mutate it directly;
+// use the journal's operations.
+func (j *Journal) Relation() *Relation { return j.rel }
+
+// Ops returns the audit trail. The slice must not be modified.
+func (j *Journal) Ops() []Op { return j.ops }
+
+// Insert journals and applies an InsertAt.
+func (j *Journal) Insert(subject lattice.Label, data ...string) error {
+	op := Op{Kind: OpInsert, Subject: subject, Data: append([]string(nil), data...)}
+	if err := j.apply(op); err != nil {
+		return err
+	}
+	j.ops = append(j.ops, op)
+	return nil
+}
+
+// Update journals and applies an update; keyClass NoLabel updates every
+// visible chain (Update), a concrete label one chain (UpdateWhere).
+func (j *Journal) Update(subject lattice.Label, key string, keyClass lattice.Label, attr, newValue string) error {
+	op := Op{Kind: OpUpdate, Subject: subject, Key: key, KeyClass: keyClass, Attr: attr, NewValue: newValue}
+	if err := j.apply(op); err != nil {
+		return err
+	}
+	j.ops = append(j.ops, op)
+	return nil
+}
+
+// Delete journals and applies a delete.
+func (j *Journal) Delete(subject lattice.Label, key string) error {
+	op := Op{Kind: OpDelete, Subject: subject, Key: key}
+	if err := j.apply(op); err != nil {
+		return err
+	}
+	j.ops = append(j.ops, op)
+	return nil
+}
+
+func (j *Journal) apply(op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		return j.rel.InsertAt(op.Subject, op.Data...)
+	case OpUpdate:
+		if op.KeyClass == lattice.NoLabel {
+			_, err := j.rel.Update(op.Subject, op.Key, op.Attr, op.NewValue)
+			return err
+		}
+		_, err := j.rel.UpdateWhere(op.Subject, op.Key, op.KeyClass, op.Attr, op.NewValue)
+		return err
+	case OpDelete:
+		_, err := j.rel.Delete(op.Subject, op.Key)
+		return err
+	}
+	return fmt.Errorf("mls: unknown journal op %d", op.Kind)
+}
+
+// Replay applies the journal to a fresh relation and returns it; the result
+// equals the live relation.
+func (j *Journal) Replay() (*Relation, error) {
+	fresh := &Journal{rel: NewRelation(j.rel.Scheme)}
+	for _, op := range j.ops {
+		if err := fresh.apply(op); err != nil {
+			return nil, fmt.Errorf("mls: replay: %v: %w", op, err)
+		}
+	}
+	return fresh.rel, nil
+}
+
+// Audit renders the trail, one line per operation.
+func (j *Journal) Audit() string {
+	var b strings.Builder
+	for i, op := range j.ops {
+		fmt.Fprintf(&b, "%3d  %s\n", i+1, op)
+	}
+	return b.String()
+}
+
+// Blame returns the audit lines whose subject strictly dominates the given
+// level and whose operation touched the given key — the question a subject
+// confronted with a surprise story wants answered ("who above me wrote
+// this?"), answerable only by a trusted auditor, since the journal itself
+// is not subject to the visibility rules.
+func (j *Journal) Blame(key string, below lattice.Label, p *lattice.Poset) []Op {
+	var out []Op
+	for _, op := range j.ops {
+		if !p.StrictlyDominates(op.Subject, below) {
+			continue
+		}
+		switch op.Kind {
+		case OpUpdate, OpDelete:
+			if op.Key == key {
+				out = append(out, op)
+			}
+		case OpInsert:
+			if len(op.Data) > 0 && op.Data[0] == key {
+				out = append(out, op)
+			}
+		}
+	}
+	return out
+}

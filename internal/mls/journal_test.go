@@ -1,0 +1,120 @@
+package mls
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+)
+
+// The §3 Phantom narrative through the journal: the trail explains the
+// surprise story.
+func TestJournalPhantomNarrative(t *testing.T) {
+	j := NewJournal(MissionScheme())
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Insert(u, "phantom", "smuggling", "omega"))
+	must(j.Update(s, "phantom", u, AttrObjective, "spying"))
+	must(j.Delete(u, "phantom"))
+
+	rel := j.Relation()
+	if rel.Len() != 1 {
+		t.Fatalf("expected the lone surprise story, got %d tuples:\n%s", rel.Len(), rel.Render())
+	}
+	if rel.Rows()[0] != "phantom U | spying S | omega U | S" {
+		t.Errorf("surprise story = %q", rel.Rows()[0])
+	}
+
+	audit := j.Audit()
+	for _, want := range []string{
+		"u: insert (phantom, smuggling, omega)",
+		"s: update phantom [chain u] set objective = spying",
+		"u: delete phantom",
+	} {
+		if !strings.Contains(audit, want) {
+			t.Errorf("audit missing %q:\n%s", want, audit)
+		}
+	}
+
+	// Blame: who above U touched phantom?
+	blamed := j.Blame("phantom", u, rel.Scheme.Poset)
+	if len(blamed) != 1 || blamed[0].Subject != s {
+		t.Errorf("blame = %v, want the S update", blamed)
+	}
+}
+
+func TestJournalReplayEqualsLive(t *testing.T) {
+	j := NewJournal(MissionScheme())
+	ops := []func() error{
+		func() error { return j.Insert(u, "ship1", "cargo", "mars") },
+		func() error { return j.Insert(c, "ship2", "escort", "venus") },
+		func() error { return j.Update(s, "ship1", lattice.NoLabel, AttrObjective, "spying") },
+		func() error { return j.Update(c, "ship2", c, AttrDestination, "pluto") },
+		func() error { return j.Delete(u, "ship1") },
+	}
+	for _, op := range ops {
+		if err := op(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Render() != j.Relation().Render() {
+		t.Errorf("replay diverged:\n%s\nvs\n%s", replayed.Render(), j.Relation().Render())
+	}
+}
+
+func TestJournalRejectsFailingOps(t *testing.T) {
+	j := NewJournal(MissionScheme())
+	if err := j.Update(u, "ghost", lattice.NoLabel, AttrObjective, "x"); err == nil {
+		t.Error("update of a missing key must fail")
+	}
+	if err := j.Delete(u, "ghost"); err == nil {
+		t.Error("delete of a missing key must fail")
+	}
+	if len(j.Ops()) != 0 {
+		t.Error("failed operations must not be journaled")
+	}
+}
+
+// Property: random journals replay to the live relation, and the live
+// relation always satisfies the integrity properties.
+func TestQuickJournalReplayDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		j := NewJournal(MissionScheme())
+		levels := []lattice.Label{u, c, s}
+		keys := []string{"k0", "k1", "k2"}
+		for op := 0; op < 10; op++ {
+			subject := levels[r.Intn(3)]
+			key := keys[r.Intn(3)]
+			switch r.Intn(3) {
+			case 0:
+				j.Insert(subject, key, "obj", "dst")
+			case 1:
+				j.Update(subject, key, lattice.NoLabel, AttrObjective, "v"+key)
+			case 2:
+				j.Delete(subject, key)
+			}
+		}
+		if err := j.Relation().CheckIntegrity(); err != nil {
+			return false
+		}
+		replayed, err := j.Replay()
+		if err != nil {
+			return false
+		}
+		return replayed.Render() == j.Relation().Render()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

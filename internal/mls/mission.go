@@ -1,0 +1,95 @@
+package mls
+
+import (
+	"repro/internal/lattice"
+)
+
+// Mission attribute names (Figure 1).
+const (
+	AttrStarship    = "starship"
+	AttrObjective   = "objective"
+	AttrDestination = "destination"
+)
+
+// MissionScheme returns the scheme of the paper's Mission relation:
+// Mission(Starship, C1, Objective, C2, Destination, C3, TC) over the
+// three-level chain U < C < S, with Starship as the apparent key.
+func MissionScheme() *Scheme {
+	s, err := NewScheme("mission", lattice.UCS(), AttrStarship, AttrObjective, AttrDestination)
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	return s
+}
+
+// Mission returns the Figure 1 instance of the Mission relation, tuples
+// t1..t10 in order.
+func Mission() *Relation {
+	const (
+		u = lattice.Unclassified
+		c = lattice.Classified
+		s = lattice.Secret
+	)
+	r := NewRelation(MissionScheme())
+	rows := []Tuple{
+		{Values: []Value{V("avenger", s), V("shipping", s), V("pluto", s)}, TC: s},    // t1
+		{Values: []Value{V("atlantis", u), V("diplomacy", u), V("vulcan", u)}, TC: s}, // t2
+		{Values: []Value{V("voyager", u), V("spying", s), V("mars", u)}, TC: s},       // t3
+		{Values: []Value{V("phantom", u), V("spying", s), V("omega", u)}, TC: s},      // t4
+		{Values: []Value{V("phantom", c), V("supply", s), V("venus", s)}, TC: s},      // t5
+		{Values: []Value{V("atlantis", u), V("diplomacy", u), V("vulcan", u)}, TC: c}, // t6
+		{Values: []Value{V("atlantis", u), V("diplomacy", u), V("vulcan", u)}, TC: u}, // t7
+		{Values: []Value{V("voyager", u), V("training", u), V("mars", u)}, TC: u},     // t8
+		{Values: []Value{V("falcon", u), V("piracy", u), V("venus", u)}, TC: u},       // t9
+		{Values: []Value{V("eagle", u), V("patrolling", u), V("degoba", u)}, TC: u},   // t10
+	}
+	for _, t := range rows {
+		r.MustInsert(t)
+	}
+	return r
+}
+
+// MissionByUpdates replays the update history that produces the Phantom
+// rows of Figure 1 (§3: "tuples t4 and t5 are possible through a series of
+// updates if required polyinstantiation is enforced"):
+//
+//  1. a U subject inserts (phantom, smuggling, omega);
+//  2. an S subject updates the objective to spying — required
+//     polyinstantiation creates (phantom U, spying S, omega U, TC S);
+//  3. the U subject deletes its tuple, leaving the surprise story t4;
+//  4. symmetrically at C/S for t5 (supply, venus).
+//
+// The function returns the resulting relation, whose Phantom tuples equal
+// Figure 1's t4 and t5.
+func MissionByUpdates() (*Relation, error) {
+	const (
+		u = lattice.Unclassified
+		c = lattice.Classified
+		s = lattice.Secret
+	)
+	r := NewRelation(MissionScheme())
+	if err := r.InsertAt(u, "phantom", "smuggling", "omega"); err != nil {
+		return nil, err
+	}
+	if _, err := r.UpdateWhere(s, "phantom", u, AttrObjective, "spying"); err != nil {
+		return nil, err
+	}
+	if _, err := r.Delete(u, "phantom"); err != nil {
+		return nil, err
+	}
+	// The C chain: C inserts its own phantom, S rewrites objective and
+	// destination, C deletes.
+	if err := r.Insert(Tuple{Values: []Value{V("phantom", c), V("escort", c), V("rigel", c)}}); err != nil {
+		return nil, err
+	}
+	if _, err := r.UpdateWhere(s, "phantom", c, AttrObjective, "supply"); err != nil {
+		return nil, err
+	}
+	if _, err := r.UpdateWhere(s, "phantom", c, AttrDestination, "venus"); err != nil {
+		return nil, err
+	}
+	if _, err := r.Delete(c, "phantom"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

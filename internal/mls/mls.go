@@ -1,0 +1,222 @@
+// Package mls implements the Jajodia-Sandhu multilevel secure relational
+// model (§2 of the paper, after [12]): multilevel schemes and instances with
+// per-attribute classification and a tuple class TC, views at an access
+// class (Definition 2.3) with subsumption, the core integrity properties,
+// the filter function σ, and polyinstantiating updates — enough to
+// reconstruct the paper's Mission relation (Figure 1) and its level views
+// (Figures 2 and 3), including the *surprise stories* the paper identifies.
+package mls
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// Value is one attribute cell: a data value (or null) and its
+// classification. Per null integrity, nulls are classified at the key level.
+type Value struct {
+	Data  string
+	Null  bool
+	Class lattice.Label
+}
+
+// V builds a non-null value.
+func V(data string, class lattice.Label) Value { return Value{Data: data, Class: class} }
+
+// NullV builds a null value classified at class.
+func NullV(class lattice.Label) Value { return Value{Null: true, Class: class} }
+
+// Equal reports whether two cells agree in value and classification.
+func (v Value) Equal(u Value) bool {
+	return v.Null == u.Null && v.Class == u.Class && (v.Null || v.Data == u.Data)
+}
+
+// String renders "value class"; nulls render as ⊥.
+func (v Value) String() string {
+	if v.Null {
+		return fmt.Sprintf("⊥ %s", strings.ToUpper(string(v.Class)))
+	}
+	return fmt.Sprintf("%s %s", v.Data, strings.ToUpper(string(v.Class)))
+}
+
+// Tuple is a multilevel tuple: one Value per scheme attribute plus the tuple
+// class TC.
+type Tuple struct {
+	Values []Value
+	TC     lattice.Label
+}
+
+// Equal reports cell-wise equality including TC.
+func (t Tuple) Equal(u Tuple) bool {
+	if t.TC != u.TC || len(t.Values) != len(u.Values) {
+		return false
+	}
+	for i := range t.Values {
+		if !t.Values[i].Equal(u.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scheme is a multilevel relation scheme R(A1,C1,...,An,Cn,TC)
+// (Definition 2.1). KeyIdx selects the apparent-key attribute AK; the paper
+// assumes single-attribute keys (§5, fn 12) and so does this type — see
+// MultiKeyScheme in the multilog package for the §7 extension.
+type Scheme struct {
+	Name   string
+	Attrs  []string
+	KeyIdx int
+	Poset  *lattice.Poset
+}
+
+// NewScheme builds a scheme; the first attribute is the apparent key.
+func NewScheme(name string, poset *lattice.Poset, attrs ...string) (*Scheme, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("mls: scheme %s needs at least one attribute", name)
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if seen[a] {
+			return nil, fmt.Errorf("mls: scheme %s repeats attribute %s", name, a)
+		}
+		seen[a] = true
+	}
+	if err := poset.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheme{Name: name, Attrs: attrs, KeyIdx: 0, Poset: poset}, nil
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Scheme) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Relation is a multilevel relation instance (Definition 2.2).
+type Relation struct {
+	Scheme *Scheme
+	Tuples []Tuple
+}
+
+// NewRelation returns an empty instance of the scheme.
+func NewRelation(s *Scheme) *Relation { return &Relation{Scheme: s} }
+
+// Key returns the apparent-key cell of a tuple.
+func (r *Relation) Key(t Tuple) Value { return t.Values[r.Scheme.KeyIdx] }
+
+// Insert validates the tuple against the instance-level integrity
+// properties and appends it. TC records the access class at which the tuple
+// was inserted or last updated (§2); it defaults to lub{c_i} when left
+// empty and must dominate lub{c_i} otherwise. (Definition 2.2 prints
+// tc = lub{c_i}, but Figure 1's t2 carries TC=S over all-U attributes —
+// the prose above the definition, "TC registers the access class c where
+// the tuple was inserted/updated", is what the figures follow.)
+func (r *Relation) Insert(t Tuple) error {
+	if len(t.Values) != len(r.Scheme.Attrs) {
+		return fmt.Errorf("mls: %s: tuple has %d values, scheme has %d attributes",
+			r.Scheme.Name, len(t.Values), len(r.Scheme.Attrs))
+	}
+	classes := make([]lattice.Label, len(t.Values))
+	for i, v := range t.Values {
+		if !r.Scheme.Poset.Has(v.Class) {
+			return fmt.Errorf("mls: %s: attribute %s classified at undeclared level %q",
+				r.Scheme.Name, r.Scheme.Attrs[i], v.Class)
+		}
+		classes[i] = v.Class
+	}
+	wantTC, ok := r.Scheme.Poset.LubAll(classes)
+	if !ok {
+		return fmt.Errorf("mls: %s: attribute classes %v have no least upper bound", r.Scheme.Name, classes)
+	}
+	if t.TC == lattice.NoLabel {
+		t.TC = wantTC
+	} else if !r.Scheme.Poset.Dominates(t.TC, wantTC) {
+		return fmt.Errorf("mls: %s: TC %s does not dominate lub of attribute classes %s",
+			r.Scheme.Name, t.TC, wantTC)
+	}
+	if err := r.checkTuple(t); err != nil {
+		return err
+	}
+	// A relation instance is a set of tuples (Definition 2.2): re-inserting
+	// an identical tuple is a no-op.
+	for _, u := range r.Tuples {
+		if u.Equal(t) {
+			return nil
+		}
+	}
+	// Incremental polyinstantiation integrity: the new tuple's cells must
+	// agree with every stored cell at the same (key, key class, attribute,
+	// class) — in particular, INSERTing an existing key at its own level
+	// with different values is a key violation, not polyinstantiation.
+	newKey := t.Values[r.Scheme.KeyIdx]
+	for _, u := range r.Tuples {
+		k := u.Values[r.Scheme.KeyIdx]
+		if k.Data != newKey.Data || k.Class != newKey.Class {
+			continue
+		}
+		for i, v := range t.Values {
+			uv := u.Values[i]
+			if uv.Class != v.Class {
+				continue
+			}
+			if uv.Null != v.Null || (!v.Null && uv.Data != v.Data) {
+				return fmt.Errorf("mls: %s: polyinstantiation integrity: key (%s, %s) already holds %s = %s at class %s",
+					r.Scheme.Name, newKey.Data, newKey.Class, r.Scheme.Attrs[i], uv, v.Class)
+			}
+		}
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// MustInsert is Insert panicking on error, for static datasets in tests and
+// examples.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// checkTuple enforces the per-tuple half of entity and null integrity
+// (Definition 5.4; from [12]).
+func (r *Relation) checkTuple(t Tuple) error {
+	key := t.Values[r.Scheme.KeyIdx]
+	if key.Null {
+		return fmt.Errorf("mls: %s: entity integrity: apparent key is null", r.Scheme.Name)
+	}
+	for i, v := range t.Values {
+		if i == r.Scheme.KeyIdx {
+			continue
+		}
+		if !v.Null && !r.Scheme.Poset.Dominates(v.Class, key.Class) {
+			return fmt.Errorf("mls: %s: entity integrity: %s classified %s below key class %s",
+				r.Scheme.Name, r.Scheme.Attrs[i], v.Class, key.Class)
+		}
+		if v.Null && v.Class != key.Class {
+			return fmt.Errorf("mls: %s: null integrity: null %s classified %s, key class is %s",
+				r.Scheme.Name, r.Scheme.Attrs[i], v.Class, key.Class)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Scheme)
+	for _, t := range r.Tuples {
+		vals := append([]Value(nil), t.Values...)
+		c.Tuples = append(c.Tuples, Tuple{Values: vals, TC: t.TC})
+	}
+	return c
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }

@@ -1,0 +1,328 @@
+package mls
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+const (
+	u = lattice.Unclassified
+	c = lattice.Classified
+	s = lattice.Secret
+)
+
+func TestMissionFig1(t *testing.T) {
+	r := Mission()
+	if r.Len() != 10 {
+		t.Fatalf("Mission has %d tuples, want 10", r.Len())
+	}
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatalf("Figure 1 must satisfy the integrity properties: %v", err)
+	}
+	want := []string{
+		"avenger S | shipping S | pluto S | S",
+		"atlantis U | diplomacy U | vulcan U | S",
+		"voyager U | spying S | mars U | S",
+		"phantom U | spying S | omega U | S",
+		"phantom C | supply S | venus S | S",
+		"atlantis U | diplomacy U | vulcan U | C",
+		"atlantis U | diplomacy U | vulcan U | U",
+		"voyager U | training U | mars U | U",
+		"falcon U | piracy U | venus U | U",
+		"eagle U | patrolling U | degoba U | U",
+	}
+	got := r.Rows()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("t%d = %q, want %q", i+1, got[i], want[i])
+		}
+	}
+}
+
+func rowsOf(r *Relation) map[string]bool {
+	m := map[string]bool{}
+	for _, row := range r.Rows() {
+		m[row] = true
+	}
+	return m
+}
+
+func assertRows(t *testing.T, got *Relation, want []string) {
+	t.Helper()
+	gotSet := rowsOf(got)
+	if len(gotSet) != len(want) {
+		t.Fatalf("got %d rows, want %d:\n%s", len(gotSet), len(want), got.Render())
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("missing row %q; got:\n%s", w, got.Render())
+		}
+	}
+}
+
+// Figure 2: the U-level view of Mission under Jajodia-Sandhu filtering with
+// subsumption.
+func TestViewAtUFig2(t *testing.T) {
+	view := Mission().ViewAt(u, ViewOptions{})
+	assertRows(t, view, []string{
+		"phantom U | ⊥ U | omega U | U",
+		"atlantis U | diplomacy U | vulcan U | U",
+		"voyager U | training U | mars U | U",
+		"falcon U | piracy U | venus U | U",
+		"eagle U | patrolling U | degoba U | U",
+	})
+}
+
+// Figure 3: the C-level view.
+func TestViewAtCFig3(t *testing.T) {
+	view := Mission().ViewAt(c, ViewOptions{})
+	assertRows(t, view, []string{
+		"phantom U | ⊥ U | omega U | C",
+		"phantom C | ⊥ C | ⊥ C | C",
+		"atlantis U | diplomacy U | vulcan U | C",
+		"voyager U | training U | mars U | U",
+		"falcon U | piracy U | venus U | U",
+		"eagle U | patrolling U | degoba U | U",
+	})
+}
+
+// §3: the select * query "would produce the entire Mission relation when
+// submitted by an user with a S level clearance" — that is the raw filter
+// with no subsumption elimination (Figure 1 verbatim). With subsumption the
+// cell-equal Atlantis copies collapse onto the maximal-TC one, exactly as
+// Figure 3's footnote describes for level C.
+func TestViewAtSIsWholeRelation(t *testing.T) {
+	raw := Mission().ViewAt(s, ViewOptions{NoSubsumption: true})
+	if raw.Len() != 10 {
+		t.Fatalf("raw S view should have all 10 tuples, got %d:\n%s", raw.Len(), raw.Render())
+	}
+	for i, row := range raw.Rows() {
+		if row != Mission().Rows()[i] {
+			t.Errorf("raw S view row %d = %q, want the Figure 1 tuple %q", i+1, row, Mission().Rows()[i])
+		}
+	}
+	subsumed := Mission().ViewAt(s, ViewOptions{})
+	if subsumed.Len() != 8 {
+		t.Fatalf("subsumed S view should collapse t6/t7 into t2, got %d:\n%s", subsumed.Len(), subsumed.Render())
+	}
+}
+
+func TestViewWithoutSubsumptionKeepsClutter(t *testing.T) {
+	with := Mission().ViewAt(u, ViewOptions{})
+	without := Mission().ViewAt(u, ViewOptions{NoSubsumption: true})
+	if without.Len() <= with.Len() {
+		t.Errorf("subsumption should remove tuples: with=%d without=%d", with.Len(), without.Len())
+	}
+	// Eight tuples carry U-classified keys (all but t1 and t5); subsumption
+	// merges t2/t6/t7 into one row and removes t3's filtrate (covered by t8).
+	if without.Len() != 8 {
+		t.Errorf("unsubsumed U view should have 8 rows, got %d:\n%s", without.Len(), without.Render())
+	}
+}
+
+func TestSurpriseStories(t *testing.T) {
+	stories := Mission().SurpriseStories(c)
+	if len(stories) != 2 {
+		t.Fatalf("C level should see 2 surprise stories (t4, t5), got %d", len(stories))
+	}
+	storiesU := Mission().SurpriseStories(u)
+	if len(storiesU) != 1 {
+		t.Fatalf("U level should see 1 surprise story (t4), got %d", len(storiesU))
+	}
+	storiesS := Mission().SurpriseStories(s)
+	if len(storiesS) != 0 {
+		t.Fatalf("S level sees everything; no surprises, got %d", len(storiesS))
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	r := Mission()
+	full := Tuple{Values: []Value{V("x", u), V("y", u), V("z", u)}, TC: u}
+	holed := Tuple{Values: []Value{V("x", u), NullV(u), V("z", u)}, TC: u}
+	if !r.Subsumes(full, holed) {
+		t.Error("a tuple must subsume its null-weakening")
+	}
+	if r.Subsumes(holed, full) {
+		t.Error("subsumption must not hold in reverse")
+	}
+	other := Tuple{Values: []Value{V("x", u), V("w", u), V("z", u)}, TC: u}
+	if r.Subsumes(full, other) || r.Subsumes(other, full) {
+		t.Error("tuples with conflicting values must not subsume")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	r := NewRelation(MissionScheme())
+	// Null key violates entity integrity.
+	if err := r.Insert(Tuple{Values: []Value{NullV(u), V("x", u), V("y", u)}}); err == nil {
+		t.Error("null apparent key must be rejected")
+	}
+	// Attribute below key class violates entity integrity.
+	if err := r.Insert(Tuple{Values: []Value{V("k", c), V("x", u), V("y", c)}}); err == nil {
+		t.Error("attribute classified below the key must be rejected")
+	}
+	// Null not at key level violates null integrity.
+	if err := r.Insert(Tuple{Values: []Value{V("k", u), NullV(c), V("y", u)}}); err == nil {
+		t.Error("null not at key class must be rejected")
+	}
+	// TC below lub of classes.
+	if err := r.Insert(Tuple{Values: []Value{V("k", u), V("x", s), V("y", u)}, TC: u}); err == nil {
+		t.Error("TC below lub of classes must be rejected")
+	}
+	// Undeclared level.
+	if err := r.Insert(Tuple{Values: []Value{V("k", "zz"), V("x", "zz"), V("y", "zz")}}); err == nil {
+		t.Error("undeclared level must be rejected")
+	}
+	// Wrong arity.
+	if err := r.Insert(Tuple{Values: []Value{V("k", u)}}); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+	// A valid tuple defaults TC to the lub.
+	if err := r.Insert(Tuple{Values: []Value{V("k", u), V("x", s), V("y", u)}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples[0].TC != s {
+		t.Errorf("TC should default to lub = s, got %s", r.Tuples[0].TC)
+	}
+}
+
+func TestPolyinstantiationIntegrity(t *testing.T) {
+	// Insert rejects a conflicting cell at the same (key, key class,
+	// attribute class) up front.
+	r := NewRelation(MissionScheme())
+	r.MustInsert(Tuple{Values: []Value{V("k", u), V("a", s), V("y", u)}})
+	if err := r.Insert(Tuple{Values: []Value{V("k", u), V("b", s), V("y", u)}}); err == nil {
+		t.Error("same (AK, C_AK, C_i) with different values must be rejected at insert time")
+	}
+	// CheckIntegrity catches the same violation introduced by direct
+	// manipulation.
+	r.Tuples = append(r.Tuples, Tuple{Values: []Value{V("k", u), V("b", s), V("y", u)}, TC: s})
+	if err := r.CheckIntegrity(); err == nil {
+		t.Error("direct FD violation must fail CheckIntegrity")
+	}
+	// Different attribute classes are fine.
+	r2 := NewRelation(MissionScheme())
+	r2.MustInsert(Tuple{Values: []Value{V("k", u), V("a", s), V("y", u)}})
+	r2.MustInsert(Tuple{Values: []Value{V("k", u), V("b", c), V("y", u)}})
+	if err := r2.CheckIntegrity(); err != nil {
+		t.Errorf("distinct attribute classes should pass: %v", err)
+	}
+}
+
+func TestMutualSubsumptionRejected(t *testing.T) {
+	r := NewRelation(MissionScheme())
+	tpl := Tuple{Values: []Value{V("k", u), V("a", u), V("y", u)}, TC: u}
+	r.MustInsert(tpl)
+	// Insert deduplicates (a relation is a set, Def 2.2)...
+	r.MustInsert(Tuple{Values: append([]Value(nil), tpl.Values...), TC: u})
+	if r.Len() != 1 {
+		t.Fatalf("Insert must deduplicate: %d tuples", r.Len())
+	}
+	// ...so mutual subsumption can only arise from direct manipulation,
+	// which CheckIntegrity still flags.
+	r.Tuples = append(r.Tuples, Tuple{Values: append([]Value(nil), tpl.Values...), TC: u})
+	if err := r.CheckIntegrity(); err == nil {
+		t.Error("duplicate tuples subsume each other and must be rejected")
+	}
+}
+
+// The paper's §3 narrative: the surprise stories t4 and t5 arise from
+// polyinstantiating updates followed by lower-level deletes.
+func TestMissionByUpdatesProducesSurpriseStories(t *testing.T) {
+	r, err := MissionByUpdates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRows(t, r, []string{
+		"phantom U | spying S | omega U | S", // t4
+		"phantom C | supply S | venus S | S", // t5
+	})
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// At C the two tuples surface with nulls and do not subsume each other
+	// (§3: "tuples t4 and t5 do not subsume each other").
+	view := r.ViewAt(c, ViewOptions{})
+	assertRows(t, view, []string{
+		"phantom U | ⊥ U | omega U | C",
+		"phantom C | ⊥ C | ⊥ C | C",
+	})
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	r := NewRelation(MissionScheme())
+	if err := r.InsertAt(u, "ship", "cargo", "mars"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Update(u, "ship", AttrObjective, "mining")
+	if err != nil || n != 1 {
+		t.Fatalf("Update = %d, %v", n, err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("in-place update must not polyinstantiate: %d tuples", r.Len())
+	}
+	if r.Tuples[0].Values[1].Data != "mining" {
+		t.Errorf("value not updated: %v", r.Tuples[0])
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	r := NewRelation(MissionScheme())
+	if err := r.InsertAt(c, "ship", "cargo", "mars"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Update(u, "ship", AttrObjective, "x"); err == nil {
+		t.Error("subject below the key class must not update")
+	}
+	if _, err := r.Update(s, "ship", "bogus", "x"); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if _, err := r.Update(s, "ghost", AttrObjective, "x"); err == nil {
+		t.Error("unknown key must fail")
+	}
+	if _, err := r.Update(s, "ship", AttrStarship, "x"); err == nil {
+		t.Error("key update must fail")
+	}
+	if _, err := r.Delete(s, "ship"); err == nil {
+		t.Error("delete of a tuple owned by another level must fail")
+	}
+}
+
+func TestRenderContainsHeadersAndRows(t *testing.T) {
+	out := Mission().Render()
+	for _, want := range []string{"starship", "objective", "destination", "TC", "avenger S", "eagle U"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := Mission()
+	cl := r.Clone()
+	cl.Tuples[0].Values[0] = V("ghost", s)
+	if r.Tuples[0].Values[0].Data == "ghost" {
+		t.Error("clone must not share cell storage")
+	}
+}
+
+func TestSchemeValidation(t *testing.T) {
+	if _, err := NewScheme("r", lattice.UCS()); err == nil {
+		t.Error("scheme without attributes must fail")
+	}
+	if _, err := NewScheme("r", lattice.UCS(), "a", "a"); err == nil {
+		t.Error("repeated attribute must fail")
+	}
+	sch, err := NewScheme("r", lattice.UCS(), "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.AttrIndex("b") != 1 || sch.AttrIndex("zz") != -1 {
+		t.Error("AttrIndex broken")
+	}
+}

@@ -1,0 +1,151 @@
+package mls
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// ParseRelation reads a multilevel relation from a simple text format used
+// by the command-line tools:
+//
+//	relation mission(starship, objective, destination)
+//	levels u < c < s
+//	tuple avenger:s shipping:s pluto:s @ s
+//	tuple phantom:u null:u omega:u @ s
+//
+// The first attribute is the apparent key. "levels" lines declare a chain;
+// "order lo hi" lines add individual covering edges for non-chain lattices.
+// Values are value:class pairs, "null" is the null value, and the optional
+// "@ tc" suffix sets the tuple class (defaulting to the lub of the cell
+// classes). Comment lines start with '#'.
+func ParseRelation(src string) (*Relation, error) {
+	var (
+		name  string
+		attrs []string
+		poset = lattice.New()
+		rows  [][]string
+	)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "relation":
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "relation"))
+			open := strings.IndexByte(rest, '(')
+			if open < 0 || !strings.HasSuffix(rest, ")") {
+				return nil, fmt.Errorf("mls: line %d: want relation name(attr, ...)", ln+1)
+			}
+			name = strings.TrimSpace(rest[:open])
+			for _, a := range strings.Split(rest[open+1:len(rest)-1], ",") {
+				attrs = append(attrs, strings.TrimSpace(a))
+			}
+		case "levels":
+			parts := strings.Split(strings.TrimSpace(strings.TrimPrefix(line, "levels")), "<")
+			var prev lattice.Label
+			for i, p := range parts {
+				l := lattice.Label(strings.TrimSpace(p))
+				poset.Add(l)
+				if i > 0 {
+					if err := poset.AddOrder(prev, l); err != nil {
+						return nil, fmt.Errorf("mls: line %d: %v", ln+1, err)
+					}
+				}
+				prev = l
+			}
+		case "order":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("mls: line %d: want order lo hi", ln+1)
+			}
+			if err := poset.AddOrder(lattice.Label(fields[1]), lattice.Label(fields[2])); err != nil {
+				return nil, fmt.Errorf("mls: line %d: %v", ln+1, err)
+			}
+		case "tuple":
+			rows = append(rows, fields[1:])
+		default:
+			return nil, fmt.Errorf("mls: line %d: unknown directive %q", ln+1, fields[0])
+		}
+	}
+	if name == "" || len(attrs) == 0 {
+		return nil, fmt.Errorf("mls: missing relation declaration")
+	}
+	if err := poset.Validate(); err != nil {
+		return nil, err
+	}
+	scheme, err := NewScheme(name, poset, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	rel := NewRelation(scheme)
+	for _, row := range rows {
+		var vals []Value
+		tc := lattice.NoLabel
+		expectTC := false
+		for _, f := range row {
+			if f == "@" {
+				expectTC = true
+				continue
+			}
+			if expectTC {
+				tc = lattice.Label(f)
+				expectTC = false
+				continue
+			}
+			i := strings.LastIndexByte(f, ':')
+			if i < 0 {
+				return nil, fmt.Errorf("mls: tuple cell %q is not value:class", f)
+			}
+			v, cl := f[:i], lattice.Label(f[i+1:])
+			if v == "null" {
+				vals = append(vals, NullV(cl))
+			} else {
+				vals = append(vals, V(v, cl))
+			}
+		}
+		if err := rel.Insert(Tuple{Values: vals, TC: tc}); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// FormatRelation renders the relation back into ParseRelation's format.
+func FormatRelation(r *Relation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "relation %s(%s)\n", r.Scheme.Name, strings.Join(r.Scheme.Attrs, ", "))
+	for _, e := range r.Scheme.Poset.CoverEdges() {
+		fmt.Fprintf(&b, "order %s %s\n", e[0], e[1])
+	}
+	for _, l := range r.Scheme.Poset.Labels() {
+		if len(r.Scheme.Poset.Covers(l)) == 0 && len(r.Scheme.Poset.DownSet(l)) == 1 {
+			// Isolated level: no covering edge mentions it.
+			covered := false
+			for _, e := range r.Scheme.Poset.CoverEdges() {
+				if e[0] == l || e[1] == l {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				fmt.Fprintf(&b, "levels %s\n", l)
+			}
+		}
+	}
+	for _, t := range r.Tuples {
+		b.WriteString("tuple")
+		for _, v := range t.Values {
+			if v.Null {
+				fmt.Fprintf(&b, " null:%s", v.Class)
+			} else {
+				fmt.Fprintf(&b, " %s:%s", v.Data, v.Class)
+			}
+		}
+		fmt.Fprintf(&b, " @ %s\n", t.TC)
+		_ = t
+	}
+	return b.String()
+}

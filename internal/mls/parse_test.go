@@ -1,0 +1,130 @@
+package mls
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+const sampleRelation = `
+# the phantom fragment of Figure 1
+relation mission(starship, objective, destination)
+levels u < c < s
+tuple avenger:s shipping:s pluto:s @ s
+tuple phantom:u null:u omega:u @ s
+tuple eagle:u patrolling:u degoba:u
+`
+
+func TestParseRelation(t *testing.T) {
+	r, err := ParseRelation(sampleRelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme.Name != "mission" || len(r.Scheme.Attrs) != 3 {
+		t.Fatalf("scheme = %+v", r.Scheme)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("tuples = %d", r.Len())
+	}
+	if !r.Tuples[1].Values[1].Null {
+		t.Error("null cell lost")
+	}
+	if r.Tuples[1].TC != s {
+		t.Errorf("explicit TC lost: %s", r.Tuples[1].TC)
+	}
+	if r.Tuples[2].TC != u {
+		t.Errorf("defaulted TC should be lub = u, got %s", r.Tuples[2].TC)
+	}
+	if !r.Scheme.Poset.Dominates(s, u) {
+		t.Error("levels chain lost")
+	}
+}
+
+func TestParseRelationRoundTrip(t *testing.T) {
+	r, err := ParseRelation(sampleRelation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseRelation(FormatRelation(r))
+	if err != nil {
+		t.Fatalf("FormatRelation output does not reparse: %v\n%s", err, FormatRelation(r))
+	}
+	if r.Render() != again.Render() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", r.Render(), again.Render())
+	}
+}
+
+func TestParseRelationMissionMatchesBuiltin(t *testing.T) {
+	r, err := ParseRelation(FormatRelation(Mission()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Render() != Mission().Render() {
+		t.Error("formatted Mission does not reparse to itself")
+	}
+}
+
+func TestParseRelationErrors(t *testing.T) {
+	for _, src := range []string{
+		"tuple a:u",                             // no relation line
+		"relation r(a)\nbogus x",                // unknown directive
+		"relation r\nlevels u",                  // malformed relation
+		"relation r(a)\nlevels u\ntuple a",      // cell without class
+		"relation r(a)\nlevels u\ntuple a:zz",   // undeclared level
+		"relation r(a)\norder u",                // malformed order
+		"relation r(a)\nlevels u < u",           // self-cover
+		"relation r(a, a)\nlevels u",            // duplicate attribute
+		"relation r(a)\nlevels u\ntuple null:u", // null key
+	} {
+		if _, err := ParseRelation(src); err == nil {
+			t.Errorf("ParseRelation(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRelationDiamondOrder(t *testing.T) {
+	src := `
+relation r(k, a)
+order lo left
+order lo right
+order left top
+order right top
+tuple k1:lo x:left
+`
+	r, err := ParseRelation(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme.Poset.Comparable("left", "right") {
+		t.Error("diamond arms must be incomparable")
+	}
+	if !strings.Contains(FormatRelation(r), "order lo left") {
+		t.Error("FormatRelation lost order edges")
+	}
+}
+
+func TestFormatRelationIsolatedLevel(t *testing.T) {
+	p := lattice.New()
+	p.Add("solo")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := NewScheme("r", p, "k", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRelation(scheme)
+	r.MustInsert(Tuple{Values: []Value{V("k1", "solo"), V("x", "solo")}})
+	out := FormatRelation(r)
+	if !strings.Contains(out, "levels solo") {
+		t.Errorf("isolated level lost:\n%s", out)
+	}
+	again, err := ParseRelation(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Render() != r.Render() {
+		t.Error("round trip with isolated level failed")
+	}
+}

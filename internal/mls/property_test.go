@@ -1,0 +1,180 @@
+package mls
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+)
+
+// randomRelation builds a seeded relation over a chain lattice with random
+// polyinstantiation, always integrity-clean by construction.
+func randomRelation(r *rand.Rand) *Relation {
+	levels := []lattice.Label{"l0", "l1", "l2", "l3"}
+	p, err := lattice.Chain(levels...)
+	if err != nil {
+		panic(err)
+	}
+	scheme, err := NewScheme("r", p, "id", "a", "b")
+	if err != nil {
+		panic(err)
+	}
+	rel := NewRelation(scheme)
+	nKeys := 1 + r.Intn(8)
+	for k := 0; k < nKeys; k++ {
+		base := levels[r.Intn(len(levels))]
+		key := fmt.Sprintf("k%d", k)
+		vals := []Value{V(key, base), V(fmt.Sprintf("a%d", r.Intn(4)), base), V(fmt.Sprintf("b%d", r.Intn(4)), base)}
+		rel.MustInsert(Tuple{Values: vals})
+		// Possibly polyinstantiate one attribute at a higher level.
+		if r.Intn(2) == 0 {
+			ups := p.UpSet(base)
+			if len(ups) > 1 {
+				hi := ups[1+r.Intn(len(ups)-1)]
+				pv := append([]Value(nil), vals...)
+				ai := 1 + r.Intn(2)
+				pv[ai] = V(fmt.Sprintf("cover%d", r.Intn(4)), hi)
+				rel.MustInsert(Tuple{Values: pv, TC: hi})
+			}
+		}
+	}
+	return rel
+}
+
+// Simple security, as a property: the keys visible at a level are a subset
+// of those visible at any dominating level.
+func TestQuickViewMonotoneInLevel(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		p := rel.Scheme.Poset
+		for _, lo := range p.Labels() {
+			for _, hi := range p.Labels() {
+				if !p.Dominates(hi, lo) {
+					continue
+				}
+				loKeys := map[string]bool{}
+				for _, t := range rel.ViewAt(lo, ViewOptions{}).Tuples {
+					loKeys[t.Values[0].Data] = true
+				}
+				hiKeys := map[string]bool{}
+				for _, t := range rel.ViewAt(hi, ViewOptions{}).Tuples {
+					hiKeys[t.Values[0].Data] = true
+				}
+				for k := range loKeys {
+					if !hiKeys[k] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Filtering is idempotent: viewing an already-filtered relation at the same
+// level changes nothing.
+func TestQuickViewIdempotent(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		for _, c := range rel.Scheme.Poset.Labels() {
+			once := rel.ViewAt(c, ViewOptions{})
+			twice := once.ViewAt(c, ViewOptions{})
+			if once.Render() != twice.Render() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Views never leak: every cell in a view at c is classified ⪯ c, and every
+// tuple class is ⪯ c.
+func TestQuickViewNoReadUp(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		p := rel.Scheme.Poset
+		for _, c := range p.Labels() {
+			for _, t := range rel.ViewAt(c, ViewOptions{}).Tuples {
+				if !p.Dominates(c, t.TC) {
+					return false
+				}
+				for _, v := range t.Values {
+					if !p.Dominates(c, v.Class) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Subsumption elimination only removes rows, never invents them, and the
+// surviving rows all come from the unsubsumed view.
+func TestQuickSubsumptionShrinks(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		for _, c := range rel.Scheme.Poset.Labels() {
+			with := rel.ViewAt(c, ViewOptions{})
+			without := rel.ViewAt(c, ViewOptions{NoSubsumption: true})
+			if with.Len() > without.Len() {
+				return false
+			}
+			all := map[string]bool{}
+			for _, row := range without.Rows() {
+				all[row] = true
+			}
+			for _, row := range with.Rows() {
+				if !all[row] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Random update/delete sequences preserve the integrity properties.
+func TestQuickUpdatesPreserveIntegrity(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r)
+		p := rel.Scheme.Poset
+		levels := p.Labels()
+		attrs := []string{"a", "b"}
+		for op := 0; op < 6; op++ {
+			user := levels[r.Intn(len(levels))]
+			key := fmt.Sprintf("k%d", r.Intn(8))
+			switch r.Intn(3) {
+			case 0:
+				rel.Update(user, key, attrs[r.Intn(2)], fmt.Sprintf("w%d", r.Intn(4)))
+			case 1:
+				rel.Delete(user, key)
+			case 2:
+				rel.InsertAt(user, fmt.Sprintf("n%d", r.Intn(4)), "x", "y")
+			}
+		}
+		return rel.CheckIntegrity() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

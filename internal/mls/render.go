@@ -1,0 +1,75 @@
+package mls
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render prints the relation as a fixed-width text table in the layout of
+// the paper's figures: one "value CLASS" column per attribute plus TC.
+// It is used by the figure-regeneration harness (cmd/benchfig) and by the
+// golden tests that compare views against Figures 1-3 and 6-8.
+func (r *Relation) Render() string {
+	headers := make([]string, 0, len(r.Scheme.Attrs)+1)
+	headers = append(headers, r.Scheme.Attrs...)
+	headers = append(headers, "TC")
+	rows := make([][]string, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		row := make([]string, 0, len(headers))
+		for _, v := range t.Values {
+			row = append(row, v.String())
+		}
+		row = append(row, strings.ToUpper(string(t.TC)))
+		rows = append(rows, row)
+	}
+	return renderTable(headers, rows)
+}
+
+// Rows returns the relation in the compact row notation used throughout the
+// tests: each tuple as "v1 C1 | v2 C2 | ... | TC".
+func (r *Relation) Rows() []string {
+	out := make([]string, len(r.Tuples))
+	for i, t := range r.Tuples {
+		parts := make([]string, 0, len(t.Values)+1)
+		for _, v := range t.Values {
+			parts = append(parts, v.String())
+		}
+		parts = append(parts, strings.ToUpper(string(t.TC)))
+		out[i] = strings.Join(parts, " | ")
+	}
+	return out
+}
+
+func renderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

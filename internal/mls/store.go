@@ -1,0 +1,138 @@
+package mls
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lattice"
+)
+
+// Store is a thread-safe, journal-backed multilevel relation shared by
+// concurrent user sessions. Each session is pinned to a clearance at open
+// time (§5.2: the context "may be determined at login time") and every
+// mutation is attributed and journaled. Reads serve the Jajodia-Sandhu
+// view at the session's clearance; mutations go through the required-
+// polyinstantiation update semantics.
+type Store struct {
+	mu sync.RWMutex
+	j  *Journal
+}
+
+// NewStore creates a store over an empty instance of the scheme.
+func NewStore(scheme *Scheme) *Store {
+	return &Store{j: NewJournal(scheme)}
+}
+
+// NewStoreFrom seeds a store by journaling subject-attributed inserts for
+// every tuple of an existing relation whose cells are uniformly classified
+// at the tuple's TC; mixed-classification tuples cannot be expressed as a
+// single attributed insert and are rejected.
+func NewStoreFrom(r *Relation) (*Store, error) {
+	s := NewStore(r.Scheme)
+	for _, t := range r.Tuples {
+		data := make([]string, len(t.Values))
+		for i, v := range t.Values {
+			if v.Null {
+				return nil, fmt.Errorf("mls: NewStoreFrom: null cell cannot be journaled as an insert")
+			}
+			if v.Class != t.TC {
+				return nil, fmt.Errorf("mls: NewStoreFrom: tuple %v is not uniformly classified at its TC", t.Values)
+			}
+			data[i] = v.Data
+		}
+		if err := s.j.Insert(t.TC, data...); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Session is a handle pinned to one clearance.
+type Session struct {
+	store *Store
+	level lattice.Label
+}
+
+// Open starts a session at the given clearance.
+func (s *Store) Open(level lattice.Label) (*Session, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.j.Relation().Scheme.Poset.Has(level) {
+		return nil, fmt.Errorf("mls: unknown clearance %q", level)
+	}
+	return &Session{store: s, level: level}, nil
+}
+
+// Level returns the session's clearance.
+func (se *Session) Level() lattice.Label { return se.level }
+
+// View returns the session's Jajodia-Sandhu view (a snapshot — mutations
+// after the call do not affect it).
+func (se *Session) View() *Relation {
+	se.store.mu.RLock()
+	defer se.store.mu.RUnlock()
+	return se.store.j.Relation().ViewAt(se.level, ViewOptions{})
+}
+
+// Snapshot returns a deep copy of the raw relation for belief computation
+// at the session's level; callers pass it to the belief package. The copy
+// is private to the caller.
+func (se *Session) Snapshot() *Relation {
+	se.store.mu.RLock()
+	defer se.store.mu.RUnlock()
+	return se.store.j.Relation().Clone()
+}
+
+// Insert writes a tuple at the session's level.
+func (se *Session) Insert(data ...string) error {
+	se.store.mu.Lock()
+	defer se.store.mu.Unlock()
+	return se.store.j.Insert(se.level, data...)
+}
+
+// Update updates one attribute across the visible chains of the key.
+func (se *Session) Update(key, attr, newValue string) error {
+	se.store.mu.Lock()
+	defer se.store.mu.Unlock()
+	return se.store.j.Update(se.level, key, lattice.NoLabel, attr, newValue)
+}
+
+// UpdateChain updates one attribute of a single polyinstantiation chain.
+func (se *Session) UpdateChain(key string, keyClass lattice.Label, attr, newValue string) error {
+	se.store.mu.Lock()
+	defer se.store.mu.Unlock()
+	return se.store.j.Update(se.level, key, keyClass, attr, newValue)
+}
+
+// Delete removes the session's own versions of the keyed tuple.
+func (se *Session) Delete(key string) error {
+	se.store.mu.Lock()
+	defer se.store.mu.Unlock()
+	return se.store.j.Delete(se.level, key)
+}
+
+// Audit returns the attributed operation log. Access to the audit trail is
+// an administrative capability: it is not subject to the visibility rules,
+// exactly because answering "who above me wrote this?" (Journal.Blame)
+// requires seeing above one's clearance.
+func (s *Store) Audit() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.j.Audit()
+}
+
+// Journal exposes the underlying journal for administrative use (replay,
+// blame). The returned journal must not be mutated concurrently with
+// sessions; take it after the sessions quiesce.
+func (s *Store) Journal() *Journal {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.j
+}
+
+// CheckIntegrity validates the live relation.
+func (s *Store) CheckIntegrity() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.j.Relation().CheckIntegrity()
+}

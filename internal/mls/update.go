@@ -1,0 +1,201 @@
+package mls
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+)
+
+// InsertAt inserts a tuple written entirely at the subject's level — the
+// ★-property allows a subject to write only at its own level, so ordinary
+// INSERTs classify every cell at the subject's clearance.
+func (r *Relation) InsertAt(user lattice.Label, data ...string) error {
+	if len(data) != len(r.Scheme.Attrs) {
+		return fmt.Errorf("mls: %s: InsertAt needs %d values", r.Scheme.Name, len(r.Scheme.Attrs))
+	}
+	vals := make([]Value, len(data))
+	for i, d := range data {
+		vals[i] = V(d, user)
+	}
+	return r.Insert(Tuple{Values: vals})
+}
+
+// Update performs a multilevel update of one attribute by a subject cleared
+// at user, across every polyinstantiation chain (key data + key class)
+// whose key is visible to the subject. It reports the number of tuples
+// written. See UpdateWhere for the per-chain semantics.
+func (r *Relation) Update(user lattice.Label, key, attr, newValue string) (int, error) {
+	p := r.Scheme.Poset
+	seen := map[lattice.Label]bool{}
+	var chains []lattice.Label
+	for _, t := range r.Tuples {
+		k := t.Values[r.Scheme.KeyIdx]
+		if k.Data != key || !p.Dominates(user, k.Class) {
+			continue
+		}
+		if !seen[k.Class] {
+			seen[k.Class] = true
+			chains = append(chains, k.Class)
+		}
+	}
+	if len(chains) == 0 {
+		return 0, fmt.Errorf("mls: %s: no tuple with key %s visible at %s", r.Scheme.Name, key, user)
+	}
+	written := 0
+	for _, kc := range chains {
+		n, err := r.UpdateWhere(user, key, kc, attr, newValue)
+		if err != nil {
+			return written, err
+		}
+		written += n
+	}
+	return written, nil
+}
+
+// UpdateWhere updates one attribute within a single polyinstantiation chain
+// (the tuples sharing key data and key classification keyClass), enforcing
+// required polyinstantiation [12]:
+//
+//   - a subject owns the cells classified at its level. If any tuple in
+//     the chain holds the attribute at exactly the subject's level, the
+//     write happens in place — and propagates to *every* such cell in the
+//     chain, because polyinstantiated higher versions borrow the lower
+//     cells rather than owning them (otherwise the functional dependency
+//     AK, C_AK, C_i → A_i would break the moment the owner updates);
+//   - otherwise a polyinstantiated copy of the most informative visible
+//     version is created with the cell reclassified at the subject's level.
+//     The lower tuple survives — this is precisely how the paper's tuples
+//     t4 and t5 come into existence (§3, "possible through a series of
+//     updates if required polyinstantiation is enforced").
+func (r *Relation) UpdateWhere(user lattice.Label, key string, keyClass lattice.Label, attr, newValue string) (int, error) {
+	ai := r.Scheme.AttrIndex(attr)
+	if ai < 0 {
+		return 0, fmt.Errorf("mls: %s: no attribute %s", r.Scheme.Name, attr)
+	}
+	if ai == r.Scheme.KeyIdx {
+		return 0, fmt.Errorf("mls: %s: updating the apparent key is not supported; delete and re-insert", r.Scheme.Name)
+	}
+	p := r.Scheme.Poset
+	if !p.Dominates(user, keyClass) {
+		return 0, fmt.Errorf("mls: %s: subject at %s cannot see keys classified %s", r.Scheme.Name, user, keyClass)
+	}
+	inChain := func(t Tuple) bool {
+		k := t.Values[r.Scheme.KeyIdx]
+		return k.Data == key && k.Class == keyClass
+	}
+	// In-place overwrite: the subject's own version (TC == user) takes the
+	// write and reclassifies the cell at the subject's level; borrowed
+	// copies of the subject's cell (same attribute classified at the
+	// subject's level inside polyinstantiated higher versions) get the
+	// propagation, keeping the FD AK, C_AK, C_i → A_i intact.
+	wrote := 0
+	ownerIdx := -1
+	for i := range r.Tuples {
+		if inChain(r.Tuples[i]) && r.Tuples[i].TC == user {
+			ownerIdx = i
+			break
+		}
+	}
+	if ownerIdx >= 0 {
+		t := &r.Tuples[ownerIdx]
+		t.Values[ai] = V(newValue, user)
+		t.TC = r.recomputeTC(*t, user)
+		wrote++
+	}
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		if i == ownerIdx || !inChain(*t) || t.Values[ai].Class != user {
+			continue
+		}
+		t.Values[ai] = V(newValue, user)
+		wrote++
+	}
+	if wrote > 0 {
+		return wrote, nil
+	}
+	// Required polyinstantiation: synthesize the subject's version from the
+	// chain's *visible cells* — any cell classified ⪯ user, wherever its
+	// host tuple's TC sits. (Pulling only from fully-visible tuples would
+	// let a synthesized null contradict a borrowed cell living in a higher
+	// tuple, breaking the FD.) Per attribute the maximal-class visible
+	// cell wins; attributes with no visible cell become nulls at the key
+	// class.
+	exists := false
+	for _, t := range r.Tuples {
+		if inChain(t) {
+			exists = true
+			break
+		}
+	}
+	if !exists {
+		return 0, fmt.Errorf("mls: %s: no tuple with key (%s, %s)", r.Scheme.Name, key, keyClass)
+	}
+	vals := make([]Value, len(r.Scheme.Attrs))
+	for i := range vals {
+		if i == r.Scheme.KeyIdx {
+			vals[i] = V(key, keyClass)
+			continue
+		}
+		found := false
+		var best Value
+		for _, t := range r.Tuples {
+			if !inChain(t) {
+				continue
+			}
+			cell := t.Values[i]
+			if cell.Null || !p.Dominates(user, cell.Class) {
+				continue
+			}
+			if !found || p.StrictlyDominates(cell.Class, best.Class) {
+				best, found = cell, true
+			}
+		}
+		if found {
+			vals[i] = best
+		} else {
+			vals[i] = NullV(keyClass)
+		}
+	}
+	vals[ai] = V(newValue, user)
+	if err := r.Insert(Tuple{Values: vals, TC: r.recomputeTC(Tuple{Values: vals}, user)}); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// Delete removes the subject's own versions of the keyed tuple: those whose
+// apparent key is classified at the subject's level and whose TC equals it.
+// The ★-property forbids deleting data owned by other levels, so
+// polyinstantiated higher-level copies keyed at the subject's level survive
+// and, lacking their lower-level companion, surface as the paper's surprise
+// stories.
+func (r *Relation) Delete(user lattice.Label, key string) (int, error) {
+	removed := 0
+	var kept []Tuple
+	for _, t := range r.Tuples {
+		k := t.Values[r.Scheme.KeyIdx]
+		if k.Data == key && k.Class == user && t.TC == user {
+			removed++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if removed == 0 {
+		return 0, fmt.Errorf("mls: %s: no tuple with key %s owned at %s", r.Scheme.Name, key, user)
+	}
+	r.Tuples = kept
+	return removed, nil
+}
+
+// recomputeTC returns the tuple class after a write at level user: the lub
+// of the cell classes joined with the writing subject's level, since TC
+// records where the tuple was last written.
+func (r *Relation) recomputeTC(t Tuple, user lattice.Label) lattice.Label {
+	classes := make([]lattice.Label, 0, len(t.Values)+1)
+	for _, v := range t.Values {
+		classes = append(classes, v.Class)
+	}
+	classes = append(classes, user)
+	tc, _ := r.Scheme.Poset.LubAll(classes)
+	return tc
+}

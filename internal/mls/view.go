@@ -1,0 +1,139 @@
+package mls
+
+import (
+	"repro/internal/lattice"
+)
+
+// ViewOptions tunes ViewAt. The defaults reproduce the paper's Figures 2
+// and 3 (filter σ with subsumption elimination).
+type ViewOptions struct {
+	// NoSubsumption keeps subsumed tuples in the view; used by the
+	// subsumption ablation benchmark.
+	NoSubsumption bool
+}
+
+// ViewAt computes the view of the relation at access class c
+// (Definition 2.3 plus the filter function σ of [12]):
+//
+//   - a tuple appears iff c dominates its apparent-key classification;
+//   - attribute values whose classification is not dominated by c are
+//     replaced by null classified at the key level (null integrity);
+//   - the filtered tuple class is glb(TC, c) — the classification the tuple
+//     carries in the c-world (this matches Figures 2 and 3 exactly: Figure 2
+//     renders t4 with TC=U, Figure 3 renders the same tuple with TC=C);
+//   - subsumed tuples are eliminated: u subsumes v when they agree on the
+//     key, every attribute of u equals v's or covers a null of v's, and
+//     u's TC dominates v's.
+func (r *Relation) ViewAt(c lattice.Label, opts ViewOptions) *Relation {
+	out := NewRelation(r.Scheme)
+	p := r.Scheme.Poset
+	keyIdx := r.Scheme.KeyIdx
+	for _, t := range r.Tuples {
+		key := t.Values[keyIdx]
+		if !p.Dominates(c, key.Class) {
+			continue // simple security: the subject cannot even see the key
+		}
+		vals := make([]Value, len(t.Values))
+		for i, v := range t.Values {
+			if p.Dominates(c, v.Class) {
+				vals[i] = v
+			} else {
+				vals[i] = NullV(key.Class)
+			}
+		}
+		tc, ok := p.Glb(t.TC, c)
+		if !ok {
+			// With an incomparable TC the tuple carries no meaningful class
+			// in the c-world; fall back to the lub of the visible classes.
+			classes := make([]lattice.Label, len(vals))
+			for i, v := range vals {
+				classes[i] = v.Class
+			}
+			tc, _ = p.LubAll(classes)
+		}
+		out.Tuples = append(out.Tuples, Tuple{Values: vals, TC: tc})
+	}
+	if !opts.NoSubsumption {
+		out.Tuples = eliminateSubsumed(r.Scheme, out.Tuples)
+	}
+	return out
+}
+
+// Subsumes reports whether u subsumes v (Definition 5.4's subsumption
+// clause, lifted from [12]): same arity, and for every attribute either the
+// cells are equal or u has a non-null value where v has a null.
+//
+// Subsumption compares attribute cells only, not TC: in Figure 3 the tuple
+// t8 (TC=U) subsumes t3's filtrate (TC=C) even though its TC is lower.
+func (r *Relation) Subsumes(u, v Tuple) bool {
+	return subsumes(u, v)
+}
+
+func subsumes(u, v Tuple) bool {
+	if len(u.Values) != len(v.Values) {
+		return false
+	}
+	for i := range u.Values {
+		a, b := u.Values[i], v.Values[i]
+		if a.Equal(b) {
+			continue
+		}
+		if !a.Null && b.Null {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// eliminateSubsumed removes subsumed tuples, preserving the order of the
+// survivors. Among tuples with identical cells (mutual subsumption) only
+// those with maximal TC survive, first occurrence winning ties — Figure 3
+// keeps the TC=C copy of the Atlantis tuple and drops the TC=U copies.
+func eliminateSubsumed(s *Scheme, tuples []Tuple) []Tuple {
+	var out []Tuple
+	for i, v := range tuples {
+		dead := false
+		for j, u := range tuples {
+			if i == j {
+				continue
+			}
+			if !subsumes(u, v) {
+				continue
+			}
+			if !subsumes(v, u) {
+				// u strictly subsumes v: v carries nulls u resolves.
+				dead = true
+				break
+			}
+			// Identical cells: keep the maximal-TC copy, earliest first.
+			if s.Poset.StrictlyDominates(u.TC, v.TC) ||
+				(u.TC == v.TC && j < i) {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SurpriseStories returns the tuples in the view at c that carry null
+// values — the paper's §3 surprise stories: nulls that flowed down from a
+// higher level reveal to the c-subject that a cover story exists (and that
+// she was given one herself). Figures 3's t4/t5 are the canonical instance.
+func (r *Relation) SurpriseStories(c lattice.Label) []Tuple {
+	view := r.ViewAt(c, ViewOptions{})
+	var out []Tuple
+	for _, t := range view.Tuples {
+		for _, v := range t.Values {
+			if v.Null {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package mlsql implements the extended SQL the paper proposes in §3.2: a
+// small SELECT dialect over multilevel relations with a USER CONTEXT
+// declaration and a BELIEVED <mode> clause, so that the paper's "list all
+// starships that are spying on Mars without any doubt" query runs verbatim
+// (modulo keyword casing).
+//
+// Belief modes with multiple models (the cautious mode can fork on
+// incomparable sources, §3.1) are evaluated under certain-answer semantics:
+// a row qualifies only if it qualifies in every model.
+package mlsql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is a parsed mlsql statement: an optional user context followed
+// by a set expression.
+type Statement struct {
+	// User is the clearance the query runs at ("USER CONTEXT u"); empty
+	// means the engine's default context.
+	User string
+	Expr SetExpr
+}
+
+// SetExpr is a set expression over SELECTs: a single Select or a binary
+// INTERSECT / UNION / EXCEPT combination.
+type SetExpr interface {
+	render(b *strings.Builder)
+}
+
+// Select is one SELECT ... FROM ... [WHERE ...] [BELIEVED ...] block.
+type Select struct {
+	Columns []string // projected column names, or ["*"]
+	From    string   // relation name
+	Alias   string   // optional alias
+	Where   []Cond   // conjunctive conditions
+	// Mode is the belief mode ("fir", "opt", "cau", or a user-registered
+	// name); empty means the plain Jajodia-Sandhu view at the context
+	// level (no belief computation).
+	Mode string
+}
+
+// CondOp is a comparison operator in WHERE.
+type CondOp int
+
+const (
+	OpEq CondOp = iota
+	OpNeq
+	OpIn
+	OpNotIn
+)
+
+// Cond is one WHERE conjunct: column <op> literal, or column [NOT] IN
+// (set-expression).
+type Cond struct {
+	Column string
+	Op     CondOp
+	Value  string  // for OpEq / OpNeq
+	Sub    SetExpr // for OpIn / OpNotIn
+}
+
+// SetOp combines two set expressions.
+type SetOp struct {
+	Op          string // "intersect", "union" or "except"
+	Left, Right SetExpr
+}
+
+func (s *Select) render(b *strings.Builder) {
+	fmt.Fprintf(b, "select %s from %s", strings.Join(s.Columns, ", "), s.From)
+	if s.Alias != "" {
+		fmt.Fprintf(b, " %s", s.Alias)
+	}
+	if len(s.Where) > 0 {
+		b.WriteString(" where ")
+		for i, c := range s.Where {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			switch c.Op {
+			case OpEq:
+				fmt.Fprintf(b, "%s = %s", c.Column, c.Value)
+			case OpNeq:
+				fmt.Fprintf(b, "%s != %s", c.Column, c.Value)
+			case OpIn, OpNotIn:
+				if c.Op == OpNotIn {
+					fmt.Fprintf(b, "%s not in (", c.Column)
+				} else {
+					fmt.Fprintf(b, "%s in (", c.Column)
+				}
+				c.Sub.render(b)
+				b.WriteString(")")
+			}
+		}
+	}
+	if s.Mode != "" {
+		fmt.Fprintf(b, " believed %s", modeAdverb(s.Mode))
+	}
+}
+
+func (s *SetOp) render(b *strings.Builder) {
+	b.WriteString("(")
+	s.Left.render(b)
+	b.WriteString(") ")
+	b.WriteString(s.Op)
+	b.WriteString(" (")
+	s.Right.render(b)
+	b.WriteString(")")
+}
+
+// String renders the statement back to (normalized) mlsql source.
+func (st *Statement) String() string {
+	var b strings.Builder
+	if st.User != "" {
+		fmt.Fprintf(&b, "user context %s\n", st.User)
+	}
+	st.Expr.render(&b)
+	return b.String()
+}
+
+// modeAdverb maps internal mode names back to the paper's surface adverbs.
+func modeAdverb(mode string) string {
+	switch mode {
+	case "fir":
+		return "firmly"
+	case "opt":
+		return "optimistically"
+	case "cau":
+		return "cautiously"
+	}
+	return mode
+}
+
+// adverbMode maps the paper's surface adverbs (and the bare mode names) to
+// internal mode names.
+func adverbMode(word string) string {
+	switch strings.ToLower(word) {
+	case "firmly", "firm", "fir":
+		return "fir"
+	case "optimistically", "optimistic", "opt":
+		return "opt"
+	case "cautiously", "cautious", "cau":
+		return "cau"
+	}
+	return strings.ToLower(word)
+}

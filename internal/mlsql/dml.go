@@ -1,0 +1,227 @@
+package mlsql
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+)
+
+// DML is a parsed data-modification statement. MLS semantics apply: the
+// USER CONTEXT is the writing subject, INSERT classifies every cell at the
+// subject's level (the ★-property), UPDATE follows required
+// polyinstantiation, and DELETE removes only the subject's own versions —
+// so a DELETE after a higher UPDATE leaves the paper's surprise story
+// behind, exactly as in §3.
+type DML struct {
+	User string
+	Kind DMLKind
+	Rel  string
+	// Insert
+	Values []string
+	// Update
+	SetColumn string
+	SetValue  string
+	// Update / Delete: the apparent-key equality from WHERE.
+	WhereColumn string
+	Key         string
+}
+
+// DMLKind discriminates the statement kinds.
+type DMLKind int
+
+const (
+	DMLInsert DMLKind = iota
+	DMLUpdate
+	DMLDelete
+)
+
+// ParseDML parses one of:
+//
+//	user context c insert into mission values (phantom, escort, rigel)
+//	user context s update mission set objective = spying where starship = phantom
+//	user context u delete from mission where starship = phantom
+//
+// The WHERE clause of UPDATE and DELETE must be a single equality on the
+// relation's apparent key: MLS updates address entities, not arbitrary
+// predicates.
+func ParseDML(src string) (*DML, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	st := &DML{}
+	if p.acceptKeyword("user") {
+		if !p.acceptKeyword("context") {
+			return nil, p.errf("expected CONTEXT after USER")
+		}
+		word, ok := p.acceptWord()
+		if !ok {
+			return nil, p.errf("expected a level after USER CONTEXT")
+		}
+		st.User = word
+	}
+	switch {
+	case p.acceptKeyword("insert"):
+		if !p.acceptKeyword("into") {
+			return nil, p.errf("expected INTO after INSERT")
+		}
+		st.Kind = DMLInsert
+		rel, ok := p.acceptWord()
+		if !ok {
+			return nil, p.errf("expected a relation name")
+		}
+		st.Rel = rel
+		if !p.acceptKeyword("values") || !p.accept("(") {
+			return nil, p.errf("expected VALUES (...)")
+		}
+		for {
+			v, ok := p.acceptWord()
+			if !ok {
+				return nil, p.errf("expected a literal in VALUES")
+			}
+			st.Values = append(st.Values, v)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if !p.accept(")") {
+			return nil, p.errf("expected ')' closing VALUES")
+		}
+	case p.acceptKeyword("update"):
+		st.Kind = DMLUpdate
+		rel, ok := p.acceptWord()
+		if !ok {
+			return nil, p.errf("expected a relation name")
+		}
+		st.Rel = rel
+		if !p.acceptKeyword("set") {
+			return nil, p.errf("expected SET")
+		}
+		col, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		st.SetColumn = col
+		if !p.accept("=") {
+			return nil, p.errf("expected '=' in SET")
+		}
+		v, ok := p.acceptWord()
+		if !ok {
+			return nil, p.errf("expected a literal in SET")
+		}
+		st.SetValue = v
+		if err := p.whereKey(st); err != nil {
+			return nil, err
+		}
+	case p.acceptKeyword("delete"):
+		st.Kind = DMLDelete
+		if !p.acceptKeyword("from") {
+			return nil, p.errf("expected FROM after DELETE")
+		}
+		rel, ok := p.acceptWord()
+		if !ok {
+			return nil, p.errf("expected a relation name")
+		}
+		st.Rel = rel
+		if err := p.whereKey(st); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected INSERT, UPDATE or DELETE, found %q", p.peek())
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.peek())
+	}
+	return st, nil
+}
+
+// whereKey parses "WHERE <col> = <literal>" and stores the key; column
+// validation against the scheme happens at execution time.
+func (p *sqlParser) whereKey(st *DML) error {
+	if !p.acceptKeyword("where") {
+		return p.errf("expected WHERE")
+	}
+	col, err := p.columnRef()
+	if err != nil {
+		return err
+	}
+	st.WhereColumn = col
+	if !p.accept("=") {
+		return p.errf("expected '=' in WHERE")
+	}
+	v, ok := p.acceptWord()
+	if !ok {
+		return p.errf("expected a literal in WHERE")
+	}
+	st.Key = v
+	return nil
+}
+
+// ExecuteDML parses and applies a DML statement, returning the number of
+// tuples written or removed.
+func (e *Engine) ExecuteDML(src string) (int, error) {
+	st, err := ParseDML(src)
+	if err != nil {
+		return 0, err
+	}
+	return e.RunDML(st)
+}
+
+// RunDML applies a parsed DML statement.
+func (e *Engine) RunDML(st *DML) (int, error) {
+	user := e.DefaultUser
+	if st.User != "" {
+		user = lattice.Label(st.User)
+	}
+	if user == lattice.NoLabel {
+		return 0, fmt.Errorf("mlsql: no user context (add USER CONTEXT <level> or set DefaultUser)")
+	}
+	rel, ok := e.relations[st.Rel]
+	if !ok {
+		return 0, fmt.Errorf("mlsql: unknown relation %q", st.Rel)
+	}
+	if !rel.Scheme.Poset.Has(user) {
+		return 0, fmt.Errorf("mlsql: unknown user context %q", user)
+	}
+	keyAttr := rel.Scheme.Attrs[rel.Scheme.KeyIdx]
+	switch st.Kind {
+	case DMLInsert:
+		if err := rel.InsertAt(user, st.Values...); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	case DMLUpdate:
+		if st.WhereColumn != keyAttr {
+			return 0, fmt.Errorf("mlsql: UPDATE addresses entities by the apparent key %q, not %q", keyAttr, st.WhereColumn)
+		}
+		return rel.Update(user, st.Key, st.SetColumn, st.SetValue)
+	case DMLDelete:
+		if st.WhereColumn != keyAttr {
+			return 0, fmt.Errorf("mlsql: DELETE addresses entities by the apparent key %q, not %q", keyAttr, st.WhereColumn)
+		}
+		return rel.Delete(user, st.Key)
+	}
+	return 0, fmt.Errorf("mlsql: unknown DML kind %d", st.Kind)
+}
+
+// IsDML reports whether the statement is INSERT/UPDATE/DELETE (after an
+// optional USER CONTEXT prefix); callers route to ExecuteDML vs Execute.
+func IsDML(src string) bool {
+	toks, err := tokenize(src)
+	if err != nil {
+		return false
+	}
+	p := &sqlParser{toks: toks}
+	if p.acceptKeyword("user") {
+		p.acceptKeyword("context")
+		p.acceptWord()
+	}
+	switch p.peek() {
+	case "insert", "update", "delete":
+		return true
+	}
+	return false
+}

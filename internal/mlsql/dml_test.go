@@ -1,0 +1,156 @@
+package mlsql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+func emptyMissionEngine() *Engine {
+	e := NewEngine()
+	e.Register(mls.NewRelation(mls.MissionScheme()))
+	return e
+}
+
+// The §3 Phantom narrative end-to-end in SQL: insert at U, update at S
+// (required polyinstantiation), delete at U — and the surprise story
+// surfaces in the C-level SELECT.
+func TestDMLPhantomNarrative(t *testing.T) {
+	e := emptyMissionEngine()
+	steps := []struct {
+		sql  string
+		want int
+	}{
+		{"user context u insert into mission values (phantom, smuggling, omega)", 1},
+		{"user context s update mission set objective = spying where starship = phantom", 1},
+		{"user context u delete from mission where starship = phantom", 1},
+	}
+	for _, st := range steps {
+		n, err := e.ExecuteDML(st.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", st.sql, err)
+		}
+		if n != st.want {
+			t.Fatalf("%s: affected %d, want %d", st.sql, n, st.want)
+		}
+	}
+	res, err := e.Execute("user context c select starship, objective, destination from mission")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if row := res.Rows[0]; row[0] != "phantom" || row[1] != "⊥" || row[2] != "omega" {
+		t.Errorf("surprise story = %v", row)
+	}
+}
+
+func TestDMLUpdateInPlace(t *testing.T) {
+	e := emptyMissionEngine()
+	if _, err := e.ExecuteDML("user context c insert into mission values (ship, cargo, mars)"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.ExecuteDML("user context c update mission set destination = venus where starship = ship")
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	res, err := e.Execute("user context c select destination from mission")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "venus" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestDMLDefaultContext(t *testing.T) {
+	e := emptyMissionEngine()
+	if _, err := e.ExecuteDML("insert into mission values (a, b, c)"); err == nil {
+		t.Error("no context must fail")
+	}
+	e.DefaultUser = lattice.Unclassified
+	if n, err := e.ExecuteDML("insert into mission values (a, b, c)"); err != nil || n != 1 {
+		t.Fatalf("default context insert: %d, %v", n, err)
+	}
+}
+
+func TestDMLErrors(t *testing.T) {
+	e := emptyMissionEngine()
+	if _, err := e.ExecuteDML("user context u insert into mission values (k, o, d)"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sql, wantErr string
+	}{
+		{"user context u insert into ghosts values (a)", "unknown relation"},
+		{"user context zz insert into mission values (a, b, c)", "unknown user context"},
+		{"user context u insert into mission values (a, b)", "3 values"},
+		{"user context u update mission set objective = x where destination = d", "apparent key"},
+		{"user context u delete from mission where objective = o", "apparent key"},
+		{"user context u update mission set bogus = x where starship = k", "no attribute"},
+		{"user context u delete from mission where starship = ghost", "no tuple"},
+		{"user context u select nothing", "INSERT, UPDATE or DELETE"},
+		{"user context u insert into mission values", "VALUES"},
+		{"user context u update mission set objective = x", "WHERE"},
+		{"user context u insert into mission values (a, b, c) trailing", "trailing"},
+	}
+	for _, c := range cases {
+		_, err := e.ExecuteDML(c.sql)
+		if err == nil {
+			t.Errorf("%s: expected an error", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.sql, err, c.wantErr)
+		}
+	}
+}
+
+// DML composes with belief queries: after the narrative, the C analyst's
+// cautious belief contains no Phantom (β suppresses the surprise story),
+// while the plain view shows it.
+func TestDMLThenBelief(t *testing.T) {
+	e := emptyMissionEngine()
+	for _, sql := range []string{
+		"user context u insert into mission values (phantom, smuggling, omega)",
+		"user context s update mission set objective = spying where starship = phantom",
+		"user context u delete from mission where starship = phantom",
+	} {
+		if _, err := e.ExecuteDML(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain, err := e.Execute("user context c select starship from mission")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Rows) != 1 {
+		t.Fatalf("plain rows = %v", plain.Rows)
+	}
+	cau, err := e.Execute("user context c select starship from mission believed cautiously")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cau.Rows) != 0 {
+		t.Fatalf("β must suppress the surprise story, got %v", cau.Rows)
+	}
+}
+
+func TestIsDML(t *testing.T) {
+	cases := map[string]bool{
+		"user context u insert into r values (a)":  true,
+		"update r set a = b where k = c":           true,
+		"user context s delete from r where k = x": true,
+		"user context s select * from r":           false,
+		"select * from r":                          false,
+		"!!!":                                      false,
+	}
+	for src, want := range cases {
+		if got := IsDML(src); got != want {
+			t.Errorf("IsDML(%q) = %v, want %v", src, got, want)
+		}
+	}
+}

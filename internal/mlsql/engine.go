@@ -1,0 +1,359 @@
+package mlsql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/belief"
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+// Engine executes mlsql statements over registered multilevel relations.
+type Engine struct {
+	relations map[string]*mls.Relation
+	registry  *belief.Registry
+	// DefaultUser is the context used when a statement omits USER CONTEXT.
+	DefaultUser lattice.Label
+}
+
+// NewEngine returns an engine with the built-in belief modes registered.
+func NewEngine() *Engine {
+	return &Engine{relations: map[string]*mls.Relation{}, registry: belief.NewRegistry()}
+}
+
+// Register adds (or replaces) a relation under its scheme name.
+func (e *Engine) Register(r *mls.Relation) { e.relations[r.Scheme.Name] = r }
+
+// Registry exposes the belief-mode registry so callers can add user-defined
+// modes (§7).
+func (e *Engine) Registry() *belief.Registry { return e.registry }
+
+// Result is a query result: column names and string rows (data values
+// only; nulls render as ⊥).
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Render prints the result as a fixed-width table.
+func (res *Result) Render() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Columns, " | "))
+	b.WriteByte('\n')
+	for _, row := range res.Rows {
+		b.WriteString(strings.Join(row, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Execute parses and runs a statement.
+func (e *Engine) Execute(src string) (*Result, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(st)
+}
+
+// Run executes a parsed statement.
+func (e *Engine) Run(st *Statement) (*Result, error) {
+	user := e.DefaultUser
+	if st.User != "" {
+		user = lattice.Label(st.User)
+	}
+	if user == lattice.NoLabel {
+		return nil, fmt.Errorf("mlsql: no user context (add USER CONTEXT <level> or set DefaultUser)")
+	}
+	cols, rows, err := e.eval(st.Expr, user)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: cols, Rows: dedupeRows(rows)}, nil
+}
+
+func (e *Engine) eval(expr SetExpr, user lattice.Label) ([]string, [][]string, error) {
+	switch x := expr.(type) {
+	case *Select:
+		return e.evalSelect(x, user)
+	case *SetOp:
+		lc, lr, err := e.eval(x.Left, user)
+		if err != nil {
+			return nil, nil, err
+		}
+		rc, rr, err := e.eval(x.Right, user)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(lc) != len(rc) {
+			return nil, nil, fmt.Errorf("mlsql: %s operands have %d and %d columns", x.Op, len(lc), len(rc))
+		}
+		rset := map[string]bool{}
+		for _, row := range rr {
+			rset[strings.Join(row, "\x00")] = true
+		}
+		var out [][]string
+		switch x.Op {
+		case "intersect":
+			for _, row := range lr {
+				if rset[strings.Join(row, "\x00")] {
+					out = append(out, row)
+				}
+			}
+		case "except":
+			for _, row := range lr {
+				if !rset[strings.Join(row, "\x00")] {
+					out = append(out, row)
+				}
+			}
+		case "union":
+			out = append(append([][]string{}, lr...), rr...)
+		}
+		return lc, out, nil
+	}
+	return nil, nil, fmt.Errorf("mlsql: unknown set expression %T", expr)
+}
+
+// evalSelect runs one SELECT block: compute the belief view (certain-answer
+// across models for forking modes), filter, project.
+func (e *Engine) evalSelect(s *Select, user lattice.Label) ([]string, [][]string, error) {
+	base, ok := e.relations[s.From]
+	if !ok {
+		return nil, nil, fmt.Errorf("mlsql: unknown relation %q", s.From)
+	}
+	if !base.Scheme.Poset.Has(user) {
+		return nil, nil, fmt.Errorf("mlsql: unknown user context %q", user)
+	}
+	var models []*mls.Relation
+	switch s.Mode {
+	case "":
+		// No BELIEVED clause: the plain Jajodia-Sandhu view at the level.
+		models = []*mls.Relation{base.ViewAt(user, mls.ViewOptions{})}
+	case "fir", "opt", "cau":
+		ms, err := belief.BetaModels(base, user, belief.Mode(s.Mode))
+		if err != nil {
+			return nil, nil, err
+		}
+		models = ms
+	default:
+		m, err := e.registry.Apply(base, user, belief.Mode(s.Mode))
+		if err != nil {
+			return nil, nil, err
+		}
+		models = []*mls.Relation{m}
+	}
+
+	cols, idxs, err := projection(base.Scheme, s)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Certain answers: a projected row qualifies iff it is produced by
+	// every model.
+	counts := map[string]int{}
+	var order []string
+	rowsByKey := map[string][]string{}
+	for _, m := range models {
+		seenInModel := map[string]bool{}
+		for _, t := range m.Tuples {
+			ok, err := matchWhere(e, base.Scheme, s, t, user)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				continue
+			}
+			row := make([]string, len(idxs))
+			for i, idx := range idxs {
+				row[i] = renderColumn(t, idx)
+			}
+			key := strings.Join(row, "\x00")
+			if seenInModel[key] {
+				continue
+			}
+			seenInModel[key] = true
+			if counts[key] == 0 {
+				order = append(order, key)
+				rowsByKey[key] = row
+			}
+			counts[key]++
+		}
+	}
+	var out [][]string
+	for _, key := range order {
+		if counts[key] == len(models) {
+			out = append(out, rowsByKey[key])
+		}
+	}
+	return cols, out, nil
+}
+
+func renderValue(v mls.Value) string {
+	if v.Null {
+		return "⊥"
+	}
+	return v.Data
+}
+
+// Column index encoding for projections: non-negative indices select data
+// values; colTC selects the tuple class; -(2+i) selects the classification
+// of attribute i. The paper's §7 notes some proposals hide classifications
+// entirely — here they are opt-in pseudo-columns ("tc", "<attr>_class").
+const colTC = -1
+
+func renderColumn(t mls.Tuple, idx int) string {
+	switch {
+	case idx >= 0:
+		return renderValue(t.Values[idx])
+	case idx == colTC:
+		return string(t.TC)
+	default:
+		return string(t.Values[-idx-2].Class)
+	}
+}
+
+// projection resolves the SELECT column list against the scheme, stripping
+// alias prefixes. Besides the data attributes it accepts the
+// pseudo-columns "tc" and "<attr>_class".
+func projection(scheme *mls.Scheme, s *Select) ([]string, []int, error) {
+	strip := func(col string) string {
+		if i := strings.IndexByte(col, '.'); i >= 0 {
+			prefix := col[:i]
+			if prefix != s.Alias && prefix != s.From {
+				return col // leave it; will fail resolution below
+			}
+			return col[i+1:]
+		}
+		return col
+	}
+	if len(s.Columns) == 1 && s.Columns[0] == "*" {
+		idxs := make([]int, len(scheme.Attrs))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return append([]string(nil), scheme.Attrs...), idxs, nil
+	}
+	var cols []string
+	var idxs []int
+	for _, c := range s.Columns {
+		name := strip(c)
+		if idx := scheme.AttrIndex(name); idx >= 0 {
+			cols = append(cols, name)
+			idxs = append(idxs, idx)
+			continue
+		}
+		if name == "tc" {
+			cols = append(cols, name)
+			idxs = append(idxs, colTC)
+			continue
+		}
+		if base, ok := strings.CutSuffix(name, "_class"); ok {
+			if idx := scheme.AttrIndex(base); idx >= 0 {
+				cols = append(cols, name)
+				idxs = append(idxs, -(2 + idx))
+				continue
+			}
+		}
+		return nil, nil, fmt.Errorf("mlsql: relation %s has no column %q", scheme.Name, c)
+	}
+	return cols, idxs, nil
+}
+
+func matchWhere(e *Engine, scheme *mls.Scheme, s *Select, t mls.Tuple, user lattice.Label) (bool, error) {
+	strip := func(col string) string {
+		if i := strings.IndexByte(col, '.'); i >= 0 && (col[:i] == s.Alias || col[:i] == s.From) {
+			return col[i+1:]
+		}
+		return col
+	}
+	resolve := func(col string) (int, error) {
+		name := strip(col)
+		if idx := scheme.AttrIndex(name); idx >= 0 {
+			return idx, nil
+		}
+		if name == "tc" {
+			return colTC, nil
+		}
+		if base, ok := strings.CutSuffix(name, "_class"); ok {
+			if idx := scheme.AttrIndex(base); idx >= 0 {
+				return -(2 + idx), nil
+			}
+		}
+		return 0, fmt.Errorf("mlsql: relation %s has no column %q", scheme.Name, col)
+	}
+	for _, c := range s.Where {
+		idx, err := resolve(c.Column)
+		if err != nil {
+			return false, err
+		}
+		if idx < 0 {
+			// Classification pseudo-columns compare label text.
+			got := renderColumn(t, idx)
+			switch c.Op {
+			case OpEq:
+				if got != c.Value {
+					return false, nil
+				}
+				continue
+			case OpNeq:
+				if got == c.Value {
+					return false, nil
+				}
+				continue
+			default:
+				return false, fmt.Errorf("mlsql: IN is not supported on classification column %q", c.Column)
+			}
+		}
+		v := t.Values[idx]
+		switch c.Op {
+		case OpEq:
+			if v.Null || v.Data != c.Value {
+				return false, nil
+			}
+		case OpNeq:
+			if v.Null || v.Data == c.Value {
+				return false, nil
+			}
+		case OpIn, OpNotIn:
+			cols, rows, err := e.eval(c.Sub, user)
+			if err != nil {
+				return false, err
+			}
+			if len(cols) != 1 {
+				return false, fmt.Errorf("mlsql: IN subquery must project one column, has %d", len(cols))
+			}
+			found := false
+			for _, row := range rows {
+				if !v.Null && row[0] == v.Data {
+					found = true
+					break
+				}
+			}
+			if c.Op == OpIn && !found {
+				return false, nil
+			}
+			if c.Op == OpNotIn && (found || v.Null) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func dedupeRows(rows [][]string) [][]string {
+	seen := map[string]bool{}
+	var out [][]string
+	for _, r := range rows {
+		k := strings.Join(r, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], "\x00") < strings.Join(out[j], "\x00")
+	})
+	return out
+}

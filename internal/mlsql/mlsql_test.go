@@ -1,0 +1,340 @@
+package mlsql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/belief"
+	"repro/internal/lattice"
+	"repro/internal/mls"
+)
+
+const (
+	u = lattice.Unclassified
+	c = lattice.Classified
+	s = lattice.Secret
+)
+
+func missionEngine() *Engine {
+	e := NewEngine()
+	e.Register(mls.Mission())
+	return e
+}
+
+// The §3.2 query verbatim: "List all starships that are spying on Mars
+// without any doubt" — the intersection of the cautious, firm and
+// optimistic answers.
+const spyingOnMars = `
+	user context %s
+	select starship from mission m
+	where m.starship in (select starship from mission
+	                     where destination = mars and objective = spying
+	                     believed cautiously)
+	intersect (select starship from mission
+	           where destination = mars and objective = spying
+	           believed firmly)
+	intersect (select starship from mission
+	           where destination = mars and objective = spying
+	           believed optimistically)
+`
+
+func TestSpyingOnMars(t *testing.T) {
+	e := missionEngine()
+	// At S the spying mission is believable in every mode: Voyager.
+	res, err := e.Execute(strings.Replace(spyingOnMars, "%s", "s", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "voyager" {
+		t.Fatalf("at S the answer is voyager, got %v", res.Rows)
+	}
+	// At U only the training cover story is visible: no starship is spying
+	// without doubt.
+	res, err = e.Execute(strings.Replace(spyingOnMars, "%s", "u", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("at U nothing is believably spying, got %v", res.Rows)
+	}
+}
+
+func TestBelievedModesMatchBeta(t *testing.T) {
+	e := missionEngine()
+	for _, mode := range []string{"firmly", "optimistically"} {
+		res, err := e.Execute("user context c select starship from mission believed " + mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := belief.Beta(mls.Mission(), c, belief.Mode(adverbMode(mode)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]bool{}
+		for _, tp := range m.Tuples {
+			want[tp.Values[0].Data] = true
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("mode %s: got %v, want keys %v", mode, res.Rows, want)
+		}
+		for _, row := range res.Rows {
+			if !want[row[0]] {
+				t.Errorf("mode %s: unexpected %s", mode, row[0])
+			}
+		}
+	}
+}
+
+// Without a BELIEVED clause the engine serves the plain Jajodia-Sandhu
+// view — Figure 2 at level U.
+func TestPlainViewFig2(t *testing.T) {
+	e := missionEngine()
+	res, err := e.Execute("user context u select * from mission")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("Figure 2 has 5 rows, got %d: %v", len(res.Rows), res.Rows)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0] == "phantom" && row[1] == "⊥" && row[2] == "omega" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("the surprise-story row is part of Figure 2: %v", res.Rows)
+	}
+}
+
+// Certain-answer semantics: at S the cautious mode forks on the Phantom
+// objective, so neither "spying" nor "supply" is certain, while the
+// unconflicted attributes still answer.
+func TestCertainAnswersUnderForkingCautious(t *testing.T) {
+	e := missionEngine()
+	res, err := e.Execute("user context s select starship from mission where objective = supply believed cautiously")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("supply is not certain at S (the other model says spying), got %v", res.Rows)
+	}
+	res, err = e.Execute("user context s select starship, destination from mission where starship = phantom believed cautiously")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1] != "venus" {
+		t.Fatalf("the phantom destination venus is certain, got %v", res.Rows)
+	}
+}
+
+func TestUnionExceptNotIn(t *testing.T) {
+	e := missionEngine()
+	res, err := e.Execute(`
+		user context c
+		(select starship from mission believed firmly)
+		union (select starship from mission where objective = piracy believed optimistically)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // atlantis (firm) + falcon (piracy)
+		t.Fatalf("union rows = %v", res.Rows)
+	}
+	res, err = e.Execute(`
+		user context c
+		(select starship from mission believed optimistically)
+		except (select starship from mission believed firmly)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row[0] == "atlantis" {
+			t.Errorf("atlantis is believed firmly and must be excepted: %v", res.Rows)
+		}
+	}
+	res, err = e.Execute(`
+		user context c
+		select starship from mission
+		where starship not in (select starship from mission believed firmly)
+		believed optimistically
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // voyager, falcon, eagle
+		t.Fatalf("not-in rows = %v", res.Rows)
+	}
+}
+
+func TestUserDefinedModeInSQL(t *testing.T) {
+	e := missionEngine()
+	err := e.Registry().Register("paranoid", func(r *mls.Relation, lvl lattice.Label) (*mls.Relation, error) {
+		out := mls.NewRelation(r.Scheme)
+		for _, tp := range r.Tuples {
+			if tp.TC == u {
+				out.Tuples = append(out.Tuples, tp)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute("user context s select starship from mission believed paranoid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("paranoid sees 4 U-tuples' starships, got %v", res.Rows)
+	}
+}
+
+func TestDefaultUserContext(t *testing.T) {
+	e := missionEngine()
+	if _, err := e.Execute("select starship from mission"); err == nil {
+		t.Error("no context anywhere must fail")
+	}
+	e.DefaultUser = c
+	res, err := e.Execute("select starship from mission believed firmly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "atlantis" {
+		t.Fatalf("default context rows = %v", res.Rows)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	e := missionEngine()
+	for _, src := range []string{
+		"select from mission",
+		"select * mission",
+		"user context",
+		"select * from mission where",
+		"select * from mission where starship",
+		"select * from mission where starship in select",
+		"select * from mission believed",
+		"select * from mission; trailing",
+		"select * from 'mission",
+		"select * from mission where x ~ y",
+	} {
+		if _, err := e.Execute("user context u " + src); err == nil {
+			t.Errorf("Execute(%q) should fail", src)
+		}
+	}
+}
+
+func TestExecutionErrors(t *testing.T) {
+	e := missionEngine()
+	for _, src := range []string{
+		"user context u select * from ghosts",
+		"user context zz select * from mission",
+		"user context u select bogus from mission",
+		"user context u select * from mission where bogus = x",
+		"user context u select * from mission believed bogusmode",
+		"user context u select starship from mission where starship in (select starship, objective from mission)",
+		"user context u (select starship from mission) intersect (select starship, objective from mission)",
+	} {
+		if _, err := e.Execute(src); err == nil {
+			t.Errorf("Execute(%q) should fail", src)
+		}
+	}
+}
+
+func TestAliasResolution(t *testing.T) {
+	e := missionEngine()
+	res, err := e.Execute("user context s select m.starship from mission m where m.objective = shipping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "avenger" {
+		t.Fatalf("alias rows = %v", res.Rows)
+	}
+}
+
+func TestStatementString(t *testing.T) {
+	st, err := ParseStatement(strings.Replace(spyingOnMars, "%s", "s", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := st.String()
+	for _, want := range []string{"user context s", "believed cautiously", "intersect"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("String() missing %q:\n%s", want, rendered)
+		}
+	}
+	// The rendering reparses to the same normal form.
+	st2, err := ParseStatement(rendered)
+	if err != nil {
+		t.Fatalf("rendered statement does not reparse: %v\n%s", err, rendered)
+	}
+	if st2.String() != rendered {
+		t.Errorf("render/reparse not stable:\n%s\nvs\n%s", rendered, st2.String())
+	}
+}
+
+func TestQuotedLiterals(t *testing.T) {
+	e := missionEngine()
+	res, err := e.Execute("user context s select starship from mission where objective = 'shipping'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "avenger" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// Classification pseudo-columns: "tc" and "<attr>_class" expose the labels
+// the §7 discussion says some proposals hide; here they are opt-in.
+func TestClassificationPseudoColumns(t *testing.T) {
+	e := missionEngine()
+	res, err := e.Execute("user context s select starship, objective, objective_class, tc from mission where starship = voyager and objective = spying")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	row := res.Rows[0]
+	if row[2] != "s" || row[3] != "s" {
+		t.Errorf("objective_class/tc = %v, want s/s", row)
+	}
+	if res.Columns[2] != "objective_class" || res.Columns[3] != "tc" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Unknown pseudo-column still fails.
+	if _, err := e.Execute("user context s select bogus_class from mission"); err == nil {
+		t.Error("bogus_class must fail")
+	}
+}
+
+// WHERE can filter on classification pseudo-columns: "show me the rows
+// whose objective is classified secret".
+func TestWhereOnClassColumns(t *testing.T) {
+	e := missionEngine()
+	res, err := e.Execute("user context s select starship from mission where objective_class = s and tc = s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 (avenger), t3 (voyager), t4/t5 (phantom) carry S objectives at TC S.
+	if len(res.Rows) != 3 { // avenger, voyager, phantom (dedup)
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res, err = e.Execute("user context s select starship from mission where tc != s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plain view applies subsumption first, so the Atlantis copies
+	// collapse onto the TC=S one; only voyager, falcon, eagle remain.
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := e.Execute("user context s select starship from mission where tc in (select starship from mission)"); err == nil {
+		t.Error("IN on a classification column must fail")
+	}
+}

@@ -1,0 +1,338 @@
+package mlsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseStatement parses an mlsql statement:
+//
+//	user context u
+//	select starship from mission m
+//	where m.starship in (select starship from mission
+//	                     where destination = mars and objective = spying
+//	                     believed cautiously)
+//	intersect (select ... believed firmly)
+//
+// Keywords are case-insensitive; literals are bare identifiers, numbers or
+// single-quoted strings; a trailing semicolon is optional.
+func ParseStatement(src string) (*Statement, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	st := &Statement{}
+	if p.acceptKeyword("user") {
+		if !p.acceptKeyword("context") {
+			return nil, p.errf("expected CONTEXT after USER")
+		}
+		word, ok := p.acceptWord()
+		if !ok {
+			return nil, p.errf("expected a level after USER CONTEXT")
+		}
+		st.User = word
+	}
+	expr, err := p.setExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.peek())
+	}
+	st.Expr = expr
+	return st, nil
+}
+
+type sqlToken struct {
+	text  string // lower-cased for words, verbatim for quoted literals
+	raw   string
+	quote bool
+}
+
+func tokenize(src string) ([]sqlToken, error) {
+	var toks []sqlToken
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '-' && i+1 < len(rs) && rs[i+1] == '-':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case r == '(' || r == ')' || r == ',' || r == ';' || r == '=' || r == '*' || r == '.':
+			toks = append(toks, sqlToken{text: string(r), raw: string(r)})
+			i++
+		case r == '!' && i+1 < len(rs) && rs[i+1] == '=':
+			toks = append(toks, sqlToken{text: "!=", raw: "!="})
+			i += 2
+		case r == '<' && i+1 < len(rs) && rs[i+1] == '>':
+			toks = append(toks, sqlToken{text: "!=", raw: "<>"})
+			i += 2
+		case r == '\'':
+			i++
+			start := i
+			for i < len(rs) && rs[i] != '\'' {
+				i++
+			}
+			if i >= len(rs) {
+				return nil, fmt.Errorf("mlsql: unterminated string literal")
+			}
+			toks = append(toks, sqlToken{text: string(rs[start:i]), raw: string(rs[start:i]), quote: true})
+			i++
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			start := i
+			for i < len(rs) && (unicode.IsLetter(rs[i]) || unicode.IsDigit(rs[i]) || rs[i] == '_') {
+				i++
+			}
+			word := string(rs[start:i])
+			toks = append(toks, sqlToken{text: strings.ToLower(word), raw: word})
+		default:
+			return nil, fmt.Errorf("mlsql: unexpected character %q", r)
+		}
+	}
+	return toks, nil
+}
+
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+}
+
+func (p *sqlParser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *sqlParser) peek() string {
+	if p.atEOF() {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("mlsql: %s (near token %d)", fmt.Sprintf(format, args...), p.pos)
+}
+
+func (p *sqlParser) accept(text string) bool {
+	if !p.atEOF() && !p.toks[p.pos].quote && p.toks[p.pos].text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) acceptKeyword(kw string) bool { return p.accept(kw) }
+
+func (p *sqlParser) acceptWord() (string, bool) {
+	if p.atEOF() {
+		return "", false
+	}
+	t := p.toks[p.pos]
+	if t.quote || isIdentWord(t.text) {
+		p.pos++
+		return t.text, true
+	}
+	return "", false
+}
+
+func isIdentWord(s string) bool {
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// setExpr := operand ((INTERSECT | UNION | EXCEPT) operand)*
+func (p *sqlParser) setExpr() (SetExpr, error) {
+	left, err := p.setOperand()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptKeyword("intersect"):
+			op = "intersect"
+		case p.acceptKeyword("union"):
+			op = "union"
+		case p.acceptKeyword("except"):
+			op = "except"
+		default:
+			return left, nil
+		}
+		right, err := p.setOperand()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{Op: op, Left: left, Right: right}
+	}
+}
+
+// setOperand := select | '(' setExpr ')'
+func (p *sqlParser) setOperand() (SetExpr, error) {
+	if p.accept("(") {
+		e, err := p.setExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return e, nil
+	}
+	return p.selectStmt()
+}
+
+func (p *sqlParser) selectStmt() (*Select, error) {
+	if !p.acceptKeyword("select") {
+		return nil, p.errf("expected SELECT, found %q", p.peek())
+	}
+	s := &Select{}
+	if p.accept("*") {
+		s.Columns = []string{"*"}
+	} else {
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, col)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if !p.acceptKeyword("from") {
+		return nil, p.errf("expected FROM, found %q", p.peek())
+	}
+	rel, ok := p.acceptWord()
+	if !ok {
+		return nil, p.errf("expected a relation name after FROM")
+	}
+	s.From = rel
+	// Optional alias: a bare word that is not a clause keyword.
+	if !p.atEOF() && !p.toks[p.pos].quote && isIdentWord(p.peek()) && !isClauseKeyword(p.peek()) {
+		s.Alias, _ = p.acceptWord()
+	}
+	if p.acceptKeyword("where") {
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			s.Where = append(s.Where, cond)
+			if !p.acceptKeyword("and") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("believed") {
+		word, ok := p.acceptWord()
+		if !ok {
+			return nil, p.errf("expected a belief adverb after BELIEVED")
+		}
+		s.Mode = adverbMode(word)
+	}
+	return s, nil
+}
+
+func isClauseKeyword(w string) bool {
+	switch w {
+	case "where", "believed", "intersect", "union", "except", "and", "in", "not":
+		return true
+	}
+	return false
+}
+
+// columnRef := word ('.' word)? — the alias prefix is stripped during
+// execution.
+func (p *sqlParser) columnRef() (string, error) {
+	w, ok := p.acceptWord()
+	if !ok {
+		return "", p.errf("expected a column name, found %q", p.peek())
+	}
+	if p.accept(".") {
+		col, ok := p.acceptWord()
+		if !ok {
+			return "", p.errf("expected a column after %q.", w)
+		}
+		return w + "." + col, nil
+	}
+	return w, nil
+}
+
+func (p *sqlParser) condition() (Cond, error) {
+	col, err := p.columnRef()
+	if err != nil {
+		return Cond{}, err
+	}
+	switch {
+	case p.accept("="):
+		v, ok := p.acceptWord()
+		if !ok {
+			return Cond{}, p.errf("expected a literal after =")
+		}
+		return Cond{Column: col, Op: OpEq, Value: v}, nil
+	case p.accept("!="):
+		v, ok := p.acceptWord()
+		if !ok {
+			return Cond{}, p.errf("expected a literal after !=")
+		}
+		return Cond{Column: col, Op: OpNeq, Value: v}, nil
+	case p.acceptKeyword("not"):
+		if !p.acceptKeyword("in") {
+			return Cond{}, p.errf("expected IN after NOT")
+		}
+		sub, err := p.inSubquery()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Column: col, Op: OpNotIn, Sub: sub}, nil
+	case p.acceptKeyword("in"):
+		sub, err := p.inSubquery()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Column: col, Op: OpIn, Sub: sub}, nil
+	}
+	return Cond{}, p.errf("expected =, !=, IN or NOT IN after %s", col)
+}
+
+func (p *sqlParser) inSubquery() (SetExpr, error) {
+	if !p.accept("(") {
+		return nil, p.errf("expected '(' after IN")
+	}
+	e, err := p.setExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		return nil, p.errf("expected ')' closing IN subquery")
+	}
+	// The paper's §3.2 query continues the IN set with INTERSECT outside
+	// the parentheses; fold those in.
+	for {
+		var op string
+		switch {
+		case p.acceptKeyword("intersect"):
+			op = "intersect"
+		case p.acceptKeyword("union"):
+			op = "union"
+		case p.acceptKeyword("except"):
+			op = "except"
+		default:
+			return e, nil
+		}
+		right, err := p.setOperand()
+		if err != nil {
+			return nil, err
+		}
+		e = &SetOp{Op: op, Left: e, Right: right}
+	}
+}

@@ -1,0 +1,152 @@
+package multilog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lattice"
+)
+
+// CheckConsistent verifies the Definition 5.4 integrity properties over the
+// derived m-facts ⟦Σ⟧ of the reduction (the definition quantifies over the
+// meaning of Σ, so the checks necessarily run against the computed model).
+//
+// In the atomic encoding an m-predicate instance is a group of facts with
+// the same (level, predicate, key); within a group the apparent-key atoms
+// (value = key) identify the polyinstantiation chains by their
+// classification C_AK (fn 8: molecules are "syntactic sugar for classical
+// MLS tuples", so several chains may coexist at one level — Figure 1's two
+// Phantom tuples both live at level S). The checks are:
+//
+//   - every group carries at least one apparent-key atom
+//     (§5.1: "there must be an m-atom of the form s[p(k : a -c-> k)]");
+//   - entity integrity: every non-null attribute's classification
+//     dominates the key class of at least one chain it can belong to;
+//   - null integrity: nulls are classified at some chain's key class, and
+//     no two distinct instances subsume each other;
+//   - polyinstantiation integrity: the FD key, C_AK, C_i → v_i — with
+//     several chains, conflicting values at one (key, attr, class) are
+//     legal only while enough compatible chains exist to host them.
+func (r *Reduction) CheckConsistent() error {
+	facts, err := r.MFacts()
+	if err != nil {
+		return err
+	}
+	type groupKey struct {
+		level, pred, key string
+	}
+	groups := map[groupKey][]MFact{}
+	var order []groupKey
+	for _, f := range facts {
+		gk := groupKey{string(f.Level), f.Pred, f.Key.Key()}
+		if _, ok := groups[gk]; !ok {
+			order = append(order, gk)
+		}
+		groups[gk] = append(groups[gk], f)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.pred != b.pred {
+			return a.pred < b.pred
+		}
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.level < b.level
+	})
+
+	chainsOf := map[groupKey][]lattice.Label{}
+	for _, gk := range order {
+		group := groups[gk]
+		var chains []lattice.Label
+		for _, f := range group {
+			if f.Value.Equal(f.Key) && !containsChain(chains, f.Class) {
+				chains = append(chains, f.Class)
+			}
+		}
+		if len(chains) == 0 {
+			return fmt.Errorf("multilog: inconsistent: %s instance %s at %s has no apparent-key atom s[p(k: a -c-> k)]",
+				gk.pred, group[0].Key, gk.level)
+		}
+		chainsOf[gk] = chains
+		for _, f := range group {
+			if f.Value.Equal(f.Key) {
+				continue
+			}
+			if f.Value.IsNull() {
+				if !containsChain(chains, f.Class) {
+					return fmt.Errorf("multilog: null integrity: %s.%s of %s at %s is null classified %s; key classes are %v",
+						f.Pred, f.Attr, f.Key, f.Level, f.Class, chains)
+				}
+				continue
+			}
+			ok := false
+			for _, cak := range chains {
+				if r.Poset.Dominates(f.Class, cak) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("multilog: entity integrity: %s.%s of %s at %s classified %s below the key class%s %v",
+					f.Pred, f.Attr, f.Key, f.Level, f.Class, plural(chains), chains)
+			}
+		}
+	}
+
+	// Definition 5.4's mutual-subsumption ban needs no runtime check in the
+	// atomic encoding: mutual subsumption means identical cells, facts are
+	// a set, and instances are grouped by (level, pred, key), so two
+	// distinct same-level instances can never carry identical cells.
+	// Across levels, identical instances are legal re-assertion — Figure 1
+	// stores the Atlantis tuple at U, C and S.
+
+	// Polyinstantiation integrity: key, C_AK, C_i → v_i. Distinct values
+	// at the same (pred, key, attr, class) must each have a chain to live
+	// in: a value is compatible with a chain when its classification
+	// dominates that chain's key class.
+	type fdKey struct{ pred, key, attr, class string }
+	valueSets := map[fdKey]map[string]bool{}
+	chainSets := map[fdKey]map[lattice.Label]bool{}
+	for _, gk := range order {
+		for _, f := range groups[gk] {
+			if f.Value.Equal(f.Key) {
+				continue
+			}
+			k := fdKey{f.Pred, f.Key.Key(), f.Attr, string(f.Class)}
+			if valueSets[k] == nil {
+				valueSets[k] = map[string]bool{}
+				chainSets[k] = map[lattice.Label]bool{}
+			}
+			valueSets[k][f.Value.Key()] = true
+			for _, cak := range chainsOf[gk] {
+				if r.Poset.Dominates(f.Class, cak) {
+					chainSets[k][cak] = true
+				}
+			}
+		}
+	}
+	for k, vals := range valueSets {
+		if len(vals) > max(1, len(chainSets[k])) {
+			return fmt.Errorf("multilog: polyinstantiation integrity: %s.%s of %s at class %s has %d values but only %d chains",
+				k.pred, k.attr, k.key, k.class, len(vals), len(chainSets[k]))
+		}
+	}
+	return nil
+}
+
+func containsChain(chains []lattice.Label, l lattice.Label) bool {
+	for _, c := range chains {
+		if c == l {
+			return true
+		}
+	}
+	return false
+}
+
+func plural(chains []lattice.Label) string {
+	if len(chains) > 1 {
+		return "es"
+	}
+	return ""
+}

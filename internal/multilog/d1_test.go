@@ -1,0 +1,252 @@
+package multilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/term"
+)
+
+const (
+	u = lattice.Unclassified
+	c = lattice.Classified
+	s = lattice.Secret
+)
+
+// Figure 10 / Example 5.2: the query r10 at database level c succeeds with
+// the binding {R/u}.
+func TestD1ReductionQuery(t *testing.T) {
+	red, err := Reduce(D1(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := red.Query(D1Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("want 1 answer, got %d: %v", len(answers), answers)
+	}
+	if got := answers[0].Bindings.String(); got != "{R/u}" {
+		t.Errorf("bindings = %s, want {R/u}", got)
+	}
+}
+
+// Figure 11: the operational proof tree for ⟨D1, c⟩ ⊢ c[p(k: a -R-> v)] ≪ opt.
+func TestFig11ProofTree(t *testing.T) {
+	prover, err := NewProver(D1(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := prover.Prove(D1Query(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("want 1 proof, got %d", len(answers))
+	}
+	a := answers[0]
+	if got := a.Bindings.String(); got != "{R/u}" {
+		t.Errorf("bindings = %s, want {R/u}", got)
+	}
+	rules := a.Proof.Rules()
+	// The tree must use BELIEF at the root, DESCEND-O for the optimistic
+	// mode, and DEDUCTION-G' to prove the underlying m-atom, with the
+	// dominance side conditions of Figure 11 (R ⪯ c and c ⪯ c).
+	for _, want := range []string{RuleBelief, RuleDescendO, RuleDeductionGP, RuleDominance} {
+		if !rules[want] {
+			t.Errorf("proof tree missing rule %s:\n%s", want, a.Proof)
+		}
+	}
+	// All leaves are EMPTY instances or side conditions (§5.4: "leaf nodes
+	// that are labeled with the figure EMPTY").
+	for _, leaf := range a.Proof.Leaves() {
+		if leaf != RuleEmpty && leaf != RuleDominance && leaf != RuleBuiltin {
+			t.Errorf("unexpected leaf rule %s:\n%s", leaf, a.Proof)
+		}
+	}
+	if a.Proof.Height() < 3 {
+		t.Errorf("proof height %d implausibly small:\n%s", a.Proof.Height(), a.Proof)
+	}
+	if !strings.Contains(a.Proof.String(), "u[p(k: a -u-> v)]") {
+		t.Errorf("proof should descend to the u-level atom:\n%s", a.Proof)
+	}
+}
+
+// Theorem 6.1 on D1: operational and reduction semantics agree on a probe
+// set of queries at every user level.
+func TestTheorem61OnD1(t *testing.T) {
+	queries := []string{
+		`c[p(k: a -R-> v)] << opt`,
+		`L[p(k: a -C-> V)]`,
+		`L[p(k: a -C-> V)] << fir`,
+		`L[p(k: a -C-> V)] << opt`,
+		`L[p(k: a -C-> V)] << cau`,
+		`q(X)`,
+		`s[p(k: a -u-> v)]`,
+		`c[p(k: a -c-> t)] << cau`,
+	}
+	for _, lvl := range []lattice.Label{u, c, s} {
+		red, err := Reduce(D1(), lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prover, err := NewProver(D1(), lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qsrc := range queries {
+			q, err := ParseGoals(qsrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			redAns, err := red.Query(q)
+			if err != nil {
+				t.Fatalf("reduction %s at %s: %v", qsrc, lvl, err)
+			}
+			opAns, err := prover.Prove(q, 0)
+			if err != nil {
+				t.Fatalf("operational %s at %s: %v", qsrc, lvl, err)
+			}
+			redSet := map[string]bool{}
+			for _, a := range redAns {
+				redSet[a.Bindings.String()] = true
+			}
+			opSet := map[string]bool{}
+			for _, a := range opAns {
+				opSet[a.Bindings.String()] = true
+			}
+			if len(redSet) != len(opSet) {
+				t.Errorf("at %s, %s: reduction %v vs operational %v", lvl, qsrc, redSet, opSet)
+				continue
+			}
+			for b := range redSet {
+				if !opSet[b] {
+					t.Errorf("at %s, %s: answer %s only in reduction", lvl, qsrc, b)
+				}
+			}
+		}
+	}
+}
+
+// The r8 rule only fires when its cautious belief premise holds: at level u
+// the s-level atom is invisible, and the c-level data does not exist for a
+// u-cleared subject.
+func TestD1NoReadUp(t *testing.T) {
+	red, err := Reduce(D1(), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParseGoals(`L[p(k: a -C-> V)]`)
+	answers, err := red.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range answers {
+		if lv := a.Bindings.Apply(term.Var("L")); lv.Name() != "u" {
+			t.Errorf("a u-cleared subject must not see level %s data: %v", lv, a.Bindings)
+		}
+	}
+	if len(answers) != 1 {
+		t.Errorf("at u only the u-level atom is visible, got %v", answers)
+	}
+}
+
+// At level s, r8 has fired (the c-level belief is cautious-true), so the
+// derived s-level atom is visible.
+func TestD1DerivedAtomAtS(t *testing.T) {
+	red, err := Reduce(D1(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParseGoals(`s[p(k: a -u-> v)]`)
+	answers, err := red.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Errorf("r8 should derive the s-level atom: %v", answers)
+	}
+}
+
+func TestD1MFactsAndRender(t *testing.T) {
+	red, err := Reduce(D1(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := red.MFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r6 (u), r7 (c), r8 (s): three m-facts in ⟦Σ⟧.
+	if len(facts) != 3 {
+		t.Fatalf("⟦Σ⟧ should have 3 m-facts, got %d: %v", len(facts), facts)
+	}
+	var rendered []string
+	for _, f := range facts {
+		rendered = append(rendered, f.MAtom().String())
+	}
+	joined := strings.Join(rendered, "\n")
+	for _, want := range []string{
+		"u[p(k: a -u-> v)]",
+		"c[p(k: a -c-> t)]",
+		"s[p(k: a -u-> v)]",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing m-fact %s in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestAdmissibilityChecks(t *testing.T) {
+	// A Λ clause with a p-atom body is inadmissible.
+	db := mustParseML(t, `
+		level(u).
+		level(X) :- strange(X).
+	`)
+	if _, err := db.Poset(); err == nil {
+		t.Error("Λ depending on a p-atom must be inadmissible")
+	}
+	// An m-clause using an unasserted level is inadmissible.
+	db2 := mustParseML(t, `
+		level(u).
+		z[p(k: a -z-> v)].
+	`)
+	if err := db2.CheckAdmissible(); err == nil {
+		t.Error("Σ using a level not asserted by Λ must be inadmissible")
+	}
+	// A cyclic order relation does not define a partial order.
+	db3 := mustParseML(t, `
+		level(a). level(b).
+		order(a, b). order(b, a).
+	`)
+	if _, err := db3.Poset(); err == nil {
+		t.Error("cyclic Λ must be rejected")
+	}
+	// Reducing at an unasserted level fails.
+	if _, err := Reduce(D1(), "zz"); err == nil {
+		t.Error("unknown user level must fail")
+	}
+	if _, err := NewProver(D1(), "zz"); err == nil {
+		t.Error("unknown user level must fail for the prover too")
+	}
+}
+
+// Λ may contain rules, not just facts, as long as they stay within l/h
+// atoms (Definition 5.3's dependency condition).
+func TestLambdaWithRules(t *testing.T) {
+	db := mustParseML(t, `
+		level(u). level(c). level(s).
+		order(u, c).
+		order(c, s) :- level(c), level(s).
+		u[p(k: a -u-> v)].
+	`)
+	poset, err := db.Poset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poset.Dominates(s, u) {
+		t.Error("derived order(c, s) fact lost")
+	}
+}

@@ -1,0 +1,130 @@
+package multilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// Π stays classical: m- and b-atoms in p-clause bodies are rejected with a
+// pointer to the fix (τ is the identity on Π, so level grounding has
+// nowhere to happen).
+func TestPiWithMAtomBodyRejected(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> v)].
+		classical(X) :- u[p(k: a -u-> X)].
+	`)
+	_, err := Reduce(db, s)
+	if err == nil {
+		t.Fatal("m-atom in a p-clause body must be rejected")
+	}
+	if !strings.Contains(err.Error(), "m-atom head") && !strings.Contains(err.Error(), "Σ") {
+		t.Errorf("error should point at the fix: %v", err)
+	}
+}
+
+// The same program expressed with an m-atom head works.
+func TestSigmaHeadVariantWorks(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> v)].
+		u[q(k: b -u-> X)] :- u[p(k: a -u-> X)].
+	`)
+	red, err := Reduce(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseGoals(`u[q(k: b -u-> X)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := red.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0].Bindings.String() != "{X/v}" {
+		t.Fatalf("answers = %v", answers)
+	}
+}
+
+// Unsafe Σ clauses (head variables unbound by the body) surface the
+// classical safety diagnostic through the reduction.
+func TestUnsafeSigmaClauseRejected(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> V)] :- level(u).
+	`)
+	red, err := Reduce(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.Model(); err == nil {
+		t.Fatal("unsafe clause must fail validation")
+	}
+}
+
+// A query mentioning an unknown predicate answers empty everywhere, never
+// errors.
+func TestUnknownPredicateQueries(t *testing.T) {
+	db := ucsDB(t, `u[p(k: a -u-> v)].`)
+	for _, qsrc := range []string{
+		`u[ghost(k: a -u-> V)]`,
+		`u[ghost(k: a -u-> V)] << cau`,
+		`ghostp(X)`,
+	} {
+		q, err := ParseGoals(qsrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := Reduce(db, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redAns, err := red.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", qsrc, err)
+		}
+		prover, err := NewProver(db, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opAns, err := prover.Prove(q, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", qsrc, err)
+		}
+		if len(redAns) != 0 || len(opAns) != 0 {
+			t.Errorf("%s: expected no answers, got red=%d op=%d", qsrc, len(redAns), len(opAns))
+		}
+	}
+}
+
+// Prove with a positive max stops early.
+func TestProveMaxAnswers(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k1: a -u-> v1)].
+		u[p(k2: a -u-> v2)].
+		u[p(k3: a -u-> v3)].
+	`)
+	prover, err := NewProver(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseGoals(`u[p(K: a -u-> V)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := prover.Prove(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Errorf("max not honored: %d", len(answers))
+	}
+}
+
+// The database String renders all four components.
+func TestDatabaseString(t *testing.T) {
+	out := D1().String()
+	for _, want := range []string{"% Lambda", "% Sigma", "% Pi", "% Queries", "?- c[p(k: a -R-> v)] << opt."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package multilog
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+)
+
+// The Theorem 6.1 proof sketch: "if the proof tree in MultiLog has height
+// k, then the goal τ(G)[θ] is computed at step k by the fix-point operator
+// T_Δr". We verify the correlation empirically on D1: every reduction fact
+// corresponding to an operationally provable m-atom appears at a fixpoint
+// stage bounded by the operational proof height, and the stage ordering
+// respects the derivation structure (r8's derived fact appears strictly
+// after the belief facts it consumes).
+func TestTheorem61FixpointStages(t *testing.T) {
+	red, err := Reduce(D1(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, stages, err := datalog.EvalTrace(red.Program, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stageOf := func(src string) int {
+		a, err := datalog.ParseAtom(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !model.Contains(a) {
+			t.Fatalf("model is missing %s", src)
+		}
+		st, ok := stages[a.Key()]
+		if !ok {
+			t.Fatalf("no stage recorded for %s", src)
+		}
+		return st
+	}
+
+	rel6 := stageOf("mlrel_p_u(k, a, v, u)")    // r6, a fact
+	rel7 := stageOf("mlrel_p_c(k, a, t, c)")    // r7, via q(j)
+	bel := stageOf("mlbel_p_c_cau(k, a, t, c)") // the r8 premise
+	rel8 := stageOf("mlrel_p_s(k, a, v, u)")    // r8's head
+
+	if !(rel6 <= bel && rel7 < bel && bel < rel8) {
+		t.Errorf("stage ordering violates the derivation structure: r6=%d r7=%d bel=%d r8=%d",
+			rel6, rel7, bel, rel8)
+	}
+
+	// Operational side: the proof height of the r8 head bounds (up to the
+	// per-rule constant) the fixpoint stage.
+	prover, err := NewProver(D1(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseGoals(`s[p(k: a -u-> v)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	height := answers[0].Proof.Height()
+	if rel8 > height {
+		t.Errorf("fixpoint stage %d exceeds the operational proof height %d", rel8, height)
+	}
+}
+
+// Every reduction m-fact has a finite stage and the model equals plain
+// evaluation's.
+func TestEvalTraceAgreesWithEval(t *testing.T) {
+	red, err := Reduce(D1(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := red.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, stages, err := datalog.EvalTrace(red.Program, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != traced.String() {
+		t.Error("traced model differs from plain evaluation")
+	}
+	if len(stages) != traced.Len() {
+		t.Errorf("stages cover %d facts, model has %d", len(stages), traced.Len())
+	}
+}

@@ -1,0 +1,249 @@
+package multilog
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tVar
+	tNumber
+	tLParen
+	tRParen
+	tLBracket
+	tRBracket
+	tColon
+	tSemi
+	tComma
+	tDot
+	tColonDash // :-
+	tQueryDash // ?-
+	tBelief    // <<
+	tDash      // -
+	tArrowHead // ->
+	tEq        // =
+	tNeq       // !=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tVar:
+		return "variable"
+	case tNumber:
+		return "number"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tLBracket:
+		return "'['"
+	case tRBracket:
+		return "']'"
+	case tColon:
+		return "':'"
+	case tSemi:
+		return "';'"
+	case tComma:
+		return "','"
+	case tDot:
+		return "'.'"
+	case tColonDash:
+		return "':-'"
+	case tQueryDash:
+		return "'?-'"
+	case tBelief:
+		return "'<<'"
+	case tDash:
+		return "'-'"
+	case tArrowHead:
+		return "'->'"
+	case tEq:
+		return "'='"
+	case tNeq:
+		return "'!='"
+	}
+	return "?"
+}
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// mlLexer tokenizes MultiLog source. Comments run from '%' or "//" to end
+// of line.
+type mlLexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newMLLexer(src string) *mlLexer {
+	return &mlLexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *mlLexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("multilog: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *mlLexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *mlLexer) peekAt(n int) rune {
+	if lx.pos+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+n]
+}
+
+func (lx *mlLexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *mlLexer) skip() {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '%':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peekAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *mlLexer) next() (tok, error) {
+	lx.skip()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return tok{kind: tEOF, line: line, col: col}, nil
+	}
+	r := lx.peek()
+	simple := func(k tokKind, text string) (tok, error) {
+		lx.advance()
+		return tok{k, text, line, col}, nil
+	}
+	switch r {
+	case '(':
+		return simple(tLParen, "(")
+	case ')':
+		return simple(tRParen, ")")
+	case '[':
+		return simple(tLBracket, "[")
+	case ']':
+		return simple(tRBracket, "]")
+	case ';':
+		return simple(tSemi, ";")
+	case ',':
+		return simple(tComma, ",")
+	case '.':
+		return simple(tDot, ".")
+	case '=':
+		return simple(tEq, "=")
+	case ':':
+		lx.advance()
+		if lx.peek() == '-' {
+			lx.advance()
+			return tok{tColonDash, ":-", line, col}, nil
+		}
+		return tok{tColon, ":", line, col}, nil
+	case '?':
+		lx.advance()
+		if lx.peek() != '-' {
+			return tok{}, lx.errorf(line, col, "unexpected '?'; did you mean '?-'?")
+		}
+		lx.advance()
+		return tok{tQueryDash, "?-", line, col}, nil
+	case '<':
+		lx.advance()
+		if lx.peek() != '<' {
+			return tok{}, lx.errorf(line, col, "unexpected '<'; did you mean '<<'?")
+		}
+		lx.advance()
+		return tok{tBelief, "<<", line, col}, nil
+	case '!':
+		lx.advance()
+		if lx.peek() != '=' {
+			return tok{}, lx.errorf(line, col, "unexpected '!'; did you mean '!='?")
+		}
+		lx.advance()
+		return tok{tNeq, "!=", line, col}, nil
+	case '-':
+		lx.advance()
+		if lx.peek() == '>' {
+			lx.advance()
+			return tok{tArrowHead, "->", line, col}, nil
+		}
+		return tok{tDash, "-", line, col}, nil
+	case '\'':
+		lx.advance()
+		var text []rune
+		for {
+			if lx.pos >= len(lx.src) {
+				return tok{}, lx.errorf(line, col, "unterminated quoted atom")
+			}
+			ch := lx.advance()
+			if ch == '\'' {
+				break
+			}
+			text = append(text, ch)
+		}
+		return tok{tIdent, string(text), line, col}, nil
+	}
+	switch {
+	case unicode.IsDigit(r):
+		var text []rune
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			text = append(text, lx.advance())
+		}
+		return tok{tNumber, string(text), line, col}, nil
+	case unicode.IsLower(r):
+		var text []rune
+		for lx.pos < len(lx.src) && isWordPart(lx.peek()) {
+			text = append(text, lx.advance())
+		}
+		return tok{tIdent, string(text), line, col}, nil
+	case unicode.IsUpper(r) || r == '_':
+		var text []rune
+		for lx.pos < len(lx.src) && isWordPart(lx.peek()) {
+			text = append(text, lx.advance())
+		}
+		return tok{tVar, string(text), line, col}, nil
+	}
+	return tok{}, lx.errorf(line, col, "unexpected character %q", r)
+}
+
+func isWordPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

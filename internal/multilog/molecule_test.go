@@ -1,0 +1,137 @@
+package multilog
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/term"
+)
+
+// Molecular queries expand to atomic conjunctions (§5.3's preprocessor) and
+// behave like the paper's §7 examples: a molecule query succeeds only when
+// every conjunct does, sharing the key binding.
+func TestMoleculeQueryConjunction(t *testing.T) {
+	db := ucsDB(t, `
+		s[mission(avenger: starship -s-> avenger; objective -s-> shipping; destination -s-> pluto)].
+		s[mission(voyager: starship -u-> voyager; objective -s-> spying; destination -u-> mars)].
+	`)
+	prover, err := NewProver(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full molecule: binds all three attributes of one ship.
+	q, err := ParseGoals(`s[mission(K: objective -C1-> spying; destination -C2-> D)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("molecule query answers = %d", len(answers))
+	}
+	b := answers[0].Bindings
+	if b.Apply(term.Var("K")).Name() != "voyager" || b.Apply(term.Var("D")).Name() != "mars" {
+		t.Errorf("bindings = %s", b)
+	}
+	// A molecule whose conjuncts cannot agree on the key fails.
+	q2, err := ParseGoals(`s[mission(K: objective -C1-> shipping; destination -C2-> mars)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err = prover.Prove(q2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 0 {
+		t.Errorf("contradictory molecule should fail, got %v", answers)
+	}
+}
+
+// §7's failure discussion: without the filter function, a molecule query at
+// a level where part of the tuple is invisible fails as a whole — "All
+// these queries fail as the atomic conjunctions fail due to non-availability
+// of objective and/or destination information."
+func TestMoleculeFailsWithoutFilterSucceedsWith(t *testing.T) {
+	db := ucsDB(t, `
+		s[mission(phantom: starship -u-> phantom; objective -s-> spying; destination -u-> omega)].
+	`)
+	q, err := ParseGoals(`c[mission(phantom: starship -C1-> phantom; objective -C2-> X; destination -C3-> Y)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 0 {
+		t.Fatalf("without FILTER the molecule must fail at c, got %v", answers)
+	}
+	// With FILTER-NULL the hidden objective surfaces as ⊥ and the molecule
+	// succeeds (the paper's proposed FILTER-NULL remedy).
+	prover.Filter = true
+	answers, err = prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("with FILTER the molecule should succeed")
+	}
+	found := false
+	for _, a := range answers {
+		if a.Bindings.Apply(term.Var("X")).IsNull() &&
+			a.Bindings.Apply(term.Var("Y")).Name() == "omega" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected X=⊥, Y=omega among %v", answers)
+	}
+}
+
+// Reduction and prover agree on molecule queries too.
+func TestMoleculeQueryEquivalence(t *testing.T) {
+	db := ucsDB(t, `
+		s[mission(avenger: starship -s-> avenger; objective -s-> shipping; destination -s-> pluto)].
+		u[mission(eagle: starship -u-> eagle; objective -u-> patrolling; destination -u-> degoba)].
+	`)
+	q, err := ParseGoals(`L[mission(K: objective -C1-> O; destination -C2-> D)] << opt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, user := range []struct{ l string }{{"u"}, {"c"}, {"s"}} {
+		red, err := Reduce(db, lattice.Label(user.l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prover, err := NewProver(db, lattice.Label(user.l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		redAns, err := red.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opAns, err := prover.Prove(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redSet := map[string]bool{}
+		for _, a := range redAns {
+			redSet[a.Bindings.String()] = true
+		}
+		if len(redSet) != len(opAns) {
+			t.Fatalf("at %s: reduction %d vs operational %d", user.l, len(redSet), len(opAns))
+		}
+		for _, a := range opAns {
+			if !redSet[a.Bindings.String()] {
+				t.Errorf("at %s: %s only operational", user.l, a.Bindings)
+			}
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package multilog
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/term"
+)
+
+// Parse parses MultiLog source into a Database. Syntax (see also the paper's
+// Figure 10 and Example 5.1):
+//
+//	level(u).  level(c).  level(s).          % l-atoms
+//	order(u, c).  order(c, s).               % h-atoms
+//	s[mission(avenger: starship -s-> avenger; objective -s-> shipping)].
+//	c[p(k: a -c-> t)] :- q(j).               % m-clause with p-atom body
+//	s[p(k: a -u-> v)] :- c[p(k: a -c-> t)] << cau.   % b-atom body
+//	q(j).                                    % p-clause
+//	?- c[p(k: a -R-> v)] << opt.             % query
+//
+// The arrow class may be a level constant, a variable, or omitted entirely
+// (a -> v), which reads as a fresh don't-care variable (§7). Molecules in
+// heads are split into one clause per field; molecules in bodies expand to
+// conjunctions (§5.3's preprocessor). Clauses are routed to Λ, Σ or Π by
+// their head kind.
+func Parse(src string) (*Database, error) {
+	p := &mlParser{lx: newMLLexer(src)}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	db := NewDatabase()
+	for p.tok.kind != tEOF {
+		if p.tok.kind == tQueryDash {
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			goals, err := p.body()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tDot); err != nil {
+				return nil, err
+			}
+			db.Queries = append(db.Queries, goals)
+			continue
+		}
+		if err := p.clause(db); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// ParseGoals parses a comma-separated conjunction of goals (a query body
+// without the "?-" prefix or trailing dot).
+func ParseGoals(src string) ([]Goal, error) {
+	p := &mlParser{lx: newMLLexer(src)}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	goals, err := p.body()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errf("trailing input after goals")
+	}
+	return goals, nil
+}
+
+type mlParser struct {
+	lx    *mlLexer
+	tok   tok
+	fresh int
+}
+
+func (p *mlParser) bump() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *mlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("multilog: %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *mlParser) expect(k tokKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	return p.bump()
+}
+
+// clause parses one clause and routes it into the database.
+func (p *mlParser) clause(db *Database) error {
+	head, mol, err := p.headAtom()
+	if err != nil {
+		return err
+	}
+	var body []Goal
+	if p.tok.kind == tColonDash {
+		if err := p.bump(); err != nil {
+			return err
+		}
+		body, err = p.body()
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.expect(tDot); err != nil {
+		return err
+	}
+	// Molecule heads split into one clause per field (§5.3).
+	if mol != nil {
+		for _, m := range mol.Atoms() {
+			if err := db.AddClause(Clause{Head: MGoal(m), Body: body}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return db.AddClause(Clause{Head: head, Body: body})
+}
+
+// headAtom parses a clause head: an m-atom/molecule or a classical atom.
+// b-atoms are rejected in head position.
+func (p *mlParser) headAtom() (Goal, *Molecule, error) {
+	g, mol, err := p.goalAtom()
+	if err != nil {
+		return Goal{}, nil, err
+	}
+	if g.Kind == GoalB {
+		return Goal{}, nil, p.errf("b-atoms may not appear in clause heads")
+	}
+	if g.Kind == GoalP && g.P.IsBuiltin() {
+		return Goal{}, nil, p.errf("a built-in cannot be a clause head")
+	}
+	return g, mol, nil
+}
+
+func (p *mlParser) body() ([]Goal, error) {
+	var out []Goal
+	for {
+		g, mol, err := p.goalAtom()
+		if err != nil {
+			return nil, err
+		}
+		if mol != nil {
+			// Body molecules expand to the conjunction of their atoms,
+			// preserving a belief mode if one follows.
+			for _, m := range mol.Atoms() {
+				gg := MGoal(m)
+				if g.Kind == GoalB {
+					gg = BGoal(m, g.Mode)
+				}
+				out = append(out, gg)
+			}
+		} else {
+			out = append(out, g)
+		}
+		if p.tok.kind != tComma {
+			return out, nil
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// goalAtom parses one goal. When the goal was written as a molecule the
+// returned *Molecule is non-nil and the Goal carries only Kind/Mode.
+func (p *mlParser) goalAtom() (Goal, *Molecule, error) {
+	// A goal starting with var or "ident[" is an m-atom (level prefix);
+	// otherwise a classical atom or infix built-in.
+	if p.tok.kind == tVar || p.tok.kind == tNumber {
+		// Could be an m-atom with variable level (V[...]) or an infix
+		// built-in (X != Y).
+		t, err := p.simpleTerm()
+		if err != nil {
+			return Goal{}, nil, err
+		}
+		if p.tok.kind == tLBracket {
+			return p.mRest(t)
+		}
+		a, err := p.infixRest(t)
+		if err != nil {
+			return Goal{}, nil, err
+		}
+		return PGoal(a), nil, nil
+	}
+	if p.tok.kind != tIdent {
+		return Goal{}, nil, p.errf("expected goal, found %s %q", p.tok.kind, p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.bump(); err != nil {
+		return Goal{}, nil, err
+	}
+	switch p.tok.kind {
+	case tLBracket:
+		return p.mRest(term.Const(name))
+	case tLParen:
+		if err := p.bump(); err != nil {
+			return Goal{}, nil, err
+		}
+		var args []term.Term
+		for {
+			t, err := p.term()
+			if err != nil {
+				return Goal{}, nil, err
+			}
+			args = append(args, t)
+			if p.tok.kind == tComma {
+				if err := p.bump(); err != nil {
+					return Goal{}, nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(tRParen); err != nil {
+			return Goal{}, nil, err
+		}
+		return PGoal(datalog.Atom{Pred: name, Args: args}), nil, nil
+	case tEq, tNeq:
+		a, err := p.infixRest(constOrNull(name))
+		if err != nil {
+			return Goal{}, nil, err
+		}
+		return PGoal(a), nil, nil
+	default:
+		return PGoal(datalog.Atom{Pred: name}), nil, nil
+	}
+}
+
+// mRest parses the remainder of an m-atom or molecule after its level term:
+// "[" pred "(" key ":" fields ")" "]" ("<<" mode)?
+func (p *mlParser) mRest(level term.Term) (Goal, *Molecule, error) {
+	if err := p.expect(tLBracket); err != nil {
+		return Goal{}, nil, err
+	}
+	if p.tok.kind != tIdent {
+		return Goal{}, nil, p.errf("expected predicate name, found %s %q", p.tok.kind, p.tok.text)
+	}
+	pred := p.tok.text
+	if err := p.bump(); err != nil {
+		return Goal{}, nil, err
+	}
+	if err := p.expect(tLParen); err != nil {
+		return Goal{}, nil, err
+	}
+	key, err := p.term()
+	if err != nil {
+		return Goal{}, nil, err
+	}
+	if err := p.expect(tColon); err != nil {
+		return Goal{}, nil, err
+	}
+	mol := &Molecule{Level: level, Pred: pred, Key: key}
+	for {
+		f, err := p.field()
+		if err != nil {
+			return Goal{}, nil, err
+		}
+		mol.Fields = append(mol.Fields, f)
+		if p.tok.kind == tSemi {
+			if err := p.bump(); err != nil {
+				return Goal{}, nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(tRParen); err != nil {
+		return Goal{}, nil, err
+	}
+	if err := p.expect(tRBracket); err != nil {
+		return Goal{}, nil, err
+	}
+	mode := Mode("")
+	isB := false
+	if p.tok.kind == tBelief {
+		if err := p.bump(); err != nil {
+			return Goal{}, nil, err
+		}
+		if p.tok.kind != tIdent {
+			return Goal{}, nil, p.errf("expected belief mode after '<<', found %s %q", p.tok.kind, p.tok.text)
+		}
+		mode = Mode(p.tok.text)
+		isB = true
+		if err := p.bump(); err != nil {
+			return Goal{}, nil, err
+		}
+	}
+	if len(mol.Fields) == 1 {
+		m := mol.Atoms()[0]
+		if isB {
+			return BGoal(m, mode), nil, nil
+		}
+		return MGoal(m), nil, nil
+	}
+	// Multi-field molecule: the caller expands it; the Goal carries the
+	// mode flag.
+	g := Goal{Kind: GoalM}
+	if isB {
+		g = Goal{Kind: GoalB, Mode: mode}
+	}
+	return g, mol, nil
+}
+
+// field parses "attr -class-> value" or the don't-care form "attr -> value"
+// (§7: "inserting don't care variables in place of missing level
+// information").
+func (p *mlParser) field() (Field, error) {
+	if p.tok.kind != tIdent {
+		return Field{}, p.errf("expected attribute name, found %s %q", p.tok.kind, p.tok.text)
+	}
+	attr := p.tok.text
+	if err := p.bump(); err != nil {
+		return Field{}, err
+	}
+	var class term.Term
+	switch p.tok.kind {
+	case tDash:
+		if err := p.bump(); err != nil {
+			return Field{}, err
+		}
+		t, err := p.simpleTerm()
+		if err != nil {
+			return Field{}, err
+		}
+		class = t
+		if err := p.expect(tArrowHead); err != nil {
+			return Field{}, err
+		}
+	case tArrowHead: // "->" with no class: don't-care variable
+		if err := p.bump(); err != nil {
+			return Field{}, err
+		}
+		p.fresh++
+		class = term.Var(fmt.Sprintf("_C%d", p.fresh))
+	default:
+		return Field{}, p.errf("expected '-class->' or '->' after attribute %s", attr)
+	}
+	value, err := p.term()
+	if err != nil {
+		return Field{}, err
+	}
+	return Field{Attr: attr, Class: class, Value: value}, nil
+}
+
+func (p *mlParser) infixRest(left term.Term) (datalog.Atom, error) {
+	var pred string
+	switch p.tok.kind {
+	case tEq:
+		pred = datalog.BuiltinEq
+	case tNeq:
+		pred = datalog.BuiltinNeq
+	default:
+		return datalog.Atom{}, p.errf("expected '=' or '!=' after term, found %s", p.tok.kind)
+	}
+	if err := p.bump(); err != nil {
+		return datalog.Atom{}, err
+	}
+	right, err := p.term()
+	if err != nil {
+		return datalog.Atom{}, err
+	}
+	return datalog.Atom{Pred: pred, Args: []term.Term{left, right}}, nil
+}
+
+// simpleTerm parses a variable, number or bare identifier (no compounds) —
+// used where an arrow class or level is expected.
+func (p *mlParser) simpleTerm() (term.Term, error) {
+	switch p.tok.kind {
+	case tVar:
+		name := p.tok.text
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		return term.Var(name), nil
+	case tNumber:
+		text := p.tok.text
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		return term.Const(text), nil
+	case tIdent:
+		name := p.tok.text
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		return constOrNull(name), nil
+	}
+	return term.Term{}, p.errf("expected term, found %s %q", p.tok.kind, p.tok.text)
+}
+
+// term parses a full term, including compounds f(t1, ..., tn).
+func (p *mlParser) term() (term.Term, error) {
+	if p.tok.kind == tIdent {
+		name := p.tok.text
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		if p.tok.kind != tLParen {
+			return constOrNull(name), nil
+		}
+		if err := p.bump(); err != nil {
+			return term.Term{}, err
+		}
+		var args []term.Term
+		for {
+			t, err := p.term()
+			if err != nil {
+				return term.Term{}, err
+			}
+			args = append(args, t)
+			if p.tok.kind == tComma {
+				if err := p.bump(); err != nil {
+					return term.Term{}, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(tRParen); err != nil {
+			return term.Term{}, err
+		}
+		return term.Comp(name, args...), nil
+	}
+	return p.simpleTerm()
+}
+
+func constOrNull(name string) term.Term {
+	if name == "null" {
+		return term.Null()
+	}
+	return term.Const(name)
+}

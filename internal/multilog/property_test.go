@@ -1,0 +1,251 @@
+package multilog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+	"repro/internal/term"
+)
+
+// Bell-LaPadula as a property: no query answer ever reveals an m-fact whose
+// level or classification the user's clearance does not dominate — under
+// either semantics.
+func TestQuickNoReadUp(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, levels := randomDatabase(r)
+		for _, user := range levels {
+			red, err := Reduce(db, user)
+			if err != nil {
+				return false
+			}
+			prover, err := NewProver(db, user)
+			if err != nil {
+				return false
+			}
+			q, err := ParseGoals(`L[p0(K: a -C-> V)]`)
+			if err != nil {
+				return false
+			}
+			check := func(b term.Subst) bool {
+				lvl := lattice.Label(b.Apply(term.Var("L")).Name())
+				cls := lattice.Label(b.Apply(term.Var("C")).Name())
+				return red.Poset.Dominates(user, lvl) && red.Poset.Dominates(user, cls)
+			}
+			redAns, err := red.Query(q)
+			if err != nil {
+				return false
+			}
+			for _, a := range redAns {
+				if !check(a.Bindings) {
+					return false
+				}
+			}
+			opAns, err := prover.Prove(q, 0)
+			if err != nil {
+				return false
+			}
+			for _, a := range opAns {
+				if !check(a.Bindings) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity of visibility: answers at a lower clearance are a subset of
+// the answers at any dominating clearance, for plain m-atom queries.
+func TestQuickVisibilityMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, levels := randomDatabase(r)
+		q, err := ParseGoals(`L[p0(K: a -C-> V)]`)
+		if err != nil {
+			return false
+		}
+		answersAt := func(user lattice.Label) (map[string]bool, bool) {
+			red, err := Reduce(db, user)
+			if err != nil {
+				return nil, false
+			}
+			ans, err := red.Query(q)
+			if err != nil {
+				return nil, false
+			}
+			out := map[string]bool{}
+			for _, a := range ans {
+				out[a.Bindings.String()] = true
+			}
+			return out, true
+		}
+		poset, err := db.Poset()
+		if err != nil {
+			return false
+		}
+		for _, lo := range levels {
+			loAns, ok := answersAt(lo)
+			if !ok {
+				return false
+			}
+			for _, hi := range levels {
+				if !poset.Dominates(hi, lo) {
+					continue
+				}
+				hiAns, ok := answersAt(hi)
+				if !ok {
+					return false
+				}
+				for a := range loAns {
+					if !hiAns[a] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Belief-mode containment at the engine level: firm ⊆ optimistic, and
+// cautious ⊆ optimistic, for every level and predicate.
+func TestQuickBeliefContainment(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, levels := randomDatabase(r)
+		top := levels[len(levels)-1]
+		red, err := Reduce(db, top)
+		if err != nil {
+			return false
+		}
+		for _, lvl := range levels {
+			fir, err := red.BeliefFacts(lvl, ModeFir)
+			if err != nil {
+				return false
+			}
+			opt, err := red.BeliefFacts(lvl, ModeOpt)
+			if err != nil {
+				return false
+			}
+			cau, err := red.BeliefFacts(lvl, ModeCau)
+			if err != nil {
+				return false
+			}
+			optSet := map[string]bool{}
+			for _, f := range opt {
+				optSet[f.MAtom().String()] = true
+			}
+			for _, f := range fir {
+				if !optSet[f.MAtom().String()] {
+					return false
+				}
+			}
+			for _, f := range cau {
+				if !optSet[f.MAtom().String()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The reduction's belief facts are deterministic across repeated
+// compilations of the same database.
+func TestQuickReductionDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		db1, levels := randomDatabase(r1)
+		db2, _ := randomDatabase(r2)
+		top := levels[len(levels)-1]
+		redA, errA := Reduce(db1, top)
+		redB, errB := Reduce(db2, top)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true
+		}
+		fa, errA := redA.MFacts()
+		fb, errB := redB.MFacts()
+		if (errA == nil) != (errB == nil) || len(fa) != len(fb) {
+			return false
+		}
+		for i := range fa {
+			if fa[i].MAtom().String() != fb[i].MAtom().String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Consistency checking accepts every relation the workload generator
+// produces once encoded (they carry apparent keys by construction only
+// when the key attribute self-references; encode via FromRelation which
+// always emits the key atom).
+func TestQuickFromRelationConsistent(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, err := lattice.Chain("l0", "l1", "l2")
+		if err != nil {
+			return false
+		}
+		rel := randomMLSRelation(r, p)
+		db, err := FromRelation(rel)
+		if err != nil {
+			return false
+		}
+		red, err := Reduce(db, "l2")
+		if err != nil {
+			return false
+		}
+		return red.CheckConsistent() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomMLSRelation builds a seeded, integrity-clean MLS relation over p.
+func randomMLSRelation(r *rand.Rand, p *lattice.Poset) *mls.Relation {
+	scheme, err := mls.NewScheme("r", p, "id", "a")
+	if err != nil {
+		panic(err)
+	}
+	rel := mls.NewRelation(scheme)
+	levels := p.Labels()
+	for k := 0; k < 1+r.Intn(6); k++ {
+		base := levels[r.Intn(len(levels))]
+		key := fmt.Sprintf("k%d", k)
+		rel.MustInsert(mls.Tuple{Values: []mls.Value{
+			mls.V(key, base), mls.V(fmt.Sprintf("v%d", r.Intn(3)), base),
+		}})
+		ups := p.UpSet(base)
+		if len(ups) > 1 && r.Intn(2) == 0 {
+			hi := ups[1+r.Intn(len(ups)-1)]
+			rel.MustInsert(mls.Tuple{Values: []mls.Value{
+				mls.V(key, base), mls.V(fmt.Sprintf("w%d", r.Intn(3)), hi),
+			}, TC: hi})
+		}
+	}
+	return rel
+}

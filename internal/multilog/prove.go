@@ -1,0 +1,610 @@
+package multilog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/lattice"
+	"repro/internal/term"
+)
+
+// Proof rule names, matching Figure 9 (and Figure 13 for user-belief).
+const (
+	RuleEmpty       = "empty"
+	RuleAnd         = "and"
+	RuleDeductionG  = "deduction-g"
+	RuleDeductionGP = "deduction-g'"
+	RuleBelief      = "belief"
+	RuleDeductionB  = "deduction-b"
+	RuleDescendO    = "descend-o"
+	RuleDescendC1   = "descend-c1"
+	RuleDescendC2   = "descend-c2"
+	RuleDescendC3   = "descend-c3"
+	RuleDescendC4   = "descend-c4"
+	RuleUserBelief  = "user-belief"
+	RuleBuiltin     = "builtin"
+	RuleDominance   = "dominance" // side conditions like R ⪯ c in Figure 11
+)
+
+// ProofNode is a node of a MultiLog proof tree (§5.4): the goal instance
+// proved, the Figure 9 rule used, and the subproofs.
+type ProofNode struct {
+	Goal     string
+	Rule     string
+	Children []*ProofNode
+}
+
+// Height is the maximum number of nodes on a root-to-leaf branch (§5.4).
+func (n *ProofNode) Height() int {
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height(); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// Size is the number of nodes in the tree (§5.4).
+func (n *ProofNode) Size() int {
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Rules returns the set of rule names used anywhere in the tree.
+func (n *ProofNode) Rules() map[string]bool {
+	out := map[string]bool{}
+	var walk func(*ProofNode)
+	walk = func(m *ProofNode) {
+		out[m.Rule] = true
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Leaves returns the rule names of all leaf nodes.
+func (n *ProofNode) Leaves() []string {
+	var out []string
+	var walk func(*ProofNode)
+	walk = func(m *ProofNode) {
+		if len(m.Children) == 0 {
+			out = append(out, m.Rule)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// String renders the tree indented, one goal per line, like Figure 11 laid
+// on its side.
+func (n *ProofNode) String() string {
+	var b strings.Builder
+	var walk func(m *ProofNode, depth int)
+	walk = func(m *ProofNode, depth int) {
+		fmt.Fprintf(&b, "%s%s  [%s]\n", strings.Repeat("  ", depth), m.Goal, m.Rule)
+		for _, c := range m.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+func emptyLeaf() *ProofNode { return &ProofNode{Goal: "□", Rule: RuleEmpty} }
+
+func dominanceLeaf(lo, hi lattice.Label) *ProofNode {
+	return &ProofNode{Goal: fmt.Sprintf("%s ⪯ %s", lo, hi), Rule: RuleDominance}
+}
+
+// ProofAnswer is one solution found by the operational prover: the bindings
+// for the query's variables and the proof tree justifying them.
+type ProofAnswer struct {
+	Bindings term.Subst
+	Proof    *ProofNode
+}
+
+// Prover is the goal-directed operational interpreter of §5.2: it proves
+// goals at a database level ⟨Δ, u⟩ by the Figure 9 sequent rules, building
+// proof trees. The cautious rules' no-competitor condition is checked by
+// bounded sub-search, so the prover is self-contained (it never consults
+// the reduction).
+type Prover struct {
+	DB       *Database
+	User     lattice.Label
+	Poset    *lattice.Poset
+	MaxDepth int // resolution depth bound; 0 means the default (256)
+	// Filter enables the Figure 13 FILTER and FILTER-NULL rules (§7): a
+	// lower level inherits the parts of higher-level tuples whose
+	// classification it dominates, with the hidden parts surfacing as
+	// nulls — the Jajodia-Sandhu σ filter, and with it the surprise
+	// stories the default semantics deliberately avoids.
+	Filter bool
+
+	renamer term.Renamer
+}
+
+// NewProver builds a prover for the database at the user's level, checking
+// admissibility first.
+func NewProver(db *Database, user lattice.Label) (*Prover, error) {
+	if err := db.CheckAdmissible(); err != nil {
+		return nil, err
+	}
+	poset, err := db.Poset()
+	if err != nil {
+		return nil, err
+	}
+	if !poset.Has(user) {
+		return nil, fmt.Errorf("multilog: user level %q is not asserted by Λ", user)
+	}
+	return &Prover{DB: db, User: user, Poset: poset}, nil
+}
+
+var errStop = fmt.Errorf("multilog: stop enumeration")
+
+// Prove enumerates up to max answers for the conjunctive query (max ≤ 0
+// means all). Each answer carries the proof tree; for a multi-goal query
+// the root is an AND node.
+func (p *Prover) Prove(q Query, max int) ([]ProofAnswer, error) {
+	queryVars := map[string]bool{}
+	for _, g := range q {
+		for _, v := range g.Vars(nil) {
+			queryVars[v] = true
+		}
+	}
+	var answers []ProofAnswer
+	seen := map[string]bool{}
+	err := p.solveGoals(q, term.Subst{}, 0, func(s term.Subst, proofs []*ProofNode) error {
+		bindings := term.Subst{}
+		for v := range queryVars {
+			bindings[v] = s.Apply(term.Var(v))
+		}
+		key := bindings.String()
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		var proof *ProofNode
+		switch len(proofs) {
+		case 0:
+			proof = emptyLeaf()
+		case 1:
+			proof = proofs[0]
+		default:
+			goals := make([]string, len(q))
+			for i, g := range q {
+				goals[i] = g.Apply(s).String()
+			}
+			proof = &ProofNode{Goal: strings.Join(goals, ", "), Rule: RuleAnd, Children: proofs}
+		}
+		answers = append(answers, ProofAnswer{Bindings: bindings, Proof: proof})
+		if max > 0 && len(answers) >= max {
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return nil, err
+	}
+	return answers, nil
+}
+
+func (p *Prover) depthBound() int {
+	if p.MaxDepth > 0 {
+		return p.MaxDepth
+	}
+	return 256
+}
+
+// solveGoals proves a conjunction left to right (the AND rule), passing the
+// accumulated substitution and subproofs to k.
+func (p *Prover) solveGoals(goals []Goal, s term.Subst, depth int, k func(term.Subst, []*ProofNode) error) error {
+	var rec func(i int, s term.Subst, proofs []*ProofNode) error
+	rec = func(i int, s term.Subst, proofs []*ProofNode) error {
+		if i == len(goals) {
+			return k(s, proofs)
+		}
+		return p.solveGoal(goals[i], s, depth, func(s2 term.Subst, proof *ProofNode) error {
+			return rec(i+1, s2, append(proofs[:len(proofs):len(proofs)], proof))
+		})
+	}
+	return rec(0, s, nil)
+}
+
+// solveGoal proves one goal, calling k for every solution.
+func (p *Prover) solveGoal(g Goal, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error {
+	if depth > p.depthBound() {
+		return fmt.Errorf("multilog: proof depth bound %d exceeded at %s", p.depthBound(), g.Apply(s))
+	}
+	switch g.Kind {
+	case GoalP, GoalL, GoalH:
+		return p.solveClassical(g.P, s, depth, k)
+	case GoalM:
+		return p.solveM(g.M, s, depth, k)
+	case GoalB:
+		return p.solveB(g.M, g.Mode, s, depth, k)
+	}
+	return fmt.Errorf("multilog: cannot prove %s", g)
+}
+
+// solveClassical implements DEDUCTION-G for p-, l- and h-atoms, plus the
+// built-ins.
+func (p *Prover) solveClassical(a datalog.Atom, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error {
+	switch a.Pred {
+	case datalog.BuiltinEq:
+		s2 := s.Clone()
+		if term.Unify(a.Args[0], a.Args[1], s2) {
+			return k(s2, &ProofNode{Goal: a.Apply(s2).String(), Rule: RuleBuiltin})
+		}
+		return nil
+	case datalog.BuiltinNeq:
+		inst := a.Apply(s)
+		if !inst.IsGround() {
+			return fmt.Errorf("multilog: '!=' on non-ground goal %s", inst)
+		}
+		if !inst.Args[0].Equal(inst.Args[1]) {
+			return k(s, &ProofNode{Goal: inst.String(), Rule: RuleBuiltin})
+		}
+		return nil
+	}
+	clauses := p.DB.Pi
+	if a.Pred == predLevel || a.Pred == predOrder {
+		clauses = p.DB.Lambda
+	}
+	for _, c := range clauses {
+		rc := p.renameClause(c)
+		if rc.Head.P.Pred != a.Pred || rc.Head.P.Arity() != a.Arity() {
+			continue
+		}
+		s2 := s.Clone()
+		if !term.UnifyAll(a.Args, rc.Head.P.Args, s2) {
+			continue
+		}
+		err := p.solveGoals(rc.Body, s2, depth+1, func(s3 term.Subst, proofs []*ProofNode) error {
+			if len(proofs) == 0 {
+				proofs = []*ProofNode{emptyLeaf()}
+			}
+			return k(s3, &ProofNode{Goal: a.Apply(s3).String(), Rule: RuleDeductionG, Children: proofs})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Extra proof rule names for the Figure 13 extensions.
+const (
+	RuleFilter     = "filter"
+	RuleFilterNull = "filter-null"
+)
+
+// solveM implements DEDUCTION-G': an m-atom is provable from an m-clause
+// instance whose head unifies, provided the atom's level — and, once bound,
+// its classification — are dominated by the database level (the
+// Bell-LaPadula simple security property). With Filter enabled it also
+// applies the Figure 13 FILTER and FILTER-NULL rules.
+func (p *Prover) solveM(m MAtom, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error {
+	for _, lvl := range p.levelCandidates(s.Apply(m.Level)) {
+		if !p.Poset.Dominates(p.User, lvl) {
+			continue // no read up
+		}
+		sLvl := s.Clone()
+		if !term.Unify(m.Level, term.Const(string(lvl)), sLvl) {
+			continue
+		}
+		err := p.solveMClausesAt(m, lvl, sLvl, depth, func(s3 term.Subst, proofs []*ProofNode) error {
+			// The class guard c ⪯ u, once the classification is bound.
+			class := s3.Apply(m.Class)
+			if class.Kind() == term.KindConst {
+				cl := lattice.Label(class.Name())
+				if !p.Poset.Dominates(p.User, cl) {
+					return nil
+				}
+				proofs = append([]*ProofNode{dominanceLeaf(cl, p.User)}, proofs...)
+			}
+			proofs = append([]*ProofNode{dominanceLeaf(lvl, p.User)}, proofs...)
+			return k(s3, &ProofNode{Goal: m.Apply(s3).String(), Rule: RuleDeductionGP, Children: proofs})
+		})
+		if err != nil {
+			return err
+		}
+		if p.Filter {
+			if err := p.solveFiltered(m, lvl, sLvl, depth, k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// solveMClausesAt resolves an m-atom against the Σ clauses at a fixed
+// ground level, with no Bell-LaPadula guards — callers add those. Bodies
+// are proved under the usual ⟨Δ, u⟩ context.
+func (p *Prover) solveMClausesAt(m MAtom, lvl lattice.Label, s term.Subst, depth int, k func(term.Subst, []*ProofNode) error) error {
+	for _, c := range p.DB.Sigma {
+		rc := p.renameClause(c)
+		h := rc.Head.M
+		if h.Pred != m.Pred || h.Attr != m.Attr {
+			continue
+		}
+		s2 := s.Clone()
+		if !term.Unify(h.Level, term.Const(string(lvl)), s2) {
+			continue
+		}
+		if !term.Unify(m.Key, h.Key, s2) || !term.Unify(m.Class, h.Class, s2) || !term.Unify(m.Value, h.Value, s2) {
+			continue
+		}
+		err := p.solveGoals(rc.Body, s2, depth+1, func(s3 term.Subst, proofs []*ProofNode) error {
+			if len(proofs) == 0 {
+				proofs = []*ProofNode{emptyLeaf()}
+			}
+			return k(s3, proofs)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveFiltered applies FILTER and FILTER-NULL (Figure 13) for a goal at
+// level lvl: data from strictly higher levels flows down — cells whose
+// classification lvl dominates keep their value (FILTER); the rest surface
+// as nulls classified at the inheriting level (FILTER-NULL; the paper's
+// sketch leaves the null's class open — we classify at the inheriting
+// level, matching the σ view when keys filter down with the tuple).
+func (p *Prover) solveFiltered(m MAtom, lvl lattice.Label, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error {
+	for _, hi := range p.Poset.UpSet(lvl) {
+		if hi == lvl {
+			continue
+		}
+		// FILTER: the higher atom's class must be dominated by lvl.
+		sub := m
+		sub.Level = term.Var("_FilterLvl")
+		err := p.solveMClausesAt(sub, hi, s.Clone(), depth+1, func(s3 term.Subst, proofs []*ProofNode) error {
+			class := s3.Apply(m.Class)
+			if class.Kind() != term.KindConst {
+				return nil
+			}
+			if !p.Poset.Dominates(lvl, lattice.Label(class.Name())) {
+				return nil
+			}
+			s4 := s3.Clone()
+			if !term.Unify(m.Level, term.Const(string(lvl)), s4) {
+				return nil
+			}
+			children := append([]*ProofNode{dominanceLeaf(lvl, hi)}, proofs...)
+			return k(s4, &ProofNode{Goal: m.Apply(s4).String(), Rule: RuleFilter, Children: children})
+		})
+		if err != nil {
+			return err
+		}
+		// FILTER-NULL: a higher cell whose class lvl does not dominate
+		// flows down as a null classified at lvl.
+		probe := MAtom{Level: term.Var("_FnLvl"), Pred: m.Pred, Key: m.Key, Attr: m.Attr,
+			Class: term.Var("_FnC"), Value: term.Var("_FnV")}
+		err = p.solveMClausesAt(probe, hi, s.Clone(), depth+1, func(s3 term.Subst, proofs []*ProofNode) error {
+			cls := s3.Apply(term.Var("_FnC"))
+			if cls.Kind() != term.KindConst {
+				return nil
+			}
+			if p.Poset.Dominates(lvl, lattice.Label(cls.Name())) {
+				return nil // visible: FILTER covers it
+			}
+			s4 := s.Clone()
+			// The probe may have bound the goal's key; carry that over.
+			if !term.Unify(m.Key, s3.Apply(m.Key), s4) {
+				return nil
+			}
+			if !term.Unify(m.Level, term.Const(string(lvl)), s4) ||
+				!term.Unify(m.Class, term.Const(string(lvl)), s4) ||
+				!term.Unify(m.Value, term.Null(), s4) {
+				return nil
+			}
+			children := append([]*ProofNode{dominanceLeaf(lvl, hi)}, proofs...)
+			return k(s4, &ProofNode{Goal: m.Apply(s4).String(), Rule: RuleFilterNull, Children: children})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveB implements the BELIEF rule plus the ⊢^μ system: DESCEND-O for
+// optimistic, DESCEND-C1..C4 for cautious, DEDUCTION-G' directly for firm,
+// and USER-BELIEF (Figure 13) for registered user-defined modes.
+func (p *Prover) solveB(m MAtom, mode Mode, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error {
+	for _, belief := range p.levelCandidates(s.Apply(m.Level)) {
+		if !p.Poset.Dominates(p.User, belief) {
+			continue // BELIEF's side condition: the belief level ⪯ u
+		}
+		sLvl := s.Clone()
+		if !term.Unify(m.Level, term.Const(string(belief)), sLvl) {
+			continue
+		}
+		wrap := func(rule string, s2 term.Subst, children ...*ProofNode) error {
+			inner := &ProofNode{Goal: fmt.Sprintf("%s << %s", m.Apply(s2), mode), Rule: rule, Children: children}
+			outer := &ProofNode{Goal: inner.Goal, Rule: RuleBelief,
+				Children: []*ProofNode{dominanceLeaf(belief, p.User), inner}}
+			return k(s2, outer)
+		}
+		var err error
+		switch mode {
+		case ModeFir:
+			// fir is "trivially captured by DEDUCTION-G'" (§5.4).
+			sub := m
+			sub.Level = term.Const(string(belief))
+			err = p.solveM(sub, sLvl, depth+1, func(s2 term.Subst, proof *ProofNode) error {
+				return wrap(RuleDeductionGP, s2, proof)
+			})
+		case ModeOpt:
+			// DESCEND-O: any level dominated by the belief level may
+			// supply the value.
+			for _, lo := range p.Poset.DownSet(belief) {
+				sub := m
+				sub.Level = term.Const(string(lo))
+				err = p.solveM(sub, sLvl, depth+1, func(s2 term.Subst, proof *ProofNode) error {
+					return wrap(RuleDescendO, s2, dominanceLeaf(lo, belief), proof)
+				})
+				if err != nil {
+					return err
+				}
+			}
+		case ModeCau:
+			err = p.solveCau(m, belief, sLvl, depth, wrap)
+		default:
+			// USER-BELIEF: copy a proof of the distinguished bel/7
+			// predicate (Figure 13).
+			inst := m.Apply(sLvl)
+			goal := datalog.Atom{Pred: UserBelPred, Args: []term.Term{
+				term.Const(inst.Pred), inst.Key, term.Const(inst.Attr), inst.Value, inst.Class,
+				term.Const(string(belief)), term.Const(string(mode)),
+			}}
+			err = p.solveClassical(goal, sLvl, depth+1, func(s2 term.Subst, proof *ProofNode) error {
+				return wrap(RuleUserBelief, s2, proof)
+			})
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveCau proves a cautious b-atom at belief level R: some dominated level
+// supplies the value, and no visible cell of the same (predicate, key,
+// attribute) carries a strictly dominating classification. The four
+// DESCEND-C rules of Figure 9 are distinguished for the proof tree by
+// where the value came from and whether a lower competitor was overridden.
+func (p *Prover) solveCau(m MAtom, belief lattice.Label, s term.Subst, depth int,
+	wrap func(string, term.Subst, ...*ProofNode) error) error {
+	for _, lo := range p.Poset.DownSet(belief) {
+		sub := m
+		sub.Level = term.Const(string(lo))
+		err := p.solveM(sub, s, depth+1, func(s2 term.Subst, proof *ProofNode) error {
+			inst := m.Apply(s2)
+			if inst.Class.Kind() != term.KindConst {
+				return nil // cannot adjudicate an unbound classification
+			}
+			myClass := lattice.Label(inst.Class.Name())
+			exceeded, hasLowerRival, hasOwnFact, err := p.competitors(inst, belief, myClass, depth)
+			if err != nil {
+				return err
+			}
+			if exceeded {
+				return nil
+			}
+			rule := RuleDescendC1
+			switch {
+			case lo == belief && hasLowerRival:
+				rule = RuleDescendC4 // a9: own cell overrides a lower one
+			case lo == belief:
+				rule = RuleDescendC1 // a6: own cell, unchallenged
+			case hasOwnFact:
+				rule = RuleDescendC3 // a8: inherited over a dominated own cell
+			default:
+				rule = RuleDescendC2 // a7: inherited, nothing at this level
+			}
+			return wrap(rule, s2, dominanceLeaf(lo, belief), proof)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// competitors surveys the visible cells of inst's (predicate, key,
+// attribute) at levels dominated by belief: whether any strictly dominates
+// myClass (exceeded), whether any is strictly dominated (a rival that this
+// proof overrides), and whether any lives at the belief level itself.
+func (p *Prover) competitors(inst MAtom, belief lattice.Label, myClass lattice.Label, depth int) (exceeded, hasLowerRival, hasOwnFact bool, err error) {
+	for _, l2 := range p.Poset.DownSet(belief) {
+		rival := MAtom{
+			Level: term.Const(string(l2)),
+			Pred:  inst.Pred,
+			Key:   inst.Key,
+			Attr:  inst.Attr,
+			Class: term.Var("_RivalC"),
+			Value: term.Var("_RivalV"),
+		}
+		inner := p.solveM(rival, term.Subst{}, depth+1, func(s2 term.Subst, _ *ProofNode) error {
+			cls := s2.Apply(term.Var("_RivalC"))
+			if cls.Kind() != term.KindConst {
+				return nil
+			}
+			rc := lattice.Label(cls.Name())
+			if p.Poset.StrictlyDominates(rc, myClass) {
+				exceeded = true
+				return errStop
+			}
+			if p.Poset.StrictlyDominates(myClass, rc) {
+				hasLowerRival = true
+			}
+			if l2 == belief {
+				hasOwnFact = true
+			}
+			return nil
+		})
+		if inner != nil && inner != errStop {
+			return false, false, false, inner
+		}
+		if exceeded {
+			return true, hasLowerRival, hasOwnFact, nil
+		}
+	}
+	return exceeded, hasLowerRival, hasOwnFact, nil
+}
+
+func (p *Prover) levelCandidates(t term.Term) []lattice.Label {
+	if t.Kind() == term.KindConst {
+		return []lattice.Label{lattice.Label(t.Name())}
+	}
+	return p.Poset.Labels()
+}
+
+// renameClause renames a clause apart before resolution.
+func (p *Prover) renameClause(c Clause) Clause {
+	memo := map[string]string{}
+	freshTerm := func(t term.Term) term.Term { return p.renamer.Fresh(t, memo) }
+	freshM := func(m MAtom) MAtom {
+		m.Level = freshTerm(m.Level)
+		m.Key = freshTerm(m.Key)
+		m.Class = freshTerm(m.Class)
+		m.Value = freshTerm(m.Value)
+		return m
+	}
+	freshAtom := func(a datalog.Atom) datalog.Atom {
+		args := make([]term.Term, len(a.Args))
+		for i, t := range a.Args {
+			args[i] = freshTerm(t)
+		}
+		return datalog.Atom{Pred: a.Pred, Args: args}
+	}
+	freshGoal := func(g Goal) Goal {
+		switch g.Kind {
+		case GoalM, GoalB:
+			g.M = freshM(g.M)
+		default:
+			g.P = freshAtom(g.P)
+		}
+		return g
+	}
+	out := Clause{Head: freshGoal(c.Head)}
+	for _, g := range c.Body {
+		out.Body = append(out.Body, freshGoal(g))
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package multilog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datalog"
+	"repro/internal/lattice"
+	"repro/internal/term"
+)
+
+// Model evaluates the reduced program to its minimal model (Theorem 6.1's
+// lfp(T_Δr)), caching the result.
+func (r *Reduction) Model() (*datalog.Store, error) {
+	if r.model != nil {
+		return r.model, nil
+	}
+	m, err := datalog.Eval(r.Program, nil)
+	if err != nil {
+		return nil, fmt.Errorf("multilog: reduced program: %w", err)
+	}
+	r.model = m
+	return m, nil
+}
+
+// Answer is one solution to a MultiLog query: bindings for the query's
+// variables.
+type Answer struct {
+	Bindings term.Subst
+}
+
+// Query answers a conjunctive MultiLog query against the reduction. Level
+// variables in m/b-atom level positions are enumerated over the asserted
+// levels; all other variables are matched against the model. Answers are
+// restricted to the query's variables and deduplicated.
+func (r *Reduction) Query(q Query) ([]Answer, error) {
+	// Register the belief axioms any b-atom goal may need before
+	// evaluating; predicates outside Σ are covered lazily here.
+	for _, g := range q {
+		if g.Kind != GoalB {
+			continue
+		}
+		for _, lvl := range r.levelCandidates(g.M.Level) {
+			if r.Poset.Has(lvl) {
+				r.RequireBelief(g.M.Pred, lvl, g.Mode)
+			}
+		}
+	}
+	model, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	queryVars := map[string]bool{}
+	for _, g := range q {
+		for _, v := range g.Vars(nil) {
+			queryVars[v] = true
+		}
+	}
+
+	var answers []Answer
+	seen := map[string]bool{}
+	emit := func(s term.Subst) {
+		restricted := term.Subst{}
+		for v := range queryVars {
+			restricted[v] = s.Apply(term.Var(v))
+		}
+		key := restricted.String()
+		if !seen[key] {
+			seen[key] = true
+			answers = append(answers, Answer{Bindings: restricted})
+		}
+	}
+
+	var solve func(i int, s term.Subst)
+	solve = func(i int, s term.Subst) {
+		if i == len(q) {
+			emit(s)
+			return
+		}
+		g := q[i].Apply(s)
+		switch g.Kind {
+		case GoalP, GoalL, GoalH:
+			switch g.P.Pred {
+			case datalog.BuiltinEq:
+				s2 := s.Clone()
+				if term.Unify(g.P.Args[0], g.P.Args[1], s2) {
+					solve(i+1, s2)
+				}
+			case datalog.BuiltinNeq:
+				if g.P.IsGround() && !g.P.Args[0].Equal(g.P.Args[1]) {
+					solve(i+1, s)
+				}
+			default:
+				model.Match(g.P, s, func(s2 term.Subst) bool {
+					solve(i+1, s2)
+					return true
+				})
+			}
+		case GoalM, GoalB:
+			for _, lvl := range r.levelCandidates(g.M.Level) {
+				s2 := s.Clone()
+				if !term.Unify(g.M.Level, term.Const(string(lvl)), s2) {
+					continue
+				}
+				// λ guards: level ⪯ u; the class guard is enforced by
+				// matching below plus an explicit dominance check.
+				if !r.Poset.Dominates(r.User, lvl) {
+					continue
+				}
+				var pred string
+				var args []term.Term
+				if g.Kind == GoalM {
+					pred = relPred(g.M.Pred, lvl)
+					args = []term.Term{g.M.Key, term.Const(g.M.Attr), g.M.Value, g.M.Class}
+				} else if g.Mode == ModeFir || g.Mode == ModeOpt || g.Mode == ModeCau {
+					pred = belPred(g.M.Pred, lvl, g.Mode)
+					args = []term.Term{g.M.Key, term.Const(g.M.Attr), g.M.Value, g.M.Class}
+				} else {
+					pred = UserBelPred
+					args = []term.Term{term.Const(g.M.Pred), g.M.Key, term.Const(g.M.Attr), g.M.Value, g.M.Class,
+						term.Const(string(lvl)), term.Const(string(g.Mode))}
+				}
+				model.Match(datalog.Atom{Pred: pred, Args: args}, s2, func(s3 term.Subst) bool {
+					class := s3.Apply(g.M.Class)
+					if class.Kind() == term.KindConst &&
+						!r.Poset.Dominates(r.User, lattice.Label(class.Name())) {
+						return true // class guard c ⪯ u failed
+					}
+					solve(i+1, s3)
+					return true
+				})
+			}
+		}
+	}
+	solve(0, term.Subst{})
+	sort.Slice(answers, func(i, j int) bool {
+		return answers[i].Bindings.String() < answers[j].Bindings.String()
+	})
+	return answers, nil
+}
+
+// levelCandidates enumerates the levels a level-position term can take:
+// the term's own label when ground, or every asserted level when variable.
+func (r *Reduction) levelCandidates(t term.Term) []lattice.Label {
+	if t.Kind() == term.KindConst {
+		return []lattice.Label{lattice.Label(t.Name())}
+	}
+	return r.Poset.Labels()
+}
+
+// MFact is a ground MLS fact from the model: the paper's rel(p,k,a,v,c,l).
+type MFact struct {
+	Pred  string
+	Key   term.Term
+	Attr  string
+	Value term.Term
+	Class lattice.Label
+	Level lattice.Label
+}
+
+// MAtom converts the fact back to the surface representation.
+func (f MFact) MAtom() MAtom {
+	return MAtom{
+		Level: term.Const(string(f.Level)),
+		Pred:  f.Pred,
+		Key:   f.Key,
+		Attr:  f.Attr,
+		Class: term.Const(string(f.Class)),
+		Value: f.Value,
+	}
+}
+
+// MFacts returns every derived m-fact (⟦Σ⟧), in a deterministic order.
+// This is the set the consistency properties of Definition 5.4 quantify
+// over.
+func (r *Reduction) MFacts() ([]MFact, error) {
+	model, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	var out []MFact
+	for _, p := range r.predList() {
+		for _, l := range r.Poset.Labels() {
+			for _, f := range model.Facts(relPred(p, l)) {
+				out = append(out, MFact{
+					Pred:  p,
+					Key:   f.Args[0],
+					Attr:  f.Args[1].Name(),
+					Value: f.Args[2],
+					Class: lattice.Label(f.Args[3].Name()),
+					Level: l,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].MAtom().String() < out[j].MAtom().String()
+	})
+	return out, nil
+}
+
+// BeliefFacts returns every derived belief fact at the given level and
+// mode, across all Σ predicates, as m-facts (the level field holds the
+// belief level).
+func (r *Reduction) BeliefFacts(l lattice.Label, m Mode) ([]MFact, error) {
+	for _, p := range r.predList() {
+		r.RequireBelief(p, l, m)
+	}
+	model, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	var out []MFact
+	for _, p := range r.predList() {
+		for _, f := range model.Facts(belPred(p, l, m)) {
+			out = append(out, MFact{
+				Pred:  p,
+				Key:   f.Args[0],
+				Attr:  f.Args[1].Name(),
+				Value: f.Args[2],
+				Class: lattice.Label(f.Args[3].Name()),
+				Level: l,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].MAtom().String() < out[j].MAtom().String()
+	})
+	return out, nil
+}
+
+// predList returns the Σ/query predicate names, sorted.
+func (r *Reduction) predList() []string {
+	out := make([]string, 0, len(r.preds))
+	for p := range r.preds {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

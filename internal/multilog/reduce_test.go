@@ -1,0 +1,337 @@
+package multilog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/belief"
+	"repro/internal/datalog"
+	"repro/internal/lattice"
+	"repro/internal/mls"
+	"repro/internal/term"
+)
+
+// cellSet flattens an MLS relation into its (pred, key, attr, value, class)
+// cells, the unit the engine's rel/bel facts work in.
+func cellSet(r *mls.Relation) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range r.Tuples {
+		key := t.Values[r.Scheme.KeyIdx]
+		for i, v := range t.Values {
+			val := v.Data
+			if v.Null {
+				val = "⊥"
+			}
+			out[fmt.Sprintf("%s/%s/%s/%s/%s", r.Scheme.Name, key.Data, r.Scheme.Attrs[i], val, v.Class)] = true
+		}
+	}
+	return out
+}
+
+func factCell(f MFact) string {
+	val := f.Value.Name()
+	if f.Value.IsNull() {
+		val = "⊥"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s/%s", f.Pred, f.Key.Name(), f.Attr, val, f.Class)
+}
+
+// Figure 12 / Experiment F12: the engine's bel facts agree with the
+// declarative belief function β on the Mission relation, attribute cell by
+// attribute cell, for every mode and level.
+func TestAxiomsAgainstBeta(t *testing.T) {
+	mission := mls.Mission()
+	db, err := FromRelation(mission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []lattice.Label{u, c, s} {
+		red, err := Reduce(db, lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeFir, ModeOpt, ModeCau} {
+			engineFacts, err := red.BeliefFacts(lvl, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engine := map[string]bool{}
+			for _, f := range engineFacts {
+				engine[factCell(f)] = true
+			}
+			models, err := belief.BetaModels(mission, lvl, belief.Mode(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[string]bool{}
+			for _, m := range models {
+				for cell := range cellSet(m) {
+					// β retags TC but keeps cells; the engine keeps cell
+					// classes too, so cells compare directly.
+					want[cell] = true
+				}
+			}
+			if len(engine) != len(want) {
+				t.Errorf("at %s/%s: engine has %d cells, β has %d\nengine: %v\nβ: %v",
+					lvl, mode, len(engine), len(want), keysOf(engine), keysOf(want))
+				continue
+			}
+			for cell := range want {
+				if !engine[cell] {
+					t.Errorf("at %s/%s: β cell %s missing from engine", lvl, mode, cell)
+				}
+			}
+		}
+	}
+}
+
+func keysOf(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Proposition 6.1 / Experiment T2: a MultiLog database with empty Λ and Σ
+// degenerates into Datalog — the reduction answers classical programs
+// exactly as the classical engine does.
+func TestProposition61(t *testing.T) {
+	programs := []struct {
+		name, src, goal string
+	}{
+		{"ancestor", `
+			parent(adam, cain). parent(cain, enoch). parent(enoch, irad).
+			anc(X, Y) :- parent(X, Y).
+			anc(X, Z) :- parent(X, Y), anc(Y, Z).
+		`, "anc(adam, W)"},
+		{"same-generation", `
+			par(c1, p). par(c2, p). par(g1, c1). par(g2, c2).
+			person(c1). person(c2). person(g1). person(g2). person(p).
+			sg(X, X) :- person(X).
+			sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+		`, "sg(g1, W)"},
+		{"transitive-closure", `
+			edge(a, b). edge(b, c). edge(c, d).
+			tc(X, Y) :- edge(X, Y).
+			tc(X, Z) :- edge(X, Y), tc(Y, Z).
+		`, "tc(a, W)"},
+	}
+	for _, p := range programs {
+		t.Run(p.name, func(t *testing.T) {
+			// Classical engine.
+			dp, err := datalog.Parse(p.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goal, err := datalog.ParseAtom(p.goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			classical, err := datalog.Query(dp, nil, goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The same program as a MultiLog Π component, with a minimal Λ
+			// carrying only the system level (Proposition 6.1: "u is any
+			// user level (perhaps system)").
+			mdb, err := Parse("level(system).\n" + p.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(mdb.Sigma) != 0 {
+				t.Fatal("Datalog programs must not produce Σ clauses")
+			}
+			red, err := Reduce(mdb, "system")
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := ParseGoals(p.goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			multilogAns, err := red.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// And through the operational prover.
+			prover, err := NewProver(mdb, "system")
+			if err != nil {
+				t.Fatal(err)
+			}
+			opAns, err := prover.Prove(q, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			classicalSet := map[string]bool{}
+			for _, s := range classical {
+				classicalSet[s.String()] = true
+			}
+			if len(multilogAns) != len(classicalSet) || len(opAns) != len(classicalSet) {
+				t.Fatalf("answer counts differ: classical=%d reduction=%d operational=%d",
+					len(classicalSet), len(multilogAns), len(opAns))
+			}
+			for _, a := range multilogAns {
+				if !classicalSet[a.Bindings.String()] {
+					t.Errorf("reduction answer %s not classical", a.Bindings)
+				}
+			}
+			for _, a := range opAns {
+				if !classicalSet[a.Bindings.String()] {
+					t.Errorf("operational answer %s not classical", a.Bindings)
+				}
+			}
+		})
+	}
+}
+
+// Proposition 6.1's proof-tree half: on a pure Datalog goal the MultiLog
+// proof tree uses only the classical rules (EMPTY, AND, DEDUCTION-G).
+func TestProposition61ProofTrees(t *testing.T) {
+	db := mustParseML(t, `
+		level(system).
+		parent(adam, cain). parent(cain, enoch).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Z) :- parent(X, Y), anc(Y, Z).
+	`)
+	prover, err := NewProver(db, "system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParseGoals(`anc(adam, enoch)`)
+	answers, err := prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	for rule := range answers[0].Proof.Rules() {
+		switch rule {
+		case RuleEmpty, RuleAnd, RuleDeductionG:
+		default:
+			t.Errorf("non-classical rule %s in a Datalog proof:\n%s", rule, answers[0].Proof)
+		}
+	}
+}
+
+// Definition 5.4 via the engine: the Mission encoding is consistent; a
+// database violating polyinstantiation integrity is rejected.
+func TestCheckConsistent(t *testing.T) {
+	db, err := FromRelation(mls.Mission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Reduce(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := red.CheckConsistent(); err != nil {
+		t.Errorf("Mission encoding should be consistent: %v", err)
+	}
+}
+
+func TestCheckConsistentViolations(t *testing.T) {
+	cases := []struct {
+		name, sigma, wantErr string
+	}{
+		{"no-key-atom", `
+			u[p(k: a -u-> v)].
+		`, "apparent-key"},
+		{"attr-below-key", `
+			c[p(k: id -c-> k)].
+			c[p(k: a -u-> v)].
+		`, "below the key class"},
+		{"null-not-at-key-class", `
+			u[p(k: id -u-> k; a -c-> null)].
+		`, "null integrity"},
+		{"poly-fd", `
+			u[p(k: id -u-> k; a -u-> v1)].
+			c[p(k: id -u-> k; a -u-> v2)].
+		`, "polyinstantiation"},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			db := ucsDB(t, cse.sigma)
+			red, err := Reduce(db, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = red.CheckConsistent()
+			if err == nil {
+				t.Fatalf("expected a consistency violation")
+			}
+			if !strings.Contains(err.Error(), cse.wantErr) {
+				t.Errorf("error %q does not mention %q", err, cse.wantErr)
+			}
+		})
+	}
+}
+
+// A level-recursive program (rel at a level derived from beliefs at the
+// same level through cau's negation) is rejected with a stratification
+// diagnostic rather than evaluated wrongly.
+func TestLevelRecursiveRejected(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> v)].
+		u[q(k: b -u-> w)] :- u[q(k: b -u-> w)] << cau.
+	`)
+	red, err := Reduce(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.Model(); err == nil {
+		t.Error("self-referential cautious belief must fail stratification")
+	}
+}
+
+// Level variables in clause heads ground over the asserted levels, so a
+// single clause can populate every level.
+func TestLevelVariableGrounding(t *testing.T) {
+	db := ucsDB(t, `
+		seed(k).
+		L[p(k: a -L-> stamped)] :- seed(k), level(L).
+	`)
+	red, err := Reduce(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := red.MFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 3 {
+		t.Fatalf("the level-variable clause should stamp all 3 levels, got %d: %v", len(facts), facts)
+	}
+}
+
+// Queries against the reduction support built-ins and p-atoms mixed with
+// m/b-atoms.
+func TestReductionMixedQuery(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k1: a -u-> v1)].
+		u[p(k2: a -u-> v2)].
+		interesting(k2).
+	`)
+	red, err := Reduce(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseGoals(`u[p(K: a -u-> V)], interesting(K), V != v1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := red.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %v", answers)
+	}
+	if got := answers[0].Bindings.Apply(term.Var("K")); got.Name() != "k2" {
+		t.Errorf("K = %s", got)
+	}
+}

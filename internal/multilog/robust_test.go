@@ -1,0 +1,50 @@
+package multilog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The MultiLog parser must never panic on malformed input.
+func TestQuickParseNeverPanics(t *testing.T) {
+	tokens := []string{
+		"level(u).", "order(u, c).", "s[", "]", "p(", ")", "k:", "a", "-u->",
+		"->", "<<", "cau", "opt", ";", ",", ".", ":-", "?-", "X", "v",
+		"null", "!=", "=", "'q'", " ", "\n", "%x\n",
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < r.Intn(30); i++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+		}
+		_, _ = Parse(b.String())
+		_, _ = ParseGoals(b.String())
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRandomBytesNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(string(data))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

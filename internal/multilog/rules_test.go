@@ -1,0 +1,363 @@
+package multilog
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/term"
+)
+
+// proveOne runs a query against a prover and returns the single expected
+// answer, failing otherwise.
+func proveOne(t *testing.T, db *Database, user lattice.Label, qsrc string, filter bool) ProofAnswer {
+	t.Helper()
+	prover, err := NewProver(db, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover.Filter = filter
+	q, err := ParseGoals(qsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("query %s at %s: want 1 answer, got %d", qsrc, user, len(answers))
+	}
+	return answers[0]
+}
+
+func proveAll(t *testing.T, db *Database, user lattice.Label, qsrc string) []ProofAnswer {
+	t.Helper()
+	prover, err := NewProver(db, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseGoals(qsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return answers
+}
+
+func ucsDB(t *testing.T, sigma string) *Database {
+	t.Helper()
+	return mustParseML(t, `
+		level(u). level(c). level(s).
+		order(u, c). order(c, s).
+	`+sigma)
+}
+
+// Figure 9, EMPTY and AND: a two-goal query proves with an AND root and
+// EMPTY leaves.
+func TestProofRuleEmptyAnd(t *testing.T) {
+	db := ucsDB(t, `p(x). q(y).`)
+	a := proveOne(t, db, c, `p(X), q(Y)`, false)
+	if a.Proof.Rule != RuleAnd {
+		t.Errorf("root rule = %s, want %s", a.Proof.Rule, RuleAnd)
+	}
+	for _, leaf := range a.Proof.Leaves() {
+		if leaf != RuleEmpty {
+			t.Errorf("leaf = %s, want %s", leaf, RuleEmpty)
+		}
+	}
+}
+
+// Figure 9, DEDUCTION-G: classical resolution for p-atoms.
+func TestProofRuleDeductionG(t *testing.T) {
+	db := ucsDB(t, `
+		parent(adam, cain). parent(cain, enoch).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Z) :- parent(X, Y), anc(Y, Z).
+	`)
+	answers := proveAll(t, db, u, `anc(adam, W)`)
+	if len(answers) != 2 {
+		t.Fatalf("anc answers = %d", len(answers))
+	}
+	for _, a := range answers {
+		if !a.Proof.Rules()[RuleDeductionG] {
+			t.Errorf("proof missing %s:\n%s", RuleDeductionG, a.Proof)
+		}
+	}
+}
+
+// Figure 9, DEDUCTION-G': m-atoms prove from Σ with the no-read-up guard.
+func TestProofRuleDeductionGPrime(t *testing.T) {
+	db := ucsDB(t, `
+		c[p(k: a -c-> v)].
+	`)
+	a := proveOne(t, db, s, `c[p(k: a -c-> V)]`, false)
+	if !a.Proof.Rules()[RuleDeductionGP] {
+		t.Errorf("proof missing %s:\n%s", RuleDeductionGP, a.Proof)
+	}
+	// No read up: a u-cleared subject cannot prove the c-level atom.
+	if got := proveAll(t, db, u, `c[p(k: a -c-> V)]`); len(got) != 0 {
+		t.Errorf("no-read-up violated: %v", got)
+	}
+	// Class above the user level is blocked even when the atom level is
+	// visible.
+	db2 := ucsDB(t, `u[p(k: a -s-> v)].`)
+	if got := proveAll(t, db2, c, `u[p(k: a -C-> V)]`); len(got) != 0 {
+		t.Errorf("class guard violated: %v", got)
+	}
+}
+
+// Figure 9, BELIEF and DESCEND-O.
+func TestProofRuleBeliefDescendO(t *testing.T) {
+	db := ucsDB(t, `u[p(k: a -u-> v)].`)
+	a := proveOne(t, db, s, `s[p(k: a -u-> V)] << opt`, false)
+	rules := a.Proof.Rules()
+	if !rules[RuleBelief] || !rules[RuleDescendO] {
+		t.Errorf("proof missing belief/descend-o:\n%s", a.Proof)
+	}
+}
+
+// Firm belief is captured by DEDUCTION-G' (§5.4).
+func TestProofRuleFirmBelief(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> v)].
+		c[p(k: a -c-> w)].
+	`)
+	a := proveOne(t, db, s, `c[p(k: a -c-> V)] << fir`, false)
+	if got := a.Bindings.Apply(term.Var("V")); got.Name() != "w" {
+		t.Errorf("firm belief at c should see only the c value, got %s", got)
+	}
+	// Firm at u sees only the u value.
+	a = proveOne(t, db, s, `u[p(k: a -u-> V)] << fir`, false)
+	if got := a.Bindings.Apply(term.Var("V")); got.Name() != "v" {
+		t.Errorf("firm at u = %s", got)
+	}
+}
+
+// Figure 9, DESCEND-C1: a cell at the belief level itself, unchallenged.
+func TestProofRuleDescendC1(t *testing.T) {
+	db := ucsDB(t, `c[p(k: a -c-> v)].`)
+	a := proveOne(t, db, s, `c[p(k: a -c-> V)] << cau`, false)
+	if !a.Proof.Rules()[RuleDescendC1] {
+		t.Errorf("expected descend-c1:\n%s", a.Proof)
+	}
+}
+
+// Figure 9, DESCEND-C2: inherited from below, nothing at the belief level.
+func TestProofRuleDescendC2(t *testing.T) {
+	db := ucsDB(t, `u[p(k: a -u-> v)].`)
+	a := proveOne(t, db, s, `c[p(k: a -u-> V)] << cau`, false)
+	if !a.Proof.Rules()[RuleDescendC2] {
+		t.Errorf("expected descend-c2:\n%s", a.Proof)
+	}
+}
+
+// Figure 9, DESCEND-C3: the winning cell is inherited from a lower level
+// over a dominated cell stored at the belief level itself.
+func TestProofRuleDescendC3(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -c-> fromu)].
+		c[p(k: a -u-> fromc)].
+	`)
+	answers := proveAll(t, db, s, `c[p(k: a -C-> V)] << cau`)
+	if len(answers) != 1 {
+		t.Fatalf("cautious belief should be unique, got %d", len(answers))
+	}
+	a := answers[0]
+	if got := a.Bindings.Apply(term.Var("V")); got.Name() != "fromu" {
+		t.Errorf("the c-classified cell must win, got %s", got)
+	}
+	if !a.Proof.Rules()[RuleDescendC3] {
+		t.Errorf("expected descend-c3:\n%s", a.Proof)
+	}
+}
+
+// Figure 9, DESCEND-C4: the belief level's own cell overrides a lower one.
+func TestProofRuleDescendC4(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> old)].
+		c[p(k: a -c-> new)].
+	`)
+	answers := proveAll(t, db, s, `c[p(k: a -C-> V)] << cau`)
+	if len(answers) != 1 {
+		t.Fatalf("cautious belief should be unique, got %d: %v", len(answers), answers)
+	}
+	a := answers[0]
+	if got := a.Bindings.Apply(term.Var("V")); got.Name() != "new" {
+		t.Errorf("overriding failed: got %s", got)
+	}
+	if !a.Proof.Rules()[RuleDescendC4] {
+		t.Errorf("expected descend-c4:\n%s", a.Proof)
+	}
+}
+
+// Figure 9, DEDUCTION-B: ⊢^μ coincides with ⊢ on non-m goals, so a b-atom
+// proved inside an m-clause body yields exactly the same answers as the
+// same b-atom as a top-level query.
+func TestProofRuleDeductionB(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> v)].
+		c[q(k: b -c-> yes)] :- c[p(k: a -u-> v)] << opt.
+	`)
+	direct := proveAll(t, db, c, `c[p(k: a -u-> v)] << opt`)
+	derived := proveAll(t, db, c, `c[q(k: b -c-> V)]`)
+	if len(direct) != 1 || len(derived) != 1 {
+		t.Fatalf("deduction-b mismatch: direct=%d derived=%d", len(direct), len(derived))
+	}
+}
+
+// Figure 13, USER-BELIEF: a mode outside μ proves through the distinguished
+// bel/7 predicate defined in Π.
+func TestProofRuleUserBelief(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> v)].
+		bel(p, k, a, v, u, L, skeptical) :- level(L).
+	`)
+	a := proveOne(t, db, c, `c[p(k: a -u-> V)] << skeptical`, false)
+	if !a.Proof.Rules()[RuleUserBelief] {
+		t.Errorf("expected user-belief:\n%s", a.Proof)
+	}
+	if got := a.Bindings.Apply(term.Var("V")); got.Name() != "v" {
+		t.Errorf("user belief binding = %s", got)
+	}
+	// The same mode evaluates identically through the reduction.
+	red, err := Reduce(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParseGoals(`c[p(k: a -u-> V)] << skeptical`)
+	redAns, err := red.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redAns) != 1 || redAns[0].Bindings.String() != a.Bindings.String() {
+		t.Errorf("reduction disagrees on user-defined mode: %v", redAns)
+	}
+}
+
+// An unregistered user mode simply fails (no bel/7 clause matches) — §7:
+// the extension "does not pose any security threat".
+func TestUnknownUserModeFailsClosed(t *testing.T) {
+	db := ucsDB(t, `u[p(k: a -u-> v)].`)
+	if got := proveAll(t, db, s, `u[p(k: a -u-> v)] << conspiracy`); len(got) != 0 {
+		t.Errorf("unknown mode should prove nothing, got %v", got)
+	}
+}
+
+// Figure 13, FILTER and FILTER-NULL: with filtering on, a c-cleared subject
+// sees the visible part of the s-level tuple and a null for the hidden
+// part — the surprise story reappears; with filtering off it does not.
+func TestProofRuleFilterAndFilterNull(t *testing.T) {
+	db := ucsDB(t, `
+		s[mission(phantom: starship -u-> phantom; objective -s-> spying; destination -u-> omega)].
+	`)
+	// Filter off (the default): nothing visible at c.
+	if got := proveAll(t, db, c, `c[mission(phantom: destination -C-> V)]`); len(got) != 0 {
+		t.Errorf("without filter the s tuple must be invisible at c: %v", got)
+	}
+	// Filter on: the u-classified destination flows down unchanged.
+	a := proveOne(t, db, c, `c[mission(phantom: destination -C-> V)]`, true)
+	if got := a.Bindings.Apply(term.Var("V")); got.Name() != "omega" {
+		t.Errorf("FILTER should deliver omega, got %s", got)
+	}
+	if !a.Proof.Rules()[RuleFilter] {
+		t.Errorf("expected filter rule:\n%s", a.Proof)
+	}
+	// The s-classified objective flows down as a null.
+	a = proveOne(t, db, c, `c[mission(phantom: objective -C-> V)]`, true)
+	if got := a.Bindings.Apply(term.Var("V")); !got.IsNull() {
+		t.Errorf("FILTER-NULL should deliver null, got %s", got)
+	}
+	if !a.Proof.Rules()[RuleFilterNull] {
+		t.Errorf("expected filter-null rule:\n%s", a.Proof)
+	}
+}
+
+// The FILTER rules agree between the operational prover and the reduction.
+func TestFilterEquivalence(t *testing.T) {
+	db := ucsDB(t, `
+		s[mission(phantom: starship -u-> phantom; objective -s-> spying; destination -u-> omega)].
+		c[mission(atlantis: starship -c-> atlantis; objective -c-> diplomacy)].
+	`)
+	red, err := ReduceOpts(db, c, Options{Filter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover.Filter = true
+	for _, qsrc := range []string{
+		`c[mission(K: starship -C-> V)]`,
+		`c[mission(K: objective -C-> V)]`,
+		`c[mission(phantom: destination -C-> V)]`,
+		`c[mission(K: objective -C-> V)] << cau`,
+		`u[mission(K: starship -C-> V)]`,
+	} {
+		q, err := ParseGoals(qsrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redAns, err := red.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opAns, err := prover.Prove(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redSet := map[string]bool{}
+		for _, a := range redAns {
+			redSet[a.Bindings.String()] = true
+		}
+		if len(redSet) != len(opAns) {
+			t.Errorf("%s: reduction %v vs operational %d answers", qsrc, redSet, len(opAns))
+			continue
+		}
+		for _, a := range opAns {
+			if !redSet[a.Bindings.String()] {
+				t.Errorf("%s: operational answer %s missing from reduction", qsrc, a.Bindings)
+			}
+		}
+	}
+}
+
+// §7: multi-attribute keys encode as compound key terms.
+func TestMultiAttributeKeyViaCompoundTerms(t *testing.T) {
+	db := ucsDB(t, `
+		u[flight(route(sfo, jfk): carrier -u-> united)].
+		u[flight(route(sfo, lax): carrier -u-> delta)].
+	`)
+	answers := proveAll(t, db, u, `u[flight(route(sfo, X): carrier -u-> V)]`)
+	if len(answers) != 2 {
+		t.Fatalf("compound keys: want 2 answers, got %d", len(answers))
+	}
+}
+
+// Proof height and size behave per §5.4.
+func TestProofHeightAndSize(t *testing.T) {
+	db := ucsDB(t, `p(x).`)
+	a := proveOne(t, db, u, `p(x)`, false)
+	if a.Proof.Size() != 2 || a.Proof.Height() != 2 {
+		t.Errorf("fact proof should be deduction-g over empty: size=%d height=%d", a.Proof.Size(), a.Proof.Height())
+	}
+}
+
+// The prover's depth bound turns runaway recursion into an error.
+func TestProverDepthBound(t *testing.T) {
+	db := ucsDB(t, `
+		u[p(k: a -u-> v)] :- u[p(k: a -u-> v)].
+	`)
+	prover, err := NewProver(db, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover.MaxDepth = 16
+	q, _ := ParseGoals(`u[p(k: a -u-> v)]`)
+	if _, err := prover.Prove(q, 0); err == nil {
+		t.Error("expected depth-bound error")
+	}
+}

@@ -1,0 +1,295 @@
+// Package term implements the terms T of MultiLog's language L (§5):
+// constants, variables, the distinguished null ⊥, and compound terms built
+// from function symbols, together with substitutions and unification.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the term variants.
+type Kind int
+
+const (
+	KindConst Kind = iota
+	KindVar
+	KindNull
+	KindCompound
+)
+
+// Term is an immutable term of L. Construct terms with Const, Var, Null and
+// Comp; the zero Term is the constant "".
+type Term struct {
+	kind    Kind
+	functor string // constant value, variable name, or compound functor
+	args    []Term
+}
+
+// Const returns a constant term.
+func Const(v string) Term { return Term{kind: KindConst, functor: v} }
+
+// Var returns a variable term. By convention (and by the parsers in this
+// module) variable names start with an upper-case letter or '_'.
+func Var(name string) Term { return Term{kind: KindVar, functor: name} }
+
+// Null returns the distinguished null term ⊥.
+func Null() Term { return Term{kind: KindNull} }
+
+// Comp returns the compound term f(args...).
+func Comp(functor string, args ...Term) Term {
+	return Term{kind: KindCompound, functor: functor, args: args}
+}
+
+// Kind returns the term's variant.
+func (t Term) Kind() Kind { return t.kind }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.kind == KindVar }
+
+// IsNull reports whether the term is ⊥.
+func (t Term) IsNull() bool { return t.kind == KindNull }
+
+// IsGround reports whether the term contains no variables.
+func (t Term) IsGround() bool {
+	switch t.kind {
+	case KindVar:
+		return false
+	case KindCompound:
+		for _, a := range t.args {
+			if !a.IsGround() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Name returns the constant value, variable name or functor.
+func (t Term) Name() string { return t.functor }
+
+// Args returns the arguments of a compound term (nil otherwise). The slice
+// must not be modified.
+func (t Term) Args() []Term { return t.args }
+
+// Equal reports structural equality.
+func (t Term) Equal(u Term) bool {
+	if t.kind != u.kind || t.functor != u.functor || len(t.args) != len(u.args) {
+		return false
+	}
+	for i := range t.args {
+		if !t.args[i].Equal(u.args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the term in MultiLog surface syntax; ⊥ prints as "null".
+func (t Term) String() string {
+	switch t.kind {
+	case KindConst:
+		return t.functor
+	case KindVar:
+		return t.functor
+	case KindNull:
+		return "null"
+	case KindCompound:
+		parts := make([]string, len(t.args))
+		for i, a := range t.args {
+			parts[i] = a.String()
+		}
+		return fmt.Sprintf("%s(%s)", t.functor, strings.Join(parts, ", "))
+	}
+	return "?"
+}
+
+// Key returns a canonical string usable as a map key. Distinct terms have
+// distinct keys; unlike String, variables are prefixed to avoid colliding
+// with constants of the same spelling.
+func (t Term) Key() string {
+	switch t.kind {
+	case KindConst:
+		return "c:" + t.functor
+	case KindVar:
+		return "v:" + t.functor
+	case KindNull:
+		return "n:"
+	case KindCompound:
+		parts := make([]string, len(t.args))
+		for i, a := range t.args {
+			parts[i] = a.Key()
+		}
+		return "f:" + t.functor + "(" + strings.Join(parts, ",") + ")"
+	}
+	return "?"
+}
+
+// Vars appends the variables occurring in t to dst (with duplicates) and
+// returns the extended slice.
+func (t Term) Vars(dst []string) []string {
+	switch t.kind {
+	case KindVar:
+		return append(dst, t.functor)
+	case KindCompound:
+		for _, a := range t.args {
+			dst = a.Vars(dst)
+		}
+	}
+	return dst
+}
+
+// Subst is a substitution: a finite mapping from variable names to terms.
+// The zero value is the empty substitution.
+type Subst map[string]Term
+
+// Lookup resolves a variable through the substitution, following chains
+// (X ↦ Y, Y ↦ a resolves X to a). Non-variables are returned unchanged.
+func (s Subst) Lookup(t Term) Term {
+	for t.IsVar() {
+		u, ok := s[t.functor]
+		if !ok {
+			return t
+		}
+		t = u
+	}
+	return t
+}
+
+// Apply replaces every bound variable in t by its binding, recursively.
+func (s Subst) Apply(t Term) Term {
+	if len(s) == 0 {
+		return t
+	}
+	t = s.Lookup(t)
+	if t.kind != KindCompound {
+		return t
+	}
+	args := make([]Term, len(t.args))
+	for i, a := range t.args {
+		args[i] = s.Apply(a)
+	}
+	return Term{kind: KindCompound, functor: t.functor, args: args}
+}
+
+// Bind adds the binding v ↦ t, returning false if it would bind a variable
+// to a term containing it (occurs check).
+func (s Subst) Bind(v string, t Term) bool {
+	if occurs(v, t, s) {
+		return false
+	}
+	s[v] = t
+	return true
+}
+
+// Clone returns an independent copy of the substitution.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the substitution like the paper's binding sets, e.g.
+// "{R/u, X/avenger}" with entries sorted by variable name.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s/%s", k, s.Apply(Var(k)))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func occurs(v string, t Term, s Subst) bool {
+	t = s.Lookup(t)
+	switch t.kind {
+	case KindVar:
+		return t.functor == v
+	case KindCompound:
+		for _, a := range t.args {
+			if occurs(v, a, s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Unify extends s so that a and b become equal under it. It reports whether
+// unification succeeded; on failure s may be partially extended, so callers
+// that need backtracking should pass a clone.
+func Unify(a, b Term, s Subst) bool {
+	a, b = s.Lookup(a), s.Lookup(b)
+	switch {
+	case a.IsVar() && b.IsVar() && a.functor == b.functor:
+		return true
+	case a.IsVar():
+		return s.Bind(a.functor, b)
+	case b.IsVar():
+		return s.Bind(b.functor, a)
+	case a.kind != b.kind:
+		return false
+	case a.kind == KindNull:
+		return true
+	case a.kind == KindConst:
+		return a.functor == b.functor
+	default: // both compound
+		if a.functor != b.functor || len(a.args) != len(b.args) {
+			return false
+		}
+		for i := range a.args {
+			if !Unify(a.args[i], b.args[i], s) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// UnifyAll unifies the parallel slices a and b under s.
+func UnifyAll(a, b []Term, s Subst) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Unify(a[i], b[i], s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Renamer produces fresh variable names, used to rename clauses apart before
+// resolution.
+type Renamer struct {
+	counter int
+}
+
+// Fresh renames every variable in t consistently using the provided memo.
+func (r *Renamer) Fresh(t Term, memo map[string]string) Term {
+	switch t.kind {
+	case KindVar:
+		nv, ok := memo[t.functor]
+		if !ok {
+			r.counter++
+			nv = fmt.Sprintf("_%s%d", strings.TrimLeft(t.functor, "_"), r.counter)
+			memo[t.functor] = nv
+		}
+		return Var(nv)
+	case KindCompound:
+		args := make([]Term, len(t.args))
+		for i, a := range t.args {
+			args[i] = r.Fresh(a, memo)
+		}
+		return Term{kind: KindCompound, functor: t.functor, args: args}
+	default:
+		return t
+	}
+}
