@@ -1,0 +1,36 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: build test check vet race fuzz-smoke campaign
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector. -short trims the
+# differential campaign and the heavier property sweeps so the ~10x race
+# overhead stays inside a CI budget; the full-size campaign runs race-free
+# in `test`.
+race:
+	$(GO) test -race -short ./...
+
+# fuzz-smoke runs the cross-engine differential fuzzer for a bounded time
+# on top of the checked-in corpus. Any disagreement is shrunk and reported
+# with a ready-to-paste regression test.
+fuzz-smoke:
+	$(GO) test ./internal/differential -run='^$$' -fuzz=FuzzCrossEngine -fuzztime=$(FUZZTIME)
+
+# campaign replays the standing 200-program differential campaign (also run
+# as TestCrossEngineCampaign) through the CLI.
+campaign:
+	$(GO) run ./cmd/difffuzz -programs 200 -v
+
+# check is the CI tier: vet, build, the race-enabled suite, and a bounded
+# differential fuzz smoke.
+check: vet build race fuzz-smoke
+	@echo "check: all gates passed"

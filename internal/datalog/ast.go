@@ -106,7 +106,7 @@ func (a Atom) String() string {
 	for i, t := range a.Args {
 		parts[i] = t.String()
 	}
-	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ", "))
+	return fmt.Sprintf("%s(%s)", term.QuoteIdent(a.Pred), strings.Join(parts, ", "))
 }
 
 // Literal is an atom or its negation (negation as failure over a stratified

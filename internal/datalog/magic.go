@@ -170,8 +170,10 @@ func adornRule(c Clause, headAd string, idb map[string]bool) (Clause, []Clause, 
 	var magicRules []Clause
 	var calls []struct{ pred, ad string }
 	// prefix holds the literals evaluated so far (for magic rule bodies).
+	// The body is reordered (negation and '!=' last) so every prefix cut at
+	// an IDB call keeps the positive literals that range-restrict it.
 	prefix := []Literal{guard}
-	for _, l := range c.Body {
+	for _, l := range orderBody(c.Body) {
 		if !l.Negated && idb[l.Atom.Pred] && !l.Atom.IsBuiltin() {
 			ad := adornmentOf(l.Atom, bound)
 			// Magic rule: the bindings that reach this call.

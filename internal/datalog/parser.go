@@ -186,6 +186,14 @@ func (p *parser) atom() (Atom, error) {
 		return Atom{}, err
 	}
 	var args []term.Term
+	if p.tok.kind == tokRParen {
+		// p() — explicit empty argument list, as Program.String prints
+		// propositional atoms derived from 0-ary heads.
+		if err := p.bump(); err != nil {
+			return Atom{}, err
+		}
+		return Atom{Pred: name}, nil
+	}
 	for {
 		t, err := p.term()
 		if err != nil {

@@ -61,6 +61,12 @@ type SLD struct {
 	model    *Store // for NAF checks; computed lazily on first negation
 	renamer  term.Renamer
 	MaxDepth int // resolution depth bound; 0 means the default (512)
+	// MaxSteps bounds the total number of resolution steps per Prove call.
+	// A depth bound alone does not tame left recursion or cyclic data: SLD
+	// explores exponentially many bounded-depth paths before ever hitting
+	// it. 0 means the default (1 << 20).
+	MaxSteps int
+	steps    int
 }
 
 // NewSLD builds a prover for the program.
@@ -80,6 +86,11 @@ func (sld *SLD) Prove(goal Atom, max int) ([]Answer, error) {
 	if depthBound == 0 {
 		depthBound = 512
 	}
+	stepBound := sld.MaxSteps
+	if stepBound == 0 {
+		stepBound = 1 << 20
+	}
+	sld.steps = 0
 	goalVars := goal.Vars(nil)
 	var answers []Answer
 	seen := map[string]bool{}
@@ -88,6 +99,9 @@ func (sld *SLD) Prove(goal Atom, max int) ([]Answer, error) {
 	solve = func(g Atom, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error {
 		if depth > depthBound {
 			return fmt.Errorf("datalog: SLD depth bound %d exceeded proving %s", depthBound, g.Apply(s))
+		}
+		if sld.steps++; sld.steps > stepBound {
+			return fmt.Errorf("datalog: SLD step bound %d exceeded proving %s", stepBound, g.Apply(s))
 		}
 		switch g.Pred {
 		case BuiltinEq:
@@ -119,13 +133,16 @@ func (sld *SLD) Prove(goal Atom, max int) ([]Answer, error) {
 			if rc.IsFact() {
 				ruleName = "fact"
 			}
-			// Prove the body left to right, accumulating subproofs.
+			// Prove the body left to right (negation and '!=' deferred to
+			// the end so range-restricted clauses cannot flounder),
+			// accumulating subproofs.
+			body := orderBody(rc.Body)
 			var proveBody func(i int, s term.Subst, subs []*ProofNode) error
 			proveBody = func(i int, s term.Subst, subs []*ProofNode) error {
-				if i == len(rc.Body) {
+				if i == len(body) {
 					return k(s, &ProofNode{Goal: g.Apply(s), Rule: ruleName, Children: subs})
 				}
-				l := rc.Body[i]
+				l := body[i]
 				if l.Negated {
 					inst := l.Atom.Apply(s)
 					if !inst.IsGround() {

@@ -1,0 +1,87 @@
+// Package differential is the cross-engine differential-testing and fuzzing
+// subsystem. The repo holds eight independent implementations that the
+// paper's central results say must agree: six Datalog evaluation strategies
+// (naive, semi-naive, parallel semi-naive, magic sets, SLD, tabled) and the
+// two MultiLog semantics (the Figure 9 operational prover and the Figure 12
+// reduction, equal by Theorem 6.1). This package wraps each behind an
+// Oracle interface, generates seeded randomized program families, runs
+// N-way cross-checks plus metamorphic properties (fact-addition
+// monotonicity, view coherence under label dominance, the Proposition 6.1
+// empty-security embedding), and shrinks any disagreement to a minimal
+// counterexample via delta debugging, emitting a ready-to-paste regression
+// test. cmd/difffuzz drives long campaigns; the Fuzz* targets hook the same
+// checks into go test's native fuzzer.
+package differential
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Result is a canonicalized answer set: the query's bindings rendered as
+// sorted, deduplicated strings. Engines may enumerate answers in any order;
+// two engines agree iff their Results are Equal.
+type Result struct {
+	Tuples []string
+}
+
+// NewResult canonicalizes a list of rendered bindings.
+func NewResult(tuples []string) Result {
+	sort.Strings(tuples)
+	out := tuples[:0]
+	for i, t := range tuples {
+		if i == 0 || t != tuples[i-1] {
+			out = append(out, t)
+		}
+	}
+	return Result{Tuples: out}
+}
+
+// substResult canonicalizes a list of substitutions.
+func substResult(subs []term.Subst) Result {
+	tuples := make([]string, len(subs))
+	for i, s := range subs {
+		tuples[i] = s.String()
+	}
+	return NewResult(tuples)
+}
+
+// Len returns the number of distinct answers.
+func (r Result) Len() int { return len(r.Tuples) }
+
+// Equal reports whether two canonical answer sets coincide.
+func (r Result) Equal(o Result) bool {
+	if len(r.Tuples) != len(o.Tuples) {
+		return false
+	}
+	for i := range r.Tuples {
+		if r.Tuples[i] != o.Tuples[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every answer of r also appears in o.
+func (r Result) Subset(o Result) bool {
+	have := make(map[string]bool, len(o.Tuples))
+	for _, t := range o.Tuples {
+		have[t] = true
+	}
+	for _, t := range r.Tuples {
+		if !have[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the answer set on one line.
+func (r Result) String() string {
+	if len(r.Tuples) == 0 {
+		return "∅"
+	}
+	return strings.Join(r.Tuples, " ")
+}

@@ -1,0 +1,154 @@
+package differential
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/multilog"
+	"repro/internal/term"
+)
+
+// FuzzParseDatalog checks the Datalog parser never panics and that whatever
+// it accepts round-trips: the printed form must reparse to the same printed
+// form (printing is the canonical form, so one round is a fixpoint).
+func FuzzParseDatalog(f *testing.F) {
+	f.Add("p(a).\nq(X) :- p(X).")
+	f.Add("tc(X, Z) :- e(X, Y), tc(Y, Z).\n?- tc(a, Z).")
+	f.Add("r(X) :- n(X), not m(X), X != a.")
+	f.Add("p(f(g(a), X)).")
+	f.Add("% comment\np().")
+	f.Add("p(a) :- .")
+	f.Add("p('unterminated")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := datalog.Parse(src)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		p2, err := datalog.Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted program does not reparse: %v\noriginal: %q\nprinted:\n%s", err, src, printed)
+		}
+		if got := p2.String(); got != printed {
+			t.Fatalf("print/parse/print not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, got)
+		}
+	})
+}
+
+// FuzzParseMultiLog checks the MultiLog parser never panics and that
+// accepted databases round-trip through Database.String.
+func FuzzParseMultiLog(f *testing.F) {
+	f.Add("level(u).\nu[p(k: a -u-> v)].")
+	f.Add("level(u). level(s). order(u, s).\ns[p(k: a -u-> v)] :- u[p(k: a -u-> v)] << cau.")
+	f.Add("?- L[p(K: a -C-> V)] << opt.")
+	f.Add("u[p(k: a -u-> 'oops)]")
+	f.Add("u[p(: -> )].")
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := multilog.Parse(src)
+		if err != nil {
+			return
+		}
+		printed := db.String()
+		db2, err := multilog.Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted database does not reparse: %v\noriginal: %q\nprinted:\n%s", err, src, printed)
+		}
+		if got := db2.String(); got != printed {
+			t.Fatalf("print/parse/print not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, got)
+		}
+	})
+}
+
+// fuzzableDatalog reports whether a parsed program is safe to hand to every
+// oracle with a termination guarantee: validated (range-restricted,
+// stratified), compound-free (compound terms make the Herbrand universe
+// infinite, so bottom-up evaluation need not terminate), and small enough
+// that the slowest engine stays inside the fuzz iteration budget.
+func fuzzableDatalog(p *datalog.Program) bool {
+	if len(p.Clauses) > 20 || datalog.Validate(p) != nil {
+		return false
+	}
+	// Validate checks safety but not stratifiability; an unstratifiable
+	// program is outside the engines' shared contract (bottom-up rejects it
+	// whole, goal-directed engines can still answer goals that avoid the
+	// bad cycle), so it is not a differential case.
+	if _, err := datalog.Strata(p); err != nil {
+		return false
+	}
+	atomOK := func(a datalog.Atom) bool {
+		if len(a.Args) > 4 {
+			return false
+		}
+		for _, t := range a.Args {
+			if t.Kind() == term.KindCompound {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range p.Clauses {
+		if len(c.Body) > 5 || !atomOK(c.Head) {
+			return false
+		}
+		for _, l := range c.Body {
+			if !atomOK(l.Atom) {
+				return false
+			}
+		}
+	}
+	for _, q := range p.Queries {
+		if !atomOK(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzCrossEngine is the differential fuzz target: any parseable, validated,
+// compound-free Datalog program the fuzzer invents is cross-checked over all
+// six evaluation strategies. Queries come from the program's own ?- goals
+// when present, plus an open goal per derived predicate.
+func FuzzCrossEngine(f *testing.F) {
+	f.Add("e(a, b). e(b, c). e(c, a).\ntc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).\n?- tc(a, X).")
+	f.Add("node(a). node(b). e(a, b).\nreach(X) :- e(a, X).\nreach(Y) :- reach(X), e(X, Y).\nunreached(X) :- node(X), not reach(X).")
+	f.Add("p(a). p(b). q(a).\nr(X, Y) :- p(X), p(Y), X != Y, not q(X).")
+	f.Add("par(a, b). par(b, c).\nsg(X, X) :- par(X, Y).\nsg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n?- sg(a, Y).")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := datalog.Parse(src)
+		if err != nil || !fuzzableDatalog(p) {
+			return
+		}
+		goals := append([]datalog.Atom(nil), p.Queries...)
+		seen := map[string]bool{}
+		for _, c := range p.Clauses {
+			if len(c.Body) == 0 {
+				continue // facts answer trivially; derived predicates are the interesting ones
+			}
+			key := c.Head.Pred
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			args := make([]term.Term, len(c.Head.Args))
+			for i := range args {
+				args[i] = term.Var(freshVarName(i))
+			}
+			goals = append(goals, datalog.NewAtom(c.Head.Pred, args...))
+		}
+		for _, g := range goals {
+			names, outs := runDatalogOracles(p, g)
+			if bad := compareOutcomes(names, outs); len(bad) > 0 {
+				minimal := ShrinkDatalog(p, func(sp *datalog.Program) bool {
+					return datalogDisagrees(sp, g)
+				})
+				t.Fatalf("oracles %v disagree on %s\nminimal program:\n%s\noutcomes:\n%s",
+					bad, g, minimal, renderOutcomes(runDatalogOracles(minimal, g)))
+			}
+		}
+	})
+}
+
+func freshVarName(i int) string {
+	return "FZ" + strings.Repeat("Z", i%5) + string(rune('A'+i%26))
+}

@@ -1,0 +1,65 @@
+package differential
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disagreement is a cross-engine counterexample, already shrunk to a
+// (locally) minimal program by delta debugging.
+type Disagreement struct {
+	Kind      string            // "datalog" or "multilog"
+	Seed      int64             // generator seed that produced the original case
+	Family    string            // program family
+	Source    string            // minimized program source
+	Query     string            // query goal(s) in surface syntax
+	User      string            // user level (multilog only)
+	Disagrees []string          // oracles that differ from the reference
+	Results   map[string]string // oracle name -> rendered result or error
+}
+
+// Report renders the counterexample for humans: the minimal program, the
+// query, and every oracle's answer.
+func (d *Disagreement) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DISAGREEMENT kind=%s family=%s seed=%d\n", d.Kind, d.Family, d.Seed)
+	if d.User != "" {
+		fmt.Fprintf(&b, "user: %s\n", d.User)
+	}
+	fmt.Fprintf(&b, "query: %s\n", d.Query)
+	fmt.Fprintf(&b, "disagreeing oracles: %s\n", strings.Join(d.Disagrees, ", "))
+	b.WriteString("minimal program:\n")
+	for _, line := range strings.Split(strings.TrimRight(d.Source, "\n"), "\n") {
+		b.WriteString("    " + line + "\n")
+	}
+	names := make([]string, 0, len(d.Results))
+	for n := range d.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteString("answers:\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "    %-12s %s\n", n, d.Results[n])
+	}
+	return b.String()
+}
+
+// RegressionTest emits a ready-to-paste Go test (for
+// internal/differential/regressions_test.go) that replays the minimal
+// counterexample through the full oracle set.
+func (d *Disagreement) RegressionTest(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Regression: %s family=%s seed=%d — oracles disagreed: %s.\n",
+		d.Kind, d.Family, d.Seed, strings.Join(d.Disagrees, ", "))
+	fmt.Fprintf(&b, "func TestRegression%s(t *testing.T) {\n", name)
+	fmt.Fprintf(&b, "\tconst src = `\n%s`\n", d.Source)
+	switch d.Kind {
+	case "multilog":
+		fmt.Fprintf(&b, "\tAssertMultiLogAgreement(t, src, %q, %q)\n", d.User, d.Query)
+	default:
+		fmt.Fprintf(&b, "\tAssertDatalogAgreement(t, src, %q)\n", d.Query)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package differential
+
+import (
+	"repro/internal/datalog"
+	"repro/internal/multilog"
+)
+
+// ddmin is Zeller's delta-debugging minimization over a list of items:
+// given a failing input, it returns a (locally) minimal sublist on which
+// fails still holds. fails must be true for the input list. The final
+// one-at-a-time pass guarantees 1-minimality: removing any single remaining
+// item makes the failure disappear.
+func ddmin[T any](items []T, fails func([]T) bool) []T {
+	n := 2
+	for len(items) >= 2 {
+		chunk := (len(items) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(items); start += chunk {
+			end := start + chunk
+			if end > len(items) {
+				end = len(items)
+			}
+			complement := make([]T, 0, len(items)-(end-start))
+			complement = append(complement, items[:start]...)
+			complement = append(complement, items[end:]...)
+			if len(complement) > 0 && fails(complement) {
+				items = complement
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(items) {
+				break
+			}
+			n = min(2*n, len(items))
+		}
+	}
+	// 1-minimality pass.
+	for i := 0; i < len(items); {
+		complement := make([]T, 0, len(items)-1)
+		complement = append(complement, items[:i]...)
+		complement = append(complement, items[i+1:]...)
+		if len(complement) > 0 && fails(complement) {
+			items = complement
+		} else {
+			i++
+		}
+	}
+	return items
+}
+
+// ShrinkDatalog minimizes a failing program: first ddmin over the clause
+// list, then ddmin over each surviving clause's body literals. fails is the
+// failure predicate (e.g. "two oracles still disagree on the goal"); it
+// must hold for p. Candidate programs that fails rejects (including ones
+// made unsafe by literal removal) are simply not taken.
+func ShrinkDatalog(p *datalog.Program, fails func(*datalog.Program) bool) *datalog.Program {
+	rebuild := func(clauses []datalog.Clause) *datalog.Program {
+		return &datalog.Program{Clauses: clauses, Queries: p.Queries}
+	}
+	size := func(clauses []datalog.Clause) int {
+		n := 0
+		for _, c := range clauses {
+			n += 1 + len(c.Body)
+		}
+		return n
+	}
+	clauses := p.Clauses
+	// Alternate clause-level and body-level minimization to a fixpoint:
+	// dropping a body literal (e.g. turning a recursive rule into a base
+	// one) can make whole clauses removable that were load-bearing before.
+	for {
+		before := size(clauses)
+		clauses = ddmin(clauses, func(cs []datalog.Clause) bool {
+			return fails(rebuild(cs))
+		})
+		for i := range clauses {
+			if len(clauses[i].Body) < 2 {
+				continue
+			}
+			body := ddmin(clauses[i].Body, func(ls []datalog.Literal) bool {
+				cand := make([]datalog.Clause, len(clauses))
+				copy(cand, clauses)
+				cand[i] = datalog.Clause{Head: clauses[i].Head, Body: ls}
+				return fails(rebuild(cand))
+			})
+			clauses[i] = datalog.Clause{Head: clauses[i].Head, Body: body}
+		}
+		if size(clauses) == before {
+			break
+		}
+	}
+	return rebuild(clauses)
+}
+
+// ShrinkMultiLog minimizes a failing MultiLog database over its combined
+// clause list (Λ ∪ Σ ∪ Π). Removing Λ clauses that the user level or
+// admissibility depends on makes construction fail identically for every
+// oracle, so fails rejects those candidates and they are kept.
+func ShrinkMultiLog(db *multilog.Database, fails func(*multilog.Database) bool) *multilog.Database {
+	var all []multilog.Clause
+	all = append(all, db.Lambda...)
+	all = append(all, db.Sigma...)
+	all = append(all, db.Pi...)
+	rebuild := func(clauses []multilog.Clause) *multilog.Database {
+		out := multilog.NewDatabase()
+		for _, c := range clauses {
+			if err := out.AddClause(c); err != nil {
+				return nil
+			}
+		}
+		out.Queries = db.Queries
+		return out
+	}
+	kept := ddmin(all, func(cs []multilog.Clause) bool {
+		cand := rebuild(cs)
+		return cand != nil && fails(cand)
+	})
+	return rebuild(kept)
+}
+
+// ClauseCount returns the number of clauses in a MultiLog database.
+func ClauseCount(db *multilog.Database) int {
+	return len(db.Lambda) + len(db.Sigma) + len(db.Pi)
+}

@@ -1,0 +1,181 @@
+package multilog
+
+// Error-path coverage for the seams the differential harness cannot reach:
+// inputs both semantics must reject, and degenerate posets where they must
+// still agree.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+// Malformed belief-mode names (non-identifiers) are parse errors, not
+// silent defaults. Unknown *identifier* modes are deliberately accepted —
+// §7's user-defined beliefs resolve them through bel/7 — but must fail
+// closed in both semantics when no bel/7 clause matches.
+func TestMalformedBeliefModeRejected(t *testing.T) {
+	for _, src := range []string{
+		`level(u). u[p(k: a -u-> v)]. ?- u[p(K: a -C-> V)] << 123.`,
+		`level(u). u[p(k: a -u-> v)]. ?- u[p(K: a -C-> V)] <<.`,
+		`level(u). u[q(k: a -u-> w)] :- u[p(k: a -u-> v)] << CAU.`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse accepted a malformed belief mode: %q", src)
+		}
+	}
+	for _, qsrc := range []string{
+		`u[p(K: a -C-> V)] << 123`,
+		`u[p(K: a -C-> V)] <<`,
+	} {
+		if _, err := ParseGoals(qsrc); err == nil {
+			t.Errorf("ParseGoals accepted a malformed belief mode: %q", qsrc)
+		}
+	}
+}
+
+// An unknown identifier mode with no bel/7 definition answers empty — and
+// identically — under both semantics.
+func TestUnknownModeFailsClosedBothSemantics(t *testing.T) {
+	db := ucsDB(t, `u[p(k: a -u-> v)].`)
+	q, err := ParseGoals(`u[p(K: a -C-> V)] << fearless`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Reduce(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redAns, err := red.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opAns, err := prover.Prove(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redAns) != 0 || len(opAns) != 0 {
+		t.Errorf("unknown mode should fail closed: red=%d op=%d", len(redAns), len(opAns))
+	}
+}
+
+// A cyclic Λ order is not a partial order; both constructors must refuse the
+// database rather than loop or answer.
+func TestCyclicPosetRejected(t *testing.T) {
+	db := mustParseML(t, `
+		level(a). level(b).
+		order(a, b). order(b, a).
+		a[p(k: x -a-> v)].
+	`)
+	if _, err := NewProver(db, "a"); err == nil {
+		t.Error("NewProver accepted a cyclic Λ")
+	} else if !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("NewProver error should mention the cycle: %v", err)
+	}
+	if _, err := Reduce(db, "a"); err == nil {
+		t.Error("Reduce accepted a cyclic Λ")
+	}
+}
+
+// A DAG poset that is not a lattice (two incomparable tops, no join) is
+// still a legal partial order: admissibility (Definition 5.3) requires only
+// a poset, so both semantics accept it and must agree at every level.
+func TestNonLatticeDAGAccepted(t *testing.T) {
+	db := mustParseML(t, `
+		level(lo). level(left). level(right).
+		order(lo, left). order(lo, right).
+		lo[p(k: a -lo-> base)].
+		left[p(k: a -left-> coverl)].
+		right[p(k: a -right-> coverr)].
+	`)
+	q, err := ParseGoals(`L[p(k: a -C-> V)] << cau`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, user := range []lattice.Label{"lo", "left", "right"} {
+		red, err := Reduce(db, user)
+		if err != nil {
+			t.Fatalf("Reduce at %s: %v", user, err)
+		}
+		redAns, err := red.Query(q)
+		if err != nil {
+			t.Fatalf("reduction query at %s: %v", user, err)
+		}
+		prover, err := NewProver(db, user)
+		if err != nil {
+			t.Fatalf("NewProver at %s: %v", user, err)
+		}
+		opAns, err := prover.Prove(q, 0)
+		if err != nil {
+			t.Fatalf("prove at %s: %v", user, err)
+		}
+		got := map[string]bool{}
+		for _, a := range opAns {
+			got[a.Bindings.String()] = true
+		}
+		if len(got) != len(redAns) {
+			t.Fatalf("at %s: reduction %d answers, prover %d", user, len(redAns), len(got))
+		}
+		for _, a := range redAns {
+			if !got[a.Bindings.String()] {
+				t.Errorf("at %s: reduction answer %s missing from prover", user, a.Bindings)
+			}
+		}
+	}
+}
+
+// A user level never asserted by Λ is rejected identically by both
+// constructors.
+func TestUserOutsidePosetRejected(t *testing.T) {
+	db := ucsDB(t, `u[p(k: a -u-> v)].`)
+	for _, user := range []lattice.Label{"topsecret", ""} {
+		_, perr := NewProver(db, user)
+		_, rerr := Reduce(db, user)
+		if perr == nil || rerr == nil {
+			t.Fatalf("user %q outside Λ accepted: prover err=%v, reduce err=%v", user, perr, rerr)
+		}
+		if !strings.Contains(perr.Error(), "not asserted") || !strings.Contains(rerr.Error(), "not asserted") {
+			t.Errorf("errors should name the missing level: %v / %v", perr, rerr)
+		}
+	}
+}
+
+// A ground query naming a level outside the poset is not an error — it is a
+// goal with no proof, and both semantics must agree on the empty answer set.
+func TestQueryLevelOutsidePoset(t *testing.T) {
+	db := ucsDB(t, `u[p(k: a -u-> v)].`)
+	for _, qsrc := range []string{
+		`zz[p(k: a -u-> V)]`,
+		`u[p(k: a -zz-> V)]`,
+		`zz[p(K: a -C-> V)] << cau`,
+	} {
+		q, err := ParseGoals(qsrc)
+		if err != nil {
+			t.Fatalf("%s: %v", qsrc, err)
+		}
+		red, err := Reduce(db, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redAns, err := red.Query(q)
+		if err != nil {
+			t.Fatalf("%s: reduction: %v", qsrc, err)
+		}
+		prover, err := NewProver(db, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opAns, err := prover.Prove(q, 0)
+		if err != nil {
+			t.Fatalf("%s: prover: %v", qsrc, err)
+		}
+		if len(redAns) != 0 || len(opAns) != 0 {
+			t.Errorf("%s: levels outside Λ should answer empty, got red=%d op=%d", qsrc, len(redAns), len(opAns))
+		}
+	}
+}

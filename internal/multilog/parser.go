@@ -206,6 +206,14 @@ func (p *mlParser) goalAtom() (Goal, *Molecule, error) {
 			return Goal{}, nil, err
 		}
 		var args []term.Term
+		if p.tok.kind == tRParen {
+			// p() — explicit empty argument list, as the printer renders
+			// propositional atoms.
+			if err := p.bump(); err != nil {
+				return Goal{}, nil, err
+			}
+			return PGoal(datalog.Atom{Pred: name}), nil, nil
+		}
 		for {
 			t, err := p.term()
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // Kind discriminates the term variants.
@@ -86,11 +87,60 @@ func (t Term) Equal(u Term) bool {
 	return true
 }
 
+// bareConst reports whether a constant's spelling survives a print/parse
+// round trip unquoted: a lower-case identifier (other than the reserved
+// "null" and "not") or a plain number. Anything else — empty, upper-case
+// or symbol start, embedded punctuation — must be printed quoted.
+func bareConst(s string) bool {
+	if s == "" || s == "null" || s == "not" {
+		return false
+	}
+	digits := true
+	for i, r := range s {
+		if i == 0 && !unicode.IsLower(r) && !unicode.IsDigit(r) {
+			return false
+		}
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+		if !unicode.IsDigit(r) {
+			digits = false
+		}
+	}
+	if unicode.IsDigit([]rune(s)[0]) {
+		return digits // "42" lexes as a number; "9a" would split
+	}
+	return true
+}
+
+// QuoteIdent renders a predicate or function symbol so it relexes as one
+// identifier token: bare when it is a lower-case identifier (other than the
+// keyword "not"), quoted otherwise.
+func QuoteIdent(s string) string {
+	if s != "" && s != "not" {
+		ok := true
+		for i, r := range s {
+			if (i == 0 && !unicode.IsLower(r)) ||
+				(!unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_') {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	return "'" + s + "'"
+}
+
 // String renders the term in MultiLog surface syntax; ⊥ prints as "null".
 func (t Term) String() string {
 	switch t.kind {
 	case KindConst:
-		return t.functor
+		if bareConst(t.functor) {
+			return t.functor
+		}
+		return "'" + t.functor + "'"
 	case KindVar:
 		return t.functor
 	case KindNull:
@@ -100,7 +150,7 @@ func (t Term) String() string {
 		for i, a := range t.args {
 			parts[i] = a.String()
 		}
-		return fmt.Sprintf("%s(%s)", t.functor, strings.Join(parts, ", "))
+		return fmt.Sprintf("%s(%s)", QuoteIdent(t.functor), strings.Join(parts, ", "))
 	}
 	return "?"
 }

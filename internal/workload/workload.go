@@ -170,6 +170,12 @@ type ProgramConfig struct {
 	Rules  int // level-stratified m-clauses with belief bodies
 	Preds  int // distinct m-predicates
 	Seed   int64
+	// Poly is the probability that a generated fact also gets a
+	// polyinstantiated sibling at a strictly higher level with a different
+	// value (the Figure 1 cover-story pattern), so the cautious and
+	// optimistic belief modes have real conflicts to adjudicate. Zero
+	// keeps the generator's historical random stream unchanged.
+	Poly float64
 }
 
 // ProgramSource generates a seeded, admissible, level-stratified MultiLog
@@ -195,8 +201,16 @@ func ProgramSource(cfg ProgramConfig) string {
 	modes := []string{"fir", "opt", "cau"}
 	for i := 0; i < cfg.Facts; i++ {
 		lvl := r.Intn(cfg.Levels)
+		pred, key, val := r.Intn(cfg.Preds), r.Intn(cfg.Facts/2+1), r.Intn(5)
 		src += fmt.Sprintf("%s[p%d(k%d: a -%s-> v%d)].\n",
-			Level(lvl), r.Intn(cfg.Preds), r.Intn(cfg.Facts/2+1), Level(lvl), r.Intn(5))
+			Level(lvl), pred, key, Level(lvl), val)
+		if cfg.Poly > 0 && lvl+1 < cfg.Levels && r.Float64() < cfg.Poly {
+			// A higher-level sibling polyinstantiates the same cell with a
+			// conflicting value classified at its own level.
+			hi := lvl + 1 + r.Intn(cfg.Levels-lvl-1)
+			src += fmt.Sprintf("%s[p%d(k%d: a -%s-> w%d)].\n",
+				Level(hi), pred, key, Level(hi), r.Intn(5))
+		}
 	}
 	for i := 0; i < cfg.Rules; i++ {
 		hi := 1 + r.Intn(cfg.Levels-1)
