@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test check vet race fuzz-smoke campaign
+.PHONY: build test check vet race fuzz-smoke campaign chaos staticcheck
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,22 @@ fuzz-smoke:
 campaign:
 	$(GO) run ./cmd/difffuzz -programs 200 -v
 
-# check is the CI tier: vet, build, the race-enabled suite, and a bounded
-# differential fuzz smoke.
-check: vet build race fuzz-smoke
+# chaos is the fault-injection tier: every engine driven through the
+# deterministic fault plans of internal/faultinject, race-enabled, asserting
+# typed errors, no goroutine leaks, and deterministic truncation points.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject/...
+
+# staticcheck runs honnef.co/go/tools if it is on PATH; it is advisory and
+# skipped (successfully) where the tool is not installed.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping"; \
+	fi
+
+# check is the CI tier: vet, staticcheck (if present), build, the
+# race-enabled suite, the chaos tier, and a bounded differential fuzz smoke.
+check: vet staticcheck build race chaos fuzz-smoke
 	@echo "check: all gates passed"

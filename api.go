@@ -25,6 +25,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/belief"
 	"repro/internal/datalog"
 	"repro/internal/jv"
@@ -32,6 +34,8 @@ import (
 	"repro/internal/mls"
 	"repro/internal/mlsql"
 	"repro/internal/multilog"
+	"repro/internal/resource"
+	"repro/internal/term"
 )
 
 // Security lattices (internal/lattice).
@@ -226,3 +230,83 @@ var (
 	// NewSQLEngine returns an engine with the built-in belief modes.
 	NewSQLEngine = mlsql.NewEngine
 )
+
+// Resource governance (internal/resource). Every engine in the module is
+// deadline-safe: the *Context entry points below bound evaluation by a
+// context (wall clock) and an EvalLimits (fact / step / memory budgets) and
+// come back with a typed error plus partial statistics instead of hanging.
+// The facade wrappers additionally contain panics: a bug in an engine
+// surfaces as *EvalInternalError, never a process crash.
+type (
+	// EvalLimits bounds an evaluation; the zero value is unlimited.
+	EvalLimits = resource.Limits
+	// EvalStats is the partial-progress report of a governed evaluation.
+	EvalStats = resource.Stats
+	// BudgetError reports an exhausted fact/step/memory budget (errors.As).
+	BudgetError = resource.ErrBudgetExceeded
+	// EvalInternalError is a contained engine panic (errors.As).
+	EvalInternalError = resource.InternalError
+	// Subst is a substitution: one answer's variable bindings.
+	Subst = term.Subst
+	// MultiLogQuery is a parsed conjunctive MultiLog query.
+	MultiLogQuery = multilog.Query
+)
+
+var (
+	// ErrEvalCanceled reports a canceled or expired evaluation (errors.Is).
+	ErrEvalCanceled = resource.ErrCanceled
+	// IsLimitError reports whether an error is a graceful resource stop
+	// (cancellation or budget exhaustion); such errors come with partial
+	// results.
+	IsLimitError = resource.IsLimit
+)
+
+// EvalDatalogContext computes the minimal model of a stratified Datalog
+// program under ctx and limits. On a limit stop it returns the partial model
+// alongside the error; the stats always report the work done.
+func EvalDatalogContext(ctx context.Context, p *DatalogProgram, edb *DatalogStore, limits EvalLimits) (model *DatalogStore, stats EvalStats, err error) {
+	defer resource.Protect("repro.EvalDatalogContext", &err)
+	model, ds, err := datalog.EvalLimited(ctx, p, edb, limits)
+	return model, ds.Resource, err
+}
+
+// QueryDatalogContext evaluates the program under ctx and limits and matches
+// goal against the (possibly partial) model.
+func QueryDatalogContext(ctx context.Context, p *DatalogProgram, edb *DatalogStore, goal datalog.Atom, limits EvalLimits) (answers []Subst, stats EvalStats, err error) {
+	defer resource.Protect("repro.QueryDatalogContext", &err)
+	answers, ds, err := datalog.QueryLimited(ctx, p, edb, goal, limits)
+	return answers, ds.Resource, err
+}
+
+// ProveMultiLogContext runs the Figure 9 operational prover at a user level
+// under ctx and limits. On a limit stop it returns the answers found so far
+// alongside the error.
+func ProveMultiLogContext(ctx context.Context, db *Database, user Label, q MultiLogQuery, limits EvalLimits) (answers []multilog.ProofAnswer, stats EvalStats, err error) {
+	defer resource.Protect("repro.ProveMultiLogContext", &err)
+	pr, err := multilog.NewProver(db, user)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	pr.Limits = limits
+	answers, err = pr.ProveContext(ctx, q, 0)
+	return answers, pr.LastStats, err
+}
+
+// QueryMultiLogContext answers a query through the Figure 12 reduction under
+// ctx and limits — both the bottom-up model construction and the matching
+// phase are governed.
+func QueryMultiLogContext(ctx context.Context, db *Database, user Label, q MultiLogQuery, limits EvalLimits) (answers []multilog.Answer, err error) {
+	defer resource.Protect("repro.QueryMultiLogContext", &err)
+	red, err := multilog.Reduce(db, user)
+	if err != nil {
+		return nil, err
+	}
+	return red.QueryContext(ctx, q, limits)
+}
+
+// ExecuteSQLContext parses and runs a belief-SQL statement under ctx and
+// limits.
+func ExecuteSQLContext(ctx context.Context, e *SQLEngine, src string, limits EvalLimits) (res *SQLResult, stats EvalStats, err error) {
+	defer resource.Protect("repro.ExecuteSQLContext", &err)
+	return e.ExecuteContext(ctx, src, limits)
+}

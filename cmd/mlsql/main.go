@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/figures"
 	"repro/internal/mls"
 	"repro/internal/mlsql"
+	"repro/internal/resource"
 )
 
 func main() {
@@ -28,15 +32,17 @@ func main() {
 	mission := flag.Bool("mission", false, "use the paper's Mission relation (Figure 1)")
 	sql := flag.String("sql", "", "statement to execute")
 	q1 := flag.Bool("q1", false, "run the §3.2 query at every level")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the statement (e.g. 2s; 0 = none); Ctrl-C also interrupts")
 	flag.Parse()
 
-	if err := run(*relPath, *mission, *sql, *q1); err != nil {
+	if err := run(*relPath, *mission, *sql, *q1, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "mlsql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(relPath string, mission bool, sql string, q1 bool) error {
+func run(relPath string, mission bool, sql string, q1 bool, timeout time.Duration) (err error) {
+	defer resource.Protect("mlsql", &err)
 	engine := mlsql.NewEngine()
 	switch {
 	case mission:
@@ -73,8 +79,18 @@ func run(relPath string, mission bool, sql string, q1 bool) error {
 		fmt.Printf("(%d tuple(s) affected)\n", n)
 		return nil
 	}
-	res, err := engine.Execute(sql)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, stats, err := engine.ExecuteContext(ctx, sql, resource.Limits{})
 	if err != nil {
+		if resource.IsLimit(err) {
+			return fmt.Errorf("statement interrupted after %d steps: %w", stats.Steps, err)
+		}
 		return err
 	}
 	fmt.Print(res.Render())

@@ -1,46 +1,80 @@
 package main
 
 import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/resource"
 )
 
 func TestRunMissionBuiltin(t *testing.T) {
-	if err := run("", true, "user context s select starship from mission believed cautiously", false); err != nil {
+	if err := run("", true, "user context s select starship from mission believed cautiously", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", true, "", true); err != nil { // -q1
+	if err := run("", true, "", true, 0); err != nil { // -q1
 		t.Fatal(err)
 	}
 }
 
 func TestRunDML(t *testing.T) {
 	// DML against the built-in Mission works and routes through IsDML.
-	if err := run("", true, "user context c insert into mission values (newship, survey, io)", false); err != nil {
+	if err := run("", true, "user context c insert into mission values (newship, survey, io)", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", true, "user context c update ghosts set a = b where k = c", false); err == nil {
+	if err := run("", true, "user context c update ghosts set a = b where k = c", false, 0); err == nil {
 		t.Error("DML against an unknown relation must fail")
 	}
 }
 
 func TestRunRelationFile(t *testing.T) {
 	if err := run("testdata/mission.mlr", false,
-		"user context c select starship, objective from mission believed optimistically", false); err != nil {
+		"user context c select starship, objective from mission believed optimistically", false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunTimeout(t *testing.T) {
+	// A wide relation plus deeply nested IN subqueries: ~tuples^5 steps,
+	// far past any deadline.
+	var b strings.Builder
+	b.WriteString("relation big(a, b)\nlevels u < c < s\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "tuple k%d:u v%d:u @ u\n", i, i)
+	}
+	path := filepath.Join(t.TempDir(), "big.mlr")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sql := "select a from big"
+	for i := 0; i < 4; i++ {
+		sql = fmt.Sprintf("select a from big where a in (%s)", sql)
+	}
+	start := time.Now()
+	err := run(path, false, "user context u "+sql, false, 50*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run took %v; the 50ms timeout did not interrupt", elapsed)
+	}
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", false, "select 1", false); err == nil {
+	if err := run("", false, "select 1", false, 0); err == nil {
 		t.Error("no relation source must fail")
 	}
-	if err := run("testdata/nope.mlr", false, "select 1", false); err == nil {
+	if err := run("testdata/nope.mlr", false, "select 1", false, 0); err == nil {
 		t.Error("missing file must fail")
 	}
-	if err := run("", true, "", false); err == nil {
+	if err := run("", true, "", false, 0); err == nil {
 		t.Error("no SQL and no -q1 must fail")
 	}
-	if err := run("", true, "not sql at all", false); err == nil {
+	if err := run("", true, "not sql at all", false, 0); err == nil {
 		t.Error("bad SQL must fail")
 	}
 }

@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/lattice"
 	"repro/internal/multilog"
+	"repro/internal/resource"
 )
 
 func main() {
@@ -29,23 +33,27 @@ func main() {
 	proofs := flag.Bool("proofs", false, "print proof trees (operational engine)")
 	filter := flag.Bool("filter", false, "enable the Figure 13 FILTER/FILTER-NULL rules")
 	facts := flag.Bool("facts", false, "dump the derived m-facts ⟦Σ⟧ and exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound per query (e.g. 2s; 0 = none); Ctrl-C also interrupts")
 	interactive := flag.Bool("i", false, "start an interactive session (login, load, query)")
 	flag.Parse()
 
 	if *interactive {
-		if err := newREPL(os.Stdin, os.Stdout).run(); err != nil {
+		r := newREPL(os.Stdin, os.Stdout)
+		r.timeout = *timeout
+		if err := r.run(); err != nil {
 			fmt.Fprintln(os.Stderr, "multilog:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*dbPath, *useD1, *user, *query, *engine, *proofs, *filter, *facts); err != nil {
+	if err := run(*dbPath, *useD1, *user, *query, *engine, *proofs, *filter, *facts, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "multilog:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath string, useD1 bool, user, query, engine string, proofs, filter, facts bool) error {
+func run(dbPath string, useD1 bool, user, query, engine string, proofs, filter, facts bool, timeout time.Duration) (err error) {
+	defer resource.Protect("multilog", &err)
 	var db *multilog.Database
 	switch {
 	case useD1:
@@ -101,39 +109,64 @@ func run(dbPath string, useD1 bool, user, query, engine string, proofs, filter, 
 		return fmt.Errorf("unknown engine %q (operational | reduction | both)", engine)
 	}
 
+	// Ctrl-C interrupts the current query gracefully: partial answers are
+	// printed before exiting nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	for _, q := range queries {
-		fmt.Printf("?- %s.\n", queryString(q))
-		if runOperational {
-			prover, err := multilog.NewProver(db, lvl)
-			if err != nil {
-				return err
-			}
-			prover.Filter = filter
-			answers, err := prover.Prove(q, 0)
-			if err != nil {
-				return err
-			}
-			printAnswers("operational", len(answers))
-			for _, a := range answers {
-				fmt.Printf("  %s\n", a.Bindings)
-				if proofs {
-					fmt.Println(indent(a.Proof.String(), "    "))
-				}
+		qctx := ctx
+		cancel := func() {}
+		if timeout > 0 {
+			qctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		qerr := runQuery(qctx, db, lvl, q, runOperational, runReduction, proofs, filter)
+		cancel()
+		if qerr != nil {
+			return qerr
+		}
+	}
+	return nil
+}
+
+func runQuery(ctx context.Context, db *multilog.Database, lvl lattice.Label, q multilog.Query, runOperational, runReduction, proofs, filter bool) error {
+	fmt.Printf("?- %s.\n", queryString(q))
+	if runOperational {
+		prover, err := multilog.NewProver(db, lvl)
+		if err != nil {
+			return err
+		}
+		prover.Filter = filter
+		answers, err := prover.ProveContext(ctx, q, 0)
+		if err != nil && !resource.IsLimit(err) {
+			return err
+		}
+		printAnswers("operational", len(answers))
+		for _, a := range answers {
+			fmt.Printf("  %s\n", a.Bindings)
+			if proofs {
+				fmt.Println(indent(a.Proof.String(), "    "))
 			}
 		}
-		if runReduction {
-			red, err := multilog.ReduceOpts(db, lvl, multilog.Options{Filter: filter})
-			if err != nil {
-				return err
-			}
-			answers, err := red.Query(q)
-			if err != nil {
-				return err
-			}
-			printAnswers("reduction", len(answers))
-			for _, a := range answers {
-				fmt.Printf("  %s\n", a.Bindings)
-			}
+		if err != nil {
+			return fmt.Errorf("query interrupted after %d steps: %w", prover.LastStats.Steps, err)
+		}
+	}
+	if runReduction {
+		red, err := multilog.ReduceOpts(db, lvl, multilog.Options{Filter: filter})
+		if err != nil {
+			return err
+		}
+		answers, err := red.QueryContext(ctx, q, resource.Limits{})
+		if err != nil && !resource.IsLimit(err) {
+			return err
+		}
+		printAnswers("reduction", len(answers))
+		for _, a := range answers {
+			fmt.Printf("  %s\n", a.Bindings)
+		}
+		if err != nil {
+			return fmt.Errorf("query interrupted after %d facts: %w", red.LastStats.FactsDerived, err)
 		}
 	}
 	return nil

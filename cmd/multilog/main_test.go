@@ -1,32 +1,48 @@
 package main
 
 import (
+	"errors"
 	"testing"
+	"time"
+
+	"repro/internal/resource"
 )
 
 func TestRunD1(t *testing.T) {
 	for _, engine := range []string{"operational", "reduction", "both"} {
-		if err := run("", true, "c", "", engine, true, false, false); err != nil {
+		if err := run("", true, "c", "", engine, true, false, false, 0); err != nil {
 			t.Errorf("engine %s: %v", engine, err)
 		}
 	}
 }
 
 func TestRunMissionFile(t *testing.T) {
-	if err := run("testdata/mission.mlg", false, "s", "", "both", false, false, false); err != nil {
+	if err := run("testdata/mission.mlg", false, "s", "", "both", false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Ad hoc query on top of the stored one.
-	if err := run("testdata/mission.mlg", false, "c", `c[mission(K: objective -C-> V)] << cau`, "both", false, false, false); err != nil {
+	if err := run("testdata/mission.mlg", false, "c", `c[mission(K: objective -C-> V)] << cau`, "both", false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Fact dump.
-	if err := run("testdata/mission.mlg", false, "s", "", "operational", false, false, true); err != nil {
+	if err := run("testdata/mission.mlg", false, "s", "", "operational", false, false, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	// With FILTER the surprise story becomes queryable at c.
-	if err := run("testdata/mission.mlg", false, "c", `c[mission(phantom: objective -C-> V)]`, "both", false, true, false); err != nil {
+	if err := run("testdata/mission.mlg", false, "c", `c[mission(phantom: objective -C-> V)]`, "both", false, true, false, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	path := expProgramFile(t, 40)
+	start := time.Now()
+	err := run(path, false, "u", "p40(X)", "operational", false, false, false, 50*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run took %v; the 50ms timeout did not interrupt", elapsed)
+	}
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 }
 
@@ -35,14 +51,14 @@ func TestRunErrors(t *testing.T) {
 		name string
 		f    func() error
 	}{
-		{"no-db", func() error { return run("", false, "c", "", "both", false, false, false) }},
-		{"no-user", func() error { return run("", true, "", "", "both", false, false, false) }},
-		{"missing-file", func() error { return run("testdata/nope.mlg", false, "c", "", "both", false, false, false) }},
-		{"bad-engine", func() error { return run("", true, "c", "", "warp", false, false, false) }},
-		{"bad-query", func() error { return run("", true, "c", "((", "both", false, false, false) }},
-		{"bad-level", func() error { return run("", true, "zz", "", "both", false, false, false) }},
+		{"no-db", func() error { return run("", false, "c", "", "both", false, false, false, 0) }},
+		{"no-user", func() error { return run("", true, "", "", "both", false, false, false, 0) }},
+		{"missing-file", func() error { return run("testdata/nope.mlg", false, "c", "", "both", false, false, false, 0) }},
+		{"bad-engine", func() error { return run("", true, "c", "", "warp", false, false, false, 0) }},
+		{"bad-query", func() error { return run("", true, "c", "((", "both", false, false, false, 0) }},
+		{"bad-level", func() error { return run("", true, "zz", "", "both", false, false, false, 0) }},
 		{"no-queries", func() error {
-			return run("testdata/mission.mlg", false, "s", "", "both", false, false, false)
+			return run("testdata/mission.mlg", false, "s", "", "both", false, false, false, 0)
 		}},
 	}
 	for _, c := range cases {

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/lattice"
 	"repro/internal/multilog"
+	"repro/internal/resource"
 )
 
 // repl is an interactive MultiLog session. The clearance is fixed by
@@ -21,8 +25,12 @@ type repl struct {
 	engine  string
 	proofs  bool
 	filter  bool
+	timeout time.Duration
 	out     io.Writer
 	scanner *bufio.Scanner
+	// sigc delivers SIGINT during a query, canceling it without ending the
+	// session. Injectable so tests can interrupt deterministically.
+	sigc chan os.Signal
 }
 
 const replHelp = `commands:
@@ -32,18 +40,23 @@ const replHelp = `commands:
   engine <op|red|both> choose the semantics (default both)
   proofs <on|off>      print proof trees (operational engine)
   filter <on|off>      enable the Figure 13 FILTER rules
+  timeout <dur|off>    bound each query by a wall-clock deadline (e.g. 2s)
   facts                dump the derived m-facts ⟦Σ⟧
   levels               show the security lattice
-  ?- <goals>.          run a query (the ?- and . are optional)
+  ?- <goals>.          run a query (the ?- and . are optional; Ctrl-C
+                       interrupts it, keeping the answers found so far)
   help                 this text
   quit                 leave`
 
 func newREPL(in io.Reader, out io.Writer) *repl {
-	return &repl{engine: "both", out: out, scanner: bufio.NewScanner(in)}
+	return &repl{engine: "both", out: out, scanner: bufio.NewScanner(in),
+		sigc: make(chan os.Signal, 1)}
 }
 
 // run processes commands until EOF or quit.
 func (r *repl) run() error {
+	signal.Notify(r.sigc, os.Interrupt)
+	defer signal.Stop(r.sigc)
 	fmt.Fprintln(r.out, "MultiLog. Type 'help' for commands.")
 	for {
 		fmt.Fprintf(r.out, "%s> ", r.prompt())
@@ -58,10 +71,43 @@ func (r *repl) run() error {
 		if line == "quit" || line == "exit" {
 			return nil
 		}
-		if err := r.dispatch(line); err != nil {
+		if err := r.dispatchSafe(line); err != nil {
 			fmt.Fprintf(r.out, "error: %v\n", err)
 		}
 	}
+}
+
+// dispatchSafe contains panics from the engines: one bad query reports an
+// internal error and the session survives.
+func (r *repl) dispatchSafe(line string) (err error) {
+	defer resource.Protect("multilog.repl", &err)
+	return r.dispatch(line)
+}
+
+// queryCtx builds the context for one query: bounded by the session timeout
+// (if set) and canceled by SIGINT. The returned stop func must be called
+// when the query finishes.
+func (r *repl) queryCtx() (context.Context, func()) {
+	base := context.Background()
+	cancelT := func() {}
+	if r.timeout > 0 {
+		base, cancelT = context.WithTimeout(base, r.timeout)
+	}
+	ctx, cancel := context.WithCancelCause(base)
+	// A SIGINT from before the query started is stale; drop it.
+	select {
+	case <-r.sigc:
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-r.sigc:
+			cancel(fmt.Errorf("interrupt"))
+		case <-done:
+		}
+	}()
+	return ctx, func() { close(done); cancel(nil); cancelT() }
 }
 
 func (r *repl) prompt() string {
@@ -142,6 +188,22 @@ func (r *repl) dispatch(line string) error {
 		}
 		fmt.Fprintf(r.out, "%s: %s\n", fields[0], fields[1])
 		return nil
+	case "timeout":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: timeout <duration|off>")
+		}
+		if fields[1] == "off" {
+			r.timeout = 0
+			fmt.Fprintln(r.out, "timeout: off")
+			return nil
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("timeout: want a positive duration like 500ms or 2s, or off")
+		}
+		r.timeout = d
+		fmt.Fprintf(r.out, "timeout: %s\n", d)
+		return nil
 	case "facts":
 		if err := r.ready(); err != nil {
 			return err
@@ -194,14 +256,16 @@ func (r *repl) query(line string) error {
 	if err != nil {
 		return err
 	}
+	ctx, stop := r.queryCtx()
+	defer stop()
 	if r.engine == "operational" || r.engine == "both" {
 		prover, err := multilog.NewProver(r.db, r.user)
 		if err != nil {
 			return err
 		}
 		prover.Filter = r.filter
-		answers, err := prover.Prove(q, 0)
-		if err != nil {
+		answers, err := prover.ProveContext(ctx, q, 0)
+		if err != nil && !resource.IsLimit(err) {
 			return err
 		}
 		r.printCount("operational", len(answers))
@@ -211,19 +275,25 @@ func (r *repl) query(line string) error {
 				fmt.Fprint(r.out, indent(a.Proof.String(), "    "))
 			}
 		}
+		if err != nil {
+			fmt.Fprintf(r.out, "  (truncated after %d steps: %v)\n", prover.LastStats.Steps, err)
+		}
 	}
 	if r.engine == "reduction" || r.engine == "both" {
 		red, err := multilog.ReduceOpts(r.db, r.user, multilog.Options{Filter: r.filter})
 		if err != nil {
 			return err
 		}
-		answers, err := red.Query(q)
-		if err != nil {
+		answers, err := red.QueryContext(ctx, q, resource.Limits{})
+		if err != nil && !resource.IsLimit(err) {
 			return err
 		}
 		r.printCount("reduction", len(answers))
 		for _, a := range answers {
 			fmt.Fprintf(r.out, "  %s\n", a.Bindings)
+		}
+		if err != nil {
+			fmt.Fprintf(r.out, "  (truncated after %d facts: %v)\n", red.LastStats.FactsDerived, err)
 		}
 	}
 	return nil

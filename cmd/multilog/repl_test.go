@@ -1,9 +1,30 @@
 package main
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// expProgramFile writes a MultiLog program whose classical part doubles
+// top-down work at every level: proving p<depth> costs 2^depth steps, so
+// an ungoverned query would never return.
+func expProgramFile(t *testing.T, depth int) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("level(u).\np0(a).\n")
+	for i := 1; i <= depth; i++ {
+		fmt.Fprintf(&b, "p%d(X) :- p%d(X), p%d(X).\n", i, i-1, i-1)
+	}
+	path := filepath.Join(t.TempDir(), "exp.mlg")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
 
 // replSession runs a scripted session and returns the transcript.
 func replSession(t *testing.T, lines ...string) string {
@@ -95,6 +116,84 @@ func TestREPLErrorsAreRecoverable(t *testing.T) {
 	}
 	if !strings.Contains(out, "commands:") {
 		t.Errorf("help missing:\n%s", out)
+	}
+}
+
+func TestREPLTimeout(t *testing.T) {
+	path := expProgramFile(t, 40)
+	start := time.Now()
+	out := replSession(t,
+		"load "+path,
+		"login u",
+		"engine op",
+		"timeout 50ms",
+		"p40(X)",
+		"timeout off",
+		"timeout bogus",
+		"quit",
+	)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("session took %v; the 50ms timeout did not interrupt the query", elapsed)
+	}
+	for _, want := range []string{
+		"timeout: 50ms",
+		"(truncated after", // the query was cut short, with stats
+		"timeout: off",
+		"error:", // bogus duration is a recoverable error
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLSigintInterruptsQueryNotSession(t *testing.T) {
+	path := expProgramFile(t, 40)
+	lines := []string{
+		"load " + path,
+		"login u",
+		"engine op",
+		"p40(X)", // would run for 2^40 steps without the interrupt
+		"d1",     // the session must survive the interrupt…
+		"login c",
+		"?- c[p(k: a -R-> v)] << opt.", // …and keep answering queries
+		"quit",
+	}
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var out strings.Builder
+	r := newREPL(in, &out)
+	// Deliver SIGINT (via the injectable channel) once the query is running;
+	// retry in case an early tick lands before the query starts and is
+	// dropped as stale.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(100 * time.Millisecond):
+				select {
+				case r.sigc <- os.Interrupt:
+				default:
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	err := r.run()
+	close(done)
+	if err != nil {
+		t.Fatalf("repl: %v\n%s", err, out.String())
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("session took %v; SIGINT did not interrupt the query", elapsed)
+	}
+	transcript := out.String()
+	if !strings.Contains(transcript, "(truncated after") {
+		t.Errorf("interrupted query not reported as truncated:\n%s", transcript)
+	}
+	if !strings.Contains(transcript, "{R/u}") {
+		t.Errorf("follow-up query after the interrupt did not answer:\n%s", transcript)
 	}
 }
 

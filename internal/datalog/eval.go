@@ -1,8 +1,10 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/resource"
 	"repro/internal/term"
 )
 
@@ -13,6 +15,12 @@ type Stats struct {
 	RuleFirings int // rule body evaluations attempted
 	Derivations int // head instances produced (including duplicates)
 	Facts       int // facts in the final model
+
+	// Partial-progress report when evaluation is governed (EvalContext or a
+	// non-zero Limits): how far it got and whether it was cut short.
+	StrataCompleted int  // fully evaluated strata
+	Truncated       bool // a limit, cancellation, or fault stopped evaluation early
+	Resource        resource.Stats
 }
 
 // Evaluator computes the minimal model of a stratified Datalog program by
@@ -27,13 +35,50 @@ type Evaluator struct {
 	// ignored when Naive is set.
 	Parallel bool
 	Workers  int
-	Stats    Stats
+	// Limits bounds the evaluation (facts, steps, memory, probes). The zero
+	// value is unlimited. Wall-clock deadlines come from the context passed
+	// to EvalContext.
+	Limits resource.Limits
+	Stats  Stats
+
+	gov *resource.Governor
+}
+
+// approxAtomBytes estimates the bytes retained by one stored fact — the
+// structural text size plus map/slice bookkeeping — for the MaxMemory budget.
+func approxAtomBytes(a Atom) int64 {
+	n := len(a.Pred) + 48 // relation bookkeeping: key map entry, facts slot
+	for _, t := range a.Args {
+		n += len(t.Key()) + 16
+	}
+	return int64(n)
+}
+
+// insert adds a derived fact to dst, charging the governor for new facts.
+func (e *Evaluator) insert(dst *Store, a Atom) (bool, error) {
+	added, err := dst.Insert(a)
+	if err != nil {
+		return false, err
+	}
+	if added {
+		if err := e.gov.Insert(approxAtomBytes(a)); err != nil {
+			return true, err
+		}
+	}
+	return added, nil
 }
 
 // Eval computes the minimal model of program ∪ edb. edb may be nil. The
 // returned store contains the EDB facts plus everything derivable. Eval
 // fails if the program is unsafe or not stratifiable.
 func (e *Evaluator) Eval(p *Program, edb *Store) (*Store, error) {
+	return e.EvalContext(context.Background(), p, edb)
+}
+
+// EvalContext is Eval bounded by ctx and e.Limits. On a resource-limit stop
+// (resource.IsLimit(err)) it returns the partial model computed so far
+// alongside the error; e.Stats reports how far it got.
+func (e *Evaluator) EvalContext(ctx context.Context, p *Program, edb *Store) (*Store, error) {
 	if err := Validate(p); err != nil {
 		return nil, err
 	}
@@ -41,6 +86,7 @@ func (e *Evaluator) Eval(p *Program, edb *Store) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.gov = resource.New(ctx, e.Limits)
 	var full *Store
 	if e.NoIndex {
 		full = NewStoreNoIndex()
@@ -48,9 +94,14 @@ func (e *Evaluator) Eval(p *Program, edb *Store) (*Store, error) {
 		full = NewStore()
 	}
 	if edb != nil {
+		// The fault hook rides along so injected store failures reach the
+		// derived store, not just the caller's EDB.
+		full.InsertFault = edb.InsertFault
 		for _, pred := range edb.Preds() {
 			for _, f := range edb.Facts(pred) {
-				full.Insert(f)
+				if _, err := e.insert(full, f); err != nil {
+					return e.finish(full, err)
+				}
 			}
 		}
 	}
@@ -62,10 +113,29 @@ func (e *Evaluator) Eval(p *Program, edb *Store) (*Store, error) {
 			err = e.evalStratum(clauses, full)
 		}
 		if err != nil {
-			return nil, err
+			return e.finish(full, err)
+		}
+		e.Stats.StrataCompleted++
+		if err := e.gov.StratumDone(); err != nil {
+			return e.finish(full, err)
 		}
 	}
+	return e.finish(full, nil)
+}
+
+// finish records final stats and shapes the return: limit errors keep the
+// partial store so callers see how far evaluation got.
+func (e *Evaluator) finish(full *Store, err error) (*Store, error) {
 	e.Stats.Facts = full.Len()
+	e.Stats.Resource = e.gov.Snapshot()
+	if err != nil {
+		e.Stats.Truncated = true
+		e.Stats.Resource.Truncated = true
+		if resource.IsLimit(err) {
+			return full, err
+		}
+		return nil, err
+	}
 	return full, nil
 }
 
@@ -73,6 +143,14 @@ func (e *Evaluator) Eval(p *Program, edb *Store) (*Store, error) {
 func Eval(p *Program, edb *Store) (*Store, error) {
 	var e Evaluator
 	return e.Eval(p, edb)
+}
+
+// EvalLimited is Eval bounded by ctx and limits; it returns the (possibly
+// partial) model, the evaluation stats, and the error, if any.
+func EvalLimited(ctx context.Context, p *Program, edb *Store, limits resource.Limits) (*Store, Stats, error) {
+	e := Evaluator{Limits: limits}
+	model, err := e.EvalContext(ctx, p, edb)
+	return model, e.Stats, err
 }
 
 // evalStratum iterates the clauses of one stratum to fixpoint against full,
@@ -85,7 +163,9 @@ func (e *Evaluator) evalStratum(clauses []Clause, full *Store) error {
 			if !c.Head.IsGround() {
 				return fmt.Errorf("datalog: non-ground fact %s", c.Head)
 			}
-			full.Insert(c.Head)
+			if _, err := e.insert(full, c.Head); err != nil {
+				return err
+			}
 		} else {
 			rules = append(rules, c)
 		}
@@ -103,12 +183,19 @@ func (e *Evaluator) evalStratum(clauses []Clause, full *Store) error {
 	if e.Naive {
 		for {
 			e.Stats.Iterations++
+			if err := e.gov.Check(); err != nil {
+				return err
+			}
 			changed := false
 			for _, c := range rules {
 				e.Stats.RuleFirings++
 				err := e.solveBody(c, full, nil, -1, func(head Atom) error {
 					e.Stats.Derivations++
-					if full.Insert(head) {
+					added, err := e.insert(full, head)
+					if err != nil {
+						return err
+					}
+					if added {
 						changed = true
 					}
 					return nil
@@ -131,8 +218,12 @@ func (e *Evaluator) evalStratum(clauses []Clause, full *Store) error {
 		e.Stats.RuleFirings++
 		err := e.solveBody(c, full, nil, -1, func(head Atom) error {
 			e.Stats.Derivations++
-			if full.Insert(head) {
-				delta.Insert(head)
+			added, err := e.insert(full, head)
+			if err != nil {
+				return err
+			}
+			if added {
+				delta.Insert(head) //nolint:errcheck // ground: just inserted into full
 			}
 			return nil
 		})
@@ -142,6 +233,9 @@ func (e *Evaluator) evalStratum(clauses []Clause, full *Store) error {
 	}
 	for delta.Len() > 0 {
 		e.Stats.Iterations++
+		if err := e.gov.Check(); err != nil {
+			return err
+		}
 		next := NewStore()
 		for _, c := range rules {
 			for i, l := range c.Body {
@@ -154,8 +248,12 @@ func (e *Evaluator) evalStratum(clauses []Clause, full *Store) error {
 				e.Stats.RuleFirings++
 				err := e.solveBody(c, full, delta, i, func(head Atom) error {
 					e.Stats.Derivations++
-					if full.Insert(head) {
-						next.Insert(head)
+					added, err := e.insert(full, head)
+					if err != nil {
+						return err
+					}
+					if added {
+						next.Insert(head) //nolint:errcheck // ground: just inserted into full
 					}
 					return nil
 				})
@@ -181,6 +279,9 @@ func (e *Evaluator) solveBody(c Clause, full, delta *Store, deltaIdx int, emit f
 	}
 	var rec func(rem []int, s term.Subst) error
 	rec = func(rem []int, s term.Subst) error {
+		if err := e.gov.Step(); err != nil {
+			return err
+		}
 		if len(rem) == 0 {
 			head := c.Head.Apply(s)
 			if !head.IsGround() {
@@ -261,6 +362,19 @@ func Query(p *Program, edb *Store, goal Atom) ([]term.Subst, error) {
 		return nil, err
 	}
 	return QueryStore(model, goal), nil
+}
+
+// QueryLimited is Query bounded by ctx and limits. On a resource-limit stop
+// it returns the answers found in the partial model alongside the error.
+func QueryLimited(ctx context.Context, p *Program, edb *Store, goal Atom, limits resource.Limits) ([]term.Subst, Stats, error) {
+	model, stats, err := EvalLimited(ctx, p, edb, limits)
+	if err != nil && !resource.IsLimit(err) {
+		return nil, stats, err
+	}
+	if model == nil {
+		return nil, stats, err
+	}
+	return QueryStore(model, goal), stats, err
 }
 
 // QueryStore matches goal against an already-computed model.

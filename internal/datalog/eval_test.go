@@ -241,11 +241,11 @@ func TestIndexedAndUnindexedAgree(t *testing.T) {
 func TestStoreBasics(t *testing.T) {
 	s := NewStore()
 	a := NewAtom("p", term.Const("x"))
-	if !s.Insert(a) {
-		t.Error("first insert should be new")
+	if added, err := s.Insert(a); err != nil || !added {
+		t.Errorf("first insert = (%v, %v), want new", added, err)
 	}
-	if s.Insert(a) {
-		t.Error("duplicate insert should report false")
+	if added, err := s.Insert(a); err != nil || added {
+		t.Errorf("duplicate insert = (%v, %v), want not new", added, err)
 	}
 	if !s.Contains(a) || s.Len() != 1 {
 		t.Error("store lost the fact")
@@ -253,12 +253,32 @@ func TestStoreBasics(t *testing.T) {
 	if got := s.Facts("p"); len(got) != 1 || !got[0].Equal(a) {
 		t.Errorf("Facts = %v", got)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Insert of non-ground atom must panic")
+	if added, err := s.Insert(NewAtom("p", term.Var("X"))); err == nil || added {
+		t.Errorf("insert of non-ground atom = (%v, %v), want error", added, err)
+	}
+	if s.Len() != 1 {
+		t.Error("failed insert must not change the store")
+	}
+}
+
+func TestStoreInsertFault(t *testing.T) {
+	s := NewStore()
+	boom := fmt.Errorf("disk on fire")
+	s.InsertFault = func(a Atom) error {
+		if a.Pred == "bad" {
+			return boom
 		}
-	}()
-	s.Insert(NewAtom("p", term.Var("X")))
+		return nil
+	}
+	if _, err := s.Insert(NewAtom("ok", term.Const("x"))); err != nil {
+		t.Fatalf("unfaulted insert: %v", err)
+	}
+	if _, err := s.Insert(NewAtom("bad", term.Const("x"))); err != boom {
+		t.Fatalf("faulted insert err = %v, want boom", err)
+	}
+	if s.Len() != 1 {
+		t.Error("faulted insert must not land")
+	}
 }
 
 func TestStoreMatchUsesIndex(t *testing.T) {

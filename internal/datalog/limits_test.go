@@ -1,0 +1,264 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resource"
+)
+
+// exponentialProgram returns a program whose model has base^arity facts for
+// the big/arity cross product — adversarial input for deadline tests.
+func exponentialProgram(t testing.TB, base, arity int) *Program {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < base; i++ {
+		fmt.Fprintf(&b, "d(k%d).\n", i)
+	}
+	vars := make([]string, arity)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("X%d", i)
+	}
+	fmt.Fprintf(&b, "big(%s) :- ", strings.Join(vars, ","))
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "d(%s)", v)
+	}
+	b.WriteString(".\n")
+	p, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("parse exponential program: %v", err)
+	}
+	return p
+}
+
+func TestEvalLimitedFactBudget(t *testing.T) {
+	p := mustParse(t, `
+		e(a,b). e(b,c). e(c,d). e(d,e).
+		tc(X,Y) :- e(X,Y).
+		tc(X,Y) :- e(X,Z), tc(Z,Y).
+	`)
+	model, stats, err := EvalLimited(context.Background(), p, nil, resource.Limits{MaxFacts: 6})
+	var be *resource.ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != "facts" {
+		t.Fatalf("err = %v, want facts budget", err)
+	}
+	if model == nil {
+		t.Fatal("limit stop must return the partial model")
+	}
+	if !stats.Truncated || !stats.Resource.Truncated {
+		t.Fatalf("stats = %+v, want Truncated", stats)
+	}
+	if stats.Resource.FactsDerived == 0 {
+		t.Fatal("no partial progress recorded")
+	}
+	// Sanity: the full model is bigger than where we stopped.
+	full, _, err := EvalLimited(context.Background(), p, nil, resource.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() <= model.Len() {
+		t.Fatalf("full %d ≤ partial %d", full.Len(), model.Len())
+	}
+}
+
+func TestEvalLimitedDeadline(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		eval Evaluator
+	}{
+		{"semi-naive", Evaluator{}},
+		{"naive", Evaluator{Naive: true}},
+		{"no-index", Evaluator{NoIndex: true}},
+		{"parallel", Evaluator{Parallel: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := exponentialProgram(t, 12, 6)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			e := tc.eval
+			start := time.Now()
+			model, err := e.EvalContext(ctx, p, nil)
+			elapsed := time.Since(start)
+			if !errors.Is(err, resource.ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+			if elapsed > 500*time.Millisecond {
+				t.Fatalf("deadline overshot: %v", elapsed)
+			}
+			if model == nil || !e.Stats.Truncated {
+				t.Fatalf("model=%v Stats=%+v, want partial model + Truncated", model != nil, e.Stats)
+			}
+		})
+	}
+}
+
+func TestEvalLimitedCompletesUnchanged(t *testing.T) {
+	// A generous governor must not change the model.
+	p := mustParse(t, `
+		e(a,b). e(b,c). e(c,a).
+		tc(X,Y) :- e(X,Y).
+		tc(X,Y) :- e(X,Z), tc(Z,Y).
+		iso(X) :- e(X,X).
+		lone(X) :- e(X,Y), not iso(X), X != Y.
+	`)
+	want, err := Eval(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := EvalLimited(context.Background(), p, nil, resource.Limits{MaxFacts: 1 << 20, MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("governed model differs from ungoverned model")
+	}
+	if stats.Truncated || stats.StrataCompleted == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestParallelCancelMidStratumNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		p := exponentialProgram(t, 12, 6)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		e := Evaluator{Parallel: true, Workers: 8}
+		_, err := e.EvalContext(ctx, p, nil)
+		cancel()
+		if !errors.Is(err, resource.ErrCanceled) {
+			t.Fatalf("run %d: err = %v, want ErrCanceled", i, err)
+		}
+	}
+	// evalStratumParallel joins its workers before returning (wg.Wait), so
+	// the count must settle back; allow scheduler slack.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestParallelDeterministicPartialStats(t *testing.T) {
+	// The parallel evaluator merges derivations sequentially between rounds,
+	// so an insert-probe fires at a deterministic point even though the jobs
+	// run concurrently: partial stats must be identical across runs.
+	boom := errors.New("probe")
+	run := func() (int64, error) {
+		p := exponentialProgram(t, 6, 4)
+		e := Evaluator{Parallel: true, Workers: 8, Limits: resource.Limits{
+			Probe: func(ev resource.Event, n int64) error {
+				if ev == resource.EventInsert && n == 100 {
+					return boom
+				}
+				return nil
+			},
+		}}
+		_, err := e.EvalContext(context.Background(), p, nil)
+		return e.Stats.Resource.FactsDerived, err
+	}
+	first, err := run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want probe error", err)
+	}
+	if first != 100 {
+		t.Fatalf("FactsDerived = %d, want 100", first)
+	}
+	for i := 0; i < 4; i++ {
+		again, err := run()
+		if !errors.Is(err, boom) || again != first {
+			t.Fatalf("run %d: FactsDerived = %d (err %v), want %d", i, again, err, first)
+		}
+	}
+}
+
+func TestSLDLimited(t *testing.T) {
+	p := exponentialProgram(t, 12, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sld := NewSLD(p)
+	start := time.Now()
+	answers, err := sld.ProveContext(ctx, mustAtom(t, "big(A,B,C,D,E,F)"), 0)
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline overshot: %v", elapsed)
+	}
+	if len(answers) == 0 || !sld.LastStats.Truncated {
+		t.Fatalf("answers=%d LastStats=%+v, want partial answers", len(answers), sld.LastStats)
+	}
+}
+
+func TestTabledLimited(t *testing.T) {
+	p := exponentialProgram(t, 12, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	tb := NewTabled(p)
+	start := time.Now()
+	_, err := tb.ProveContext(ctx, mustAtom(t, "big(A,B,C,D,E,F)"))
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline overshot: %v", elapsed)
+	}
+	if !tb.LastStats.Truncated {
+		t.Fatalf("LastStats = %+v, want Truncated", tb.LastStats)
+	}
+}
+
+func TestQueryMagicLimited(t *testing.T) {
+	p := exponentialProgram(t, 12, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, stats, err := QueryMagicLimited(ctx, p, nil, mustAtom(t, "big(A,B,C,D,E,F)"), resource.Limits{})
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline overshot: %v", elapsed)
+	}
+	if !stats.Truncated {
+		t.Fatalf("stats = %+v, want Truncated", stats)
+	}
+}
+
+func TestEvalContextInsertFaultPropagates(t *testing.T) {
+	p := mustParse(t, `
+		tc(X,Y) :- e(X,Y).
+		tc(X,Y) :- e(X,Z), tc(Z,Y).
+	`)
+	edb := NewStore()
+	for i := 0; i < 10; i++ {
+		if _, err := edb.Insert(mustAtom(t, fmt.Sprintf("e(n%d, n%d)", i, i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("store down")
+	count := 0
+	edb.InsertFault = func(Atom) error {
+		count++
+		if count > 15 {
+			return boom
+		}
+		return nil
+	}
+	_, err := Eval(p, edb)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected store failure", err)
+	}
+}

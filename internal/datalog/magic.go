@@ -1,9 +1,11 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/resource"
 	"repro/internal/term"
 )
 
@@ -214,4 +216,22 @@ func QueryMagic(p *Program, edb *Store, goal Atom) ([]term.Subst, error) {
 		return nil, err
 	}
 	return QueryStore(model, adornedGoal), nil
+}
+
+// QueryMagicLimited is QueryMagic bounded by ctx and limits. On a
+// resource-limit stop it returns the answers visible in the partial model
+// alongside the error.
+func QueryMagicLimited(ctx context.Context, p *Program, edb *Store, goal Atom, limits resource.Limits) ([]term.Subst, Stats, error) {
+	rewritten, adornedGoal, err := MagicSet(p, goal)
+	if err != nil {
+		return QueryLimited(ctx, p, edb, goal, limits)
+	}
+	model, stats, err := EvalLimited(ctx, rewritten, edb, limits)
+	if err != nil {
+		if model != nil && resource.IsLimit(err) {
+			return QueryStore(model, adornedGoal), stats, err
+		}
+		return nil, stats, err
+	}
+	return QueryStore(model, adornedGoal), stats, nil
 }

@@ -20,7 +20,9 @@ func (e *Evaluator) evalStratumParallel(clauses []Clause, full *Store) error {
 			if !c.Head.IsGround() {
 				return fmt.Errorf("datalog: non-ground fact %s", c.Head)
 			}
-			full.Insert(c.Head)
+			if _, err := e.insert(full, c.Head); err != nil {
+				return err
+			}
 		} else {
 			rules = append(rules, c)
 		}
@@ -69,15 +71,22 @@ func (e *Evaluator) evalStratumParallel(clauses []Clause, full *Store) error {
 		return results, nil
 	}
 
-	merge := func(results [][]Atom, next *Store) {
+	// merge runs sequentially between rounds, so budget/probe accounting of
+	// inserts is deterministic even though the jobs above run concurrently.
+	merge := func(results [][]Atom, next *Store) error {
 		for _, local := range results {
 			for _, head := range local {
 				e.Stats.Derivations++
-				if full.Insert(head) && next != nil {
-					next.Insert(head)
+				added, err := e.insert(full, head)
+				if err != nil {
+					return err
+				}
+				if added && next != nil {
+					next.Insert(head) //nolint:errcheck // ground: just inserted into full
 				}
 			}
 		}
+		return nil
 	}
 
 	// First round: every rule in full.
@@ -92,10 +101,15 @@ func (e *Evaluator) evalStratumParallel(clauses []Clause, full *Store) error {
 	if err != nil {
 		return err
 	}
-	merge(results, delta)
+	if err := merge(results, delta); err != nil {
+		return err
+	}
 
 	for delta.Len() > 0 {
 		e.Stats.Iterations++
+		if err := e.gov.Check(); err != nil {
+			return err
+		}
 		var jobs []job
 		for _, c := range rules {
 			for i, l := range c.Body {
@@ -114,7 +128,9 @@ func (e *Evaluator) evalStratumParallel(clauses []Clause, full *Store) error {
 		if err != nil {
 			return err
 		}
-		merge(results, next)
+		if err := merge(results, next); err != nil {
+			return err
+		}
 		delta = next
 	}
 	return nil

@@ -1,9 +1,11 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/resource"
 	"repro/internal/term"
 )
 
@@ -67,6 +69,13 @@ type SLD struct {
 	// it. 0 means the default (1 << 20).
 	MaxSteps int
 	steps    int
+	// Limits bounds the proof search (steps, probes); wall-clock deadlines
+	// come from the context passed to ProveContext. Zero means unlimited.
+	Limits resource.Limits
+	// LastStats reports the resource usage of the most recent Prove call.
+	LastStats resource.Stats
+	gov       *resource.Governor
+	ctx       context.Context
 }
 
 // NewSLD builds a prover for the program.
@@ -82,6 +91,16 @@ type Answer struct {
 // Prove enumerates up to max answers for the goal (max ≤ 0 means all). Each
 // answer carries a proof tree whose leaves are facts or built-ins.
 func (sld *SLD) Prove(goal Atom, max int) ([]Answer, error) {
+	return sld.ProveContext(context.Background(), goal, max)
+}
+
+// ProveContext is Prove bounded by ctx and sld.Limits. On a resource-limit
+// stop (resource.IsLimit(err)) it returns the answers found so far alongside
+// the error; sld.LastStats reports the work done.
+func (sld *SLD) ProveContext(ctx context.Context, goal Atom, max int) ([]Answer, error) {
+	sld.ctx = ctx
+	sld.gov = resource.New(ctx, sld.Limits)
+	defer func() { sld.LastStats = sld.gov.Snapshot() }()
 	depthBound := sld.MaxDepth
 	if depthBound == 0 {
 		depthBound = 512
@@ -102,6 +121,9 @@ func (sld *SLD) Prove(goal Atom, max int) ([]Answer, error) {
 		}
 		if sld.steps++; sld.steps > stepBound {
 			return fmt.Errorf("datalog: SLD step bound %d exceeded proving %s", stepBound, g.Apply(s))
+		}
+		if err := sld.gov.Step(); err != nil {
+			return err
 		}
 		switch g.Pred {
 		case BuiltinEq:
@@ -186,14 +208,26 @@ func (sld *SLD) Prove(goal Atom, max int) ([]Answer, error) {
 		return nil
 	})
 	if err != nil && err != stop {
+		if resource.IsLimit(err) {
+			// Graceful degradation: the answers found before the limit hit.
+			return answers, err
+		}
 		return nil, err
 	}
 	return answers, nil
 }
 
+// ensureModel lazily computes the NAF model, governed by the Prove call's
+// context and limits (a fresh budget: the model is a one-off sub-evaluation,
+// but it still honors the caller's deadline).
 func (sld *SLD) ensureModel() (*Store, error) {
 	if sld.model == nil {
-		m, err := Eval(sld.prog, nil)
+		ctx := sld.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		e := Evaluator{Limits: sld.Limits}
+		m, err := e.EvalContext(ctx, sld.prog, nil)
 		if err != nil {
 			return nil, err
 		}

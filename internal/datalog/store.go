@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -13,6 +14,11 @@ import (
 type Store struct {
 	rels     map[string]*relation
 	indexing bool
+	// InsertFault, when set, is consulted before every insert; a non-nil
+	// return aborts the insert with that error. The evaluator propagates the
+	// hook from the EDB store to its derived stores, so the fault-injection
+	// chaos suite can simulate a failing backing store mid-evaluation.
+	InsertFault func(Atom) error
 }
 
 // NewStore returns an empty store with argument indexing enabled.
@@ -34,11 +40,17 @@ func newRelation() *relation {
 	return &relation{seen: map[string]bool{}, index: map[int]map[string][]int{}}
 }
 
-// Insert adds a ground fact; it reports whether the fact was new.
-// Insert panics on a non-ground atom: stores hold only ground facts.
-func (s *Store) Insert(a Atom) bool {
+// Insert adds a ground fact; it reports whether the fact was new. Stores
+// hold only ground facts, so inserting a non-ground atom is an error (it
+// used to panic — a single bad derivation must not take down a server).
+func (s *Store) Insert(a Atom) (bool, error) {
 	if !a.IsGround() {
-		panic("datalog: Insert of non-ground atom " + a.String())
+		return false, fmt.Errorf("datalog: insert of non-ground atom %s", a)
+	}
+	if s.InsertFault != nil {
+		if err := s.InsertFault(a); err != nil {
+			return false, err
+		}
 	}
 	r := s.rels[a.Pred]
 	if r == nil {
@@ -47,7 +59,7 @@ func (s *Store) Insert(a Atom) bool {
 	}
 	k := a.Key()
 	if r.seen[k] {
-		return false
+		return false, nil
 	}
 	r.seen[k] = true
 	pos := len(r.facts)
@@ -63,7 +75,7 @@ func (s *Store) Insert(a Atom) bool {
 			m[tk] = append(m[tk], pos)
 		}
 	}
-	return true
+	return true, nil
 }
 
 // Contains reports whether the ground atom is present.
@@ -154,12 +166,13 @@ func (s *Store) Match(query Atom, base term.Subst, fn func(term.Subst) bool) {
 	}
 }
 
-// Clone returns a deep copy of the store.
+// Clone returns a deep copy of the store. Fault hooks are not cloned: a
+// clone is a private working copy, and source facts are ground by invariant.
 func (s *Store) Clone() *Store {
 	c := &Store{rels: map[string]*relation{}, indexing: s.indexing}
 	for _, r := range s.rels {
 		for _, f := range r.facts {
-			c.Insert(f)
+			c.Insert(f) //nolint:errcheck // ground by invariant, no fault hook
 		}
 	}
 	return c

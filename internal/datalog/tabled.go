@@ -1,10 +1,12 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/resource"
 	"repro/internal/term"
 )
 
@@ -30,6 +32,13 @@ type Tabled struct {
 	// itself, assumes an essentially function-free active domain).
 	// 0 means the default (10000).
 	MaxRounds int
+	// Limits bounds the proof search; deadlines come from the context
+	// passed to ProveContext. Zero means unlimited.
+	Limits resource.Limits
+	// LastStats reports the resource usage of the most recent Prove call.
+	LastStats resource.Stats
+	gov       *resource.Governor
+	ctx       context.Context
 }
 
 type answerTable struct {
@@ -90,13 +99,33 @@ func variantKey(a Atom) string {
 // Prove returns every substitution (restricted to the goal's variables)
 // making the goal true, in a deterministic order.
 func (tb *Tabled) Prove(goal Atom) ([]term.Subst, error) {
+	return tb.ProveContext(context.Background(), goal)
+}
+
+// ProveContext is Prove bounded by ctx and tb.Limits. On a resource-limit
+// stop (resource.IsLimit(err)) it returns the answers tabled so far
+// alongside the error; tb.LastStats reports the work done.
+func (tb *Tabled) ProveContext(ctx context.Context, goal Atom) ([]term.Subst, error) {
 	if goal.IsBuiltin() {
 		return nil, fmt.Errorf("datalog: cannot table a built-in goal %s", goal)
 	}
-	tab, err := tb.solve(goal)
+	tb.ctx = ctx
+	tb.gov = resource.New(ctx, tb.Limits)
+	defer func() { tb.LastStats = tb.gov.Snapshot() }()
+	_, err := tb.solve(goal)
 	if err != nil {
+		// No partial answers on a limit stop: tabled answers are defined at
+		// the fixpoint, and collecting a huge half-built table would blow the
+		// caller's deadline it just enforced. LastStats still reports the
+		// partial progress.
 		return nil, err
 	}
+	return tb.collect(goal, tb.ensureTable(goal)), nil
+}
+
+// collect restricts a table's answers to the goal's variables, deduplicated
+// and sorted.
+func (tb *Tabled) collect(goal Atom, tab *answerTable) []term.Subst {
 	goalVars := map[string]bool{}
 	for _, v := range goal.Vars(nil) {
 		goalVars[v] = true
@@ -119,7 +148,7 @@ func (tb *Tabled) Prove(goal Atom) ([]term.Subst, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out, nil
+	return out
 }
 
 // solve registers the goal's variant and drives the global fixpoint: every
@@ -136,7 +165,10 @@ func (tb *Tabled) solve(goal Atom) (*answerTable, error) {
 	}
 	for round := 0; ; round++ {
 		if round > maxRounds {
-			return nil, fmt.Errorf("datalog: tabling exceeded %d rounds on %s (non-terminating term growth?)", maxRounds, goal)
+			return tab, fmt.Errorf("datalog: tabling exceeded %d rounds on %s (non-terminating term growth?)", maxRounds, goal)
+		}
+		if err := tb.gov.Check(); err != nil {
+			return tab, err
 		}
 		answersBefore := tb.totalAnswers()
 		tablesBefore := len(tb.tables)
@@ -147,7 +179,7 @@ func (tb *Tabled) solve(goal Atom) (*answerTable, error) {
 		sort.Strings(keys)
 		for _, key := range keys {
 			if err := tb.onePass(tb.tables[key]); err != nil {
-				return nil, err
+				return tab, err
 			}
 		}
 		if tb.totalAnswers() == answersBefore && len(tb.tables) == tablesBefore {
@@ -209,6 +241,9 @@ func (tb *Tabled) totalAnswers() int {
 // solveBody enumerates substitutions satisfying the body left to right,
 // resolving positive non-builtin literals through tables.
 func (tb *Tabled) solveBody(body []Literal, s term.Subst, emit func(term.Subst) error) error {
+	if err := tb.gov.Step(); err != nil {
+		return err
+	}
 	if len(body) == 0 {
 		return emit(s)
 	}
@@ -235,7 +270,12 @@ func (tb *Tabled) solveBody(body []Literal, s term.Subst, emit func(term.Subst) 
 			return fmt.Errorf("datalog: tabled floundering on %s", l)
 		}
 		if tb.model == nil {
-			m, err := Eval(tb.prog, nil)
+			ctx := tb.ctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			e := Evaluator{Limits: tb.Limits}
+			m, err := e.EvalContext(ctx, tb.prog, nil)
 			if err != nil {
 				return err
 			}

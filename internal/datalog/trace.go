@@ -24,7 +24,11 @@ func EvalTrace(p *Program, edb *Store) (*Store, map[string]int, error) {
 	if edb != nil {
 		for _, pred := range edb.Preds() {
 			for _, f := range edb.Facts(pred) {
-				if full.Insert(f) {
+				added, err := full.Insert(f)
+				if err != nil {
+					return nil, nil, err
+				}
+				if added {
 					stages[f.Key()] = 0
 				}
 			}
@@ -41,7 +45,11 @@ func EvalTrace(p *Program, edb *Store) (*Store, map[string]int, error) {
 				if !c.Head.IsGround() {
 					return nil, nil, fmt.Errorf("datalog: non-ground fact %s", c.Head)
 				}
-				if full.Insert(c.Head) {
+				added, err := full.Insert(c.Head)
+				if err != nil {
+					return nil, nil, err
+				}
+				if added {
 					stages[c.Head.Key()] = base
 				}
 			} else {
@@ -61,7 +69,11 @@ func EvalTrace(p *Program, edb *Store) (*Store, map[string]int, error) {
 				}
 			}
 			for _, head := range derived {
-				if full.Insert(head) {
+				added, err := full.Insert(head)
+				if err != nil {
+					return nil, nil, err
+				}
+				if added {
 					stages[head.Key()] = base + round
 					changed = true
 				}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/lattice"
 	"repro/internal/multilog"
+	"repro/internal/resource"
 )
 
 // ErrUnsupported marks a program/query combination an oracle legitimately
@@ -17,10 +18,15 @@ import (
 var ErrUnsupported = errors.New("differential: oracle does not support this case")
 
 // unsupported wraps bound-exhaustion errors as ErrUnsupported; anything
-// else is a real failure the harness must report.
+// else is a real failure the harness must report. Resource-governance stops
+// (cancellation, budget exhaustion) are bound exhaustion too: a truncated
+// oracle has no complete answer to compare, which is not a disagreement.
 func unsupported(err error) error {
 	if err == nil {
 		return nil
+	}
+	if resource.IsLimit(err) {
+		return fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}
 	msg := err.Error()
 	if strings.Contains(msg, "depth bound") || strings.Contains(msg, "exceeded") {

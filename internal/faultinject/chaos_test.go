@@ -1,0 +1,312 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/multilog"
+	"repro/internal/resource"
+	"repro/internal/term"
+)
+
+// chainProgram is an acyclic transitive closure every strategy supports:
+// e(n0,n1)..e(n{n-1},n{n}), tc = e+.
+func chainProgram(t testing.TB, n int) (*datalog.Program, datalog.Atom) {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "e(n%d, n%d).\n", i, i+1)
+	}
+	b.WriteString("tc(X,Y) :- e(X,Y).\ntc(X,Y) :- e(X,Z), tc(Z,Y).\n")
+	p, err := datalog.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, err := datalog.ParseAtom("tc(X,Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, goal
+}
+
+// engine is one governed Datalog strategy: it answers goal under limits and
+// returns the answers (possibly partial) and the error.
+type engine struct {
+	name string
+	run  func(ctx context.Context, p *datalog.Program, goal datalog.Atom, l resource.Limits) ([]term.Subst, error)
+}
+
+func engines() []engine {
+	bottomUp := func(e datalog.Evaluator) func(context.Context, *datalog.Program, datalog.Atom, resource.Limits) ([]term.Subst, error) {
+		return func(ctx context.Context, p *datalog.Program, goal datalog.Atom, l resource.Limits) ([]term.Subst, error) {
+			ev := e
+			ev.Limits = l
+			model, err := ev.EvalContext(ctx, p, nil)
+			if model == nil {
+				return nil, err
+			}
+			return datalog.QueryStore(model, goal), err
+		}
+	}
+	return []engine{
+		{"semi-naive", bottomUp(datalog.Evaluator{})},
+		{"naive", bottomUp(datalog.Evaluator{Naive: true})},
+		{"no-index", bottomUp(datalog.Evaluator{NoIndex: true})},
+		{"parallel", bottomUp(datalog.Evaluator{Parallel: true, Workers: 4})},
+		{"magic", func(ctx context.Context, p *datalog.Program, goal datalog.Atom, l resource.Limits) ([]term.Subst, error) {
+			subs, _, err := datalog.QueryMagicLimited(ctx, p, nil, goal, l)
+			return subs, err
+		}},
+		{"sld", func(ctx context.Context, p *datalog.Program, goal datalog.Atom, l resource.Limits) ([]term.Subst, error) {
+			s := datalog.NewSLD(p)
+			s.Limits = l
+			answers, err := s.ProveContext(ctx, goal, 0)
+			subs := make([]term.Subst, len(answers))
+			for i, a := range answers {
+				subs[i] = a.Bindings
+			}
+			return subs, err
+		}},
+		{"tabled", func(ctx context.Context, p *datalog.Program, goal datalog.Atom, l resource.Limits) ([]term.Subst, error) {
+			tb := datalog.NewTabled(p)
+			tb.Limits = l
+			return tb.ProveContext(ctx, goal)
+		}},
+	}
+}
+
+// plan is one fault schedule; step-based plans reach every engine, insert-
+// and stratum-based ones only the bottom-up strategies (which are the only
+// ones that insert), so wantFire is per-plan.
+type plan struct {
+	name     string
+	limits   resource.Limits
+	bottomUp bool // fires only on bottom-up engines
+}
+
+func plans() []plan {
+	return []plan{
+		{"cancel-at-step", resource.Limits{Probe: CancelAt(resource.EventStep, 40)}, false},
+		{"cancel-at-insert", resource.Limits{Probe: CancelAt(resource.EventInsert, 10)}, true},
+		{"budget-mid-stratum", resource.Limits{Probe: BudgetAt(resource.EventInsert, 25, "facts")}, true},
+		{"budget-at-stratum-end", resource.Limits{Probe: BudgetAt(resource.EventStratum, 1, "memory")}, true},
+		{"hard-failure-at-step", resource.Limits{Probe: FailAt(resource.EventStep, 60)}, false},
+		{"seeded-coin", resource.Limits{Probe: Seeded(42, 0.01)}, false},
+	}
+}
+
+// TestEnginesFailCleanly drives every (engine × plan) pair and asserts the
+// engine comes back with a typed error — injected or limit — never a panic,
+// never a hang, never a silent success.
+func TestEnginesFailCleanly(t *testing.T) {
+	for _, pl := range plans() {
+		for _, en := range engines() {
+			t.Run(pl.name+"/"+en.name, func(t *testing.T) {
+				// magic rewrites then evaluates bottom-up, so insert plans do
+				// reach it; only the pure top-down engines lack inserts.
+				if pl.bottomUp && (en.name == "sld" || en.name == "tabled") {
+					t.Skip("insert/stratum probes cannot fire in a top-down engine")
+				}
+				p, goal := chainProgram(t, 40)
+				done := make(chan error, 1)
+				go func() {
+					defer func() {
+						if r := recover(); r != nil {
+							done <- fmt.Errorf("engine panicked: %v", r)
+						}
+					}()
+					_, err := en.run(context.Background(), p, goal, pl.limits)
+					done <- err
+				}()
+				select {
+				case err := <-done:
+					if err == nil {
+						t.Fatal("fault plan never fired; evaluation succeeded silently")
+					}
+					var inj *Injected
+					if !errors.As(err, &inj) && !resource.IsLimit(err) {
+						t.Fatalf("err = %v, want injected or limit error", err)
+					}
+				case <-time.After(30 * time.Second):
+					t.Fatal("engine hung under fault injection")
+				}
+			})
+		}
+	}
+}
+
+// TestStoreInsertFailure simulates the backing store going down mid-
+// evaluation: every bottom-up strategy must surface the injected error.
+func TestStoreInsertFailure(t *testing.T) {
+	for _, en := range engines()[:5] { // the bottom-up five (incl. magic)
+		t.Run(en.name, func(t *testing.T) {
+			var b strings.Builder
+			for i := 0; i < 40; i++ {
+				fmt.Fprintf(&b, "e(n%d, n%d).\n", i, i+1)
+			}
+			b.WriteString("tc(X,Y) :- e(X,Y).\ntc(X,Y) :- e(X,Z), tc(Z,Y).\n")
+			p, err := datalog.Parse(b.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			edb := datalog.NewStore()
+			edb.InsertFault = StoreFailure(50)
+			e := datalog.Evaluator{Parallel: en.name == "parallel", Naive: en.name == "naive", NoIndex: en.name == "no-index"}
+			_, evalErr := e.EvalContext(context.Background(), p, edb)
+			var inj *Injected
+			if !errors.As(evalErr, &inj) || inj.Event != "store-insert" {
+				t.Fatalf("err = %v, want injected store failure", evalErr)
+			}
+		})
+	}
+}
+
+// TestParallelNoGoroutineLeaksUnderChaos: evalStratumParallel must join its
+// workers on every fault path.
+func TestParallelNoGoroutineLeaksUnderChaos(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p, _ := chainProgram(t, 60)
+	for _, pl := range plans() {
+		e := datalog.Evaluator{Parallel: true, Workers: 8, Limits: pl.limits}
+		if _, err := e.EvalContext(context.Background(), p, nil); err == nil {
+			t.Fatalf("%s: fault plan never fired", pl.name)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDeterministicTruncationPoint: the same fault plan truncates at the
+// same point every run, even on the concurrent strategy (derivations merge
+// sequentially between rounds).
+func TestDeterministicTruncationPoint(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		name := "serial"
+		if parallel {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func() int64 {
+				p, _ := chainProgram(t, 40)
+				e := datalog.Evaluator{Parallel: parallel, Workers: 8,
+					Limits: resource.Limits{Probe: CancelAt(resource.EventInsert, 77)}}
+				_, err := e.EvalContext(context.Background(), p, nil)
+				if !errors.Is(err, resource.ErrCanceled) {
+					t.Fatalf("err = %v", err)
+				}
+				return e.Stats.Resource.FactsDerived
+			}
+			first := run()
+			if first != 77 {
+				t.Fatalf("FactsDerived = %d, want 77", first)
+			}
+			for i := 0; i < 3; i++ {
+				if again := run(); again != first {
+					t.Fatalf("truncation point drifted: %d vs %d", again, first)
+				}
+			}
+		})
+	}
+}
+
+// TestAgreementWhenCompletingUnderPressure: with tight-but-sufficient
+// budgets every strategy must complete and agree with the ungoverned
+// reference — graceful degradation must not become silent wrongness.
+func TestAgreementWhenCompletingUnderPressure(t *testing.T) {
+	p, goal := chainProgram(t, 25)
+	want, err := datalog.Query(p, nil, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := resource.Limits{
+		MaxFacts: 2_000, MaxSteps: 5_000_000, MaxMemory: 64 << 20,
+		Probe: CancelAt(resource.EventInsert, 1_000_000), // never fires
+	}
+	for _, en := range engines() {
+		t.Run(en.name, func(t *testing.T) {
+			got, err := en.run(context.Background(), p, goal, limits)
+			if err != nil {
+				t.Fatalf("governed run failed under sufficient budget: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d answers, reference has %d", len(got), len(want))
+			}
+			seen := map[string]bool{}
+			for _, s := range got {
+				seen[s.String()] = true
+			}
+			for _, s := range want {
+				if !seen[s.String()] {
+					t.Fatalf("missing answer %s", s)
+				}
+			}
+		})
+	}
+}
+
+// TestProverChaos: the MultiLog operational prover under step faults.
+func TestProverChaos(t *testing.T) {
+	db := multilog.D1()
+	pr, err := multilog.NewProver(db, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Limits = resource.Limits{Probe: CancelAt(resource.EventStep, 1)}
+	_, err = pr.Prove(multilog.D1Query(), 0)
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want injected cancel", err)
+	}
+	if !pr.LastStats.Truncated {
+		t.Fatalf("LastStats = %+v", pr.LastStats)
+	}
+
+	// And with a budget generous enough to finish: answers must match the
+	// ungoverned prover.
+	pr2, err := multilog.NewProver(db, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pr2.Prove(multilog.D1Query(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr3, err := multilog.NewProver(db, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr3.Limits = resource.Limits{MaxSteps: 1 << 20}
+	got, err := pr3.Prove(multilog.D1Query(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("governed prover: %d answers, want %d", len(got), len(want))
+	}
+}
+
+// TestReductionChaos: the reduction pipeline under insert faults.
+func TestReductionChaos(t *testing.T) {
+	red, err := multilog.Reduce(multilog.D1(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := resource.Limits{Probe: CancelAt(resource.EventInsert, 3)}
+	_, err = red.QueryContext(context.Background(), multilog.D1Query(), limits)
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want injected cancel", err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package faultinject provides deterministic, seedable fault plans for the
+// resource-governance probe points (internal/resource), driving the chaos
+// test suite: cancel at the Nth insert, exhaust a budget mid-stratum, fail
+// the backing store's insert path, or flip a seeded coin at every event.
+//
+// All plans are pure functions of their arguments (and, for Seeded, of the
+// seed), so a failing chaos run reproduces exactly. Probes may be invoked
+// from multiple goroutines (the parallel evaluator); every plan here is safe
+// for concurrent use.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/datalog"
+	"repro/internal/resource"
+)
+
+// Injected marks an error as coming from a fault plan, so chaos tests can
+// distinguish injected failures from genuine engine bugs. Match with
+// errors.As.
+type Injected struct {
+	Event resource.Event // the probe point that fired
+	N     int64          // the event count at which it fired
+}
+
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected fault at %s #%d", e.Event, e.N)
+}
+
+// CancelAt returns a probe that cancels the evaluation at the nth occurrence
+// of ev (1-based): the injected error wraps resource.ErrCanceled, so engines
+// take their graceful-degradation path exactly as they would on a real
+// deadline, but at a deterministic point.
+func CancelAt(ev resource.Event, n int64) resource.ProbeFunc {
+	return func(got resource.Event, count int64) error {
+		if got == ev && count >= n {
+			return fmt.Errorf("%w: %w", resource.ErrCanceled, &Injected{Event: ev, N: n})
+		}
+		return nil
+	}
+}
+
+// BudgetAt returns a probe that reports an exhausted budget at the nth
+// occurrence of ev. Using EventStratum exhausts the budget mid-evaluation
+// right after a stratum completes; EventInsert and EventStep exhaust it
+// mid-stratum.
+func BudgetAt(ev resource.Event, n int64, res string) resource.ProbeFunc {
+	return func(got resource.Event, count int64) error {
+		if got == ev && count >= n {
+			return &resource.ErrBudgetExceeded{Resource: res, Used: count, Limit: n - 1}
+		}
+		return nil
+	}
+}
+
+// FailAt returns a probe that fails with a plain (non-limit) injected error
+// at the nth occurrence of ev — the shape of a genuine infrastructure
+// failure, which engines must surface as an error, never swallow or panic.
+func FailAt(ev resource.Event, n int64) resource.ProbeFunc {
+	return func(got resource.Event, count int64) error {
+		if got == ev && count >= n {
+			return &Injected{Event: ev, N: n}
+		}
+		return nil
+	}
+}
+
+// StoreFailure returns a datalog.Store InsertFault hook that fails the nth
+// insert attempt (1-based) and every attempt after it — a backing store
+// going down mid-evaluation and staying down. The evaluator propagates the
+// hook from the EDB store into its derived store.
+func StoreFailure(n int64) func(datalog.Atom) error {
+	var mu sync.Mutex
+	var count int64
+	return func(datalog.Atom) error {
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+		if count >= n {
+			return &Injected{Event: "store-insert", N: n}
+		}
+		return nil
+	}
+}
+
+// Seeded returns a probe that fails each event independently with
+// probability p, driven by a deterministic PRNG: the same seed yields the
+// same fault schedule for a serial engine, and a reproducible distribution
+// for concurrent ones.
+func Seeded(seed int64, p float64) resource.ProbeFunc {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(ev resource.Event, count int64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if rng.Float64() < p {
+			return &Injected{Event: ev, N: count}
+		}
+		return nil
+	}
+}

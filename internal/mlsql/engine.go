@@ -1,6 +1,7 @@
 package mlsql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/belief"
 	"repro/internal/lattice"
 	"repro/internal/mls"
+	"repro/internal/resource"
 )
 
 // Engine executes mlsql statements over registered multilevel relations.
@@ -51,39 +53,58 @@ func (res *Result) Render() string {
 
 // Execute parses and runs a statement.
 func (e *Engine) Execute(src string) (*Result, error) {
+	res, _, err := e.ExecuteContext(context.Background(), src, resource.Limits{})
+	return res, err
+}
+
+// ExecuteContext is Execute bounded by ctx and limits; the returned stats
+// report the work done whether or not the statement completed.
+func (e *Engine) ExecuteContext(ctx context.Context, src string, limits resource.Limits) (*Result, resource.Stats, error) {
 	st, err := ParseStatement(src)
 	if err != nil {
-		return nil, err
+		return nil, resource.Stats{}, err
 	}
-	return e.Run(st)
+	return e.RunContext(ctx, st, limits)
 }
 
 // Run executes a parsed statement.
 func (e *Engine) Run(st *Statement) (*Result, error) {
+	res, _, err := e.RunContext(context.Background(), st, resource.Limits{})
+	return res, err
+}
+
+// RunContext is Run bounded by ctx and limits. Evaluation is governed
+// through nested subqueries, so adversarially nested IN chains observe the
+// deadline too.
+func (e *Engine) RunContext(ctx context.Context, st *Statement, limits resource.Limits) (*Result, resource.Stats, error) {
+	gov := resource.New(ctx, limits)
 	user := e.DefaultUser
 	if st.User != "" {
 		user = lattice.Label(st.User)
 	}
 	if user == lattice.NoLabel {
-		return nil, fmt.Errorf("mlsql: no user context (add USER CONTEXT <level> or set DefaultUser)")
+		return nil, gov.Snapshot(), fmt.Errorf("mlsql: no user context (add USER CONTEXT <level> or set DefaultUser)")
 	}
-	cols, rows, err := e.eval(st.Expr, user)
+	cols, rows, err := e.eval(st.Expr, user, gov)
 	if err != nil {
-		return nil, err
+		return nil, gov.Snapshot(), err
 	}
-	return &Result{Columns: cols, Rows: dedupeRows(rows)}, nil
+	return &Result{Columns: cols, Rows: dedupeRows(rows)}, gov.Snapshot(), nil
 }
 
-func (e *Engine) eval(expr SetExpr, user lattice.Label) ([]string, [][]string, error) {
+func (e *Engine) eval(expr SetExpr, user lattice.Label, gov *resource.Governor) ([]string, [][]string, error) {
+	if err := gov.Check(); err != nil {
+		return nil, nil, err
+	}
 	switch x := expr.(type) {
 	case *Select:
-		return e.evalSelect(x, user)
+		return e.evalSelect(x, user, gov)
 	case *SetOp:
-		lc, lr, err := e.eval(x.Left, user)
+		lc, lr, err := e.eval(x.Left, user, gov)
 		if err != nil {
 			return nil, nil, err
 		}
-		rc, rr, err := e.eval(x.Right, user)
+		rc, rr, err := e.eval(x.Right, user, gov)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -118,7 +139,7 @@ func (e *Engine) eval(expr SetExpr, user lattice.Label) ([]string, [][]string, e
 
 // evalSelect runs one SELECT block: compute the belief view (certain-answer
 // across models for forking modes), filter, project.
-func (e *Engine) evalSelect(s *Select, user lattice.Label) ([]string, [][]string, error) {
+func (e *Engine) evalSelect(s *Select, user lattice.Label, gov *resource.Governor) ([]string, [][]string, error) {
 	base, ok := e.relations[s.From]
 	if !ok {
 		return nil, nil, fmt.Errorf("mlsql: unknown relation %q", s.From)
@@ -158,7 +179,10 @@ func (e *Engine) evalSelect(s *Select, user lattice.Label) ([]string, [][]string
 	for _, m := range models {
 		seenInModel := map[string]bool{}
 		for _, t := range m.Tuples {
-			ok, err := matchWhere(e, base.Scheme, s, t, user)
+			if err := gov.Step(); err != nil {
+				return nil, nil, err
+			}
+			ok, err := matchWhere(e, base.Scheme, s, t, user, gov)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -261,7 +285,7 @@ func projection(scheme *mls.Scheme, s *Select) ([]string, []int, error) {
 	return cols, idxs, nil
 }
 
-func matchWhere(e *Engine, scheme *mls.Scheme, s *Select, t mls.Tuple, user lattice.Label) (bool, error) {
+func matchWhere(e *Engine, scheme *mls.Scheme, s *Select, t mls.Tuple, user lattice.Label, gov *resource.Governor) (bool, error) {
 	strip := func(col string) string {
 		if i := strings.IndexByte(col, '.'); i >= 0 && (col[:i] == s.Alias || col[:i] == s.From) {
 			return col[i+1:]
@@ -317,7 +341,7 @@ func matchWhere(e *Engine, scheme *mls.Scheme, s *Select, t mls.Tuple, user latt
 				return false, nil
 			}
 		case OpIn, OpNotIn:
-			cols, rows, err := e.eval(c.Sub, user)
+			cols, rows, err := e.eval(c.Sub, user, gov)
 			if err != nil {
 				return false, err
 			}

@@ -1,0 +1,98 @@
+package mlsql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/lattice"
+	"repro/internal/mls"
+	"repro/internal/resource"
+)
+
+// bigEngine registers a wide single-level relation so that nested IN
+// subqueries explode multiplicatively: every tuple of an outer SELECT
+// re-evaluates its subquery in full.
+func bigEngine(t testing.TB, tuples int) *Engine {
+	t.Helper()
+	scheme, err := mls.NewScheme("big", lattice.UCS(), "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mls.NewRelation(scheme)
+	for i := 0; i < tuples; i++ {
+		tu := mls.Tuple{Values: []mls.Value{
+			mls.V(fmt.Sprintf("k%d", i), lattice.Unclassified),
+			mls.V(fmt.Sprintf("v%d", i), lattice.Unclassified),
+		}}
+		if err := r.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewEngine()
+	e.Register(r)
+	return e
+}
+
+const nestedIn = `
+	user context u
+	select a from big
+	where a in (select a from big
+	            where a in (select a from big
+	                        where a in (select a from big
+	                                    where a in (select a from big))))
+`
+
+func TestExecuteContextDeadline(t *testing.T) {
+	e := bigEngine(t, 300)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, stats, err := e.ExecuteContext(ctx, nestedIn, resource.Limits{})
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline overshot: %v", elapsed)
+	}
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !stats.Truncated || stats.Steps == 0 {
+		t.Fatalf("stats = %+v, want truncated progress", stats)
+	}
+}
+
+func TestExecuteContextStepBudget(t *testing.T) {
+	e := bigEngine(t, 50)
+	_, stats, err := e.ExecuteContext(context.Background(), nestedIn, resource.Limits{MaxSteps: 1000})
+	var be *resource.ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != "steps" {
+		t.Fatalf("err = %v, want steps budget", err)
+	}
+	if !stats.Truncated {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestExecuteContextCompletesUnchanged(t *testing.T) {
+	e := missionEngine()
+	src := `
+		user context s
+		select starship, destination from mission
+		where destination = mars believed cautiously
+	`
+	want, err := e.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := e.ExecuteContext(context.Background(), src, resource.Limits{MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Fatalf("governed result differs:\n%s\nvs\n%s", got.Render(), want.Render())
+	}
+	if stats.Truncated {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

@@ -207,6 +207,11 @@ func FromRelation(r *mls.Relation) (*Database, error) {
 
 // D1 returns the paper's Figure 10 database, used by Example 5.2 and the
 // Figure 11 proof tree.
+//
+// The panic below is deliberate and audited: the source is a compile-time
+// constant, so a parse failure is a programming error in this file, not a
+// user-reachable condition (TestStaticFixturesNeverPanic pins this). All
+// user-supplied input goes through Parse/ParseGoals, which return errors.
 func D1() *Database {
 	src := `
 		level(u).  level(c).  level(s).    % r1 - r3
@@ -228,7 +233,7 @@ func D1() *Database {
 func D1Query() Query {
 	goals, err := ParseGoals("c[p(k: a -R-> v)] << opt")
 	if err != nil {
-		panic(err)
+		panic(err) // static input; cannot fail (see the D1 audit note)
 	}
 	return goals
 }

@@ -1,0 +1,197 @@
+package multilog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resource"
+)
+
+// expProverDB builds a database whose classical program doubles work at
+// every level: proving pN top-down takes 2^N resolution steps.
+func expProverDB(t testing.TB, n int) *Database {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("level(u).\n")
+	b.WriteString("p0(a).\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "p%d(X) :- p%d(X), p%d(X).\n", i, i-1, i-1)
+	}
+	db, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return db
+}
+
+// expReduceDB builds a database whose classical program has an exponential
+// minimal model: a cross product over 12 constants with 6 variables.
+func expReduceDB(t testing.TB) *Database {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("level(u).\n")
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "d(k%d).\n", i)
+	}
+	b.WriteString("big(A,B,C,D,E,F) :- d(A), d(B), d(C), d(D), d(E), d(F).\n")
+	db, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return db
+}
+
+func TestProverDeadline(t *testing.T) {
+	db := expProverDB(t, 40)
+	p, err := NewProver(db, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseGoals("p40(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = p.ProveContext(ctx, q, 0)
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline overshot: %v", elapsed)
+	}
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !p.LastStats.Truncated || p.LastStats.Steps == 0 {
+		t.Fatalf("LastStats = %+v, want truncated progress", p.LastStats)
+	}
+}
+
+func TestProverStepBudgetPartialAnswers(t *testing.T) {
+	db := expProverDB(t, 4)
+	p, err := NewProver(db, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough budget to find p0's answer via the direct fact but not to
+	// finish the doubled search for deeper goals; the conjunctive query
+	// yields its first answers before exhaustion.
+	p.Limits = resource.Limits{MaxSteps: 6}
+	q, err := ParseGoals("p0(X), p4(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := p.Prove(q, 0)
+	var be *resource.ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != "steps" {
+		t.Fatalf("err = %v, want steps budget", err)
+	}
+	// The partial answers (possibly none) came back with the error rather
+	// than being discarded.
+	_ = answers
+	if !p.LastStats.Truncated {
+		t.Fatalf("LastStats = %+v", p.LastStats)
+	}
+}
+
+func TestProverGovernedCompleteRunMatchesUngoverned(t *testing.T) {
+	db := D1()
+	p, err := NewProver(db, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Prove(D1Query(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewProver(db, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Limits = resource.Limits{MaxSteps: 1 << 20}
+	got, err := p2.ProveContext(context.Background(), D1Query(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("governed %d answers, ungoverned %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Bindings.String() != want[i].Bindings.String() {
+			t.Fatalf("answer %d differs: %s vs %s", i, got[i].Bindings, want[i].Bindings)
+		}
+	}
+}
+
+func TestReductionQueryDeadline(t *testing.T) {
+	db := expReduceDB(t)
+	red, err := Reduce(db, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseGoals("big(A,B,C,D,E,F)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = red.QueryContext(ctx, q, resource.Limits{})
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline overshot: %v", elapsed)
+	}
+	if !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestReductionTruncatedModelNotCached(t *testing.T) {
+	db := expReduceDB(t)
+	red, err := Reduce(db, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	partial, err := red.ModelContext(ctx, resource.Limits{})
+	cancel()
+	if !errors.Is(err, resource.ErrCanceled) || partial == nil {
+		t.Fatalf("ModelContext = (%v, %v), want partial model + ErrCanceled", partial != nil, err)
+	}
+	// A later bounded-but-sufficient call must re-evaluate, not serve the
+	// truncated model. (The full cross product is too big to build here, so
+	// check on a small database instead.)
+	small, err := Parse("level(u).\nq(j).\nr(X) :- q(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red2, err := Reduce(small, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2() // already canceled: first call must fail and not cache
+	if _, err := red2.ModelContext(ctx2, resource.Limits{}); !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("canceled ModelContext err = %v", err)
+	}
+	m, err := red2.Model()
+	if err != nil {
+		t.Fatalf("second Model: %v", err)
+	}
+	if m.Len() == 0 {
+		t.Fatal("second Model served the truncated cache")
+	}
+}
+
+func TestStaticFixturesNeverPanic(t *testing.T) {
+	// Pins the database.go audit: D1/D1Query parse compile-time constants,
+	// so their internal panics are unreachable.
+	if db := D1(); db == nil {
+		t.Fatal("D1 returned nil")
+	}
+	if q := D1Query(); len(q) == 0 {
+		t.Fatal("D1Query returned no goals")
+	}
+}

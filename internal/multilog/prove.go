@@ -1,11 +1,13 @@
 package multilog
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/datalog"
 	"repro/internal/lattice"
+	"repro/internal/resource"
 	"repro/internal/term"
 )
 
@@ -130,8 +132,14 @@ type Prover struct {
 	// nulls — the Jajodia-Sandhu σ filter, and with it the surprise
 	// stories the default semantics deliberately avoids.
 	Filter bool
+	// Limits bounds the proof search (steps, probes); wall-clock deadlines
+	// come from the context passed to ProveContext. Zero means unlimited.
+	Limits resource.Limits
+	// LastStats reports the resource usage of the most recent Prove call.
+	LastStats resource.Stats
 
 	renamer term.Renamer
+	gov     *resource.Governor
 }
 
 // NewProver builds a prover for the database at the user's level, checking
@@ -156,6 +164,15 @@ var errStop = fmt.Errorf("multilog: stop enumeration")
 // means all). Each answer carries the proof tree; for a multi-goal query
 // the root is an AND node.
 func (p *Prover) Prove(q Query, max int) ([]ProofAnswer, error) {
+	return p.ProveContext(context.Background(), q, max)
+}
+
+// ProveContext is Prove bounded by ctx and p.Limits. On a resource-limit
+// stop (resource.IsLimit(err)) it returns the answers found so far alongside
+// the error; p.LastStats reports the work done.
+func (p *Prover) ProveContext(ctx context.Context, q Query, max int) ([]ProofAnswer, error) {
+	p.gov = resource.New(ctx, p.Limits)
+	defer func() { p.LastStats = p.gov.Snapshot() }()
 	queryVars := map[string]bool{}
 	for _, g := range q {
 		for _, v := range g.Vars(nil) {
@@ -194,6 +211,10 @@ func (p *Prover) Prove(q Query, max int) ([]ProofAnswer, error) {
 		return nil
 	})
 	if err != nil && err != errStop {
+		if resource.IsLimit(err) {
+			// Graceful degradation: the answers found before the limit hit.
+			return answers, err
+		}
 		return nil, err
 	}
 	return answers, nil
@@ -225,6 +246,9 @@ func (p *Prover) solveGoals(goals []Goal, s term.Subst, depth int, k func(term.S
 func (p *Prover) solveGoal(g Goal, s term.Subst, depth int, k func(term.Subst, *ProofNode) error) error {
 	if depth > p.depthBound() {
 		return fmt.Errorf("multilog: proof depth bound %d exceeded at %s", p.depthBound(), g.Apply(s))
+	}
+	if err := p.gov.Step(); err != nil {
+		return err
 	}
 	switch g.Kind {
 	case GoalP, GoalL, GoalH:

@@ -1,22 +1,36 @@
 package multilog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/datalog"
 	"repro/internal/lattice"
+	"repro/internal/resource"
 	"repro/internal/term"
 )
 
 // Model evaluates the reduced program to its minimal model (Theorem 6.1's
 // lfp(T_Δr)), caching the result.
 func (r *Reduction) Model() (*datalog.Store, error) {
+	return r.ModelContext(context.Background(), resource.Limits{})
+}
+
+// ModelContext is Model bounded by ctx and limits. Only a complete model is
+// cached: a truncated model would silently poison later unbounded calls.
+// On a resource-limit stop it returns the partial model alongside the error.
+func (r *Reduction) ModelContext(ctx context.Context, limits resource.Limits) (*datalog.Store, error) {
 	if r.model != nil {
 		return r.model, nil
 	}
-	m, err := datalog.Eval(r.Program, nil)
+	e := datalog.Evaluator{Limits: limits}
+	m, err := e.EvalContext(ctx, r.Program, nil)
+	r.LastStats = e.Stats.Resource
 	if err != nil {
+		if m != nil && resource.IsLimit(err) {
+			return m, fmt.Errorf("multilog: reduced program: %w", err)
+		}
 		return nil, fmt.Errorf("multilog: reduced program: %w", err)
 	}
 	r.model = m
@@ -34,6 +48,15 @@ type Answer struct {
 // levels; all other variables are matched against the model. Answers are
 // restricted to the query's variables and deduplicated.
 func (r *Reduction) Query(q Query) ([]Answer, error) {
+	return r.QueryContext(context.Background(), q, resource.Limits{})
+}
+
+// QueryContext is Query bounded by ctx and limits — both the bottom-up
+// model construction and the top-down matching phase are governed. On a
+// resource-limit stop (resource.IsLimit(err)) it returns the answers found
+// so far alongside the error.
+func (r *Reduction) QueryContext(ctx context.Context, q Query, limits resource.Limits) ([]Answer, error) {
+	r.LastStats = resource.Stats{} // ModelContext refills it when it builds
 	// Register the belief axioms any b-atom goal may need before
 	// evaluating; predicates outside Σ are covered lazily here.
 	for _, g := range q {
@@ -46,10 +69,11 @@ func (r *Reduction) Query(q Query) ([]Answer, error) {
 			}
 		}
 	}
-	model, err := r.Model()
-	if err != nil {
-		return nil, err
+	model, modelErr := r.ModelContext(ctx, limits)
+	if model == nil {
+		return nil, modelErr
 	}
+	gov := resource.New(ctx, limits)
 	queryVars := map[string]bool{}
 	for _, g := range q {
 		for _, v := range g.Vars(nil) {
@@ -71,11 +95,14 @@ func (r *Reduction) Query(q Query) ([]Answer, error) {
 		}
 	}
 
-	var solve func(i int, s term.Subst)
-	solve = func(i int, s term.Subst) {
+	var solve func(i int, s term.Subst) error
+	solve = func(i int, s term.Subst) error {
+		if err := gov.Step(); err != nil {
+			return err
+		}
 		if i == len(q) {
 			emit(s)
-			return
+			return nil
 		}
 		g := q[i].Apply(s)
 		switch g.Kind {
@@ -84,17 +111,19 @@ func (r *Reduction) Query(q Query) ([]Answer, error) {
 			case datalog.BuiltinEq:
 				s2 := s.Clone()
 				if term.Unify(g.P.Args[0], g.P.Args[1], s2) {
-					solve(i+1, s2)
+					return solve(i+1, s2)
 				}
 			case datalog.BuiltinNeq:
 				if g.P.IsGround() && !g.P.Args[0].Equal(g.P.Args[1]) {
-					solve(i+1, s)
+					return solve(i+1, s)
 				}
 			default:
+				var innerErr error
 				model.Match(g.P, s, func(s2 term.Subst) bool {
-					solve(i+1, s2)
-					return true
+					innerErr = solve(i+1, s2)
+					return innerErr == nil
 				})
+				return innerErr
 			}
 		case GoalM, GoalB:
 			for _, lvl := range r.levelCandidates(g.M.Level) {
@@ -120,23 +149,38 @@ func (r *Reduction) Query(q Query) ([]Answer, error) {
 					args = []term.Term{term.Const(g.M.Pred), g.M.Key, term.Const(g.M.Attr), g.M.Value, g.M.Class,
 						term.Const(string(lvl)), term.Const(string(g.Mode))}
 				}
+				var innerErr error
 				model.Match(datalog.Atom{Pred: pred, Args: args}, s2, func(s3 term.Subst) bool {
 					class := s3.Apply(g.M.Class)
 					if class.Kind() == term.KindConst &&
 						!r.Poset.Dominates(r.User, lattice.Label(class.Name())) {
 						return true // class guard c ⪯ u failed
 					}
-					solve(i+1, s3)
-					return true
+					innerErr = solve(i+1, s3)
+					return innerErr == nil
 				})
+				if innerErr != nil {
+					return innerErr
+				}
 			}
 		}
+		return nil
 	}
-	solve(0, term.Subst{})
+	err := solve(0, term.Subst{})
+	match := gov.Snapshot()
+	r.LastStats.Steps += match.Steps
+	r.LastStats.Truncated = r.LastStats.Truncated || match.Truncated
 	sort.Slice(answers, func(i, j int) bool {
 		return answers[i].Bindings.String() < answers[j].Bindings.String()
 	})
-	return answers, nil
+	if err != nil {
+		if resource.IsLimit(err) {
+			// Graceful degradation: the answers found before the limit hit.
+			return answers, err
+		}
+		return nil, err
+	}
+	return answers, modelErr
 }
 
 // levelCandidates enumerates the levels a level-position term can take:

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/lattice"
+	"repro/internal/resource"
 	"repro/internal/term"
 )
 
@@ -49,6 +50,11 @@ type Reduction struct {
 	User    lattice.Label
 	Poset   *lattice.Poset
 	Program *datalog.Program
+
+	// LastStats reports the resource usage of the most recent governed
+	// ModelContext/QueryContext call: model-construction work plus (for
+	// QueryContext) matching steps. Valid whether or not the call completed.
+	LastStats resource.Stats
 
 	model *datalog.Store // cached by Model()
 	needs map[belNeed]bool

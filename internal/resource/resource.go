@@ -1,0 +1,288 @@
+// Package resource is the evaluation runtime's resource-governance layer:
+// wall-clock deadlines (via context.Context), derivation and step budgets,
+// and an approximate memory budget, enforced uniformly across every engine
+// in the module (the six Datalog strategies, the MultiLog prover and
+// reduction, and the belief-SQL engine).
+//
+// The design goal is graceful degradation: an adversarial or runaway query
+// must come back as a typed error with partial statistics, never as a hang
+// or a process crash. Engines thread a *Governor through their hot loops;
+// the governor turns context cancellation into ErrCanceled and budget
+// exhaustion into *ErrBudgetExceeded, both sticky so that concurrent
+// workers observe the same first failure.
+//
+// The package also provides panic containment for the public API and CLI
+// boundaries: Protect converts a panic into an *InternalError carrying the
+// recovered value and stack, so one bad query cannot take down a serving
+// process.
+package resource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Event names a probe point inside an engine. Probes exist for fault
+// injection (internal/faultinject) and observability; production paths pay
+// for them only when Limits.Probe is set.
+type Event string
+
+const (
+	// EventStep fires on every resolution / join / fixpoint step.
+	EventStep Event = "step"
+	// EventInsert fires after every new fact lands in a derived store.
+	EventInsert Event = "insert"
+	// EventStratum fires after every completed stratum (bottom-up engines).
+	EventStratum Event = "stratum"
+)
+
+// ProbeFunc observes a probe point; n is the 1-based count of that event so
+// far in the evaluation. A non-nil return aborts the evaluation with that
+// error. Probes may be called from multiple goroutines (the parallel
+// evaluator) and must be safe for concurrent use.
+type ProbeFunc func(ev Event, n int64) error
+
+// Limits bounds an evaluation. The zero value means unlimited; wall-clock
+// deadlines come from the context passed to the engine's *Context entry
+// point, not from Limits.
+type Limits struct {
+	// MaxFacts bounds the number of new facts derived (including EDB facts
+	// copied into the working store). 0 means unlimited.
+	MaxFacts int64
+	// MaxSteps bounds the number of resolution/join steps. 0 means
+	// unlimited.
+	MaxSteps int64
+	// MaxMemory approximately bounds the bytes retained by derived facts.
+	// The estimate is structural (predicate + argument text), not measured
+	// allocation. 0 means unlimited.
+	MaxMemory int64
+	// Probe, when set, is consulted at every probe point. Used by the
+	// fault-injection chaos suite; nil in production.
+	Probe ProbeFunc
+}
+
+// Unlimited reports whether the limits impose nothing.
+func (l Limits) Unlimited() bool {
+	return l.MaxFacts == 0 && l.MaxSteps == 0 && l.MaxMemory == 0 && l.Probe == nil
+}
+
+// ErrCanceled reports that the evaluation's context was canceled or its
+// deadline expired. Match with errors.Is.
+var ErrCanceled = errors.New("resource: evaluation canceled")
+
+// ErrBudgetExceeded reports that a resource budget ran out. Match with
+// errors.As.
+type ErrBudgetExceeded struct {
+	Resource string // "facts", "steps" or "memory"
+	Used     int64
+	Limit    int64
+}
+
+func (e *ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("resource: %s budget exceeded (%d > %d)", e.Resource, e.Used, e.Limit)
+}
+
+// IsLimit reports whether err is a graceful resource-governance stop — a
+// cancellation, a budget exhaustion, or a wrapper of either — as opposed to
+// a genuine evaluation failure. Engines return partial results alongside
+// limit errors.
+func IsLimit(err error) bool {
+	var be *ErrBudgetExceeded
+	return errors.Is(err, ErrCanceled) || errors.As(err, &be)
+}
+
+// Stats is the partial-progress report of a governed evaluation, valid
+// whether the evaluation completed or was cut short.
+type Stats struct {
+	Steps           int64 // resolution/join steps taken
+	FactsDerived    int64 // new facts inserted into derived stores
+	MemoryBytes     int64 // approximate bytes retained by those facts
+	StrataCompleted int   // fully evaluated strata (bottom-up engines)
+	Truncated       bool  // true when a limit or cancellation stopped evaluation early
+}
+
+// pollInterval is how many counted events pass between context polls. Small
+// enough that a 50ms deadline is honored within a few hundred microseconds
+// of work; large enough that the atomic-add fast path dominates.
+const pollInterval = 256
+
+// Governor meters one evaluation against a context and a set of Limits. A
+// nil *Governor is valid and meters nothing, so engines can skip allocation
+// on the ungoverned fast path. All methods are safe for concurrent use.
+type Governor struct {
+	ctx    context.Context
+	done   <-chan struct{}
+	limits Limits
+
+	steps  atomic.Int64
+	facts  atomic.Int64
+	mem    atomic.Int64
+	strata atomic.Int64
+	failed atomic.Pointer[failure]
+}
+
+type failure struct{ err error }
+
+// New builds a governor for ctx and limits. It returns nil — a valid no-op
+// governor — when the context can never cancel and the limits are zero.
+func New(ctx context.Context, l Limits) *Governor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if l.Unlimited() && ctx.Done() == nil {
+		return nil
+	}
+	return &Governor{ctx: ctx, done: ctx.Done(), limits: l}
+}
+
+// fail records the first error sticky; later failures observe the original.
+func (g *Governor) fail(err error) error {
+	if g.failed.CompareAndSwap(nil, &failure{err}) {
+		return err
+	}
+	return g.failed.Load().err
+}
+
+// Err returns the sticky failure, if any.
+func (g *Governor) Err() error {
+	if g == nil {
+		return nil
+	}
+	if f := g.failed.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// Check polls the context immediately (budget counters are checked where
+// they are incremented). Call at loop boundaries that may spin without
+// counting steps.
+func (g *Governor) Check() error {
+	if g == nil {
+		return nil
+	}
+	if f := g.failed.Load(); f != nil {
+		return f.err
+	}
+	if g.done != nil {
+		select {
+		case <-g.done:
+			return g.fail(fmt.Errorf("%w: %v", ErrCanceled, context.Cause(g.ctx)))
+		default:
+		}
+	}
+	return nil
+}
+
+// Step counts one resolution/join step, enforcing MaxSteps and polling the
+// context every pollInterval steps.
+func (g *Governor) Step() error {
+	if g == nil {
+		return nil
+	}
+	if f := g.failed.Load(); f != nil {
+		return f.err
+	}
+	n := g.steps.Add(1)
+	if g.limits.MaxSteps > 0 && n > g.limits.MaxSteps {
+		return g.fail(&ErrBudgetExceeded{Resource: "steps", Used: n, Limit: g.limits.MaxSteps})
+	}
+	if g.limits.Probe != nil {
+		if err := g.limits.Probe(EventStep, n); err != nil {
+			return g.fail(err)
+		}
+	}
+	if n%pollInterval == 0 {
+		return g.Check()
+	}
+	return nil
+}
+
+// Insert counts one new derived fact of approximately `bytes` retained
+// bytes, enforcing MaxFacts and MaxMemory.
+func (g *Governor) Insert(bytes int64) error {
+	if g == nil {
+		return nil
+	}
+	if f := g.failed.Load(); f != nil {
+		return f.err
+	}
+	n := g.facts.Add(1)
+	m := g.mem.Add(bytes)
+	if g.limits.MaxFacts > 0 && n > g.limits.MaxFacts {
+		return g.fail(&ErrBudgetExceeded{Resource: "facts", Used: n, Limit: g.limits.MaxFacts})
+	}
+	if g.limits.MaxMemory > 0 && m > g.limits.MaxMemory {
+		return g.fail(&ErrBudgetExceeded{Resource: "memory", Used: m, Limit: g.limits.MaxMemory})
+	}
+	if g.limits.Probe != nil {
+		if err := g.limits.Probe(EventInsert, n); err != nil {
+			return g.fail(err)
+		}
+	}
+	if n%pollInterval == 0 {
+		return g.Check()
+	}
+	return nil
+}
+
+// StratumDone counts one completed stratum and polls the context.
+func (g *Governor) StratumDone() error {
+	if g == nil {
+		return nil
+	}
+	n := g.strata.Add(1)
+	if g.limits.Probe != nil {
+		if err := g.limits.Probe(EventStratum, n); err != nil {
+			return g.fail(err)
+		}
+	}
+	return g.Check()
+}
+
+// Snapshot returns the statistics accumulated so far. Safe to call after
+// the evaluation returned, complete or not.
+func (g *Governor) Snapshot() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	return Stats{
+		Steps:           g.steps.Load(),
+		FactsDerived:    g.facts.Load(),
+		MemoryBytes:     g.mem.Load(),
+		StrataCompleted: int(g.strata.Load()),
+		Truncated:       g.failed.Load() != nil,
+	}
+}
+
+// InternalError is a contained panic: the public API and CLI boundaries
+// recover panics from the engines and surface them as this typed error,
+// preserving the recovered value and the goroutine stack.
+type InternalError struct {
+	Op        string // the boundary that recovered the panic
+	Recovered any    // the panic value
+	Stack     []byte // stack of the panicking goroutine
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("%s: internal error: %v", e.Op, e.Recovered)
+}
+
+// Protect converts a panic in the calling function into an *InternalError
+// assigned through errp. Use as the first deferred statement of a boundary
+// function with a named error return:
+//
+//	func Boundary() (err error) {
+//		defer resource.Protect("pkg.Boundary", &err)
+//		...
+//	}
+func Protect(op string, errp *error) {
+	if r := recover(); r != nil {
+		buf := make([]byte, 64<<10)
+		buf = buf[:runtime.Stack(buf, false)]
+		*errp = &InternalError{Op: op, Recovered: r, Stack: buf}
+	}
+}

@@ -1,0 +1,178 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGovernorIsNoop(t *testing.T) {
+	var g *Governor
+	if err := g.Step(); err != nil {
+		t.Fatalf("nil Step: %v", err)
+	}
+	if err := g.Insert(100); err != nil {
+		t.Fatalf("nil Insert: %v", err)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatalf("nil Check: %v", err)
+	}
+	if err := g.StratumDone(); err != nil {
+		t.Fatalf("nil StratumDone: %v", err)
+	}
+	if s := g.Snapshot(); s != (Stats{}) {
+		t.Fatalf("nil Snapshot = %+v", s)
+	}
+}
+
+func TestNewReturnsNilWhenUnlimited(t *testing.T) {
+	if g := New(context.Background(), Limits{}); g != nil {
+		t.Fatal("unlimited background governor should be nil")
+	}
+	if g := New(context.Background(), Limits{MaxFacts: 1}); g == nil {
+		t.Fatal("limited governor must not be nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if g := New(ctx, Limits{}); g == nil {
+		t.Fatal("cancelable governor must not be nil")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	g := New(context.Background(), Limits{MaxSteps: 10})
+	var err error
+	for i := 0; i < 20 && err == nil; i++ {
+		err = g.Step()
+	}
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != "steps" || be.Limit != 10 {
+		t.Fatalf("err = %v, want steps budget", err)
+	}
+	if !IsLimit(err) {
+		t.Fatal("budget error must be a limit error")
+	}
+	// Sticky: the same failure is observed forever after.
+	if err2 := g.Step(); err2 != err {
+		t.Fatalf("failure not sticky: %v vs %v", err2, err)
+	}
+	s := g.Snapshot()
+	if !s.Truncated || s.Steps < 10 {
+		t.Fatalf("Snapshot = %+v", s)
+	}
+}
+
+func TestFactAndMemoryBudget(t *testing.T) {
+	g := New(context.Background(), Limits{MaxFacts: 3})
+	var err error
+	for i := 0; i < 5 && err == nil; i++ {
+		err = g.Insert(8)
+	}
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != "facts" {
+		t.Fatalf("err = %v, want facts budget", err)
+	}
+
+	g = New(context.Background(), Limits{MaxMemory: 100})
+	err = nil
+	for i := 0; i < 5 && err == nil; i++ {
+		err = g.Insert(40)
+	}
+	if !errors.As(err, &be) || be.Resource != "memory" {
+		t.Fatalf("err = %v, want memory budget", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	if err := g.Check(); err != nil {
+		t.Fatalf("premature cancel: %v", err)
+	}
+	cancel()
+	err := g.Check()
+	if !errors.Is(err, ErrCanceled) || !IsLimit(err) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestDeadlineObservedWithinPollInterval(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	g := New(ctx, Limits{})
+	start := time.Now()
+	var err error
+	for err == nil {
+		err = g.Step()
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("deadline never observed")
+		}
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProbeInjection(t *testing.T) {
+	boom := errors.New("boom")
+	g := New(context.Background(), Limits{Probe: func(ev Event, n int64) error {
+		if ev == EventInsert && n == 3 {
+			return boom
+		}
+		return nil
+	}})
+	var err error
+	for i := 0; i < 5 && err == nil; i++ {
+		err = g.Insert(1)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected boom", err)
+	}
+	if g.Snapshot().FactsDerived != 3 {
+		t.Fatalf("FactsDerived = %d, want 3", g.Snapshot().FactsDerived)
+	}
+}
+
+func TestConcurrentStepsRaceClean(t *testing.T) {
+	g := New(context.Background(), Limits{MaxSteps: 10_000})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g.Step() == nil {
+			}
+		}()
+	}
+	wg.Wait()
+	var be *ErrBudgetExceeded
+	if err := g.Err(); !errors.As(err, &be) {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestProtect(t *testing.T) {
+	f := func() (err error) {
+		defer Protect("test.Boundary", &err)
+		panic("kaboom")
+	}
+	err := f()
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want InternalError", err)
+	}
+	if ie.Op != "test.Boundary" || fmt.Sprint(ie.Recovered) != "kaboom" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError = %+v", ie)
+	}
+	// No panic: err passes through untouched.
+	g := func() (err error) {
+		defer Protect("test.Boundary", &err)
+		return errors.New("normal")
+	}
+	if err := g(); err == nil || err.Error() != "normal" {
+		t.Fatalf("pass-through err = %v", err)
+	}
+}

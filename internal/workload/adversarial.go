@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/lattice"
+	"repro/internal/mls"
+	"repro/internal/mlsql"
+	"repro/internal/multilog"
+	"repro/internal/term"
+)
+
+// Adversarial workloads: inputs engineered so that complete evaluation is
+// astronomically expensive on every strategy, for exercising the resource
+// governor (internal/resource). Unlike the seeded families above, these are
+// deterministic — the point is not coverage but a guaranteed explosion, so a
+// deadline or budget always fires partway through.
+
+// ExponentialDatalog returns a cross-product program whose minimal model has
+// consts^arity facts of the big/arity predicate:
+//
+//	d(k0). ... d(k{consts-1}).
+//	big(X0,...,X{arity-1}) :- d(X0), ..., d(X{arity-1}).
+//
+// plus the open goal big(X0,...,X{arity-1}). With consts=12 and arity=6 the
+// model holds ~3M derived facts — minutes of work bottom-up, and an equally
+// hopeless answer enumeration top-down — so every one of the six strategies
+// overruns any sane budget.
+func ExponentialDatalog(consts, arity int) (*datalog.Program, datalog.Atom) {
+	if consts < 2 {
+		consts = 2
+	}
+	if arity < 1 {
+		arity = 1
+	}
+	p := &datalog.Program{}
+	for i := 0; i < consts; i++ {
+		p.Add(datalog.Fact(datalog.NewAtom("d", term.Const(fmt.Sprintf("k%d", i)))))
+	}
+	head := make([]term.Term, arity)
+	body := make([]datalog.Literal, arity)
+	for i := range head {
+		v := term.Var(fmt.Sprintf("X%d", i))
+		head[i] = v
+		body[i] = datalog.Pos(datalog.NewAtom("d", v))
+	}
+	p.Add(datalog.Rule(datalog.NewAtom("big", head...), body...))
+	return p, datalog.NewAtom("big", head...)
+}
+
+// ExponentialProver returns a MultiLog database whose classical program
+// doubles top-down work at every level — proving the returned goal costs
+// 2^depth resolution steps under the Figure 9 operational semantics:
+//
+//	p0(a).
+//	p{i}(X) :- p{i-1}(X), p{i-1}(X).
+//
+// Bottom-up this program is linear (each p{i} has one fact), so it targets
+// the Prover specifically; pair it with ExponentialReduction for the
+// reduction pipeline.
+func ExponentialProver(depth int) (*multilog.Database, multilog.Query, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	var b strings.Builder
+	b.WriteString("level(u).\n")
+	b.WriteString("p0(a).\n")
+	for i := 1; i <= depth; i++ {
+		fmt.Fprintf(&b, "p%d(X) :- p%d(X), p%d(X).\n", i, i-1, i-1)
+	}
+	db, err := multilog.Parse(b.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := multilog.ParseGoals(fmt.Sprintf("p%d(X)", depth))
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, q, nil
+}
+
+// ExponentialReduction returns a MultiLog database whose classical program
+// has an exponential minimal model (the same cross product as
+// ExponentialDatalog, lifted to MultiLog), plus the open query over it. The
+// reduction pipeline materializes the model before matching, so the deadline
+// fires during model construction.
+func ExponentialReduction(consts, arity int) (*multilog.Database, multilog.Query, error) {
+	if consts < 2 {
+		consts = 2
+	}
+	if arity < 1 {
+		arity = 1
+	}
+	var b strings.Builder
+	b.WriteString("level(u).\n")
+	for i := 0; i < consts; i++ {
+		fmt.Fprintf(&b, "d(k%d).\n", i)
+	}
+	vars := make([]string, arity)
+	body := make([]string, arity)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("X%d", i)
+		body[i] = fmt.Sprintf("d(X%d)", i)
+	}
+	fmt.Fprintf(&b, "big(%s) :- %s.\n", strings.Join(vars, ","), strings.Join(body, ", "))
+	db, err := multilog.Parse(b.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := multilog.ParseGoals(fmt.Sprintf("big(%s)", strings.Join(vars, ",")))
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, q, nil
+}
+
+// ExponentialSQL returns a belief-SQL engine holding one wide relation of
+// `tuples` rows and a statement whose IN subqueries nest `depth` levels deep.
+// Each outer tuple re-evaluates its subquery in full, so evaluation costs
+// ~tuples^(depth+1) steps — 300 tuples and depth 4 is ~2.4e12, far past any
+// deadline.
+func ExponentialSQL(tuples, depth int) (*mlsql.Engine, string, error) {
+	if tuples < 1 {
+		tuples = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	scheme, err := mls.NewScheme("big", lattice.UCS(), "a", "b")
+	if err != nil {
+		return nil, "", err
+	}
+	r := mls.NewRelation(scheme)
+	for i := 0; i < tuples; i++ {
+		tu := mls.Tuple{Values: []mls.Value{
+			mls.V(fmt.Sprintf("k%d", i), lattice.Unclassified),
+			mls.V(fmt.Sprintf("v%d", i), lattice.Unclassified),
+		}}
+		if err := r.Insert(tu); err != nil {
+			return nil, "", err
+		}
+	}
+	e := mlsql.NewEngine()
+	e.Register(r)
+
+	src := "select a from big"
+	for i := 0; i < depth; i++ {
+		src = fmt.Sprintf("select a from big where a in (%s)", src)
+	}
+	return e, "user context u " + src, nil
+}

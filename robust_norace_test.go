@@ -1,0 +1,9 @@
+//go:build !race
+
+package repro_test
+
+import "time"
+
+// overrunBound is the acceptance criterion's bound: a 50ms-deadline query
+// must come back within 200ms.
+const overrunBound = 200 * time.Millisecond

@@ -1,0 +1,176 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/datalog"
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// queryDeadline is the wall-clock budget the acceptance test imposes, and
+// overrunBound (see robust_norace_test.go / robust_race_test.go) is how far
+// past it an engine may coast while unwinding.
+const queryDeadline = 50 * time.Millisecond
+
+// TestDeadlineAcrossAllEngines is the PR's acceptance criterion: a query with
+// a 50ms deadline against an exponential-recursion workload comes back with
+// ErrCanceled and partial Stats within the overrun bound on every Datalog
+// strategy, the MultiLog prover and reduction, and the belief-SQL engine.
+func TestDeadlineAcrossAllEngines(t *testing.T) {
+	type run struct {
+		name string
+		exec func(ctx context.Context) (repro.EvalStats, error)
+	}
+
+	bottomUp := func(ev datalog.Evaluator) func(context.Context) (repro.EvalStats, error) {
+		return func(ctx context.Context) (repro.EvalStats, error) {
+			p, _ := workload.ExponentialDatalog(12, 6)
+			e := ev
+			_, err := e.EvalContext(ctx, p, nil)
+			return e.Stats.Resource, err
+		}
+	}
+
+	runs := []run{
+		{"datalog/semi-naive", bottomUp(datalog.Evaluator{})},
+		{"datalog/naive", bottomUp(datalog.Evaluator{Naive: true})},
+		{"datalog/no-index", bottomUp(datalog.Evaluator{NoIndex: true})},
+		{"datalog/parallel", bottomUp(datalog.Evaluator{Parallel: true, Workers: 4})},
+		{"datalog/magic", func(ctx context.Context) (repro.EvalStats, error) {
+			p, goal := workload.ExponentialDatalog(12, 6)
+			_, stats, err := datalog.QueryMagicLimited(ctx, p, nil, goal, repro.EvalLimits{})
+			return stats.Resource, err
+		}},
+		{"datalog/sld", func(ctx context.Context) (repro.EvalStats, error) {
+			p, goal := workload.ExponentialDatalog(12, 6)
+			s := datalog.NewSLD(p)
+			_, err := s.ProveContext(ctx, goal, 0)
+			return s.LastStats, err
+		}},
+		{"datalog/tabled", func(ctx context.Context) (repro.EvalStats, error) {
+			p, goal := workload.ExponentialDatalog(12, 6)
+			tb := datalog.NewTabled(p)
+			_, err := tb.ProveContext(ctx, goal)
+			return tb.LastStats, err
+		}},
+		{"multilog/prover", func(ctx context.Context) (repro.EvalStats, error) {
+			db, q, err := workload.ExponentialProver(40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, stats, err := repro.ProveMultiLogContext(ctx, db, "u", q, repro.EvalLimits{})
+			return stats, err
+		}},
+		{"multilog/reduction", func(ctx context.Context) (repro.EvalStats, error) {
+			db, q, err := workload.ExponentialReduction(12, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			red, err := repro.ReduceMultiLog(db, "u")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, qerr := red.QueryContext(ctx, q, repro.EvalLimits{})
+			return red.LastStats, qerr
+		}},
+		{"mlsql", func(ctx context.Context) (repro.EvalStats, error) {
+			e, src, err := workload.ExponentialSQL(300, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, stats, serr := repro.ExecuteSQLContext(ctx, e, src, repro.EvalLimits{})
+			return stats, serr
+		}},
+	}
+
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), queryDeadline)
+			defer cancel()
+			start := time.Now()
+			stats, err := r.exec(ctx)
+			elapsed := time.Since(start)
+			if elapsed > overrunBound {
+				t.Fatalf("returned %v after the %v deadline (bound %v)", elapsed, queryDeadline, overrunBound)
+			}
+			if !errors.Is(err, repro.ErrEvalCanceled) {
+				t.Fatalf("err = %v, want ErrEvalCanceled", err)
+			}
+			if !stats.Truncated {
+				t.Fatalf("stats = %+v, want Truncated", stats)
+			}
+			if stats.Steps == 0 && stats.FactsDerived == 0 {
+				t.Fatalf("stats = %+v, want evidence of partial progress", stats)
+			}
+		})
+	}
+}
+
+// TestFacadePanicContainment: a panic inside an engine surfaces at the
+// facade as a typed *EvalInternalError carrying the stack, never a crash.
+func TestFacadePanicContainment(t *testing.T) {
+	p, _ := workload.ExponentialDatalog(4, 2)
+	limits := repro.EvalLimits{Probe: func(resource.Event, int64) error {
+		panic("probe bomb")
+	}}
+	_, _, err := repro.EvalDatalogContext(context.Background(), p, nil, limits)
+	var ie *repro.EvalInternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *EvalInternalError", err)
+	}
+	if ie.Op != "repro.EvalDatalogContext" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError = {Op: %q, stack %d bytes}", ie.Op, len(ie.Stack))
+	}
+}
+
+// TestFacadeGovernedComplete: the governed facade entry points agree with
+// their ungoverned counterparts when the budget suffices.
+func TestFacadeGovernedComplete(t *testing.T) {
+	p, err := repro.ParseDatalog("e(a,b).\ne(b,c).\ntc(X,Y) :- e(X,Y).\ntc(X,Y) :- e(X,Z), tc(Z,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, err := datalog.ParseAtom("tc(a,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.QueryDatalog(p, nil, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := repro.QueryDatalogContext(context.Background(), p, nil, goal,
+		repro.EvalLimits{MaxFacts: 1000, MaxSteps: 100000, MaxMemory: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("governed facade: %d answers, ungoverned %d", len(got), len(want))
+	}
+	if stats.Truncated || stats.FactsDerived == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	db := repro.D1()
+	q := repro.D1Query()
+	wantML, err := repro.ReduceMultiLog(db, repro.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAns, err := wantML.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAns, err := repro.QueryMultiLogContext(context.Background(), repro.D1(), repro.Secret, q,
+		repro.EvalLimits{MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotAns) != len(wantAns) {
+		t.Fatalf("governed reduction: %d answers, ungoverned %d", len(gotAns), len(wantAns))
+	}
+}
