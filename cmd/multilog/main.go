@@ -9,6 +9,7 @@
 //	multilog -db prog.mlg -user s -query 'L[p(k: a -C-> V)] << cau'
 //	multilog -db prog.mlg -user s -engine reduction   # run stored queries
 //	multilog -db prog.mlg -user s -facts              # dump ⟦Σ⟧
+//	multilog check prog.mlg                           # lint without running
 package main
 
 import (
@@ -20,11 +21,17 @@ import (
 	"time"
 
 	"repro/internal/lattice"
+	"repro/internal/lint"
 	"repro/internal/multilog"
 	"repro/internal/resource"
 )
 
 func main() {
+	// `multilog check <files...>` is the lint subcommand; it must be
+	// routed before flag.Parse sees the remaining arguments.
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		os.Exit(lint.CLI("multilog check", os.Args[2:], os.Stdout, os.Stderr))
+	}
 	dbPath := flag.String("db", "", "MultiLog program file")
 	useD1 := flag.Bool("d1", false, "use the paper's Figure 10 database D1")
 	user := flag.String("user", "", "user clearance level (required)")

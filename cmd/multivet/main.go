@@ -1,0 +1,26 @@
+// Command multivet is the standalone MultiLog/Datalog linter. It runs the
+// full pass registry from internal/lint — safety, undefined/unused
+// predicates, arity mismatches, duplicate/subsumed/dead rules,
+// stratifiability and the MultiLog belief/lattice checks — over .dl and
+// .mlg files and prints every finding with its file:line:col.
+//
+// Usage:
+//
+//	multivet prog.mlg                 # lint one program
+//	multivet examples/                # lint a tree recursively
+//	multivet -strict prog.dl          # warnings also fail the run
+//	multivet -modes rumor prog.mlg    # register user-defined belief modes
+//	multivet -passes                  # print the pass catalog
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O failure.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.CLI("multivet", os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -22,10 +22,30 @@ const (
 	BuiltinNeq = "!=" // ground disequality
 )
 
+// Position is a 1-based source position. The zero Position means "no
+// position recorded" (e.g. for programmatically built atoms); IsValid
+// distinguishes the two. Parsed programs carry positions so diagnostics
+// (internal/lint) can point at the offending clause.
+type Position struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position was recorded by a parser.
+func (p Position) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" for the zero position.
+func (p Position) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Atom is a predicate applied to terms: p(t1, ..., tn).
 type Atom struct {
 	Pred string
 	Args []term.Term
+	Pos  Position // source position of the atom's first token, if parsed
 }
 
 // NewAtom builds an atom.
@@ -58,7 +78,7 @@ func (a Atom) Apply(s term.Subst) Atom {
 	for i, t := range a.Args {
 		args[i] = s.Apply(t)
 	}
-	return Atom{Pred: a.Pred, Args: args}
+	return Atom{Pred: a.Pred, Args: args, Pos: a.Pos}
 }
 
 // Vars appends the variable names occurring in the atom to dst.
@@ -142,6 +162,9 @@ type Clause struct {
 	Body []Literal
 }
 
+// Pos returns the clause's source position (its head atom's position).
+func (c Clause) Pos() Position { return c.Head.Pos }
+
 // Fact builds a bodyless clause.
 func Fact(a Atom) Clause { return Clause{Head: a} }
 
@@ -168,7 +191,7 @@ func (c Clause) Rename(r *term.Renamer) Clause {
 		for i, t := range a.Args {
 			args[i] = r.Fresh(t, memo)
 		}
-		return Atom{Pred: a.Pred, Args: args}
+		return Atom{Pred: a.Pred, Args: args, Pos: a.Pos}
 	}
 	out := Clause{Head: freshAtom(c.Head)}
 	for _, l := range c.Body {

@@ -1,0 +1,22 @@
+package datalog
+
+import "fmt"
+
+// SyntaxError is the typed error the lexer and parser return for malformed
+// source. It carries the language tag and the 1-based position so tools
+// (notably internal/lint) can anchor diagnostics structurally instead of
+// string-matching the rendered message. The rendered form stays
+// "lang: line:col: msg", which existing callers and tests rely on.
+//
+// The MultiLog front-end reuses this type with Lang "multilog"; keeping a
+// single type lets errors.As recover the position regardless of which
+// parser failed.
+type SyntaxError struct {
+	Lang string // "datalog" or "multilog"
+	Pos  Position
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s: %d:%d: %s", e.Lang, e.Pos.Line, e.Pos.Col, e.Msg)
+}

@@ -377,7 +377,10 @@ func QueryLimited(ctx context.Context, p *Program, edb *Store, goal Atom, limits
 	return QueryStore(model, goal), stats, err
 }
 
-// QueryStore matches goal against an already-computed model.
+// QueryStore matches goal against an already-computed model. It performs
+// no evaluation: the work is a bounded scan of the store.
+//
+//vet:allow govcontext -- bounded lookup over a materialized model
 func QueryStore(model *Store, goal Atom) []term.Subst {
 	goalVars := map[string]bool{}
 	for _, v := range goal.Vars(nil) {

@@ -76,7 +76,7 @@ func newLexer(src string) *lexer {
 }
 
 func (lx *lexer) errorf(line, col int, format string, args ...any) error {
-	return fmt.Errorf("datalog: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return &SyntaxError{Lang: "datalog", Pos: Position{Line: line, Col: col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (lx *lexer) peek() rune {

@@ -95,7 +95,7 @@ func (p *parser) bump() error {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("datalog: %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+	return &SyntaxError{Lang: "datalog", Pos: Position{Line: p.tok.line, Col: p.tok.col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) expect(k tokenKind) error {
@@ -157,8 +157,18 @@ func (p *parser) literal() (Literal, error) {
 }
 
 // atom parses p(t1,...,tn), a propositional atom p, or the infix built-ins
-// t1 = t2 and t1 != t2.
+// t1 = t2 and t1 != t2, recording the source position of the first token.
 func (p *parser) atom() (Atom, error) {
+	pos := Position{Line: p.tok.line, Col: p.tok.col}
+	a, err := p.atomInner()
+	if err != nil {
+		return a, err
+	}
+	a.Pos = pos
+	return a, nil
+}
+
+func (p *parser) atomInner() (Atom, error) {
 	// An atom can start with a term when it is an infix built-in (X != Y),
 	// so parse a term first and decide.
 	if p.tok.kind == tokVar || p.tok.kind == tokNumber {

@@ -1,0 +1,117 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// TestParserPositions pins that line/col survive the lexer and parser into
+// the AST: every parsed atom carries the 1-based position of its first
+// token, through heads, body literals, infix built-ins and queries.
+func TestParserPositions(t *testing.T) {
+	src := "p(a).\n" +
+		"q(X) :- p(X), not r(X), X != b.\n" +
+		"?- q(Z).\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(pos Position, line, col int, what string) {
+		t.Helper()
+		if pos.Line != line || pos.Col != col {
+			t.Errorf("%s at %s, want %d:%d", what, pos, line, col)
+		}
+	}
+	at(p.Clauses[0].Head.Pos, 1, 1, "fact p(a)")
+	at(p.Clauses[0].Pos(), 1, 1, "clause Pos()")
+	at(p.Clauses[1].Head.Pos, 2, 1, "head q(X)")
+	at(p.Clauses[1].Body[0].Atom.Pos, 2, 9, "body p(X)")
+	at(p.Clauses[1].Body[1].Atom.Pos, 2, 19, "negated r(X)")
+	at(p.Clauses[1].Body[2].Atom.Pos, 2, 25, "built-in X != b")
+	at(p.Queries[0].Pos, 3, 4, "query q(Z)")
+}
+
+func TestPositionSurvivesApplyAndRename(t *testing.T) {
+	c, err := ParseClause("q(X) :- p(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Head.Pos
+	if !want.IsValid() {
+		t.Fatal("parsed head must carry a position")
+	}
+	if got := c.Head.Apply(nil).Pos; got != want {
+		t.Errorf("Apply dropped position: %s, want %s", got, want)
+	}
+	// Positions also survive clause renaming (used by the provers).
+	var r term.Renamer
+	if got := c.Rename(&r).Head.Pos; got != want {
+		t.Errorf("Rename dropped position: %s, want %s", got, want)
+	}
+}
+
+func TestPositionZeroForProgrammaticAtoms(t *testing.T) {
+	a := NewAtom("p")
+	if a.Pos.IsValid() {
+		t.Fatal("programmatic atoms carry no position")
+	}
+	if got := a.Pos.String(); got != "-" {
+		t.Fatalf("zero position renders %q, want \"-\"", got)
+	}
+}
+
+// TestStratifyNamesCycle pins that the unstratifiability error spells out
+// the actual offending dependency cycle, not just one predicate on it.
+func TestStratifyNamesCycle(t *testing.T) {
+	p, err := Parse(`
+		move(a, b).
+		win(X) :- move(X, Y), not lost(Y).
+		lost(X) :- move(X, Y), win(Y).
+		?- win(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Stratify(p)
+	if err == nil {
+		t.Fatal("want unstratifiable")
+	}
+	msg := err.Error()
+	// The cycle win -> not lost -> win (through the positive lost -> win
+	// edge) must be spelled out with the negation marked.
+	if !strings.Contains(msg, "win -> not lost -> win") {
+		t.Fatalf("error %q does not spell out the cycle win -> not lost -> win", msg)
+	}
+}
+
+func TestNegativeCycleNilWhenStratifiable(t *testing.T) {
+	p, err := Parse(`
+		node(a).
+		haspar(b).
+		root(X) :- node(X), not haspar(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycle := NegativeCycle(p); cycle != nil {
+		t.Fatalf("stratifiable program reported cycle %v", cycle)
+	}
+	if _, err := Stratify(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatCycle(t *testing.T) {
+	got := FormatCycle([]DepEdge{
+		{From: "p", To: "q", Negative: true},
+		{From: "q", To: "p"},
+	})
+	if got != "p -> not q -> p" {
+		t.Fatalf("FormatCycle = %q", got)
+	}
+	if FormatCycle(nil) != "(unknown cycle)" {
+		t.Fatal("empty cycle must render a placeholder")
+	}
+}

@@ -70,48 +70,93 @@ func Stratify(p *Program) (map[string]int, error) {
 			break
 		}
 		if round > len(preds)+1 {
-			return nil, fmt.Errorf("datalog: program is not stratifiable: negation through recursion involving %s", findNegCycle(edges))
+			return nil, fmt.Errorf("datalog: program is not stratifiable: negation through recursion: %s", FormatCycle(NegativeCycleEdges(edges)))
 		}
 	}
 	return stratum, nil
 }
 
-// findNegCycle names one predicate on a negative cycle, for diagnostics.
-func findNegCycle(edges []DepEdge) string {
+// NegativeCycle returns a dependency cycle of the program that passes
+// through at least one negative edge — the witness that the program is not
+// stratifiable — or nil when every negation is stratified. The cycle is
+// returned as its edge sequence, starting at the negative edge.
+func NegativeCycle(p *Program) []DepEdge {
+	return NegativeCycleEdges(DependencyGraph(p))
+}
+
+// NegativeCycleEdges is NegativeCycle over a precomputed edge list.
+func NegativeCycleEdges(edges []DepEdge) []DepEdge {
 	adj := map[string][]DepEdge{}
 	for _, e := range edges {
 		adj[e.From] = append(adj[e.From], e)
 	}
-	var preds []string
-	for p := range adj {
-		preds = append(preds, p)
-	}
-	sort.Strings(preds)
-	for _, start := range preds {
-		// DFS looking for a cycle back to start that uses ≥1 negative edge.
-		type frame struct {
-			node   string
-			sawNeg bool
+	// For determinism, try negative edges in sorted order; for each negative
+	// edge u -not-> v, a shortest path v ⇒ u (BFS) closes the cycle.
+	var negs []DepEdge
+	for _, e := range edges {
+		if e.Negative {
+			negs = append(negs, e)
 		}
-		stack := []frame{{start, false}}
-		visited := map[frame]bool{}
-		for len(stack) > 0 {
-			f := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if visited[f] {
-				continue
-			}
-			visited[f] = true
-			for _, e := range adj[f.node] {
-				sawNeg := f.sawNeg || e.Negative
-				if e.To == start && sawNeg {
-					return start
+	}
+	sort.Slice(negs, func(i, j int) bool {
+		if negs[i].From != negs[j].From {
+			return negs[i].From < negs[j].From
+		}
+		return negs[i].To < negs[j].To
+	})
+	for _, ne := range negs {
+		if ne.To == ne.From {
+			return []DepEdge{ne}
+		}
+		// BFS from ne.To back to ne.From.
+		prev := map[string]DepEdge{}
+		seen := map[string]bool{ne.To: true}
+		queue := []string{ne.To}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[n] {
+				if seen[e.To] {
+					continue
 				}
-				stack = append(stack, frame{e.To, sawNeg})
+				seen[e.To] = true
+				prev[e.To] = e
+				if e.To == ne.From {
+					// Reconstruct the path ne.To ⇒ ne.From.
+					var path []DepEdge
+					for at := ne.From; at != ne.To; at = prev[at].From {
+						path = append(path, prev[at])
+					}
+					cycle := []DepEdge{ne}
+					for i := len(path) - 1; i >= 0; i-- {
+						cycle = append(cycle, path[i])
+					}
+					return cycle
+				}
+				queue = append(queue, e.To)
 			}
 		}
 	}
-	return "(unknown)"
+	return nil
+}
+
+// FormatCycle renders an edge cycle as "p -> not q -> r -> p", writing
+// "not" before the target of each negative edge.
+func FormatCycle(cycle []DepEdge) string {
+	if len(cycle) == 0 {
+		return "(unknown cycle)"
+	}
+	var b []byte
+	b = append(b, cycle[0].From...)
+	for _, e := range cycle {
+		if e.Negative {
+			b = append(b, " -> not "...)
+		} else {
+			b = append(b, " -> "...)
+		}
+		b = append(b, e.To...)
+	}
+	return string(b)
 }
 
 // Strata groups the program's clauses by the stratum of their head

@@ -1,6 +1,11 @@
 package datalog
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/resource"
+)
 
 // EvalTrace computes the minimal model like Eval, additionally recording
 // for every fact the fixpoint stage at which it first appeared: stage 0
@@ -12,6 +17,20 @@ import "fmt"
 // The evaluation is naive (full rounds), because stage numbers are defined
 // by T_P iterations, not by semi-naive delta bookkeeping.
 func EvalTrace(p *Program, edb *Store) (*Store, map[string]int, error) {
+	return EvalTraceLimited(context.Background(), p, edb, resource.Limits{})
+}
+
+// EvalTraceLimited is EvalTrace bounded by ctx and limits: every derived
+// fact is charged against the fact and memory budgets, and cancellation is
+// polled at round boundaries, so a runaway trace stops with the resource
+// error instead of spinning.
+func EvalTraceLimited(ctx context.Context, p *Program, edb *Store, limits resource.Limits) (*Store, map[string]int, error) {
+	return evalTrace(p, edb, resource.New(ctx, limits))
+}
+
+// evalTrace runs the naive staged fixpoint under gov (whose methods are
+// nil-safe, so an unbounded run costs only atomic counters).
+func evalTrace(p *Program, edb *Store, gov *resource.Governor) (*Store, map[string]int, error) {
 	if err := Validate(p); err != nil {
 		return nil, nil, err
 	}
@@ -29,6 +48,9 @@ func EvalTrace(p *Program, edb *Store) (*Store, map[string]int, error) {
 					return nil, nil, err
 				}
 				if added {
+					if err := gov.Insert(approxAtomBytes(f)); err != nil {
+						return nil, nil, err
+					}
 					stages[f.Key()] = 0
 				}
 			}
@@ -50,6 +72,9 @@ func EvalTrace(p *Program, edb *Store) (*Store, map[string]int, error) {
 					return nil, nil, err
 				}
 				if added {
+					if err := gov.Insert(approxAtomBytes(c.Head)); err != nil {
+						return nil, nil, err
+					}
 					stages[c.Head.Key()] = base
 				}
 			} else {
@@ -74,9 +99,15 @@ func EvalTrace(p *Program, edb *Store) (*Store, map[string]int, error) {
 					return nil, nil, err
 				}
 				if added {
+					if err := gov.Insert(approxAtomBytes(head)); err != nil {
+						return nil, nil, err
+					}
 					stages[head.Key()] = base + round
 					changed = true
 				}
+			}
+			if err := gov.Check(); err != nil {
+				return nil, nil, err
 			}
 			if !changed {
 				base += round

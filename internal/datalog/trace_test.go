@@ -1,0 +1,48 @@
+package datalog
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+// TestEvalTraceLimited pins that the traced naive fixpoint honours the
+// resource governor like the other entry points: a tight fact budget stops
+// it with a limit error, and a cancelled context is noticed at a round
+// boundary.
+func TestEvalTraceLimited(t *testing.T) {
+	p, err := Parse(`
+		edge(a, b). edge(b, c). edge(c, d).
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- edge(X, Y), path(Y, Z).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = EvalTraceLimited(context.Background(), p, nil, resource.Limits{MaxFacts: 4})
+	if !resource.IsLimit(err) {
+		t.Fatalf("MaxFacts=4: got %v, want a resource-limit error", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = EvalTraceLimited(ctx, p, nil, resource.Limits{})
+	if !resource.IsLimit(err) {
+		t.Fatalf("cancelled ctx: got %v, want a resource-limit error", err)
+	}
+
+	// Unbounded, the Limited variant agrees with EvalTrace.
+	full, stages, err := EvalTraceLimited(context.Background(), p, nil, resource.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, plainStages, err := EvalTrace(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != plain.Len() || len(stages) != len(plainStages) {
+		t.Fatalf("limited (%d facts, %d stages) disagrees with EvalTrace (%d, %d)",
+			full.Len(), len(stages), plain.Len(), len(plainStages))
+	}
+}

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -13,17 +14,45 @@ import (
 //
 // Safe programs never flounder: the evaluator can always ground a negated
 // literal before testing it.
+//
+// All violations are reported, joined with errors.Join; each joined error
+// keeps the historical single-violation message format.
 func Validate(p *Program) error {
+	var errs []error
 	for _, c := range p.Clauses {
 		if err := ValidateClause(c); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-// ValidateClause checks a single clause for safety.
+// Unsafety describes one range-restriction violation in a clause: Var is
+// the unsafe variable, and In is the negated literal or '!=' built-in it
+// appears in (nil when the variable is unsafe in the head).
+type Unsafety struct {
+	Var string
+	In  *Literal
+}
+
+// ValidateClause checks a single clause for safety. All violations are
+// reported, joined with errors.Join.
 func ValidateClause(c Clause) error {
+	var errs []error
+	for _, u := range UnsafeVars(c) {
+		if u.In == nil {
+			errs = append(errs, fmt.Errorf("datalog: unsafe clause %s: head variable %s is not range-restricted", c, u.Var))
+		} else {
+			errs = append(errs, fmt.Errorf("datalog: unsafe clause %s: variable %s in %q is not range-restricted", c, u.Var, u.In))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// UnsafeVars returns every range-restriction violation in the clause, in
+// head-then-body order. It is the engine behind ValidateClause and the
+// lint safety pass.
+func UnsafeVars(c Clause) []Unsafety {
 	safe := map[string]bool{}
 	for _, l := range c.Body {
 		if !l.Negated && !l.Atom.IsBuiltin() {
@@ -55,23 +84,25 @@ func ValidateClause(c Clause) error {
 			}
 		}
 	}
+	var out []Unsafety
 	for _, v := range c.Head.Vars(nil) {
 		if !safe[v] {
-			return fmt.Errorf("datalog: unsafe clause %s: head variable %s is not range-restricted", c, v)
+			out = append(out, Unsafety{Var: v})
 		}
 	}
-	for _, l := range c.Body {
+	for i := range c.Body {
+		l := &c.Body[i]
 		needGround := l.Negated || l.Atom.Pred == BuiltinNeq
 		if !needGround {
 			continue
 		}
 		for _, v := range l.Atom.Vars(nil) {
 			if !safe[v] {
-				return fmt.Errorf("datalog: unsafe clause %s: variable %s in %q is not range-restricted", c, v, l)
+				out = append(out, Unsafety{Var: v, In: l})
 			}
 		}
 	}
-	return nil
+	return out
 }
 
 func allSafe(safe map[string]bool, vars []string) bool {

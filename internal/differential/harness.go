@@ -65,6 +65,7 @@ func MultiLogPrograms(seed int64, n int) []MultiLogCase {
 		src := workload.ProgramSource(cfg)
 		db, err := multilog.Parse(src)
 		if err != nil {
+			//vet:allow nopanic -- a generator bug must abort the fuzz run loudly
 			panic(fmt.Sprintf("differential: generator emitted unparsable program:\n%s\n%v", src, err))
 		}
 		var probes []string
@@ -84,6 +85,7 @@ func MultiLogPrograms(seed int64, n int) []MultiLogCase {
 			for _, probe := range probes {
 				q, err := multilog.ParseGoals(probe)
 				if err != nil {
+					//vet:allow nopanic -- a malformed probe is a harness bug, not a test failure
 					panic(fmt.Sprintf("differential: bad probe %q: %v", probe, err))
 				}
 				out = append(out, MultiLogCase{

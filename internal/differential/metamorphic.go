@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/datalog"
+	"repro/internal/lint"
 	"repro/internal/multilog"
 	"repro/internal/term"
 )
@@ -69,6 +70,46 @@ func CheckMonotonicity(p *datalog.Program, goal datalog.Atom, r *rand.Rand) erro
 	if !substResult(before).Subset(substResult(after)) {
 		return fmt.Errorf("differential: monotonicity violated on %s:\nbefore: %s\nafter:  %s\nprogram:\n%s",
 			goal, substResult(before), substResult(after), p)
+	}
+	return nil
+}
+
+// CheckDeadRules cross-validates the linter's dead-rule analysis (DL007)
+// against every engine: a rule lint.DeadRules marks dead must never fire,
+// so deleting all of them leaves each oracle's verdict — answers or
+// rejection — unchanged. A disagreement means either the support fixpoint
+// is unsound (it killed a live rule) or an engine derives through an
+// unsupported premise.
+func CheckDeadRules(p *datalog.Program, goal datalog.Atom) error {
+	dead := lint.DeadRules(p)
+	if len(dead) == 0 {
+		return nil
+	}
+	isDead := map[int]bool{}
+	for _, i := range dead {
+		isDead[i] = true
+	}
+	pruned := &datalog.Program{Queries: p.Queries}
+	for i, c := range p.Clauses {
+		if !isDead[i] {
+			pruned.Add(c)
+		}
+	}
+	names, before := runDatalogOracles(p, goal)
+	_, after := runDatalogOracles(pruned, goal)
+	for i := range names {
+		b, a := before[i], after[i]
+		if errors.Is(b.err, ErrUnsupported) || errors.Is(a.err, ErrUnsupported) {
+			continue
+		}
+		if (b.err == nil) != (a.err == nil) {
+			return fmt.Errorf("differential: dead-rule soundness violated on %s: %s said %s with the full program but %s without the %d lint-dead rule(s)\nprogram:\n%s",
+				goal, names[i], b, a, len(dead), p)
+		}
+		if b.err == nil && !b.result.Equal(a.result) {
+			return fmt.Errorf("differential: dead-rule soundness violated on %s: %s answers %s with the full program, %s without the %d lint-dead rule(s)\nprogram:\n%s",
+				goal, names[i], b.result, a.result, len(dead), p)
+		}
 	}
 	return nil
 }

@@ -17,7 +17,7 @@ func MissionJV() *Relation {
 	)
 	r, err := NewRelation("mission", lattice.UCS(), "starship", "objective", "destination")
 	if err != nil {
-		panic(err) // static input; cannot fail
+		panic(err) //vet:allow nopanic -- static input; cannot fail
 	}
 	rows := []Tuple{
 		{ // t1

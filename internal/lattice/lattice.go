@@ -160,7 +160,7 @@ func (p *Poset) Validate() error {
 func (p *Poset) ensure() {
 	if p.dirty {
 		if err := p.rebuild(); err != nil {
-			panic(err) // callers must Validate after mutation; see Dominates
+			panic(err) //vet:allow nopanic -- callers must Validate after mutation; see Dominates
 		}
 	}
 }

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/multilog"
+)
+
+// langForPath maps a file extension to the lint language, or "" to skip
+// the file (e.g. .mlr belongs to mlsql, which has its own checker).
+func langForPath(path string) string {
+	switch filepath.Ext(path) {
+	case ".dl", ".datalog":
+		return "datalog"
+	case ".mlg", ".multilog":
+		return "multilog"
+	}
+	return ""
+}
+
+// CLI is the shared driver behind `multivet` and `multilog check`: it
+// expands arguments (directories are walked recursively for lintable
+// files), runs every pass over every program, prints findings to stdout,
+// and returns a process exit code: 0 clean, 1 findings, 2 usage or I/O
+// failure.
+func CLI(name string, args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet(name, flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	strict := fl.Bool("strict", false, "exit non-zero on warnings, not just errors")
+	listPasses := fl.Bool("passes", false, "print the pass catalog and exit")
+	modesFlag := fl.String("modes", "", "comma-separated user-defined belief modes to treat as known")
+	fl.Usage = func() {
+		fmt.Fprintf(stderr, "usage: %s [-strict] [-modes m1,m2] <file-or-dir>...\n", name)
+		fmt.Fprintf(stderr, "lints MultiLog (.mlg) and Datalog (.dl) programs; see -passes for the catalog\n")
+		fl.PrintDefaults()
+	}
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if *listPasses {
+		for _, pi := range Passes() {
+			fmt.Fprintf(stdout, "%s %-16s %-8s %-8s %s\n", pi.Code, pi.Name, pi.Lang, pi.Severity, pi.Doc)
+		}
+		return 0
+	}
+	if fl.NArg() == 0 {
+		fl.Usage()
+		return 2
+	}
+	var opts Options
+	if *modesFlag != "" {
+		for _, m := range strings.Split(*modesFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				opts.Modes = append(opts.Modes, multilog.Mode(m))
+			}
+		}
+	}
+
+	var files []string
+	for _, arg := range fl.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			return 2
+		}
+		if !info.IsDir() {
+			if langForPath(arg) == "" {
+				fmt.Fprintf(stderr, "%s: skipping %s: not a .dl or .mlg file\n", name, arg)
+				continue
+			}
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && langForPath(path) != "" {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			return 2
+		}
+	}
+	sort.Strings(files)
+
+	var errors, warnings int
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			return 2
+		}
+		o := opts
+		o.File = path
+		diags, err := Source(langForPath(path), string(src), o)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			if d.Severity == Error {
+				errors++
+			} else {
+				warnings++
+			}
+		}
+	}
+	if errors+warnings > 0 {
+		fmt.Fprintf(stdout, "%s: %d file(s) checked: %d error(s), %d warning(s)\n", name, len(files), errors, warnings)
+	}
+	if errors > 0 || (*strict && warnings > 0) {
+		return 1
+	}
+	return 0
+}

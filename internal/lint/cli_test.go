@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLICorpusClean pins that every shipped example program and the
+// multilog CLI's own fixture lint clean, even in -strict mode: the lint
+// passes must never flag programs we hold up as idiomatic.
+func TestCLICorpusClean(t *testing.T) {
+	var out, errOut strings.Builder
+	code := CLI("multivet", []string{
+		"-strict",
+		filepath.Join("..", "..", "examples", "programs"),
+		filepath.Join("..", "..", "cmd", "multilog", "testdata", "mission.mlg"),
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("corpus not clean (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean corpus still produced output:\n%s", out.String())
+	}
+}
+
+func TestCLIFindingsExitOne(t *testing.T) {
+	var out, errOut strings.Builder
+	code := CLI("multivet", []string{filepath.Join("testdata", "unsafe_head.dl")}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "DL001") || !strings.Contains(out.String(), "unsafe_head.dl:3:1") {
+		t.Fatalf("finding not rendered with code and position:\n%s", out.String())
+	}
+}
+
+func TestCLIWarningsNeedStrict(t *testing.T) {
+	// subsumed_rule.dl produces only warnings: exit 0 normally, 1 under -strict.
+	path := filepath.Join("testdata", "subsumed_rule.dl")
+	var out, errOut strings.Builder
+	if code := CLI("multivet", []string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("warnings-only file: exit %d, want 0\n%s", code, out.String())
+	}
+	if code := CLI("multivet", []string{"-strict", path}, &out, &errOut); code != 1 {
+		t.Fatalf("-strict with warnings: exit %d, want 1", code)
+	}
+}
+
+func TestCLIUsageAndErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := CLI("multivet", nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: multivet") {
+		t.Fatalf("usage not printed:\n%s", errOut.String())
+	}
+	errOut.Reset()
+	if code := CLI("multivet", []string{"no/such/file.dl"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+}
+
+func TestCLISkipsUnknownExtensions(t *testing.T) {
+	var out, errOut strings.Builder
+	code := CLI("multivet", []string{filepath.Join("testdata", "clean.dl.golden")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (skipped file)", code)
+	}
+	if !strings.Contains(errOut.String(), "skipping") {
+		t.Fatalf("skip notice missing:\n%s", errOut.String())
+	}
+}
+
+func TestCLIPassCatalog(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := CLI("multivet", []string{"-passes"}, &out, &errOut); code != 0 {
+		t.Fatalf("-passes: exit %d, want 0", code)
+	}
+	for _, code := range []string{"DL001", "DL008", "ML003"} {
+		if !strings.Contains(out.String(), code) {
+			t.Errorf("pass catalog missing %s:\n%s", code, out.String())
+		}
+	}
+}
+
+func TestCLIModesFlag(t *testing.T) {
+	// bad_mode.mlg uses the unknown mode "maybe"; registering it via
+	// -modes silences ML002.
+	path := filepath.Join("testdata", "bad_mode.mlg")
+	var out, errOut strings.Builder
+	code := CLI("multivet", []string{"-modes", "maybe", path}, &out, &errOut)
+	if strings.Contains(out.String(), "ML002") {
+		t.Fatalf("-modes maybe did not silence ML002 (exit %d):\n%s", code, out.String())
+	}
+}

@@ -1,0 +1,392 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/term"
+)
+
+// lintDatalogSafety is pass DL001: range restriction, the first Theorem 6.1
+// precondition. It reports every unsafe variable, not just the first.
+func lintDatalogSafety(r *reporter, p *datalog.Program) {
+	for _, c := range p.Clauses {
+		for _, u := range datalog.UnsafeVars(c) {
+			if u.In == nil {
+				d := r.report("DL001", Error, c.Pos(),
+					"unsafe clause %s: head variable %s is not range-restricted", c, u.Var)
+				d.Fix = fmt.Sprintf("bind %s in a positive body literal", u.Var)
+			} else {
+				d := r.report("DL001", Error, u.In.Atom.Pos,
+					"unsafe clause %s: variable %s in %q is not range-restricted", c, u.Var, u.In)
+				d.Fix = fmt.Sprintf("bind %s in a positive body literal before %q", u.Var, u.In)
+			}
+		}
+	}
+}
+
+// lintDatalogPredicates is passes DL002 (undefined predicate) and DL003
+// (unused predicate). A predicate is defined by any clause head; undefined
+// references can never be derived, so a positive use is an error. DL003
+// runs only when the program has queries: without a query every predicate
+// is a potential output and "unused" is meaningless.
+func lintDatalogPredicates(r *reporter, p *datalog.Program) {
+	defined := map[string]bool{}
+	for _, c := range p.Clauses {
+		defined[c.Head.Pred] = true
+	}
+	seen := map[string]bool{} // report one finding per predicate
+	flag := func(a datalog.Atom, negated bool) {
+		if a.IsBuiltin() || defined[a.Pred] || seen[a.Pred] {
+			return
+		}
+		seen[a.Pred] = true
+		what := "can never be derived"
+		if negated {
+			what = "makes the negation vacuously true"
+		}
+		d := r.report("DL002", Error, a.Pos,
+			"predicate %s/%d has no facts and no rules; this reference %s", a.Pred, a.Arity(), what)
+		d.Fix = fmt.Sprintf("define %s or remove the reference", a.Pred)
+	}
+	for _, c := range p.Clauses {
+		for _, l := range c.Body {
+			flag(l.Atom, l.Negated)
+		}
+	}
+	for _, q := range p.Queries {
+		flag(q, false)
+	}
+
+	if len(p.Queries) == 0 {
+		return
+	}
+	// Reachability from the queried predicates, head -> body.
+	uses := map[string][]string{}
+	for _, c := range p.Clauses {
+		for _, l := range c.Body {
+			if !l.Atom.IsBuiltin() {
+				uses[c.Head.Pred] = append(uses[c.Head.Pred], l.Atom.Pred)
+			}
+		}
+	}
+	reach := map[string]bool{}
+	var visit func(string)
+	visit = func(pred string) {
+		if reach[pred] {
+			return
+		}
+		reach[pred] = true
+		for _, dep := range uses[pred] {
+			visit(dep)
+		}
+	}
+	for _, q := range p.Queries {
+		visit(q.Pred)
+	}
+	reported := map[string]bool{}
+	for _, c := range p.Clauses {
+		if reach[c.Head.Pred] || reported[c.Head.Pred] {
+			continue
+		}
+		reported[c.Head.Pred] = true
+		d := r.report("DL003", Warning, c.Pos(),
+			"predicate %s/%d is defined but unreachable from any query", c.Head.Pred, c.Head.Arity())
+		d.Fix = fmt.Sprintf("delete the %s clauses or query them", c.Head.Pred)
+	}
+}
+
+// lintDatalogArity is pass DL004: one predicate name used at two arities.
+// The engine keys relations by name alone, so differing arities silently
+// partition what the author meant to be one relation.
+func lintDatalogArity(r *reporter, p *datalog.Program) {
+	type first struct {
+		arity int
+		pos   datalog.Position
+	}
+	firsts := map[string]first{}
+	check := func(a datalog.Atom) {
+		if a.IsBuiltin() {
+			return
+		}
+		f, ok := firsts[a.Pred]
+		if !ok {
+			firsts[a.Pred] = first{a.Arity(), a.Pos}
+			return
+		}
+		if f.arity != a.Arity() {
+			d := r.report("DL004", Error, a.Pos,
+				"predicate %s used with arity %d here but arity %d at %s", a.Pred, a.Arity(), f.arity, f.pos)
+			d.Fix = fmt.Sprintf("use a single arity for %s", a.Pred)
+		}
+	}
+	for _, c := range p.Clauses {
+		check(c.Head)
+		for _, l := range c.Body {
+			check(l.Atom)
+		}
+	}
+	for _, q := range p.Queries {
+		check(q)
+	}
+}
+
+// alphaKey canonicalises a clause by renaming its variables in first-
+// occurrence order, so alpha-equivalent clauses collide.
+func alphaKey(c datalog.Clause) string {
+	memo := map[string]string{}
+	var canon func(t term.Term) term.Term
+	canon = func(t term.Term) term.Term {
+		switch t.Kind() {
+		case term.KindVar:
+			n, ok := memo[t.Name()]
+			if !ok {
+				n = fmt.Sprintf("V%d", len(memo))
+				memo[t.Name()] = n
+			}
+			return term.Var(n)
+		case term.KindCompound:
+			args := make([]term.Term, len(t.Args()))
+			for i, a := range t.Args() {
+				args[i] = canon(a)
+			}
+			return term.Comp(t.Name(), args...)
+		}
+		return t
+	}
+	canonAtom := func(a datalog.Atom) datalog.Atom {
+		args := make([]term.Term, len(a.Args))
+		for i, t := range a.Args {
+			args[i] = canon(t)
+		}
+		return datalog.Atom{Pred: a.Pred, Args: args}
+	}
+	out := datalog.Clause{Head: canonAtom(c.Head)}
+	for _, l := range c.Body {
+		out.Body = append(out.Body, datalog.Literal{Atom: canonAtom(l.Atom), Negated: l.Negated})
+	}
+	return out.String()
+}
+
+// matchTerm extends s so that pat·s equals t, binding only pat's variables
+// (one-way matching, not unification). Reports whether it succeeded.
+func matchTerm(pat, t term.Term, s term.Subst) bool {
+	switch pat.Kind() {
+	case term.KindVar:
+		if b, ok := s[pat.Name()]; ok {
+			return b.Equal(t)
+		}
+		s[pat.Name()] = t
+		return true
+	case term.KindConst:
+		return t.Kind() == term.KindConst && t.Name() == pat.Name()
+	case term.KindNull:
+		return t.Kind() == term.KindNull
+	case term.KindCompound:
+		if t.Kind() != term.KindCompound || t.Name() != pat.Name() || len(t.Args()) != len(pat.Args()) {
+			return false
+		}
+		for i, pa := range pat.Args() {
+			if !matchTerm(pa, t.Args()[i], s) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func matchAtom(pat, a datalog.Atom, s term.Subst) bool {
+	if pat.Pred != a.Pred || len(pat.Args) != len(a.Args) {
+		return false
+	}
+	for i, pt := range pat.Args {
+		if !matchTerm(pt, a.Args[i], s) {
+			return false
+		}
+	}
+	return true
+}
+
+// subsumes reports whether general θ-subsumes specific: some substitution θ
+// maps general's head onto specific's head and every general body literal
+// onto some specific body literal. A subsumed clause derives nothing its
+// subsumer does not.
+func subsumes(general, specific datalog.Clause) bool {
+	if len(general.Body) > len(specific.Body)+2 || len(specific.Body) > 8 {
+		return false // keep the backtracking search trivially bounded
+	}
+	s := term.Subst{}
+	if !matchAtom(general.Head, specific.Head, s) {
+		return false
+	}
+	var assign func(i int, s term.Subst) bool
+	assign = func(i int, s term.Subst) bool {
+		if i == len(general.Body) {
+			return true
+		}
+		g := general.Body[i]
+		for _, sp := range specific.Body {
+			if sp.Negated != g.Negated {
+				continue
+			}
+			s2 := s.Clone()
+			if matchAtom(g.Atom, sp.Atom, s2) && assign(i+1, s2) {
+				return true
+			}
+		}
+		return false
+	}
+	return assign(0, s)
+}
+
+// lintDatalogDuplicates is passes DL005 (duplicate rule: alpha-equivalent
+// or mutually subsuming) and DL006 (strictly subsumed rule).
+func lintDatalogDuplicates(r *reporter, p *datalog.Program) {
+	keys := make([]string, len(p.Clauses))
+	for i, c := range p.Clauses {
+		keys[i] = alphaKey(c)
+	}
+	flagged := make([]bool, len(p.Clauses))
+	for j, cj := range p.Clauses {
+		if flagged[j] {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			if flagged[i] {
+				continue
+			}
+			ci := p.Clauses[i]
+			switch {
+			case keys[i] == keys[j] || (subsumes(ci, cj) && subsumes(cj, ci)):
+				d := r.report("DL005", Warning, cj.Pos(),
+					"duplicate clause: identical (up to variable renaming) to the clause at %s", ci.Pos())
+				d.Fix = "delete one of the two clauses"
+				flagged[j] = true
+			case subsumes(ci, cj):
+				d := r.report("DL006", Warning, cj.Pos(),
+					"clause %s is subsumed by the more general clause at %s and can never contribute a new fact", cj, ci.Pos())
+				d.Fix = "delete the subsumed clause"
+				flagged[j] = true
+			case subsumes(cj, ci):
+				d := r.report("DL006", Warning, ci.Pos(),
+					"clause %s is subsumed by the more general clause at %s and can never contribute a new fact", ci, cj.Pos())
+				d.Fix = "delete the subsumed clause"
+				flagged[i] = true
+			}
+			if flagged[j] {
+				break
+			}
+		}
+	}
+}
+
+// supportedPreds computes the set of predicates some engine could in
+// principle derive a fact for: a predicate is supported when it has a fact,
+// or a rule all of whose positive, non-built-in premises are supported
+// (negated literals and built-ins never gate support — negation as failure
+// succeeds on underivable predicates).
+func supportedPreds(p *datalog.Program) map[string]bool {
+	supported := map[string]bool{}
+	for _, c := range p.Clauses {
+		if c.IsFact() {
+			supported[c.Head.Pred] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range p.Clauses {
+			if c.IsFact() || supported[c.Head.Pred] {
+				continue
+			}
+			live := true
+			for _, l := range c.Body {
+				if !l.Negated && !l.Atom.IsBuiltin() && !supported[l.Atom.Pred] {
+					live = false
+					break
+				}
+			}
+			if live {
+				supported[c.Head.Pred] = true
+				changed = true
+			}
+		}
+	}
+	return supported
+}
+
+// DeadRules returns the indices of clauses in p that can provably never
+// fire: rules with a positive, non-built-in body literal whose predicate is
+// not supported. The fixpoint is sound for every evaluation strategy:
+// removing a dead rule never changes any engine's answers (pinned by the
+// differential harness's CheckDeadRules).
+func DeadRules(p *datalog.Program) []int {
+	supported := supportedPreds(p)
+	var dead []int
+	for i, c := range p.Clauses {
+		if c.IsFact() {
+			continue
+		}
+		for _, l := range c.Body {
+			if !l.Negated && !l.Atom.IsBuiltin() && !supported[l.Atom.Pred] {
+				dead = append(dead, i)
+				break
+			}
+		}
+	}
+	return dead
+}
+
+// lintDatalogDeadRules is pass DL007, reporting each dead rule at the
+// unsupportable body literal.
+func lintDatalogDeadRules(r *reporter, p *datalog.Program) {
+	supported := supportedPreds(p)
+	for _, i := range DeadRules(p) {
+		c := p.Clauses[i]
+		for _, l := range c.Body {
+			if l.Negated || l.Atom.IsBuiltin() || supported[l.Atom.Pred] {
+				continue
+			}
+			d := r.report("DL007", Warning, l.Atom.Pos,
+				"rule %s can never fire: no fact or live rule derives %s", c, l.Atom.Pred)
+			d.Fix = fmt.Sprintf("add facts or live rules for %s, or delete the rule", l.Atom.Pred)
+			break
+		}
+	}
+}
+
+// lintDatalogStratify is pass DL008: negation through recursion, with the
+// offending dependency cycle spelled out. The finding is anchored at the
+// negated body literal that closes the cycle.
+func lintDatalogStratify(r *reporter, p *datalog.Program) {
+	cycle := datalog.NegativeCycle(p)
+	if len(cycle) == 0 {
+		return
+	}
+	// Anchor at the negated literal realising the cycle's negative edge.
+	var pos datalog.Position
+	var neg datalog.DepEdge
+	for _, e := range cycle {
+		if e.Negative {
+			neg = e
+			break
+		}
+	}
+	for _, c := range p.Clauses {
+		if c.Head.Pred != neg.From {
+			continue
+		}
+		for _, l := range c.Body {
+			if l.Negated && l.Atom.Pred == neg.To {
+				pos = l.Atom.Pos
+				break
+			}
+		}
+		if pos.IsValid() {
+			break
+		}
+	}
+	d := r.report("DL008", Error, pos,
+		"program is not stratifiable: negation through recursion: %s", datalog.FormatCycle(cycle))
+	d.Fix = fmt.Sprintf("break the cycle through %q, e.g. by splitting %s into a non-recursive predicate", "not "+neg.To, neg.To)
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenCorpus runs the full pass registry over the fixture corpus of
+// known-bad (and two known-clean) programs and compares the rendered
+// diagnostics — code, severity, file:line:col and message — against the
+// checked-in golden files. Regenerate with `go test ./internal/lint -update`.
+func TestGoldenCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlg, err := filepath.Glob(filepath.Join("testdata", "*.mlg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, mlg...)
+	sort.Strings(paths)
+	if len(paths) < 12 {
+		t.Fatalf("fixture corpus has %d programs, want >= 12", len(paths))
+	}
+
+	bad := 0
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lang := "datalog"
+			if strings.HasSuffix(path, ".mlg") {
+				lang = "multilog"
+			}
+			diags, err := Source(lang, string(src), Options{File: filepath.Base(path)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := diags.String()
+			goldenPath := path + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+			if len(diags) > 0 {
+				bad++
+			}
+			// Every diagnostic from a fixture must carry a usable position.
+			for _, d := range diags {
+				if !d.Pos.IsValid() {
+					t.Errorf("%s: diagnostic without position: %s", path, d)
+				}
+			}
+		})
+	}
+	if bad < 12 {
+		t.Errorf("corpus has %d programs with findings, want >= 12 known-bad programs", bad)
+	}
+}

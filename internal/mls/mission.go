@@ -17,7 +17,7 @@ const (
 func MissionScheme() *Scheme {
 	s, err := NewScheme("mission", lattice.UCS(), AttrStarship, AttrObjective, AttrDestination)
 	if err != nil {
-		panic(err) // static input; cannot fail
+		panic(err) //vet:allow nopanic -- static input; cannot fail
 	}
 	return s
 }

@@ -83,6 +83,7 @@ type Molecule struct {
 	Pred   string
 	Key    term.Term
 	Fields []Field
+	Pos    datalog.Position // source position of the molecule's first token
 }
 
 // Atoms expands the molecule into its atomic conjuncts.
@@ -116,12 +117,14 @@ const (
 
 // Goal is one atom of any kind. Exactly the fields for its kind are set:
 // M (and Mode for b-atoms), or P (p-, l- and h-atoms are classical atoms
-// over the distinguished predicates level/1 and order/2).
+// over the distinguished predicates level/1 and order/2). Pos is the goal's
+// source position when it was parsed (zero for programmatic goals).
 type Goal struct {
 	Kind GoalKind
 	M    MAtom
 	Mode Mode
 	P    datalog.Atom
+	Pos  datalog.Position
 }
 
 // MGoal wraps an m-atom.
@@ -182,6 +185,9 @@ type Clause struct {
 	Head Goal
 	Body []Goal
 }
+
+// Pos returns the clause's source position (its head goal's position).
+func (c Clause) Pos() datalog.Position { return c.Head.Pos }
 
 // IsFact reports whether the clause has an empty body.
 func (c Clause) IsFact() bool { return len(c.Body) == 0 }

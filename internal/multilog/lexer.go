@@ -3,6 +3,8 @@ package multilog
 import (
 	"fmt"
 	"unicode"
+
+	"repro/internal/datalog"
 )
 
 type tokKind int
@@ -94,7 +96,7 @@ func newMLLexer(src string) *mlLexer {
 }
 
 func (lx *mlLexer) errorf(line, col int, format string, args ...any) error {
-	return fmt.Errorf("multilog: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return &datalog.SyntaxError{Lang: "multilog", Pos: datalog.Position{Line: line, Col: col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (lx *mlLexer) peek() rune {

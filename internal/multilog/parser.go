@@ -84,7 +84,7 @@ func (p *mlParser) bump() error {
 }
 
 func (p *mlParser) errf(format string, args ...any) error {
-	return fmt.Errorf("multilog: %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+	return &datalog.SyntaxError{Lang: "multilog", Pos: datalog.Position{Line: p.tok.line, Col: p.tok.col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *mlParser) expect(k tokKind) error {
@@ -116,7 +116,9 @@ func (p *mlParser) clause(db *Database) error {
 	// Molecule heads split into one clause per field (§5.3).
 	if mol != nil {
 		for _, m := range mol.Atoms() {
-			if err := db.AddClause(Clause{Head: MGoal(m), Body: body}); err != nil {
+			hg := MGoal(m)
+			hg.Pos = mol.Pos
+			if err := db.AddClause(Clause{Head: hg, Body: body}); err != nil {
 				return err
 			}
 		}
@@ -156,6 +158,7 @@ func (p *mlParser) body() ([]Goal, error) {
 				if g.Kind == GoalB {
 					gg = BGoal(m, g.Mode)
 				}
+				gg.Pos = g.Pos
 				out = append(out, gg)
 			}
 		} else {
@@ -170,9 +173,26 @@ func (p *mlParser) body() ([]Goal, error) {
 	}
 }
 
-// goalAtom parses one goal. When the goal was written as a molecule the
-// returned *Molecule is non-nil and the Goal carries only Kind/Mode.
+// goalAtom parses one goal, recording the source position of its first
+// token. When the goal was written as a molecule the returned *Molecule is
+// non-nil and the Goal carries only Kind/Mode (plus the position).
 func (p *mlParser) goalAtom() (Goal, *Molecule, error) {
+	pos := datalog.Position{Line: p.tok.line, Col: p.tok.col}
+	g, mol, err := p.goalAtomInner()
+	if err != nil {
+		return g, mol, err
+	}
+	g.Pos = pos
+	if g.Kind == GoalP || g.Kind == GoalL || g.Kind == GoalH {
+		g.P.Pos = pos
+	}
+	if mol != nil {
+		mol.Pos = pos
+	}
+	return g, mol, nil
+}
+
+func (p *mlParser) goalAtomInner() (Goal, *Molecule, error) {
 	// A goal starting with var or "ident[" is an m-atom (level prefix);
 	// otherwise a classical atom or infix built-in.
 	if p.tok.kind == tVar || p.tok.kind == tNumber {

@@ -1,0 +1,48 @@
+package multilog
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+)
+
+// TestParserPositions pins that line/col survive the MultiLog lexer and
+// parser into goals: m-atoms, b-atoms, classical atoms and the clauses
+// built from molecule heads all carry the position of their first token.
+func TestParserPositions(t *testing.T) {
+	src := "level(u).\n" +
+		"q(j).\n" +
+		"u[p(k: a -u-> v)] :- q(j).\n" +
+		"u[r(k: a -u-> v; b -u-> w)].\n" +
+		"u[s(k: a -u-> x)] :- u[p(k: a -u-> v)] << cau.\n" +
+		"?- u[p(k: a -R-> V)] << opt.\n"
+	db, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(pos datalog.Position, line, col int, what string) {
+		t.Helper()
+		if pos.Line != line || pos.Col != col {
+			t.Errorf("%s at %s, want %d:%d", what, pos, line, col)
+		}
+	}
+	at(db.Lambda[0].Pos(), 1, 1, "l-atom level(u)")
+	at(db.Pi[0].Pos(), 2, 1, "p-fact q(j)")
+	at(db.Sigma[0].Pos(), 3, 1, "m-clause head")
+	at(db.Sigma[0].Body[0].Pos, 3, 22, "p-goal body q(j)")
+	// The two clauses split from the molecule head share its position.
+	at(db.Sigma[1].Pos(), 4, 1, "molecule head, first field")
+	at(db.Sigma[2].Pos(), 4, 1, "molecule head, second field")
+	at(db.Sigma[3].Body[0].Pos, 5, 22, "b-atom body")
+	if db.Sigma[3].Body[0].Kind != GoalB {
+		t.Fatal("body goal must be a b-atom")
+	}
+	at(db.Queries[0][0].Pos, 6, 4, "query b-atom")
+}
+
+func TestPositionZeroForProgrammaticGoals(t *testing.T) {
+	g := PGoal(datalog.NewAtom("q"))
+	if g.Pos.IsValid() {
+		t.Fatal("programmatic goals carry no position")
+	}
+}

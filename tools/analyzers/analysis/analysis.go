@@ -1,0 +1,69 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API. The build environment has no module
+// proxy access, so the real module cannot be added to go.mod; this shim
+// keeps the repo's analyzers source-compatible with the upstream shape
+// (Analyzer, Pass, Reportf) while running on the standard library alone.
+// If x/tools ever becomes available, the analyzers port by swapping the
+// import path and deleting the runner in run.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An Analyzer describes one invariant-checking pass over parsed Go files.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in findings and directives
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) (any, error)
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass provides one analyzer with the parsed files of one package
+// directory and a sink for findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      string // package directory, relative to the run root
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Test code is
+// exempt from most invariants (t.Fatal replaces error returns, message
+// assertions legitimately match error text).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Allowed reports whether the finding at pos is suppressed by a
+// "//vet:allow <name>" directive comment on the same line or one of the
+// two lines above (covering end-of-line annotations and doc-comment
+// directives). The directive must name the analyzer; a bare //vet:allow
+// suppresses nothing, so every suppression is attributable.
+func Allowed(fset *token.FileSet, f *ast.File, pos token.Pos, name string) bool {
+	want := "vet:allow " + name
+	line := fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			cl := fset.Position(c.Pos()).Line
+			if cl <= line && cl >= line-2 && strings.Contains(c.Text, want) {
+				return true
+			}
+		}
+	}
+	return false
+}

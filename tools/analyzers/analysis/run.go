@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is a rendered diagnostic: resolved position, analyzer name and
+// message. Findings print in the familiar file:line:col vet format.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// PackageDirs walks root and returns every directory containing .go files,
+// skipping hidden directories and testdata trees (fixtures there are often
+// deliberately bad Go).
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// RunDir parses every .go file in dir (tests included, comments kept) and
+// applies each analyzer to the directory's files as one pass.
+func RunDir(dir string, analyzers []*Analyzer) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pass := Pass{Fset: fset, Pkg: dir}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pass.Files = append(pass.Files, f)
+	}
+	var findings []Finding
+	for _, a := range analyzers {
+		p := pass
+		p.Analyzer = a
+		p.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+		if _, err := a.Run(&p); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", dir, a.Name, err)
+		}
+	}
+	return findings, nil
+}
+
+// Run applies the analyzers to every package directory under root and
+// returns the findings sorted by position.
+func Run(root string, analyzers []*Analyzer) ([]Finding, error) {
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, dir := range dirs {
+		fs, err := RunDir(dir, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+// RunSource applies one analyzer to a single in-memory file; the test
+// harness for the analyzers themselves.
+func RunSource(src string, a *Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	pass := Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Pkg:      "src",
+		Report: func(d Diagnostic) {
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		},
+	}
+	if _, err := a.Run(&pass); err != nil {
+		return nil, err
+	}
+	return findings, nil
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPackageDirsSkipsTestdataAndHidden(t *testing.T) {
+	root := t.TempDir()
+	for _, dir := range []string{"a", "a/testdata", ".hidden", "b"} {
+		if err := os.MkdirAll(filepath.Join(root, dir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range []string{"a/a.go", "a/testdata/bad.go", ".hidden/h.go", "b/b.go", "top.go"} {
+		if err := os.WriteFile(filepath.Join(root, f), []byte("package p\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{root, filepath.Join(root, "a"), filepath.Join(root, "b")}
+	if len(dirs) != len(want) {
+		t.Fatalf("PackageDirs = %v, want %v", dirs, want)
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Fatalf("PackageDirs = %v, want %v", dirs, want)
+		}
+	}
+}
+
+func TestRunDirReportsWithPositions(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte("package p\n\nvar X = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports every file once",
+		Run: func(p *Pass) (any, error) {
+			for _, f := range p.Files {
+				p.Reportf(f.Pos(), "saw %s", f.Name.Name)
+			}
+			return nil, nil
+		},
+	}
+	fs, err := RunDir(dir, []*Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Pos.Line != 1 || fs[0].Analyzer != "probe" {
+		t.Fatalf("RunDir = %v, want one positioned finding from probe", fs)
+	}
+}
+
+func TestAllowedWindow(t *testing.T) {
+	fs, err := RunSource(`package p
+
+//vet:allow probe -- two lines up is in the window
+var A = 1
+
+var B = 2
+`, &Analyzer{
+		Name: "probe",
+		Doc:  "flags every value spec unless allowed",
+		Run: func(p *Pass) (any, error) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if vs, ok := n.(*ast.ValueSpec); ok && !Allowed(p.Fset, f, vs.Pos(), "probe") {
+						p.Reportf(vs.Pos(), "value")
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Pos.Line != 6 {
+		t.Fatalf("findings = %v, want only the unannotated var on line 6", fs)
+	}
+}

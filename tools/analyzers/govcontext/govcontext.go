@@ -1,0 +1,126 @@
+// Package govcontext enforces the governed-evaluation convention: every
+// exported Eval*/Prove*/Query* entry point must either take a
+// context.Context itself or have a sibling *Context or *Limited variant on
+// the same receiver (EvalContext, QueryLimited, ...). Evaluation can be
+// unbounded — recursion through negation, polyinstantiated molecules — so
+// an entry point with no cancellable form is a denial-of-service bug
+// waiting for a caller. Bounded helpers that only read precomputed state
+// are exempted site-by-site with //vet:allow govcontext.
+package govcontext
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "govcontext",
+	Doc:  "exported Eval/Prove/Query entry points need a Context or Limited variant",
+	Run:  run,
+}
+
+// entryPrefixes marks the verbs that start evaluation.
+var entryPrefixes = []string{"Eval", "Prove", "Query"}
+
+// key identifies a function by receiver type (empty for package level) and
+// name; siblings must live on the same receiver.
+type key struct {
+	recv, name string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	declared := map[key]bool{}
+	type candidate struct {
+		k    key
+		file *ast.File
+		decl *ast.FuncDecl
+	}
+	var candidates []candidate
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			k := key{recv: receiverType(fd), name: fd.Name.Name}
+			declared[k] = true
+			if !fd.Name.IsExported() || !isEntryPoint(k.name) {
+				continue
+			}
+			if takesContext(fd) {
+				continue // already cancellable in place
+			}
+			candidates = append(candidates, candidate{k, f, fd})
+		}
+	}
+	for _, c := range candidates {
+		if declared[key{c.k.recv, c.k.name + "Context"}] || declared[key{c.k.recv, c.k.name + "Limited"}] {
+			continue
+		}
+		if analysis.Allowed(pass.Fset, c.file, c.decl.Pos(), "govcontext") {
+			continue
+		}
+		where := c.k.name
+		if c.k.recv != "" {
+			where = c.k.recv + "." + where
+		}
+		pass.Reportf(c.decl.Pos(),
+			"exported entry point %s has no %sContext or %sLimited sibling and takes no context.Context; unbounded evaluation cannot be cancelled",
+			where, c.k.name, c.k.name)
+	}
+	return nil, nil
+}
+
+// isEntryPoint reports whether name is an Eval/Prove/Query entry point
+// that is not itself the bounded variant.
+func isEntryPoint(name string) bool {
+	if strings.HasSuffix(name, "Context") || strings.HasSuffix(name, "Limited") {
+		return false
+	}
+	for _, p := range entryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverType returns the receiver's base type name, "" for package-level
+// functions.
+func receiverType(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// takesContext reports whether any parameter has type context.Context.
+func takesContext(fd *ast.FuncDecl) bool {
+	for _, p := range fd.Type.Params.List {
+		sel, ok := p.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "context" {
+			return true
+		}
+	}
+	return false
+}

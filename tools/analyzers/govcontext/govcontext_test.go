@@ -1,0 +1,85 @@
+package govcontext
+
+import (
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+)
+
+func findings(t *testing.T, src string) []analysis.Finding {
+	t.Helper()
+	fs, err := analysis.RunSource(src, Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagsMissingSibling(t *testing.T) {
+	fs := findings(t, `package p
+func EvalAll(x int) error { return nil }
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "EvalAll") {
+		t.Fatalf("got %v, want one finding for EvalAll", fs)
+	}
+}
+
+func TestContextSiblingSatisfies(t *testing.T) {
+	fs := findings(t, `package p
+import "context"
+func Eval(x int) error { return nil }
+func EvalContext(ctx context.Context, x int) error { return nil }
+func Query(x int) error { return nil }
+func QueryLimited(ctx context.Context, x int) error { return nil }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("Context/Limited siblings must satisfy, got %v", fs)
+	}
+}
+
+func TestSiblingMustShareReceiver(t *testing.T) {
+	fs := findings(t, `package p
+import "context"
+type A struct{}
+type B struct{}
+func (A) Prove(x int) error { return nil }
+func (B) ProveContext(ctx context.Context, x int) error { return nil }
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "A.Prove") {
+		t.Fatalf("a sibling on a different receiver must not satisfy, got %v", fs)
+	}
+}
+
+func TestOwnContextParamSatisfies(t *testing.T) {
+	fs := findings(t, `package p
+import "context"
+func EvalAll(ctx context.Context, x int) error { return nil }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("taking context.Context directly must satisfy, got %v", fs)
+	}
+}
+
+func TestUnexportedAndVariantsSkipped(t *testing.T) {
+	fs := findings(t, `package p
+import "context"
+func evalAll(x int) error { return nil }
+func EvalAllContext(ctx context.Context, x int) error { return nil }
+func QueryFooLimited(ctx context.Context, x int) error { return nil }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("unexported funcs and *Context/*Limited variants are not entry points, got %v", fs)
+	}
+}
+
+func TestDirectiveSuppresses(t *testing.T) {
+	fs := findings(t, `package p
+// QueryCache reads a bounded in-memory table.
+//vet:allow govcontext -- bounded lookup
+func QueryCache(k string) string { return "" }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("directive must suppress, got %v", fs)
+	}
+}

@@ -1,0 +1,53 @@
+// Command multichecker runs the repo's Go invariant analyzers — nopanic,
+// typederr and govcontext — over one or more directory trees, in the
+// spirit of golang.org/x/tools/go/analysis/multichecker but built on the
+// stdlib-only shim in tools/analyzers/analysis (the build environment has
+// no module proxy, so the upstream module cannot be imported).
+//
+// Usage:
+//
+//	multichecker [dir ...]      # default: the current directory tree
+//
+// Findings print as file:line:col: message [analyzer]. Exit status: 0
+// clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/govcontext"
+	"repro/tools/analyzers/nopanic"
+	"repro/tools/analyzers/typederr"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Parse()
+	analyzers := []*analysis.Analyzer{govcontext.Analyzer, nopanic.Analyzer, typederr.Analyzer}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	exit := 0
+	for _, root := range roots {
+		findings, err := analysis.Run(root, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "multichecker:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/govcontext"
+	"repro/tools/analyzers/nopanic"
+	"repro/tools/analyzers/typederr"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the repository itself:
+// the invariants (no unaudited panic, no error-text matching, governed
+// evaluation entry points) hold for every package, so a regression fails
+// the ordinary test run, not just `make check`.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := analysis.Run("../../..",
+		[]*analysis.Analyzer{govcontext.Analyzer, nopanic.Analyzer, typederr.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,58 @@
+// Package nopanic flags panic calls in non-test code. The evaluation
+// engines promise error returns all the way down (the resource governor
+// depends on it: a panic unwinds past the partial-result bookkeeping), so
+// panic is reserved for two audited shapes:
+//
+//   - Must* / must* builders over static data, where the panic is the
+//     documented contract (MustInsert, mustRegister, ...);
+//   - individually annotated sites carrying "//vet:allow nopanic" with a
+//     justification, e.g. the differential harness aborting on a
+//     generator bug that tests must never paper over.
+package nopanic
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "panic is reserved for Must* builders and //vet:allow-annotated audited sites",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && isMust(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" || id.Obj != nil {
+					return true // not the builtin (id.Obj != nil: shadowed)
+				}
+				if analysis.Allowed(pass.Fset, f, call.Pos(), "nopanic") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic outside a Must* builder; return an error, or annotate the audited site with //vet:allow nopanic -- <why>")
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func isMust(name string) bool {
+	return strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must")
+}

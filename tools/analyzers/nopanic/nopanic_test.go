@@ -1,0 +1,72 @@
+package nopanic
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+)
+
+func findings(t *testing.T, src string) []analysis.Finding {
+	t.Helper()
+	fs, err := analysis.RunSource(src, Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagsBarePanic(t *testing.T) {
+	fs := findings(t, `package p
+func Load() {
+	panic("boom")
+}
+`)
+	if len(fs) != 1 || fs[0].Pos.Line != 3 {
+		t.Fatalf("got %v, want one finding on line 3", fs)
+	}
+}
+
+func TestMustBuildersExempt(t *testing.T) {
+	fs := findings(t, `package p
+func MustLoad() { panic("boom") }
+func mustInit() { panic("boom") }
+func MustBuild() {
+	f := func() { panic("nested is covered by the builder contract") }
+	f()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("Must*/must* builders must be exempt, got %v", fs)
+	}
+}
+
+func TestDirectiveSuppresses(t *testing.T) {
+	fs := findings(t, `package p
+func Load() {
+	panic("boom") //vet:allow nopanic -- audited
+}
+func Load2() {
+	//vet:allow nopanic -- audited, comment above
+	panic("boom")
+}
+func Load3() {
+	//vet:allow typederr -- wrong analyzer name does not suppress
+	panic("boom")
+}
+`)
+	if len(fs) != 1 || fs[0].Pos.Line != 11 {
+		t.Fatalf("got %v, want only the wrongly-annotated panic on line 11", fs)
+	}
+}
+
+func TestShadowedPanicIgnored(t *testing.T) {
+	fs := findings(t, `package p
+func Load() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("shadowed panic is not the builtin, got %v", fs)
+	}
+}

@@ -1,0 +1,96 @@
+// Package typederr flags string-matching on rendered error text in
+// non-test code: comparing err.Error() with == or !=, or feeding it to
+// strings.Contains / HasPrefix / HasSuffix / EqualFold. Error messages
+// are not API — the parsers return *datalog.SyntaxError and the resource
+// governor returns typed budget errors precisely so callers can use
+// errors.Is / errors.As instead of scraping text that the next reword
+// silently breaks.
+package typederr
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "match errors with errors.Is/errors.As, not by their rendered text",
+	Run:  run,
+}
+
+// stringsMatchers are the strings functions whose use on error text makes
+// control flow depend on message wording.
+var stringsMatchers = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue // tests legitimately assert exact messages
+		}
+		f := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErrorTextCall(n.X) || isErrorTextCall(n.Y) {
+					report(pass, f, n.Pos(), "comparing err.Error() text; use errors.Is/errors.As or a typed error")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !stringsMatchers[sel.Sel.Name] {
+					return true
+				}
+				if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "strings" {
+					return true
+				}
+				for _, arg := range n.Args {
+					if containsErrorTextCall(arg) {
+						report(pass, f, n.Pos(), "strings."+sel.Sel.Name+" on err.Error() text; use errors.Is/errors.As or a typed error")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, f *ast.File, pos token.Pos, msg string) {
+	if !analysis.Allowed(pass.Fset, f, pos, "typederr") {
+		pass.Reportf(pos, "%s", msg)
+	}
+}
+
+// isErrorTextCall matches a zero-argument .Error() call — the canonical
+// way rendered error text enters an expression. Syntactic only (the shim
+// has no type information), so a non-error method named Error() also
+// matches; annotate such sites with //vet:allow typederr.
+func isErrorTextCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Error"
+}
+
+func containsErrorTextCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if expr, ok := n.(ast.Expr); ok && isErrorTextCall(expr) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,71 @@
+package typederr
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+)
+
+func findings(t *testing.T, src string) []analysis.Finding {
+	t.Helper()
+	fs, err := analysis.RunSource(src, Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagsErrorTextComparison(t *testing.T) {
+	fs := findings(t, `package p
+func f(err error) bool {
+	if err.Error() == "not found" {
+		return true
+	}
+	return "gone" != err.Error()
+}
+`)
+	if len(fs) != 2 {
+		t.Fatalf("got %v, want two findings (== and !=)", fs)
+	}
+}
+
+func TestFlagsStringsMatchers(t *testing.T) {
+	fs := findings(t, `package p
+import "strings"
+func f(err error) bool {
+	return strings.Contains(err.Error(), "budget") ||
+		strings.HasPrefix(err.Error(), "datalog:") ||
+		strings.HasSuffix("x"+err.Error(), "!")
+}
+`)
+	if len(fs) != 3 {
+		t.Fatalf("got %v, want three findings", fs)
+	}
+}
+
+func TestTypedMatchingNotFlagged(t *testing.T) {
+	fs := findings(t, `package p
+import (
+	"errors"
+	"strings"
+)
+var sentinel = errors.New("x")
+func f(err error, s string) bool {
+	return errors.Is(err, sentinel) || strings.Contains(s, "plain strings are fine")
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("errors.Is and plain string matching are fine, got %v", fs)
+	}
+}
+
+func TestDirectiveSuppresses(t *testing.T) {
+	fs := findings(t, `package p
+func f(err error) bool {
+	return err.Error() == "x" //vet:allow typederr -- interop with a fixed legacy message
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("directive must suppress, got %v", fs)
+	}
+}
