@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: build test check vet race fuzz-smoke campaign chaos staticcheck \
-	staticcheck-install analyzers lint
+	staticcheck-install analyzers lint serve-smoke
 
 build:
 	$(GO) build ./...
@@ -63,8 +63,15 @@ analyzers:
 lint:
 	$(GO) run ./cmd/multivet -strict examples/ cmd/multilog/testdata
 
+# serve-smoke is the end-to-end daemon gate: generate a workload program,
+# start multilogd, storm it with serveload (concurrent sessions plus
+# assert/retract churn), cross-check /v1/stats, and verify a clean SIGTERM
+# drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
 # check is the CI tier: vet, the custom analyzers, staticcheck, build, the
-# program linter, the race-enabled suite, the chaos tier, and a bounded
-# differential fuzz smoke.
-check: vet analyzers staticcheck build lint race chaos fuzz-smoke
+# program linter, the race-enabled suite, the chaos tier, the daemon smoke,
+# and a bounded differential fuzz smoke.
+check: vet analyzers staticcheck build lint race chaos serve-smoke fuzz-smoke
 	@echo "check: all gates passed"

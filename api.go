@@ -18,7 +18,11 @@
 //   - MultiLog itself: ParseMultiLog, Prover (proof trees), Reduce
 //     (translation to the bundled Datalog engine plus the Figure 12
 //     axioms);
-//   - belief-SQL: NewSQLEngine and Execute.
+//   - belief-SQL: NewSQLEngine and Execute;
+//   - the serving layer: NewQueryServer embeds the cmd/multilogd daemon —
+//     concurrent sessions at clearances and belief modes over shared
+//     prepared reductions with an invalidating result cache — and
+//     NewServerClient speaks its JSON/HTTP protocol.
 //
 // A five-minute tour lives in examples/quickstart; the figure-by-figure
 // reproduction harness is cmd/benchfig and EXPERIMENTS.md.
@@ -35,6 +39,7 @@ import (
 	"repro/internal/mlsql"
 	"repro/internal/multilog"
 	"repro/internal/resource"
+	"repro/internal/server"
 	"repro/internal/term"
 )
 
@@ -310,3 +315,29 @@ func ExecuteSQLContext(ctx context.Context, e *SQLEngine, src string, limits Eva
 	defer resource.Protect("repro.ExecuteSQLContext", &err)
 	return e.ExecuteContext(ctx, src, limits)
 }
+
+// The serving layer (internal/server): the cmd/multilogd daemon as a
+// library. A QueryServer loads programs once (parse, lint, reduce), then
+// answers concurrent sessions — each cleared at a label with a default
+// belief mode — from shared prepared reductions behind an epoch-keyed,
+// invalidating result cache, governed per request.
+type (
+	// QueryServer is an embeddable multilogd: Load programs, then serve
+	// Handler (or ListenAndServe for the drain-on-signal lifecycle).
+	QueryServer = server.Server
+	// QueryServerConfig tunes session caps, cache size, deadlines and
+	// per-request budgets; the zero value serves with sane defaults.
+	QueryServerConfig = server.Config
+	// ServerClient speaks the multilogd JSON/HTTP protocol.
+	ServerClient = server.Client
+	// ServerRemoteError is a non-2xx protocol reply with a stable machine
+	// code (errors.As).
+	ServerRemoteError = server.RemoteError
+)
+
+var (
+	// NewQueryServer builds an empty query server.
+	NewQueryServer = server.New
+	// NewServerClient returns a client for a multilogd base URL.
+	NewServerClient = server.NewClient
+)

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/multilog"
+	"repro/internal/server"
+)
+
+// startRemote serves D1 in-process and returns its host:port.
+func startRemote(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{})
+	if err := srv.Load("d1", multilog.D1Source); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return strings.TrimPrefix(hs.URL, "http://")
+}
+
+func TestREPLConnectSession(t *testing.T) {
+	addr := startRemote(t)
+	out := replSession(t,
+		`\connect `+addr,
+		"login c opt",
+		"?- c[p(k: a -R-> v)].",
+		"?- c[p(k: a -R-> v)].", // repeat: served from the result cache
+		"stats",
+		`\disconnect`,
+		"quit",
+	)
+	for _, want := range []string{
+		"connected to " + addr,
+		"cleared at c (mode opt, db d1, epoch 1)",
+		"[remote] 1 answer(s):", // Example 5.2: R/u
+		"{R/u}",
+		"[remote, cached] 1 answer(s):",
+		"cache:    1 hits",
+		"disconnected from " + addr,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLConnectUpdateRoundTrip(t *testing.T) {
+	addr := startRemote(t)
+	out := replSession(t,
+		`\connect `+addr,
+		"login u",
+		"assert u[p(k2: a -u-> w)]",
+		"?- u[p(k2: a -u-> V)].",
+		"retract u[p(k2: a -u-> w)]",
+		"?- u[p(k2: a -u-> V)].",
+		`\disconnect`,
+		"quit",
+	)
+	for _, want := range []string{
+		"asserted 1 clause(s); epoch 2",
+		"{V/w}",
+		"retracted 1 clause(s); epoch 3",
+		"[remote] no",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLConnectErrorsAreRecoverable(t *testing.T) {
+	addr := startRemote(t)
+	out := replSession(t,
+		`\connect 127.0.0.1:1`, // nothing listens there
+		`\connect `+addr,
+		"?- u[p(k: a -R-> V)].", // not logged in yet
+		"login zz",              // level not in D1's lattice
+		"login u",
+		"load foo.mlg", // local-only while connected
+		"?- u[p(k: a -C-> V)].",
+		"quit",
+	)
+	for _, want := range []string{
+		"error: connecting to 127.0.0.1:1",
+		"error: not logged in",
+		"error: server: bad-request",
+		"cleared at u",
+		`error: load is local-only; \disconnect first`,
+		"{C/u, V/v}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -31,6 +31,9 @@ type repl struct {
 	// sigc delivers SIGINT during a query, canceling it without ending the
 	// session. Injectable so tests can interrupt deterministically.
 	sigc chan os.Signal
+	// remote is non-nil while \connect has the REPL attached to a running
+	// multilogd; see remote.go.
+	remote *remote
 }
 
 const replHelp = `commands:
@@ -45,6 +48,9 @@ const replHelp = `commands:
   levels               show the security lattice
   ?- <goals>.          run a query (the ?- and . are optional; Ctrl-C
                        interrupts it, keeping the answers found so far)
+  \connect host:port [db]  attach to a running multilogd; login, queries,
+                       assert and retract then travel over HTTP
+  \disconnect          detach and return to local mode
   help                 this text
   quit                 leave`
 
@@ -111,6 +117,12 @@ func (r *repl) queryCtx() (context.Context, func()) {
 }
 
 func (r *repl) prompt() string {
+	if r.remote != nil {
+		if r.remote.level == "" {
+			return "multilog@" + r.remote.addr
+		}
+		return fmt.Sprintf("multilog@%s(%s)", r.remote.addr, r.remote.level)
+	}
 	if r.user == lattice.NoLabel {
 		return "multilog"
 	}
@@ -119,6 +131,15 @@ func (r *repl) prompt() string {
 
 func (r *repl) dispatch(line string) error {
 	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\connect`:
+		return r.connectCmd(fields)
+	case `\disconnect`:
+		return r.disconnectCmd()
+	}
+	if r.remote != nil {
+		return r.remoteDispatch(line, fields)
+	}
 	switch fields[0] {
 	case "help":
 		fmt.Fprintln(r.out, replHelp)
@@ -189,21 +210,7 @@ func (r *repl) dispatch(line string) error {
 		fmt.Fprintf(r.out, "%s: %s\n", fields[0], fields[1])
 		return nil
 	case "timeout":
-		if len(fields) != 2 {
-			return fmt.Errorf("usage: timeout <duration|off>")
-		}
-		if fields[1] == "off" {
-			r.timeout = 0
-			fmt.Fprintln(r.out, "timeout: off")
-			return nil
-		}
-		d, err := time.ParseDuration(fields[1])
-		if err != nil || d <= 0 {
-			return fmt.Errorf("timeout: want a positive duration like 500ms or 2s, or off")
-		}
-		r.timeout = d
-		fmt.Fprintf(r.out, "timeout: %s\n", d)
-		return nil
+		return r.timeoutCmd(fields)
 	case "facts":
 		if err := r.ready(); err != nil {
 			return err
@@ -234,6 +241,25 @@ func (r *repl) dispatch(line string) error {
 	}
 	// Anything else is a query; "?-" prefix and trailing "." are optional.
 	return r.query(line)
+}
+
+// timeoutCmd sets the per-query deadline; shared by local and remote mode.
+func (r *repl) timeoutCmd(fields []string) error {
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: timeout <duration|off>")
+	}
+	if fields[1] == "off" {
+		r.timeout = 0
+		fmt.Fprintln(r.out, "timeout: off")
+		return nil
+	}
+	d, err := time.ParseDuration(fields[1])
+	if err != nil || d <= 0 {
+		return fmt.Errorf("timeout: want a positive duration like 500ms or 2s, or off")
+	}
+	r.timeout = d
+	fmt.Fprintf(r.out, "timeout: %s\n", d)
+	return nil
 }
 
 func (r *repl) ready() error {

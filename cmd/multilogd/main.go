@@ -1,0 +1,108 @@
+// Command multilogd serves MultiLog belief queries over JSON/HTTP. It
+// loads one or more programs at startup (each parsed, linted and reduced
+// once), then answers concurrent sessions — each authenticated as a
+// subject with a clearance and a default belief mode — from shared
+// prepared reductions behind an invalidating result cache.
+//
+// Usage:
+//
+//	multilogd -addr :7070 -db mission=prog.mlg          # serve one program
+//	multilogd -addr :7070 -db a=a.mlg -db b=b.mlg       # serve several
+//	multilogd -d1                                       # serve the paper's D1
+//
+// Endpoints (see internal/server/protocol.go for the wire types):
+//
+//	POST /v1/session  /v1/session/close  /v1/query  /v1/assert  /v1/retract
+//	GET  /v1/stats    /v1/healthz
+//
+// SIGINT/SIGTERM drains: open sessions are closed, in-flight requests
+// finish (bounded by -drain), and the process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/multilog"
+	"repro/internal/resource"
+	"repro/internal/server"
+)
+
+// dbFlags collects repeated -db name=path pairs.
+type dbFlags []struct{ name, path string }
+
+func (d *dbFlags) String() string { return fmt.Sprintf("%d databases", len(*d)) }
+
+func (d *dbFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("-db wants name=path, got %q", v)
+	}
+	*d = append(*d, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var dbs dbFlags
+	flag.Var(&dbs, "db", "database to serve, as name=path (repeatable)")
+	useD1 := flag.Bool("d1", false, "serve the paper's Figure 10 database D1 as \"d1\"")
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	maxSessions := flag.Int("max-sessions", 256, "concurrent-session cap (negative = uncapped)")
+	cacheEntries := flag.Int("cache", 4096, "result-cache capacity in entries (negative = disabled)")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-request wall-clock ceiling (negative = none)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	maxFacts := flag.Int64("max-facts", 0, "per-request derived-fact budget (0 = unlimited)")
+	maxSteps := flag.Int64("max-steps", 0, "per-request evaluation-step budget (0 = unlimited)")
+	quiet := flag.Bool("quiet", false, "suppress the event log")
+	flag.Parse()
+
+	if err := run(dbs, *useD1, *addr, *maxSessions, *cacheEntries, *queryTimeout,
+		*drain, *maxFacts, *maxSteps, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "multilogd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbs dbFlags, useD1 bool, addr string, maxSessions, cacheEntries int,
+	queryTimeout, drain time.Duration, maxFacts, maxSteps int64, quiet bool) error {
+	cfg := server.Config{
+		MaxSessions:  maxSessions,
+		CacheEntries: cacheEntries,
+		QueryTimeout: queryTimeout,
+		Limits:       resource.Limits{MaxFacts: maxFacts, MaxSteps: maxSteps},
+	}
+	if !quiet {
+		logger := log.New(os.Stderr, "multilogd: ", log.LstdFlags)
+		cfg.Logf = logger.Printf
+	}
+	srv := server.New(cfg)
+
+	if useD1 {
+		if err := srv.Load("d1", multilog.D1Source); err != nil {
+			return err
+		}
+	}
+	for _, db := range dbs {
+		src, err := os.ReadFile(db.path)
+		if err != nil {
+			return err
+		}
+		if err := srv.Load(db.name, string(src)); err != nil {
+			return fmt.Errorf("loading %s: %w", db.path, err)
+		}
+	}
+	if len(srv.Databases()) == 0 {
+		return fmt.Errorf("nothing to serve: give -db name=path or -d1")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.ListenAndServe(ctx, addr, drain)
+}

@@ -1,0 +1,111 @@
+// Command serveload is the multilogd workload client: it opens many
+// concurrent sessions against a running daemon, fires seeded queries
+// (optionally interleaved with assert/retract churn), and prints a
+// client-side report next to the server's /v1/stats counters. The smoke
+// harness (`make serve-smoke`) drives the whole loop: generate a program,
+// start multilogd, storm it, check the stats.
+//
+// Usage:
+//
+//	serveload -emit prog.mlg -levels 4 -facts 300 -preds 4   # write a program
+//	serveload -addr 127.0.0.1:7070 -sessions 16 -queries 50 -updates 10
+//
+// The -levels/-preds flags must match the served program's shape (the same
+// flags that generated it).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "multilogd address")
+	db := flag.String("db", "", "database name (empty = the server's sole database)")
+	sessions := flag.Int("sessions", 16, "concurrent sessions")
+	queries := flag.Int("queries", 50, "queries per session")
+	updates := flag.Int("updates", 0, "assert/retract pairs by a concurrent updater")
+	seed := flag.Int64("seed", 1, "storm seed")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall storm deadline")
+	wait := flag.Duration("wait", 0, "poll the daemon's health for up to this long before storming")
+	emit := flag.String("emit", "", "write a generated program to this path and exit")
+	levels := flag.Int("levels", 4, "program shape: chain lattice length")
+	facts := flag.Int("facts", 300, "program shape: m-facts (with -emit)")
+	rules := flag.Int("rules", 16, "program shape: m-rules (with -emit)")
+	preds := flag.Int("preds", 4, "program shape: distinct predicates")
+	poly := flag.Float64("poly", 0.3, "program shape: polyinstantiation probability (with -emit)")
+	flag.Parse()
+
+	cfg := workload.ProgramConfig{
+		Levels: *levels, Facts: *facts, Rules: *rules, Preds: *preds, Seed: *seed, Poly: *poly,
+	}
+	if *emit != "" {
+		if err := os.WriteFile(*emit, []byte(workload.ProgramSource(cfg)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serveload: wrote %s (levels=%d facts=%d rules=%d preds=%d)\n",
+			*emit, cfg.Levels, cfg.Facts, cfg.Rules, cfg.Preds)
+		return
+	}
+
+	if err := run(*addr, *db, *sessions, *queries, *updates, *timeout, *wait, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, db string, sessions, queries, updates int, timeout, wait time.Duration, cfg workload.ProgramConfig) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := server.NewClient(addr, nil)
+	deadline := time.Now().Add(wait)
+	for {
+		err := c.Healthy(ctx)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s is not healthy: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	rep := workload.ServerLoad(ctx, c, workload.ServerLoadConfig{
+		Sessions: sessions, Queries: queries, Updates: updates,
+		Program: cfg, Seed: cfg.Seed, DB: db,
+	})
+	fmt.Printf("storm: %d queries (%d answers) in %s — %.0f q/s, %d cache hits, %d updates\n",
+		rep.Queries, rep.Answers, rep.Elapsed.Round(time.Millisecond), rep.QPS(), rep.CacheHits, rep.Updates)
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d request(s) failed; first: %s", rep.Errors, rep.FirstErr)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("fetching /v1/stats: %w", err)
+	}
+	fmt.Printf("server: served=%d errors=%d truncated=%d cache=%d/%d (hit/miss, %d entries) sessions peak=%d\n",
+		st.Queries.Served, st.Queries.Errors, st.Queries.Truncated,
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Sessions.Peak)
+
+	// Cross-check the daemon's counters against what the clients saw.
+	want := rep.Queries
+	if st.Queries.Served < want {
+		return fmt.Errorf("stats mismatch: server served %d queries, clients completed %d", st.Queries.Served, want)
+	}
+	if st.Cache.Hits < rep.CacheHits {
+		return fmt.Errorf("stats mismatch: server counted %d cache hits, clients observed %d", st.Cache.Hits, rep.CacheHits)
+	}
+	if updates > 0 && st.Cache.Invalidations == 0 && rep.CacheHits > 0 {
+		return fmt.Errorf("stats mismatch: updates ran but the cache was never invalidated")
+	}
+	fmt.Println("serveload: ok")
+	return nil
+}

@@ -307,6 +307,41 @@ func TestStoreClone(t *testing.T) {
 	if s.Len() != 1 || c.Len() != 2 {
 		t.Error("clone is not independent")
 	}
+	// The clone's indexes must be rebuilt, not aliased: an indexed match on
+	// the original must not see facts inserted into the clone, and vice
+	// versa — this is the aliasing gap copy-on-write snapshots rely on.
+	for name, st := range map[string]*Store{"original": s, "clone": c} {
+		want := map[string]int{"original": 1, "clone": 2}[name]
+		got := 0
+		st.Match(NewAtom("p", term.Var("X")), term.Subst{}, func(term.Subst) bool {
+			got++
+			return true
+		})
+		if got != want {
+			t.Errorf("%s: match found %d facts, want %d", name, got, want)
+		}
+		got = 0
+		st.Match(NewAtom("p", term.Const("b")), term.Subst{}, func(term.Subst) bool {
+			got++
+			return true
+		})
+		if wantB := want - 1; got != wantB {
+			t.Errorf("%s: indexed match on b found %d facts, want %d", name, got, wantB)
+		}
+	}
+	if s.Contains(NewAtom("p", term.Const("b"))) {
+		t.Error("clone insert leaked into the original")
+	}
+	// Fault hooks are deliberately not carried over: a clone is a private
+	// working copy.
+	s.InsertFault = func(Atom) error { return fmt.Errorf("injected") }
+	c2 := s.Clone()
+	if c2.InsertFault != nil {
+		t.Error("clone copied the fault hook")
+	}
+	if _, err := c2.Insert(NewAtom("p", term.Const("c"))); err != nil {
+		t.Errorf("clone insert hit the original's fault hook: %v", err)
+	}
 }
 
 func TestStratify(t *testing.T) {

@@ -45,6 +45,36 @@ func (db *Database) AddClause(c Clause) error {
 	return nil
 }
 
+// Clone returns a deep copy of the database: the four component slices and
+// every clause body are fresh, so appending to or editing the clone never
+// aliases the original. The cached lattice is not carried over (clones are
+// usually cloned in order to be changed). Clone is what makes copy-on-write
+// snapshots safe: a server can keep answering queries from the original
+// while an updater grows the clone.
+func (db *Database) Clone() *Database {
+	c := &Database{
+		Lambda:  cloneClauses(db.Lambda),
+		Sigma:   cloneClauses(db.Sigma),
+		Pi:      cloneClauses(db.Pi),
+		Queries: make([]Query, len(db.Queries)),
+	}
+	for i, q := range db.Queries {
+		c.Queries[i] = append(Query(nil), q...)
+	}
+	return c
+}
+
+func cloneClauses(cs []Clause) []Clause {
+	if cs == nil {
+		return nil
+	}
+	out := make([]Clause, len(cs))
+	for i, c := range cs {
+		out[i] = Clause{Head: c.Head, Body: append([]Goal(nil), c.Body...)}
+	}
+	return out
+}
+
 // String renders the database in the four-component layout of Figure 10.
 func (db *Database) String() string {
 	var b strings.Builder
@@ -205,15 +235,10 @@ func FromRelation(r *mls.Relation) (*Database, error) {
 	return db, nil
 }
 
-// D1 returns the paper's Figure 10 database, used by Example 5.2 and the
-// Figure 11 proof tree.
-//
-// The panic below is deliberate and audited: the source is a compile-time
-// constant, so a parse failure is a programming error in this file, not a
-// user-reachable condition (TestStaticFixturesNeverPanic pins this). All
-// user-supplied input goes through Parse/ParseGoals, which return errors.
-func D1() *Database {
-	src := `
+// D1Source is the paper's Figure 10 database as MultiLog source text, for
+// callers (the multilogd daemon, demos) that want to re-parse it
+// themselves.
+const D1Source = `
 		level(u).  level(c).  level(s).    % r1 - r3
 		order(u, c).  order(c, s).         % r4 - r5
 		u[p(k: a -u-> v)].                 % r6
@@ -222,7 +247,16 @@ func D1() *Database {
 		q(j).                              % r9
 		?- c[p(k: a -R-> v)] << opt.       % r10 (Example 5.2)
 	`
-	db, err := Parse(src)
+
+// D1 returns the paper's Figure 10 database, used by Example 5.2 and the
+// Figure 11 proof tree.
+//
+// The panic below is deliberate and audited: the source is a compile-time
+// constant, so a parse failure is a programming error in this file, not a
+// user-reachable condition (TestStaticFixturesNeverPanic pins this). All
+// user-supplied input goes through Parse/ParseGoals, which return errors.
+func D1() *Database {
+	db, err := Parse(D1Source)
 	if err != nil {
 		panic(err) //vet:allow nopanic -- static input; cannot fail
 	}

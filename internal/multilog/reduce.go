@@ -55,6 +55,10 @@ func (r *Reduction) Query(q Query) ([]Answer, error) {
 // model construction and the top-down matching phase are governed. On a
 // resource-limit stop (resource.IsLimit(err)) it returns the answers found
 // so far alongside the error.
+//
+// QueryContext mutates the reduction (lazy axiom registration, the model
+// cache, LastStats) and therefore must not be called concurrently; for
+// shared, read-only querying see Prepare and QueryPrepared.
 func (r *Reduction) QueryContext(ctx context.Context, q Query, limits resource.Limits) ([]Answer, error) {
 	r.LastStats = resource.Stats{} // ModelContext refills it when it builds
 	// Register the belief axioms any b-atom goal may need before
@@ -73,6 +77,59 @@ func (r *Reduction) QueryContext(ctx context.Context, q Query, limits resource.L
 	if model == nil {
 		return nil, modelErr
 	}
+	answers, match, err := r.match(ctx, model, q, limits)
+	r.LastStats.Steps += match.Steps
+	r.LastStats.Truncated = r.LastStats.Truncated || match.Truncated
+	if err != nil {
+		if resource.IsLimit(err) {
+			// Graceful degradation: the answers found before the limit hit.
+			return answers, err
+		}
+		return nil, err
+	}
+	return answers, modelErr
+}
+
+// Prepare eagerly materializes the reduced program's minimal model so the
+// reduction can afterwards serve any number of concurrent QueryPrepared
+// calls without further mutation. It returns an error — and leaves the
+// reduction unprepared — when ctx or limits cut the model construction
+// short. Call it once, before publishing the reduction to other goroutines.
+func (r *Reduction) Prepare(ctx context.Context, limits resource.Limits) error {
+	_, err := r.ModelContext(ctx, limits)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// QueryPrepared answers q against the prepared model without mutating the
+// reduction, so it is safe for concurrent use by any number of goroutines
+// once Prepare has succeeded. The matching phase is governed by ctx and
+// limits; the work done is returned as stats rather than stored in
+// LastStats (which QueryPrepared never touches).
+//
+// Unlike QueryContext it performs no lazy axiom registration. That is
+// semantically harmless: Reduce pre-registers every (predicate, level,
+// mode) triple over the Σ predicates at levels the user dominates — the
+// only levels the λ guard lets a query reach — and for predicates outside
+// Σ the belief axioms range over empty rel relations, so registering them
+// could never contribute an answer.
+func (r *Reduction) QueryPrepared(ctx context.Context, q Query, limits resource.Limits) ([]Answer, resource.Stats, error) {
+	if r.model == nil {
+		return nil, resource.Stats{}, fmt.Errorf("multilog: reduction is not prepared (call Prepare before QueryPrepared)")
+	}
+	answers, stats, err := r.match(ctx, r.model, q, limits)
+	if err != nil && !resource.IsLimit(err) {
+		return nil, stats, err
+	}
+	return answers, stats, err
+}
+
+// match runs the top-down matching phase of a query against a materialized
+// model. It reads the reduction (Poset, User) and the model but mutates
+// neither, so concurrent calls over the same model are safe.
+func (r *Reduction) match(ctx context.Context, model *datalog.Store, q Query, limits resource.Limits) ([]Answer, resource.Stats, error) {
 	gov := resource.New(ctx, limits)
 	queryVars := map[string]bool{}
 	for _, g := range q {
@@ -167,20 +224,10 @@ func (r *Reduction) QueryContext(ctx context.Context, q Query, limits resource.L
 		return nil
 	}
 	err := solve(0, term.Subst{})
-	match := gov.Snapshot()
-	r.LastStats.Steps += match.Steps
-	r.LastStats.Truncated = r.LastStats.Truncated || match.Truncated
 	sort.Slice(answers, func(i, j int) bool {
 		return answers[i].Bindings.String() < answers[j].Bindings.String()
 	})
-	if err != nil {
-		if resource.IsLimit(err) {
-			// Graceful degradation: the answers found before the limit hit.
-			return answers, err
-		}
-		return nil, err
-	}
-	return answers, modelErr
+	return answers, gov.Snapshot(), err
 }
 
 // levelCandidates enumerates the levels a level-position term can take:

@@ -1,0 +1,164 @@
+package multilog
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+// TestDatabaseClone pins the deep-copy contract Clone promises: growing or
+// editing the clone must never reach back into the original, because the
+// server's copy-on-write update path keeps answering queries from the
+// original while the clone is being changed.
+func TestDatabaseClone(t *testing.T) {
+	db := D1()
+	before := db.String()
+	c := db.Clone()
+	if c.String() != before {
+		t.Fatalf("clone differs from original:\n%s\nvs\n%s", c.String(), before)
+	}
+
+	// Grow every component of the clone.
+	extra, err := Parse(`
+		level(t). order(s, t).
+		t[p(k2: a -t-> w)].
+		q(extra).
+		?- s[p(K: a -C-> V)] << fir.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Lambda = append(c.Lambda, extra.Lambda...)
+	c.Sigma = append(c.Sigma, extra.Sigma...)
+	c.Pi = append(c.Pi, extra.Pi...)
+	c.Queries = append(c.Queries, extra.Queries...)
+	// Edit a clause body in place.
+	if len(c.Sigma) == 0 || len(db.Sigma) == 0 {
+		t.Fatal("want Σ clauses in D1")
+	}
+	for i := range c.Sigma {
+		if len(c.Sigma[i].Body) > 0 {
+			c.Sigma[i].Body = append(c.Sigma[i].Body, PGoal(extra.Pi[0].Head.P))
+		}
+	}
+
+	if db.String() != before {
+		t.Errorf("mutating the clone changed the original:\n%s\nwant\n%s", db.String(), before)
+	}
+	// The clone must still be a working database.
+	if _, err := c.Poset(); err != nil {
+		t.Fatalf("clone poset: %v", err)
+	}
+}
+
+// TestQueryPreparedAgreesWithQueryContext checks that the read-only
+// prepared path computes exactly the answers of the mutating path, for
+// queries both inside and outside Σ's predicate set.
+func TestQueryPreparedAgreesWithQueryContext(t *testing.T) {
+	queries := []string{
+		"c[p(k: a -R-> v)] << opt",
+		"L[p(K: a -C-> V)] << cau",
+		"s[p(K: a -C-> V)] << fir",
+		"c[p(k: a -C-> V)]",
+		"c[nosuch(K: a -C-> V)] << cau", // predicate outside Σ: no lazy registration needed
+		"q(X)",
+	}
+	for _, src := range queries {
+		q, err := ParseGoals(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Reduce(D1(), "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.QueryContext(context.Background(), q, resource.Limits{})
+		if err != nil {
+			t.Fatalf("%s: QueryContext: %v", src, err)
+		}
+
+		shared, err := Reduce(D1(), "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := shared.QueryPrepared(context.Background(), q, resource.Limits{}); err == nil {
+			t.Fatalf("%s: QueryPrepared before Prepare should fail", src)
+		}
+		if err := shared.Prepare(context.Background(), resource.Limits{}); err != nil {
+			t.Fatal(err)
+		}
+		// A governed call reports its matching work; an ungoverned call
+		// takes the nil-governor fast path and reports zero stats.
+		got, stats, err := shared.QueryPrepared(context.Background(), q, resource.Limits{MaxSteps: 1 << 20})
+		if err != nil {
+			t.Fatalf("%s: QueryPrepared: %v", src, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: prepared answers %v, want %v", src, got, want)
+		}
+		if stats.Steps == 0 {
+			t.Errorf("%s: governed prepared stats report no steps", src)
+		}
+	}
+}
+
+// TestQueryPreparedConcurrent hammers one prepared reduction from many
+// goroutines (run under -race) and checks every one computes the same
+// answer set.
+func TestQueryPreparedConcurrent(t *testing.T) {
+	red, err := Reduce(D1(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := red.Prepare(context.Background(), resource.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	q := D1Query()
+	want, _, err := red.QueryPrepared(context.Background(), q, resource.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := red.QueryPrepared(context.Background(), q, resource.Limits{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				errs <- fmt.Errorf("answers %v, want %v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestQueryPreparedGoverned checks the matching phase respects limits and
+// comes back with a typed error plus partial stats.
+func TestQueryPreparedGoverned(t *testing.T) {
+	red, err := Reduce(D1(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := red.Prepare(context.Background(), resource.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := red.QueryPrepared(context.Background(), D1Query(), resource.Limits{MaxSteps: 1})
+	if err == nil || !resource.IsLimit(err) {
+		t.Fatalf("err = %v, want a resource-limit stop", err)
+	}
+	if !stats.Truncated {
+		t.Error("stats not marked truncated")
+	}
+}

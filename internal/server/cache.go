@@ -1,0 +1,122 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// resultCache is the invalidating answer cache: finished (complete,
+// untruncated) query results keyed by (database, program epoch, clearance,
+// belief mode, effective query). Bounded LRU; all methods are safe for
+// concurrent use.
+//
+// Correctness does not depend on eviction or purging: the program epoch is
+// part of the key, so an update — which bumps the epoch before any later
+// query can observe the new program — makes every stale entry unreachable.
+// Invalidate exists to reclaim their memory promptly and to make the
+// /stats invalidation counter meaningful.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List               // front = most recent; values are *cacheEntry
+	by  map[string]*list.Element // key -> element
+
+	hits, misses, evictions, invalidations int64
+}
+
+type cacheEntry struct {
+	key     string
+	db      string
+	epoch   uint64
+	answers []map[string]string
+}
+
+// cacheKey builds the composite key. The components are length-prefixed so
+// no crafted query string can collide across fields.
+func cacheKey(db string, epoch uint64, clearance, mode, query string) string {
+	var b strings.Builder
+	for _, part := range []string{db, strconv.FormatUint(epoch, 10), clearance, mode, query} {
+		b.WriteString(strconv.Itoa(len(part)))
+		b.WriteByte(':')
+		b.WriteString(part)
+	}
+	return b.String()
+}
+
+// newResultCache builds a cache holding up to capacity entries; capacity
+// <= 0 disables caching (every Get misses, every Put is dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, lru: list.New(), by: map[string]*list.Element{}}
+}
+
+// Get returns the cached answers for key, if present.
+func (c *resultCache) Get(key string) ([]map[string]string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.by[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).answers, true
+}
+
+// Put stores a complete result, evicting the least recently used entry
+// when full. Callers must not cache truncated or erroneous results.
+func (c *resultCache) Put(key, db string, epoch uint64, answers []map[string]string) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.by[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).answers = answers
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.by, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.by[key] = c.lru.PushFront(&cacheEntry{key: key, db: db, epoch: epoch, answers: answers})
+}
+
+// Invalidate drops every entry of db older than epoch and returns how many
+// were dropped. Called by the update path after bumping the epoch.
+func (c *resultCache) Invalidate(db string, epoch uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.db == db && e.epoch < epoch {
+			c.lru.Remove(el)
+			delete(c.by, e.key)
+			n++
+		}
+		el = next
+	}
+	c.invalidations += int64(n)
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.lru.Len(),
+		Capacity:      c.cap,
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ans(v string) []map[string]string {
+	return []map[string]string{{"V": v}}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	k := func(i int) string { return cacheKey("db", 1, "s", "fir", fmt.Sprintf("q%d", i)) }
+
+	c.Put(k(0), "db", 1, ans("a"))
+	c.Put(k(1), "db", 1, ans("b"))
+	// Touch k0 so k1 is the LRU victim.
+	if _, ok := c.Get(k(0)); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put(k(2), "db", 1, ans("c"))
+
+	if _, ok := c.Get(k(1)); ok {
+		t.Error("k1 survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get(k(0)); !ok {
+		t.Error("recently used k0 was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2/2 entries", st)
+	}
+}
+
+func TestCacheInvalidateByEpoch(t *testing.T) {
+	c := newResultCache(16)
+	c.Put(cacheKey("a", 1, "s", "fir", "q"), "a", 1, ans("old"))
+	c.Put(cacheKey("a", 2, "s", "fir", "q"), "a", 2, ans("new"))
+	c.Put(cacheKey("b", 1, "s", "fir", "q"), "b", 1, ans("other"))
+
+	// Dropping db "a" entries older than epoch 2 keeps the current epoch
+	// and the unrelated database.
+	if n := c.Invalidate("a", 2); n != 1 {
+		t.Fatalf("invalidated %d entries, want 1", n)
+	}
+	if _, ok := c.Get(cacheKey("a", 1, "s", "fir", "q")); ok {
+		t.Error("stale epoch-1 entry survived invalidation")
+	}
+	if _, ok := c.Get(cacheKey("a", 2, "s", "fir", "q")); !ok {
+		t.Error("current-epoch entry was dropped")
+	}
+	if _, ok := c.Get(cacheKey("b", 1, "s", "fir", "q")); !ok {
+		t.Error("entry of an unrelated database was dropped")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	key := cacheKey("db", 1, "s", "fir", "q")
+	c.Put(key, "db", 1, ans("x"))
+	if _, ok := c.Get(key); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want empty with 1 miss", st)
+	}
+}
+
+// TestCacheKeyInjection: length prefixes keep crafted components from
+// colliding across field boundaries.
+func TestCacheKeyInjection(t *testing.T) {
+	a := cacheKey("db", 1, "s", "fir", "q")
+	b := cacheKey("db", 1, "s", "f", "irq")
+	if a == b {
+		t.Fatalf("distinct (mode, query) pairs collided: %q", a)
+	}
+}

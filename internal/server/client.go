@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client drives a running multilogd over its JSON/HTTP protocol. It is the
+// programmatic face of the wire protocol: the REPL's \connect mode, the
+// workload load generator and the smoke harness all speak through it. A
+// Client is safe for concurrent use; each session token is carried
+// per-call, so one client can multiplex many sessions.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// RemoteError is a non-2xx protocol reply: the server's machine code plus
+// its message. Match the code with the Code* constants.
+type RemoteError struct {
+	Status  int    // HTTP status
+	Code    string // machine code (CodeOverloaded, CodeDenied, ...)
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// NewClient returns a client for a base URL like "http://host:port" (a
+// bare "host:port" gets the scheme prefixed). httpClient nil uses a
+// default with a 30s overall timeout.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// Healthy probes /v1/healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: health probe returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Open opens a session and returns the server's view of it.
+func (c *Client) Open(ctx context.Context, req OpenRequest) (*OpenResponse, error) {
+	var resp OpenResponse
+	if err := c.post(ctx, "/v1/session", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close releases a session.
+func (c *Client) Close(ctx context.Context, session string) error {
+	var resp CloseResponse
+	return c.post(ctx, "/v1/session/close", CloseRequest{Session: session}, &resp)
+}
+
+// QueryContext asks one query. On a limit stop (HTTP 408) the partial
+// response is returned alongside the *RemoteError so callers can show
+// what was found.
+func (c *Client) QueryContext(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	err := c.post(ctx, "/v1/query", req, &resp)
+	if err != nil {
+		var re *RemoteError
+		if errors.As(err, &re) && re.Status == http.StatusRequestTimeout && re.Code == "" {
+			// The 408 carried a partial QueryResponse body, decoded above.
+			re.Code = CodeLimit
+			re.Message = "query truncated by a deadline or budget"
+			return &resp, re
+		}
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Assert adds clauses through the session; Retract removes them.
+func (c *Client) Assert(ctx context.Context, session, clauses string) (*UpdateResponse, error) {
+	var resp UpdateResponse
+	if err := c.post(ctx, "/v1/assert", UpdateRequest{Session: session, Clauses: clauses}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Retract removes clauses through the session.
+func (c *Client) Retract(ctx context.Context, session, clauses string) (*UpdateResponse, error) {
+	var resp UpdateResponse
+	if err := c.post(ctx, "/v1/retract", UpdateRequest{Session: session, Clauses: clauses}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeRemoteError(resp.StatusCode, resp.Body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// post sends a JSON request and decodes a JSON reply into out. Non-2xx
+// replies become *RemoteError. A 408 with a decodable out-body (the
+// partial-answer case) decodes out AND returns the error.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	if resp.StatusCode == http.StatusRequestTimeout {
+		// The truncation reply carries the partial result body.
+		if err := json.NewDecoder(resp.Body).Decode(out); err == nil {
+			return &RemoteError{Status: resp.StatusCode}
+		}
+		return &RemoteError{Status: resp.StatusCode, Code: CodeLimit, Message: "truncated"}
+	}
+	return decodeRemoteError(resp.StatusCode, resp.Body)
+}
+
+func decodeRemoteError(status int, body io.Reader) error {
+	var er ErrorResponse
+	if err := json.NewDecoder(body).Decode(&er); err != nil {
+		return &RemoteError{Status: status, Code: CodeInternal, Message: fmt.Sprintf("undecodable error body: %v", err)}
+	}
+	return &RemoteError{Status: status, Code: er.Code, Message: er.Message}
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OverloadError is the typed overload signal: the concurrent-session cap is
+// reached. Clients should back off and retry; the HTTP layer maps it to
+// 503 with code "overloaded". Match with errors.As.
+type OverloadError struct {
+	Active int // sessions open when the request arrived
+	Max    int // the configured cap
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded: %d sessions open (cap %d)", e.Active, e.Max)
+}
+
+// DeniedError reports a clearance violation: the session's label does not
+// permit the requested action. Match with errors.As; maps to 400 "denied".
+type DeniedError struct {
+	Clearance string // the session's clearance
+	Level     string // the level the action needed
+	Action    string // "assert", "retract", ...
+}
+
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("server: %s denied: level %q is not dominated by clearance %q", e.Action, e.Level, e.Clearance)
+}
+
+// LintError rejects a program (at load or update) that fails the
+// internal/lint error-severity passes. Findings carries the rendered
+// diagnostics. Maps to 400 "lint".
+type LintError struct {
+	Name     string // database name
+	Findings string // rendered diagnostics, one per line
+}
+
+func (e *LintError) Error() string {
+	return fmt.Sprintf("server: program %q rejected by lint:\n%s", e.Name, e.Findings)
+}
+
+// ErrUnknownSession reports a token that names no live session. Match with
+// errors.Is; maps to 404 "unknown-session".
+var ErrUnknownSession = errors.New("server: unknown session")
+
+// ErrUnknownDB reports a database name the daemon did not load. Match with
+// errors.Is; maps to 404 "unknown-db".
+var ErrUnknownDB = errors.New("server: unknown database")
+
+// ErrShuttingDown reports that the server is draining and accepts no new
+// work. Maps to 503 "overloaded".
+var ErrShuttingDown = errors.New("server: shutting down")

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/datalog"
+	"repro/internal/resource"
+)
+
+// maxBodyBytes bounds request bodies; programs are loaded out of band, so
+// a query or a handful of clauses fits easily.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the HTTP API. Every handler contains panics (one bad
+// query must not take the daemon down) and refuses new work while
+// draining.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", s.wrap(s.handleOpen))
+	mux.HandleFunc("POST /v1/session/close", s.wrap(s.handleClose))
+	mux.HandleFunc("POST /v1/query", s.wrap(s.handleQuery))
+	mux.HandleFunc("POST /v1/assert", s.wrap(s.handleAssert))
+	mux.HandleFunc("POST /v1/retract", s.wrap(s.handleRetract))
+	mux.HandleFunc("GET /v1/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// wrap adds in-flight tracking, the drain gate and panic containment
+// around one handler.
+func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, ErrShuttingDown)
+			return
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Done()
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		var err error
+		func() {
+			defer resource.Protect("server.handler", &err)
+			err = h(w, r)
+		}()
+		if err != nil {
+			writeError(w, err)
+		}
+	}
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) error {
+	var req OpenRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	sess, epoch, err := s.Open(req)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, OpenResponse{
+		Session:   sess.Token,
+		DB:        sess.DB,
+		Clearance: string(sess.Clearance),
+		Mode:      string(sess.Mode),
+		Epoch:     epoch,
+	})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) error {
+	var req CloseRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, CloseResponse{Closed: s.sessions.Close(req.Session)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req QueryRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	sess, err := s.sessions.Lookup(req.Session)
+	if err != nil {
+		return err
+	}
+	resp, err := s.Query(r.Context(), sess, req)
+	if err != nil {
+		if resp != nil && resource.IsLimit(err) {
+			// Partial answers under a limit stop: 408 plus what was found.
+			return writeJSON(w, http.StatusRequestTimeout, resp)
+		}
+		return err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) error {
+	return s.handleUpdate(w, r, false)
+}
+
+func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) error {
+	return s.handleUpdate(w, r, true)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, retract bool) error {
+	var req UpdateRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	sess, err := s.sessions.Lookup(req.Session)
+	if err != nil {
+		return err
+	}
+	resp, err := s.Update(sess, req, retract)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// badRequestError marks malformed transport-level input.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func decode(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &badRequestError{fmt.Errorf("decoding request: %w", err)}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps a typed error to its HTTP status and machine code.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, CodeInternal
+	var (
+		overload *OverloadError
+		denied   *DeniedError
+		lintErr  *LintError
+		budget   *resource.ErrBudgetExceeded
+		internal *resource.InternalError
+		syntax   *datalog.SyntaxError
+		badReq   *badRequestError
+	)
+	switch {
+	case errors.As(err, &overload), errors.Is(err, ErrShuttingDown):
+		status, code = http.StatusServiceUnavailable, CodeOverloaded
+	case errors.As(err, &denied):
+		status, code = http.StatusBadRequest, CodeDenied
+	case errors.As(err, &lintErr):
+		status, code = http.StatusBadRequest, CodeLint
+	case errors.As(err, &syntax):
+		status, code = http.StatusBadRequest, CodeParse
+	case errors.Is(err, ErrUnknownSession):
+		status, code = http.StatusNotFound, CodeUnknownSession
+	case errors.Is(err, ErrUnknownDB):
+		status, code = http.StatusNotFound, CodeUnknownDB
+	case errors.Is(err, resource.ErrCanceled), errors.As(err, &budget):
+		status, code = http.StatusRequestTimeout, CodeLimit
+	case errors.As(err, &internal):
+		status, code = http.StatusInternalServerError, CodeInternal
+	case errors.As(err, &badReq):
+		status, code = http.StatusBadRequest, CodeBadRequest
+	default:
+		// Unclassified errors from parsing/validation read as client
+		// errors, not server faults.
+		status, code = http.StatusBadRequest, CodeBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Code: code, Message: err.Error()}) //nolint:errcheck // best-effort error body
+}

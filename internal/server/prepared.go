@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lattice"
+	"repro/internal/lint"
+	"repro/internal/multilog"
+	"repro/internal/resource"
+	"repro/internal/term"
+)
+
+// preparedProgram is one loaded MultiLog database behind a copy-on-write
+// snapshot: the hot path (queries) takes a read lock only long enough to
+// grab the current *snapshot pointer, then evaluates against that snapshot
+// with no locks held; the cold path (assert/retract) builds a fresh
+// snapshot from a deep clone and swaps the pointer. In-flight queries keep
+// answering from the snapshot they started on — their answers are tagged
+// (and cached) with that snapshot's epoch, so they can never be confused
+// with post-update state.
+type preparedProgram struct {
+	name string
+
+	mu   sync.RWMutex // guards snap
+	snap *snapshot
+
+	upMu    sync.Mutex // serializes updates (clone → edit → lint → swap)
+	updates atomic.Int64
+}
+
+// snapshot is one immutable program version. The database, its poset and
+// the per-clearance reductions are never modified after publication; the
+// reductions map alone grows lazily under its own lock (building the
+// reduction for a clearance the first time a session at that clearance
+// queries).
+type snapshot struct {
+	epoch uint64
+	db    *multilog.Database
+	poset *lattice.Poset
+
+	redMu      sync.RWMutex
+	reductions map[lattice.Label]*multilog.Reduction
+}
+
+// newPrepared parses, lints and prepares a program. Lint findings of
+// severity Error reject the program with a *LintError; warnings are
+// returned for the caller to log.
+func newPrepared(name, src string, prepLimits resource.Limits) (*preparedProgram, lint.Diagnostics, error) {
+	db, err := multilog.Parse(src)
+	if err != nil {
+		return nil, nil, &LintError{Name: name, Findings: lint.FromParseError(name, err).String()}
+	}
+	diags := lint.MultiLog(db, lint.Options{File: name})
+	if diags.HasErrors() {
+		return nil, diags, &LintError{Name: name, Findings: diags.String()}
+	}
+	snap, err := newSnapshot(1, db)
+	if err != nil {
+		return nil, diags, err
+	}
+	_ = prepLimits // reductions are prepared lazily, per clearance, under the server's limits
+	return &preparedProgram{name: name, snap: snap}, diags, nil
+}
+
+// newSnapshot freezes a database into an immutable version: the poset is
+// computed (and admissibility checked) up front so that later concurrent
+// Reduce calls only read the cache.
+func newSnapshot(epoch uint64, db *multilog.Database) (*snapshot, error) {
+	if err := db.CheckAdmissible(); err != nil {
+		return nil, err
+	}
+	poset, err := db.Poset()
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot{epoch: epoch, db: db, poset: poset,
+		reductions: map[lattice.Label]*multilog.Reduction{}}, nil
+}
+
+// current returns the live snapshot.
+func (p *preparedProgram) current() *snapshot {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.snap
+}
+
+// reductionAt returns the snapshot's prepared reduction for one clearance,
+// compiling it on first use. Compilation (parse-free: the database is
+// already in memory) runs Reduce plus an eager model build under limits,
+// so a hostile program cannot wedge the first query at a level forever.
+func (s *snapshot) reductionAt(ctx context.Context, u lattice.Label, limits resource.Limits) (*multilog.Reduction, error) {
+	s.redMu.RLock()
+	red := s.reductions[u]
+	s.redMu.RUnlock()
+	if red != nil {
+		return red, nil
+	}
+	s.redMu.Lock()
+	defer s.redMu.Unlock()
+	if red := s.reductions[u]; red != nil {
+		return red, nil
+	}
+	red, err := multilog.Reduce(s.db, u)
+	if err != nil {
+		return nil, err
+	}
+	if err := red.Prepare(ctx, limits); err != nil {
+		return nil, err
+	}
+	s.reductions[u] = red
+	return red, nil
+}
+
+// stats snapshots the program's counters.
+func (p *preparedProgram) stats() DBStats {
+	s := p.current()
+	s.redMu.RLock()
+	nred := len(s.reductions)
+	s.redMu.RUnlock()
+	return DBStats{
+		Epoch:      s.epoch,
+		Lambda:     len(s.db.Lambda),
+		Sigma:      len(s.db.Sigma),
+		Pi:         len(s.db.Pi),
+		Reductions: nred,
+		Updates:    p.updates.Load(),
+	}
+}
+
+// update applies an assert or retract on behalf of a session cleared at
+// clearance. src is MultiLog source holding Σ and/or Π clauses; Λ clauses
+// and stored queries are rejected (the lattice and the query set are fixed
+// at load). Write authorization is value-based MLS: every ground security
+// level and classification mentioned by the clauses must be dominated by
+// the subject's clearance — you cannot write (or remove) data you cannot
+// see. The updated program is re-linted before the swap; a program the
+// linter rejects never becomes an epoch.
+//
+// It returns the new epoch (unchanged when nothing changed) and how many
+// clauses were added or removed.
+func (p *preparedProgram) update(src string, clearance lattice.Label, retract bool) (uint64, int, error) {
+	delta, err := multilog.Parse(src)
+	if err != nil {
+		return 0, 0, fmt.Errorf("parse: %w", err)
+	}
+	if len(delta.Lambda) > 0 {
+		return 0, 0, fmt.Errorf("server: the security lattice is fixed at load; Λ clauses cannot be asserted or retracted")
+	}
+	if len(delta.Queries) > 0 {
+		return 0, 0, fmt.Errorf("server: stored queries are fixed at load; send queries to /v1/query")
+	}
+	if len(delta.Sigma)+len(delta.Pi) == 0 {
+		return 0, 0, fmt.Errorf("server: no clauses to apply")
+	}
+
+	p.upMu.Lock()
+	defer p.upMu.Unlock()
+	cur := p.current()
+
+	for _, c := range delta.Sigma {
+		if err := authorizeClause(c, cur.poset, clearance, retract); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	next := cur.db.Clone()
+	changed := 0
+	if retract {
+		changed += retractClauses(&next.Sigma, delta.Sigma)
+		changed += retractClauses(&next.Pi, delta.Pi)
+		if changed == 0 {
+			return cur.epoch, 0, nil
+		}
+	} else {
+		for _, c := range append(append([]multilog.Clause{}, delta.Sigma...), delta.Pi...) {
+			if err := next.AddClause(c); err != nil {
+				return 0, 0, err
+			}
+			changed++
+		}
+	}
+
+	diags := lint.MultiLog(next, lint.Options{File: p.name})
+	if diags.HasErrors() {
+		return 0, 0, &LintError{Name: p.name, Findings: diags.String()}
+	}
+	snap, err := newSnapshot(cur.epoch+1, next)
+	if err != nil {
+		return 0, 0, err
+	}
+	p.mu.Lock()
+	p.snap = snap
+	p.mu.Unlock()
+	p.updates.Add(1)
+	return snap.epoch, changed, nil
+}
+
+// authorizeClause enforces the write rule on one Σ clause: every ground
+// level or classification it mentions must be dominated by the clearance.
+func authorizeClause(c multilog.Clause, poset *lattice.Poset, clearance lattice.Label, retract bool) error {
+	action := "assert"
+	if retract {
+		action = "retract"
+	}
+	goals := append([]multilog.Goal{c.Head}, c.Body...)
+	for _, g := range goals {
+		if g.Kind != multilog.GoalM && g.Kind != multilog.GoalB {
+			continue
+		}
+		for _, t := range []term.Term{g.M.Level, g.M.Class} {
+			if t.Kind() != term.KindConst {
+				continue // variables range over levels the evaluation guards
+			}
+			lbl := lattice.Label(t.Name())
+			if !poset.Has(lbl) {
+				continue // unknown constants are caught by lint/admissibility
+			}
+			if !poset.Dominates(clearance, lbl) {
+				return &DeniedError{Clearance: string(clearance), Level: string(lbl), Action: action}
+			}
+		}
+	}
+	return nil
+}
+
+// retractClauses removes from dst every clause whose canonical rendering
+// equals a clause of del, returning how many were removed.
+func retractClauses(dst *[]multilog.Clause, del []multilog.Clause) int {
+	if len(del) == 0 {
+		return 0
+	}
+	gone := map[string]bool{}
+	for _, c := range del {
+		gone[c.String()] = true
+	}
+	kept := (*dst)[:0]
+	removed := 0
+	for _, c := range *dst {
+		if gone[c.String()] {
+			removed++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	*dst = kept
+	return removed
+}

@@ -1,0 +1,173 @@
+package server
+
+import "repro/internal/resource"
+
+// The wire protocol is plain JSON over HTTP/1.1, versioned under /v1/.
+// Endpoints:
+//
+//	POST /v1/session        OpenRequest  -> OpenResponse     open a session
+//	POST /v1/session/close  CloseRequest -> CloseResponse    close a session
+//	POST /v1/query          QueryRequest -> QueryResponse    answer a query
+//	POST /v1/assert         UpdateRequest -> UpdateResponse  add clauses
+//	POST /v1/retract        UpdateRequest -> UpdateResponse  remove clauses
+//	GET  /v1/stats          -> StatsResponse                 counters
+//	GET  /v1/healthz        -> 200 "ok"                      liveness
+//
+// Every error comes back as an ErrorResponse with a stable machine code
+// and the HTTP status mirroring it (400 bad-request/parse/lint/denied,
+// 404 unknown-session/unknown-db, 408 limit on deadline, 503 overloaded,
+// 500 internal).
+
+// Error codes. These are API: clients branch on Code, never on Message.
+const (
+	CodeBadRequest     = "bad-request"     // malformed JSON or missing field
+	CodeParse          = "parse"           // query/clause source did not parse
+	CodeLint           = "lint"            // program rejected by the linter
+	CodeDenied         = "denied"          // clearance does not permit the action
+	CodeUnknownDB      = "unknown-db"      // no database with that name
+	CodeUnknownSession = "unknown-session" // session token not found (or expired)
+	CodeOverloaded     = "overloaded"      // session cap reached
+	CodeLimit          = "limit"           // deadline or resource budget hit
+	CodeInternal       = "internal"        // contained engine panic / bug
+)
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// OpenRequest authenticates a subject and fixes the session view: every
+// query on the session is answered at Clearance under Mode.
+type OpenRequest struct {
+	// Subject names the principal (audit only; there is no password — the
+	// daemon trusts its front-end, as the paper's interpreter trusts login).
+	Subject string `json:"subject"`
+	// Clearance is the subject's security level; it must be asserted by the
+	// database's Λ.
+	Clearance string `json:"clearance"`
+	// Mode is the session's default belief mode, applied to query m-atoms
+	// that carry no explicit "<< mode". Empty defaults to "fir", which is
+	// answer-preserving: firm belief at a level is exactly the m-atoms
+	// visible at it (axiom a4).
+	Mode string `json:"mode,omitempty"`
+	// DB names the database to bind to; empty selects the daemon's sole
+	// database when exactly one is loaded.
+	DB string `json:"db,omitempty"`
+}
+
+// OpenResponse returns the session token and the bound view.
+type OpenResponse struct {
+	Session   string `json:"session"`
+	DB        string `json:"db"`
+	Clearance string `json:"clearance"`
+	Mode      string `json:"mode"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// CloseRequest releases a session.
+type CloseRequest struct {
+	Session string `json:"session"`
+}
+
+// CloseResponse acknowledges the release.
+type CloseResponse struct {
+	Closed bool `json:"closed"`
+}
+
+// QueryRequest asks one conjunctive MultiLog query on a session.
+type QueryRequest struct {
+	Session string `json:"session"`
+	// Query is the goal conjunction, as accepted by multilog.ParseGoals
+	// ("?-" prefix and trailing "." optional).
+	Query string `json:"query"`
+	// Mode overrides the session's default belief mode for this query only.
+	Mode string `json:"mode,omitempty"`
+	// Raw disables the belief rewrite: m-atoms are answered as m-atoms.
+	Raw bool `json:"raw,omitempty"`
+	// TimeoutMS bounds this query's wall clock; it can only tighten the
+	// server's per-request deadline, never extend it. 0 means the server
+	// default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxFacts/MaxSteps tighten the server's per-request resource budget.
+	MaxFacts int64 `json:"max_facts,omitempty"`
+	MaxSteps int64 `json:"max_steps,omitempty"`
+}
+
+// QueryResponse carries the answers.
+type QueryResponse struct {
+	// Answers lists one binding map per answer (variable -> term text),
+	// deterministically ordered.
+	Answers []map[string]string `json:"answers"`
+	// Query echoes the effective query after the belief rewrite — what the
+	// cache is keyed on.
+	Query string `json:"query"`
+	// Cached reports a result-cache hit.
+	Cached bool `json:"cached"`
+	// Epoch is the program epoch the answer was computed at.
+	Epoch uint64 `json:"epoch"`
+	// Stats reports the matching work (zero on cache hits and on the
+	// ungoverned fast path).
+	Stats resource.Stats `json:"stats"`
+}
+
+// UpdateRequest asserts or retracts clauses on the session's database.
+type UpdateRequest struct {
+	Session string `json:"session"`
+	// Clauses is MultiLog source: one or more Σ/Π clauses ("s[p(k: a -s->
+	// v)]." etc.). Λ clauses are rejected — the lattice is fixed at load.
+	Clauses string `json:"clauses"`
+}
+
+// UpdateResponse reports the new program epoch.
+type UpdateResponse struct {
+	Epoch uint64 `json:"epoch"`
+	// Changed counts clauses actually added (assert) or removed (retract).
+	Changed int `json:"changed"`
+	// Invalidated counts result-cache entries dropped by this update.
+	Invalidated int `json:"invalidated"`
+}
+
+// StatsResponse is the /v1/stats body.
+type StatsResponse struct {
+	UptimeMS  int64              `json:"uptime_ms"`
+	Sessions  SessionStats       `json:"sessions"`
+	Queries   QueryStats         `json:"queries"`
+	Cache     CacheStats         `json:"cache"`
+	Databases map[string]DBStats `json:"databases"`
+}
+
+// SessionStats counts session-manager traffic.
+type SessionStats struct {
+	Open   int   `json:"open"`
+	Peak   int   `json:"peak"`
+	Opened int64 `json:"opened"`
+	Denied int64 `json:"denied"` // rejected by the concurrent-session cap
+}
+
+// QueryStats counts query traffic.
+type QueryStats struct {
+	Served    int64 `json:"served"`
+	Errors    int64 `json:"errors"`
+	Truncated int64 `json:"truncated"` // hit a deadline or budget
+}
+
+// CacheStats counts result-cache traffic.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Capacity      int   `json:"capacity"`
+}
+
+// DBStats describes one loaded database.
+type DBStats struct {
+	Epoch      uint64 `json:"epoch"`
+	Lambda     int    `json:"lambda"`
+	Sigma      int    `json:"sigma"`
+	Pi         int    `json:"pi"`
+	Reductions int    `json:"reductions"` // prepared (per-clearance) reductions
+	Updates    int64  `json:"updates"`
+}

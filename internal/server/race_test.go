@@ -1,0 +1,158 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestConcurrentSessionsWithUpdater is the race/leak acceptance test: 64
+// sessions query concurrently while an updater asserts and retracts, then
+// the server drains. Run under -race. Three properties are checked:
+// queries never fail, every answer set is consistent with SOME program
+// epoch (atomic snapshots — never a torn view), and no goroutines leak
+// after the drain completes.
+func TestConcurrentSessionsWithUpdater(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := server.New(server.Config{MaxSessions: 128})
+	if err := srv.Load("test", testProgram); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln, 5*time.Second) }()
+
+	hc := &http.Client{Timeout: 10 * time.Second}
+	c := server.NewClient(ln.Addr().String(), hc)
+
+	const storm = "L[emp(K: salary -C-> V)]"
+	const fact = "u[emp(carol: salary -u-> low)]."
+
+	// Phase 0: measure, per view, the two legal answer counts — without
+	// and with the updater's fact. Any other count during the storm is a
+	// torn or stale read.
+	views := []struct{ clearance, mode string }{{"u", ""}, {"c", "opt"}, {"s", "cau"}}
+	tokens := make([]string, len(views))
+	legal := make([]map[int]bool, len(views))
+	bg := context.Background()
+	for i, v := range views {
+		resp, err := c.Open(bg, server.OpenRequest{
+			Subject: fmt.Sprintf("probe%d", i), Clearance: v.clearance, Mode: v.mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens[i] = resp.Session
+	}
+	count := func(i int) int {
+		resp, err := c.QueryContext(bg, server.QueryRequest{Session: tokens[i], Query: storm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(resp.Answers)
+	}
+	for i := range views {
+		legal[i] = map[int]bool{count(i): true}
+	}
+	if _, err := c.Assert(bg, tokens[0], fact); err != nil {
+		t.Fatal(err)
+	}
+	for i := range views {
+		legal[i][count(i)] = true
+	}
+	if _, err := c.Retract(bg, tokens[0], fact); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: the storm.
+	const sessions = 64
+	const queriesPerSession = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, sessions+1)
+
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := views[i%len(views)]
+			sess, err := c.Open(bg, server.OpenRequest{
+				Subject: fmt.Sprintf("reader%d", i), Clearance: v.clearance, Mode: v.mode})
+			if err != nil {
+				errc <- fmt.Errorf("reader %d open: %w", i, err)
+				return
+			}
+			for q := 0; q < queriesPerSession; q++ {
+				resp, err := c.QueryContext(bg, server.QueryRequest{Session: sess.Session, Query: storm})
+				if err != nil {
+					errc <- fmt.Errorf("reader %d query %d: %w", i, q, err)
+					return
+				}
+				if !legal[i%len(views)][len(resp.Answers)] {
+					errc <- fmt.Errorf("reader %d (%s/%s) query %d: %d answers at epoch %d, want one of %v",
+						i, v.clearance, v.mode, q, len(resp.Answers), resp.Epoch, legal[i%len(views)])
+					return
+				}
+			}
+		}(i)
+	}
+
+	// The updater flips one u-classified fact in and out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := c.Assert(bg, tokens[0], fact); err != nil {
+				errc <- fmt.Errorf("updater assert %d: %w", i, err)
+				return
+			}
+			if _, err := c.Retract(bg, tokens[0], fact); err != nil {
+				errc <- fmt.Errorf("updater retract %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Phase 2: drain. Close the client pool's idle connections first —
+	// keep-alive conns that never carried a request sit in StateNew, which
+	// http.Server.Shutdown does not reap.
+	hc.CloseIdleConnections()
+	stop()
+	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v after drain", err)
+	}
+	if _, err := c.Open(bg, server.OpenRequest{Subject: "late", Clearance: "u"}); err == nil {
+		t.Error("open succeeded after drain")
+	}
+
+	// Phase 3: no goroutine leaks once the HTTP machinery settles.
+	hc.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

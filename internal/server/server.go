@@ -1,0 +1,406 @@
+// Package server is multilogd's serving layer: a concurrent MultiLog query
+// server over HTTP. It turns the single-caller library into the paper's
+// actual access pattern — many subjects, each cleared at a label and a
+// belief mode, asking the same MLS database different questions at the
+// same time.
+//
+// The architecture is three caches deep, each invalidated by the next:
+//
+//   - prepared programs: each database is parsed, linted and
+//     admissibility-checked once at load, behind a copy-on-write snapshot
+//     (assert/retract clones the database, re-lints, and swaps a pointer;
+//     readers never block on writers);
+//   - compiled reductions: per (snapshot, clearance), the §6 reduction and
+//     its materialized minimal model are built once and shared read-only by
+//     every session at that clearance (multilog.Prepare/QueryPrepared), so
+//     the hot path is match-only;
+//   - result cache: complete answers keyed by (database, program epoch,
+//     clearance, belief mode, effective query); an update bumps the epoch,
+//     which makes every stale entry unreachable before any query can see
+//     the new program.
+//
+// Every request runs under the internal/resource governor: per-request
+// wall-clock deadlines plus fact/step budgets, with typed errors, and
+// panic containment at the handler boundary. Admission control is a
+// concurrent-session cap with a typed overload error.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lattice"
+	"repro/internal/multilog"
+	"repro/internal/resource"
+)
+
+// Config tunes a Server. The zero value serves with the defaults below.
+type Config struct {
+	// MaxSessions caps concurrently open sessions; opening beyond the cap
+	// fails with a typed *OverloadError (HTTP 503). Default 256; negative
+	// means uncapped.
+	MaxSessions int
+	// CacheEntries bounds the result cache (LRU). Default 4096; negative
+	// disables caching.
+	CacheEntries int
+	// QueryTimeout is the per-request wall-clock ceiling. Requests may ask
+	// for less, never more. Default 10s; negative means no deadline.
+	QueryTimeout time.Duration
+	// PrepareTimeout bounds compiling a reduction (model materialization)
+	// for a clearance's first query. Default 30s.
+	PrepareTimeout time.Duration
+	// Limits is the per-request resource budget ceiling (facts/steps/
+	// memory); requests may tighten it. Zero fields are unlimited.
+	Limits resource.Limits
+	// Logf, when set, receives one line per notable event (loads, updates,
+	// drains). nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxSessions < 0 {
+		c.MaxSessions = 0 // sessionManager: 0 = uncapped
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // resultCache: 0 = disabled
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.QueryTimeout < 0 {
+		c.QueryTimeout = 0 // no deadline
+	}
+	if c.PrepareTimeout == 0 {
+		c.PrepareTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is a multilogd instance: loaded programs, live sessions, the
+// result cache and the HTTP handler. Create with New, add databases with
+// Load, then serve Handler (or ListenAndServe for the full lifecycle).
+type Server struct {
+	cfg      Config
+	sessions *sessionManager
+	cache    *resultCache
+	start    time.Time
+
+	progMu   sync.RWMutex
+	programs map[string]*preparedProgram
+
+	queries  atomic.Int64
+	qErrors  atomic.Int64
+	qTrunc   atomic.Int64
+	draining atomic.Bool
+	inFlight sync.WaitGroup
+}
+
+// New builds an empty server with cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		sessions: newSessionManager(cfg.MaxSessions),
+		cache:    newResultCache(cfg.CacheEntries),
+		start:    time.Now(),
+		programs: map[string]*preparedProgram{},
+	}
+}
+
+// Load parses, lints and installs a MultiLog program under name. Programs
+// with lint errors are rejected with a *LintError — a server never serves
+// a program the static-analysis layer rejects. Loading an existing name
+// replaces it (fresh epoch 1) and invalidates its cache entries.
+func (s *Server) Load(name, src string) error {
+	if name == "" {
+		return fmt.Errorf("server: database name must be nonempty")
+	}
+	prog, diags, err := newPrepared(name, src, s.prepLimits())
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		s.logf("load %s: %s", name, d)
+	}
+	s.progMu.Lock()
+	s.programs[name] = prog
+	s.progMu.Unlock()
+	s.cache.Invalidate(name, ^uint64(0))
+	s.logf("loaded %s: |Λ|=%d |Σ|=%d |Π|=%d", name,
+		len(prog.current().db.Lambda), len(prog.current().db.Sigma), len(prog.current().db.Pi))
+	return nil
+}
+
+// program resolves a database name; the empty name selects the sole loaded
+// database when there is exactly one.
+func (s *Server) program(name string) (*preparedProgram, error) {
+	s.progMu.RLock()
+	defer s.progMu.RUnlock()
+	if name == "" {
+		if len(s.programs) == 1 {
+			for _, p := range s.programs {
+				return p, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: no database named (loaded: %d)", ErrUnknownDB, len(s.programs))
+	}
+	if p := s.programs[name]; p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownDB, name)
+}
+
+// Databases lists the loaded database names, sorted.
+func (s *Server) Databases() []string {
+	s.progMu.RLock()
+	defer s.progMu.RUnlock()
+	names := make([]string, 0, len(s.programs))
+	for n := range s.programs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Open admits a session after validating the database and the clearance
+// against its lattice.
+func (s *Server) Open(req OpenRequest) (*Session, uint64, error) {
+	prog, err := s.program(req.DB)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap := prog.current()
+	clearance := lattice.Label(req.Clearance)
+	if !snap.poset.Has(clearance) {
+		return nil, 0, fmt.Errorf("server: clearance %q is not asserted by %s's Λ", req.Clearance, prog.name)
+	}
+	mode := multilog.Mode(req.Mode)
+	if mode == "" {
+		mode = multilog.ModeFir
+	}
+	sess, err := s.sessions.Open(req.Subject, prog.name, clearance, mode)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sess, snap.epoch, nil
+}
+
+// Query answers one request on a session. The belief rewrite, the cache
+// probe, the reduction lookup and the governed match all happen here;
+// handlers only do transport.
+func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*QueryResponse, error) {
+	prog, err := s.program(sess.DB)
+	if err != nil {
+		return nil, err
+	}
+	snap := prog.current()
+
+	goals, err := multilog.ParseGoals(trimQuery(req.Query))
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	mode := sess.Mode
+	if req.Mode != "" {
+		mode = multilog.Mode(req.Mode)
+	}
+	modeKey := string(mode)
+	if req.Raw {
+		modeKey = "raw"
+	} else {
+		goals = rewriteBelief(goals, mode)
+	}
+	canonical := multilog.Query(goals).String()
+
+	key := cacheKey(sess.DB, snap.epoch, string(sess.Clearance), modeKey, canonical)
+	if answers, ok := s.cache.Get(key); ok {
+		s.queries.Add(1)
+		return &QueryResponse{Answers: answers, Query: canonical, Cached: true, Epoch: snap.epoch}, nil
+	}
+
+	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
+	defer cancel()
+	red, err := snap.reductionAt(ctx, sess.Clearance, s.prepLimits())
+	if err != nil {
+		s.qErrors.Add(1)
+		return nil, err
+	}
+	answers, stats, err := red.QueryPrepared(ctx, goals, s.requestLimits(req))
+	if err != nil {
+		if resource.IsLimit(err) {
+			// Graceful truncation: report the partial answers with the
+			// typed limit error; never cache them.
+			s.queries.Add(1)
+			s.qTrunc.Add(1)
+			return &QueryResponse{Answers: renderAnswers(answers), Query: canonical,
+				Epoch: snap.epoch, Stats: stats}, err
+		}
+		s.qErrors.Add(1)
+		return nil, err
+	}
+	rendered := renderAnswers(answers)
+	s.cache.Put(key, sess.DB, snap.epoch, rendered)
+	s.queries.Add(1)
+	return &QueryResponse{Answers: rendered, Query: canonical, Epoch: snap.epoch, Stats: stats}, nil
+}
+
+// Update applies an assert/retract on the session's database and
+// invalidates the result cache.
+func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*UpdateResponse, error) {
+	prog, err := s.program(sess.DB)
+	if err != nil {
+		return nil, err
+	}
+	epoch, changed, err := prog.update(req.Clauses, sess.Clearance, retract)
+	if err != nil {
+		return nil, err
+	}
+	invalidated := 0
+	if changed > 0 {
+		invalidated = s.cache.Invalidate(sess.DB, epoch)
+		verb := "assert"
+		if retract {
+			verb = "retract"
+		}
+		s.logf("%s %s by %s@%s: %d clause(s), epoch %d, %d cache entries invalidated",
+			verb, sess.DB, sess.Subject, sess.Clearance, changed, epoch, invalidated)
+	}
+	return &UpdateResponse{Epoch: epoch, Changed: changed, Invalidated: invalidated}, nil
+}
+
+// Stats snapshots every counter for /v1/stats.
+func (s *Server) Stats() StatsResponse {
+	s.progMu.RLock()
+	dbs := make(map[string]DBStats, len(s.programs))
+	for name, p := range s.programs {
+		dbs[name] = p.stats()
+	}
+	s.progMu.RUnlock()
+	return StatsResponse{
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Sessions:  s.sessions.Stats(),
+		Queries:   QueryStats{Served: s.queries.Load(), Errors: s.qErrors.Load(), Truncated: s.qTrunc.Load()},
+		Cache:     s.cache.Stats(),
+		Databases: dbs,
+	}
+}
+
+// ListenAndServe serves on addr until ctx is canceled, then drains: no new
+// sessions are admitted, in-flight requests finish (bounded by
+// drainTimeout), and the listener closes. Returns nil on a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, drainTimeout)
+}
+
+// Serve is ListenAndServe over an existing listener (tests pass a
+// port-zero listener and read ln.Addr()).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.logf("serving on %s", ln.Addr())
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("draining (timeout %s)", drainTimeout)
+	s.draining.Store(true)
+	s.sessions.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	s.inFlight.Wait()
+	s.logf("drained")
+	return err
+}
+
+// deadline derives the per-request context: the server ceiling, tightened
+// by the client's timeout_ms when that is stricter.
+func (s *Server) deadline(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.QueryTimeout
+	if req := time.Duration(timeoutMS) * time.Millisecond; req > 0 && (d == 0 || req < d) {
+		d = req
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// requestLimits tightens the server budget by the request's asks.
+func (s *Server) requestLimits(req QueryRequest) resource.Limits {
+	l := s.cfg.Limits
+	if req.MaxFacts > 0 && (l.MaxFacts == 0 || req.MaxFacts < l.MaxFacts) {
+		l.MaxFacts = req.MaxFacts
+	}
+	if req.MaxSteps > 0 && (l.MaxSteps == 0 || req.MaxSteps < l.MaxSteps) {
+		l.MaxSteps = req.MaxSteps
+	}
+	return l
+}
+
+// prepLimits bounds reduction compilation: the server budget under the
+// prepare timeout's context (applied by reductionAt's caller-side ctx).
+func (s *Server) prepLimits() resource.Limits { return s.cfg.Limits }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// rewriteBelief answers "every query is answered at the session's view":
+// bare m-atoms become belief atoms at the session (or request) mode. The
+// default mode fir preserves m-semantics exactly — firm belief at a level
+// is the m-atoms visible at it (axiom a4) — so sessions that never chose a
+// mode see classical answers. Goals that already carry "<< mode" and
+// classical goals pass through unchanged.
+func rewriteBelief(goals []multilog.Goal, mode multilog.Mode) []multilog.Goal {
+	out := make([]multilog.Goal, len(goals))
+	for i, g := range goals {
+		if g.Kind == multilog.GoalM {
+			g = multilog.BGoal(g.M, mode)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// renderAnswers flattens answers to var->text maps; the engine already
+// orders them deterministically. Always non-nil so JSON says [] not null.
+func renderAnswers(answers []multilog.Answer) []map[string]string {
+	out := make([]map[string]string, len(answers))
+	for i, a := range answers {
+		m := make(map[string]string, len(a.Bindings))
+		for v, t := range a.Bindings {
+			m[v] = t.String()
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// trimQuery strips the optional "?-" prefix and trailing ".".
+func trimQuery(q string) string {
+	q = strings.TrimSpace(q)
+	q = strings.TrimSpace(strings.TrimPrefix(q, "?-"))
+	return strings.TrimSpace(strings.TrimSuffix(q, "."))
+}

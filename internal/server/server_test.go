@@ -1,0 +1,368 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// testProgram is a small Mission-flavored database: alice's salary is
+// polyinstantiated across three levels, bob is public.
+const testProgram = `
+	level(u).  level(c).  level(s).
+	order(u, c).  order(c, s).
+	u[emp(alice: salary -u-> low)].
+	c[emp(alice: salary -c-> mid)].
+	s[emp(alice: salary -s-> high)].
+	u[emp(bob: salary -u-> low)].
+`
+
+// startServer serves a fresh instance of testProgram over httptest and
+// returns a client for it.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, *server.Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	if err := srv.Load("test", testProgram); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, server.NewClient(hs.URL, hs.Client())
+}
+
+func openAt(t *testing.T, c *server.Client, clearance, mode string) string {
+	t.Helper()
+	resp, err := c.Open(context.Background(), server.OpenRequest{
+		Subject: "t", Clearance: clearance, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Session
+}
+
+// values extracts the bindings of one variable across all answers.
+func values(resp *server.QueryResponse, v string) []string {
+	var out []string
+	for _, a := range resp.Answers {
+		out = append(out, a[v])
+	}
+	return out
+}
+
+func TestQueryAtClearance(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx := context.Background()
+
+	// A u-session sees only u-classified cells.
+	u := openAt(t, c, "u", "")
+	resp, err := c.QueryContext(ctx, server.QueryRequest{Session: u,
+		Query: "L[emp(K: salary -C-> V)]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range values(resp, "V") {
+		if got != "low" {
+			t.Errorf("u session saw %q; only u-classified data is visible", got)
+		}
+	}
+	if len(resp.Answers) != 2 {
+		t.Errorf("u session got %d answers, want 2 (alice+bob at u)", len(resp.Answers))
+	}
+
+	// An s-session in cautious mode believes only the dominating story.
+	s := openAt(t, c, "s", "cau")
+	resp, err = c.QueryContext(ctx, server.QueryRequest{Session: s,
+		Query: "s[emp(alice: salary -C-> V)]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := values(resp, "V"); len(got) != 1 || got[0] != "high" {
+		t.Errorf("cautious s session believes %v, want [high]", got)
+	}
+
+	// The same query via an explicit mode override: optimistic sees all.
+	resp, err = c.QueryContext(ctx, server.QueryRequest{Session: s,
+		Query: "s[emp(alice: salary -C-> V)]", Mode: "opt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resp.Answers); got != 3 {
+		t.Errorf("optimistic s session got %d answers, want 3", got)
+	}
+}
+
+func TestCacheHitAndEpoch(t *testing.T) {
+	srv, c := startServer(t, server.Config{})
+	ctx := context.Background()
+	sess := openAt(t, c, "c", "")
+	req := server.QueryRequest{Session: sess, Query: "c[emp(alice: salary -C-> V)]"}
+
+	first, err := c.QueryContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first query reported a cache hit")
+	}
+	second, err := c.QueryContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("repeat query missed the cache")
+	}
+	if second.Epoch != first.Epoch {
+		t.Errorf("epoch changed without an update: %d -> %d", first.Epoch, second.Epoch)
+	}
+	st := srv.Stats()
+	if st.Cache.Hits < 1 || st.Cache.Misses < 1 {
+		t.Errorf("cache stats = %+v, want at least one hit and one miss", st.Cache)
+	}
+}
+
+// TestUpdateInvalidates is the acceptance-criterion test: a cached answer
+// surviving an assert or retract is a correctness failure.
+func TestUpdateInvalidates(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx := context.Background()
+	sess := openAt(t, c, "u", "")
+	req := server.QueryRequest{Session: sess, Query: "u[emp(K: salary -u-> low)]"}
+
+	before, err := c.QueryContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Answers) != 2 {
+		t.Fatalf("baseline: %d answers, want 2", len(before.Answers))
+	}
+	// Warm the cache.
+	if warm, err := c.QueryContext(ctx, req); err != nil || !warm.Cached {
+		t.Fatalf("warm query: cached=%v err=%v", warm != nil && warm.Cached, err)
+	}
+
+	up, err := c.Assert(ctx, sess, "u[emp(carol: salary -u-> low)].")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Changed != 1 || up.Epoch != before.Epoch+1 {
+		t.Fatalf("assert: changed=%d epoch=%d, want 1 and %d", up.Changed, up.Epoch, before.Epoch+1)
+	}
+
+	after, err := c.QueryContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("STALE CACHE: query after assert was served from cache")
+	}
+	if len(after.Answers) != 3 {
+		t.Fatalf("after assert: %d answers, want 3 (carol missing: stale result)", len(after.Answers))
+	}
+	if after.Epoch != up.Epoch {
+		t.Errorf("answer computed at epoch %d, want %d", after.Epoch, up.Epoch)
+	}
+
+	// And the reverse: retract must remove carol again.
+	down, err := c.Retract(ctx, sess, "u[emp(carol: salary -u-> low)].")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Changed != 1 {
+		t.Fatalf("retract changed %d clauses, want 1", down.Changed)
+	}
+	final, err := c.QueryContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Answers) != 2 || final.Cached {
+		t.Fatalf("after retract: %d answers (cached=%v), want 2 fresh", len(final.Answers), final.Cached)
+	}
+}
+
+func TestWriteAuthorization(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx := context.Background()
+	u := openAt(t, c, "u", "")
+
+	// A u-cleared subject cannot write s-classified data.
+	_, err := c.Assert(ctx, u, "s[emp(eve: salary -s-> covert)].")
+	var re *server.RemoteError
+	if !errors.As(err, &re) || re.Code != server.CodeDenied {
+		t.Fatalf("write-up got %v, want code %q", err, server.CodeDenied)
+	}
+	// Nor retract it.
+	_, err = c.Retract(ctx, u, "s[emp(alice: salary -s-> high)].")
+	if !errors.As(err, &re) || re.Code != server.CodeDenied {
+		t.Fatalf("retract-up got %v, want code %q", err, server.CodeDenied)
+	}
+	// Λ is immutable at runtime.
+	_, err = c.Assert(ctx, u, "level(x).")
+	if !errors.As(err, &re) || re.Code != server.CodeBadRequest {
+		t.Fatalf("lattice write got %v, want code %q", err, server.CodeBadRequest)
+	}
+	// The s-classified fact is still there for an s-session.
+	s := openAt(t, c, "s", "")
+	resp, err := c.QueryContext(ctx, server.QueryRequest{Session: s,
+		Query: "s[emp(alice: salary -s-> V)]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := values(resp, "V"); len(got) != 1 || got[0] != "high" {
+		t.Errorf("s data damaged by denied writes: %v", got)
+	}
+}
+
+func TestSessionCapOverload(t *testing.T) {
+	srv, c := startServer(t, server.Config{MaxSessions: 2})
+	ctx := context.Background()
+	openAt(t, c, "u", "")
+	second := openAt(t, c, "c", "")
+
+	_, err := c.Open(ctx, server.OpenRequest{Subject: "x", Clearance: "s"})
+	var re *server.RemoteError
+	if !errors.As(err, &re) || re.Code != server.CodeOverloaded || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("third open got %v, want 503 %q", err, server.CodeOverloaded)
+	}
+	if st := srv.Stats(); st.Sessions.Denied != 1 || st.Sessions.Open != 2 {
+		t.Errorf("session stats = %+v, want 2 open 1 denied", st.Sessions)
+	}
+
+	// Closing one admits the next.
+	if err := c.Close(ctx, second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open(ctx, server.OpenRequest{Subject: "x", Clearance: "s"}); err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+}
+
+func TestLintRejectionAtLoadAndUpdate(t *testing.T) {
+	srv := server.New(server.Config{})
+	// Unsafe head variable: the linter must reject the whole program.
+	err := srv.Load("bad", `
+		level(u).
+		u[p(k: a -u-> V)].
+	`)
+	var le *server.LintError
+	if !errors.As(err, &le) {
+		t.Fatalf("load of unsafe program got %v, want *LintError", err)
+	}
+
+	// And the same gate guards updates.
+	_, c := startServer(t, server.Config{})
+	ctx := context.Background()
+	sess := openAt(t, c, "u", "")
+	_, uerr := c.Assert(ctx, sess, "u[p(k: a -u-> V)].")
+	var re *server.RemoteError
+	if !errors.As(uerr, &re) || re.Code != server.CodeLint {
+		t.Fatalf("unsafe assert got %v, want code %q", uerr, server.CodeLint)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx := context.Background()
+	sess := openAt(t, c, "u", "")
+
+	var re *server.RemoteError
+	_, err := c.QueryContext(ctx, server.QueryRequest{Session: sess, Query: "u[emp(k: a -"})
+	if !errors.As(err, &re) || re.Code != server.CodeParse {
+		t.Fatalf("syntax error got %v, want code %q", err, server.CodeParse)
+	}
+	_, err = c.QueryContext(ctx, server.QueryRequest{Session: "nope", Query: "u[emp(K: salary -C-> V)]"})
+	if !errors.As(err, &re) || re.Code != server.CodeUnknownSession {
+		t.Fatalf("bad token got %v, want code %q", err, server.CodeUnknownSession)
+	}
+	_, err = c.Open(ctx, server.OpenRequest{Subject: "x", Clearance: "zz"})
+	if !errors.As(err, &re) || re.Code != server.CodeBadRequest {
+		t.Fatalf("bad clearance got %v, want code %q", err, server.CodeBadRequest)
+	}
+	_, err = c.Open(ctx, server.OpenRequest{Subject: "x", Clearance: "u", DB: "ghost"})
+	if !errors.As(err, &re) || re.Code != server.CodeUnknownDB {
+		t.Fatalf("bad db got %v, want code %q", err, server.CodeUnknownDB)
+	}
+}
+
+func TestQueryBudgetTruncation(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx := context.Background()
+	sess := openAt(t, c, "s", "")
+	resp, err := c.QueryContext(ctx, server.QueryRequest{Session: sess,
+		Query: "L[emp(K: salary -C-> V)]", MaxSteps: 1})
+	var re *server.RemoteError
+	if !errors.As(err, &re) || re.Code != server.CodeLimit {
+		t.Fatalf("budget query got %v, want code %q", err, server.CodeLimit)
+	}
+	if resp == nil || !resp.Stats.Truncated {
+		t.Fatalf("truncated reply did not carry partial stats: %+v", resp)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx := context.Background()
+	sess := openAt(t, c, "c", "")
+	req := server.QueryRequest{Session: sess, Query: "c[emp(alice: salary -C-> V)]"}
+	for i := 0; i < 3; i++ {
+		if _, err := c.QueryContext(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Served != 3 {
+		t.Errorf("served = %d, want 3", st.Queries.Served)
+	}
+	if st.Cache.Hits != 2 || st.Cache.Misses != 1 {
+		t.Errorf("cache = %+v, want 2 hits 1 miss", st.Cache)
+	}
+	db, ok := st.Databases["test"]
+	if !ok {
+		t.Fatalf("stats lack the test database: %+v", st.Databases)
+	}
+	if db.Epoch != 1 || db.Sigma != 4 || db.Reductions != 1 {
+		t.Errorf("db stats = %+v, want epoch 1, 4 Σ clauses, 1 reduction", db)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	if err := c.Healthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawQueryBypassesRewrite(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx := context.Background()
+	// An optimistic session: the rewrite makes s believe every visible
+	// cell (three salary stories for alice)...
+	sess := openAt(t, c, "s", "opt")
+	resp, err := c.QueryContext(ctx, server.QueryRequest{Session: sess,
+		Query: "s[emp(alice: salary -C-> V)]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 3 {
+		t.Fatalf("optimistic view: %d answers, want 3", len(resp.Answers))
+	}
+	// ...but raw m-semantics matches only the literally s-labeled atom.
+	raw, err := c.QueryContext(ctx, server.QueryRequest{Session: sess,
+		Query: "s[emp(alice: salary -C-> V)]", Raw: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Answers) != 1 {
+		t.Fatalf("raw view: %d answers, want 1 (the s-classified cell)", len(raw.Answers))
+	}
+	if !strings.Contains(resp.Query, "<< opt") || strings.Contains(raw.Query, "<<") {
+		t.Errorf("effective queries wrong: rewritten=%q raw=%q", resp.Query, raw.Query)
+	}
+}
