@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: build test check vet race fuzz-smoke campaign chaos staticcheck \
-	staticcheck-install analyzers lint serve-smoke
+	staticcheck-install analyzers lint serve-smoke crash
 
 build:
 	$(GO) build ./...
@@ -65,13 +65,21 @@ lint:
 
 # serve-smoke is the end-to-end daemon gate: generate a workload program,
 # start multilogd, storm it with serveload (concurrent sessions plus
-# assert/retract churn), cross-check /v1/stats, and verify a clean SIGTERM
-# drain.
+# assert/retract churn), cross-check /v1/stats, verify a clean SIGTERM
+# drain, then SIGKILL a durable daemon and prove the acknowledged write
+# survives a restart.
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# crash runs the full kill-crash recovery matrix (crashpoint × fsync mode)
+# under the race detector: multilogd as a child process, SIGKILLed by
+# injected WAL faults, restarted, and checked for zero acked-write loss and
+# byte-equal answers against a reference replay.
+crash:
+	CRASH_MATRIX=full $(GO) test -race -count=1 -run TestKillCrashRecovery ./internal/wal/crash
+
 # check is the CI tier: vet, the custom analyzers, staticcheck, build, the
-# program linter, the race-enabled suite, the chaos tier, the daemon smoke,
-# and a bounded differential fuzz smoke.
-check: vet analyzers staticcheck build lint race chaos serve-smoke fuzz-smoke
+# program linter, the race-enabled suite, the chaos tier, the crash-recovery
+# matrix, the daemon smoke, and a bounded differential fuzz smoke.
+check: vet analyzers staticcheck build lint race chaos crash serve-smoke fuzz-smoke
 	@echo "check: all gates passed"

@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,7 +49,9 @@ func (r *repl) connectCmd(fields []string) error {
 	if len(fields) == 3 {
 		db = fields[2]
 	}
-	client := server.NewClient(fields[1], nil)
+	// Retries ride out a daemon restart: connection errors and 503s
+	// (draining, recovering) back off and re-send idempotent requests.
+	client := server.NewClient(fields[1], nil).WithRetry(server.DefaultRetryPolicy())
 	ctx, stop := r.queryCtx()
 	defer stop()
 	if err := client.Healthy(ctx); err != nil {
@@ -137,17 +140,47 @@ func (r *repl) remoteReady() error {
 	return nil
 }
 
+// withSession runs one request with the live session token. When the
+// daemon was restarted, the token names no session anymore (sessions are
+// in-memory; the durable state is not): on unknown-session, withSession
+// re-logins with the remembered clearance and mode and repeats the request
+// once, so a restart is a one-line notice instead of a dead REPL. Safe for
+// updates too: unknown-session is checked before any mutation, so the
+// failed attempt changed nothing.
+func (r *repl) withSession(ctx context.Context, f func(session string) error) error {
+	rm := r.remote
+	err := f(rm.session)
+	var re *server.RemoteError
+	if err == nil || !errors.As(err, &re) || re.Code != server.CodeUnknownSession || rm.level == "" {
+		return err
+	}
+	resp, lerr := rm.client.Open(ctx, server.OpenRequest{
+		Subject: "repl", Clearance: rm.level, Mode: rm.mode, DB: rm.db})
+	if lerr != nil {
+		return fmt.Errorf("session lost (daemon restarted?) and re-login failed: %w", lerr)
+	}
+	rm.session = resp.Session
+	fmt.Fprintf(r.out, "(session expired — daemon restarted? re-logged-in at %s, mode %s, epoch %d)\n",
+		resp.Clearance, resp.Mode, resp.Epoch)
+	return f(rm.session)
+}
+
 func (r *repl) remoteQuery(line string, raw bool) error {
 	if err := r.remoteReady(); err != nil {
 		return err
 	}
 	ctx, stop := r.queryCtx()
 	defer stop()
-	resp, err := r.remote.client.QueryContext(ctx, server.QueryRequest{
-		Session:   r.remote.session,
-		Query:     line,
-		Raw:       raw,
-		TimeoutMS: r.timeout.Milliseconds(),
+	var resp *server.QueryResponse
+	err := r.withSession(ctx, func(session string) error {
+		var qerr error
+		resp, qerr = r.remote.client.QueryContext(ctx, server.QueryRequest{
+			Session:   session,
+			Query:     line,
+			Raw:       raw,
+			TimeoutMS: r.timeout.Milliseconds(),
+		})
+		return qerr
 	})
 	if resp == nil {
 		return err
@@ -181,15 +214,16 @@ func (r *repl) remoteUpdate(verb, clauses string) error {
 	}
 	ctx, stop := r.queryCtx()
 	defer stop()
-	var (
-		resp *server.UpdateResponse
-		err  error
-	)
-	if verb == "assert" {
-		resp, err = r.remote.client.Assert(ctx, r.remote.session, clauses)
-	} else {
-		resp, err = r.remote.client.Retract(ctx, r.remote.session, clauses)
-	}
+	var resp *server.UpdateResponse
+	err := r.withSession(ctx, func(session string) error {
+		var uerr error
+		if verb == "assert" {
+			resp, uerr = r.remote.client.Assert(ctx, session, clauses)
+		} else {
+			resp, uerr = r.remote.client.Retract(ctx, session, clauses)
+		}
+		return uerr
+	})
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/multilog"
@@ -19,6 +22,52 @@ func startRemote(t *testing.T) string {
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
 	return strings.TrimPrefix(hs.URL, "http://")
+}
+
+func TestREPLResumesAcrossDaemonRestart(t *testing.T) {
+	// A swappable backend stands in for a daemon restart: the new instance
+	// serves the same (durable) program but has lost every in-memory
+	// session.
+	newBackend := func() http.Handler {
+		srv := server.New(server.Config{})
+		if err := srv.Load("d1", multilog.D1Source); err != nil {
+			t.Fatal(err)
+		}
+		return srv.Handler()
+	}
+	var backend atomic.Value
+	backend.Store(newBackend())
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		backend.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+	addr := strings.TrimPrefix(hs.URL, "http://")
+
+	var out bytes.Buffer
+	r := newREPL(strings.NewReader(""), &out)
+	for _, line := range []string{`\connect ` + addr, "login c opt", "?- c[p(k: a -R-> v)]."} {
+		if err := r.dispatchSafe(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	token := r.remote.session
+
+	backend.Store(newBackend()) // the daemon restarts; sessions are gone
+
+	for _, line := range []string{"?- c[p(k: a -R-> v)].", "assert c[p(k9: a -c-> w)]"} {
+		if err := r.dispatchSafe(line); err != nil {
+			t.Fatalf("after restart, %q: %v", line, err)
+		}
+	}
+	if r.remote.session == token {
+		t.Error("session token unchanged; the REPL never re-logged-in")
+	}
+	if got := out.String(); !strings.Contains(got, "re-logged-in at c, mode opt") {
+		t.Errorf("transcript missing the resume notice:\n%s", got)
+	}
+	if got := out.String(); !strings.Contains(got, "asserted 1 clause(s)") {
+		t.Errorf("post-restart assert failed:\n%s", got)
+	}
 }
 
 func TestREPLConnectSession(t *testing.T) {

@@ -9,14 +9,24 @@
 //	multilogd -addr :7070 -db mission=prog.mlg          # serve one program
 //	multilogd -addr :7070 -db a=a.mlg -db b=b.mlg       # serve several
 //	multilogd -d1                                       # serve the paper's D1
+//	multilogd -d1 -data-dir /var/lib/multilogd          # durable: WAL + checkpoints
+//
+// With -data-dir, every load, assert and retract is appended to a
+// checksummed write-ahead log and (under -fsync=always, the default)
+// fsynced before it is acknowledged; background checkpoints bound replay
+// time, and a restart recovers the exact acknowledged state — databases
+// already in the log are recovered from it, not re-read from their -db
+// files. While recovery replays, /v1/healthz reports progress, /v1/readyz
+// returns 503, and writes are refused with code "recovering".
 //
 // Endpoints (see internal/server/protocol.go for the wire types):
 //
 //	POST /v1/session  /v1/session/close  /v1/query  /v1/assert  /v1/retract
-//	GET  /v1/stats    /v1/healthz
+//	GET  /v1/stats    /v1/healthz    /v1/readyz
 //
 // SIGINT/SIGTERM drains: open sessions are closed, in-flight requests
-// finish (bounded by -drain), and the process exits 0 on a clean drain.
+// finish (bounded by -drain), a final checkpoint is written, and the
+// process exits 0 on a clean drain.
 package main
 
 import (
@@ -24,15 +34,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/multilog"
 	"repro/internal/resource"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // dbFlags collects repeated -db name=path pairs.
@@ -49,60 +62,158 @@ func (d *dbFlags) Set(v string) error {
 	return nil
 }
 
+// options carries the parsed command line.
+type options struct {
+	dbs          dbFlags
+	useD1        bool
+	addr         string
+	addrFile     string
+	maxSessions  int
+	cacheEntries int
+	queryTimeout time.Duration
+	drain        time.Duration
+	maxFacts     int64
+	maxSteps     int64
+	quiet        bool
+
+	dataDir       string
+	fsync         string
+	fsyncInterval time.Duration
+	ckptInterval  time.Duration
+	ckptEvery     int64
+	crashPlan     string
+}
+
 func main() {
-	var dbs dbFlags
-	flag.Var(&dbs, "db", "database to serve, as name=path (repeatable)")
-	useD1 := flag.Bool("d1", false, "serve the paper's Figure 10 database D1 as \"d1\"")
-	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
-	maxSessions := flag.Int("max-sessions", 256, "concurrent-session cap (negative = uncapped)")
-	cacheEntries := flag.Int("cache", 4096, "result-cache capacity in entries (negative = disabled)")
-	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-request wall-clock ceiling (negative = none)")
-	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
-	maxFacts := flag.Int64("max-facts", 0, "per-request derived-fact budget (0 = unlimited)")
-	maxSteps := flag.Int64("max-steps", 0, "per-request evaluation-step budget (0 = unlimited)")
-	quiet := flag.Bool("quiet", false, "suppress the event log")
+	var o options
+	flag.Var(&o.dbs, "db", "database to serve, as name=path (repeatable)")
+	flag.BoolVar(&o.useD1, "d1", false, "serve the paper's Figure 10 database D1 as \"d1\"")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7070", "listen address")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound listen address to this file once listening (for :0)")
+	flag.IntVar(&o.maxSessions, "max-sessions", 256, "concurrent-session cap (negative = uncapped)")
+	flag.IntVar(&o.cacheEntries, "cache", 4096, "result-cache capacity in entries (negative = disabled)")
+	flag.DurationVar(&o.queryTimeout, "query-timeout", 10*time.Second, "per-request wall-clock ceiling (negative = none)")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "shutdown drain timeout")
+	flag.Int64Var(&o.maxFacts, "max-facts", 0, "per-request derived-fact budget (0 = unlimited)")
+	flag.Int64Var(&o.maxSteps, "max-steps", 0, "per-request evaluation-step budget (0 = unlimited)")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress the event log")
+	flag.StringVar(&o.dataDir, "data-dir", "", "durability directory for the WAL and checkpoints (empty = in-memory only)")
+	flag.StringVar(&o.fsync, "fsync", "always", "WAL fsync policy: always (ack ⇒ durable), interval, or never")
+	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 50*time.Millisecond, "background fsync cadence under -fsync=interval")
+	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 30*time.Second, "background checkpoint cadence (negative = timed checkpoints off)")
+	flag.Int64Var(&o.ckptEvery, "checkpoint-every", 1024, "also checkpoint after this many new log records (negative = off)")
+	flag.StringVar(&o.crashPlan, "crashplan", "", "WAL fault-injection plan, e.g. kill@wal.append.written:3 (crash-harness use)")
 	flag.Parse()
 
-	if err := run(dbs, *useD1, *addr, *maxSessions, *cacheEntries, *queryTimeout,
-		*drain, *maxFacts, *maxSteps, *quiet); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "multilogd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbs dbFlags, useD1 bool, addr string, maxSessions, cacheEntries int,
-	queryTimeout, drain time.Duration, maxFacts, maxSteps int64, quiet bool) error {
+func run(o options) error {
 	cfg := server.Config{
-		MaxSessions:  maxSessions,
-		CacheEntries: cacheEntries,
-		QueryTimeout: queryTimeout,
-		Limits:       resource.Limits{MaxFacts: maxFacts, MaxSteps: maxSteps},
+		MaxSessions:        o.maxSessions,
+		CacheEntries:       o.cacheEntries,
+		QueryTimeout:       o.queryTimeout,
+		Limits:             resource.Limits{MaxFacts: o.maxFacts, MaxSteps: o.maxSteps},
+		CheckpointInterval: o.ckptInterval,
+		CheckpointEvery:    o.ckptEvery,
 	}
-	if !quiet {
+	if !o.quiet {
 		logger := log.New(os.Stderr, "multilogd: ", log.LstdFlags)
 		cfg.Logf = logger.Printf
 	}
-	srv := server.New(cfg)
 
-	if useD1 {
-		if err := srv.Load("d1", multilog.D1Source); err != nil {
-			return err
-		}
+	// Boot loads: the programs named on the command line. With a data
+	// directory, these reach the server through recovery, which skips any
+	// database already recovered from the log.
+	bootLoads := map[string]string{}
+	if o.useD1 {
+		bootLoads["d1"] = multilog.D1Source
 	}
-	for _, db := range dbs {
+	for _, db := range o.dbs {
 		src, err := os.ReadFile(db.path)
 		if err != nil {
 			return err
 		}
-		if err := srv.Load(db.name, string(src)); err != nil {
-			return fmt.Errorf("loading %s: %w", db.path, err)
+		bootLoads[db.name] = string(src)
+	}
+
+	var store *wal.Store
+	var recovery *wal.Recovery
+	if o.dataDir != "" {
+		mode, err := wal.ParseSyncMode(o.fsync)
+		if err != nil {
+			return err
+		}
+		hook, err := faultinject.ParseFilePlan(o.crashPlan)
+		if err != nil {
+			return err
+		}
+		store, recovery, err = wal.Open(wal.Options{
+			Dir: o.dataDir, Sync: mode, SyncInterval: o.fsyncInterval,
+			Hook: hook, Logf: cfg.Logf,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.WAL = store
+	} else if o.crashPlan != "" {
+		return fmt.Errorf("-crashplan needs -data-dir")
+	}
+
+	srv := server.New(cfg)
+	if store == nil {
+		for name, src := range bootLoads {
+			if err := srv.Load(name, src); err != nil {
+				return fmt.Errorf("loading %q: %w", name, err)
+			}
+		}
+		if len(srv.Databases()) == 0 {
+			return fmt.Errorf("nothing to serve: give -db name=path or -d1")
 		}
 	}
-	if len(srv.Databases()) == 0 {
-		return fmt.Errorf("nothing to serve: give -db name=path or -d1")
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close() //nolint:errcheck // exiting anyway
+			return err
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return srv.ListenAndServe(ctx, addr, drain)
+
+	// With durability, recovery runs while the listener is already up:
+	// /v1/healthz answers (with replay progress) from the first moment, and
+	// the server lifts its write gate when Recover returns.
+	recErr := make(chan error, 1)
+	if store != nil {
+		rctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ctx = rctx
+		go func() {
+			err := srv.Recover(recovery, bootLoads)
+			if err == nil && len(srv.Databases()) == 0 {
+				err = fmt.Errorf("nothing to serve: give -db name=path or -d1")
+			}
+			if err != nil {
+				cancel() // bring Serve down; the drain still closes the WAL
+			}
+			recErr <- err
+		}()
+	} else {
+		recErr <- nil
+	}
+
+	serveErr := srv.Serve(ctx, ln, o.drain)
+	if rerr := <-recErr; rerr != nil {
+		return rerr
+	}
+	return serveErr
 }

@@ -10,6 +10,14 @@
 //	serveload -emit prog.mlg -levels 4 -facts 300 -preds 4   # write a program
 //	serveload -addr 127.0.0.1:7070 -sessions 16 -queries 50 -updates 10
 //
+// One-shot mode sends a single tracked request instead of a storm — the
+// smoke harness uses it to write a fact, crash the daemon, and prove the
+// fact survived recovery:
+//
+//	serveload -addr ... -clearance l0 -assert 'l0[p0(k: a -l0-> v)].'
+//	serveload -addr ... -ready -wait 10s -clearance l0 \
+//	    -query 'l0[p0(k: a -l0-> V)]' -expect 1
+//
 // The -levels/-preds flags must match the served program's shape (the same
 // flags that generated it).
 package main
@@ -34,6 +42,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "storm seed")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall storm deadline")
 	wait := flag.Duration("wait", 0, "poll the daemon's health for up to this long before storming")
+	ready := flag.Bool("ready", false, "with -wait: require /v1/readyz (recovery finished), not just liveness")
+	clearance := flag.String("clearance", "l0", "session clearance for one-shot -assert/-query")
+	assertOne := flag.String("assert", "", "one-shot: assert these clauses through a single session and exit")
+	queryOne := flag.String("query", "", "one-shot: run this query through a single session and exit")
+	expect := flag.Int("expect", -1, "with -query: fail unless exactly this many answers (negative = don't check)")
 	emit := flag.String("emit", "", "write a generated program to this path and exit")
 	levels := flag.Int("levels", 4, "program shape: chain lattice length")
 	facts := flag.Int("facts", 300, "program shape: m-facts (with -emit)")
@@ -55,26 +68,44 @@ func main() {
 		return
 	}
 
-	if err := run(*addr, *db, *sessions, *queries, *updates, *timeout, *wait, cfg); err != nil {
+	one := oneShot{clearance: *clearance, assert: *assertOne, query: *queryOne, expect: *expect}
+	if err := run(*addr, *db, *sessions, *queries, *updates, *timeout, *wait, *ready, one, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, db string, sessions, queries, updates int, timeout, wait time.Duration, cfg workload.ProgramConfig) error {
+// oneShot is a single tracked request in place of a storm.
+type oneShot struct {
+	clearance string
+	assert    string
+	query     string
+	expect    int
+}
+
+func run(addr, db string, sessions, queries, updates int, timeout, wait time.Duration, ready bool, one oneShot, cfg workload.ProgramConfig) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	c := server.NewClient(addr, nil)
 	deadline := time.Now().Add(wait)
 	for {
 		err := c.Healthy(ctx)
+		if err == nil && ready {
+			// Liveness is not readiness: while recovery replays the log,
+			// healthz answers but readyz is 503 and writes are refused.
+			_, err = c.Ready(ctx)
+		}
 		if err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("daemon at %s is not healthy: %w", addr, err)
+			return fmt.Errorf("daemon at %s is not ready: %w", addr, err)
 		}
 		time.Sleep(100 * time.Millisecond)
+	}
+
+	if one.assert != "" || one.query != "" {
+		return runOneShot(ctx, c, db, one)
 	}
 
 	rep := workload.ServerLoad(ctx, c, workload.ServerLoadConfig{
@@ -107,5 +138,33 @@ func run(addr, db string, sessions, queries, updates int, timeout, wait time.Dur
 		return fmt.Errorf("stats mismatch: updates ran but the cache was never invalidated")
 	}
 	fmt.Println("serveload: ok")
+	return nil
+}
+
+// runOneShot opens one session and performs the single -assert and/or
+// -query, in that order.
+func runOneShot(ctx context.Context, c *server.Client, db string, one oneShot) error {
+	sess, err := c.Open(ctx, server.OpenRequest{Subject: "serveload", Clearance: one.clearance, DB: db})
+	if err != nil {
+		return fmt.Errorf("opening session at %s: %w", one.clearance, err)
+	}
+	defer c.Close(ctx, sess.Session) //nolint:errcheck // best-effort
+	if one.assert != "" {
+		resp, err := c.Assert(ctx, sess.Session, one.assert)
+		if err != nil {
+			return fmt.Errorf("assert: %w", err)
+		}
+		fmt.Printf("serveload: asserted %d clause(s); epoch %d\n", resp.Changed, resp.Epoch)
+	}
+	if one.query != "" {
+		resp, err := c.QueryContext(ctx, server.QueryRequest{Session: sess.Session, Query: one.query})
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		fmt.Printf("serveload: %d answer(s) for %s\n", len(resp.Answers), one.query)
+		if one.expect >= 0 && len(resp.Answers) != one.expect {
+			return fmt.Errorf("query %q: got %d answer(s), want %d", one.query, len(resp.Answers), one.expect)
+		}
+	}
 	return nil
 }

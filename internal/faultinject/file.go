@@ -1,0 +1,154 @@
+package faultinject
+
+// file.go extends the fault plans to the file layer: the write-ahead log
+// (internal/wal) consults a FilePlan at named probe points around its
+// append and checkpoint I/O, and the plan decides whether the operation
+// proceeds, fails, writes short (leaving a torn tail on disk), or hard-kills
+// the process (the crash harness's injected SIGKILL). Like the in-process
+// plans above, file plans are pure functions of (event, occurrence count),
+// so a failing crash run reproduces exactly.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FileEvent names a file-layer probe point. The wal package fires these in
+// order around each operation; a crash plan picks the exact instant the
+// process dies.
+type FileEvent string
+
+const (
+	// FileAppendStart fires before any byte of a record frame is written.
+	FileAppendStart FileEvent = "wal.append.start"
+	// FileAppendWritten fires after the full frame is written, before fsync.
+	FileAppendWritten FileEvent = "wal.append.written"
+	// FileAppendSynced fires after fsync, before the append is acknowledged.
+	FileAppendSynced FileEvent = "wal.append.synced"
+	// FileCheckpointTemp fires after the checkpoint temp file is written and
+	// fsynced, before the atomic rename.
+	FileCheckpointTemp FileEvent = "wal.checkpoint.temp"
+	// FileCheckpointRenamed fires after the rename (the checkpoint is live),
+	// before old log segments are pruned.
+	FileCheckpointRenamed FileEvent = "wal.checkpoint.renamed"
+)
+
+// FileEvents lists every probe point, for plan validation and harness
+// matrices.
+var FileEvents = []FileEvent{
+	FileAppendStart, FileAppendWritten, FileAppendSynced,
+	FileCheckpointTemp, FileCheckpointRenamed,
+}
+
+// FileAction is what a plan tells the file layer to do at a probe point.
+type FileAction int
+
+const (
+	// FileOK lets the operation proceed.
+	FileOK FileAction = iota
+	// FileErr fails the operation with an *InjectedFile error before it
+	// touches the disk (the shape of a full disk or an EIO).
+	FileErr
+	// FileShortWrite writes only a prefix of the frame, fsyncs it, and fails
+	// the operation: a durable torn tail without killing the process.
+	FileShortWrite
+	// FileKill hard-kills the process (SIGKILL) at the probe point.
+	FileKill
+	// FileKillTorn writes a prefix of the frame, fsyncs it, then hard-kills:
+	// the mid-append crash that leaves a torn record for recovery to find.
+	FileKillTorn
+)
+
+// String names the action in plan syntax.
+func (a FileAction) String() string {
+	switch a {
+	case FileOK:
+		return "ok"
+	case FileErr:
+		return "err"
+	case FileShortWrite:
+		return "short"
+	case FileKill:
+		return "kill"
+	case FileKillTorn:
+		return "kill-torn"
+	}
+	return fmt.Sprintf("FileAction(%d)", int(a))
+}
+
+// FilePlan decides the action at the nth occurrence (1-based) of a file
+// event. Plans must be safe for concurrent use.
+type FilePlan func(ev FileEvent, n int64) FileAction
+
+// InjectedFile marks an error as coming from a file-layer fault plan, so
+// tests can distinguish injected I/O failures from genuine ones. Match with
+// errors.As.
+type InjectedFile struct {
+	Event  FileEvent  // the probe point that fired
+	N      int64      // the occurrence count at which it fired
+	Action FileAction // what the plan did
+}
+
+func (e *InjectedFile) Error() string {
+	return fmt.Sprintf("faultinject: injected file fault %s at %s #%d", e.Action, e.Event, e.N)
+}
+
+// FileActionAt returns a plan that performs action at the nth occurrence of
+// ev (1-based) and at every occurrence after it, and FileOK everywhere else.
+func FileActionAt(action FileAction, ev FileEvent, n int64) FilePlan {
+	return func(got FileEvent, count int64) FileAction {
+		if got == ev && count >= n {
+			return action
+		}
+		return FileOK
+	}
+}
+
+// ParseFilePlan parses the CLI/env syntax "action@event:n", e.g.
+// "kill-torn@wal.append.start:3" or "err@wal.checkpoint.temp:1". The count
+// is 1-based and defaults to 1 when ":n" is omitted. An empty string yields
+// a nil plan (no faults).
+func ParseFilePlan(s string) (FilePlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	actionStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return nil, fmt.Errorf("faultinject: plan %q: want action@event[:n]", s)
+	}
+	var action FileAction
+	switch actionStr {
+	case "err":
+		action = FileErr
+	case "short":
+		action = FileShortWrite
+	case "kill":
+		action = FileKill
+	case "kill-torn":
+		action = FileKillTorn
+	default:
+		return nil, fmt.Errorf("faultinject: plan %q: unknown action %q (want err, short, kill or kill-torn)", s, actionStr)
+	}
+	evStr, nStr := rest, "1"
+	if ev, n, ok := strings.Cut(rest, ":"); ok {
+		evStr, nStr = ev, n
+	}
+	n, err := strconv.ParseInt(nStr, 10, 64)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("faultinject: plan %q: occurrence %q is not a positive integer", s, nStr)
+	}
+	ev := FileEvent(evStr)
+	known := false
+	for _, k := range FileEvents {
+		if ev == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("faultinject: plan %q: unknown event %q", s, evStr)
+	}
+	return FileActionAt(action, ev, n), nil
+}

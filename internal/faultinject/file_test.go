@@ -1,0 +1,50 @@
+package faultinject
+
+import "testing"
+
+func TestFileActionAt(t *testing.T) {
+	plan := FileActionAt(FileKillTorn, FileAppendStart, 3)
+	if got := plan(FileAppendStart, 2); got != FileOK {
+		t.Errorf("occurrence 2: got %s, want ok", got)
+	}
+	if got := plan(FileAppendStart, 3); got != FileKillTorn {
+		t.Errorf("occurrence 3: got %s, want kill-torn", got)
+	}
+	if got := plan(FileAppendStart, 4); got != FileKillTorn {
+		t.Errorf("occurrence 4: got %s, want kill-torn (sticky)", got)
+	}
+	if got := plan(FileAppendWritten, 3); got != FileOK {
+		t.Errorf("other event: got %s, want ok", got)
+	}
+}
+
+func TestParseFilePlan(t *testing.T) {
+	plan, err := ParseFilePlan("kill-torn@wal.append.start:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan(FileAppendStart, 3); got != FileKillTorn {
+		t.Errorf("parsed plan at occurrence 3: got %s, want kill-torn", got)
+	}
+	plan, err = ParseFilePlan("err@wal.checkpoint.temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan(FileCheckpointTemp, 1); got != FileErr {
+		t.Errorf("default occurrence: got %s, want err", got)
+	}
+	if p, err := ParseFilePlan(""); err != nil || p != nil {
+		t.Errorf("empty plan: got (%v, %v), want (nil, nil)", p, err)
+	}
+	for _, bad := range []string{
+		"kill",                      // no event
+		"boom@wal.append.start",     // unknown action
+		"kill@wal.nosuch:1",         // unknown event
+		"kill@wal.append.start:0",   // zero occurrence
+		"kill@wal.append.start:x",   // non-numeric occurrence
+	} {
+		if _, err := ParseFilePlan(bad); err == nil {
+			t.Errorf("ParseFilePlan(%q) = nil error, want failure", bad)
+		}
+	}
+}

@@ -18,8 +18,9 @@ import (
 // Client is safe for concurrent use; each session token is carried
 // per-call, so one client can multiplex many sessions.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy // zero = no retries; see WithRetry
 }
 
 // RemoteError is a non-2xx protocol reply: the server's machine code plus
@@ -47,27 +48,31 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
 }
 
-// Healthy probes /v1/healthz.
+// Healthy probes /v1/healthz (liveness: 200 even while recovering).
 func (c *Client) Healthy(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: health probe returned %d", resp.StatusCode)
-	}
-	return nil
+	return c.doIdempotent(ctx, func() error { return c.get(ctx, "/v1/healthz", nil) })
 }
 
-// Open opens a session and returns the server's view of it.
+// Ready probes /v1/readyz and returns the daemon's health view; the error
+// is a *RemoteError with status 503 while it is recovering or draining.
+func (c *Client) Ready(ctx context.Context) (*HealthResponse, error) {
+	var h HealthResponse
+	if err := c.get(ctx, "/v1/readyz", &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Open opens a session and returns the server's view of it. Opening is
+// idempotent (a session the server opened but the client never heard about
+// just idles), so it retries under the client's policy.
 func (c *Client) Open(ctx context.Context, req OpenRequest) (*OpenResponse, error) {
 	var resp OpenResponse
-	if err := c.post(ctx, "/v1/session", req, &resp); err != nil {
+	err := c.doIdempotent(ctx, func() error {
+		resp = OpenResponse{}
+		return c.post(ctx, "/v1/session", req, &resp)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -79,12 +84,16 @@ func (c *Client) Close(ctx context.Context, session string) error {
 	return c.post(ctx, "/v1/session/close", CloseRequest{Session: session}, &resp)
 }
 
-// QueryContext asks one query. On a limit stop (HTTP 408) the partial
-// response is returned alongside the *RemoteError so callers can show
-// what was found.
+// QueryContext asks one query, retrying under the client's policy (a
+// query never mutates; re-asking is safe). On a limit stop (HTTP 408) the
+// partial response is returned alongside the *RemoteError so callers can
+// show what was found.
 func (c *Client) QueryContext(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	var resp QueryResponse
-	err := c.post(ctx, "/v1/query", req, &resp)
+	err := c.doIdempotent(ctx, func() error {
+		resp = QueryResponse{}
+		return c.post(ctx, "/v1/query", req, &resp)
+	})
 	if err != nil {
 		var re *RemoteError
 		if errors.As(err, &re) && re.Status == http.StatusRequestTimeout && re.Code == "" {
@@ -116,25 +125,38 @@ func (c *Client) Retract(ctx context.Context, session, clauses string) (*UpdateR
 	return &resp, nil
 }
 
-// Stats fetches /v1/stats.
+// Stats fetches /v1/stats, retrying under the client's policy.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
 	var out StatsResponse
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeRemoteError(resp.StatusCode, resp.Body)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	err := c.doIdempotent(ctx, func() error {
+		out = StatsResponse{}
+		return c.get(ctx, "/v1/stats", &out)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// get fetches a GET endpoint, decoding a 200 body into out (skipped when
+// out is nil) and non-200 into a *RemoteError.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeRemoteError(resp.StatusCode, resp.Body)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // post sends a JSON request and decodes a JSON reply into out. Non-2xx

@@ -52,3 +52,9 @@ var ErrUnknownDB = errors.New("server: unknown database")
 // ErrShuttingDown reports that the server is draining and accepts no new
 // work. Maps to 503 "overloaded".
 var ErrShuttingDown = errors.New("server: shutting down")
+
+// ErrRecovering reports that the server is still replaying its write-ahead
+// log and refuses writes (and new sessions) until replay completes. Match
+// with errors.Is; maps to 503 "recovering". Clients may retry: recovery is
+// finite.
+var ErrRecovering = errors.New("server: recovering: log replay in progress")

@@ -25,9 +25,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/assert", s.wrap(s.handleAssert))
 	mux.HandleFunc("POST /v1/retract", s.wrap(s.handleRetract))
 	mux.HandleFunc("GET /v1/stats", s.wrap(s.handleStats))
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+	// Liveness: the process is up and handling HTTP — always 200, with the
+	// recovery progress in the body. Not gated by wrap: health must answer
+	// even while draining or replaying.
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.health()) //nolint:errcheck // best-effort health body
+	})
+	// Readiness: 200 only when the daemon can take real traffic — recovery
+	// done, not draining.
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		h := s.health()
+		status := http.StatusOK
+		if h.Status != "ok" {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h) //nolint:errcheck // best-effort health body
 	})
 	return mux
 }
@@ -58,6 +70,10 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) error {
 	var req OpenRequest
 	if err := decode(r, &req); err != nil {
 		return err
+	}
+	if s.recovering.Load() {
+		// Sessions bind to a database view; none is complete mid-replay.
+		return ErrRecovering
 	}
 	sess, epoch, err := s.Open(req)
 	if err != nil {
@@ -109,6 +125,11 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, retract bool) error {
+	if s.recovering.Load() {
+		// The log is replaying; accepting a write now could interleave it
+		// with records it must strictly follow.
+		return ErrRecovering
+	}
 	var req UpdateRequest
 	if err := decode(r, &req); err != nil {
 		return err
@@ -162,6 +183,8 @@ func writeError(w http.ResponseWriter, err error) {
 		badReq   *badRequestError
 	)
 	switch {
+	case errors.Is(err, ErrRecovering):
+		status, code = http.StatusServiceUnavailable, CodeRecovering
 	case errors.As(err, &overload), errors.Is(err, ErrShuttingDown):
 		status, code = http.StatusServiceUnavailable, CodeOverloaded
 	case errors.As(err, &denied):

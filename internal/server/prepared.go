@@ -49,6 +49,14 @@ type snapshot struct {
 // severity Error reject the program with a *LintError; warnings are
 // returned for the caller to log.
 func newPrepared(name, src string, prepLimits resource.Limits) (*preparedProgram, lint.Diagnostics, error) {
+	_ = prepLimits // reductions are prepared lazily, per clearance, under the server's limits
+	return newPreparedEpoch(name, src, 1)
+}
+
+// newPreparedEpoch is newPrepared resuming at a recovered epoch: a
+// checkpointed program re-enters service at the epoch it had when the
+// checkpoint was cut, so epochs never regress across a restart.
+func newPreparedEpoch(name, src string, epoch uint64) (*preparedProgram, lint.Diagnostics, error) {
 	db, err := multilog.Parse(src)
 	if err != nil {
 		return nil, nil, &LintError{Name: name, Findings: lint.FromParseError(name, err).String()}
@@ -57,11 +65,10 @@ func newPrepared(name, src string, prepLimits resource.Limits) (*preparedProgram
 	if diags.HasErrors() {
 		return nil, diags, &LintError{Name: name, Findings: diags.String()}
 	}
-	snap, err := newSnapshot(1, db)
+	snap, err := newSnapshot(epoch, db)
 	if err != nil {
 		return nil, diags, err
 	}
-	_ = prepLimits // reductions are prepared lazily, per clearance, under the server's limits
 	return &preparedProgram{name: name, snap: snap}, diags, nil
 }
 
@@ -141,7 +148,13 @@ func (p *preparedProgram) stats() DBStats {
 //
 // It returns the new epoch (unchanged when nothing changed) and how many
 // clauses were added or removed.
-func (p *preparedProgram) update(src string, clearance lattice.Label, retract bool) (uint64, int, error) {
+//
+// commit, when non-nil, runs inside the critical section after the new
+// snapshot is built (post-lint) and before it is swapped in: the server
+// hangs its WAL append here, making the update durable strictly before it
+// is visible, in the exact order snapshots are published. A commit error
+// aborts the update with nothing swapped.
+func (p *preparedProgram) update(src string, clearance lattice.Label, retract bool, commit func() error) (uint64, int, error) {
 	delta, err := multilog.Parse(src)
 	if err != nil {
 		return 0, 0, fmt.Errorf("parse: %w", err)
@@ -190,6 +203,11 @@ func (p *preparedProgram) update(src string, clearance lattice.Label, retract bo
 	snap, err := newSnapshot(cur.epoch+1, next)
 	if err != nil {
 		return 0, 0, err
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			return 0, 0, err
+		}
 	}
 	p.mu.Lock()
 	p.snap = snap

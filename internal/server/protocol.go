@@ -29,6 +29,7 @@ const (
 	CodeOverloaded     = "overloaded"      // session cap reached
 	CodeLimit          = "limit"           // deadline or resource budget hit
 	CodeInternal       = "internal"        // contained engine panic / bug
+	CodeRecovering     = "recovering"      // replaying the log; writes refused
 )
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -135,6 +136,45 @@ type StatsResponse struct {
 	Queries   QueryStats         `json:"queries"`
 	Cache     CacheStats         `json:"cache"`
 	Databases map[string]DBStats `json:"databases"`
+	// Durability is nil when the daemon runs without a data directory.
+	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// DurabilityStats reports the WAL counters and what the last recovery did.
+type DurabilityStats struct {
+	LastSeq            uint64 `json:"last_seq"`            // last record sequence number
+	Appended           int64  `json:"appended"`            // records appended since boot
+	Syncs              int64  `json:"syncs"`               // fsyncs issued
+	CheckpointsWritten int64  `json:"checkpoints_written"` // since boot
+	LastCheckpointSeq  uint64 `json:"last_checkpoint_seq"`
+	Recovering         bool   `json:"recovering"`
+	ReplayDone         int64  `json:"replay_done"`
+	ReplayTotal        int64  `json:"replay_total"`
+	// Recovery reports what boot-time recovery found and dropped.
+	Recovery RecoveryStats `json:"recovery"`
+}
+
+// RecoveryStats is the durable outcome of the last boot's recovery.
+type RecoveryStats struct {
+	CheckpointsLoaded  int   `json:"checkpoints_loaded"`
+	CheckpointsSkipped int   `json:"checkpoints_skipped"` // failed their checksum
+	RecordsReplayed    int64 `json:"records_replayed"`
+	RecordsTruncated   int64 `json:"records_truncated"` // torn/corrupt tail dropped
+	BytesTruncated     int64 `json:"bytes_truncated"`
+	DurationMS         int64 `json:"duration_ms"`
+}
+
+// HealthResponse is the /v1/healthz (liveness: always 200) and /v1/readyz
+// (readiness: 503 until recovery completes, and while draining) body.
+type HealthResponse struct {
+	// Status is "ok", "recovering" or "draining".
+	Status string `json:"status"`
+	// Recovering is true while the boot-time log replay is running; writes
+	// are refused (503, code "recovering") until it finishes.
+	Recovering bool `json:"recovering,omitempty"`
+	// ReplayDone/ReplayTotal report replay progress while recovering.
+	ReplayDone  int64 `json:"replay_done,omitempty"`
+	ReplayTotal int64 `json:"replay_total,omitempty"`
 }
 
 // SessionStats counts session-manager traffic.

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// RetryPolicy bounds the client's automatic retries. Retries apply only to
+// idempotent requests — session open (login), query, stats and health —
+// and only on errors that say "try again": a connection failure (the
+// daemon is restarting) or an HTTP 503 (overloaded, draining, or still
+// replaying its log). Asserts and retracts are never retried: a write
+// whose reply was lost may have been applied, and re-sending it is not the
+// client's call to make.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first included.
+	// <= 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff; attempt n waits a uniformly
+	// jittered duration in [0, min(MaxDelay, BaseDelay·2ⁿ⁻¹)]. Default 25ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Default 1s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries enough to ride out a daemon restart: 5
+// attempts, 25ms base, 1s cap — worst case a little over 2s of waiting.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// RetryError reports that every attempt failed. Unwrap exposes the last
+// attempt's error, so errors.As still finds the underlying *RemoteError.
+type RetryError struct {
+	Attempts int
+	Err      error // the last attempt's error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("server: request failed after %d attempt(s): %v", e.Attempts, e.Err)
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// WithRetry returns a copy of the client that retries idempotent requests
+// under p. The zero policy disables retrying (the default client).
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cc := *c
+	cc.retry = p
+	return &cc
+}
+
+// doIdempotent runs one idempotent request under the retry policy.
+func (c *Client) doIdempotent(ctx context.Context, f func() error) error {
+	p := c.retry
+	if p.MaxAttempts <= 1 {
+		return f()
+	}
+	p = p.withDefaults()
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := sleepBackoff(ctx, p, attempt-1); err != nil {
+				return &RetryError{Attempts: attempt - 1, Err: last}
+			}
+		}
+		last = f()
+		if last == nil || !retryable(ctx, last) {
+			return last
+		}
+	}
+	return &RetryError{Attempts: p.MaxAttempts, Err: last}
+}
+
+// retryable says whether an idempotent request may be re-sent: transport
+// failures (dial refused mid-restart) and 503 replies, unless the caller's
+// context is already done.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Status == http.StatusServiceUnavailable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue) // connection-level failure
+}
+
+// sleepBackoff waits the jittered exponential delay for retry number n
+// (1-based), or returns early when ctx is done.
+func sleepBackoff(ctx context.Context, p RetryPolicy, n int) error {
+	ceil := p.BaseDelay << (n - 1)
+	if ceil > p.MaxDelay || ceil <= 0 {
+		ceil = p.MaxDelay
+	}
+	// Full jitter: uniformly random in [0, ceil]. Decorrelated clients
+	// restarting against the same reborn daemon must not stampede in sync.
+	d := time.Duration(rand.Int63n(int64(ceil) + 1)) //nolint:gosec // jitter, not crypto
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,157 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// flakyHandler serves 503 for the first fail requests to each path, then
+// delegates to the real server.
+type flakyHandler struct {
+	next  http.Handler
+	fail  int32
+	calls atomic.Int32
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := h.calls.Add(1)
+	if n <= h.fail {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"code":"overloaded","message":"injected"}`)) //nolint:errcheck
+		return
+	}
+	h.next.ServeHTTP(w, r)
+}
+
+func fastPolicy(attempts int) server.RetryPolicy {
+	return server.RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func TestRetryRidesOut503(t *testing.T) {
+	srv := server.New(server.Config{})
+	if err := srv.Load("test", testProgram); err != nil {
+		t.Fatal(err)
+	}
+	fh := &flakyHandler{next: srv.Handler(), fail: 2}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+	c := server.NewClient(hs.URL, hs.Client()).WithRetry(fastPolicy(5))
+
+	resp, err := c.Open(context.Background(), server.OpenRequest{Subject: "t", Clearance: "s"})
+	if err != nil {
+		t.Fatalf("open through two 503s: %v", err)
+	}
+	if resp.Session == "" {
+		t.Fatal("no session token")
+	}
+	if got := fh.calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (two 503s + success)", got)
+	}
+}
+
+func TestRetryExhaustionReturnsTypedError(t *testing.T) {
+	fh := &flakyHandler{next: nil, fail: 1 << 30}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+	c := server.NewClient(hs.URL, hs.Client()).WithRetry(fastPolicy(3))
+
+	_, err := c.Stats(context.Background())
+	var rerr *server.RetryError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("got %T (%v), want *RetryError", err, err)
+	}
+	if rerr.Attempts != 3 {
+		t.Errorf("RetryError.Attempts = %d, want 3", rerr.Attempts)
+	}
+	var re *server.RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Errorf("RetryError must unwrap to the last *RemoteError 503; got %v", err)
+	}
+	if got := fh.calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestWritesAreNeverRetried(t *testing.T) {
+	fh := &flakyHandler{next: nil, fail: 1 << 30}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+	c := server.NewClient(hs.URL, hs.Client()).WithRetry(fastPolicy(5))
+
+	_, err := c.Assert(context.Background(), "tok", "u[p(a: b -u-> c)].")
+	var rerr *server.RetryError
+	if errors.As(err, &rerr) {
+		t.Fatal("assert was retried; a write whose reply was lost may already be applied")
+	}
+	var re *server.RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("got %v, want the raw 503", err)
+	}
+	if got := fh.calls.Load(); got != 1 {
+		t.Errorf("server saw %d assert requests, want exactly 1", got)
+	}
+	if _, err := c.Retract(context.Background(), "tok", "u[p(a: b -u-> c)]."); errors.As(err, &rerr) {
+		t.Fatal("retract was retried")
+	}
+}
+
+func TestRetryOnConnectionError(t *testing.T) {
+	// A listener that is closed immediately: every dial is refused.
+	hs := httptest.NewServer(http.NotFoundHandler())
+	url := hs.URL
+	hs.Close()
+	c := server.NewClient(url, nil).WithRetry(fastPolicy(3))
+
+	_, err := c.Open(context.Background(), server.OpenRequest{Subject: "t", Clearance: "u"})
+	var rerr *server.RetryError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("got %T (%v), want *RetryError after connection failures", err, err)
+	}
+	if rerr.Attempts != 3 {
+		t.Errorf("RetryError.Attempts = %d, want 3", rerr.Attempts)
+	}
+}
+
+func TestRetryStopsWhenContextEnds(t *testing.T) {
+	fh := &flakyHandler{next: nil, fail: 1 << 30}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+	// Long backoff, short context: the retry loop must give up promptly.
+	c := server.NewClient(hs.URL, hs.Client()).WithRetry(
+		server.RetryPolicy{MaxAttempts: 10, BaseDelay: time.Minute, MaxDelay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	_, err := c.Stats(ctx)
+	if err == nil {
+		t.Fatal("stats succeeded against a permanent 503")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("retry loop ignored context cancellation (took %s)", took)
+	}
+}
+
+func TestZeroPolicyDoesNotRetry(t *testing.T) {
+	fh := &flakyHandler{next: nil, fail: 1 << 30}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+	c := server.NewClient(hs.URL, hs.Client())
+
+	_, err := c.Stats(context.Background())
+	var re *server.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want plain *RemoteError", err)
+	}
+	if got := fh.calls.Load(); got != 1 {
+		t.Errorf("default client sent %d requests, want 1", got)
+	}
+}

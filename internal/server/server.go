@@ -27,6 +27,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/multilog"
 	"repro/internal/resource"
+	"repro/internal/wal"
 )
 
 // Config tunes a Server. The zero value serves with the defaults below.
@@ -62,6 +64,19 @@ type Config struct {
 	// Logf, when set, receives one line per notable event (loads, updates,
 	// drains). nil discards.
 	Logf func(format string, args ...any)
+	// WAL, when set, is the open write-ahead log: every load and update is
+	// appended (and, under wal.SyncAlways, fsynced) before it is acknowledged
+	// or visible. A server built with WAL starts in the recovering state;
+	// call Recover with the wal.Recovery from wal.Open before serving
+	// writes. nil turns durability off. Serve owns the store's lifecycle:
+	// it writes a final checkpoint and closes the WAL on drain.
+	WAL *wal.Store
+	// CheckpointInterval is the cadence of background checkpoints when WAL
+	// is set. Default 30s; negative disables timed checkpoints.
+	CheckpointInterval time.Duration
+	// CheckpointEvery also triggers a checkpoint after that many records
+	// accumulate past the last one. Default 1024; negative disables.
+	CheckpointEvery int64
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +101,12 @@ func (c Config) withDefaults() Config {
 	if c.PrepareTimeout == 0 {
 		c.PrepareTimeout = 30 * time.Second
 	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1024
+	}
 	return c
 }
 
@@ -106,18 +127,35 @@ type Server struct {
 	qTrunc   atomic.Int64
 	draining atomic.Bool
 	inFlight sync.WaitGroup
+
+	// Durability. walMu pairs every mutation's WAL append with its snapshot
+	// swap (read side) against the checkpointer's capture-and-rotate (write
+	// side), so a checkpoint's state and its log position always agree.
+	wal         *wal.Store
+	walMu       sync.RWMutex
+	recovering  atomic.Bool
+	replayDone  atomic.Int64
+	replayTotal atomic.Int64
+	recMu       sync.Mutex
+	recStats    RecoveryStats
+	ckptKick    chan struct{}
 }
 
 // New builds an empty server with cfg (zero value = defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		sessions: newSessionManager(cfg.MaxSessions),
 		cache:    newResultCache(cfg.CacheEntries),
 		start:    time.Now(),
 		programs: map[string]*preparedProgram{},
+		wal:      cfg.WAL,
+		ckptKick: make(chan struct{}, 1),
 	}
+	// A durable server boots not-ready: writes 503 until Recover runs.
+	s.recovering.Store(cfg.WAL != nil)
+	return s
 }
 
 // Load parses, lints and installs a MultiLog program under name. Programs
@@ -134,6 +172,17 @@ func (s *Server) Load(name, src string) error {
 	}
 	for _, d := range diags {
 		s.logf("load %s: %s", name, d)
+	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if s.wal != nil {
+		payload, merr := json.Marshal(loadRecord{DB: name, Src: src})
+		if merr != nil {
+			return fmt.Errorf("server: encoding load record: %w", merr)
+		}
+		if _, werr := s.wal.Append(wal.TypeLoad, payload); werr != nil {
+			return fmt.Errorf("server: logging load: %w", werr)
+		}
 	}
 	s.progMu.Lock()
 	s.programs[name] = prog
@@ -257,16 +306,38 @@ func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*Q
 }
 
 // Update applies an assert/retract on the session's database and
-// invalidates the result cache.
+// invalidates the result cache. With a WAL, the update's log record is
+// appended (and fsynced, under always) inside the update's critical
+// section, after lint and before the snapshot swap: an update a client saw
+// acknowledged, or a query could have observed, is durable.
 func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*UpdateResponse, error) {
 	prog, err := s.program(sess.DB)
 	if err != nil {
 		return nil, err
 	}
-	epoch, changed, err := prog.update(req.Clauses, sess.Clearance, retract)
+	var commit func() error
+	if s.wal != nil {
+		commit = func() error {
+			payload, merr := json.Marshal(updateRecord{
+				DB: prog.name, Clauses: req.Clauses,
+				Clearance: string(sess.Clearance), Retract: retract,
+			})
+			if merr != nil {
+				return fmt.Errorf("server: encoding update record: %w", merr)
+			}
+			if _, werr := s.wal.Append(wal.TypeUpdate, payload); werr != nil {
+				return fmt.Errorf("server: logging update: %w", werr)
+			}
+			return nil
+		}
+	}
+	s.walMu.RLock()
+	epoch, changed, err := prog.update(req.Clauses, sess.Clearance, retract, commit)
+	s.walMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
+	s.kickCheckpoint()
 	invalidated := 0
 	if changed > 0 {
 		invalidated = s.cache.Invalidate(sess.DB, epoch)
@@ -289,11 +360,12 @@ func (s *Server) Stats() StatsResponse {
 	}
 	s.progMu.RUnlock()
 	return StatsResponse{
-		UptimeMS:  time.Since(s.start).Milliseconds(),
-		Sessions:  s.sessions.Stats(),
-		Queries:   QueryStats{Served: s.queries.Load(), Errors: s.qErrors.Load(), Truncated: s.qTrunc.Load()},
-		Cache:     s.cache.Stats(),
-		Databases: dbs,
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+		Sessions:   s.sessions.Stats(),
+		Queries:    QueryStats{Served: s.queries.Load(), Errors: s.qErrors.Load(), Truncated: s.qTrunc.Load()},
+		Cache:      s.cache.Stats(),
+		Databases:  dbs,
+		Durability: s.durabilityStats(),
 	}
 }
 
@@ -314,6 +386,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	ckptDone := make(chan struct{})
+	if s.wal != nil {
+		go func() {
+			defer close(ckptDone)
+			s.checkpointLoop(ctx)
+		}()
+	} else {
+		close(ckptDone)
+	}
 	s.logf("serving on %s", ln.Addr())
 	select {
 	case err := <-errc:
@@ -328,6 +409,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 	err := hs.Shutdown(sctx)
 	<-errc // Serve has returned http.ErrServerClosed
 	s.inFlight.Wait()
+	<-ckptDone
+	if s.wal != nil {
+		// Final checkpoint so the next boot replays nothing, then release
+		// the store.
+		if cerr := s.Checkpoint(); cerr != nil {
+			s.logf("final checkpoint: %v", cerr)
+		}
+		if cerr := s.wal.Close(); cerr != nil {
+			s.logf("closing wal: %v", cerr)
+		}
+	}
 	s.logf("drained")
 	return err
 }

@@ -1,0 +1,412 @@
+// Package crash is the kill-crash recovery harness for multilogd. It runs
+// the real daemon as a child process on a real data directory, drives it
+// with acknowledged writes and a concurrent read storm, SIGKILLs it at an
+// injected crashpoint inside the WAL layer (mid-append with a torn tail,
+// after the write but before the fsync, mid-checkpoint between temp and
+// rename — see internal/faultinject's file plans), restarts it, and then
+// proves the durability contract:
+//
+//   - every write the client saw acknowledged is present after recovery;
+//   - the one in-flight write (appended, maybe durable, never acked) is
+//     either wholly present or wholly absent — probed, never assumed;
+//   - the recovered daemon's answers are byte-equal to a reference
+//     in-memory server that replays the same acknowledged writes, across
+//     every clearance and belief mode;
+//   - torn tails are detected by checksum and truncated, visible in the
+//     /v1/stats recovery counters.
+package crash
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Scenario is one cell of the crash matrix.
+type Scenario struct {
+	// Name labels the cell (test name, logs).
+	Name string
+	// Plan is the child's -crashplan, e.g. "kill-torn@wal.append.start:6".
+	Plan string
+	// Fsync is the child's -fsync mode: always, interval or never.
+	Fsync string
+	// CheckpointEvery tunes the child's -checkpoint-every so checkpoint
+	// crashpoints actually fire. 0 keeps the default (effectively: no
+	// checkpoint during a short run).
+	CheckpointEvery int64
+	// WantTruncation asserts that recovery truncated at least one record
+	// (the torn-tail scenarios).
+	WantTruncation bool
+}
+
+// Matrix is the crashpoint × fsync-mode grid run by `make crash` and CI.
+// The append crashpoints run under every fsync mode; the checkpoint
+// crashpoints pin fsync=always and a tiny checkpoint threshold so the
+// checkpointer races the kill.
+func Matrix() []Scenario {
+	var out []Scenario
+	for _, fsync := range []string{"always", "interval", "never"} {
+		out = append(out,
+			Scenario{
+				Name:           "mid-append-torn/" + fsync,
+				Plan:           "kill-torn@wal.append.start:6",
+				Fsync:          fsync,
+				WantTruncation: true,
+			},
+			Scenario{
+				Name:  "pre-fsync/" + fsync,
+				Plan:  "kill@wal.append.written:6",
+				Fsync: fsync,
+			},
+			Scenario{
+				Name:  "post-fsync-pre-ack/" + fsync,
+				Plan:  "kill@wal.append.synced:6",
+				Fsync: fsync,
+			},
+		)
+	}
+	out = append(out,
+		Scenario{
+			Name:            "mid-checkpoint-temp",
+			Plan:            "kill@wal.checkpoint.temp:1",
+			Fsync:           "always",
+			CheckpointEvery: 4,
+		},
+		Scenario{
+			Name:            "post-checkpoint-rename",
+			Plan:            "kill@wal.checkpoint.renamed:1",
+			Fsync:           "always",
+			CheckpointEvery: 4,
+		},
+	)
+	return out
+}
+
+// programCfg is the served program's shape; the storm generator and the
+// verification queries both derive from it.
+var programCfg = workload.ProgramConfig{Levels: 3, Facts: 40, Rules: 4, Preds: 3, Seed: 7, Poly: 0.4}
+
+const dbName = "crash"
+
+// maxWrites bounds the tracked-write loop; every plan in Matrix fires well
+// before this many appends.
+const maxWrites = 64
+
+// Harness runs scenarios against one built multilogd binary.
+type Harness struct {
+	// Bin is the multilogd binary path.
+	Bin string
+	// Logf receives progress lines (tests pass t.Logf).
+	Logf func(format string, args ...any)
+}
+
+// BuildDaemon compiles cmd/multilogd into dir and returns the binary path.
+func BuildDaemon(dir string) (string, error) {
+	bin := filepath.Join(dir, "multilogd")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/multilogd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("building multilogd: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+	}
+}
+
+// daemon is one child multilogd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	logs *strings.Builder
+	done chan error
+}
+
+// start launches the daemon and waits until /v1/readyz is 200.
+func (h *Harness) start(ctx context.Context, dir string, sc Scenario, progPath string, withPlan bool) (*daemon, error) {
+	addrFile := filepath.Join(dir, "addr")
+	os.Remove(addrFile) //nolint:errcheck // stale from the previous incarnation
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-db", dbName + "=" + progPath,
+		"-data-dir", filepath.Join(dir, "data"),
+		"-fsync", sc.Fsync,
+		"-checkpoint-interval", "100ms",
+		"-drain", "5s",
+	}
+	if sc.CheckpointEvery > 0 {
+		args = append(args, "-checkpoint-every", fmt.Sprint(sc.CheckpointEvery))
+	}
+	if withPlan {
+		args = append(args, "-crashplan", sc.Plan)
+	}
+	d := &daemon{logs: &strings.Builder{}, done: make(chan error, 1)}
+	d.cmd = exec.Command(h.Bin, args...)
+	d.cmd.Stdout = d.logs
+	d.cmd.Stderr = d.logs
+	if err := d.cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() { d.done <- d.cmd.Wait() }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			d.kill()
+			return nil, fmt.Errorf("daemon never became ready; logs:\n%s", d.logs)
+		}
+		if d.addr == "" {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				d.addr = string(b)
+			}
+		}
+		if d.addr != "" {
+			rctx, cancel := context.WithTimeout(ctx, time.Second)
+			_, err := server.NewClient(d.addr, nil).Ready(rctx)
+			cancel()
+			if err == nil {
+				return d, nil
+			}
+		}
+		select {
+		case err := <-d.done:
+			return nil, fmt.Errorf("daemon exited before ready (%v); logs:\n%s", err, d.logs)
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		d.cmd.Process.Kill() //nolint:errcheck // cleanup
+	}
+	<-d.done
+}
+
+// waitExit blocks until the child is gone (the injected kill fired).
+func (d *daemon) waitExit(timeout time.Duration) error {
+	select {
+	case <-d.done:
+		return nil
+	case <-time.After(timeout):
+		d.kill()
+		return fmt.Errorf("crashpoint never fired within %s; logs:\n%s", timeout, d.logs)
+	}
+}
+
+// Run executes one scenario end to end and returns an error describing the
+// first violated guarantee.
+func (h *Harness) Run(ctx context.Context, sc Scenario) error {
+	dir, err := os.MkdirTemp("", "multilogd-crash-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck // temp cleanup
+
+	progSrc := workload.ProgramSource(programCfg)
+	progPath := filepath.Join(dir, "prog.mlg")
+	if err := os.WriteFile(progPath, []byte(progSrc), 0o644); err != nil {
+		return err
+	}
+
+	// Phase 1: run the doomed daemon and write until the kill fires.
+	d, err := h.start(ctx, dir, sc, progPath, true)
+	if err != nil {
+		return err
+	}
+	acked, inFlight, err := h.drive(ctx, d)
+	if err != nil {
+		d.kill()
+		return err
+	}
+	if err := d.waitExit(30 * time.Second); err != nil {
+		return err
+	}
+	h.logf("%s: crashed after %d acked write(s), in-flight %q", sc.Name, len(acked), inFlight)
+
+	// Phase 2: restart on the same data directory, no crash plan.
+	d2, err := h.start(ctx, dir, sc, progPath, false)
+	if err != nil {
+		return fmt.Errorf("restart after crash: %w", err)
+	}
+	defer d2.kill()
+	if err := h.verify(ctx, d2, sc, progSrc, acked, inFlight); err != nil {
+		return fmt.Errorf("%w\nchild logs:\n%s", err, d2.logs)
+	}
+	return nil
+}
+
+// drive fires tracked sequential asserts (each acknowledged before the
+// next is sent) while a read storm runs concurrently, until the daemon
+// dies. It returns the facts that were acknowledged and the one write that
+// was in flight when the connection broke ("" when the crash happened
+// between requests).
+func (h *Harness) drive(ctx context.Context, d *daemon) (acked []string, inFlight string, err error) {
+	c := server.NewClient(d.addr, nil) // writes: no retry, ever
+	sess, err := c.Open(ctx, server.OpenRequest{Subject: "mutator", Clearance: "l0", DB: dbName})
+	if err != nil {
+		return nil, "", fmt.Errorf("mutator open: %w", err)
+	}
+
+	stormCtx, stopStorm := context.WithCancel(ctx)
+	var storm sync.WaitGroup
+	storm.Add(1)
+	go func() {
+		defer storm.Done()
+		// Read-only concurrency across clearances and modes; its errors are
+		// expected once the daemon dies.
+		workload.ServerLoad(stormCtx, server.NewClient(d.addr, nil), workload.ServerLoadConfig{
+			Sessions: 4, Queries: 10_000, Program: programCfg, Seed: 99, DB: dbName,
+		})
+	}()
+	defer func() { stopStorm(); storm.Wait() }()
+
+	for i := 0; i < maxWrites; i++ {
+		fact := crashFact(i)
+		if _, aerr := c.Assert(ctx, sess.Session, fact); aerr != nil {
+			// The daemon died under this request: appended-but-unacked.
+			return acked, fact, nil
+		}
+		acked = append(acked, fact)
+	}
+	return acked, "", fmt.Errorf("daemon survived %d writes; crashpoint never reached", maxWrites)
+}
+
+// crashFact is the i-th tracked write: a unique key at the bottom level.
+func crashFact(i int) string {
+	return fmt.Sprintf("l0[p0(crashed%d: a -l0-> w%d)].", i, i)
+}
+
+// verify checks the recovered daemon against a reference in-memory server
+// replaying the same acknowledged writes.
+func (h *Harness) verify(ctx context.Context, d *daemon, sc Scenario, progSrc string, acked []string, inFlight string) error {
+	c := server.NewClient(d.addr, nil).WithRetry(server.DefaultRetryPolicy())
+	sess, err := c.Open(ctx, server.OpenRequest{Subject: "verifier", Clearance: "l0", DB: dbName})
+	if err != nil {
+		return fmt.Errorf("verifier open: %w", err)
+	}
+
+	// Zero acked-write loss: every acknowledged fact answers.
+	for i, fact := range acked {
+		resp, err := c.QueryContext(ctx, server.QueryRequest{
+			Session: sess.Session, Query: fmt.Sprintf("l0[p0(crashed%d: a -l0-> V)]", i)})
+		if err != nil {
+			return fmt.Errorf("probing acked write %d: %w", i, err)
+		}
+		if len(resp.Answers) != 1 || resp.Answers[0]["V"] != fmt.Sprintf("w%d", i) {
+			return fmt.Errorf("ACKED WRITE LOST: %s not recovered (got %v)", fact, resp.Answers)
+		}
+	}
+
+	// The in-flight write is all-or-nothing; probe which way it went.
+	expected := append([]string{}, acked...)
+	if inFlight != "" {
+		resp, err := c.QueryContext(ctx, server.QueryRequest{
+			Session: sess.Session, Query: fmt.Sprintf("l0[p0(crashed%d: a -l0-> V)]", len(acked))})
+		if err != nil {
+			return fmt.Errorf("probing in-flight write: %w", err)
+		}
+		switch len(resp.Answers) {
+		case 0: // dropped with the crash — fine
+		case 1:
+			expected = append(expected, inFlight) // durable before the kill — fine
+		default:
+			return fmt.Errorf("in-flight write recovered %d times: %v", len(resp.Answers), resp.Answers)
+		}
+	}
+
+	// Reference replay: a fresh in-memory server fed the same program and
+	// the same surviving writes, in order.
+	ref := server.New(server.Config{})
+	if err := ref.Load(dbName, progSrc); err != nil {
+		return fmt.Errorf("reference load: %w", err)
+	}
+	refHS := httptest.NewServer(ref.Handler())
+	defer refHS.Close()
+	rc := server.NewClient(refHS.URL, refHS.Client())
+	rsess, err := rc.Open(ctx, server.OpenRequest{Subject: "ref", Clearance: "l0", DB: dbName})
+	if err != nil {
+		return err
+	}
+	for _, fact := range expected {
+		if _, err := rc.Assert(ctx, rsess.Session, fact); err != nil {
+			return fmt.Errorf("reference assert: %w", err)
+		}
+	}
+
+	// Byte-equal answers across every clearance × belief mode × predicate.
+	for lvl := 0; lvl < programCfg.Levels; lvl++ {
+		for _, mode := range []string{"fir", "opt", "cau"} {
+			clearance := string(workload.Level(lvl))
+			got, err := openAndAnswer(ctx, c, clearance, mode)
+			if err != nil {
+				return fmt.Errorf("recovered daemon at %s/%s: %w", clearance, mode, err)
+			}
+			want, err := openAndAnswer(ctx, rc, clearance, mode)
+			if err != nil {
+				return fmt.Errorf("reference at %s/%s: %w", clearance, mode, err)
+			}
+			if got != want {
+				return fmt.Errorf("DIVERGENCE at clearance %s mode %s:\nrecovered: %s\nreference: %s",
+					clearance, mode, got, want)
+			}
+		}
+	}
+
+	// The recovery counters are on /v1/stats, and torn-tail scenarios
+	// really did truncate.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if st.Durability == nil {
+		return fmt.Errorf("/v1/stats has no durability section")
+	}
+	rec := st.Durability.Recovery
+	if rec.CheckpointsLoaded == 0 && rec.RecordsReplayed == 0 {
+		return fmt.Errorf("recovery counters empty after a crash restart: %+v", rec)
+	}
+	if sc.WantTruncation && rec.RecordsTruncated == 0 {
+		return fmt.Errorf("torn-tail scenario recovered without truncating: %+v", rec)
+	}
+	h.logf("%s: verified %d write(s); recovery %+v", sc.Name, len(expected), rec)
+	return nil
+}
+
+// openAndAnswer opens a session at (clearance, mode) and returns the
+// JSON-marshaled answers of every verification query, concatenated — the
+// byte representation compared across daemons.
+func openAndAnswer(ctx context.Context, c *server.Client, clearance, mode string) (string, error) {
+	sess, err := c.Open(ctx, server.OpenRequest{Subject: "verify", Clearance: clearance, Mode: mode, DB: dbName})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for p := 0; p < programCfg.Preds; p++ {
+		resp, err := c.QueryContext(ctx, server.QueryRequest{
+			Session: sess.Session, Query: fmt.Sprintf("L[p%d(K: a -C-> V)]", p)})
+		if err != nil {
+			return "", err
+		}
+		raw, err := json.Marshal(resp.Answers)
+		if err != nil {
+			return "", err
+		}
+		b.Write(raw)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// RecordType discriminates log record payloads. The wal layer treats
+// payloads as opaque bytes; the server defines the encodings.
+type RecordType uint8
+
+const (
+	// TypeLoad is a full program load (name + source).
+	TypeLoad RecordType = 1
+	// TypeUpdate is an assert/retract delta.
+	TypeUpdate RecordType = 2
+	// typeCheckpoint frames a checkpoint file's body; it never appears in a
+	// log segment.
+	typeCheckpoint RecordType = 3
+)
+
+// Record is one sequenced log entry.
+type Record struct {
+	Seq     uint64
+	Type    RecordType
+	Payload []byte
+}
+
+// Frame layout, little-endian:
+//
+//	u32 bodyLen | u32 crc32c(body) | body
+//	body = u64 seq | u8 type | payload
+//
+// The CRC covers the whole body, so a flipped bit anywhere in seq, type or
+// payload is detected; the length prefix bounds the read, so a torn tail
+// (fewer bytes on disk than the header promises) is detected without
+// guessing. CRC32C (Castagnoli) is the standard storage checksum.
+
+const (
+	frameHeaderLen = 8           // u32 len + u32 crc
+	bodyFixedLen   = 9           // u64 seq + u8 type
+	maxBodyLen     = 1 << 26     // 64 MiB: no real record is near this; a
+	// corrupt length field must not drive a giant allocation.
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame renders a record as one on-disk frame.
+func encodeFrame(seq uint64, t RecordType, payload []byte) []byte {
+	body := make([]byte, bodyFixedLen+len(payload))
+	binary.LittleEndian.PutUint64(body, seq)
+	body[8] = byte(t)
+	copy(body[bodyFixedLen:], payload)
+	frame := make([]byte, frameHeaderLen+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(body, crcTable))
+	copy(frame[frameHeaderLen:], body)
+	return frame
+}
+
+// frameError reports why a frame could not be decoded. Torn marks the
+// clean-truncation case (fewer bytes than the header promises — the
+// expected shape of a crash mid-write); everything else is corruption.
+// Recovery treats both the same way: truncate here, never replay past it.
+type frameError struct {
+	Torn   bool
+	Reason string
+}
+
+func (e *frameError) Error() string { return "wal: " + e.Reason }
+
+// decodeFrame decodes one frame from the head of b. It returns the record,
+// the total frame length consumed, and an error when the bytes at the head
+// are torn or corrupt.
+func decodeFrame(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderLen {
+		return Record{}, 0, &frameError{Torn: true, Reason: fmt.Sprintf("torn frame header: %d trailing byte(s)", len(b))}
+	}
+	bodyLen := binary.LittleEndian.Uint32(b)
+	wantCRC := binary.LittleEndian.Uint32(b[4:])
+	if bodyLen < bodyFixedLen || bodyLen > maxBodyLen {
+		return Record{}, 0, &frameError{Reason: fmt.Sprintf("implausible frame length %d", bodyLen)}
+	}
+	if len(b) < frameHeaderLen+int(bodyLen) {
+		return Record{}, 0, &frameError{Torn: true,
+			Reason: fmt.Sprintf("torn frame body: have %d of %d byte(s)", len(b)-frameHeaderLen, bodyLen)}
+	}
+	body := b[frameHeaderLen : frameHeaderLen+int(bodyLen)]
+	if got := crc32.Checksum(body, crcTable); got != wantCRC {
+		return Record{}, 0, &frameError{Reason: fmt.Sprintf("checksum mismatch: %08x, want %08x", got, wantCRC)}
+	}
+	rec := Record{
+		Seq:     binary.LittleEndian.Uint64(body),
+		Type:    RecordType(body[8]),
+		Payload: append([]byte(nil), body[bodyFixedLen:]...),
+	}
+	return rec, frameHeaderLen + int(bodyLen), nil
+}

@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// recover scans the data directory: it loads the newest checkpoint that
+// passes its checksum (falling back to the retained previous one), replays
+// the log segments after it in sequence order, and physically truncates the
+// log at the first torn or corrupt frame — nothing past a bad frame is ever
+// replayed, and every segment after it is dropped. It leaves the store
+// positioned to append after the last durable record.
+func (s *Store) recover() (*Recovery, error) {
+	if err := s.dropTempFiles(); err != nil {
+		return nil, err
+	}
+	rec := &Recovery{}
+	if err := s.loadCheckpoint(rec); err != nil {
+		return nil, err
+	}
+	segs, err := listSeqFiles(s.dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.replaySegments(segs, rec); err != nil {
+		return nil, err
+	}
+
+	s.seq = rec.CheckpointSeq
+	if n := len(rec.Records); n > 0 && rec.Records[n-1].Seq > s.seq {
+		s.seq = rec.Records[n-1].Seq
+	}
+
+	// Reopen (or create) the active segment. After truncation the surviving
+	// last segment is the append target; with no segments, start fresh.
+	segs, err = listSeqFiles(s.dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		f, err := createSegment(s.dir, s.seq+1)
+		if err != nil {
+			return nil, err
+		}
+		s.f, s.segFirst = f, s.seq+1
+	} else {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(filepath.Join(s.dir, last.name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopening segment: %w", err)
+		}
+		s.f, s.segFirst = f, last.seq
+	}
+	s.prune()
+	if rec.CheckpointsLoaded > 0 || len(rec.Records) > 0 || rec.TruncatedRecords > 0 {
+		s.logf("wal: recovered: checkpoint seq %d, %d record(s) to replay, %d truncated (%d byte(s))",
+			rec.CheckpointSeq, len(rec.Records), rec.TruncatedRecords, rec.TruncatedBytes)
+	}
+	return rec, nil
+}
+
+// dropTempFiles removes checkpoint temp files left by a crash mid-write.
+func (s *Store) dropTempFiles() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), tmpSuffix) {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadCheckpoint picks the newest checkpoint file that passes validation.
+// A checkpoint that fails its checksum is skipped (and counted); the
+// previous one is retained on disk for exactly this fallback.
+func (s *Store) loadCheckpoint(rec *Recovery) error {
+	ckpts, err := listSeqFiles(s.dir, ckptPrefix, ckptSuffix)
+	if err != nil {
+		return err
+	}
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		c := ckpts[i]
+		data, err := os.ReadFile(filepath.Join(s.dir, c.name))
+		if err != nil {
+			return err
+		}
+		frame, n, derr := decodeFrame(data)
+		switch {
+		case derr != nil:
+			s.logf("wal: checkpoint %s rejected: %v", c.name, derr)
+		case n != len(data):
+			s.logf("wal: checkpoint %s rejected: %d trailing byte(s)", c.name, len(data)-n)
+		case frame.Type != typeCheckpoint:
+			s.logf("wal: checkpoint %s rejected: record type %d", c.name, frame.Type)
+		case frame.Seq != c.seq:
+			s.logf("wal: checkpoint %s rejected: seq %d does not match its name", c.name, frame.Seq)
+		default:
+			rec.Checkpoint = frame.Payload
+			rec.CheckpointSeq = frame.Seq
+			rec.CheckpointsLoaded = 1
+			s.lastCkptSeq.Store(frame.Seq)
+			return nil
+		}
+		rec.CheckpointsSkipped++
+	}
+	return nil
+}
+
+// replaySegments walks the segments in order, collecting records with seq >
+// the checkpoint's into rec.Records. At the first torn or corrupt frame —
+// or a sequence break, which means the same thing — it truncates that file
+// at the last good offset and deletes every later segment.
+func (s *Store) replaySegments(segs []seqFile, rec *Recovery) error {
+	lastSeq := uint64(0) // last frame seen anywhere, for continuity
+	for i, seg := range segs {
+		path := filepath.Join(s.dir, seg.name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for off < len(data) {
+			frame, n, derr := decodeFrame(data[off:])
+			if derr == nil && lastSeq != 0 && frame.Seq != lastSeq+1 {
+				derr = &frameError{Reason: fmt.Sprintf("sequence break: %d after %d", frame.Seq, lastSeq)}
+			}
+			if derr == nil && lastSeq == 0 && rec.CheckpointSeq > 0 && frame.Seq > rec.CheckpointSeq+1 {
+				derr = &frameError{Reason: fmt.Sprintf("sequence gap after checkpoint %d: first record is %d", rec.CheckpointSeq, frame.Seq)}
+			}
+			if derr != nil {
+				s.logf("wal: %s at offset %d: %v; truncating", seg.name, off, derr)
+				return s.truncateTail(segs, i, path, data, off, rec)
+			}
+			if frame.Seq > rec.CheckpointSeq {
+				rec.Records = append(rec.Records, frame)
+			}
+			lastSeq = frame.Seq
+			off += n
+		}
+	}
+	return nil
+}
+
+// truncateTail truncates segs[i] (whose bytes are data) at offset off and
+// deletes every later segment, counting what was dropped.
+func (s *Store) truncateTail(segs []seqFile, i int, path string, data []byte, off int, rec *Recovery) error {
+	rec.TruncatedRecords++ // the bad frame itself
+	rec.TruncatedBytes += int64(len(data) - off)
+	if err := os.Truncate(path, int64(off)); err != nil {
+		return fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	for _, later := range segs[i+1:] {
+		lpath := filepath.Join(s.dir, later.name)
+		ldata, err := os.ReadFile(lpath)
+		if err != nil {
+			return err
+		}
+		n, clean := countFrames(ldata)
+		rec.TruncatedRecords += n
+		if !clean {
+			rec.TruncatedRecords++
+		}
+		rec.TruncatedBytes += int64(len(ldata))
+		s.logf("wal: dropping %s (%d record(s) past the corruption point)", later.name, n)
+		if err := os.Remove(lpath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countFrames counts the parseable frames in data and whether it ends
+// cleanly at a frame boundary.
+func countFrames(data []byte) (int64, bool) {
+	var n int64
+	off := 0
+	for off < len(data) {
+		_, sz, err := decodeFrame(data[off:])
+		if err != nil {
+			return n, false
+		}
+		n++
+		off += sz
+	}
+	return n, true
+}

@@ -1,0 +1,569 @@
+// Package wal is the durability layer under multilogd: a checksummed,
+// sequenced write-ahead log plus snapshot checkpoints in a single data
+// directory. The contract it gives the serving layer is exactly the one an
+// MLS store owes its subjects — an acknowledged write is never lost:
+//
+//   - every mutation is appended as a length-prefixed, CRC32C-checksummed,
+//     monotonically sequenced record and (under SyncAlways) fsynced before
+//     the caller acknowledges it;
+//   - a checkpoint atomically replaces the log prefix with a serialized
+//     snapshot: temp file, fsync, rename, directory fsync, then the covered
+//     log segments are pruned;
+//   - on open, recovery loads the newest checkpoint that passes its
+//     checksum (falling back to the previous one, which is retained for
+//     exactly this reason), replays the log tail in sequence order, and
+//     truncates — never replays past — a torn or corrupt tail.
+//
+// The log is segmented: appends go to an active segment file, and each
+// checkpoint seals the segment so covered ones can be deleted without
+// rewriting bytes. Record payloads are opaque to this package; the server
+// defines the encodings (internal/server's durability layer).
+//
+// Fault injection: Options.Hook is consulted at named probe points around
+// append and checkpoint I/O (internal/faultinject's file plans), which is
+// how the crash harness (internal/wal/crash) makes a child daemon die at
+// exactly the instant mid-append, pre-fsync or mid-checkpoint-rename.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// SyncMode says when appended records are fsynced.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs every append before it returns: an acknowledged
+	// write survives any crash. The default.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs in the background every Options.SyncInterval:
+	// bounded data loss (the last interval) for much higher write throughput.
+	SyncInterval
+	// SyncNever leaves flushing to the OS: fastest, weakest.
+	SyncNever
+)
+
+// String renders the mode in flag syntax.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// ParseSyncMode parses the -fsync flag values always, interval and never.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync mode %q (want always, interval or never)", s)
+}
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the data directory; it is created if missing. One Store owns a
+	// directory at a time.
+	Dir string
+	// Sync is the fsync policy for appends.
+	Sync SyncMode
+	// SyncInterval is the background fsync cadence under SyncInterval.
+	// Default 50ms.
+	SyncInterval time.Duration
+	// Hook, when set, is consulted at the file-layer probe points; see
+	// internal/faultinject. nil injects nothing.
+	Hook faultinject.FilePlan
+	// Logf, when set, receives one line per notable recovery/checkpoint
+	// event. nil discards.
+	Logf func(format string, args ...any)
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+	// keepCheckpoints is how many checkpoint files are retained. Two, so
+	// recovery can fall back to the previous checkpoint if the newest one
+	// fails its checksum; log segments are pruned only up to the oldest
+	// retained checkpoint, keeping the fallback lossless.
+	keepCheckpoints = 2
+)
+
+// Store is an open write-ahead log. Append, Rotate, WriteCheckpoint and
+// Close are safe for concurrent use.
+type Store struct {
+	opts Options
+	dir  string
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	segFirst uint64   // first seq the active segment can hold
+	seq      uint64   // last assigned seq
+	dirty    bool     // unsynced appends in f
+	broken   error    // set on a write failure: all later appends fail
+
+	ckMu sync.Mutex // serializes checkpoint writes
+
+	evMu sync.Mutex
+	evN  map[faultinject.FileEvent]int64
+
+	appended     atomic.Int64
+	syncs        atomic.Int64
+	ckptsWritten atomic.Int64
+	lastCkptSeq  atomic.Uint64
+
+	stopSync chan struct{} // closes the interval syncer
+	syncDone chan struct{}
+	closed   bool
+}
+
+// Recovery is what Open found on disk: the newest valid checkpoint payload
+// (nil if none) and the log records after it, in sequence order, ready to
+// replay. Truncation counters report what recovery had to drop at a torn or
+// corrupt tail.
+type Recovery struct {
+	// Checkpoint is the newest valid checkpoint's opaque payload; nil when
+	// no checkpoint was usable.
+	Checkpoint []byte
+	// CheckpointSeq is the last sequence number the checkpoint covers (0
+	// without a checkpoint).
+	CheckpointSeq uint64
+	// CheckpointsLoaded is 1 when a checkpoint was loaded, else 0.
+	CheckpointsLoaded int
+	// CheckpointsSkipped counts checkpoint files rejected by their checksum.
+	CheckpointsSkipped int
+	// Records are the log records to replay, strictly ascending, all with
+	// Seq > CheckpointSeq.
+	Records []Record
+	// TruncatedRecords counts records dropped at a torn/corrupt tail (a
+	// lower bound: bytes past a corrupt frame cannot always be framed).
+	TruncatedRecords int64
+	// TruncatedBytes counts bytes physically truncated from the log.
+	TruncatedBytes int64
+}
+
+// Open opens (creating if needed) the data directory, recovers its state,
+// truncates any torn tail, and returns the store positioned to append
+// after the last durable record.
+func Open(opts Options) (*Store, *Recovery, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Options.Dir must be set")
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 50 * time.Millisecond
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s := &Store{opts: opts, dir: opts.Dir, evN: map[faultinject.FileEvent]int64{}}
+	rec, err := s.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Sync == SyncInterval {
+		s.stopSync = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
+	return s, rec, nil
+}
+
+// logf reports a notable event.
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Append writes one record, assigns it the next sequence number, and (under
+// SyncAlways) fsyncs before returning: when Append returns nil, the record
+// is durable. After a write failure the store is broken and every later
+// Append fails — a half-written log must not be appended past.
+func (s *Store) Append(t RecordType, payload []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return 0, s.broken
+	}
+	if s.closed {
+		return 0, fmt.Errorf("wal: store is closed")
+	}
+	seq := s.seq + 1
+	frame := encodeFrame(seq, t, payload)
+
+	switch act := s.fire(faultinject.FileAppendStart); act {
+	case faultinject.FileErr:
+		return 0, s.breakWith(&faultinject.InjectedFile{Event: faultinject.FileAppendStart, N: s.count(faultinject.FileAppendStart), Action: act})
+	case faultinject.FileShortWrite:
+		s.tornWrite(frame)
+		return 0, s.breakWith(&faultinject.InjectedFile{Event: faultinject.FileAppendStart, N: s.count(faultinject.FileAppendStart), Action: act})
+	case faultinject.FileKill:
+		s.killNow()
+	case faultinject.FileKillTorn:
+		s.tornWrite(frame)
+		s.killNow()
+	}
+
+	if _, err := s.f.Write(frame); err != nil {
+		return 0, s.breakWith(fmt.Errorf("wal: append: %w", err))
+	}
+	if s.fire(faultinject.FileAppendWritten) == faultinject.FileKill {
+		s.killNow()
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.f.Sync(); err != nil {
+			return 0, s.breakWith(fmt.Errorf("wal: fsync: %w", err))
+		}
+		s.syncs.Add(1)
+	} else {
+		s.dirty = true
+	}
+	if s.fire(faultinject.FileAppendSynced) == faultinject.FileKill {
+		s.killNow()
+	}
+	s.seq = seq
+	s.appended.Add(1)
+	return seq, nil
+}
+
+// tornWrite leaves a durable half-record on disk: the injected mid-append
+// crash state recovery must detect and truncate.
+func (s *Store) tornWrite(frame []byte) {
+	s.f.Write(frame[:len(frame)/2]) //nolint:errcheck // the op is failing by design
+	s.f.Sync()                      //nolint:errcheck
+}
+
+// breakWith marks the store broken and returns the error.
+func (s *Store) breakWith(err error) error {
+	s.broken = err
+	return err
+}
+
+// Sync flushes buffered appends to disk (a no-op under SyncAlways).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if !s.dirty || s.f == nil || s.broken != nil {
+		return s.broken
+	}
+	if err := s.f.Sync(); err != nil {
+		return s.breakWith(fmt.Errorf("wal: fsync: %w", err))
+	}
+	s.dirty = false
+	s.syncs.Add(1)
+	return nil
+}
+
+// syncLoop is the SyncInterval background fsync.
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Sync() //nolint:errcheck // a broken store already fails appends
+		case <-s.stopSync:
+			return
+		}
+	}
+}
+
+// LastSeq returns the sequence number of the last durable-ordered record.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Rotate seals the active segment and starts a new one, returning the last
+// sequence number the sealed log covers. The caller captures its snapshot
+// state atomically with Rotate (both under the same exclusion against
+// writers), then serializes and writes the checkpoint off-lock.
+func (s *Store) Rotate() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return 0, s.broken
+	}
+	if s.segFirst == s.seq+1 {
+		return s.seq, nil // active segment is empty; nothing to seal
+	}
+	if err := s.syncLocked(); err != nil {
+		return 0, err
+	}
+	if err := s.f.Close(); err != nil {
+		return 0, s.breakWith(fmt.Errorf("wal: sealing segment: %w", err))
+	}
+	f, err := createSegment(s.dir, s.seq+1)
+	if err != nil {
+		return 0, s.breakWith(err)
+	}
+	s.f, s.segFirst, s.dirty = f, s.seq+1, false
+	return s.seq, nil
+}
+
+// WriteCheckpoint durably installs a checkpoint covering every record with
+// sequence number <= seq: temp file, fsync, atomic rename, directory fsync.
+// Old checkpoints beyond the retained two and fully covered log segments
+// are pruned afterwards.
+func (s *Store) WriteCheckpoint(seq uint64, payload []byte) error {
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	frame := encodeFrame(seq, typeCheckpoint, payload)
+	final := filepath.Join(s.dir, ckptName(seq))
+	tmp := final + tmpSuffix
+	if err := writeFileSync(tmp, frame); err != nil {
+		return fmt.Errorf("wal: checkpoint temp: %w", err)
+	}
+	switch act := s.fire(faultinject.FileCheckpointTemp); act {
+	case faultinject.FileErr, faultinject.FileShortWrite:
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup of the injected failure
+		return &faultinject.InjectedFile{Event: faultinject.FileCheckpointTemp, N: s.count(faultinject.FileCheckpointTemp), Action: act}
+	case faultinject.FileKill, faultinject.FileKillTorn:
+		s.killNow()
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint dir sync: %w", err)
+	}
+	if s.fire(faultinject.FileCheckpointRenamed) == faultinject.FileKill {
+		s.killNow()
+	}
+	s.ckptsWritten.Add(1)
+	s.lastCkptSeq.Store(seq)
+	s.prune()
+	s.logf("wal: checkpoint written at seq %d (%d bytes)", seq, len(payload))
+	return nil
+}
+
+// Close flushes and closes the active segment.
+func (s *Store) Close() error {
+	if s.stopSync != nil {
+		close(s.stopSync)
+		<-s.syncDone
+		s.stopSync = nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.syncLocked()
+	if s.f != nil {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Appended           int64  // records appended since open
+	Syncs              int64  // fsyncs issued
+	CheckpointsWritten int64  // checkpoints written since open
+	LastCheckpointSeq  uint64 // seq covered by the newest checkpoint written
+	LastSeq            uint64 // last assigned record seq
+}
+
+// StatsSnapshot returns the store counters.
+func (s *Store) StatsSnapshot() Stats {
+	return Stats{
+		Appended:           s.appended.Load(),
+		Syncs:              s.syncs.Load(),
+		CheckpointsWritten: s.ckptsWritten.Load(),
+		LastCheckpointSeq:  s.lastCkptSeq.Load(),
+		LastSeq:            s.LastSeq(),
+	}
+}
+
+// fire consults the fault plan at one probe point, counting occurrences.
+func (s *Store) fire(ev faultinject.FileEvent) faultinject.FileAction {
+	if s.opts.Hook == nil {
+		return faultinject.FileOK
+	}
+	s.evMu.Lock()
+	s.evN[ev]++
+	n := s.evN[ev]
+	s.evMu.Unlock()
+	return s.opts.Hook(ev, n)
+}
+
+// count reports the occurrences of ev so far (for injected-error metadata).
+func (s *Store) count(ev faultinject.FileEvent) int64 {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return s.evN[ev]
+}
+
+// killNow hard-kills the process: the injected SIGKILL of a crash plan.
+// Only the crash harness's child daemons ever take this path.
+func (s *Store) killNow() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill() //nolint:errcheck // dying is the point
+	}
+	for {
+		time.Sleep(time.Second) // SIGKILL lands before this matters
+	}
+}
+
+// ---- file helpers ----
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, segSuffix)
+}
+
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, seq, ckptSuffix)
+}
+
+// parseSeqName extracts the hex sequence number from a prefixed file name.
+func parseSeqName(base, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(base, prefix) || !strings.HasSuffix(base, suffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(base, prefix), suffix)
+	n, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// createSegment creates a fresh segment file for records starting at
+// firstSeq and fsyncs the directory so the entry itself is durable.
+func createSegment(dir string, firstSeq uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(firstSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close() //nolint:errcheck
+		return nil, err
+	}
+	return f, nil
+}
+
+// writeFileSync writes data to path and fsyncs the file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// listSeqFiles returns the dir entries matching prefix/suffix as (seq,
+// name) pairs sorted ascending by seq.
+func listSeqFiles(dir, prefix, suffix string) ([]seqFile, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []seqFile
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeqName(e.Name(), prefix, suffix); ok {
+			out = append(out, seqFile{seq: seq, name: e.Name()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+type seqFile struct {
+	seq  uint64
+	name string
+}
+
+// prune deletes checkpoints beyond the retained two and segments fully
+// covered by the oldest retained checkpoint. Best-effort: a failed delete
+// is logged and retried at the next checkpoint or open.
+func (s *Store) prune() {
+	ckpts, err := listSeqFiles(s.dir, ckptPrefix, ckptSuffix)
+	if err != nil {
+		s.logf("wal: prune: %v", err)
+		return
+	}
+	for len(ckpts) > keepCheckpoints {
+		if err := os.Remove(filepath.Join(s.dir, ckpts[0].name)); err != nil {
+			s.logf("wal: prune checkpoint: %v", err)
+		}
+		ckpts = ckpts[1:]
+	}
+	if len(ckpts) == 0 {
+		return
+	}
+	keepSeq := ckpts[0].seq // oldest retained checkpoint: fallback stays lossless
+	segs, err := listSeqFiles(s.dir, segPrefix, segSuffix)
+	if err != nil {
+		s.logf("wal: prune: %v", err)
+		return
+	}
+	s.mu.Lock()
+	active := s.segFirst
+	s.mu.Unlock()
+	// A segment's records all precede the next segment's first seq; it can
+	// go when that bound is <= keepSeq and it is not the active segment.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i].seq == active || segs[i+1].seq > keepSeq+1 {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, segs[i].name)); err != nil {
+			s.logf("wal: prune segment: %v", err)
+		}
+	}
+}

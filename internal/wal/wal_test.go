@@ -1,0 +1,381 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func openT(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
+	t.Helper()
+	opts.Dir = dir
+	st, rec, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, rec
+}
+
+func appendN(t *testing.T, st *Store, from, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := st.Append(TypeUpdate, []byte(fmt.Sprintf("rec-%d", from+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func payloads(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = string(r.Payload)
+	}
+	return out
+}
+
+func TestAppendAndReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, rec := openT(t, dir, Options{})
+	if rec.CheckpointsLoaded != 0 || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+	appendN(t, st, 0, 5)
+	if got := st.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq = %d, want 5", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec2 := openT(t, dir, Options{})
+	if len(rec2.Records) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(rec2.Records))
+	}
+	for i, r := range rec2.Records {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d has seq %d, want %d", i, r.Seq, i+1)
+		}
+		if want := fmt.Sprintf("rec-%d", i); string(r.Payload) != want {
+			t.Errorf("record %d payload %q, want %q", i, r.Payload, want)
+		}
+		if r.Type != TypeUpdate {
+			t.Errorf("record %d type %d, want %d", i, r.Type, TypeUpdate)
+		}
+	}
+	// Appends continue the sequence.
+	seq, err := st2.Append(TypeLoad, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Errorf("post-recovery append got seq %d, want 6", seq)
+	}
+}
+
+// segPath returns the single live segment, failing if there is not exactly
+// one.
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("want exactly 1 segment, have %d", len(segs))
+	}
+	return filepath.Join(dir, segs[0].name)
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	appendN(t, st, 0, 4)
+	st.Close()
+
+	// Chop the last record in half: the crash-mid-append disk state.
+	path := segPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir, Options{})
+	if got := payloads(rec.Records); len(got) != 3 || got[2] != "rec-2" {
+		t.Fatalf("replayed %v, want the 3 intact records", got)
+	}
+	if rec.TruncatedRecords != 1 {
+		t.Errorf("TruncatedRecords = %d, want 1", rec.TruncatedRecords)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Error("TruncatedBytes = 0, want > 0")
+	}
+	// The torn bytes are physically gone and the log is append-ready.
+	if _, err := st2.Append(TypeUpdate, []byte("rec-3-again")); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	_, rec3 := openT(t, dir, Options{})
+	if got := payloads(rec3.Records); len(got) != 4 || got[3] != "rec-3-again" {
+		t.Fatalf("after re-append replayed %v, want 4 records ending in rec-3-again", got)
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	appendN(t, st, 0, 4)
+	st.Close()
+
+	// Flip one payload byte inside the second record.
+	path := segPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(data, []byte("rec-1"))
+	if idx < 0 {
+		t.Fatal("rec-1 payload not found in segment")
+	}
+	data[idx] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openT(t, dir, Options{})
+	// Only the record before the corruption survives; records after it are
+	// never replayed even though their own checksums are fine.
+	if got := payloads(rec.Records); len(got) != 1 || got[0] != "rec-0" {
+		t.Fatalf("replayed %v, want only rec-0", got)
+	}
+	if rec.TruncatedRecords == 0 {
+		t.Error("corruption not counted in TruncatedRecords")
+	}
+}
+
+func TestCheckpointRotatePruneAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	appendN(t, st, 0, 3)
+	seq, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("Rotate covered seq %d, want 3", seq)
+	}
+	if err := st.WriteCheckpoint(seq, []byte("snapshot-at-3")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, 3, 2) // tail records 4, 5
+	st.Close()
+
+	_, rec := openT(t, dir, Options{})
+	if rec.CheckpointsLoaded != 1 || string(rec.Checkpoint) != "snapshot-at-3" {
+		t.Fatalf("checkpoint not recovered: %+v", rec)
+	}
+	if rec.CheckpointSeq != 3 {
+		t.Errorf("CheckpointSeq = %d, want 3", rec.CheckpointSeq)
+	}
+	if got := payloads(rec.Records); len(got) != 2 || got[0] != "rec-3" || got[1] != "rec-4" {
+		t.Fatalf("tail replay %v, want [rec-3 rec-4]", got)
+	}
+}
+
+func TestCorruptNewestCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	appendN(t, st, 0, 2)
+	seq, _ := st.Rotate()
+	if err := st.WriteCheckpoint(seq, []byte("ckpt-A")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, 2, 2)
+	seq2, _ := st.Rotate()
+	if err := st.WriteCheckpoint(seq2, []byte("ckpt-B")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, 4, 1)
+	st.Close()
+
+	// Corrupt the newest checkpoint; recovery must fall back to ckpt-A and
+	// replay the records after it losslessly (their segments are retained).
+	data, err := os.ReadFile(filepath.Join(dir, ckptName(seq2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, ckptName(seq2)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openT(t, dir, Options{})
+	if string(rec.Checkpoint) != "ckpt-A" {
+		t.Fatalf("recovered checkpoint %q, want fallback ckpt-A", rec.Checkpoint)
+	}
+	if rec.CheckpointsSkipped != 1 {
+		t.Errorf("CheckpointsSkipped = %d, want 1", rec.CheckpointsSkipped)
+	}
+	if got := payloads(rec.Records); len(got) != 3 || got[0] != "rec-2" || got[2] != "rec-4" {
+		t.Fatalf("fallback replay %v, want [rec-2 rec-3 rec-4]", got)
+	}
+}
+
+func TestSeqResumesFromCheckpointOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	appendN(t, st, 0, 3)
+	seq, _ := st.Rotate()
+	if err := st.WriteCheckpoint(seq, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, rec := openT(t, dir, Options{})
+	if len(rec.Records) != 0 {
+		t.Fatalf("want empty tail, got %d records", len(rec.Records))
+	}
+	got, err := st2.Append(TypeUpdate, []byte("next"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("append after checkpoint-only recovery got seq %d, want 4", got)
+	}
+}
+
+func TestShortWriteFaultLeavesRecoverableLog(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{
+		Hook: faultinject.FileActionAt(faultinject.FileShortWrite, faultinject.FileAppendStart, 3),
+	})
+	appendN(t, st, 0, 2)
+	_, err := st.Append(TypeUpdate, []byte("doomed"))
+	var inj *faultinject.InjectedFile
+	if !errors.As(err, &inj) {
+		t.Fatalf("short write returned %v, want *InjectedFile", err)
+	}
+	// The store is broken: no append may land after a half-written frame.
+	if _, err := st.Append(TypeUpdate, []byte("after")); err == nil {
+		t.Fatal("append after a short write succeeded; the log would interleave garbage")
+	}
+	st.Close()
+
+	_, rec := openT(t, dir, Options{})
+	if got := payloads(rec.Records); len(got) != 2 || got[1] != "rec-1" {
+		t.Fatalf("recovered %v, want the 2 acknowledged records", got)
+	}
+	if rec.TruncatedRecords != 1 || rec.TruncatedBytes == 0 {
+		t.Errorf("truncation counters = (%d, %d), want (1, >0)", rec.TruncatedRecords, rec.TruncatedBytes)
+	}
+}
+
+func TestInjectedAppendErr(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{
+		Hook: faultinject.FileActionAt(faultinject.FileErr, faultinject.FileAppendStart, 1),
+	})
+	if _, err := st.Append(TypeUpdate, []byte("x")); err == nil {
+		t.Fatal("append with err plan succeeded")
+	}
+	st.Close()
+	_, rec := openT(t, dir, Options{})
+	if len(rec.Records) != 0 || rec.TruncatedRecords != 0 {
+		t.Fatalf("err action must not touch the disk; recovered %+v", rec)
+	}
+}
+
+func TestInjectedCheckpointErr(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{
+		Hook: faultinject.FileActionAt(faultinject.FileErr, faultinject.FileCheckpointTemp, 1),
+	})
+	appendN(t, st, 0, 2)
+	seq, _ := st.Rotate()
+	if err := st.WriteCheckpoint(seq, []byte("snap")); err == nil {
+		t.Fatal("checkpoint with err plan succeeded")
+	}
+	st.Close()
+	// No checkpoint landed; the full log replays, including both segments.
+	_, rec := openT(t, dir, Options{})
+	if rec.CheckpointsLoaded != 0 {
+		t.Errorf("CheckpointsLoaded = %d, want 0", rec.CheckpointsLoaded)
+	}
+	if len(rec.Records) != 2 {
+		t.Errorf("replayed %d records, want 2", len(rec.Records))
+	}
+}
+
+func TestSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			st, _ := openT(t, dir, Options{Sync: mode, SyncInterval: time.Millisecond})
+			appendN(t, st, 0, 3)
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, rec := openT(t, dir, Options{})
+			if len(rec.Records) != 3 {
+				t.Errorf("%s: replayed %d records, want 3", mode, len(rec.Records))
+			}
+		})
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for _, m := range []SyncMode{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParseSyncMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseSyncMode(%q) = (%v, %v)", m.String(), got, err)
+		}
+	}
+	if _, err := ParseSyncMode("sometimes"); err == nil {
+		t.Error("ParseSyncMode accepted an unknown mode")
+	}
+}
+
+func TestCheckpointPrunesOldState(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	for i := 0; i < 4; i++ {
+		appendN(t, st, i*2, 2)
+		seq, err := st.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.WriteCheckpoint(seq, []byte(fmt.Sprintf("snap-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpts, err := listSeqFiles(dir, ckptPrefix, ckptSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) != keepCheckpoints {
+		t.Errorf("%d checkpoints on disk, want %d retained", len(ckpts), keepCheckpoints)
+	}
+	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segments covered by the oldest retained checkpoint are gone; the ones
+	// after it (plus the active segment) remain.
+	if len(segs) > 3 {
+		t.Errorf("%d segments on disk after pruning, want <= 3", len(segs))
+	}
+	st.Close()
+	_, rec := openT(t, dir, Options{})
+	if string(rec.Checkpoint) != "snap-3" || len(rec.Records) != 0 {
+		t.Fatalf("recovered (%q, %d records), want (snap-3, 0)", rec.Checkpoint, len(rec.Records))
+	}
+}

@@ -29,11 +29,40 @@ DPID=$!
 
 # Graceful drain: SIGTERM must stop the daemon with exit 0.
 kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "serve-smoke: daemon exited nonzero after SIGTERM" >&2
+    DPID=
+    exit 1
+fi
+DPID=
+
+# Restart-and-verify: run the daemon durably, write a fact, SIGKILL it
+# (no drain, no final checkpoint), restart on the same data directory, and
+# prove the acknowledged write survived recovery.
+"$TMP/multilogd" -addr "$ADDR" -db smoke="$TMP/smoke.mlg" \
+    -data-dir "$TMP/data" -fsync always -drain 5s &
+DPID=$!
+
+"$TMP/serveload" -addr "$ADDR" -ready -wait 10s \
+    -clearance l0 -assert 'l0[p0(smokedurable: a -l0-> yes)].'
+
+kill -KILL "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=
+
+"$TMP/multilogd" -addr "$ADDR" -db smoke="$TMP/smoke.mlg" \
+    -data-dir "$TMP/data" -fsync always -drain 5s &
+DPID=$!
+
+"$TMP/serveload" -addr "$ADDR" -ready -wait 10s \
+    -clearance l0 -query 'l0[p0(smokedurable: a -l0-> V)]' -expect 1
+
+kill -TERM "$DPID"
 if wait "$DPID"; then
     DPID=
-    echo "serve-smoke: ok"
+    echo "serve-smoke: ok (storm + crash-restart durability)"
 else
-    echo "serve-smoke: daemon exited nonzero after SIGTERM" >&2
+    echo "serve-smoke: recovered daemon exited nonzero after SIGTERM" >&2
     DPID=
     exit 1
 fi
