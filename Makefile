@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: build test check vet race fuzz-smoke campaign chaos staticcheck \
-	staticcheck-install analyzers lint serve-smoke crash
+	staticcheck-install analyzers lint serve-smoke crash bench-smoke
 
 build:
 	$(GO) build ./...
@@ -78,8 +78,17 @@ serve-smoke:
 crash:
 	CRASH_MATRIX=full $(GO) test -race -count=1 -run TestKillCrashRecovery ./internal/wal/crash
 
+# bench-smoke runs the 90/10 write-mix benchmark at a short benchtime and
+# gates the cached-read p50 ratio of per-predicate vs global invalidation
+# through benchreport. The smoke bar (>=2x) is looser than the committed
+# BENCH_incremental.json (>=5x) to absorb short-run noise; it exists to
+# catch the incremental invalidation path silently degrading to global.
+bench-smoke:
+	sh scripts/bench_smoke.sh
+
 # check is the CI tier: vet, the custom analyzers, staticcheck, build, the
 # program linter, the race-enabled suite, the chaos tier, the crash-recovery
-# matrix, the daemon smoke, and a bounded differential fuzz smoke.
-check: vet analyzers staticcheck build lint race chaos crash serve-smoke fuzz-smoke
+# matrix, the daemon smoke, the write-mix bench smoke, and a bounded
+# differential fuzz smoke.
+check: vet analyzers staticcheck build lint race chaos crash serve-smoke bench-smoke fuzz-smoke
 	@echo "check: all gates passed"

@@ -1,14 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchreport"
 )
 
 const sample = `BenchmarkFoo/n=1/kind=a  	     100	      1000 ns/op
-BenchmarkFoo/n=1/kind=b  	      10	     10000 ns/op
+BenchmarkFoo/n=1/kind=b  	      10	     10000 ns/op	    7000 p50-read-ns
 PASS
 `
 
@@ -23,7 +26,7 @@ func writeSample(t *testing.T) string {
 
 func TestRunRender(t *testing.T) {
 	var out strings.Builder
-	if err := run(writeSample(t), "", &out); err != nil {
+	if err := run(writeSample(t), "", "", "", &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "### Foo") || !strings.Contains(out.String(), "| n=1/kind=b | 10.0 µs |") {
@@ -33,7 +36,7 @@ func TestRunRender(t *testing.T) {
 
 func TestRunRatio(t *testing.T) {
 	var out strings.Builder
-	if err := run(writeSample(t), "Foo/kind/a", &out); err != nil {
+	if err := run(writeSample(t), "Foo/kind/a", "", "", &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "kind=b is 10.0x") {
@@ -41,16 +44,51 @@ func TestRunRatio(t *testing.T) {
 	}
 }
 
+func TestRunJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(writeSample(t), "", path, "", &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []benchreport.Result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(results) != 2 || results[1].Metrics["p50-read-ns"] != 7000 {
+		t.Errorf("artifact lost results or custom metrics: %+v", results)
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	// kind=b's ns/op is 10x kind=a's: a gate of >=5 on the base arm a holds,
+	// >=20 does not.
+	if err := run(writeSample(t), "", "", "Foo/kind/a:ns/op>=5", &strings.Builder{}); err != nil {
+		t.Errorf("satisfied gate failed: %v", err)
+	}
+	if err := run(writeSample(t), "", "", "Foo/kind/a:ns/op>=20", &strings.Builder{}); err == nil {
+		t.Error("violated gate passed")
+	}
+	if err := run(writeSample(t), "", "", "Foo/kind/a:absent-metric>=2", &strings.Builder{}); err == nil {
+		t.Error("gate on an absent metric must fail loudly")
+	}
+	if err := run(writeSample(t), "", "", "nonsense", &strings.Builder{}); err == nil {
+		t.Error("bad gate spec must fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("/no/such/file", "", &strings.Builder{}); err == nil {
+	if err := run("/no/such/file", "", "", "", &strings.Builder{}); err == nil {
 		t.Error("missing file must fail")
 	}
-	if err := run(writeSample(t), "badspec", &strings.Builder{}); err == nil {
+	if err := run(writeSample(t), "badspec", "", "", &strings.Builder{}); err == nil {
 		t.Error("bad ratio spec must fail")
 	}
 	empty := filepath.Join(t.TempDir(), "empty.txt")
 	os.WriteFile(empty, []byte("no benches here\n"), 0o644)
-	if err := run(empty, "", &strings.Builder{}); err == nil {
+	if err := run(empty, "", "", "", &strings.Builder{}); err == nil {
 		t.Error("no benchmark lines must fail")
 	}
 }

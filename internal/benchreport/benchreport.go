@@ -21,6 +21,9 @@ type Result struct {
 	NsPerOp     float64
 	BytesPerOp  int64 // -1 when absent
 	AllocsPerOp int64 // -1 when absent
+	// Metrics holds every other `<value> <unit>` pair on the line — the
+	// custom b.ReportMetric units (e.g. "p50-read-ns", "hit-rate").
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // Parse reads benchmark lines from r, ignoring everything else.
@@ -57,15 +60,20 @@ func Parse(r io.Reader) ([]Result, error) {
 		}
 		res := Result{Name: name, Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
 			switch fields[i+1] {
 			case "B/op":
-				res.BytesPerOp = v
+				res.BytesPerOp = int64(v)
 			case "allocs/op":
-				res.AllocsPerOp = v
+				res.AllocsPerOp = int64(v)
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[fields[i+1]] = v
 			}
 		}
 		if i := strings.IndexByte(name, '/'); i >= 0 {
@@ -132,6 +140,66 @@ func Render(results []Result) string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// MetricRatios computes, within one group and for one metric (a custom
+// ReportMetric unit, or "ns/op"), the ratio variant/baseline per case
+// prefix: how many times larger the metric is for each dim value than for
+// dim=base. Returned keys are "prefix|dim=val" ("dim=val" when the prefix
+// is empty).
+func MetricRatios(results []Result, group, dim, base, metric string) map[string]float64 {
+	value := func(r Result) (float64, bool) {
+		if metric == "ns/op" {
+			return r.NsPerOp, true
+		}
+		v, ok := r.Metrics[metric]
+		return v, ok
+	}
+	baseline := map[string]float64{}
+	type variant struct {
+		key string
+		val float64
+	}
+	variants := map[string][]variant{}
+	for _, r := range results {
+		if r.Group != group {
+			continue
+		}
+		v, ok := value(r)
+		if !ok {
+			continue
+		}
+		var prefix []string
+		val := ""
+		for _, p := range strings.Split(r.Case, "/") {
+			if strings.HasPrefix(p, dim+"=") {
+				val = strings.TrimPrefix(p, dim+"=")
+			} else {
+				prefix = append(prefix, p)
+			}
+		}
+		k := strings.Join(prefix, "/")
+		if val == base {
+			baseline[k] = v
+		} else if val != "" {
+			key := dim + "=" + val
+			if k != "" {
+				key = k + "|" + key
+			}
+			variants[k] = append(variants[k], variant{key: key, val: v})
+		}
+	}
+	out := map[string]float64{}
+	for k, vs := range variants {
+		b, ok := baseline[k]
+		if !ok || b <= 0 {
+			continue
+		}
+		for _, v := range vs {
+			out[v.key] = v.val / b
+		}
+	}
+	return out
 }
 
 // Ratios computes, for groups whose cases share a parameter prefix and end

@@ -1,0 +1,957 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/resource"
+	"repro/internal/term"
+)
+
+// errStopEnum aborts a body enumeration early (derivability checks need only
+// one firing); it never escapes this file.
+var errStopEnum = errors.New("datalog: stop enumeration")
+
+// This file implements counting-based incremental maintenance of a
+// stratified minimal model: every materialized tuple carries its exact
+// number of rule firings (derivation count) plus a count of base
+// assertions, and ApplyDelta patches the fixpoint in place instead of
+// re-running Eval.
+//
+// Pure counting deletion is unsound under recursion (a cyclic derivation
+// can keep its own count alive after the external support is gone), so the
+// engine splits by stratum shape:
+//
+//   - Non-recursive strata form a DAG of predicates. Deletions are handled
+//     by exact re-counting in topological order: every tuple that may have
+//     lost a firing has its derivation count recomputed against the live
+//     model, and tuples whose count and base both reach zero are removed,
+//     cascading downstream.
+//   - Recursive strata use DRed (delete-and-rederive): tuples reachable
+//     from a deletion are over-deleted transitively, then re-derived from
+//     the surviving model before the net deletions are reported.
+//
+// Insertions run standard semi-naive delta propagation, including the
+// firings a deletion below a stratum enables through a negated literal.
+// After both phases, derivation counts of every touched tuple are
+// recomputed exactly, so counts never drift even though the deletion
+// phases over-approximate the affected set.
+
+// IncStats counts the work done by delta application, cumulatively.
+type IncStats struct {
+	Deltas      int // ApplyDelta calls completed
+	Suspects    int // tuples re-checked after a deletion
+	OverDeleted int // tuples provisionally removed by DRed
+	Rederived   int // over-deleted tuples that found alternative support
+	Recounts    int // exact derivation-count recomputations
+	Firings     int // rule-body enumerations performed
+}
+
+func (a IncStats) sub(b IncStats) IncStats {
+	return IncStats{
+		Deltas:      a.Deltas - b.Deltas,
+		Suspects:    a.Suspects - b.Suspects,
+		OverDeleted: a.OverDeleted - b.OverDeleted,
+		Rederived:   a.Rederived - b.Rederived,
+		Recounts:    a.Recounts - b.Recounts,
+		Firings:     a.Firings - b.Firings,
+	}
+}
+
+// TupleCount is the support bookkeeping for one materialized tuple.
+type TupleCount struct {
+	Base    int // base assertions (fact clauses / EDB inserts), a multiset count
+	Derived int // rule firings currently deriving the tuple
+}
+
+type tupleInfo struct {
+	atom    Atom
+	base    int
+	derived int
+}
+
+// litRef locates one body-literal occurrence of a predicate.
+type litRef struct{ clause, lit int }
+
+// PredDelta is the net membership change of one predicate across a delta.
+type PredDelta struct {
+	Added, Deleted []Atom
+}
+
+// DeltaResult reports what one ApplyDelta changed in the model.
+type DeltaResult struct {
+	// Changed maps each predicate whose tuple set changed to its net
+	// additions and deletions, each sorted by atom key.
+	Changed map[string]PredDelta
+	Stats   IncStats // work done by this delta
+}
+
+// ChangedPreds returns the sorted predicates whose tuple sets changed.
+func (r *DeltaResult) ChangedPreds() []string {
+	out := make([]string, 0, len(r.Changed))
+	for p := range r.Changed {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Incremental maintains the minimal model of a fixed rule set under fact
+// deltas. Build one with NewIncremental; the rule set is immutable
+// afterwards (rule changes require a rebuild). Not safe for concurrent use;
+// Clone before mutating a shared engine.
+type Incremental struct {
+	rules       []Clause
+	stratumOf   map[string]int // predicate -> stratum
+	ruleStratum []int          // rule index -> stratum of its head predicate
+	numStrata   int
+	recursive   []bool              // stratum -> has a positive same-stratum cycle
+	topo        [][]string          // stratum -> predicates in topological order (non-recursive strata only)
+	headRules   map[string][]int    // head predicate -> rule indices
+	posRefs     map[string][]litRef // predicate -> positive body occurrences
+	negRefs     map[string][]litRef // predicate -> negated body occurrences
+
+	model *Store
+	info  map[string]*tupleInfo // atom key -> support counts
+
+	// Limits bounds each ApplyDelta call (steps, facts, memory count the
+	// delta's own work, not the standing model). The zero value is unlimited.
+	Limits resource.Limits
+	// Stats accumulates across the engine's lifetime.
+	Stats IncStats
+
+	broken bool
+	gov    *resource.Governor
+}
+
+// NewIncremental evaluates program ∪ edb and returns an engine holding the
+// model with exact derivation counts. edb may be nil.
+func NewIncremental(p *Program, edb *Store) (*Incremental, error) {
+	return NewIncrementalContext(context.Background(), p, edb, resource.Limits{})
+}
+
+// NewIncrementalContext is NewIncremental bounded by ctx and limits; the
+// limits also bound every later ApplyDelta. Unlike EvalContext, a limit stop
+// is a hard error: a partially counted model cannot be maintained.
+func NewIncrementalContext(ctx context.Context, p *Program, edb *Store, limits resource.Limits) (*Incremental, error) {
+	ev := Evaluator{Limits: limits}
+	model, err := ev.EvalContext(ctx, p, edb)
+	if err != nil {
+		return nil, err
+	}
+	stratum, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		stratumOf: stratum,
+		headRules: map[string][]int{},
+		posRefs:   map[string][]litRef{},
+		negRefs:   map[string][]litRef{},
+		model:     model,
+		info:      map[string]*tupleInfo{},
+		Limits:    limits,
+	}
+	for _, s := range stratum {
+		if s+1 > inc.numStrata {
+			inc.numStrata = s + 1
+		}
+	}
+	if inc.numStrata == 0 {
+		inc.numStrata = 1
+	}
+	for _, c := range p.Clauses {
+		if c.IsFact() {
+			inc.bump(c.Head, 1)
+			continue
+		}
+		ri := len(inc.rules)
+		inc.rules = append(inc.rules, c)
+		inc.ruleStratum = append(inc.ruleStratum, stratum[c.Head.Pred])
+		inc.headRules[c.Head.Pred] = append(inc.headRules[c.Head.Pred], ri)
+		for li, l := range c.Body {
+			if l.Atom.IsBuiltin() {
+				continue
+			}
+			if l.Negated {
+				inc.negRefs[l.Atom.Pred] = append(inc.negRefs[l.Atom.Pred], litRef{ri, li})
+			} else {
+				inc.posRefs[l.Atom.Pred] = append(inc.posRefs[l.Atom.Pred], litRef{ri, li})
+			}
+		}
+	}
+	if edb != nil {
+		for _, pred := range edb.Preds() {
+			for _, f := range edb.Facts(pred) {
+				inc.bump(f, 1)
+			}
+		}
+	}
+	inc.analyzeStrata()
+	// Exact initial derivation counts: one full enumeration of every rule
+	// against the finished model. This is a single naive pass, paid once at
+	// build time.
+	inc.gov = resource.New(ctx, limits)
+	live := storeView{live: model}
+	for ri := range inc.rules {
+		c := inc.rules[ri]
+		inc.Stats.Firings++
+		err := inc.solveFrom(c, -1, term.Subst{}, live, func(sub term.Subst) error {
+			head := c.Head.Apply(sub)
+			if !head.IsGround() {
+				return fmt.Errorf("datalog: derived non-ground head %s from %s", head, c)
+			}
+			ti := inc.ensure(head)
+			ti.derived++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return inc, nil
+}
+
+// bump adjusts the base count of a tuple that is already in the model.
+func (inc *Incremental) bump(a Atom, by int) {
+	ti := inc.ensure(a)
+	ti.base += by
+}
+
+func (inc *Incremental) ensure(a Atom) *tupleInfo {
+	k := a.Key()
+	ti := inc.info[k]
+	if ti == nil {
+		ti = &tupleInfo{atom: a}
+		inc.info[k] = ti
+	}
+	return ti
+}
+
+// analyzeStrata detects, per stratum, whether its predicates form a positive
+// cycle (recursive → DRed deletion) and computes a topological order for the
+// non-recursive ones (→ counting deletion).
+func (inc *Incremental) analyzeStrata() {
+	inc.recursive = make([]bool, inc.numStrata)
+	inc.topo = make([][]string, inc.numStrata)
+	// Same-stratum positive adjacency: head -> body predicates.
+	type edge struct{ from, to string }
+	adj := make([]map[string][]string, inc.numStrata)
+	preds := make([]map[string]bool, inc.numStrata)
+	for i := range adj {
+		adj[i] = map[string][]string{}
+		preds[i] = map[string]bool{}
+	}
+	for ri, c := range inc.rules {
+		s := inc.ruleStratum[ri]
+		preds[s][c.Head.Pred] = true
+		seen := map[edge]bool{}
+		for _, l := range c.Body {
+			if l.Negated || l.Atom.IsBuiltin() {
+				continue
+			}
+			if inc.stratumOf[l.Atom.Pred] != s {
+				continue
+			}
+			preds[s][l.Atom.Pred] = true
+			e := edge{c.Head.Pred, l.Atom.Pred}
+			if !seen[e] {
+				seen[e] = true
+				adj[s][e.from] = append(adj[s][e.from], e.to)
+			}
+		}
+	}
+	for s := 0; s < inc.numStrata; s++ {
+		// Kahn's algorithm over the reversed edges (dependencies first).
+		// Leftover nodes mean a cycle → the stratum is recursive.
+		indeg := map[string]int{}
+		rev := map[string][]string{}
+		var names []string
+		for p := range preds[s] {
+			names = append(names, p)
+		}
+		sort.Strings(names) // deterministic order
+		for _, p := range names {
+			indeg[p] = 0
+		}
+		for from, tos := range adj[s] {
+			for _, to := range tos {
+				rev[to] = append(rev[to], from)
+				indeg[from]++
+			}
+		}
+		var queue []string
+		for _, p := range names {
+			if indeg[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+		var order []string
+		for len(queue) > 0 {
+			sort.Strings(queue)
+			p := queue[0]
+			queue = queue[1:]
+			order = append(order, p)
+			for _, q := range rev[p] {
+				indeg[q]--
+				if indeg[q] == 0 {
+					queue = append(queue, q)
+				}
+			}
+		}
+		if len(order) < len(names) {
+			inc.recursive[s] = true
+		} else {
+			inc.topo[s] = order
+		}
+	}
+}
+
+// Model returns the live model. Callers must treat it as read-only; it is
+// invalidated (and remains correct) across ApplyDelta calls.
+func (inc *Incremental) Model() *Store { return inc.model }
+
+// Count returns the support counts for a ground atom, and whether the atom
+// is currently in the model.
+func (inc *Incremental) Count(a Atom) (TupleCount, bool) {
+	ti := inc.info[a.Key()]
+	if ti == nil {
+		return TupleCount{}, false
+	}
+	return TupleCount{Base: ti.base, Derived: ti.derived}, true
+}
+
+// Counts returns a snapshot of every tuple's support counts, keyed by atom
+// key — the derivation-count sanity surface the differential harness checks
+// against a freshly built engine.
+func (inc *Incremental) Counts() map[string]TupleCount {
+	out := make(map[string]TupleCount, len(inc.info))
+	for k, ti := range inc.info {
+		out[k] = TupleCount{Base: ti.base, Derived: ti.derived}
+	}
+	return out
+}
+
+// Clone returns an independent engine sharing only the immutable rule set.
+func (inc *Incremental) Clone() *Incremental {
+	c := *inc
+	c.model = inc.model.Clone()
+	c.info = make(map[string]*tupleInfo, len(inc.info))
+	for k, ti := range inc.info {
+		cp := *ti
+		c.info[k] = &cp
+	}
+	c.gov = nil
+	return &c
+}
+
+// storeView is what a body enumeration matches against. grave widens
+// positive matches to tuples removed earlier in the same delta (an
+// over-approximation of the pre-delta model); negSkip lists atom keys added
+// by this delta, which negation checks must treat as absent when the
+// enumeration asks about the pre-delta state.
+type storeView struct {
+	live    *Store
+	grave   *Store
+	negSkip map[string]bool
+}
+
+func (v storeView) contains(g Atom) bool {
+	if v.negSkip != nil && v.negSkip[g.Key()] {
+		return false
+	}
+	return v.live.Contains(g)
+}
+
+func (v storeView) match(a Atom, s term.Subst, fn func(term.Subst) bool) {
+	stopped := false
+	v.live.Match(a, s, func(s2 term.Subst) bool {
+		if !fn(s2) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped || v.grave == nil {
+		return
+	}
+	v.grave.Match(a, s, fn)
+}
+
+// solveFrom enumerates all substitutions satisfying c's body against v,
+// starting from s0 and skipping literal skip (already consumed by the
+// caller). Literals are picked in the evaluator's "first ready" order.
+func (inc *Incremental) solveFrom(c Clause, skip int, s0 term.Subst, v storeView, emit func(term.Subst) error) error {
+	remaining := make([]int, 0, len(c.Body))
+	for i := range c.Body {
+		if i != skip {
+			remaining = append(remaining, i)
+		}
+	}
+	var rec func(rem []int, s term.Subst) error
+	rec = func(rem []int, s term.Subst) error {
+		if err := inc.gov.Step(); err != nil {
+			return err
+		}
+		if len(rem) == 0 {
+			return emit(s)
+		}
+		pick := -1
+		for pi, bi := range rem {
+			l := c.Body[bi]
+			switch {
+			case !l.Negated && !l.Atom.IsBuiltin():
+				pick = pi
+			case l.Atom.Pred == BuiltinEq && !l.Negated:
+				pick = pi
+			default: // '!=' or negation: ready only when ground
+				if l.Apply(s).Atom.IsGround() {
+					pick = pi
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			return fmt.Errorf("datalog: floundering clause %s (validate should have caught this)", c)
+		}
+		bi := rem[pick]
+		rest := make([]int, 0, len(rem)-1)
+		rest = append(rest, rem[:pick]...)
+		rest = append(rest, rem[pick+1:]...)
+		l := c.Body[bi]
+		switch {
+		case l.Atom.Pred == BuiltinEq:
+			s2 := s.Clone()
+			if term.Unify(l.Atom.Args[0], l.Atom.Args[1], s2) {
+				return rec(rest, s2)
+			}
+			return nil
+		case l.Atom.Pred == BuiltinNeq:
+			g := l.Atom.Apply(s)
+			if !g.Args[0].Equal(g.Args[1]) {
+				return rec(rest, s)
+			}
+			return nil
+		case l.Negated:
+			if !v.contains(l.Atom.Apply(s)) {
+				return rec(rest, s)
+			}
+			return nil
+		default:
+			var innerErr error
+			v.match(l.Atom, s, func(s2 term.Subst) bool {
+				if err := rec(rest, s2); err != nil {
+					innerErr = err
+					return false
+				}
+				return true
+			})
+			return innerErr
+		}
+	}
+	return rec(remaining, s0)
+}
+
+// bindTo unifies pattern against a ground atom, returning the binding.
+func bindTo(pattern, ground Atom) (term.Subst, bool) {
+	if pattern.Pred != ground.Pred || len(pattern.Args) != len(ground.Args) {
+		return nil, false
+	}
+	s := term.Subst{}
+	if !term.UnifyAll(pattern.Args, ground.Args, s) {
+		return nil, false
+	}
+	return s, true
+}
+
+// countFirings recomputes the exact number of firings deriving t against the
+// live model. With earlyStop, it returns as soon as one firing is found.
+func (inc *Incremental) countFirings(t Atom, earlyStop bool) (int, error) {
+	live := storeView{live: inc.model}
+	n := 0
+	for _, ri := range inc.headRules[t.Pred] {
+		c := inc.rules[ri]
+		s0, ok := bindTo(c.Head, t)
+		if !ok {
+			continue
+		}
+		inc.Stats.Firings++
+		err := inc.solveFrom(c, -1, s0, live, func(term.Subst) error {
+			n++
+			if earlyStop {
+				return errStopEnum
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStopEnum) {
+			return n, err
+		}
+		if earlyStop && n > 0 {
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// lostHeads enumerates heads of stratum-s rule firings that existed in the
+// pre-delta over-approximation and involved d — at a positive literal when
+// neg is false (d was deleted), or at a negated literal when neg is true (d
+// was added, killing the firing).
+func (inc *Incremental) lostHeads(s int, d Atom, neg bool, v storeView, yield func(Atom) error) error {
+	refs := inc.posRefs[d.Pred]
+	if neg {
+		refs = inc.negRefs[d.Pred]
+	}
+	for _, rf := range refs {
+		if inc.ruleStratum[rf.clause] != s {
+			continue
+		}
+		c := inc.rules[rf.clause]
+		s0, ok := bindTo(c.Body[rf.lit].Atom, d)
+		if !ok {
+			continue
+		}
+		inc.Stats.Firings++
+		err := inc.solveFrom(c, rf.lit, s0, v, func(sub term.Subst) error {
+			return yield(c.Head.Apply(sub))
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deltaState is the bookkeeping shared by the phases of one ApplyDelta.
+type deltaState struct {
+	added   map[string]map[string]Atom // pred -> key -> atom, net additions
+	deleted map[string]map[string]Atom // pred -> key -> atom, net deletions
+	grave   *Store                     // every tuple removed at any point
+	addKeys map[string]bool            // keys of net-added atoms (negation masking)
+}
+
+func (d *deltaState) noteAdd(a Atom, k string) {
+	m := d.added[a.Pred]
+	if m == nil {
+		m = map[string]Atom{}
+		d.added[a.Pred] = m
+	}
+	m[k] = a
+	d.addKeys[k] = true
+}
+
+func (d *deltaState) noteDel(a Atom, k string) {
+	m := d.deleted[a.Pred]
+	if m == nil {
+		m = map[string]Atom{}
+		d.deleted[a.Pred] = m
+	}
+	m[k] = a
+}
+
+// cancelDel clears a recorded deletion whose tuple came back (net change
+// zero), reporting whether there was one.
+func (d *deltaState) cancelDel(pred, k string) bool {
+	m := d.deleted[pred]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[k]; !ok {
+		return false
+	}
+	delete(m, k)
+	if len(m) == 0 {
+		delete(d.deleted, pred)
+	}
+	return true
+}
+
+// ApplyDelta patches the model in place: dels retracts base assertions
+// (multiset semantics; retracting an absent assertion is a no-op), adds
+// asserts new ones, and derived consequences are propagated stratum by
+// stratum. It reports the net membership change per predicate. On error the
+// engine is poisoned (the model may be half-patched) and every later call
+// fails; keep a Clone if you need to survive failed deltas.
+func (inc *Incremental) ApplyDelta(adds, dels []Atom) (*DeltaResult, error) {
+	return inc.ApplyDeltaContext(context.Background(), adds, dels)
+}
+
+// ApplyDeltaContext is ApplyDelta bounded by ctx and inc.Limits.
+func (inc *Incremental) ApplyDeltaContext(ctx context.Context, adds, dels []Atom) (*DeltaResult, error) {
+	if inc.broken {
+		return nil, fmt.Errorf("datalog: incremental engine poisoned by an earlier failed delta")
+	}
+	before := inc.Stats
+	inc.gov = resource.New(ctx, inc.Limits)
+	res, err := inc.applyDelta(adds, dels)
+	if err != nil {
+		inc.broken = true
+		return nil, err
+	}
+	inc.Stats.Deltas++
+	res.Stats = inc.Stats.sub(before)
+	return res, nil
+}
+
+func (inc *Incremental) applyDelta(adds, dels []Atom) (*DeltaResult, error) {
+	st := &deltaState{
+		added:   map[string]map[string]Atom{},
+		deleted: map[string]map[string]Atom{},
+		grave:   NewStore(),
+		addKeys: map[string]bool{},
+	}
+	// Phase 0: base-assertion bookkeeping. Deletions first, so a delta that
+	// retracts and re-asserts the same atom nets out.
+	for _, d := range dels {
+		if !d.IsGround() || d.IsBuiltin() {
+			return nil, fmt.Errorf("datalog: delta retract of invalid atom %s", d)
+		}
+		k := d.Key()
+		ti := inc.info[k]
+		if ti == nil || ti.base == 0 {
+			continue // retracting an assertion that does not exist
+		}
+		ti.base--
+		if ti.base == 0 && ti.derived == 0 {
+			inc.removeTuple(d, k, st)
+		}
+	}
+	for _, a := range adds {
+		if !a.IsGround() || a.IsBuiltin() {
+			return nil, fmt.Errorf("datalog: delta assert of invalid atom %s", a)
+		}
+		k := a.Key()
+		ti := inc.ensure(a)
+		ti.base++
+		if ti.base == 1 && ti.derived == 0 {
+			if err := inc.insertTuple(a, k, st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for s := 0; s < inc.numStrata; s++ {
+		affected := map[string]Atom{}
+		var err error
+		if inc.recursive[s] {
+			err = inc.deleteDRed(s, st, affected)
+		} else {
+			err = inc.deleteCounting(s, st)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := inc.insertPhase(s, st, affected); err != nil {
+			return nil, err
+		}
+		// Recount every touched tuple exactly against the now-final model of
+		// this stratum. Lower predicates never change again, so the counts
+		// are final.
+		for _, t := range affected {
+			if !inc.model.Contains(t) {
+				continue
+			}
+			n, err := inc.countFirings(t, false)
+			if err != nil {
+				return nil, err
+			}
+			inc.Stats.Recounts++
+			inc.ensure(t).derived = n
+		}
+	}
+	res := &DeltaResult{Changed: map[string]PredDelta{}}
+	for pred, m := range st.added {
+		pd := res.Changed[pred]
+		for _, a := range m {
+			pd.Added = append(pd.Added, a)
+		}
+		sortAtoms(pd.Added)
+		res.Changed[pred] = pd
+	}
+	for pred, m := range st.deleted {
+		pd := res.Changed[pred]
+		for _, a := range m {
+			pd.Deleted = append(pd.Deleted, a)
+		}
+		sortAtoms(pd.Deleted)
+		res.Changed[pred] = pd
+	}
+	return res, nil
+}
+
+func sortAtoms(as []Atom) {
+	sort.Slice(as, func(i, j int) bool { return as[i].Key() < as[j].Key() })
+}
+
+// removeTuple takes a tuple out of the model and records the net deletion.
+func (inc *Incremental) removeTuple(t Atom, k string, st *deltaState) {
+	inc.model.Remove(t)
+	st.grave.Insert(t) //nolint:errcheck // ground: was in the model
+	if st.addKeys[k] {
+		// Added earlier in this same delta: net change cancels.
+		delete(st.addKeys, k)
+		if m := st.added[t.Pred]; m != nil {
+			delete(m, k)
+			if len(m) == 0 {
+				delete(st.added, t.Pred)
+			}
+		}
+	} else {
+		st.noteDel(t, k)
+	}
+	if ti := inc.info[k]; ti != nil && ti.base == 0 {
+		delete(inc.info, k)
+	}
+}
+
+// insertTuple puts a tuple into the model and records the net addition; a
+// tuple returning after a same-delta deletion nets out instead.
+func (inc *Incremental) insertTuple(t Atom, k string, st *deltaState) error {
+	if _, err := inc.model.Insert(t); err != nil {
+		return err
+	}
+	if err := inc.gov.Insert(approxAtomBytes(t)); err != nil {
+		return err
+	}
+	if !st.cancelDel(t.Pred, k) {
+		st.noteAdd(t, k)
+	}
+	return nil
+}
+
+// deleteCounting handles the deletion side of a non-recursive stratum by
+// exact re-counting in topological predicate order. oldView widens matches
+// to the graveyard so every pre-delta firing involving a deleted tuple is
+// enumerated (an over-approximation; counts are recomputed exactly).
+func (inc *Incremental) deleteCounting(s int, st *deltaState) error {
+	suspects := map[string]map[string]Atom{} // pred -> key -> atom
+	suspect := func(h Atom) error {
+		inc.Stats.Suspects++
+		m := suspects[h.Pred]
+		if m == nil {
+			m = map[string]Atom{}
+			suspects[h.Pred] = m
+		}
+		m[h.Key()] = h
+		return nil
+	}
+	oldView := storeView{live: inc.model, grave: st.grave, negSkip: st.addKeys}
+	for _, m := range st.deleted {
+		for _, d := range m {
+			if err := inc.lostHeads(s, d, false, oldView, suspect); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range st.added {
+		for _, a := range m {
+			if err := inc.lostHeads(s, a, true, oldView, suspect); err != nil {
+				return err
+			}
+		}
+	}
+	for _, pred := range inc.topo[s] {
+		for {
+			m := suspects[pred]
+			if len(m) == 0 {
+				break
+			}
+			delete(suspects, pred)
+			// Sorted for deterministic enumeration order.
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				t := m[k]
+				ti := inc.info[k]
+				if ti == nil || !inc.model.Contains(t) {
+					continue
+				}
+				n, err := inc.countFirings(t, false)
+				if err != nil {
+					return err
+				}
+				inc.Stats.Recounts++
+				ti.derived = n
+				if n == 0 && ti.base == 0 {
+					inc.removeTuple(t, k, st)
+					// Cascade: downstream suspects are topologically later
+					// predicates of this stratum (or later strata, reached
+					// through st.deleted when they run).
+					if err := inc.lostHeads(s, t, false, oldView, suspect); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// deleteDRed handles the deletion side of a recursive stratum with
+// delete-and-rederive: over-delete everything reachable from the deletions,
+// then re-derive from the surviving model. Touched tuples are recorded in
+// affected for the final exact recount.
+func (inc *Incremental) deleteDRed(s int, st *deltaState, affected map[string]Atom) error {
+	oldView := storeView{live: inc.model, grave: st.grave, negSkip: st.addKeys}
+	overdeleted := map[string]Atom{}
+	var queue []Atom
+	for _, m := range st.deleted {
+		for _, d := range m {
+			queue = append(queue, d)
+		}
+	}
+	onLost := func(h Atom) {
+		k := h.Key()
+		ti := inc.info[k]
+		if ti == nil || !inc.model.Contains(h) {
+			return
+		}
+		inc.Stats.Suspects++
+		affected[k] = h
+		if ti.base > 0 {
+			return // base-supported: stays, count recomputed later
+		}
+		inc.Stats.OverDeleted++
+		inc.removeTuple(h, k, st)
+		overdeleted[k] = h
+		queue = append(queue, h)
+	}
+	// Heads are buffered before processing: onLost mutates the model, and
+	// removing tuples mid-enumeration would corrupt the store scan that
+	// lostHeads is running.
+	lost := func(d Atom, neg bool) error {
+		var heads []Atom
+		err := inc.lostHeads(s, d, neg, oldView, func(h Atom) error {
+			heads = append(heads, h)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, h := range heads {
+			onLost(h)
+		}
+		return nil
+	}
+	// Additions below the stratum kill firings through negated literals.
+	for _, m := range st.added {
+		for _, a := range m {
+			if err := lost(a, true); err != nil {
+				return err
+			}
+		}
+	}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		if err := lost(d, false); err != nil {
+			return err
+		}
+	}
+	// Re-derive: any over-deleted tuple still derivable from the surviving
+	// model (including additions already in place) comes back.
+	for changed := true; changed; {
+		changed = false
+		keys := make([]string, 0, len(overdeleted))
+		for k := range overdeleted {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			t := overdeleted[k]
+			n, err := inc.countFirings(t, true)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				inc.Stats.Rederived++
+				// insertTuple cancels the deletion recorded at over-delete
+				// time, so the tuple's net change is zero.
+				if err := inc.insertTuple(t, k, st); err != nil {
+					return err
+				}
+				delete(overdeleted, k)
+				affected[k] = t
+				changed = true
+			}
+		}
+	}
+	return nil
+}
+
+// insertPhase runs semi-naive delta propagation for the additions visible to
+// stratum s, including firings enabled by deletions below through negated
+// literals. Every emitted head lands in affected for the final recount.
+func (inc *Incremental) insertPhase(s int, st *deltaState, affected map[string]Atom) error {
+	live := storeView{live: inc.model}
+	var frontier []Atom
+	for _, m := range st.added {
+		for _, a := range m {
+			frontier = append(frontier, a)
+		}
+	}
+	emit := func(c Clause) func(term.Subst) error {
+		return func(sub term.Subst) error {
+			head := c.Head.Apply(sub)
+			if !head.IsGround() {
+				return fmt.Errorf("datalog: derived non-ground head %s from %s", head, c)
+			}
+			k := head.Key()
+			affected[k] = head
+			if inc.model.Contains(head) {
+				return nil
+			}
+			inc.ensure(head) // derived count set by the recount
+			if err := inc.insertTuple(head, k, st); err != nil {
+				return err
+			}
+			frontier = append(frontier, head)
+			return nil
+		}
+	}
+	fire := func(d Atom, neg bool) error {
+		refs := inc.posRefs[d.Pred]
+		if neg {
+			refs = inc.negRefs[d.Pred]
+		}
+		for _, rf := range refs {
+			if inc.ruleStratum[rf.clause] != s {
+				continue
+			}
+			c := inc.rules[rf.clause]
+			s0, ok := bindTo(c.Body[rf.lit].Atom, d)
+			if !ok {
+				continue
+			}
+			inc.Stats.Firings++
+			if err := inc.solveFrom(c, rf.lit, s0, live, emit(c)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Deletions below the stratum enable firings through negated literals;
+	// they cannot cascade within the stratum (same-stratum negation is not
+	// stratifiable), so one pass suffices.
+	for _, m := range st.deleted {
+		for _, d := range m {
+			if err := fire(d, true); err != nil {
+				return err
+			}
+		}
+	}
+	for len(frontier) > 0 {
+		d := frontier[0]
+		frontier = frontier[1:]
+		if err := fire(d, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func atoms(t *testing.T, srcs ...string) []Atom {
+	t.Helper()
+	out := make([]Atom, len(srcs))
+	for i, s := range srcs {
+		out[i] = mustAtom(t, s)
+	}
+	return out
+}
+
+func TestStoreRemove(t *testing.T) {
+	s := NewStore()
+	facts := []Atom{
+		NewAtom("e", term.Const("a"), term.Const("b")),
+		NewAtom("e", term.Const("b"), term.Const("c")),
+		NewAtom("e", term.Const("a"), term.Const("c")),
+		NewAtom("p", term.Const("x")),
+	}
+	for _, f := range facts {
+		if added, err := s.Insert(f); err != nil || !added {
+			t.Fatalf("insert %s: added=%v err=%v", f, added, err)
+		}
+	}
+	if s.Remove(NewAtom("e", term.Const("z"), term.Const("z"))) {
+		t.Fatal("removed an absent fact")
+	}
+	if !s.Remove(facts[0]) {
+		t.Fatal("failed to remove a present fact")
+	}
+	if s.Contains(facts[0]) {
+		t.Fatal("removed fact still present")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	// The index must still find the swapped-in fact.
+	var hits int
+	s.Match(NewAtom("e", term.Const("a"), term.Var("X")), term.Subst{}, func(term.Subst) bool {
+		hits++
+		return true
+	})
+	if hits != 1 {
+		t.Fatalf("indexed match after remove: %d hits, want 1", hits)
+	}
+	// Re-insert and verify it comes back cleanly.
+	if added, err := s.Insert(facts[0]); err != nil || !added {
+		t.Fatalf("re-insert: added=%v err=%v", added, err)
+	}
+	hits = 0
+	s.Match(NewAtom("e", term.Var("X"), term.Var("Y")), term.Subst{}, func(term.Subst) bool {
+		hits++
+		return true
+	})
+	if hits != 3 {
+		t.Fatalf("unindexed scan after re-insert: %d hits, want 3", hits)
+	}
+	// Removing the last fact of a predicate drops the relation.
+	if !s.Remove(facts[3]) {
+		t.Fatal("failed to remove p(x)")
+	}
+	if got := s.Facts("p"); got != nil {
+		t.Fatalf("Facts(p) = %v after removing the only fact", got)
+	}
+}
+
+// applyRef applies a delta to a plain fact multiset, the reference the
+// incremental engine is checked against.
+type refState struct {
+	rules *Program
+	base  map[string]int
+	atoms map[string]Atom
+}
+
+func newRefState(t *testing.T, src string) (*refState, *Incremental) {
+	t.Helper()
+	p := mustParse(t, src)
+	rs := &refState{rules: &Program{}, base: map[string]int{}, atoms: map[string]Atom{}}
+	for _, c := range p.Clauses {
+		if c.IsFact() {
+			rs.base[c.Head.Key()]++
+			rs.atoms[c.Head.Key()] = c.Head
+		} else {
+			rs.rules.Add(c)
+		}
+	}
+	inc, err := NewIncremental(p, nil)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	return rs, inc
+}
+
+// full evaluates the reference state from scratch.
+func (rs *refState) full(t *testing.T) (*Store, *Incremental) {
+	t.Helper()
+	p := &Program{}
+	p.Add(rs.rules.Clauses...)
+	for k, n := range rs.base {
+		for i := 0; i < n; i++ {
+			p.Add(Fact(rs.atoms[k]))
+		}
+	}
+	model, err := Eval(p, nil)
+	if err != nil {
+		t.Fatalf("reference Eval: %v", err)
+	}
+	fresh, err := NewIncremental(p, nil)
+	if err != nil {
+		t.Fatalf("reference NewIncremental: %v", err)
+	}
+	return model, fresh
+}
+
+func (rs *refState) apply(adds, dels []Atom) {
+	for _, d := range dels {
+		if rs.base[d.Key()] > 0 {
+			rs.base[d.Key()]--
+			if rs.base[d.Key()] == 0 {
+				delete(rs.base, d.Key())
+			}
+		}
+	}
+	for _, a := range adds {
+		rs.base[a.Key()]++
+		rs.atoms[a.Key()] = a
+	}
+}
+
+// step applies the delta to both the engine and the reference and fails the
+// test on any divergence in tuple sets or derivation counts.
+func step(t *testing.T, rs *refState, inc *Incremental, adds, dels []Atom) *DeltaResult {
+	t.Helper()
+	before := inc.Model().String()
+	res, err := inc.ApplyDelta(adds, dels)
+	if err != nil {
+		t.Fatalf("ApplyDelta(+%v, -%v): %v", adds, dels, err)
+	}
+	rs.apply(adds, dels)
+	refModel, fresh := rs.full(t)
+	if got, want := inc.Model().String(), refModel.String(); got != want {
+		t.Fatalf("model divergence after +%v -%v\nbefore:\n%s\nincremental:\n%s\nreference:\n%s",
+			adds, dels, before, got, want)
+	}
+	if got, want := inc.Counts(), fresh.Counts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("count divergence after +%v -%v\nincremental: %v\nreference:   %v",
+			adds, dels, got, want)
+	}
+	return res
+}
+
+func TestIncrementalChainTC(t *testing.T) {
+	rs, inc := newRefState(t, `
+		e(a, b). e(b, c). e(c, d).
+		tc(X, Y) :- e(X, Y).
+		tc(X, Z) :- e(X, Y), tc(Y, Z).
+	`)
+	res := step(t, rs, inc, atoms(t, "e(d, f)"), nil)
+	if len(res.Changed["tc"].Added) == 0 {
+		t.Fatal("adding an edge added no tc tuples")
+	}
+	step(t, rs, inc, nil, atoms(t, "e(b, c)"))
+	step(t, rs, inc, atoms(t, "e(b, c)"), nil)
+	// Delete and re-add different support in one delta.
+	step(t, rs, inc, atoms(t, "e(a, c)"), atoms(t, "e(a, b)"))
+}
+
+func TestIncrementalCyclicSupport(t *testing.T) {
+	// The classic counting-unsound case: p(a)'s recursive firing via the
+	// cycle keeps a nonzero count after the external support is deleted.
+	// DRed must take p(a) (and the cycle-mate q(a)) out.
+	rs, inc := newRefState(t, `
+		e(a).
+		p(X) :- e(X).
+		p(X) :- q(X).
+		q(X) :- p(X).
+	`)
+	res := step(t, rs, inc, nil, atoms(t, "e(a)"))
+	if len(res.Changed["p"].Deleted) != 1 || len(res.Changed["q"].Deleted) != 1 {
+		t.Fatalf("cyclic support not deleted: %+v", res.Changed)
+	}
+	step(t, rs, inc, atoms(t, "e(a)"), nil)
+}
+
+func TestIncrementalNegation(t *testing.T) {
+	rs, inc := newRefState(t, `
+		node(a). node(b). node(c).
+		start(a).
+		e(a, b).
+		reach(X) :- start(X).
+		reach(Y) :- reach(X), e(X, Y).
+		unreached(X) :- node(X), not reach(X).
+	`)
+	// Addition below the negation deletes above it: c becomes reached.
+	res := step(t, rs, inc, atoms(t, "e(b, c)"), nil)
+	if len(res.Changed["unreached"].Deleted) != 1 {
+		t.Fatalf("adding an edge should delete one unreached tuple: %+v", res.Changed)
+	}
+	// Deletion below the negation adds above it: b and c fall out of reach.
+	res = step(t, rs, inc, nil, atoms(t, "e(a, b)"))
+	if len(res.Changed["unreached"].Added) != 2 {
+		t.Fatalf("deleting the bridge should add two unreached tuples: %+v", res.Changed)
+	}
+	step(t, rs, inc, atoms(t, "e(a, c)"), nil)
+	step(t, rs, inc, nil, atoms(t, "node(b)"))
+}
+
+func TestIncrementalAssertRetractNoop(t *testing.T) {
+	rs, inc := newRefState(t, `
+		e(a, b). e(b, c).
+		tc(X, Y) :- e(X, Y).
+		tc(X, Z) :- e(X, Y), tc(Y, Z).
+		dead(X) :- node(X), not live(X).
+		node(n1). live(n1).
+	`)
+	wantModel := inc.Model().String()
+	wantCounts := inc.Counts()
+	for _, fact := range []string{"e(c, d)", "node(n2)", "live(n1)", "e(a, b)"} {
+		step(t, rs, inc, atoms(t, fact), nil)
+		step(t, rs, inc, nil, atoms(t, fact))
+		if got := inc.Model().String(); got != wantModel {
+			t.Fatalf("assert+retract %s is not a no-op\ngot:\n%s\nwant:\n%s", fact, got, wantModel)
+		}
+		if got := inc.Counts(); !reflect.DeepEqual(got, wantCounts) {
+			t.Fatalf("assert+retract %s drifted counts: %v != %v", fact, got, wantCounts)
+		}
+	}
+	// Within one delta, retracts apply before asserts: retracting an absent
+	// atom is a no-op and the assert lands, so the pair nets to an assert.
+	step(t, rs, inc, atoms(t, "e(z, z)"), atoms(t, "e(z, z)"))
+	if !inc.Model().Contains(mustAtom(t, "e(z, z)")) {
+		t.Fatal("same-delta retract+assert should net to an assert")
+	}
+	step(t, rs, inc, nil, atoms(t, "e(z, z)"))
+	if got := inc.Model().String(); got != wantModel {
+		t.Fatalf("state did not return to baseline:\n%s\nwant:\n%s", got, wantModel)
+	}
+}
+
+func TestIncrementalBaseAndDerivedOverlap(t *testing.T) {
+	rs, inc := newRefState(t, `
+		e(a, b).
+		tc(X, Y) :- e(X, Y).
+		tc(a, b).
+	`)
+	if c, ok := inc.Count(mustAtom(t, "tc(a, b)")); !ok || c.Base != 1 || c.Derived != 1 {
+		t.Fatalf("tc(a,b) counts = %+v, want base 1 derived 1", c)
+	}
+	// Retracting the base assertion keeps the tuple (still derived).
+	res := step(t, rs, inc, nil, atoms(t, "tc(a, b)"))
+	if len(res.Changed) != 0 {
+		t.Fatalf("retracting a still-derived base fact changed membership: %+v", res.Changed)
+	}
+	// Now deleting the edge removes the derivation and the tuple.
+	res = step(t, rs, inc, nil, atoms(t, "e(a, b)"))
+	if len(res.Changed["tc"].Deleted) != 1 {
+		t.Fatalf("tuple should be gone once base and derivations are: %+v", res.Changed)
+	}
+}
+
+func TestIncrementalDuplicateBaseFacts(t *testing.T) {
+	rs, inc := newRefState(t, `
+		e(a, b). e(a, b).
+		tc(X, Y) :- e(X, Y).
+	`)
+	if c, _ := inc.Count(mustAtom(t, "e(a, b)")); c.Base != 2 {
+		t.Fatalf("duplicate fact base count = %d, want 2", c.Base)
+	}
+	// One retract leaves the other assertion standing.
+	res := step(t, rs, inc, nil, atoms(t, "e(a, b)"))
+	if len(res.Changed) != 0 {
+		t.Fatalf("first retract of a doubly asserted fact changed membership: %+v", res.Changed)
+	}
+	res = step(t, rs, inc, nil, atoms(t, "e(a, b)"))
+	if len(res.Changed["e"].Deleted) != 1 || len(res.Changed["tc"].Deleted) != 1 {
+		t.Fatalf("second retract should delete e and tc: %+v", res.Changed)
+	}
+}
+
+func TestIncrementalBuiltins(t *testing.T) {
+	rs, inc := newRefState(t, `
+		p(a). p(b).
+		diff(X, Y) :- p(X), p(Y), X != Y.
+		alias(X, Y) :- p(X), Y = X.
+	`)
+	step(t, rs, inc, atoms(t, "p(c)"), nil)
+	step(t, rs, inc, nil, atoms(t, "p(a)"))
+	step(t, rs, inc, nil, atoms(t, "p(b)"))
+}
+
+func TestIncrementalClone(t *testing.T) {
+	rs, inc := newRefState(t, `
+		e(a, b). e(b, c).
+		tc(X, Y) :- e(X, Y).
+		tc(X, Z) :- e(X, Y), tc(Y, Z).
+	`)
+	snapshot := inc.Model().String()
+	clone := inc.Clone()
+	step(t, rs, inc, atoms(t, "e(c, d)"), atoms(t, "e(a, b)"))
+	if got := clone.Model().String(); got != snapshot {
+		t.Fatalf("mutating the original leaked into the clone:\n%s\nvs\n%s", got, snapshot)
+	}
+	// The clone must still be maintainable on its own.
+	if _, err := clone.ApplyDelta(atoms(t, "e(x, y)"), nil); err != nil {
+		t.Fatalf("clone ApplyDelta: %v", err)
+	}
+}
+
+// TestIncrementalRandomStorm drives random deltas over every structural
+// shape (chains, cycles, negation, builtins) and cross-checks the model and
+// counts against from-scratch evaluation after every step.
+func TestIncrementalRandomStorm(t *testing.T) {
+	programs := []string{
+		`tc(X, Y) :- e(X, Y).
+		 tc(X, Z) :- e(X, Y), tc(Y, Z).`,
+		`tc(X, Y) :- e(X, Y).
+		 tc(X, Z) :- tc(X, Y), tc(Y, Z).`,
+		`reach(X) :- start(X).
+		 reach(Y) :- reach(X), e(X, Y).
+		 unreached(X) :- node(X), not reach(X).
+		 node(a). node(b). node(c). node(d). start(a).`,
+		`sg(X, X) :- node(X).
+		 sg(X, Y) :- e(P, X), sg(P, Q), e(Q, Y).
+		 node(a). node(b). node(c). node(d).`,
+	}
+	steps, seeds := 40, 4
+	if testing.Short() {
+		steps, seeds = 12, 2
+	}
+	consts := []string{"a", "b", "c", "d"}
+	for pi, src := range programs {
+		for seed := 0; seed < seeds; seed++ {
+			pi, src, seed := pi, src, seed
+			t.Run(fmt.Sprintf("program%d/seed%d", pi, seed), func(t *testing.T) {
+				rs, inc := newRefState(t, src)
+				r := rand.New(rand.NewSource(int64(100 + 10*pi + seed)))
+				present := map[string]Atom{}
+				for i := 0; i < steps; i++ {
+					var adds, dels []Atom
+					n := 1 + r.Intn(3)
+					for j := 0; j < n; j++ {
+						if len(present) > 0 && r.Intn(3) == 0 {
+							// Delete a random currently asserted edge.
+							keys := make([]string, 0, len(present))
+							for k := range present {
+								keys = append(keys, k)
+							}
+							sort.Strings(keys)
+							k := keys[r.Intn(len(keys))]
+							dels = append(dels, present[k])
+							delete(present, k)
+						} else {
+							a := NewAtom("e",
+								term.Const(consts[r.Intn(len(consts))]),
+								term.Const(consts[r.Intn(len(consts))]))
+							adds = append(adds, a)
+							present[a.Key()] = a
+						}
+					}
+					step(t, rs, inc, adds, dels)
+				}
+			})
+		}
+	}
+}

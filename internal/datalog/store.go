@@ -29,15 +29,15 @@ func NewStore() *Store { return &Store{rels: map[string]*relation{}, indexing: t
 func NewStoreNoIndex() *Store { return &Store{rels: map[string]*relation{}} }
 
 type relation struct {
-	facts []Atom          // insertion order
-	seen  map[string]bool // fact key -> present
+	facts []Atom         // insertion order (perturbed by Remove's swap-delete)
+	seen  map[string]int // fact key -> offset into facts
 	// index[pos][key] lists offsets into facts whose argument at pos has
 	// that term key. Built lazily per argument position.
 	index map[int]map[string][]int
 }
 
 func newRelation() *relation {
-	return &relation{seen: map[string]bool{}, index: map[int]map[string][]int{}}
+	return &relation{seen: map[string]int{}, index: map[int]map[string][]int{}}
 }
 
 // Insert adds a ground fact; it reports whether the fact was new. Stores
@@ -58,11 +58,11 @@ func (s *Store) Insert(a Atom) (bool, error) {
 		s.rels[a.Pred] = r
 	}
 	k := a.Key()
-	if r.seen[k] {
+	if _, ok := r.seen[k]; ok {
 		return false, nil
 	}
-	r.seen[k] = true
 	pos := len(r.facts)
+	r.seen[k] = pos
 	r.facts = append(r.facts, a)
 	if s.indexing {
 		for i, t := range a.Args {
@@ -81,11 +81,91 @@ func (s *Store) Insert(a Atom) (bool, error) {
 // Contains reports whether the ground atom is present.
 func (s *Store) Contains(a Atom) bool {
 	r := s.rels[a.Pred]
-	return r != nil && r.seen[a.Key()]
+	if r == nil {
+		return false
+	}
+	_, ok := r.seen[a.Key()]
+	return ok
+}
+
+// Remove deletes a ground fact, reporting whether it was present. Removal
+// swap-deletes within the relation, so it invalidates slices previously
+// returned by Facts and perturbs insertion order; rendering and query paths
+// sort or deduplicate, so observable results are unaffected.
+func (s *Store) Remove(a Atom) bool {
+	r := s.rels[a.Pred]
+	if r == nil {
+		return false
+	}
+	k := a.Key()
+	off, ok := r.seen[k]
+	if !ok {
+		return false
+	}
+	last := len(r.facts) - 1
+	if s.indexing {
+		dropOffset(r, r.facts[off], off)
+		if off != last {
+			replaceOffset(r, r.facts[last], last, off)
+		}
+	}
+	if off != last {
+		moved := r.facts[last]
+		r.facts[off] = moved
+		r.seen[moved.Key()] = off
+	}
+	r.facts[last] = Atom{} // release the term references
+	r.facts = r.facts[:last]
+	delete(r.seen, k)
+	if len(r.facts) == 0 {
+		delete(s.rels, a.Pred)
+	}
+	return true
+}
+
+// dropOffset removes one occurrence of off from every index list of atom a.
+func dropOffset(r *relation, a Atom, off int) {
+	for i, t := range a.Args {
+		m := r.index[i]
+		if m == nil {
+			continue
+		}
+		tk := t.Key()
+		list := m[tk]
+		for j, v := range list {
+			if v == off {
+				list[j] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(m, tk)
+		} else {
+			m[tk] = list
+		}
+	}
+}
+
+// replaceOffset rewrites one occurrence of from to to in every index list of
+// atom a (the fact that was swapped into the removed slot).
+func replaceOffset(r *relation, a Atom, from, to int) {
+	for i, t := range a.Args {
+		m := r.index[i]
+		if m == nil {
+			continue
+		}
+		for j, v := range m[t.Key()] {
+			if v == from {
+				m[t.Key()][j] = to
+				break
+			}
+		}
+	}
 }
 
 // Facts returns all facts for a predicate in insertion order. The slice must
-// not be modified.
+// not be modified, and is invalidated by a subsequent Remove.
 func (s *Store) Facts(pred string) []Atom {
 	r := s.rels[pred]
 	if r == nil {

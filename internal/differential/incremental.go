@@ -1,0 +1,299 @@
+package differential
+
+// Differential testing of the counting-based incremental engine
+// (datalog.Incremental). Two layers:
+//
+//   - incrementalOracle registers the engine's from-scratch construction in
+//     the standard Datalog oracle set: NewIncremental's initial model must
+//     agree with every other evaluation strategy on every query.
+//
+//   - The write-sequence campaign exercises what no stateless oracle can:
+//     ApplyDelta. Each case is a seeded workload program plus a randomized
+//     sequence of assert/retract deltas; after every delta the maintained
+//     model and its derivation counts are compared against a full
+//     re-derivation of the patched program. Divergences are shrunk twice —
+//     ddmin over the write sequence, then clause/body minimization of the
+//     program — before being reported.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/term"
+	"repro/internal/workload"
+)
+
+// incrementalOracle answers through the incremental engine's initial
+// fixpoint (count-seeding construction, no deltas applied).
+type incrementalOracle struct{}
+
+func (incrementalOracle) Name() string { return "incremental" }
+
+func (incrementalOracle) Answer(p *datalog.Program, goal datalog.Atom) (Result, error) {
+	inc, err := datalog.NewIncremental(p, nil)
+	if err != nil {
+		return Result{}, unsupported(err)
+	}
+	return substResult(datalog.QueryStore(inc.Model(), goal)), nil
+}
+
+// WriteOp is one maintenance delta. Deletions apply before additions,
+// matching ApplyDelta's contract.
+type WriteOp struct {
+	Adds []datalog.Atom
+	Dels []datalog.Atom
+}
+
+func (op WriteOp) String() string {
+	parts := make([]string, 0, len(op.Adds)+len(op.Dels))
+	for _, d := range op.Dels {
+		parts = append(parts, "-"+d.String())
+	}
+	for _, a := range op.Adds {
+		parts = append(parts, "+"+a.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// IncrementalCase is one campaign unit: a program and a write sequence.
+type IncrementalCase struct {
+	Seed    int64
+	Family  workload.DatalogFamily
+	Program *datalog.Program
+	Writes  []WriteOp
+}
+
+func inode(i int) term.Term { return term.Const(fmt.Sprintf("n%d", i)) }
+
+// randomEDBAtom draws a base fact from the family's EDB vocabulary, over
+// the same constant pool the workload generator uses, so writes hit both
+// existing and fresh tuples.
+func randomEDBAtom(f workload.DatalogFamily, r *rand.Rand, size int) datalog.Atom {
+	n := func() term.Term { return inode(r.Intn(size + 2)) } // +2 reaches beyond the seeded chain
+	switch f {
+	case workload.FamChainTC:
+		return datalog.NewAtom("e", n(), n())
+	case workload.FamGraphTC:
+		if r.Intn(4) == 0 {
+			return datalog.NewAtom("node", n())
+		}
+		return datalog.NewAtom("e", n(), n())
+	case workload.FamSameGen:
+		if r.Intn(4) == 0 {
+			return datalog.NewAtom("person", n())
+		}
+		return datalog.NewAtom("par", n(), n())
+	case workload.FamNegation:
+		switch r.Intn(6) {
+		case 0:
+			return datalog.NewAtom("node", n())
+		case 1:
+			return datalog.NewAtom("start", n())
+		default:
+			return datalog.NewAtom("e", n(), n())
+		}
+	default: // FamBuiltin
+		return datalog.NewAtom("p", n())
+	}
+}
+
+// IncrementalCases generates n seeded (program, write sequence) cases
+// cycling through the workload families. Deletions are drawn from the
+// currently asserted base facts — including the program's own seed facts —
+// so retract paths through load-bearing tuples are exercised.
+func IncrementalCases(seed int64, n int) []IncrementalCase {
+	out := make([]IncrementalCase, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := workload.DatalogConfig{
+			Family: workload.DatalogFamily(i % workload.NumDatalogFamilies),
+			Size:   3 + (i/workload.NumDatalogFamilies)%8,
+			Seed:   seed + int64(i),
+		}
+		prog, _ := workload.DatalogProgram(cfg)
+		r := rand.New(rand.NewSource(cfg.Seed ^ 0x1ced))
+		present := map[string]datalog.Atom{}
+		for _, c := range prog.Clauses {
+			if c.IsFact() {
+				present[c.Head.Key()] = c.Head
+			}
+		}
+		steps := 3 + r.Intn(6)
+		writes := make([]WriteOp, 0, steps)
+		for s := 0; s < steps; s++ {
+			var op WriteOp
+			for j, k := 0, 1+r.Intn(3); j < k; j++ {
+				if len(present) > 0 && r.Intn(3) == 0 {
+					keys := make([]string, 0, len(present))
+					for key := range present {
+						keys = append(keys, key)
+					}
+					sort.Strings(keys)
+					victim := keys[r.Intn(len(keys))]
+					op.Dels = append(op.Dels, present[victim])
+					delete(present, victim)
+				} else {
+					a := randomEDBAtom(cfg.Family, r, cfg.Size)
+					op.Adds = append(op.Adds, a)
+					present[a.Key()] = a
+				}
+			}
+			writes = append(writes, op)
+		}
+		out = append(out, IncrementalCase{Seed: cfg.Seed, Family: cfg.Family, Program: prog, Writes: writes})
+	}
+	return out
+}
+
+// incBase is the reference fact multiset a write sequence evolves.
+type incBase struct {
+	counts map[string]int
+	atoms  map[string]datalog.Atom
+}
+
+func splitIncremental(p *datalog.Program) (*datalog.Program, *incBase) {
+	rules := &datalog.Program{Queries: p.Queries}
+	base := &incBase{counts: map[string]int{}, atoms: map[string]datalog.Atom{}}
+	for _, c := range p.Clauses {
+		if c.IsFact() {
+			base.counts[c.Head.Key()]++
+			base.atoms[c.Head.Key()] = c.Head
+		} else {
+			rules.Add(c)
+		}
+	}
+	return rules, base
+}
+
+func (b *incBase) apply(op WriteOp) {
+	for _, d := range op.Dels {
+		if b.counts[d.Key()] > 0 {
+			b.counts[d.Key()]--
+			if b.counts[d.Key()] == 0 {
+				delete(b.counts, d.Key())
+			}
+		}
+	}
+	for _, a := range op.Adds {
+		b.counts[a.Key()]++
+		b.atoms[a.Key()] = a
+	}
+}
+
+// rebuild assembles rules plus the current fact multiset into a program for
+// full re-derivation.
+func (b *incBase) rebuild(rules *datalog.Program) *datalog.Program {
+	p := &datalog.Program{Queries: rules.Queries}
+	p.Add(rules.Clauses...)
+	keys := make([]string, 0, len(b.counts))
+	for k := range b.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for i := 0; i < b.counts[k]; i++ {
+			p.Add(datalog.Fact(b.atoms[k]))
+		}
+	}
+	return p
+}
+
+// compareToFull re-derives the patched program from scratch and diffs the
+// maintained engine against it: the tuple sets must be identical and every
+// tuple's (base, derived) counts must match exactly.
+func compareToFull(inc *datalog.Incremental, rules *datalog.Program, base *incBase) string {
+	full := base.rebuild(rules)
+	fresh, err := datalog.NewIncremental(full, nil)
+	if err != nil {
+		return fmt.Sprintf("reference re-derivation failed: %v", err)
+	}
+	if got, want := inc.Model().String(), fresh.Model().String(); got != want {
+		return fmt.Sprintf("model mismatch\nincremental:\n%s\nfull:\n%s", got, want)
+	}
+	if got, want := inc.Counts(), fresh.Counts(); !reflect.DeepEqual(got, want) {
+		return fmt.Sprintf("derivation-count mismatch\nincremental: %v\nfull:        %v", got, want)
+	}
+	return ""
+}
+
+// incDiverges replays the write sequence and returns a description of the
+// first divergence from full re-derivation, or "" if the engine tracks the
+// reference exactly. A program the engine rejects outright is not a
+// divergence (there is nothing to maintain); a delta it rejects mid-run is.
+func incDiverges(p *datalog.Program, writes []WriteOp) string {
+	rules, base := splitIncremental(p)
+	inc, err := datalog.NewIncremental(p, nil)
+	if err != nil {
+		return ""
+	}
+	if msg := compareToFull(inc, rules, base); msg != "" {
+		return "initial model: " + msg
+	}
+	for i, op := range writes {
+		if _, err := inc.ApplyDelta(op.Adds, op.Dels); err != nil {
+			return fmt.Sprintf("step %d (%s): ApplyDelta: %v", i, op, err)
+		}
+		base.apply(op)
+		if msg := compareToFull(inc, rules, base); msg != "" {
+			return fmt.Sprintf("step %d (%s): %s", i, op, msg)
+		}
+	}
+	return ""
+}
+
+// renderWrites is the surface form of a write sequence for reports.
+func renderWrites(writes []WriteOp) string {
+	steps := make([]string, len(writes))
+	for i, op := range writes {
+		steps[i] = op.String()
+	}
+	return strings.Join(steps, "; ")
+}
+
+// CheckIncremental cross-checks one case: the incrementally maintained
+// model after every delta against full re-derivation. On divergence the
+// write sequence is ddmin-minimized first, then the program is shrunk under
+// the minimal sequence; nil means the engine agreed at every step.
+func CheckIncremental(c IncrementalCase) *Disagreement {
+	if incDiverges(c.Program, c.Writes) == "" {
+		return nil
+	}
+	writes := ddmin(c.Writes, func(ws []WriteOp) bool {
+		return incDiverges(c.Program, ws) != ""
+	})
+	if incDiverges(c.Program, writes) == "" {
+		writes = c.Writes // ddmin needs >=1 op; the divergence may be initial
+	}
+	minimal := ShrinkDatalog(c.Program, func(p *datalog.Program) bool {
+		return incDiverges(p, writes) != ""
+	})
+	return &Disagreement{
+		Kind:      "incremental",
+		Seed:      c.Seed,
+		Family:    c.Family.String(),
+		Source:    minimal.String(),
+		Query:     renderWrites(writes),
+		Disagrees: []string{"incremental"},
+		Results: map[string]string{
+			"incremental": incDiverges(minimal, writes),
+			"full":        "reference re-derivation (semi-naive from scratch)",
+		},
+	}
+}
+
+// RunIncrementalCampaign checks n seeded write-sequence cases. Every
+// ApplyDelta step inside a case is itself verified against full
+// re-derivation, so Cases counts maintained deltas, not just programs.
+func RunIncrementalCampaign(seed int64, n int) CampaignResult {
+	res := CampaignResult{Programs: n}
+	for _, c := range IncrementalCases(seed, n) {
+		res.Cases += len(c.Writes)
+		if d := CheckIncremental(c); d != nil {
+			res.Disagreements = append(res.Disagreements, d)
+		}
+	}
+	return res
+}

@@ -130,6 +130,7 @@ func DatalogOracles() []DatalogOracle {
 		// cases come back ErrUnsupported in milliseconds and are skipped.
 		sldOracle{maxDepth: 64, maxSteps: 5_000},
 		tabledOracle{},
+		incrementalOracle{},
 	}
 }
 

@@ -95,11 +95,23 @@ func (r *Reduction) QueryContext(ctx context.Context, q Query, limits resource.L
 // calls without further mutation. It returns an error — and leaves the
 // reduction unprepared — when ctx or limits cut the model construction
 // short. Call it once, before publishing the reduction to other goroutines.
+//
+// Prepare builds the model through a counting-based incremental engine
+// (datalog.Incremental) rather than a one-shot Eval: a prepared reduction can
+// afterwards be advanced in place under fact deltas via AdvanceFrom instead
+// of being re-derived from scratch. The extra cost over a plain Eval is one
+// full enumeration of the rules to seed derivation counts.
 func (r *Reduction) Prepare(ctx context.Context, limits resource.Limits) error {
-	_, err := r.ModelContext(ctx, limits)
-	if err != nil {
-		return err
+	if r.inc != nil {
+		return nil
 	}
+	inc, err := datalog.NewIncrementalContext(ctx, r.Program, nil, limits)
+	if err != nil {
+		return fmt.Errorf("multilog: reduced program: %w", err)
+	}
+	r.inc = inc
+	r.model = inc.Model()
+	r.deps = dependencyEdges(r.Program)
 	return nil
 }
 

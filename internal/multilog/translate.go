@@ -56,7 +56,9 @@ type Reduction struct {
 	// QueryContext) matching steps. Valid whether or not the call completed.
 	LastStats resource.Stats
 
-	model *datalog.Store // cached by Model()
+	model *datalog.Store       // cached by Model()
+	inc   *datalog.Incremental // built by Prepare; owns model on the prepared path
+	deps  map[string][]string  // head pred -> body preds, built by Prepare
 	needs map[belNeed]bool
 	preds map[string]bool // MultiLog predicate names seen in Σ and queries
 	opts  Options
@@ -334,6 +336,8 @@ func (r *Reduction) RequireBelief(pred string, l lattice.Label, m Mode) {
 		r.preds[pred] = true
 		r.emitAxiomFor(pred, l, m)
 		r.model = nil
+		r.inc = nil
+		r.deps = nil
 	}
 }
 

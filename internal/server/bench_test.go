@@ -91,6 +91,60 @@ func BenchmarkServerQueryCached(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteMixStorm drives a 90/10 read/write workload.ServerLoad
+// storm against both invalidation regimes: the per-predicate incremental
+// path (default) and the global nuke-the-cache baseline
+// (Config.GlobalInvalidation). Writes toggle a p0 fact, so under
+// per-predicate invalidation reads of the other predicates keep hitting the
+// cache while the baseline re-matches everything after every write. The
+// reported p50-read-ns is the client-observed read latency median — the
+// committed BENCH_incremental.json pins the ≥5x gap.
+func BenchmarkWriteMixStorm(b *testing.B) {
+	arms := []struct {
+		name   string
+		global bool
+	}{
+		{"invalidation=incremental", false},
+		{"invalidation=global", true},
+	}
+	const sessions = 2
+	shape := workload.ProgramConfig{Levels: 4, Facts: 1000, Rules: 8, Preds: 6, Seed: 7, Poly: 0.3}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			srv := server.New(server.Config{
+				CacheEntries: 4096, QueryTimeout: time.Minute, GlobalInvalidation: arm.global,
+			})
+			if err := srv.Load("bench", workload.ProgramSource(shape)); err != nil {
+				b.Fatal(err)
+			}
+			hs := httptest.NewServer(srv.Handler())
+			b.Cleanup(hs.Close)
+			hc := &http.Client{Timeout: time.Minute, Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
+			c := server.NewClient(hs.URL, hc)
+			// Warm-up storm: compile reductions and populate the cache so the
+			// timed run measures steady state, not Prepare.
+			workload.ServerLoad(context.Background(), c, workload.ServerLoadConfig{
+				Sessions: sessions, Queries: 24, Program: shape, Seed: 1, DB: "bench",
+			})
+			perSession := (b.N + sessions - 1) / sessions
+			b.ResetTimer()
+			rep := workload.ServerLoad(context.Background(), c, workload.ServerLoadConfig{
+				Sessions: sessions, Queries: perSession, WriteEvery: 9,
+				Program: shape, Seed: 2, DB: "bench",
+			})
+			b.StopTimer()
+			if rep.Errors > 0 {
+				b.Fatalf("storm errors: %d, first: %s", rep.Errors, rep.FirstErr)
+			}
+			b.ReportMetric(float64(rep.ReadP50.Nanoseconds()), "p50-read-ns")
+			b.ReportMetric(float64(rep.ReadP95.Nanoseconds()), "p95-read-ns")
+			if rep.Queries > 0 {
+				b.ReportMetric(float64(rep.CacheHits)/float64(rep.Queries), "hit-rate")
+			}
+		})
+	}
+}
+
 // BenchmarkServerSessions compares 1 reader against 64 concurrent readers
 // sharing one warm cache, measuring per-query latency under contention.
 func BenchmarkServerSessions(b *testing.B) {

@@ -13,13 +13,13 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2)
 	k := func(i int) string { return cacheKey("db", 1, "s", "fir", fmt.Sprintf("q%d", i)) }
 
-	c.Put(k(0), "db", 1, ans("a"))
-	c.Put(k(1), "db", 1, ans("b"))
+	c.Put(k(0), "db", 1, nil, ans("a"))
+	c.Put(k(1), "db", 1, nil, ans("b"))
 	// Touch k0 so k1 is the LRU victim.
 	if _, ok := c.Get(k(0)); !ok {
 		t.Fatal("k0 missing before eviction")
 	}
-	c.Put(k(2), "db", 1, ans("c"))
+	c.Put(k(2), "db", 1, nil, ans("c"))
 
 	if _, ok := c.Get(k(1)); ok {
 		t.Error("k1 survived eviction; LRU order wrong")
@@ -33,15 +33,15 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
-func TestCacheInvalidateByEpoch(t *testing.T) {
+func TestCacheInvalidateAll(t *testing.T) {
 	c := newResultCache(16)
-	c.Put(cacheKey("a", 1, "s", "fir", "q"), "a", 1, ans("old"))
-	c.Put(cacheKey("a", 2, "s", "fir", "q"), "a", 2, ans("new"))
-	c.Put(cacheKey("b", 1, "s", "fir", "q"), "b", 1, ans("other"))
+	c.Put(cacheKey("a", 1, "s", "fir", "q"), "a", 1, nil, ans("old"))
+	c.Put(cacheKey("a", 2, "s", "fir", "q"), "a", 2, nil, ans("new"))
+	c.Put(cacheKey("b", 1, "s", "fir", "q"), "b", 1, nil, ans("other"))
 
 	// Dropping db "a" entries older than epoch 2 keeps the current epoch
 	// and the unrelated database.
-	if n := c.Invalidate("a", 2); n != 1 {
+	if n := c.InvalidateAll("a", 2); n != 1 {
 		t.Fatalf("invalidated %d entries, want 1", n)
 	}
 	if _, ok := c.Get(cacheKey("a", 1, "s", "fir", "q")); ok {
@@ -56,12 +56,81 @@ func TestCacheInvalidateByEpoch(t *testing.T) {
 	if st := c.Stats(); st.Invalidations != 1 {
 		t.Errorf("invalidations = %d, want 1", st.Invalidations)
 	}
+	// The epoch floor also gates late Puts from pre-invalidation snapshots.
+	c.Put(cacheKey("a", 1, "s", "fir", "late"), "a", 1, nil, ans("stale"))
+	if _, ok := c.Get(cacheKey("a", 1, "s", "fir", "late")); ok {
+		t.Error("Put from a superseded snapshot was accepted")
+	}
+}
+
+func TestCacheInvalidatePreds(t *testing.T) {
+	c := newResultCache(16)
+	kp := cacheKey("db", 1, "s", "fir", "p-query")
+	kq := cacheKey("db", 1, "s", "fir", "q-query")
+	kn := cacheKey("db", 1, "s", "fir", "no-deps")
+	c.Put(kp, "db", 3, []string{"mlrel_p_l0", "mlbel_p_l1_opt"}, ans("p"))
+	c.Put(kq, "db", 3, []string{"mlrel_q_l0"}, ans("q"))
+	c.Put(kn, "db", 3, nil, ans("n"))
+
+	// A write touching p's closure at epoch 4 drops the p entry and the
+	// deps-unknown entry, never the q entry.
+	if n := c.InvalidatePreds("db", 4, []string{"mlrel_p_l0", "mlbel_p_l0_fir"}); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if _, ok := c.Get(kp); ok {
+		t.Error("dependent entry survived a predicate invalidation")
+	}
+	if _, ok := c.Get(kn); ok {
+		t.Error("deps-unknown entry must be invalidated conservatively")
+	}
+	if _, ok := c.Get(kq); !ok {
+		t.Error("independent entry was evicted")
+	}
+
+	// A late Put computed against the pre-write snapshot (epoch 3) with a
+	// touched dep is refused; with untouched deps it is accepted.
+	c.Put(kp, "db", 3, []string{"mlrel_p_l0"}, ans("stale"))
+	if _, ok := c.Get(kp); ok {
+		t.Error("late Put with an invalidated dep was accepted")
+	}
+	c.Put(kp, "db", 4, []string{"mlrel_p_l0"}, ans("fresh"))
+	if _, ok := c.Get(kp); !ok {
+		t.Error("Put at the invalidation epoch was refused")
+	}
+	kq2 := cacheKey("db", 1, "s", "fir", "q2")
+	c.Put(kq2, "db", 3, []string{"mlrel_q_l0"}, ans("ok"))
+	if _, ok := c.Get(kq2); !ok {
+		t.Error("late Put with untouched deps was refused")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := newResultCache(16)
+	if g := c.Generation("db"); g != 0 {
+		t.Fatalf("fresh generation = %d, want 0", g)
+	}
+	c.Put(cacheKey("db", 0, "s", "fir", "q"), "db", 5, []string{"mlrel_p_l0"}, ans("x"))
+	c.InvalidatePreds("db", 6, []string{"mlrel_p_l0"})
+
+	if n := c.Reset("db"); n != 0 {
+		t.Fatalf("reset dropped %d entries, want 0 (already invalidated)", n)
+	}
+	if g := c.Generation("db"); g != 1 {
+		t.Fatalf("generation after reset = %d, want 1", g)
+	}
+	// The epoch vector is cleared: a new program's epoch-1 results must be
+	// cacheable even though the old program saw higher epochs.
+	key := cacheKey("db", 1, "s", "fir", "q")
+	c.Put(key, "db", 1, []string{"mlrel_p_l0"}, ans("new"))
+	if _, ok := c.Get(key); !ok {
+		t.Error("post-reset Put at epoch 1 was refused by stale epoch vector")
+	}
 }
 
 func TestCacheDisabled(t *testing.T) {
 	c := newResultCache(0)
 	key := cacheKey("db", 1, "s", "fir", "q")
-	c.Put(key, "db", 1, ans("x"))
+	c.Put(key, "db", 1, nil, ans("x"))
 	if _, ok := c.Get(key); ok {
 		t.Error("disabled cache returned a hit")
 	}

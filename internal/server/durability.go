@@ -153,7 +153,7 @@ func (s *Server) replayRecord(r wal.Record) error {
 		if err != nil {
 			return err
 		}
-		_, _, err = prog.update(ur.Clauses, lattice.Label(ur.Clearance), ur.Retract, nil)
+		_, _, _, err = prog.update(ur.Clauses, lattice.Label(ur.Clearance), ur.Retract, nil)
 		return err
 	}
 	return fmt.Errorf("unknown record type %d", r.Type)
@@ -162,7 +162,7 @@ func (s *Server) replayRecord(r wal.Record) error {
 // installProgram parses, lints and installs a program at a given epoch,
 // without logging — the recovery-side counterpart of Load.
 func (s *Server) installProgram(name, src string, epoch uint64) error {
-	prog, diags, err := newPreparedEpoch(name, src, epoch)
+	prog, diags, err := newPreparedEpoch(name, src, epoch, s.prepLimits())
 	if err != nil {
 		return err
 	}

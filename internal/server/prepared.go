@@ -22,7 +22,8 @@ import (
 // (and cached) with that snapshot's epoch, so they can never be confused
 // with post-update state.
 type preparedProgram struct {
-	name string
+	name   string
+	limits resource.Limits // prepare/advance budget, from Config.Limits
 
 	mu   sync.RWMutex // guards snap
 	snap *snapshot
@@ -43,20 +44,27 @@ type snapshot struct {
 
 	redMu      sync.RWMutex
 	reductions map[lattice.Label]*multilog.Reduction
+
+	// impact is the clearance-independent reverse dependency graph of the
+	// translation, used to bound which cache entries a fact write can
+	// invalidate. Built lazily on the first write and carried from snapshot
+	// to snapshot across fact-only updates (the graph depends only on the
+	// rules). Guarded by impactMu after publication.
+	impactMu sync.Mutex
+	impact   *multilog.ImpactGraph
 }
 
 // newPrepared parses, lints and prepares a program. Lint findings of
 // severity Error reject the program with a *LintError; warnings are
 // returned for the caller to log.
 func newPrepared(name, src string, prepLimits resource.Limits) (*preparedProgram, lint.Diagnostics, error) {
-	_ = prepLimits // reductions are prepared lazily, per clearance, under the server's limits
-	return newPreparedEpoch(name, src, 1)
+	return newPreparedEpoch(name, src, 1, prepLimits)
 }
 
 // newPreparedEpoch is newPrepared resuming at a recovered epoch: a
 // checkpointed program re-enters service at the epoch it had when the
 // checkpoint was cut, so epochs never regress across a restart.
-func newPreparedEpoch(name, src string, epoch uint64) (*preparedProgram, lint.Diagnostics, error) {
+func newPreparedEpoch(name, src string, epoch uint64, prepLimits resource.Limits) (*preparedProgram, lint.Diagnostics, error) {
 	db, err := multilog.Parse(src)
 	if err != nil {
 		return nil, nil, &LintError{Name: name, Findings: lint.FromParseError(name, err).String()}
@@ -69,7 +77,7 @@ func newPreparedEpoch(name, src string, epoch uint64) (*preparedProgram, lint.Di
 	if err != nil {
 		return nil, diags, err
 	}
-	return &preparedProgram{name: name, snap: snap}, diags, nil
+	return &preparedProgram{name: name, limits: prepLimits, snap: snap}, diags, nil
 }
 
 // newSnapshot freezes a database into an immutable version: the poset is
@@ -146,27 +154,30 @@ func (p *preparedProgram) stats() DBStats {
 // see. The updated program is re-linted before the swap; a program the
 // linter rejects never becomes an epoch.
 //
-// It returns the new epoch (unchanged when nothing changed) and how many
-// clauses were added or removed.
+// It returns the new epoch (unchanged when nothing changed), how many
+// clauses were added or removed, and an invalidation describing which
+// translated predicates the write could affect.
 //
 // commit, when non-nil, runs inside the critical section after the new
 // snapshot is built (post-lint) and before it is swapped in: the server
 // hangs its WAL append here, making the update durable strictly before it
 // is visible, in the exact order snapshots are published. A commit error
 // aborts the update with nothing swapped.
-func (p *preparedProgram) update(src string, clearance lattice.Label, retract bool, commit func() error) (uint64, int, error) {
+func (p *preparedProgram) update(src string, clearance lattice.Label, retract bool, commit func() error) (uint64, int, invalidation, error) {
+	none := invalidation{}
 	delta, err := multilog.Parse(src)
 	if err != nil {
-		return 0, 0, fmt.Errorf("parse: %w", err)
+		return 0, 0, none, fmt.Errorf("parse: %w", err)
 	}
 	if len(delta.Lambda) > 0 {
-		return 0, 0, fmt.Errorf("server: the security lattice is fixed at load; Λ clauses cannot be asserted or retracted")
+		return 0, 0, none, fmt.Errorf("server: the security lattice is fixed at load; Λ clauses cannot be asserted or retracted")
 	}
 	if len(delta.Queries) > 0 {
-		return 0, 0, fmt.Errorf("server: stored queries are fixed at load; send queries to /v1/query")
+		return 0, 0, none, fmt.Errorf("server: stored queries are fixed at load; send queries to /v1/query")
 	}
-	if len(delta.Sigma)+len(delta.Pi) == 0 {
-		return 0, 0, fmt.Errorf("server: no clauses to apply")
+	deltaClauses := append(append([]multilog.Clause{}, delta.Sigma...), delta.Pi...)
+	if len(deltaClauses) == 0 {
+		return 0, 0, none, fmt.Errorf("server: no clauses to apply")
 	}
 
 	p.upMu.Lock()
@@ -175,7 +186,7 @@ func (p *preparedProgram) update(src string, clearance lattice.Label, retract bo
 
 	for _, c := range delta.Sigma {
 		if err := authorizeClause(c, cur.poset, clearance, retract); err != nil {
-			return 0, 0, err
+			return 0, 0, none, err
 		}
 	}
 
@@ -185,12 +196,12 @@ func (p *preparedProgram) update(src string, clearance lattice.Label, retract bo
 		changed += retractClauses(&next.Sigma, delta.Sigma)
 		changed += retractClauses(&next.Pi, delta.Pi)
 		if changed == 0 {
-			return cur.epoch, 0, nil
+			return cur.epoch, 0, none, nil
 		}
 	} else {
-		for _, c := range append(append([]multilog.Clause{}, delta.Sigma...), delta.Pi...) {
+		for _, c := range deltaClauses {
 			if err := next.AddClause(c); err != nil {
-				return 0, 0, err
+				return 0, 0, none, err
 			}
 			changed++
 		}
@@ -198,22 +209,103 @@ func (p *preparedProgram) update(src string, clearance lattice.Label, retract bo
 
 	diags := lint.MultiLog(next, lint.Options{File: p.name})
 	if diags.HasErrors() {
-		return 0, 0, &LintError{Name: p.name, Findings: diags.String()}
+		return 0, 0, none, &LintError{Name: p.name, Findings: diags.String()}
 	}
 	snap, err := newSnapshot(cur.epoch+1, next)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, none, err
 	}
+	inv := p.planInvalidation(cur, snap, deltaClauses)
+	p.advanceReductions(cur, snap, &inv)
 	if commit != nil {
 		if err := commit(); err != nil {
-			return 0, 0, err
+			return 0, 0, none, err
 		}
 	}
 	p.mu.Lock()
 	p.snap = snap
 	p.mu.Unlock()
 	p.updates.Add(1)
-	return snap.epoch, changed, nil
+	return snap.epoch, changed, inv, nil
+}
+
+// invalidation says what a committed update could have changed: either
+// everything (rule changes, or an impact the server could not bound) or the
+// listed translated predicates, at any clearance.
+type invalidation struct {
+	all      bool
+	preds    []string
+	advanced int // prepared reductions advanced incrementally into the new snapshot
+}
+
+// planInvalidation bounds the write's blast radius. For fact-only deltas it
+// closes the written facts' translated predicates over the clearance-
+// independent reverse dependency graph; cache entries whose deps are
+// disjoint from that closure cannot have changed at any clearance. Anything
+// else — rule changes, unmappable heads — invalidates everything. The graph
+// depends only on the rules, so fact-only updates carry it forward to the
+// new snapshot instead of rebuilding it per write.
+func (p *preparedProgram) planInvalidation(cur, snap *snapshot, deltaClauses []multilog.Clause) invalidation {
+	for _, c := range deltaClauses {
+		if !c.IsFact() {
+			return invalidation{all: true}
+		}
+	}
+	g, err := cur.impactGraph()
+	if err != nil {
+		return invalidation{all: true}
+	}
+	snap.impact = g // pre-publication; no lock needed yet
+	preds, err := g.Impact(deltaClauses)
+	if err != nil {
+		return invalidation{all: true}
+	}
+	return invalidation{preds: preds}
+}
+
+// impactGraph returns the snapshot's reverse dependency graph, building it
+// on first use.
+func (s *snapshot) impactGraph() (*multilog.ImpactGraph, error) {
+	s.impactMu.Lock()
+	defer s.impactMu.Unlock()
+	if s.impact == nil {
+		g, err := multilog.NewImpactGraph(s.db)
+		if err != nil {
+			return nil, err
+		}
+		s.impact = g
+	}
+	return s.impact, nil
+}
+
+// advanceReductions carries cur's prepared reductions into the new snapshot
+// by incremental delta application (multilog.AdvanceFrom), so a write no
+// longer discards every materialized model: the next query at an already-
+// warm clearance matches against an up-to-date model instead of paying a
+// full re-derivation. A reduction that fails to advance (resource limits,
+// reduce errors) is simply not carried; the next query at that clearance
+// rebuilds it lazily, exactly as before.
+func (p *preparedProgram) advanceReductions(cur, snap *snapshot, inv *invalidation) {
+	cur.redMu.RLock()
+	olds := make(map[lattice.Label]*multilog.Reduction, len(cur.reductions))
+	for u, red := range cur.reductions {
+		olds[u] = red
+	}
+	cur.redMu.RUnlock()
+	for u, old := range olds {
+		red, err := multilog.Reduce(snap.db, u)
+		if err != nil {
+			continue
+		}
+		rep, err := red.AdvanceFrom(context.Background(), old, p.limits)
+		if err != nil {
+			continue
+		}
+		if rep.Incremental {
+			inv.advanced++
+		}
+		snap.reductions[u] = red
+	}
 }
 
 // authorizeClause enforces the write rule on one Σ clause: every ground

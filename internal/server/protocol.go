@@ -127,6 +127,12 @@ type UpdateResponse struct {
 	Changed int `json:"changed"`
 	// Invalidated counts result-cache entries dropped by this update.
 	Invalidated int `json:"invalidated"`
+	// Incremental reports that the write's impact was bounded per predicate
+	// (fact-only delta); false means the whole cache was invalidated.
+	Incremental bool `json:"incremental,omitempty"`
+	// ChangedPreds lists the translated predicates the write could affect,
+	// when Incremental.
+	ChangedPreds []string `json:"changed_preds,omitempty"`
 }
 
 // StatsResponse is the /v1/stats body.

@@ -77,6 +77,13 @@ type Config struct {
 	// CheckpointEvery also triggers a checkpoint after that many records
 	// accumulate past the last one. Default 1024; negative disables.
 	CheckpointEvery int64
+	// GlobalInvalidation restores the pre-incremental cache behavior:
+	// result keys include the program epoch (so every update makes all
+	// prior entries unreachable) and every effective write invalidates the
+	// whole database's cache. It exists as the baseline arm of the write-mix
+	// benchmark and as an emergency fallback; leave it false to invalidate
+	// per predicate.
+	GlobalInvalidation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -187,7 +194,7 @@ func (s *Server) Load(name, src string) error {
 	s.progMu.Lock()
 	s.programs[name] = prog
 	s.progMu.Unlock()
-	s.cache.Invalidate(name, ^uint64(0))
+	s.cache.Reset(name)
 	s.logf("loaded %s: |Λ|=%d |Σ|=%d |Π|=%d", name,
 		len(prog.current().db.Lambda), len(prog.current().db.Sigma), len(prog.current().db.Pi))
 	return nil
@@ -251,6 +258,11 @@ func (s *Server) Open(req OpenRequest) (*Session, uint64, error) {
 // probe, the reduction lookup and the governed match all happen here;
 // handlers only do transport.
 func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*QueryResponse, error) {
+	// The generation read must precede the program lookup: if a concurrent
+	// Load lands in between, the stale generation makes this query's cache
+	// key unreachable (a harmless orphan) rather than ever pairing a fresh
+	// generation with a pre-load snapshot.
+	gen := s.cache.Generation(sess.DB)
 	prog, err := s.program(sess.DB)
 	if err != nil {
 		return nil, err
@@ -273,7 +285,14 @@ func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*Q
 	}
 	canonical := multilog.Query(goals).String()
 
-	key := cacheKey(sess.DB, snap.epoch, string(sess.Clearance), modeKey, canonical)
+	// Per-predicate invalidation keys entries by load generation, so they
+	// survive epochs their deps are untouched by; the global-invalidation
+	// fallback keys by epoch, so every update orphans all prior entries.
+	keyGen := gen
+	if s.cfg.GlobalInvalidation {
+		keyGen = snap.epoch
+	}
+	key := cacheKey(sess.DB, keyGen, string(sess.Clearance), modeKey, canonical)
 	if answers, ok := s.cache.Get(key); ok {
 		s.queries.Add(1)
 		return &QueryResponse{Answers: answers, Query: canonical, Cached: true, Epoch: snap.epoch}, nil
@@ -300,7 +319,11 @@ func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*Q
 		return nil, err
 	}
 	rendered := renderAnswers(answers)
-	s.cache.Put(key, sess.DB, snap.epoch, rendered)
+	var deps []string
+	if !s.cfg.GlobalInvalidation {
+		deps = red.QueryDeps(goals)
+	}
+	s.cache.Put(key, sess.DB, snap.epoch, deps, rendered)
 	s.queries.Add(1)
 	return &QueryResponse{Answers: rendered, Query: canonical, Epoch: snap.epoch, Stats: stats}, nil
 }
@@ -332,23 +355,35 @@ func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*Update
 		}
 	}
 	s.walMu.RLock()
-	epoch, changed, err := prog.update(req.Clauses, sess.Clearance, retract, commit)
+	epoch, changed, inv, err := prog.update(req.Clauses, sess.Clearance, retract, commit)
 	s.walMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
 	s.kickCheckpoint()
 	invalidated := 0
+	resp := &UpdateResponse{Epoch: epoch, Changed: changed}
 	if changed > 0 {
-		invalidated = s.cache.Invalidate(sess.DB, epoch)
+		if s.cfg.GlobalInvalidation || inv.all {
+			invalidated = s.cache.InvalidateAll(sess.DB, epoch)
+		} else {
+			invalidated = s.cache.InvalidatePreds(sess.DB, epoch, inv.preds)
+			resp.ChangedPreds = inv.preds
+			resp.Incremental = true
+		}
 		verb := "assert"
 		if retract {
 			verb = "retract"
 		}
-		s.logf("%s %s by %s@%s: %d clause(s), epoch %d, %d cache entries invalidated",
-			verb, sess.DB, sess.Subject, sess.Clearance, changed, epoch, invalidated)
+		scope := "all predicates"
+		if !inv.all {
+			scope = fmt.Sprintf("%d predicate(s)", len(inv.preds))
+		}
+		s.logf("%s %s by %s@%s: %d clause(s), epoch %d, %d cache entries invalidated (%s, %d reduction(s) advanced)",
+			verb, sess.DB, sess.Subject, sess.Clearance, changed, epoch, invalidated, scope, inv.advanced)
 	}
-	return &UpdateResponse{Epoch: epoch, Changed: changed, Invalidated: invalidated}, nil
+	resp.Invalidated = invalidated
+	return resp, nil
 }
 
 // Stats snapshots every counter for /v1/stats.

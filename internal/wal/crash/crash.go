@@ -47,6 +47,12 @@ type Scenario struct {
 	// WantTruncation asserts that recovery truncated at least one record
 	// (the torn-tail scenarios).
 	WantTruncation bool
+	// WriteStorm switches the driver to the mixed assert/retract storm:
+	// tracked writes interleave retracts of earlier acked facts, so replay
+	// exercises the incremental delta machinery's deletion path, and the
+	// recovered state is compared against a reference full replay of the
+	// surviving operation sequence.
+	WriteStorm bool
 }
 
 // Matrix is the crashpoint × fsync-mode grid run by `make crash` and CI.
@@ -87,6 +93,28 @@ func Matrix() []Scenario {
 			Plan:            "kill@wal.checkpoint.renamed:1",
 			Fsync:           "always",
 			CheckpointEvery: 4,
+		},
+		// Write-storm cells: mixed asserts and retracts up to the kill, so
+		// recovery replays deletions through the same incremental path.
+		Scenario{
+			Name:           "write-storm-torn/always",
+			Plan:           "kill-torn@wal.append.start:12",
+			Fsync:          "always",
+			WantTruncation: true,
+			WriteStorm:     true,
+		},
+		Scenario{
+			Name:       "write-storm-pre-fsync/interval",
+			Plan:       "kill@wal.append.written:12",
+			Fsync:      "interval",
+			WriteStorm: true,
+		},
+		Scenario{
+			Name:            "write-storm-checkpoint",
+			Plan:            "kill@wal.checkpoint.renamed:1",
+			Fsync:           "always",
+			CheckpointEvery: 6,
+			WriteStorm:      true,
 		},
 	)
 	return out
@@ -227,6 +255,26 @@ func (h *Harness) Run(ctx context.Context, sc Scenario) error {
 	if err != nil {
 		return err
 	}
+	if sc.WriteStorm {
+		ops, inFlight, derr := h.driveStorm(ctx, d)
+		if derr != nil {
+			d.kill()
+			return derr
+		}
+		if err := d.waitExit(30 * time.Second); err != nil {
+			return err
+		}
+		h.logf("%s: crashed after %d acked op(s), in-flight %v", sc.Name, len(ops), inFlight)
+		d2, err := h.start(ctx, dir, sc, progPath, false)
+		if err != nil {
+			return fmt.Errorf("restart after crash: %w", err)
+		}
+		defer d2.kill()
+		if err := h.verifyStorm(ctx, d2, sc, progSrc, ops, inFlight); err != nil {
+			return fmt.Errorf("%w\nchild logs:\n%s", err, d2.logs)
+		}
+		return nil
+	}
 	acked, inFlight, err := h.drive(ctx, d)
 	if err != nil {
 		d.kill()
@@ -330,24 +378,53 @@ func (h *Harness) verify(ctx context.Context, d *daemon, sc Scenario, progSrc st
 
 	// Reference replay: a fresh in-memory server fed the same program and
 	// the same surviving writes, in order.
-	ref := server.New(server.Config{})
-	if err := ref.Load(dbName, progSrc); err != nil {
-		return fmt.Errorf("reference load: %w", err)
-	}
-	refHS := httptest.NewServer(ref.Handler())
-	defer refHS.Close()
-	rc := server.NewClient(refHS.URL, refHS.Client())
-	rsess, err := rc.Open(ctx, server.OpenRequest{Subject: "ref", Clearance: "l0", DB: dbName})
+	refHS, rc, err := h.referenceReplay(ctx, progSrc, func(rc *server.Client, sess string) error {
+		for _, fact := range expected {
+			if _, err := rc.Assert(ctx, sess, fact); err != nil {
+				return fmt.Errorf("reference assert: %w", err)
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	for _, fact := range expected {
-		if _, err := rc.Assert(ctx, rsess.Session, fact); err != nil {
-			return fmt.Errorf("reference assert: %w", err)
-		}
-	}
+	defer refHS.Close()
 
-	// Byte-equal answers across every clearance × belief mode × predicate.
+	if err := compareAnswers(ctx, c, rc); err != nil {
+		return err
+	}
+	if err := h.checkRecoveryStats(ctx, c, sc, len(expected)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// referenceReplay boots an in-memory reference server on progSrc, opens a
+// writer session, and hands it to replay for re-applying the surviving
+// operations.
+func (h *Harness) referenceReplay(ctx context.Context, progSrc string, replay func(rc *server.Client, sess string) error) (*httptest.Server, *server.Client, error) {
+	ref := server.New(server.Config{})
+	if err := ref.Load(dbName, progSrc); err != nil {
+		return nil, nil, fmt.Errorf("reference load: %w", err)
+	}
+	refHS := httptest.NewServer(ref.Handler())
+	rc := server.NewClient(refHS.URL, refHS.Client())
+	rsess, err := rc.Open(ctx, server.OpenRequest{Subject: "ref", Clearance: "l0", DB: dbName})
+	if err != nil {
+		refHS.Close()
+		return nil, nil, err
+	}
+	if err := replay(rc, rsess.Session); err != nil {
+		refHS.Close()
+		return nil, nil, err
+	}
+	return refHS, rc, nil
+}
+
+// compareAnswers proves byte-equal answers between the recovered daemon and
+// the reference, across every clearance × belief mode × predicate.
+func compareAnswers(ctx context.Context, c, rc *server.Client) error {
 	for lvl := 0; lvl < programCfg.Levels; lvl++ {
 		for _, mode := range []string{"fir", "opt", "cau"} {
 			clearance := string(workload.Level(lvl))
@@ -365,9 +442,12 @@ func (h *Harness) verify(ctx context.Context, d *daemon, sc Scenario, progSrc st
 			}
 		}
 	}
+	return nil
+}
 
-	// The recovery counters are on /v1/stats, and torn-tail scenarios
-	// really did truncate.
+// checkRecoveryStats asserts the recovery counters are populated on
+// /v1/stats and that torn-tail scenarios really did truncate.
+func (h *Harness) checkRecoveryStats(ctx context.Context, c *server.Client, sc Scenario, verified int) error {
 	st, err := c.Stats(ctx)
 	if err != nil {
 		return err
@@ -382,8 +462,157 @@ func (h *Harness) verify(ctx context.Context, d *daemon, sc Scenario, progSrc st
 	if sc.WantTruncation && rec.RecordsTruncated == 0 {
 		return fmt.Errorf("torn-tail scenario recovered without truncating: %+v", rec)
 	}
-	h.logf("%s: verified %d write(s); recovery %+v", sc.Name, len(expected), rec)
+	h.logf("%s: verified %d write(s); recovery %+v", sc.Name, verified, rec)
 	return nil
+}
+
+// stormOp is one tracked operation of the write storm: assert or retract of
+// the idx-th tracked fact.
+type stormOp struct {
+	idx     int
+	retract bool
+}
+
+func (op stormOp) clause() string { return crashFact(op.idx) }
+
+func (op stormOp) String() string {
+	if op.retract {
+		return fmt.Sprintf("-crashed%d", op.idx)
+	}
+	return fmt.Sprintf("+crashed%d", op.idx)
+}
+
+// driveStorm fires the mixed assert/retract storm: roughly every third
+// tracked write retracts a fact acked earlier, so the WAL holds interleaved
+// additions and deletions when the kill lands. The concurrent read storm
+// keeps prepared reductions warm, so each write also advances materialized
+// incremental state in the doomed daemon.
+func (h *Harness) driveStorm(ctx context.Context, d *daemon) (acked []stormOp, inFlight *stormOp, err error) {
+	c := server.NewClient(d.addr, nil) // writes: no retry, ever
+	sess, err := c.Open(ctx, server.OpenRequest{Subject: "mutator", Clearance: "l0", DB: dbName})
+	if err != nil {
+		return nil, nil, fmt.Errorf("mutator open: %w", err)
+	}
+
+	stormCtx, stopStorm := context.WithCancel(ctx)
+	var storm sync.WaitGroup
+	storm.Add(1)
+	go func() {
+		defer storm.Done()
+		workload.ServerLoad(stormCtx, server.NewClient(d.addr, nil), workload.ServerLoadConfig{
+			Sessions: 4, Queries: 10_000, Program: programCfg, Seed: 99, DB: dbName,
+		})
+	}()
+	defer func() { stopStorm(); storm.Wait() }()
+
+	var live []int // asserted and not yet retracted
+	nextKey := 0
+	for i := 0; i < maxWrites; i++ {
+		var op stormOp
+		if i%3 == 2 && len(live) > 0 {
+			v := (i * 7) % len(live)
+			op = stormOp{idx: live[v], retract: true}
+			live = append(live[:v], live[v+1:]...)
+		} else {
+			op = stormOp{idx: nextKey}
+			nextKey++
+			live = append(live, op.idx)
+		}
+		var aerr error
+		if op.retract {
+			_, aerr = c.Retract(ctx, sess.Session, op.clause())
+		} else {
+			_, aerr = c.Assert(ctx, sess.Session, op.clause())
+		}
+		if aerr != nil {
+			// The daemon died under this request: appended-but-unacked.
+			return acked, &op, nil
+		}
+		acked = append(acked, op)
+	}
+	return acked, nil, fmt.Errorf("daemon survived %d storm ops; crashpoint never reached", maxWrites)
+}
+
+// verifyStorm checks the recovered daemon after a write storm: the net
+// effect of every acked operation survived, the in-flight op is
+// all-or-nothing, and the recovered state answers byte-equal to a reference
+// full replay of the surviving operation sequence.
+func (h *Harness) verifyStorm(ctx context.Context, d *daemon, sc Scenario, progSrc string, acked []stormOp, inFlight *stormOp) error {
+	c := server.NewClient(d.addr, nil).WithRetry(server.DefaultRetryPolicy())
+	sess, err := c.Open(ctx, server.OpenRequest{Subject: "verifier", Clearance: "l0", DB: dbName})
+	if err != nil {
+		return fmt.Errorf("verifier open: %w", err)
+	}
+	probe := func(idx int) (int, error) {
+		resp, err := c.QueryContext(ctx, server.QueryRequest{
+			Session: sess.Session, Query: fmt.Sprintf("l0[p0(crashed%d: a -l0-> V)]", idx)})
+		if err != nil {
+			return 0, fmt.Errorf("probing crashed%d: %w", idx, err)
+		}
+		return len(resp.Answers), nil
+	}
+
+	// Net expectation from the acked prefix.
+	present := map[int]bool{}
+	for _, op := range acked {
+		present[op.idx] = !op.retract
+	}
+	expected := append([]stormOp{}, acked...)
+
+	// The in-flight op is all-or-nothing; probe which way it went.
+	if inFlight != nil {
+		n, err := probe(inFlight.idx)
+		if err != nil {
+			return err
+		}
+		if n > 1 {
+			return fmt.Errorf("in-flight op %v recovered %d times", *inFlight, n)
+		}
+		applied := (inFlight.retract && n == 0) || (!inFlight.retract && n == 1)
+		if applied {
+			expected = append(expected, *inFlight)
+			present[inFlight.idx] = !inFlight.retract
+		}
+	}
+
+	// Zero acked-op loss: every tracked key matches its net expectation.
+	for idx, want := range present {
+		n, err := probe(idx)
+		if err != nil {
+			return err
+		}
+		switch {
+		case want && n != 1:
+			return fmt.Errorf("ACKED WRITE LOST: crashed%d absent after recovery", idx)
+		case !want && n != 0:
+			return fmt.Errorf("ACKED RETRACT LOST: crashed%d resurrected after recovery (%d answers)", idx, n)
+		}
+	}
+
+	// Reference full replay of the surviving operation sequence, in order.
+	refHS, rc, err := h.referenceReplay(ctx, progSrc, func(rc *server.Client, rsess string) error {
+		for _, op := range expected {
+			var rerr error
+			if op.retract {
+				_, rerr = rc.Retract(ctx, rsess, op.clause())
+			} else {
+				_, rerr = rc.Assert(ctx, rsess, op.clause())
+			}
+			if rerr != nil {
+				return fmt.Errorf("reference %v: %w", op, rerr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	defer refHS.Close()
+
+	if err := compareAnswers(ctx, c, rc); err != nil {
+		return err
+	}
+	return h.checkRecoveryStats(ctx, c, sc, len(expected))
 }
 
 // openAndAnswer opens a session at (clearance, mode) and returns the

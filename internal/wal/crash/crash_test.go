@@ -48,11 +48,13 @@ func TestKillCrashRecovery(t *testing.T) {
 	scenarios := Matrix()
 	if !fullMatrix() {
 		// Representative subset: one torn-tail, one pre-fsync, one
-		// checkpoint crash — all under the strict fsync=always contract.
+		// checkpoint crash — all under the strict fsync=always contract —
+		// plus one mixed assert/retract write storm.
 		subset := scenarios[:0]
 		for _, sc := range scenarios {
 			switch sc.Name {
-			case "mid-append-torn/always", "pre-fsync/always", "mid-checkpoint-temp":
+			case "mid-append-torn/always", "pre-fsync/always", "mid-checkpoint-temp",
+				"write-storm-torn/always":
 				subset = append(subset, sc)
 			}
 		}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_smoke.sh — CI smoke for the incremental-invalidation benchmark: run
+# BenchmarkWriteMixStorm at a short benchtime and gate the cached-read p50
+# ratio between the per-predicate incremental arm and the global
+# nuke-the-cache baseline through benchreport. The smoke gate is deliberately
+# looser (>=2x) than the committed BENCH_incremental.json (>=5x): short runs
+# are noisy and the smoke only has to catch the invalidation path regressing
+# to global behaviour, not re-certify the headline number. Regenerate the
+# committed artifact with:
+#
+#   go test ./internal/server -run '^$' -bench BenchmarkWriteMixStorm \
+#       -benchtime 500x -count=1 | tee /tmp/bench_incremental.txt
+#   go run ./cmd/benchreport -in /tmp/bench_incremental.txt \
+#       -json BENCH_incremental.json \
+#       -gate 'WriteMixStorm/invalidation/incremental:p50-read-ns>=5'
+#
+# Run via `make bench-smoke`.
+set -eu
+
+GO=${GO:-go}
+BENCHTIME=${BENCH_SMOKE_TIME:-120x}
+GATE=${BENCH_SMOKE_GATE:-'WriteMixStorm/invalidation/incremental:p50-read-ns>=2'}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+$GO test ./internal/server -run '^$' -bench BenchmarkWriteMixStorm \
+    -benchtime "$BENCHTIME" -count=1 | tee "$TMP/bench.txt"
+$GO run ./cmd/benchreport -in "$TMP/bench.txt" -gate "$GATE"
+echo "bench-smoke: ok"
