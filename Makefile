@@ -5,7 +5,8 @@ FUZZTIME ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: build test check vet race fuzz-smoke campaign chaos staticcheck \
-	staticcheck-install analyzers lint serve-smoke crash bench-smoke
+	staticcheck-install analyzers lint serve-smoke crash cluster-chaos \
+	bench-smoke
 
 build:
 	$(GO) build ./...
@@ -78,6 +79,15 @@ serve-smoke:
 crash:
 	CRASH_MATRIX=full $(GO) test -race -count=1 -run TestKillCrashRecovery ./internal/wal/crash
 
+# cluster-chaos runs the replication fleet matrix under the race detector:
+# primary + two followers + router as real child processes, the primary
+# SIGKILLed mid-checkpoint and mid-stream, stream frames corrupted and
+# torn, a follower partitioned and re-caught-up — checked for zero
+# acked-write loss after promotion and byte-equal answers across the
+# fleet for every clearance × belief mode.
+cluster-chaos:
+	CRASH_MATRIX=full $(GO) test -race -count=1 -run TestClusterChaos ./internal/wal/crash
+
 # bench-smoke runs the 90/10 write-mix benchmark at a short benchtime and
 # gates the cached-read p50 ratio of per-predicate vs global invalidation
 # through benchreport. The smoke bar (>=2x) is looser than the committed
@@ -88,7 +98,7 @@ bench-smoke:
 
 # check is the CI tier: vet, the custom analyzers, staticcheck, build, the
 # program linter, the race-enabled suite, the chaos tier, the crash-recovery
-# matrix, the daemon smoke, the write-mix bench smoke, and a bounded
-# differential fuzz smoke.
-check: vet analyzers staticcheck build lint race chaos crash serve-smoke bench-smoke fuzz-smoke
+# matrix, the replication cluster-chaos matrix, the daemon smoke, the
+# write-mix bench smoke, and a bounded differential fuzz smoke.
+check: vet analyzers staticcheck build lint race chaos crash cluster-chaos serve-smoke bench-smoke fuzz-smoke
 	@echo "check: all gates passed"

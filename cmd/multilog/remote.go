@@ -256,6 +256,42 @@ func (r *repl) remoteStats() error {
 		fmt.Fprintf(r.out, "db %s:    epoch %d, |Λ|=%d |Σ|=%d |Π|=%d, %d reductions, %d updates\n",
 			n, db.Epoch, db.Lambda, db.Sigma, db.Pi, db.Reductions, db.Updates)
 	}
+	if rp := st.Replication; rp != nil {
+		switch rp.Role {
+		case "router":
+			fmt.Fprintf(r.out, "repl:     router → %s; %d writes acked, %d failovers, %d ack timeouts\n",
+				rp.Primary, rp.WritesAcked, rp.Failovers, rp.AckTimeouts)
+			fmt.Fprintf(r.out, "          ryw: %d holds, %d forwards; %d read fallbacks\n",
+				rp.RYWHolds, rp.RYWForwards, rp.ReadFallback)
+			for _, n := range rp.Nodes {
+				bands := "all bands"
+				if len(n.Bands) > 0 {
+					bands = strings.Join(n.Bands, ";")
+				}
+				health := "healthy"
+				if !n.Healthy {
+					health = "UNHEALTHY"
+				}
+				fmt.Fprintf(r.out, "          %-8s %s (%s, applied %d, %d sessions, %s)\n",
+					n.Role, n.Addr, health, n.AppliedSeq, n.Sessions, bands)
+			}
+		case "follower":
+			sync := "synced"
+			if !rp.Synced {
+				sync = "SYNCING"
+			}
+			fmt.Fprintf(r.out, "repl:     follower of %s (%s); applied %d, heard %d, lag %d record(s)\n",
+				rp.Primary, sync, rp.AppliedSeq, rp.LastHeardSeq, rp.LagRecords)
+			fmt.Fprintf(r.out, "          %d frames / %d bytes received, %d resumes, %d snapshot bootstraps\n",
+				rp.FramesReceived, rp.BytesReceived, rp.Resumes, rp.SnapshotBootstraps)
+			if rp.LastStreamError != "" {
+				fmt.Fprintf(r.out, "          last stream error: %s\n", rp.LastStreamError)
+			}
+		default: // primary
+			fmt.Fprintf(r.out, "repl:     %s; applied %d; %d streams served, %d frames sent, %d snapshots served\n",
+				rp.Role, rp.AppliedSeq, rp.StreamsServed, rp.FramesSent, rp.SnapshotsServed)
+		}
+	}
 	return nil
 }
 

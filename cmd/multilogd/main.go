@@ -27,6 +27,25 @@
 // SIGINT/SIGTERM drains: open sessions are closed, in-flight requests
 // finish (bounded by -drain), a final checkpoint is written, and the
 // process exits 0 on a clean drain.
+//
+// # Replication
+//
+// multilogd also runs as a fleet (see internal/replica):
+//
+//	multilogd -d1 -data-dir p/ -addr :7070                                # primary
+//	multilogd -role follower -data-dir f1/ -primary :7070 -addr :7071     # follower
+//	multilogd -role follower -data-dir f2/ -primary :7070 -addr :7072     # follower
+//	multilogd -role router -primary :7070 -replica :7071 -replica :7072   # front door
+//
+// A follower bootstraps from the primary's newest checkpoint, streams the
+// WAL tail, applies every record through the same code path the original
+// write took, and serves read-only queries; writes sent to it come back
+// HTTP 421 with the primary's address. The router pins read sessions to
+// replicas (optionally by clearance band: -replica addr=l0;l1), holds a
+// session's reads until its last write is visible (read-your-writes), acks
+// writes only after every live replica applied them, and promotes the
+// most-caught-up follower when the primary dies. Replication requires the
+// primary to run -fsync=always, so everything streamed is durable.
 package main
 
 import (
@@ -43,6 +62,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/multilog"
+	"repro/internal/replica"
 	"repro/internal/resource"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -59,6 +79,28 @@ func (d *dbFlags) Set(v string) error {
 		return fmt.Errorf("-db wants name=path, got %q", v)
 	}
 	*d = append(*d, struct{ name, path string }{name, path})
+	return nil
+}
+
+// replicaFlags collects repeated -replica addr[=band1;band2] specs.
+type replicaFlags []replica.BackendSpec
+
+func (r *replicaFlags) String() string { return fmt.Sprintf("%d replicas", len(*r)) }
+
+func (r *replicaFlags) Set(v string) error {
+	addr, bandsStr, hasBands := strings.Cut(v, "=")
+	if addr == "" {
+		return fmt.Errorf("-replica wants addr[=band1;band2], got %q", v)
+	}
+	spec := replica.BackendSpec{Addr: addr}
+	if hasBands {
+		for _, b := range strings.Split(bandsStr, ";") {
+			if b = strings.TrimSpace(b); b != "" {
+				spec.Bands = append(spec.Bands, b)
+			}
+		}
+	}
+	*r = append(*r, spec)
 	return nil
 }
 
@@ -82,6 +124,13 @@ type options struct {
 	ckptInterval  time.Duration
 	ckptEvery     int64
 	crashPlan     string
+
+	role          string
+	primary       string
+	replicas      replicaFlags
+	ackTimeout    time.Duration
+	rywHold       time.Duration
+	probeInterval time.Duration
 }
 
 func main() {
@@ -103,6 +152,12 @@ func main() {
 	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 30*time.Second, "background checkpoint cadence (negative = timed checkpoints off)")
 	flag.Int64Var(&o.ckptEvery, "checkpoint-every", 1024, "also checkpoint after this many new log records (negative = off)")
 	flag.StringVar(&o.crashPlan, "crashplan", "", "WAL fault-injection plan, e.g. kill@wal.append.written:3 (crash-harness use)")
+	flag.StringVar(&o.role, "role", "primary", "node role: primary, follower, or router")
+	flag.StringVar(&o.primary, "primary", "", "primary address (required for -role follower and router)")
+	flag.Var(&o.replicas, "replica", "read replica for -role router, as addr[=band1;band2] (repeatable)")
+	flag.DurationVar(&o.ackTimeout, "ack-timeout", 5*time.Second, "router: per-replica write-ack deadline before it is dropped from the quorum")
+	flag.DurationVar(&o.rywHold, "ryw-hold", 2*time.Second, "router: how long a read waits for its replica to reach the session's last-write epoch")
+	flag.DurationVar(&o.probeInterval, "probe-interval", 250*time.Millisecond, "router: backend health-probe cadence")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -112,6 +167,20 @@ func main() {
 }
 
 func run(o options) error {
+	switch o.role {
+	case "", "primary":
+		return runPrimary(o)
+	case "follower":
+		return runFollower(o)
+	case "router":
+		return runRouter(o)
+	}
+	return fmt.Errorf("unknown -role %q (want primary, follower or router)", o.role)
+}
+
+// baseConfig builds the server config shared by the primary and follower
+// roles.
+func baseConfig(o options) server.Config {
 	cfg := server.Config{
 		MaxSessions:        o.maxSessions,
 		CacheEntries:       o.cacheEntries,
@@ -124,6 +193,47 @@ func run(o options) error {
 		logger := log.New(os.Stderr, "multilogd: ", log.LstdFlags)
 		cfg.Logf = logger.Printf
 	}
+	return cfg
+}
+
+// openStore opens the WAL directory with the parsed fsync policy and
+// crash plan.
+func openStore(o options, logf func(string, ...any)) (*wal.Store, *wal.Recovery, faultinject.FilePlan, error) {
+	mode, err := wal.ParseSyncMode(o.fsync)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	hook, err := faultinject.ParseFilePlan(o.crashPlan)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	store, recovery, err := wal.Open(wal.Options{
+		Dir: o.dataDir, Sync: mode, SyncInterval: o.fsyncInterval,
+		Hook: hook, Logf: logf,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return store, recovery, hook, nil
+}
+
+// listen binds the address and publishes it via -addr-file.
+func listen(o options) (net.Listener, error) {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return nil, err
+	}
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close() //nolint:errcheck // exiting anyway
+			return nil, err
+		}
+	}
+	return ln, nil
+}
+
+func runPrimary(o options) error {
+	cfg := baseConfig(o)
 
 	// Boot loads: the programs named on the command line. With a data
 	// directory, these reach the server through recovery, which skips any
@@ -143,22 +253,20 @@ func run(o options) error {
 	var store *wal.Store
 	var recovery *wal.Recovery
 	if o.dataDir != "" {
-		mode, err := wal.ParseSyncMode(o.fsync)
-		if err != nil {
-			return err
-		}
-		hook, err := faultinject.ParseFilePlan(o.crashPlan)
-		if err != nil {
-			return err
-		}
-		store, recovery, err = wal.Open(wal.Options{
-			Dir: o.dataDir, Sync: mode, SyncInterval: o.fsyncInterval,
-			Hook: hook, Logf: cfg.Logf,
-		})
+		var hook faultinject.FilePlan
+		var err error
+		store, recovery, hook, err = openStore(o, cfg.Logf)
 		if err != nil {
 			return err
 		}
 		cfg.WAL = store
+		// The same crash plan drives the replication stream's faults
+		// (corrupt/short/kill at repl.stream.frame); wal events are consumed
+		// by the store itself.
+		cfg.StreamFaults = hook
+		if o.fsync != "always" && cfg.Logf != nil {
+			cfg.Logf("warning: -fsync=%s: followers may receive records the primary has not yet made durable", o.fsync)
+		}
 	} else if o.crashPlan != "" {
 		return fmt.Errorf("-crashplan needs -data-dir")
 	}
@@ -175,15 +283,9 @@ func run(o options) error {
 		}
 	}
 
-	ln, err := net.Listen("tcp", o.addr)
+	ln, err := listen(o)
 	if err != nil {
 		return err
-	}
-	if o.addrFile != "" {
-		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			ln.Close() //nolint:errcheck // exiting anyway
-			return err
-		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -216,4 +318,71 @@ func run(o options) error {
 		return rerr
 	}
 	return serveErr
+}
+
+func runFollower(o options) error {
+	if o.dataDir == "" {
+		return fmt.Errorf("-role follower needs -data-dir (the mirrored WAL is the follower's durability)")
+	}
+	if o.primary == "" {
+		return fmt.Errorf("-role follower needs -primary")
+	}
+	if len(o.dbs) > 0 || o.useD1 {
+		return fmt.Errorf("a follower mirrors the primary's databases; drop -db/-d1")
+	}
+	cfg := baseConfig(o)
+	store, recovery, hook, err := openStore(o, cfg.Logf)
+	if err != nil {
+		return err
+	}
+	// A promoted follower becomes the fleet's stream source, so it carries
+	// the same stream-fault plan a primary would.
+	cfg.StreamFaults = hook
+
+	// Recovery replays the mirrored log before the listener opens; the
+	// replicator then resumes the stream from wherever the local log ends.
+	node, err := replica.NewFollower(cfg, store, recovery, o.primary)
+	if err != nil {
+		store.Close() //nolint:errcheck // exiting anyway
+		return err
+	}
+	ln, err := listen(o)
+	if err != nil {
+		store.Close() //nolint:errcheck // exiting anyway
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return node.Serve(ctx, ln, o.drain)
+}
+
+func runRouter(o options) error {
+	if o.primary == "" {
+		return fmt.Errorf("-role router needs -primary")
+	}
+	if o.dataDir != "" || len(o.dbs) > 0 || o.useD1 {
+		return fmt.Errorf("the router holds no data; drop -data-dir/-db/-d1")
+	}
+	rcfg := replica.RouterConfig{
+		Primary:       o.primary,
+		Replicas:      o.replicas,
+		AckTimeout:    o.ackTimeout,
+		RYWHold:       o.rywHold,
+		ProbeInterval: o.probeInterval,
+	}
+	if !o.quiet {
+		logger := log.New(os.Stderr, "multilogd: ", log.LstdFlags)
+		rcfg.Logf = logger.Printf
+	}
+	router, err := replica.NewRouter(rcfg)
+	if err != nil {
+		return err
+	}
+	ln, err := listen(o)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return router.Serve(ctx, ln, o.drain)
 }

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/server"
@@ -34,11 +35,12 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "multilogd address")
+	addr := flag.String("addr", "127.0.0.1:7070", "multilogd address (comma-separated list = fleet mode: sessions spread across endpoints with failover)")
 	db := flag.String("db", "", "database name (empty = the server's sole database)")
 	sessions := flag.Int("sessions", 16, "concurrent sessions")
 	queries := flag.Int("queries", 50, "queries per session")
 	updates := flag.Int("updates", 0, "assert/retract pairs by a concurrent updater")
+	writeEvery := flag.Int("write-every", 0, "mix one in-session write after every N reads (9 = a 90/10 storm; 0 = read-only sessions)")
 	seed := flag.Int64("seed", 1, "storm seed")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall storm deadline")
 	wait := flag.Duration("wait", 0, "poll the daemon's health for up to this long before storming")
@@ -69,7 +71,7 @@ func main() {
 	}
 
 	one := oneShot{clearance: *clearance, assert: *assertOne, query: *queryOne, expect: *expect}
-	if err := run(*addr, *db, *sessions, *queries, *updates, *timeout, *wait, *ready, one, cfg); err != nil {
+	if err := run(*addr, *db, *sessions, *queries, *updates, *writeEvery, *timeout, *wait, *ready, one, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
@@ -83,10 +85,19 @@ type oneShot struct {
 	expect    int
 }
 
-func run(addr, db string, sessions, queries, updates int, timeout, wait time.Duration, ready bool, one oneShot, cfg workload.ProgramConfig) error {
+func run(addr, db string, sessions, queries, updates, writeEvery int, timeout, wait time.Duration, ready bool, one oneShot, cfg workload.ProgramConfig) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	c := server.NewClient(addr, nil)
+	var endpoints []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			endpoints = append(endpoints, a)
+		}
+	}
+	if len(endpoints) == 0 {
+		return fmt.Errorf("-addr is empty")
+	}
+	c := server.NewClient(endpoints[0], nil).WithEndpoints(endpoints...)
 	deadline := time.Now().Add(wait)
 	for {
 		err := c.Healthy(ctx)
@@ -109,13 +120,16 @@ func run(addr, db string, sessions, queries, updates int, timeout, wait time.Dur
 	}
 
 	rep := workload.ServerLoad(ctx, c, workload.ServerLoadConfig{
-		Sessions: sessions, Queries: queries, Updates: updates,
-		Program: cfg, Seed: cfg.Seed, DB: db,
+		Sessions: sessions, Queries: queries, Updates: updates, WriteEvery: writeEvery,
+		Program: cfg, Seed: cfg.Seed, DB: db, Endpoints: endpoints,
 	})
-	fmt.Printf("storm: %d queries (%d answers) in %s — %.0f q/s, %d cache hits, %d updates\n",
-		rep.Queries, rep.Answers, rep.Elapsed.Round(time.Millisecond), rep.QPS(), rep.CacheHits, rep.Updates)
+	fmt.Printf("storm: %d queries (%d answers) in %s — %.0f q/s, %d cache hits, %d updates, %d mix writes\n",
+		rep.Queries, rep.Answers, rep.Elapsed.Round(time.Millisecond), rep.QPS(), rep.CacheHits, rep.Updates, rep.Writes)
 	if rep.Errors > 0 {
 		return fmt.Errorf("%d request(s) failed; first: %s", rep.Errors, rep.FirstErr)
+	}
+	if rep.RYWViolations > 0 {
+		return fmt.Errorf("%d read(s) missed the session's own acked write (read-your-writes broken)", rep.RYWViolations)
 	}
 
 	st, err := c.Stats(ctx)
@@ -125,7 +139,18 @@ func run(addr, db string, sessions, queries, updates int, timeout, wait time.Dur
 	fmt.Printf("server: served=%d errors=%d truncated=%d cache=%d/%d (hit/miss, %d entries) sessions peak=%d\n",
 		st.Queries.Served, st.Queries.Errors, st.Queries.Truncated,
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Sessions.Peak)
+	if st.Replication != nil {
+		fmt.Printf("replication: role=%s applied=%d acked=%d ryw holds/forwards=%d/%d fallbacks=%d failovers=%d\n",
+			st.Replication.Role, st.Replication.AppliedSeq, st.Replication.WritesAcked,
+			st.Replication.RYWHolds, st.Replication.RYWForwards, st.Replication.ReadFallback, st.Replication.Failovers)
+	}
 
+	if len(endpoints) > 1 {
+		// The storm was spread across a fleet; one node's counters cannot be
+		// compared against the aggregate the clients saw.
+		fmt.Println("serveload: ok (fleet mode: per-node stats cross-check skipped)")
+		return nil
+	}
 	// Cross-check the daemon's counters against what the clients saw.
 	want := rep.Queries
 	if st.Queries.Served < want {

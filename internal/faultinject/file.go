@@ -10,8 +10,10 @@ package faultinject
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // FileEvent names a file-layer probe point. The wal package fires these in
@@ -32,6 +34,11 @@ const (
 	// FileCheckpointRenamed fires after the rename (the checkpoint is live),
 	// before old log segments are pruned.
 	FileCheckpointRenamed FileEvent = "wal.checkpoint.renamed"
+	// ReplStreamFrame fires in the primary's replication stream handler once
+	// per outgoing frame, before the frame is written to the follower's
+	// connection. The cluster-chaos harness injects short writes, corrupt
+	// frames and SIGKILLs here.
+	ReplStreamFrame FileEvent = "repl.stream.frame"
 )
 
 // FileEvents lists every probe point, for plan validation and harness
@@ -39,6 +46,7 @@ const (
 var FileEvents = []FileEvent{
 	FileAppendStart, FileAppendWritten, FileAppendSynced,
 	FileCheckpointTemp, FileCheckpointRenamed,
+	ReplStreamFrame,
 }
 
 // FileAction is what a plan tells the file layer to do at a probe point.
@@ -58,6 +66,11 @@ const (
 	// FileKillTorn writes a prefix of the frame, fsyncs it, then hard-kills:
 	// the mid-append crash that leaves a torn record for recovery to find.
 	FileKillTorn
+	// FileCorrupt flips a bit in the frame before it is written and lets the
+	// operation proceed: a wire- or disk-level corruption the CRC32C check on
+	// the receiving side must catch. Combine with :once — a sticky corrupt
+	// plan re-corrupts every retry and never converges.
+	FileCorrupt
 )
 
 // String names the action in plan syntax.
@@ -73,6 +86,8 @@ func (a FileAction) String() string {
 		return "kill"
 	case FileKillTorn:
 		return "kill-torn"
+	case FileCorrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("FileAction(%d)", int(a))
 }
@@ -105,18 +120,71 @@ func FileActionAt(action FileAction, ev FileEvent, n int64) FilePlan {
 	}
 }
 
+// FileActionOnce returns a plan that performs action only at exactly the
+// nth occurrence of ev and FileOK everywhere else: the one-shot variant for
+// recoverable faults (a corrupt frame the retry must survive).
+func FileActionOnce(action FileAction, ev FileEvent, n int64) FilePlan {
+	return func(got FileEvent, count int64) FileAction {
+		if got == ev && count == n {
+			return action
+		}
+		return FileOK
+	}
+}
+
+// CombineFilePlans merges plans: the first non-OK answer at a probe point
+// wins. nil plans are skipped; an empty combination is a nil plan.
+func CombineFilePlans(plans ...FilePlan) FilePlan {
+	live := plans[:0]
+	for _, p := range plans {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	combined := append([]FilePlan(nil), live...)
+	return func(ev FileEvent, n int64) FileAction {
+		for _, p := range combined {
+			if act := p(ev, n); act != FileOK {
+				return act
+			}
+		}
+		return FileOK
+	}
+}
+
 // ParseFilePlan parses the CLI/env syntax "action@event:n", e.g.
 // "kill-torn@wal.append.start:3" or "err@wal.checkpoint.temp:1". The count
-// is 1-based and defaults to 1 when ":n" is omitted. An empty string yields
-// a nil plan (no faults).
+// is 1-based and defaults to 1 when ":n" is omitted; a ":once" suffix makes
+// the directive fire at exactly n instead of at every occurrence >= n.
+// Comma-separated directives combine (first non-OK answer wins). An empty
+// string yields a nil plan (no faults).
 func ParseFilePlan(s string) (FilePlan, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
 	}
+	var plans []FilePlan
+	for _, part := range strings.Split(s, ",") {
+		p, err := parseFileDirective(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return CombineFilePlans(plans...), nil
+}
+
+// parseFileDirective parses one "action@event[:n][:once]" directive.
+func parseFileDirective(s string) (FilePlan, error) {
 	actionStr, rest, ok := strings.Cut(s, "@")
 	if !ok {
-		return nil, fmt.Errorf("faultinject: plan %q: want action@event[:n]", s)
+		return nil, fmt.Errorf("faultinject: plan %q: want action@event[:n][:once]", s)
 	}
 	var action FileAction
 	switch actionStr {
@@ -128,8 +196,15 @@ func ParseFilePlan(s string) (FilePlan, error) {
 		action = FileKill
 	case "kill-torn":
 		action = FileKillTorn
+	case "corrupt":
+		action = FileCorrupt
 	default:
-		return nil, fmt.Errorf("faultinject: plan %q: unknown action %q (want err, short, kill or kill-torn)", s, actionStr)
+		return nil, fmt.Errorf("faultinject: plan %q: unknown action %q (want err, short, kill, kill-torn or corrupt)", s, actionStr)
+	}
+	once := false
+	if trimmed, found := strings.CutSuffix(rest, ":once"); found {
+		once = true
+		rest = trimmed
 	}
 	evStr, nStr := rest, "1"
 	if ev, n, ok := strings.Cut(rest, ":"); ok {
@@ -150,5 +225,20 @@ func ParseFilePlan(s string) (FilePlan, error) {
 	if !known {
 		return nil, fmt.Errorf("faultinject: plan %q: unknown event %q", s, evStr)
 	}
+	if once {
+		return FileActionOnce(action, ev, n), nil
+	}
 	return FileActionAt(action, ev, n), nil
+}
+
+// KillNow hard-kills the process: the injected SIGKILL of a crash plan.
+// Only chaos-harness child daemons ever take this path.
+func KillNow() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill() //nolint:errcheck // dying is the point
+	}
+	for {
+		time.Sleep(time.Second) // SIGKILL lands before this matters
+	}
 }

@@ -37,14 +37,91 @@ func TestParseFilePlan(t *testing.T) {
 		t.Errorf("empty plan: got (%v, %v), want (nil, nil)", p, err)
 	}
 	for _, bad := range []string{
-		"kill",                      // no event
-		"boom@wal.append.start",     // unknown action
-		"kill@wal.nosuch:1",         // unknown event
-		"kill@wal.append.start:0",   // zero occurrence
-		"kill@wal.append.start:x",   // non-numeric occurrence
+		"kill",                    // no event
+		"boom@wal.append.start",   // unknown action
+		"kill@wal.nosuch:1",       // unknown event
+		"kill@wal.append.start:0", // zero occurrence
+		"kill@wal.append.start:x", // non-numeric occurrence
 	} {
 		if _, err := ParseFilePlan(bad); err == nil {
 			t.Errorf("ParseFilePlan(%q) = nil error, want failure", bad)
 		}
+	}
+}
+
+func TestFileActionOnce(t *testing.T) {
+	plan := FileActionOnce(FileCorrupt, ReplStreamFrame, 5)
+	if got := plan(ReplStreamFrame, 4); got != FileOK {
+		t.Errorf("occurrence 4: got %s, want ok", got)
+	}
+	if got := plan(ReplStreamFrame, 5); got != FileCorrupt {
+		t.Errorf("occurrence 5: got %s, want corrupt", got)
+	}
+	if got := plan(ReplStreamFrame, 6); got != FileOK {
+		t.Errorf("occurrence 6: got %s, want ok (one-shot)", got)
+	}
+}
+
+func TestParseFilePlanOnceSuffix(t *testing.T) {
+	plan, err := ParseFilePlan("corrupt@repl.stream.frame:5:once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan(ReplStreamFrame, 5); got != FileCorrupt {
+		t.Errorf("occurrence 5: got %s, want corrupt", got)
+	}
+	if got := plan(ReplStreamFrame, 6); got != FileOK {
+		t.Errorf("occurrence 6: got %s, want ok (one-shot)", got)
+	}
+	// ":once" without an explicit count fires only at the first occurrence.
+	plan, err = ParseFilePlan("short@repl.stream.frame:once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan(ReplStreamFrame, 1); got != FileShortWrite {
+		t.Errorf("occurrence 1: got %s, want short", got)
+	}
+	if got := plan(ReplStreamFrame, 2); got != FileOK {
+		t.Errorf("occurrence 2: got %s, want ok", got)
+	}
+}
+
+func TestParseFilePlanCombines(t *testing.T) {
+	plan, err := ParseFilePlan("corrupt@repl.stream.frame:3:once, kill@wal.checkpoint.temp:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan(ReplStreamFrame, 3); got != FileCorrupt {
+		t.Errorf("stream frame 3: got %s, want corrupt", got)
+	}
+	if got := plan(ReplStreamFrame, 4); got != FileOK {
+		t.Errorf("stream frame 4: got %s, want ok", got)
+	}
+	if got := plan(FileCheckpointTemp, 1); got != FileOK {
+		t.Errorf("checkpoint 1: got %s, want ok", got)
+	}
+	if got := plan(FileCheckpointTemp, 2); got != FileKill {
+		t.Errorf("checkpoint 2: got %s, want kill", got)
+	}
+}
+
+func TestCombineFilePlans(t *testing.T) {
+	if p := CombineFilePlans(nil, nil); p != nil {
+		t.Error("all-nil combination should be a nil plan")
+	}
+	only := FileActionAt(FileErr, FileAppendStart, 1)
+	combined := CombineFilePlans(nil, only, nil)
+	if got := combined(FileAppendStart, 1); got != FileErr {
+		t.Errorf("single live plan: got %s, want err", got)
+	}
+	// First non-OK answer wins.
+	a := FileActionOnce(FileShortWrite, ReplStreamFrame, 2)
+	b := FileActionAt(FileCorrupt, ReplStreamFrame, 2)
+	both := CombineFilePlans(a, b)
+	if got := both(ReplStreamFrame, 2); got != FileShortWrite {
+		t.Errorf("overlap: got %s, want the first plan's short", got)
+	}
+	if got := both(ReplStreamFrame, 3); got != FileCorrupt {
+		t.Errorf("past the one-shot: got %s, want corrupt", got)
 	}
 }

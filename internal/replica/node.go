@@ -1,0 +1,126 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Node is one member of a replicated fleet: the Server plus, on a
+// follower, the Replicator feeding it. Its Handler extends the server's
+// API with the cluster-control endpoints the router drives:
+//
+//	POST /v1/repl/promote   stop replicating, become the primary
+//	POST /v1/repl/primary   {"primary": addr} — follow a new primary
+type Node struct {
+	Srv   *server.Server
+	Rep   *Replicator // nil on a pure primary
+	store *wal.Store  // owned when built by NewFollower; closed on drain
+}
+
+// PromoteResponse answers POST /v1/repl/promote.
+type PromoteResponse struct {
+	Role    string `json:"role"`
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// retargetRequest is the body of POST /v1/repl/primary.
+type retargetRequest struct {
+	Primary string `json:"primary"`
+}
+
+// Handler wraps the server's API with the cluster-control endpoints.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", n.Srv.Handler())
+	mux.HandleFunc("POST /v1/repl/promote", func(w http.ResponseWriter, _ *http.Request) {
+		if n.Rep != nil {
+			// Stop the stream first: a frame applied after the role flip
+			// would race writes the new primary is already acking.
+			n.Rep.Stop()
+		}
+		last := n.Srv.Promote()
+		n.writeJSON(w, PromoteResponse{Role: n.Srv.Role().String(), LastSeq: last})
+	})
+	mux.HandleFunc("POST /v1/repl/primary", func(w http.ResponseWriter, r *http.Request) {
+		var req retargetRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n.Srv.SetPrimaryAddr(req.Primary)
+		if n.Rep != nil {
+			n.Rep.SetPrimary(req.Primary)
+		}
+		n.writeJSON(w, map[string]string{"primary": req.Primary})
+	})
+	return mux
+}
+
+func (n *Node) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort control-plane body
+}
+
+// Serve runs the node until ctx is done: the replicator (when present) in
+// the background and the HTTP server in the foreground, with the same
+// drain-then-close lifecycle as server.Serve. The server's own Serve cannot
+// be reused here because the node's handler supersedes the server's.
+func (n *Node) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	if n.Rep != nil {
+		go n.Rep.Run(rctx)
+	}
+	if n.store != nil {
+		// Followers checkpoint their mirrored log too, bounding their own
+		// restart replay (and, once promoted, their followers' bootstraps).
+		go n.Srv.RunCheckpointLoop(rctx)
+	}
+	hs := &http.Server{Handler: n.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if n.Rep != nil {
+		n.Rep.Stop()
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	<-errc
+	if n.store != nil {
+		// Mirror server.Serve's drain: cut the log with a final checkpoint
+		// so the next boot replays nothing, then release the store.
+		if cerr := n.Srv.Checkpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := n.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// NewFollower assembles a follower node from an opened WAL store and a
+// primary address: the server is built in the follower role over the
+// store, recovery replays the mirrored log, and the replicator resumes the
+// stream from wherever the log ends.
+func NewFollower(cfg server.Config, store *wal.Store, rec *wal.Recovery, primary string) (*Node, error) {
+	cfg.Role = server.RoleFollower
+	cfg.PrimaryAddr = primary
+	cfg.WAL = store
+	srv := server.New(cfg)
+	if err := srv.Recover(rec, nil); err != nil {
+		return nil, err
+	}
+	return &Node{Srv: srv, Rep: NewReplicator(srv, store, primary, cfg.Logf), store: store}, nil
+}

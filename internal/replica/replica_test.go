@@ -1,0 +1,504 @@
+package replica_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+const testProgram = `
+	level(u).  level(c).  level(s).
+	order(u, c).  order(c, s).
+	u[emp(alice: salary -u-> low)].
+	c[emp(alice: salary -c-> mid)].
+	s[emp(alice: salary -s-> high)].
+	u[emp(bob: salary -u-> low)].
+`
+
+// node is one in-process fleet member: a WAL-backed server wrapped in the
+// replica.Node handler, served over httptest, with the replicator (on
+// followers) running.
+type node struct {
+	n     *replica.Node
+	store *wal.Store
+	url   string
+	cl    *server.Client
+	hs    *httptest.Server
+}
+
+func startPrimary(t testing.TB, program string, faults faultinject.FilePlan) *node {
+	t.Helper()
+	store, rec, err := wal.Open(wal.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := server.New(server.Config{WAL: store, StreamFaults: faults})
+	boot := map[string]string{}
+	if program != "" {
+		boot["test"] = program
+	}
+	if err := srv.Recover(rec, boot); err != nil {
+		t.Fatal(err)
+	}
+	nd := &replica.Node{Srv: srv}
+	hs := httptest.NewServer(nd.Handler())
+	t.Cleanup(func() { hs.CloseClientConnections(); hs.Close() })
+	return &node{n: nd, store: store, url: hs.URL, cl: server.NewClient(hs.URL, hs.Client()), hs: hs}
+}
+
+func startFollower(t testing.TB, primaryURL string) *node {
+	t.Helper()
+	store, rec, err := wal.Open(wal.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	nd, err := replica.NewFollower(server.Config{}, store, rec, primaryURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(nd.Handler())
+	// A live replication stream keeps a connection active; Close alone would
+	// wait on it forever if cleanup ordering leaves a streamer running.
+	t.Cleanup(func() { hs.CloseClientConnections(); hs.Close() })
+	ctx, cancel := context.WithCancel(context.Background())
+	go nd.Rep.Run(ctx)
+	t.Cleanup(func() { cancel(); nd.Rep.Stop() })
+	return &node{n: nd, store: store, url: hs.URL, cl: server.NewClient(hs.URL, hs.Client()), hs: hs}
+}
+
+// waitApplied blocks until every follower has applied the primary's last
+// seq (and reports synced), or fails the test.
+func waitApplied(t testing.TB, primary *node, followers ...*node) {
+	t.Helper()
+	want := primary.store.LastSeq()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, f := range followers {
+		for f.n.Srv.Applied() < want || !f.n.Srv.Synced() {
+			if time.Now().After(deadline) {
+				t.Fatalf("follower %s stuck at seq %d (synced=%v), primary at %d; stream error: %s",
+					f.url, f.n.Srv.Applied(), f.n.Srv.Synced(), want, f.n.Srv.Repl().StreamError())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// answersEverywhere queries every clearance x belief mode on the node and
+// returns the full answer map — the byte-equal fleet comparison.
+func answersEverywhere(t *testing.T, cl *server.Client) map[string][]map[string]string {
+	t.Helper()
+	ctx := context.Background()
+	out := map[string][]map[string]string{}
+	for _, clearance := range []string{"u", "c", "s"} {
+		for _, mode := range []string{"fir", "opt", "cau"} {
+			sess, err := cl.Open(ctx, server.OpenRequest{Subject: "cmp", Clearance: clearance, Mode: mode})
+			if err != nil {
+				t.Fatalf("open %s/%s: %v", clearance, mode, err)
+			}
+			resp, err := cl.QueryContext(ctx, server.QueryRequest{
+				Session: sess.Session, Query: "L[emp(K: salary -C-> V)]"})
+			if err != nil {
+				t.Fatalf("query %s/%s: %v", clearance, mode, err)
+			}
+			out[clearance+"/"+mode] = resp.Answers
+			cl.Close(ctx, sess.Session) //nolint:errcheck // best-effort
+		}
+	}
+	return out
+}
+
+func assertFleetAgrees(t *testing.T, primary *node, followers ...*node) {
+	t.Helper()
+	want := answersEverywhere(t, primary.cl)
+	for _, f := range followers {
+		if got := answersEverywhere(t, f.cl); !reflect.DeepEqual(want, got) {
+			t.Fatalf("fleet diverged at %s:\n primary  %v\n follower %v", f.url, want, got)
+		}
+	}
+}
+
+func TestClusterConverges(t *testing.T) {
+	p := startPrimary(t, testProgram, nil)
+	f1 := startFollower(t, p.url)
+	f2 := startFollower(t, p.url)
+
+	ctx := context.Background()
+	sess, err := p.cl.Open(ctx, server.OpenRequest{Subject: "w", Clearance: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := p.cl.Assert(ctx, sess.Session,
+			fmt.Sprintf("s[emp(w%d: salary -s-> top)].", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.cl.Retract(ctx, sess.Session, "u[emp(bob: salary -u-> low)]."); err != nil {
+		t.Fatal(err)
+	}
+
+	waitApplied(t, p, f1, f2)
+	assertFleetAgrees(t, p, f1, f2)
+
+	// Followers refuse writes, pointing at the primary.
+	fs, err := f1.cl.Open(ctx, server.OpenRequest{Subject: "w", Clearance: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f1.cl.Assert(ctx, fs.Session, "s[emp(nope: salary -s-> top)].")
+	var re *server.RemoteError
+	if !errors.As(err, &re) || re.Code != server.CodeNotPrimary || re.Primary != p.url {
+		t.Fatalf("follower write = %v, want 421 pointing at %s", err, p.url)
+	}
+}
+
+func TestCorruptFrameDropsAndResumes(t *testing.T) {
+	// The 4th stream frame arrives with a flipped bit: the follower's CRC
+	// check must drop the connection, resume from its last durable seq, and
+	// still converge with nothing skipped or doubled.
+	p := startPrimary(t, testProgram, faultinject.FileActionOnce(faultinject.FileCorrupt, faultinject.ReplStreamFrame, 4))
+	f := startFollower(t, p.url)
+	// Let the follower finish its snapshot bootstrap first, so the writes
+	// below travel as stream frames rather than inside the snapshot.
+	waitApplied(t, p, f)
+
+	ctx := context.Background()
+	sess, err := p.cl.Open(ctx, server.OpenRequest{Subject: "w", Clearance: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := p.cl.Assert(ctx, sess.Session,
+			fmt.Sprintf("s[emp(c%d: salary -s-> top)].", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitApplied(t, p, f)
+	assertFleetAgrees(t, p, f)
+	if got := f.n.Srv.Repl().Resumes.Load(); got < 1 {
+		t.Fatalf("corrupt frame caused %d resumes, want >= 1", got)
+	}
+}
+
+func TestShortWriteDropsAndResumes(t *testing.T) {
+	p := startPrimary(t, testProgram, faultinject.FileActionOnce(faultinject.FileShortWrite, faultinject.ReplStreamFrame, 3))
+	f := startFollower(t, p.url)
+	waitApplied(t, p, f)
+
+	ctx := context.Background()
+	sess, err := p.cl.Open(ctx, server.OpenRequest{Subject: "w", Clearance: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := p.cl.Assert(ctx, sess.Session,
+			fmt.Sprintf("s[emp(t%d: salary -s-> top)].", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitApplied(t, p, f)
+	assertFleetAgrees(t, p, f)
+	if got := f.n.Srv.Repl().Resumes.Load(); got < 1 {
+		t.Fatalf("short write caused %d resumes, want >= 1", got)
+	}
+}
+
+func TestCompactionForcesReBootstrap(t *testing.T) {
+	p := startPrimary(t, testProgram, nil)
+	f := startFollower(t, p.url)
+	ctx := context.Background()
+	sess, err := p.cl.Open(ctx, server.OpenRequest{Subject: "w", Clearance: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.cl.Assert(ctx, sess.Session, "s[emp(pre: salary -s-> top)]."); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, p, f)
+	boots := f.n.Srv.Repl().SnapshotBootstraps.Load()
+
+	// Partition the follower (stop its stream), then move the primary past
+	// TWO checkpoints: the store retains two, and segments are pruned only up
+	// to the OLDEST retained one, so a single checkpoint would still leave
+	// the follower's position streamable.
+	f.n.Rep.Stop()
+	for i := 0; i < 4; i++ {
+		if _, err := p.cl.Assert(ctx, sess.Session,
+			fmt.Sprintf("s[emp(gap%d: salary -s-> top)].", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.n.Srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.cl.Assert(ctx, sess.Session, "s[emp(mid: salary -s-> top)]."); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.n.Srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.cl.Assert(ctx, sess.Session, "s[emp(post: salary -s-> top)]."); err != nil {
+		t.Fatal(err)
+	}
+
+	rep2 := replica.NewReplicator(f.n.Srv, f.store, p.url, t.Logf)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go rep2.Run(ctx2)
+	t.Cleanup(func() { cancel2(); rep2.Stop() })
+
+	waitApplied(t, p, f)
+	assertFleetAgrees(t, p, f)
+	if got := f.n.Srv.Repl().SnapshotBootstraps.Load(); got <= boots {
+		t.Fatalf("compacted stream did not re-bootstrap (bootstraps %d -> %d)", boots, got)
+	}
+}
+
+// startRouter runs a Router over a real listener (Serve owns the probe
+// loop) and returns its base URL.
+func startRouter(t *testing.T, cfg replica.RouterConfig) string {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 20 * time.Millisecond
+	}
+	r, err := replica.NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); r.Serve(ctx, ln, time.Second) }() //nolint:errcheck // drained on cleanup
+	t.Cleanup(func() { cancel(); <-done })
+	return "http://" + ln.Addr().String()
+}
+
+func routerStats(t *testing.T, cl *server.Client) *server.ReplicationStats {
+	t.Helper()
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replication == nil {
+		t.Fatal("router stats missing replication section")
+	}
+	return st.Replication
+}
+
+// waitHealthyReplicas blocks until the router's probes report n healthy
+// non-primary backends.
+func waitHealthyReplicas(t *testing.T, cl *server.Client, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		healthy := 0
+		for _, b := range routerStats(t, cl).Nodes {
+			if b.Role != "primary" && b.Healthy {
+				healthy++
+			}
+		}
+		if healthy >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never saw %d healthy replicas", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterReadYourWritesUnderStorm is the acceptance storm: a 90/10
+// read/write mix through the router, every session's reads must observe its
+// own acked writes even though reads are pinned to replicas.
+func TestRouterReadYourWritesUnderStorm(t *testing.T) {
+	prog := workload.ProgramSource(workload.ProgramConfig{
+		Levels: 3, Facts: 60, Rules: 6, Preds: 2, Seed: 1, Poly: 0.3})
+	p := startPrimary(t, prog, nil)
+	f1 := startFollower(t, p.url)
+	f2 := startFollower(t, p.url)
+	waitApplied(t, p, f1, f2)
+
+	rurl := startRouter(t, replica.RouterConfig{
+		Primary:    p.url,
+		Replicas:   []replica.BackendSpec{{Addr: f1.url}, {Addr: f2.url}},
+		AckTimeout: 5 * time.Second,
+		RYWHold:    5 * time.Second,
+	})
+	rc := server.NewClient(rurl, nil)
+	waitHealthyReplicas(t, rc, 2)
+
+	rep := workload.ServerLoad(context.Background(), rc, workload.ServerLoadConfig{
+		Sessions: 8, Queries: 40, WriteEvery: 9,
+		Program: workload.ProgramConfig{Levels: 3, Preds: 2}, Seed: 1,
+	})
+	if rep.Errors > 0 {
+		t.Fatalf("%d storm errors; first: %s", rep.Errors, rep.FirstErr)
+	}
+	if rep.Writes == 0 {
+		t.Fatal("storm mixed no writes; the RYW check tested nothing")
+	}
+	if rep.RYWViolations > 0 {
+		t.Fatalf("%d read-your-writes violations through the router", rep.RYWViolations)
+	}
+	rs := routerStats(t, rc)
+	if rs.WritesAcked < rep.Writes {
+		t.Fatalf("router acked %d writes, clients completed %d", rs.WritesAcked, rep.Writes)
+	}
+	if rs.AckTimeouts != 0 {
+		t.Fatalf("%d replicas dropped from the ack quorum during a healthy storm", rs.AckTimeouts)
+	}
+}
+
+// TestRouterFailoverLosesNoAckedWrite kills the primary mid-run and checks
+// the router promotes the most-caught-up follower with every acked write
+// still answerable.
+func TestRouterFailoverLosesNoAckedWrite(t *testing.T) {
+	p := startPrimary(t, testProgram, nil)
+	f1 := startFollower(t, p.url)
+	f2 := startFollower(t, p.url)
+	waitApplied(t, p, f1, f2)
+
+	rurl := startRouter(t, replica.RouterConfig{
+		Primary:    p.url,
+		Replicas:   []replica.BackendSpec{{Addr: f1.url}, {Addr: f2.url}},
+		AckTimeout: 5 * time.Second,
+		RYWHold:    5 * time.Second,
+	})
+	rc := server.NewClient(rurl, nil)
+	waitHealthyReplicas(t, rc, 2)
+
+	ctx := context.Background()
+	sess, err := rc.Open(ctx, server.OpenRequest{Subject: "w", Clearance: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []string
+	write := func(name string) {
+		t.Helper()
+		fact := fmt.Sprintf("s[emp(%s: salary -s-> top)].", name)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			_, err := rc.Assert(ctx, sess.Session, fact)
+			if err == nil {
+				acked = append(acked, name)
+				return
+			}
+			var re *server.RemoteError
+			if !errors.As(err, &re) || re.Status != http.StatusServiceUnavailable || time.Now().After(deadline) {
+				t.Fatalf("write %s: %v", name, err)
+			}
+			time.Sleep(50 * time.Millisecond) // failover in progress; retry
+		}
+	}
+	write("before1")
+	write("before2")
+
+	// Kill the primary: its listener drops, in-flight connections die.
+	p.hs.CloseClientConnections()
+	p.hs.Close()
+
+	write("after1")
+	write("after2")
+
+	rs := routerStats(t, rc)
+	if rs.Failovers < 1 {
+		t.Fatalf("router reports %d failovers after primary loss", rs.Failovers)
+	}
+	// The promoted node must answer every acked write.
+	prim := rs.Primary
+	var surv *node
+	for _, f := range []*node{f1, f2} {
+		if f.url == prim {
+			surv = f
+		}
+	}
+	if surv == nil {
+		t.Fatalf("new primary %q is not one of the followers", prim)
+	}
+	if surv.n.Srv.Role() != server.RolePrimary {
+		t.Fatalf("promoted node still in role %s", surv.n.Srv.Role())
+	}
+	qs, err := surv.cl.Open(ctx, server.OpenRequest{Subject: "check", Clearance: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := surv.cl.QueryContext(ctx, server.QueryRequest{
+		Session: qs.Session, Query: "s[emp(K: salary -s-> top)]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, a := range resp.Answers {
+		have[a["K"]] = true
+	}
+	for _, name := range acked {
+		if !have[name] {
+			t.Fatalf("acked write %q lost across failover (have %v)", name, have)
+		}
+	}
+	// The surviving follower converges on the new primary and agrees.
+	var other *node
+	if surv == f1 {
+		other = f2
+	} else {
+		other = f1
+	}
+	waitApplied(t, surv, other)
+	assertFleetAgrees(t, surv, other)
+}
+
+func TestRouterBandPinning(t *testing.T) {
+	prog := workload.ProgramSource(workload.ProgramConfig{
+		Levels: 3, Facts: 30, Rules: 3, Preds: 2, Seed: 1, Poly: 0.3})
+	p := startPrimary(t, prog, nil)
+	f1 := startFollower(t, p.url)
+	f2 := startFollower(t, p.url)
+	waitApplied(t, p, f1, f2)
+
+	rurl := startRouter(t, replica.RouterConfig{
+		Primary: p.url,
+		Replicas: []replica.BackendSpec{
+			{Addr: f1.url, Bands: []string{"l0"}},
+			{Addr: f2.url, Bands: []string{"l1", "l2"}},
+		},
+	})
+	rc := server.NewClient(rurl, nil)
+	waitHealthyReplicas(t, rc, 2)
+
+	ctx := context.Background()
+	for i, clearance := range []string{"l0", "l0", "l1", "l2"} {
+		if _, err := rc.Open(ctx, server.OpenRequest{
+			Subject: fmt.Sprintf("band%d", i), Clearance: clearance}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var l0Sessions, highSessions int64
+	for _, b := range routerStats(t, rc).Nodes {
+		switch b.Addr {
+		case f1.url:
+			l0Sessions = b.Sessions
+		case f2.url:
+			highSessions = b.Sessions
+		}
+	}
+	if l0Sessions != 2 || highSessions != 2 {
+		t.Fatalf("band pinning spread sessions (l0 replica: %d, l1/l2 replica: %d), want 2/2",
+			l0Sessions, highSessions)
+	}
+}

@@ -1,0 +1,293 @@
+// Package replica turns single-node multilogd into a primary/follower
+// fleet. A Replicator drives one follower: it bootstraps from the primary's
+// newest checkpoint (GET /v1/repl/snapshot), then streams the WAL tail
+// (GET /v1/repl/stream?from=S) and applies each record through
+// Server.ApplyReplicated — the same parse/authorize/lint path the original
+// write took, mirrored into the follower's own WAL at the primary's
+// sequence numbers. The Router fronts the fleet: it pins read sessions to
+// replicas (optionally by clearance band), enforces read-your-writes with
+// epoch tokens, acks writes only once every live replica has applied them,
+// and promotes the most-caught-up follower when the primary dies.
+//
+// The stream is self-healing: a torn or corrupt frame (CRC32C fails) drops
+// the connection and the follower reconnects from its last durable seq with
+// jittered backoff; a 410 Gone (the primary compacted past our position)
+// re-bootstraps from the snapshot. Every retry resumes exactly where the
+// local log ends, so no acked write is ever skipped or doubled.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Replicator streams a primary's WAL into a follower Server. Create with
+// NewReplicator, start with Run (usually in a goroutine), stop with Stop.
+type Replicator struct {
+	srv    *server.Server
+	store  *wal.Store
+	policy server.RetryPolicy
+	logf   func(format string, args ...any)
+	hc     *http.Client
+
+	mu       sync.Mutex
+	primary  string
+	streamCn context.CancelFunc // cancels the in-flight stream only
+	stopped  bool
+
+	done chan struct{}
+}
+
+// NewReplicator wires a follower server to its primary's base URL. store
+// must be the same wal.Store the server was built with (the mirror target);
+// logf may be nil.
+func NewReplicator(srv *server.Server, store *wal.Store, primary string, logf func(string, ...any)) *Replicator {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Replicator{
+		srv:    srv,
+		store:  store,
+		policy: server.DefaultRetryPolicy(),
+		logf:   logf,
+		// No overall timeout: the stream is long-lived by design. Dial and
+		// response-header stalls are bounded by the per-stream context.
+		hc:      &http.Client{},
+		primary: normalizeURL(primary),
+		done:    make(chan struct{}),
+	}
+}
+
+func normalizeURL(addr string) string {
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// Primary is the current upstream base URL.
+func (r *Replicator) Primary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primary
+}
+
+// SetPrimary re-targets the upstream (after a failover) and kicks the
+// current stream so the next connect goes to the new primary.
+func (r *Replicator) SetPrimary(addr string) {
+	r.mu.Lock()
+	r.primary = normalizeURL(addr)
+	cancel := r.streamCn
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Stop ends replication and waits for Run to return. Safe to call more
+// than once; required before Promote so a late frame cannot race the
+// promotion.
+func (r *Replicator) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.stopped = true
+	cancel := r.streamCn
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	<-r.done
+}
+
+// Run streams until ctx is done or Stop is called. Each failed stream
+// records the error for /v1/stats, then reconnects from the last durable
+// seq with jittered backoff (resetting the backoff ladder after any
+// progress).
+func (r *Replicator) Run(ctx context.Context) {
+	defer close(r.done)
+	attempt := 0
+	for {
+		r.mu.Lock()
+		if r.stopped {
+			r.mu.Unlock()
+			return
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		r.streamCn = cancel
+		r.mu.Unlock()
+
+		progressed, err := r.streamOnce(sctx)
+		interrupted := sctx.Err() != nil // before cancel(), which would mask it
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		r.mu.Lock()
+		stopped := r.stopped
+		r.mu.Unlock()
+		if stopped {
+			return
+		}
+		if progressed {
+			attempt = 0
+		}
+		if err != nil && !interrupted {
+			r.srv.Repl().SetStreamError(err.Error())
+			r.srv.Repl().Resumes.Add(1)
+			r.logf("replica: stream from %s failed at seq %d: %v", r.Primary(), r.store.LastSeq(), err)
+		}
+		attempt++
+		if attempt > 6 {
+			attempt = 6 // cap the ladder; the jittered ceiling stays bounded
+		}
+		if serr := r.policy.SleepBackoff(ctx, attempt); serr != nil {
+			return
+		}
+	}
+}
+
+// streamOnce runs one stream: bootstrap if the local log is empty or
+// compacted away, then apply frames until the connection breaks. Returns
+// whether any record was applied (for backoff reset).
+func (r *Replicator) streamOnce(ctx context.Context) (progressed bool, err error) {
+	primary := r.Primary()
+	if primary == "" {
+		return false, fmt.Errorf("replica: no primary configured")
+	}
+	from := r.store.LastSeq()
+	if from == 0 && r.srv.Applied() == 0 {
+		if err := r.bootstrap(ctx, primary); err != nil {
+			return false, err
+		}
+		progressed = true
+		from = r.store.LastSeq()
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		primary+"/v1/repl/stream?from="+strconv.FormatUint(from, 10), nil)
+	if err != nil {
+		return progressed, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return progressed, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		// Our position was compacted into a checkpoint: re-bootstrap, then
+		// let the caller reconnect (which will stream from the new base).
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for keep-alive
+		r.logf("replica: primary compacted past seq %d; re-bootstrapping", from)
+		if err := r.bootstrap(ctx, primary); err != nil {
+			return progressed, err
+		}
+		return true, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return progressed, fmt.Errorf("replica: stream %s from=%d: HTTP %d: %s", primary, from, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if h := resp.Header.Get("X-Repl-Last-Seq"); h != "" {
+		if v, perr := strconv.ParseUint(h, 10, 64); perr == nil {
+			r.srv.Repl().HeardUpTo(v)
+		}
+	}
+	r.maybeSynced()
+
+	sc := wal.NewFrameScanner(resp.Body)
+	for {
+		rec, serr := sc.Next()
+		if serr != nil {
+			if errors.Is(serr, io.EOF) {
+				// The primary closed the stream cleanly (drain or injected
+				// drop); reconnect from wherever we are.
+				return progressed, fmt.Errorf("replica: stream closed by primary")
+			}
+			return progressed, fmt.Errorf("replica: bad frame after seq %d: %w", r.store.LastSeq(), serr)
+		}
+		r.srv.Repl().FramesReceived.Add(1)
+		r.srv.Repl().BytesReceived.Add(int64(len(rec.Payload)))
+		if rec.Type == wal.TypeHeartbeat {
+			r.srv.Repl().HeardUpTo(rec.Seq)
+			r.maybeSynced()
+			continue
+		}
+		if want := r.store.LastSeq() + 1; rec.Seq != want {
+			return progressed, fmt.Errorf("replica: stream skipped to seq %d, want %d", rec.Seq, want)
+		}
+		if aerr := r.srv.ApplyReplicated(rec); aerr != nil {
+			return progressed, aerr
+		}
+		progressed = true
+		r.maybeSynced()
+	}
+}
+
+// maybeSynced flips the follower ready once it has applied everything the
+// primary is known to have.
+func (r *Replicator) maybeSynced() {
+	if r.srv.Applied() >= r.srv.Repl().LastHeardSeq.Load() {
+		r.srv.MarkSynced()
+	}
+}
+
+// bootstrap installs the primary's newest checkpoint as the follower's
+// entire state, positioning the local log at the checkpoint's seq.
+func (r *Replicator) bootstrap(ctx context.Context, primary string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/v1/repl/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("replica: snapshot %s: HTTP %d: %s", primary, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get("X-Repl-Seq"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replica: snapshot %s: bad X-Repl-Seq %q", primary, resp.Header.Get("X-Repl-Seq"))
+	}
+	frame, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("replica: reading snapshot: %w", err)
+	}
+	if seq == 0 && len(frame) == 0 {
+		// The primary has never written: nothing to install, stream from 0.
+		r.logf("replica: primary %s is empty; streaming from the beginning", primary)
+		return nil
+	}
+	rec, err := wal.DecodeFrameBytes(frame)
+	if err != nil {
+		return fmt.Errorf("replica: snapshot frame: %w", err)
+	}
+	if rec.Type != wal.TypeCheckpoint || rec.Seq != seq {
+		return fmt.Errorf("replica: snapshot frame mismatch: type %d seq %d, header seq %d", rec.Type, rec.Seq, seq)
+	}
+	if err := r.srv.InstallSnapshot(seq, rec.Payload); err != nil {
+		return err
+	}
+	r.srv.Repl().SnapshotBootstraps.Add(1)
+	r.logf("replica: bootstrapped from %s at seq %d (%d byte(s))", primary, seq, len(frame))
+	return nil
+}

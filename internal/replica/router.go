@@ -1,0 +1,831 @@
+package replica
+
+// The Router is the fleet's single front door. It speaks the same /v1
+// protocol as a lone multilogd, so every existing client works unchanged,
+// and behind it:
+//
+//   - read sessions are pinned to a replica — optionally partitioned by
+//     clearance band, so one replica serves only unclassified traffic and
+//     another only secret, a cheap MLS-flavored sharding — with the primary
+//     as the fallback when no replica is healthy;
+//   - writes go to the primary and are acknowledged only after every live
+//     replica reports the write's WAL seq applied (semi-synchronous
+//     replication: losing the primary plus any minority of replicas loses
+//     no acked write). A replica that cannot keep up within AckTimeout is
+//     marked unhealthy and dropped from the ack quorum rather than stalling
+//     writers forever;
+//   - read-your-writes holds per session: a session's reads carry the epoch
+//     of its last acked write, and a replica still behind that epoch is
+//     re-polled briefly (RYWHold) before the read is forwarded to the
+//     primary;
+//   - when the primary dies (consecutive probe failures, or a write hits a
+//     transport error), the router promotes the most-caught-up healthy
+//     follower, re-targets the rest, and write traffic follows. A rejected
+//     write that comes back 421 not-primary likewise re-targets the router
+//     (follow-the-leader).
+//
+// A dead primary that comes back is NOT reintegrated automatically — it
+// would need to demote itself and re-sync first; operators restart it as a
+// fresh follower of the new primary.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// BackendSpec names one replica and, optionally, the clearance bands it
+// serves ("l0", "l1", ...). Empty bands = serves every clearance.
+type BackendSpec struct {
+	Addr  string
+	Bands []string
+}
+
+// RouterConfig wires a Router.
+type RouterConfig struct {
+	// Primary is the write node's base URL.
+	Primary string
+	// Replicas lists the read replicas.
+	Replicas []BackendSpec
+	// AckTimeout bounds how long a write waits for each replica to apply it
+	// before that replica is declared unhealthy. Default 5s.
+	AckTimeout time.Duration
+	// RYWHold bounds how long a read is held for its replica to reach the
+	// session's last written epoch before it is forwarded to the primary.
+	// Default 2s.
+	RYWHold time.Duration
+	// ProbeInterval is the health-probe cadence. Default 250ms.
+	ProbeInterval time.Duration
+	// Logf may be nil.
+	Logf func(format string, args ...any)
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	if c.RYWHold == 0 {
+		c.RYWHold = 2 * time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// backend is one node the router can talk to.
+type backend struct {
+	addr   string
+	client *server.Client
+	bands  map[string]bool // empty: serves all clearances
+
+	healthy  atomic.Bool
+	deposed  atomic.Bool // a failed-over ex-primary; never auto-reintegrated
+	applied  atomic.Uint64
+	sessions atomic.Int64
+	failures atomic.Int32 // consecutive probe failures
+}
+
+func (b *backend) servesBand(clearance string) bool {
+	return len(b.bands) == 0 || b.bands[clearance]
+}
+
+// routedSession is the router's view of one client session: where its
+// reads are pinned, the lazily opened per-backend session tokens, and the
+// read-your-writes epoch floor.
+type routedSession struct {
+	token string
+	open  server.OpenRequest // replayed to (re)open backend sessions
+
+	mu             sync.Mutex
+	replica        *backend // read pin; nil = primary only
+	replicaTok     string
+	primaryTok     string
+	primaryOn      *backend // which backend primaryTok was opened on
+	lastWriteEpoch uint64
+}
+
+// Router fronts a primary plus replicas behind the standard /v1 protocol.
+type Router struct {
+	cfg      RouterConfig
+	logf     func(format string, args ...any)
+	start    time.Time
+	backends []*backend // [0] is the boot primary; order is stable
+
+	primMu  sync.Mutex
+	primary *backend
+	failMu  sync.Mutex // single-flights failover
+
+	sessMu   sync.Mutex
+	sessions map[string]*routedSession
+
+	draining atomic.Bool
+	inFlight sync.WaitGroup
+
+	queries      atomic.Int64
+	qErrors      atomic.Int64
+	cacheHits    atomic.Int64
+	writesAcked  atomic.Int64
+	ackTimeouts  atomic.Int64
+	rywHolds     atomic.Int64
+	rywForwards  atomic.Int64
+	readFallback atomic.Int64
+	failovers    atomic.Int64
+}
+
+// NewRouter builds a router; it starts probing on Serve.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("replica: router needs a primary")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r := &Router{cfg: cfg, logf: logf, start: time.Now(), sessions: map[string]*routedSession{}}
+	hc := &http.Client{Timeout: 10 * time.Second}
+	mk := func(spec BackendSpec) *backend {
+		b := &backend{
+			addr:   normalizeURL(spec.Addr),
+			client: server.NewClient(spec.Addr, hc),
+			bands:  map[string]bool{},
+		}
+		for _, band := range spec.Bands {
+			if band = strings.TrimSpace(band); band != "" {
+				b.bands[band] = true
+			}
+		}
+		return b
+	}
+	prim := mk(BackendSpec{Addr: cfg.Primary})
+	prim.healthy.Store(true) // assume live until a probe says otherwise
+	r.backends = append(r.backends, prim)
+	r.primary = prim
+	for _, spec := range cfg.Replicas {
+		r.backends = append(r.backends, mk(spec))
+	}
+	return r, nil
+}
+
+func (r *Router) currentPrimary() *backend {
+	r.primMu.Lock()
+	defer r.primMu.Unlock()
+	return r.primary
+}
+
+// pickReplica chooses the healthy replica with the fewest pinned sessions
+// among those serving the clearance's band; nil when none qualifies (reads
+// then go to the primary).
+func (r *Router) pickReplica(clearance string) *backend {
+	prim := r.currentPrimary()
+	var best *backend
+	for _, b := range r.backends {
+		if b == prim || !b.healthy.Load() || !b.servesBand(clearance) {
+			continue
+		}
+		if best == nil || b.sessions.Load() < best.sessions.Load() {
+			best = b
+		}
+	}
+	return best
+}
+
+// Handler speaks the standard /v1 protocol.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", r.wrap(r.handleOpen))
+	mux.HandleFunc("POST /v1/session/close", r.wrap(r.handleClose))
+	mux.HandleFunc("POST /v1/query", r.wrap(r.handleQuery))
+	mux.HandleFunc("POST /v1/assert", r.wrap(func(w http.ResponseWriter, q *http.Request) error {
+		return r.handleUpdate(w, q, false)
+	}))
+	mux.HandleFunc("POST /v1/retract", r.wrap(func(w http.ResponseWriter, q *http.Request) error {
+		return r.handleUpdate(w, q, true)
+	}))
+	mux.HandleFunc("GET /v1/stats", r.wrap(r.handleStats))
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, server.HealthResponse{Status: "ok", Role: "router"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		h := server.HealthResponse{Status: "ok", Role: "router"}
+		status := http.StatusOK
+		if !r.currentPrimary().healthy.Load() {
+			h.Status = "degraded"
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, h)
+	})
+	return mux
+}
+
+func (r *Router) wrap(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, q *http.Request) {
+		if r.draining.Load() {
+			writeErrJSON(w, http.StatusServiceUnavailable, server.CodeOverloaded, "router is draining")
+			return
+		}
+		r.inFlight.Add(1)
+		defer r.inFlight.Done()
+		q.Body = http.MaxBytesReader(w, q.Body, 1<<20)
+		if err := h(w, q); err != nil {
+			r.writeError(w, err)
+		}
+	}
+}
+
+func (r *Router) handleOpen(w http.ResponseWriter, q *http.Request) error {
+	var req server.OpenRequest
+	if err := json.NewDecoder(q.Body).Decode(&req); err != nil {
+		return &routerBadRequest{err}
+	}
+	rep := r.pickReplica(req.Clearance)
+	target, tok := r.currentPrimary(), ""
+	if rep != nil {
+		target = rep
+	}
+	resp, err := target.client.Open(q.Context(), req)
+	if err != nil {
+		if rep != nil {
+			// The pinned replica failed at open time: fall back to the
+			// primary rather than refusing the session.
+			rep, target = nil, r.currentPrimary()
+			if resp, err = target.client.Open(q.Context(), req); err != nil {
+				return err
+			}
+		} else {
+			return err
+		}
+	}
+	tok = resp.Session
+
+	s := &routedSession{token: newToken(), open: req, replica: rep}
+	if rep != nil {
+		s.replicaTok = tok
+		rep.sessions.Add(1)
+	} else {
+		s.primaryTok, s.primaryOn = tok, target
+	}
+	r.sessMu.Lock()
+	r.sessions[s.token] = s
+	r.sessMu.Unlock()
+	out := *resp
+	out.Session = s.token
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (r *Router) lookup(token string) (*routedSession, error) {
+	r.sessMu.Lock()
+	defer r.sessMu.Unlock()
+	if s := r.sessions[token]; s != nil {
+		return s, nil
+	}
+	return nil, server.ErrUnknownSession
+}
+
+func (r *Router) handleClose(w http.ResponseWriter, q *http.Request) error {
+	var req server.CloseRequest
+	if err := json.NewDecoder(q.Body).Decode(&req); err != nil {
+		return &routerBadRequest{err}
+	}
+	r.sessMu.Lock()
+	s := r.sessions[req.Session]
+	delete(r.sessions, req.Session)
+	r.sessMu.Unlock()
+	closed := false
+	if s != nil {
+		closed = true
+		s.mu.Lock()
+		rep, repTok, prim, primTok := s.replica, s.replicaTok, s.primaryOn, s.primaryTok
+		s.mu.Unlock()
+		if rep != nil {
+			rep.sessions.Add(-1)
+			if repTok != "" {
+				rep.client.Close(q.Context(), repTok) //nolint:errcheck // best-effort backend close
+			}
+		}
+		if prim != nil && primTok != "" {
+			prim.client.Close(q.Context(), primTok) //nolint:errcheck // best-effort backend close
+		}
+	}
+	return writeJSON(w, http.StatusOK, server.CloseResponse{Closed: closed})
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, q *http.Request) error {
+	var req server.QueryRequest
+	if err := json.NewDecoder(q.Body).Decode(&req); err != nil {
+		return &routerBadRequest{err}
+	}
+	s, err := r.lookup(req.Session)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	rep, floor := s.replica, s.lastWriteEpoch
+	s.mu.Unlock()
+
+	if rep != nil && rep.healthy.Load() {
+		resp, rerr := r.queryOn(q.Context(), s, rep, req, false)
+		if rerr == nil && resp.Epoch < floor {
+			// Read-your-writes: the replica has not applied this session's
+			// last write yet. Hold briefly and re-ask before giving up and
+			// going to the primary.
+			r.rywHolds.Add(1)
+			deadline := time.Now().Add(r.cfg.RYWHold)
+			for resp.Epoch < floor && time.Now().Before(deadline) && q.Context().Err() == nil {
+				time.Sleep(5 * time.Millisecond)
+				if resp, rerr = r.queryOn(q.Context(), s, rep, req, false); rerr != nil {
+					break
+				}
+			}
+			if rerr == nil && resp.Epoch < floor {
+				r.rywForwards.Add(1)
+				rerr = errStale
+			}
+		}
+		if rerr == nil {
+			r.countQuery(resp)
+			return writeJSON(w, http.StatusOK, resp)
+		}
+		if !fallbackWorthy(rerr) {
+			r.qErrors.Add(1)
+			return rerr
+		}
+		r.readFallback.Add(1)
+	}
+	resp, rerr := r.queryOn(q.Context(), s, r.currentPrimary(), req, true)
+	if rerr != nil {
+		r.qErrors.Add(1)
+		return rerr
+	}
+	r.countQuery(resp)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (r *Router) countQuery(resp *server.QueryResponse) {
+	r.queries.Add(1)
+	if resp.Cached {
+		r.cacheHits.Add(1)
+	}
+}
+
+// errStale marks a replica read that could not reach the session's RYW
+// epoch floor in time; the caller forwards to the primary.
+var errStale = errors.New("replica: read is stale past the hold window")
+
+// fallbackWorthy says whether a replica read error should be retried on
+// the primary rather than surfaced: transport failures, 503s (replica
+// recovering or syncing), staleness — but not semantic errors (parse,
+// denied), which would fail identically everywhere.
+func fallbackWorthy(err error) bool {
+	if errors.Is(err, errStale) {
+		return true
+	}
+	var re *server.RemoteError
+	if errors.As(err, &re) {
+		return re.Status == http.StatusServiceUnavailable || re.Status == http.StatusNotFound
+	}
+	return true // transport-level
+}
+
+// queryOn runs one query on b through s's session there, lazily (re)opening
+// the backend session (unknown-session after a backend restart or fallback
+// re-opens once).
+func (r *Router) queryOn(ctx context.Context, s *routedSession, b *backend, req server.QueryRequest, primarySide bool) (*server.QueryResponse, error) {
+	tok, err := r.sessionOn(ctx, s, b, primarySide)
+	if err != nil {
+		return nil, err
+	}
+	req.Session = tok
+	resp, err := b.client.QueryContext(ctx, req)
+	if isUnknownSession(err) {
+		if tok, err = r.reopenOn(ctx, s, b, primarySide); err != nil {
+			return nil, err
+		}
+		req.Session = tok
+		resp, err = b.client.QueryContext(ctx, req)
+	}
+	return resp, err
+}
+
+// sessionOn returns s's token on b, opening one if needed.
+func (r *Router) sessionOn(ctx context.Context, s *routedSession, b *backend, primarySide bool) (string, error) {
+	s.mu.Lock()
+	var tok string
+	if primarySide {
+		if s.primaryOn == b {
+			tok = s.primaryTok
+		}
+	} else {
+		tok = s.replicaTok
+	}
+	s.mu.Unlock()
+	if tok != "" {
+		return tok, nil
+	}
+	return r.reopenOn(ctx, s, b, primarySide)
+}
+
+func (r *Router) reopenOn(ctx context.Context, s *routedSession, b *backend, primarySide bool) (string, error) {
+	resp, err := b.client.Open(ctx, s.open)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if primarySide {
+		s.primaryTok, s.primaryOn = resp.Session, b
+	} else {
+		s.replicaTok = resp.Session
+	}
+	s.mu.Unlock()
+	return resp.Session, nil
+}
+
+func isUnknownSession(err error) bool {
+	var re *server.RemoteError
+	return errors.As(err, &re) && re.Code == server.CodeUnknownSession
+}
+
+func (r *Router) handleUpdate(w http.ResponseWriter, q *http.Request, retract bool) error {
+	var req server.UpdateRequest
+	if err := json.NewDecoder(q.Body).Decode(&req); err != nil {
+		return &routerBadRequest{err}
+	}
+	s, err := r.lookup(req.Session)
+	if err != nil {
+		return err
+	}
+	prim := r.currentPrimary()
+	resp, err := r.updateOn(q.Context(), s, prim, req.Clauses, retract)
+	if err != nil {
+		var re *server.RemoteError
+		if errors.As(err, &re) && re.Code == server.CodeNotPrimary && re.Primary != "" {
+			// Someone else already promoted (another router, an operator):
+			// follow the leader and retry once.
+			if nb := r.adoptPrimary(re.Primary); nb != nil {
+				if resp, err = r.updateOn(q.Context(), s, nb, req.Clauses, retract); err == nil {
+					goto acked
+				}
+			}
+		}
+		if isTransport(err) {
+			// The primary is gone mid-write. Fail over for the NEXT writer,
+			// but surface 503 for this one: the write's fate is unknown, and
+			// re-sending a possibly-applied write is the client's call.
+			r.failover(prim)
+			writeErrJSON(w, http.StatusServiceUnavailable, server.CodeOverloaded,
+				"primary lost mid-write; failing over — retry")
+			return nil
+		}
+		return err
+	}
+acked:
+	r.ackOnReplicas(q.Context(), resp.Seq)
+	s.mu.Lock()
+	if resp.Epoch > s.lastWriteEpoch {
+		s.lastWriteEpoch = resp.Epoch
+	}
+	s.mu.Unlock()
+	r.writesAcked.Add(1)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (r *Router) updateOn(ctx context.Context, s *routedSession, b *backend, clauses string, retract bool) (*server.UpdateResponse, error) {
+	tok, err := r.sessionOn(ctx, s, b, true)
+	if err != nil {
+		return nil, err
+	}
+	do := func() (*server.UpdateResponse, error) {
+		if retract {
+			return b.client.Retract(ctx, tok, clauses)
+		}
+		return b.client.Assert(ctx, tok, clauses)
+	}
+	resp, err := do()
+	if isUnknownSession(err) {
+		if tok, err = r.reopenOn(ctx, s, b, true); err != nil {
+			return nil, err
+		}
+		resp, err = do()
+	}
+	return resp, err
+}
+
+// ackOnReplicas blocks until every healthy replica reports seq applied (the
+// semi-synchronous ack). A replica that cannot within AckTimeout is marked
+// unhealthy and skipped — the fleet keeps accepting writes at reduced
+// redundancy rather than stalling.
+func (r *Router) ackOnReplicas(_ context.Context, seq uint64) {
+	if seq == 0 {
+		return // no-op write, or a primary without a WAL
+	}
+	// The ack outlives the client's request context on purpose: the write is
+	// already durable on the primary, and a client hang-up must not be read
+	// as a replica failure.
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.AckTimeout+time.Second)
+	defer cancel()
+	prim := r.currentPrimary()
+	var wg sync.WaitGroup
+	for _, b := range r.backends {
+		if b == prim || !b.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			deadline := time.Now().Add(r.cfg.AckTimeout)
+			for {
+				st, err := b.client.ReplStatus(ctx)
+				if err == nil {
+					b.applied.Store(st.AppliedSeq)
+					if st.AppliedSeq >= seq {
+						return
+					}
+				}
+				if time.Now().After(deadline) || ctx.Err() != nil {
+					r.ackTimeouts.Add(1)
+					b.healthy.Store(false)
+					r.logf("router: replica %s missed ack for seq %d; marked unhealthy", b.addr, seq)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// adoptPrimary switches the router's primary pointer to the backend at
+// addr (matching loosely on host:port); nil when addr is not a known
+// backend.
+func (r *Router) adoptPrimary(addr string) *backend {
+	want := normalizeURL(addr)
+	for _, b := range r.backends {
+		if b.addr == want || strings.HasSuffix(b.addr, strings.TrimPrefix(want, "http://")) {
+			r.primMu.Lock()
+			r.primary = b
+			r.primMu.Unlock()
+			b.healthy.Store(true)
+			return b
+		}
+	}
+	return nil
+}
+
+// failover promotes the most-caught-up healthy replica to primary. Single-
+// flighted; concurrent callers observing the same dead primary collapse
+// into one promotion.
+func (r *Router) failover(dead *backend) {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	if r.currentPrimary() != dead {
+		return // someone already failed over
+	}
+	dead.healthy.Store(false)
+	dead.deposed.Store(true)
+
+	// Pick the survivor with the highest applied seq, preferring healthy
+	// ones (an unhealthy replica may still respond — better a laggard
+	// primary than none).
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.AckTimeout)
+	defer cancel()
+	var best *backend
+	var bestSeq uint64
+	bestHealthy := false
+	for _, b := range r.backends {
+		if b == dead {
+			continue
+		}
+		st, err := b.client.ReplStatus(ctx)
+		if err != nil {
+			continue
+		}
+		b.applied.Store(st.AppliedSeq)
+		h := b.healthy.Load()
+		if best == nil || (h && !bestHealthy) || (h == bestHealthy && st.AppliedSeq > bestSeq) {
+			best, bestSeq, bestHealthy = b, st.AppliedSeq, h
+		}
+	}
+	if best == nil {
+		r.logf("router: primary %s lost and no follower is reachable", dead.addr)
+		return
+	}
+	if err := r.postControl(ctx, best.addr+"/v1/repl/promote", nil); err != nil {
+		r.logf("router: promoting %s failed: %v", best.addr, err)
+		return
+	}
+	r.primMu.Lock()
+	r.primary = best
+	r.primMu.Unlock()
+	best.healthy.Store(true)
+	r.failovers.Add(1)
+	r.logf("router: promoted %s (applied seq %d) after losing %s", best.addr, bestSeq, dead.addr)
+	for _, b := range r.backends {
+		if b == dead || b == best {
+			continue
+		}
+		if err := r.postControl(ctx, b.addr+"/v1/repl/primary", map[string]string{"primary": best.addr}); err != nil {
+			r.logf("router: re-targeting %s to %s failed: %v", b.addr, best.addr, err)
+		}
+	}
+}
+
+func (r *Router) postControl(ctx context.Context, url string, body any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(payload)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func isTransport(err error) bool {
+	var re *server.RemoteError
+	return err != nil && !errors.As(err, &re)
+}
+
+// probeLoop keeps backend health fresh and triggers failover after two
+// consecutive failed primary probes.
+func (r *Router) probeLoop(ctx context.Context) {
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		prim := r.currentPrimary()
+		for _, b := range r.backends {
+			pctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeInterval*4)
+			st, err := b.client.ReplStatus(pctx)
+			ready := err == nil
+			if ready {
+				b.applied.Store(st.AppliedSeq)
+				// A follower that is still syncing serves stale reads; keep
+				// it out of pinning and ack quorums until it catches up.
+				ready = st.Synced || b == prim
+			}
+			cancel()
+			if ready {
+				b.failures.Store(0)
+				// Never resurrect a deposed primary via probe; see the
+				// package comment on reintegration.
+				if !b.deposed.Load() {
+					b.healthy.Store(true)
+				}
+				continue
+			}
+			if n := b.failures.Add(1); b == prim && n >= 2 {
+				r.logf("router: primary %s failed %d probes; failing over", b.addr, n)
+				r.failover(b)
+			} else if n >= 2 {
+				b.healthy.Store(false)
+			}
+		}
+	}
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) error {
+	prim := r.currentPrimary()
+	rs := &server.ReplicationStats{
+		Role:         "router",
+		Primary:      prim.addr,
+		WritesAcked:  r.writesAcked.Load(),
+		AckTimeouts:  r.ackTimeouts.Load(),
+		RYWHolds:     r.rywHolds.Load(),
+		RYWForwards:  r.rywForwards.Load(),
+		ReadFallback: r.readFallback.Load(),
+		Failovers:    r.failovers.Load(),
+	}
+	for _, b := range r.backends {
+		role := "follower"
+		if b == prim {
+			role = "primary"
+		}
+		var bands []string
+		for band := range b.bands {
+			bands = append(bands, band)
+		}
+		rs.Nodes = append(rs.Nodes, server.NodeReplStats{
+			Addr: b.addr, Role: role, Healthy: b.healthy.Load(),
+			AppliedSeq: b.applied.Load(), Sessions: b.sessions.Load(), Bands: bands,
+		})
+	}
+	r.sessMu.Lock()
+	open := len(r.sessions)
+	r.sessMu.Unlock()
+	return writeJSON(w, http.StatusOK, server.StatsResponse{
+		UptimeMS:    time.Since(r.start).Milliseconds(),
+		Sessions:    server.SessionStats{Open: open},
+		Queries:     server.QueryStats{Served: r.queries.Load(), Errors: r.qErrors.Load()},
+		Cache:       server.CacheStats{Hits: r.cacheHits.Load()},
+		Replication: rs,
+	})
+}
+
+// Serve runs the router until ctx is done, then drains like the server:
+// no new requests, in-flight ones finish, listener closes.
+func (r *Router) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	go r.probeLoop(pctx)
+	hs := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	r.logf("router serving on %s (primary %s, %d replica(s))", ln.Addr(), r.cfg.Primary, len(r.cfg.Replicas))
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	r.draining.Store(true)
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	<-errc
+	r.inFlight.Wait()
+	return err
+}
+
+// ListenAndServe is Serve over a fresh TCP listener.
+func (r *Router) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return r.Serve(ctx, ln, drainTimeout)
+}
+
+// routerBadRequest mirrors the server's transport-error mapping.
+type routerBadRequest struct{ err error }
+
+func (e *routerBadRequest) Error() string { return e.err.Error() }
+
+func (r *Router) writeError(w http.ResponseWriter, err error) {
+	var re *server.RemoteError
+	switch {
+	case errors.As(err, &re):
+		// Relay the backend's verdict as-is.
+		if re.Status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErrJSON(w, re.Status, re.Code, re.Message)
+	case errors.Is(err, server.ErrUnknownSession):
+		writeErrJSON(w, http.StatusNotFound, server.CodeUnknownSession, err.Error())
+	default:
+		var bad *routerBadRequest
+		if errors.As(err, &bad) {
+			writeErrJSON(w, http.StatusBadRequest, server.CodeBadRequest, err.Error())
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeErrJSON(w, http.StatusServiceUnavailable, server.CodeOverloaded, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+func writeErrJSON(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, server.ErrorResponse{Code: code, Message: msg}) //nolint:errcheck // best-effort error body
+}
+
+// newToken mints a router-scope session token.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) //vet:allow nopanic -- crypto/rand never fails on a living system
+	}
+	return "r-" + hex.EncodeToString(b[:])
+}

@@ -6,9 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,8 +18,16 @@ import (
 // workload load generator and the smoke harness all speak through it. A
 // Client is safe for concurrent use; each session token is carried
 // per-call, so one client can multiplex many sessions.
+//
+// A client normally targets one endpoint, but WithEndpoints hands it a
+// fleet: idempotent requests that fail with a retryable error (connection
+// refused, HTTP 503) rotate to the next endpoint before re-trying, so a
+// replica restart or a failover is invisible to readers. The rotation
+// cursor is shared across copies made by WithRetry, so a fleet client
+// converges on a live endpoint and stays there.
 type Client struct {
-	base  string
+	bases []string
+	cur   *atomic.Int32 // index into bases; shared across WithRetry copies
 	http  *http.Client
 	retry RetryPolicy // zero = no retries; see WithRetry
 }
@@ -26,9 +35,11 @@ type Client struct {
 // RemoteError is a non-2xx protocol reply: the server's machine code plus
 // its message. Match the code with the Code* constants.
 type RemoteError struct {
-	Status  int    // HTTP status
-	Code    string // machine code (CodeOverloaded, CodeDenied, ...)
-	Message string
+	Status     int    // HTTP status
+	Code       string // machine code (CodeOverloaded, CodeDenied, ...)
+	Message    string
+	Primary    string        // on CodeNotPrimary: where writes go
+	RetryAfter time.Duration // server's Retry-After hint, 0 when absent
 }
 
 func (e *RemoteError) Error() string {
@@ -39,13 +50,53 @@ func (e *RemoteError) Error() string {
 // bare "host:port" gets the scheme prefixed). httpClient nil uses a
 // default with a 30s overall timeout.
 func NewClient(base string, httpClient *http.Client) *Client {
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	return &Client{bases: []string{normalizeBase(base)}, cur: &atomic.Int32{}, http: httpClient}
+}
+
+func normalizeBase(base string) string {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimRight(base, "/")
+}
+
+// WithEndpoints returns a copy of the client that spreads idempotent
+// requests across endpoints (the full list, replacing the constructor's
+// base). Retryable failures rotate to the next endpoint; with a retry
+// policy of N attempts the client makes at least one attempt per endpoint.
+// An empty list keeps the current endpoints.
+func (c *Client) WithEndpoints(endpoints ...string) *Client {
+	cc := *c
+	if len(endpoints) > 0 {
+		cc.bases = make([]string, len(endpoints))
+		for i, e := range endpoints {
+			cc.bases[i] = normalizeBase(e)
+		}
+		cc.cur = &atomic.Int32{}
+	}
+	return &cc
+}
+
+// Endpoints lists the client's endpoints (normalized).
+func (c *Client) Endpoints() []string { return append([]string(nil), c.bases...) }
+
+// base is the endpoint the next request targets.
+func (c *Client) base() string {
+	return c.bases[int(c.cur.Load())%len(c.bases)]
+}
+
+// rotateFrom advances the endpoint cursor past idx, if no other caller
+// already has. Returns true when the next request will hit a different
+// endpoint.
+func (c *Client) rotateFrom(idx int32) bool {
+	if len(c.bases) < 2 {
+		return false
+	}
+	c.cur.CompareAndSwap(idx, (idx+1)%int32(len(c.bases)))
+	return true
 }
 
 // Healthy probes /v1/healthz (liveness: 200 even while recovering).
@@ -125,6 +176,16 @@ func (c *Client) Retract(ctx context.Context, session, clauses string) (*UpdateR
 	return &resp, nil
 }
 
+// ReplStatus fetches /v1/repl/status (never retried: callers poll it on
+// their own cadence and want the freshest answer or a fast failure).
+func (c *Client) ReplStatus(ctx context.Context) (*ReplicationStats, error) {
+	var out ReplicationStats
+	if err := c.get(ctx, "/v1/repl/status", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Stats fetches /v1/stats, retrying under the client's policy.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse
@@ -141,7 +202,7 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 // get fetches a GET endpoint, decoding a 200 body into out (skipped when
 // out is nil) and non-200 into a *RemoteError.
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+path, nil)
 	if err != nil {
 		return err
 	}
@@ -151,7 +212,7 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeRemoteError(resp.StatusCode, resp.Body)
+		return decodeRemoteError(resp)
 	}
 	if out == nil {
 		return nil
@@ -167,7 +228,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base()+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -187,13 +248,21 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		}
 		return &RemoteError{Status: resp.StatusCode, Code: CodeLimit, Message: "truncated"}
 	}
-	return decodeRemoteError(resp.StatusCode, resp.Body)
+	return decodeRemoteError(resp)
 }
 
-func decodeRemoteError(status int, body io.Reader) error {
-	var er ErrorResponse
-	if err := json.NewDecoder(body).Decode(&er); err != nil {
-		return &RemoteError{Status: status, Code: CodeInternal, Message: fmt.Sprintf("undecodable error body: %v", err)}
+func decodeRemoteError(resp *http.Response) error {
+	re := &RemoteError{Status: resp.StatusCode}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			re.RetryAfter = time.Duration(secs) * time.Second
+		}
 	}
-	return &RemoteError{Status: status, Code: er.Code, Message: er.Message}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		re.Code, re.Message = CodeInternal, fmt.Sprintf("undecodable error body: %v", err)
+		return re
+	}
+	re.Code, re.Message, re.Primary = er.Code, er.Message, er.Primary
+	return re
 }

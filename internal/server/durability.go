@@ -99,6 +99,15 @@ func (s *Server) Recover(rec *wal.Recovery, bootLoads map[string]string) error {
 		s.replayDone.Add(1)
 	}
 
+	// The recovered state covers everything in the local log; replication
+	// resumes from here (a restarted follower streams from this seq).
+	applied := rec.CheckpointSeq
+	if n := len(rec.Records); n > 0 {
+		applied = rec.Records[n-1].Seq
+	}
+	s.applied.Store(applied)
+	s.repl.HeardUpTo(applied)
+
 	names := make([]string, 0, len(bootLoads))
 	for name := range bootLoads {
 		names = append(names, name)
@@ -265,7 +274,7 @@ func (s *Server) Recovering() bool { return s.recovering.Load() }
 
 // health renders the liveness/readiness view.
 func (s *Server) health() HealthResponse {
-	h := HealthResponse{Status: "ok"}
+	h := HealthResponse{Status: "ok", Role: s.Role().String(), AppliedSeq: s.Applied()}
 	switch {
 	case s.recovering.Load():
 		h.Status = "recovering"
@@ -274,6 +283,10 @@ func (s *Server) health() HealthResponse {
 		h.ReplayTotal = s.replayTotal.Load()
 	case s.draining.Load():
 		h.Status = "draining"
+	case !s.synced.Load():
+		// A follower that has not yet caught up serves stale reads at best;
+		// keep it out of rotation until the stream reaches the primary's tip.
+		h.Status = "syncing"
 	}
 	return h
 }

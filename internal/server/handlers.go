@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/resource"
+	"repro/internal/wal"
 )
 
 // maxBodyBytes bounds request bodies; programs are loaded out of band, so
@@ -25,6 +26,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/assert", s.wrap(s.handleAssert))
 	mux.HandleFunc("POST /v1/retract", s.wrap(s.handleRetract))
 	mux.HandleFunc("GET /v1/stats", s.wrap(s.handleStats))
+	// Replication plane: followers bootstrap from the snapshot, then stream
+	// the log tail. Status is ungated like health — the router's failover
+	// logic must be able to read it under any condition short of death.
+	mux.HandleFunc("GET /v1/repl/snapshot", s.wrap(s.handleReplSnapshot))
+	mux.HandleFunc("GET /v1/repl/stream", s.wrap(s.handleReplStream))
+	mux.HandleFunc("GET /v1/repl/status", s.handleReplStatus)
 	// Liveness: the process is up and handling HTTP — always 200, with the
 	// recovery progress in the body. Not gated by wrap: health must answer
 	// even while draining or replaying.
@@ -173,16 +180,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) error {
 // writeError maps a typed error to its HTTP status and machine code.
 func writeError(w http.ResponseWriter, err error) {
 	status, code := http.StatusInternalServerError, CodeInternal
+	primary := ""
 	var (
-		overload *OverloadError
-		denied   *DeniedError
-		lintErr  *LintError
-		budget   *resource.ErrBudgetExceeded
-		internal *resource.InternalError
-		syntax   *datalog.SyntaxError
-		badReq   *badRequestError
+		overload   *OverloadError
+		denied     *DeniedError
+		lintErr    *LintError
+		budget     *resource.ErrBudgetExceeded
+		internal   *resource.InternalError
+		syntax     *datalog.SyntaxError
+		badReq     *badRequestError
+		notPrimary *NotPrimaryError
 	)
 	switch {
+	case errors.As(err, &notPrimary):
+		// 421: this node cannot serve the write; the body names who can.
+		status, code = http.StatusMisdirectedRequest, CodeNotPrimary
+		primary = notPrimary.Primary
+	case errors.Is(err, wal.ErrCompacted):
+		// 410: the requested log position is gone; re-bootstrap from the
+		// snapshot.
+		status, code = http.StatusGone, CodeCompacted
 	case errors.Is(err, ErrRecovering):
 		status, code = http.StatusServiceUnavailable, CodeRecovering
 	case errors.As(err, &overload), errors.Is(err, ErrShuttingDown):
@@ -209,6 +226,11 @@ func writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusBadRequest, CodeBadRequest
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		// Overload, drain and recovery are all transient; tell well-behaved
+		// clients how long to hold off before retrying (or rotating).
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(ErrorResponse{Code: code, Message: err.Error()}) //nolint:errcheck // best-effort error body
+	json.NewEncoder(w).Encode(ErrorResponse{Code: code, Message: err.Error(), Primary: primary}) //nolint:errcheck // best-effort error body
 }

@@ -30,12 +30,17 @@ const (
 	CodeLimit          = "limit"           // deadline or resource budget hit
 	CodeInternal       = "internal"        // contained engine panic / bug
 	CodeRecovering     = "recovering"      // replaying the log; writes refused
+	CodeNotPrimary     = "not-primary"     // write sent to a read replica
+	CodeCompacted      = "compacted"       // requested log tail pruned; re-bootstrap
 )
 
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Primary, set with code "not-primary", is the address of the node that
+	// does accept writes — follow-the-leader without a second round trip.
+	Primary string `json:"primary,omitempty"`
 }
 
 // OpenRequest authenticates a subject and fixes the session view: every
@@ -133,6 +138,10 @@ type UpdateResponse struct {
 	// ChangedPreds lists the translated predicates the write could affect,
 	// when Incremental.
 	ChangedPreds []string `json:"changed_preds,omitempty"`
+	// Seq is the write's WAL sequence number (0 without durability). The
+	// router acks a write to its client only after every live replica
+	// reports an applied seq >= this.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // StatsResponse is the /v1/stats body.
@@ -144,6 +153,67 @@ type StatsResponse struct {
 	Databases map[string]DBStats `json:"databases"`
 	// Durability is nil when the daemon runs without a data directory.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Replication is nil on a plain single-node daemon; a durable primary, a
+	// follower and the router all report their replication view here.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// ReplicationStats is the replication view of one node (or the router),
+// reported in /v1/stats and served raw at GET /v1/repl/status (which is
+// what the router polls for write acks and promotion).
+type ReplicationStats struct {
+	// Role is "primary", "follower" or "router".
+	Role string `json:"role"`
+	// Primary is the advertised primary address (empty on the primary itself).
+	Primary string `json:"primary,omitempty"`
+	// AppliedSeq is the newest WAL seq applied to the serving state (on the
+	// primary: the last seq appended).
+	AppliedSeq uint64 `json:"applied_seq"`
+	// LastHeardSeq is the newest primary seq this follower has heard of
+	// (stream header or heartbeat); lag = LastHeardSeq - AppliedSeq.
+	LastHeardSeq uint64 `json:"last_heard_seq,omitempty"`
+	// LagRecords is the record lag behind the primary, as last heard.
+	LagRecords int64 `json:"lag_records"`
+	// Epochs maps each database to its current program epoch: the token the
+	// read-your-writes protocol compares across nodes.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
+	// Synced is true once a follower has caught up to the primary seq it
+	// first heard (primaries are always synced).
+	Synced bool `json:"synced"`
+	// LastStreamError is the most recent replication-stream failure (empty
+	// when streaming is healthy).
+	LastStreamError string `json:"last_stream_error,omitempty"`
+
+	// Follower-side stream counters.
+	Resumes            int64 `json:"resumes,omitempty"`             // stream reconnects after a failure
+	SnapshotBootstraps int64 `json:"snapshot_bootstraps,omitempty"` // full snapshot installs
+	FramesReceived     int64 `json:"frames_received,omitempty"`
+	BytesReceived      int64 `json:"bytes_received,omitempty"`
+
+	// Primary-side serving counters.
+	StreamsServed   int64 `json:"streams_served,omitempty"`
+	FramesSent      int64 `json:"frames_sent,omitempty"`
+	SnapshotsServed int64 `json:"snapshots_served,omitempty"`
+
+	// Router-side counters.
+	Failovers    int64 `json:"failovers,omitempty"`      // primaries replaced by promotion
+	WritesAcked  int64 `json:"writes_acked,omitempty"`   // writes confirmed on every live replica
+	AckTimeouts  int64 `json:"ack_timeouts,omitempty"`   // replicas dropped from the ack set
+	RYWHolds     int64 `json:"ryw_holds,omitempty"`      // reads held for the replica to catch up
+	RYWForwards  int64 `json:"ryw_forwards,omitempty"`   // reads forwarded to the primary after a hold expired
+	ReadFallback int64 `json:"read_fallbacks,omitempty"` // reads moved off a failed replica
+	// Nodes is the router's per-backend view.
+	Nodes []NodeReplStats `json:"nodes,omitempty"`
+}
+
+// NodeReplStats is the router's view of one backend.
+type NodeReplStats struct {
+	Addr       string   `json:"addr"`
+	Role       string   `json:"role"` // "primary" or "replica"
+	Healthy    bool     `json:"healthy"`
+	AppliedSeq uint64   `json:"applied_seq"`
+	Sessions   int64    `json:"sessions"`        // sessions pinned to this backend
+	Bands      []string `json:"bands,omitempty"` // clearance bands served (empty = all)
 }
 
 // DurabilityStats reports the WAL counters and what the last recovery did.
@@ -173,7 +243,9 @@ type RecoveryStats struct {
 // HealthResponse is the /v1/healthz (liveness: always 200) and /v1/readyz
 // (readiness: 503 until recovery completes, and while draining) body.
 type HealthResponse struct {
-	// Status is "ok", "recovering" or "draining".
+	// Status is "ok", "recovering", "syncing" or "draining". A follower
+	// reports "syncing" (and 503 on /v1/readyz) until it has caught up to
+	// the primary seq it first heard.
 	Status string `json:"status"`
 	// Recovering is true while the boot-time log replay is running; writes
 	// are refused (503, code "recovering") until it finishes.
@@ -181,6 +253,11 @@ type HealthResponse struct {
 	// ReplayDone/ReplayTotal report replay progress while recovering.
 	ReplayDone  int64 `json:"replay_done,omitempty"`
 	ReplayTotal int64 `json:"replay_total,omitempty"`
+	// Role is "primary", "follower" or "router"; empty on a plain
+	// single-node daemon.
+	Role string `json:"role,omitempty"`
+	// AppliedSeq is the newest WAL seq applied (followers and primaries).
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
 }
 
 // SessionStats counts session-manager traffic.

@@ -65,26 +65,45 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 	return &cc
 }
 
-// doIdempotent runs one idempotent request under the retry policy.
+// doIdempotent runs one idempotent request under the retry policy. A
+// multi-endpoint client (WithEndpoints) makes at least one attempt per
+// endpoint, rotating to the next endpoint on each retryable failure:
+// failing over to a live replica happens immediately, with no backoff;
+// backoff (honoring the server's Retry-After as a floor) applies only when
+// there is nowhere else to go.
 func (c *Client) doIdempotent(ctx context.Context, f func() error) error {
 	p := c.retry
-	if p.MaxAttempts <= 1 {
+	attempts := p.MaxAttempts
+	if attempts < len(c.bases) {
+		attempts = len(c.bases)
+	}
+	if attempts <= 1 {
 		return f()
 	}
 	p = p.withDefaults()
 	var last error
-	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			if err := sleepBackoff(ctx, p, attempt-1); err != nil {
-				return &RetryError{Attempts: attempt - 1, Err: last}
-			}
-		}
+	for attempt := 1; attempt <= attempts; attempt++ {
+		idx := c.cur.Load()
 		last = f()
 		if last == nil || !retryable(ctx, last) {
 			return last
 		}
+		if attempt == attempts {
+			break
+		}
+		if c.rotateFrom(idx) {
+			continue // fail over to the next endpoint right away
+		}
+		floor := time.Duration(0)
+		var re *RemoteError
+		if errors.As(last, &re) {
+			floor = re.RetryAfter
+		}
+		if err := sleepBackoff(ctx, p, attempt, floor); err != nil {
+			return &RetryError{Attempts: attempt, Err: last}
+		}
 	}
-	return &RetryError{Attempts: p.MaxAttempts, Err: last}
+	return &RetryError{Attempts: attempts, Err: last}
 }
 
 // retryable says whether an idempotent request may be re-sent: transport
@@ -102,9 +121,18 @@ func retryable(ctx context.Context, err error) bool {
 	return errors.As(err, &ue) // connection-level failure
 }
 
+// SleepBackoff waits the policy's jittered exponential delay for retry
+// number n (1-based), or returns early when ctx is done. Exported for other
+// retry loops (the replication stream's reconnect) that want the same
+// decorrelated-backoff discipline.
+func (p RetryPolicy) SleepBackoff(ctx context.Context, n int) error {
+	return sleepBackoff(ctx, p.withDefaults(), n, 0)
+}
+
 // sleepBackoff waits the jittered exponential delay for retry number n
-// (1-based), or returns early when ctx is done.
-func sleepBackoff(ctx context.Context, p RetryPolicy, n int) error {
+// (1-based) — at least floor (a server's Retry-After hint) — or returns
+// early when ctx is done.
+func sleepBackoff(ctx context.Context, p RetryPolicy, n int, floor time.Duration) error {
 	ceil := p.BaseDelay << (n - 1)
 	if ceil > p.MaxDelay || ceil <= 0 {
 		ceil = p.MaxDelay
@@ -112,6 +140,9 @@ func sleepBackoff(ctx context.Context, p RetryPolicy, n int) error {
 	// Full jitter: uniformly random in [0, ceil]. Decorrelated clients
 	// restarting against the same reborn daemon must not stampede in sync.
 	d := time.Duration(rand.Int63n(int64(ceil) + 1)) //nolint:gosec // jitter, not crypto
+	if d < floor {
+		d = floor
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/lattice"
 	"repro/internal/multilog"
 	"repro/internal/resource"
@@ -84,6 +85,18 @@ type Config struct {
 	// benchmark and as an emergency fallback; leave it false to invalidate
 	// per predicate.
 	GlobalInvalidation bool
+	// Role selects primary (default: accepts writes) or follower (read
+	// replica: writes fail with *NotPrimaryError until Promote). A follower
+	// requires WAL — its mirrored log is its durability and its claim to
+	// promotion.
+	Role Role
+	// PrimaryAddr is the advertised primary address a follower hands to
+	// rejected writers (and /v1/repl/status reports).
+	PrimaryAddr string
+	// StreamFaults, when set, is consulted once per outgoing replication
+	// stream frame (faultinject.ReplStreamFrame); the cluster-chaos harness
+	// uses it to corrupt, short-write, or kill mid-stream. nil disables.
+	StreamFaults faultinject.FilePlan
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +159,17 @@ type Server struct {
 	recMu       sync.Mutex
 	recStats    RecoveryStats
 	ckptKick    chan struct{}
+
+	// Replication. role flips exactly once (Promote); applied tracks the
+	// newest seq a follower has applied; synced gates readiness until the
+	// follower first catches up to the primary.
+	role        atomic.Int32
+	synced      atomic.Bool
+	applied     atomic.Uint64
+	primaryMu   sync.Mutex
+	primaryAddr string
+	repl        ReplCounters
+	streamEvN   atomic.Int64
 }
 
 // New builds an empty server with cfg (zero value = defaults).
@@ -162,6 +186,10 @@ func New(cfg Config) *Server {
 	}
 	// A durable server boots not-ready: writes 503 until Recover runs.
 	s.recovering.Store(cfg.WAL != nil)
+	s.role.Store(int32(cfg.Role))
+	s.primaryAddr = cfg.PrimaryAddr
+	// A follower is not ready until it has caught up to the primary once.
+	s.synced.Store(cfg.Role != RoleFollower)
 	return s
 }
 
@@ -170,6 +198,9 @@ func New(cfg Config) *Server {
 // a program the static-analysis layer rejects. Loading an existing name
 // replaces it (fresh epoch 1) and invalidates its cache entries.
 func (s *Server) Load(name, src string) error {
+	if s.Role() == RoleFollower {
+		return &NotPrimaryError{Primary: s.PrimaryAddr()}
+	}
 	if name == "" {
 		return fmt.Errorf("server: database name must be nonempty")
 	}
@@ -334,10 +365,14 @@ func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*Q
 // section, after lint and before the snapshot swap: an update a client saw
 // acknowledged, or a query could have observed, is durable.
 func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*UpdateResponse, error) {
+	if s.Role() == RoleFollower {
+		return nil, &NotPrimaryError{Primary: s.PrimaryAddr()}
+	}
 	prog, err := s.program(sess.DB)
 	if err != nil {
 		return nil, err
 	}
+	var seq uint64
 	var commit func() error
 	if s.wal != nil {
 		commit = func() error {
@@ -348,9 +383,11 @@ func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*Update
 			if merr != nil {
 				return fmt.Errorf("server: encoding update record: %w", merr)
 			}
-			if _, werr := s.wal.Append(wal.TypeUpdate, payload); werr != nil {
+			wseq, werr := s.wal.Append(wal.TypeUpdate, payload)
+			if werr != nil {
 				return fmt.Errorf("server: logging update: %w", werr)
 			}
+			seq = wseq
 			return nil
 		}
 	}
@@ -362,7 +399,7 @@ func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*Update
 	}
 	s.kickCheckpoint()
 	invalidated := 0
-	resp := &UpdateResponse{Epoch: epoch, Changed: changed}
+	resp := &UpdateResponse{Epoch: epoch, Changed: changed, Seq: seq}
 	if changed > 0 {
 		if s.cfg.GlobalInvalidation || inv.all {
 			invalidated = s.cache.InvalidateAll(sess.DB, epoch)
@@ -395,12 +432,13 @@ func (s *Server) Stats() StatsResponse {
 	}
 	s.progMu.RUnlock()
 	return StatsResponse{
-		UptimeMS:   time.Since(s.start).Milliseconds(),
-		Sessions:   s.sessions.Stats(),
-		Queries:    QueryStats{Served: s.queries.Load(), Errors: s.qErrors.Load(), Truncated: s.qTrunc.Load()},
-		Cache:      s.cache.Stats(),
-		Databases:  dbs,
-		Durability: s.durabilityStats(),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Sessions:    s.sessions.Stats(),
+		Queries:     QueryStats{Served: s.queries.Load(), Errors: s.qErrors.Load(), Truncated: s.qTrunc.Load()},
+		Cache:       s.cache.Stats(),
+		Databases:   dbs,
+		Durability:  s.durabilityStats(),
+		Replication: s.replicationStats(),
 	}
 }
 

@@ -1,0 +1,507 @@
+package crash
+
+// The cluster-chaos harness extends the kill-crash matrix from one daemon
+// to the replicated fleet: a primary, two followers and a router, each a
+// real child process on a real data directory, with faults injected into
+// the primary's WAL and replication stream (see internal/faultinject).
+// Each scenario drives acknowledged writes through the router while a read
+// storm runs across every clearance, breaks something — SIGKILL the
+// primary mid-checkpoint or mid-stream, corrupt or tear a stream frame,
+// partition a follower — and then proves the fleet contract:
+//
+//   - zero acked-write loss: every write the client saw acknowledged
+//     answers on every surviving node, including a freshly promoted
+//     primary;
+//   - byte-equal answers across the fleet for every clearance × belief
+//     mode once the survivors converge;
+//   - stream faults are self-healing: a corrupt or short frame drops the
+//     connection and the follower resumes from its last durable seq
+//     (visible as resumes in /v1/stats), never applying a damaged record;
+//   - a partitioned follower catches back up and rejoins the router's
+//     healthy set.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// ClusterScenario is one cell of the cluster-chaos matrix.
+type ClusterScenario struct {
+	// Name labels the cell.
+	Name string
+	// PrimaryPlan is the primary's -crashplan; it drives both WAL faults
+	// and replication-stream faults (corrupt/short/kill at
+	// repl.stream.frame).
+	PrimaryPlan string
+	// CheckpointEvery tunes the primary's -checkpoint-every so checkpoint
+	// crashpoints fire mid-run.
+	CheckpointEvery int64
+	// KillsPrimary marks plans that SIGKILL the primary: the router must
+	// fail over and promote a follower.
+	KillsPrimary bool
+	// WantResumes asserts that at least one follower dropped a damaged
+	// stream and reconnected.
+	WantResumes bool
+	// PartitionFollower kills one follower mid-run and restarts it on the
+	// same data directory; it must catch up and rejoin.
+	PartitionFollower bool
+}
+
+// ClusterMatrix is the fleet-chaos grid run by `make cluster-chaos` and CI.
+//
+// The kill occurrences are chosen against the fleet's deterministic
+// prologue: each follower bootstrap serves one snapshot (one checkpoint
+// each — occurrences 1 and 2 of wal.checkpoint.temp), so occurrence 3 is
+// the first mid-storm checkpoint; stream frames start flowing only once
+// both followers are synced, so a single-digit repl.stream.frame occurrence
+// lands inside the write storm.
+func ClusterMatrix() []ClusterScenario {
+	return []ClusterScenario{
+		{
+			Name:            "promote-mid-checkpoint",
+			PrimaryPlan:     "kill@wal.checkpoint.temp:3",
+			CheckpointEvery: 6,
+			KillsPrimary:    true,
+		},
+		{
+			Name:         "promote-mid-stream",
+			PrimaryPlan:  "kill@repl.stream.frame:8",
+			KillsPrimary: true,
+		},
+		{
+			Name:        "corrupt-frame-resume",
+			PrimaryPlan: "corrupt@repl.stream.frame:5:once",
+			WantResumes: true,
+		},
+		{
+			Name:        "short-write-resume",
+			PrimaryPlan: "short@repl.stream.frame:7:once",
+			WantResumes: true,
+		},
+		{
+			Name:              "follower-partition-catchup",
+			PartitionFollower: true,
+		},
+	}
+}
+
+// fleetNode pairs a live node with a client for verification.
+type fleetNode struct {
+	name string
+	c    *server.Client
+}
+
+// cluster is the running fleet of one scenario.
+type cluster struct {
+	p, f1, f2, router *daemon
+	f1Dir             string
+	f1Args            []string
+	f1AddrFile        string
+}
+
+func (cl *cluster) killAll() {
+	for _, d := range []*daemon{cl.router, cl.f1, cl.f2, cl.p} {
+		if d != nil {
+			d.kill()
+		}
+	}
+}
+
+// startCluster boots primary + two followers + router and waits until the
+// router sees both replicas healthy.
+func (h *Harness) startCluster(ctx context.Context, dir string, sc ClusterScenario) (*cluster, error) {
+	progPath := filepath.Join(dir, "prog.mlg")
+	if err := os.WriteFile(progPath, []byte(workload.ProgramSource(programCfg)), 0o644); err != nil {
+		return nil, err
+	}
+
+	cl := &cluster{}
+	ok := false
+	defer func() {
+		if !ok {
+			cl.killAll()
+		}
+	}()
+
+	pArgs := []string{
+		"-db", dbName + "=" + progPath,
+		"-data-dir", filepath.Join(dir, "p"),
+		"-fsync", "always",
+		"-checkpoint-interval", "-1ms",
+		"-drain", "2s",
+	}
+	if sc.PrimaryPlan != "" {
+		pArgs = append(pArgs, "-crashplan", sc.PrimaryPlan)
+	}
+	if sc.CheckpointEvery > 0 {
+		pArgs = append(pArgs, "-checkpoint-every", fmt.Sprint(sc.CheckpointEvery))
+	}
+	var err error
+	if cl.p, err = h.launch(ctx, filepath.Join(dir, "p.addr"), pArgs); err != nil {
+		return nil, fmt.Errorf("starting primary: %w", err)
+	}
+
+	followerArgs := func(sub string) []string {
+		return []string{
+			"-role", "follower",
+			"-primary", cl.p.addr,
+			"-data-dir", filepath.Join(dir, sub),
+			"-fsync", "always",
+			"-drain", "2s",
+		}
+	}
+	cl.f1Dir = filepath.Join(dir, "f1")
+	cl.f1Args = followerArgs("f1")
+	cl.f1AddrFile = filepath.Join(dir, "f1.addr")
+	if cl.f1, err = h.launch(ctx, cl.f1AddrFile, cl.f1Args); err != nil {
+		return nil, fmt.Errorf("starting follower 1: %w", err)
+	}
+	if cl.f2, err = h.launch(ctx, filepath.Join(dir, "f2.addr"), followerArgs("f2")); err != nil {
+		return nil, fmt.Errorf("starting follower 2: %w", err)
+	}
+
+	routerArgs := []string{
+		"-role", "router",
+		"-primary", cl.p.addr,
+		"-replica", cl.f1.addr,
+		"-replica", cl.f2.addr,
+		"-probe-interval", "50ms",
+		"-ack-timeout", "2s",
+		"-ryw-hold", "2s",
+		"-drain", "2s",
+	}
+	if cl.router, err = h.launch(ctx, filepath.Join(dir, "r.addr"), routerArgs); err != nil {
+		return nil, fmt.Errorf("starting router: %w", err)
+	}
+
+	if err := h.waitHealthyReplicas(ctx, server.NewClient(cl.router.addr, nil), 2); err != nil {
+		return nil, err
+	}
+	ok = true
+	return cl, nil
+}
+
+// waitHealthyReplicas polls the router until n non-primary backends are
+// healthy (follower synced and probed).
+func (h *Harness) waitHealthyReplicas(ctx context.Context, rc *server.Client, n int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := rc.Stats(ctx)
+		if err == nil && st.Replication != nil {
+			healthy := 0
+			for _, node := range st.Replication.Nodes {
+				if node.Role != "primary" && node.Healthy {
+					healthy++
+				}
+			}
+			if healthy >= n {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("router never saw %d healthy replica(s)", n)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// killed reports whether the child has exited (the injected kill fired).
+func (d *daemon) killed() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunCluster executes one fleet scenario end to end and returns an error
+// describing the first violated guarantee.
+func (h *Harness) RunCluster(ctx context.Context, sc ClusterScenario) error {
+	dir, err := os.MkdirTemp("", "multilogd-cluster-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck // temp cleanup
+
+	cl, err := h.startCluster(ctx, dir, sc)
+	if err != nil {
+		return err
+	}
+	defer cl.killAll()
+
+	rc := server.NewClient(cl.router.addr, nil)
+
+	// Concurrent read storm through the router, every clearance × mode; its
+	// errors are expected while nodes die.
+	stormCtx, stopStorm := context.WithCancel(ctx)
+	var storm sync.WaitGroup
+	storm.Add(1)
+	go func() {
+		defer storm.Done()
+		workload.ServerLoad(stormCtx, server.NewClient(cl.router.addr, nil), workload.ServerLoadConfig{
+			Sessions: 4, Queries: 100_000, Program: programCfg, Seed: 99, DB: dbName,
+		})
+	}()
+	defer func() { stopStorm(); storm.Wait() }()
+
+	acked, err := h.driveCluster(ctx, rc, cl, sc)
+	if err != nil {
+		return err
+	}
+	h.logf("%s: %d acked write(s) through the router", sc.Name, acked)
+	stopStorm()
+	storm.Wait()
+
+	// Assemble the surviving fleet; after a primary kill the router must
+	// have promoted a follower.
+	nodes := []fleetNode{
+		{"follower-1", server.NewClient(cl.f1.addr, nil)},
+		{"follower-2", server.NewClient(cl.f2.addr, nil)},
+	}
+	if sc.KillsPrimary {
+		if err := h.waitFailover(ctx, rc, cl); err != nil {
+			return err
+		}
+	} else {
+		if cl.p.killed() {
+			return fmt.Errorf("primary died unexpectedly; logs:\n%s", cl.p.logs)
+		}
+		nodes = append([]fleetNode{{"primary", server.NewClient(cl.p.addr, nil)}}, nodes...)
+	}
+
+	if err := h.waitConverged(ctx, nodes); err != nil {
+		return err
+	}
+	if err := h.verifyFleet(ctx, append(nodes, fleetNode{"router", rc}), acked); err != nil {
+		return err
+	}
+
+	if sc.WantResumes {
+		resumes := int64(0)
+		for _, n := range nodes {
+			if st, err := n.c.Stats(ctx); err == nil && st.Replication != nil {
+				resumes += st.Replication.Resumes
+			}
+		}
+		if resumes == 0 {
+			return fmt.Errorf("stream fault %q caused no follower resume", sc.PrimaryPlan)
+		}
+		h.logf("%s: fault produced %d stream resume(s)", sc.Name, resumes)
+	}
+	if sc.PartitionFollower {
+		st, err := rc.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if st.Replication == nil || st.Replication.AckTimeouts == 0 {
+			return fmt.Errorf("partitioned follower never timed out of the ack quorum")
+		}
+	}
+	return nil
+}
+
+// driveCluster fires tracked sequential asserts through the router. Every
+// returned count is a write the router acknowledged; a write that fails is
+// retried (same fact — asserts are idempotent) until it acks or the
+// deadline passes, so a mid-failover 503 does not lose track of the fact's
+// fate.
+func (h *Harness) driveCluster(ctx context.Context, rc *server.Client, cl *cluster, sc ClusterScenario) (int, error) {
+	sess, err := rc.Open(ctx, server.OpenRequest{Subject: "mutator", Clearance: "l0", DB: dbName})
+	if err != nil {
+		return 0, fmt.Errorf("mutator open: %w", err)
+	}
+	writeOne := func(i int) error {
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			_, aerr := rc.Assert(ctx, sess.Session, crashFact(i))
+			if aerr == nil {
+				return nil
+			}
+			if time.Now().After(deadline) || ctx.Err() != nil {
+				return fmt.Errorf("write %d never acked: %w", i, aerr)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	switch {
+	case sc.KillsPrimary:
+		// Write until the kill fires, then keep writing: the post-kill
+		// writes prove the promoted primary accepts traffic.
+		postKill := 0
+		for i := 0; i < 60; i++ {
+			if err := writeOne(i); err != nil {
+				return i, err
+			}
+			if cl.p.killed() {
+				if postKill++; postKill >= 8 {
+					return i + 1, nil
+				}
+			}
+		}
+		return 60, fmt.Errorf("crashpoint %q never fired within 60 writes", sc.PrimaryPlan)
+
+	case sc.PartitionFollower:
+		for i := 0; i < 6; i++ {
+			if err := writeOne(i); err != nil {
+				return i, err
+			}
+		}
+		h.logf("partition: killing follower 1 at %s", cl.f1.addr)
+		cl.f1.kill()
+		for i := 6; i < 14; i++ {
+			if err := writeOne(i); err != nil {
+				return i, err
+			}
+		}
+		// Restart on the same data directory AND the same address (the
+		// router probes the address it was configured with): recovery
+		// replays the mirrored log, the stream resumes from its tail, and
+		// launch's ready-wait blocks until the follower reports synced
+		// again.
+		f1, err := h.launch(ctx, cl.f1AddrFile, append(cl.f1Args, "-addr", cl.f1.addr))
+		if err != nil {
+			return 14, fmt.Errorf("restarting partitioned follower: %w", err)
+		}
+		cl.f1 = f1
+		if err := h.waitHealthyReplicas(ctx, rc, 2); err != nil {
+			return 14, fmt.Errorf("restarted follower never rejoined: %w", err)
+		}
+		for i := 14; i < 16; i++ {
+			if err := writeOne(i); err != nil {
+				return i, err
+			}
+		}
+		return 16, nil
+
+	default:
+		// Stream-fault scenarios: enough writes that the injected frame
+		// occurrence lands mid-storm (two followers double the frame rate).
+		for i := 0; i < 16; i++ {
+			if err := writeOne(i); err != nil {
+				return i, err
+			}
+		}
+		return 16, nil
+	}
+}
+
+// waitFailover blocks until the router reports a completed promotion away
+// from the dead boot primary.
+func (h *Harness) waitFailover(ctx context.Context, rc *server.Client, cl *cluster) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := rc.Stats(ctx)
+		if err == nil && st.Replication != nil &&
+			st.Replication.Failovers >= 1 && !strings.HasSuffix(st.Replication.Primary, cl.p.addr) {
+			if !strings.HasSuffix(st.Replication.Primary, cl.f1.addr) &&
+				!strings.HasSuffix(st.Replication.Primary, cl.f2.addr) {
+				return fmt.Errorf("router promoted unknown node %q", st.Replication.Primary)
+			}
+			h.logf("failover: router promoted %s", st.Replication.Primary)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("router never failed over from the dead primary; router logs:\n%s", cl.router.logs)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// waitConverged polls every node's replication status until all report the
+// same applied seq (the fleet-wide fixpoint after the chaos).
+func (h *Harness) waitConverged(ctx context.Context, nodes []fleetNode) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var lo, hi uint64
+		ok := true
+		for i, n := range nodes {
+			st, err := n.c.ReplStatus(ctx)
+			if err != nil {
+				ok = false
+				break
+			}
+			if i == 0 || st.AppliedSeq < lo {
+				lo = st.AppliedSeq
+			}
+			if st.AppliedSeq > hi {
+				hi = st.AppliedSeq
+			}
+		}
+		if ok && lo == hi && hi > 0 {
+			h.logf("fleet converged at applied seq %d", hi)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet never converged (applied %d..%d)", lo, hi)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// verifyFleet proves zero acked-write loss on every node (including reads
+// through the router) and byte-equal answers across the fleet for every
+// clearance × belief mode.
+func (h *Harness) verifyFleet(ctx context.Context, nodes []fleetNode, acked int) error {
+	for _, n := range nodes {
+		c := n.c.WithRetry(server.DefaultRetryPolicy())
+		sess, err := c.Open(ctx, server.OpenRequest{Subject: "verifier", Clearance: "l0", DB: dbName})
+		if err != nil {
+			return fmt.Errorf("%s: verifier open: %w", n.name, err)
+		}
+		for i := 0; i < acked; i++ {
+			resp, err := c.QueryContext(ctx, server.QueryRequest{
+				Session: sess.Session, Query: fmt.Sprintf("l0[p0(crashed%d: a -l0-> V)]", i)})
+			if err != nil {
+				return fmt.Errorf("%s: probing acked write %d: %w", n.name, i, err)
+			}
+			if len(resp.Answers) != 1 || resp.Answers[0]["V"] != fmt.Sprintf("w%d", i) {
+				return fmt.Errorf("ACKED WRITE LOST on %s: %s (got %v)", n.name, crashFact(i), resp.Answers)
+			}
+		}
+	}
+
+	// Byte-equal answers across the fleet, every clearance × belief mode.
+	for lvl := 0; lvl < programCfg.Levels; lvl++ {
+		for _, mode := range []string{"fir", "opt", "cau"} {
+			clearance := string(workload.Level(lvl))
+			base := ""
+			for i, n := range nodes {
+				got, err := openAndAnswer(ctx, n.c, clearance, mode)
+				if err != nil {
+					return fmt.Errorf("%s at %s/%s: %w", n.name, clearance, mode, err)
+				}
+				if i == 0 {
+					base = got
+					continue
+				}
+				if got != base {
+					return fmt.Errorf("FLEET DIVERGENCE at clearance %s mode %s between %s and %s:\n%s\nvs\n%s",
+						clearance, mode, nodes[0].name, n.name, base, got)
+				}
+			}
+		}
+	}
+	return nil
+}

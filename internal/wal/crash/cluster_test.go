@@ -1,0 +1,43 @@
+package crash
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestClusterChaos is the fleet-harness entry point: primary + two
+// followers + router as real child processes, faults injected into the
+// primary's WAL and replication stream, and the no-acked-write-loss /
+// byte-equal-fleet contract checked after every scenario. `make
+// cluster-chaos` and CI run the full matrix (CRASH_MATRIX=full); a plain
+// `go test ./...` runs a representative subset.
+func TestClusterChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster harness spawns child processes; skipped under -short")
+	}
+	bin := daemonBin(t)
+	scenarios := ClusterMatrix()
+	if !fullMatrix() {
+		// Representative subset: one promotion path, one stream fault.
+		subset := scenarios[:0]
+		for _, sc := range scenarios {
+			switch sc.Name {
+			case "promote-mid-stream", "corrupt-frame-resume":
+				subset = append(subset, sc)
+			}
+		}
+		scenarios = subset
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			h := &Harness{Bin: bin, Logf: t.Logf}
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			if err := h.RunCluster(ctx, sc); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -154,21 +154,20 @@ func (h *Harness) logf(format string, args ...any) {
 	}
 }
 
-// daemon is one child multilogd process.
+// daemon is one child multilogd process. done is CLOSED once the child
+// exits (exitErr holds Wait's verdict), so any number of killed/kill/
+// waitExit calls can observe the exit.
 type daemon struct {
-	cmd  *exec.Cmd
-	addr string
-	logs *strings.Builder
-	done chan error
+	cmd     *exec.Cmd
+	addr    string
+	logs    *strings.Builder
+	done    chan struct{}
+	exitErr error
 }
 
 // start launches the daemon and waits until /v1/readyz is 200.
 func (h *Harness) start(ctx context.Context, dir string, sc Scenario, progPath string, withPlan bool) (*daemon, error) {
-	addrFile := filepath.Join(dir, "addr")
-	os.Remove(addrFile) //nolint:errcheck // stale from the previous incarnation
 	args := []string{
-		"-addr", "127.0.0.1:0",
-		"-addr-file", addrFile,
 		"-db", dbName + "=" + progPath,
 		"-data-dir", filepath.Join(dir, "data"),
 		"-fsync", sc.Fsync,
@@ -181,14 +180,33 @@ func (h *Harness) start(ctx context.Context, dir string, sc Scenario, progPath s
 	if withPlan {
 		args = append(args, "-crashplan", sc.Plan)
 	}
-	d := &daemon{logs: &strings.Builder{}, done: make(chan error, 1)}
+	return h.launch(ctx, filepath.Join(dir, "addr"), args)
+}
+
+// launch starts one multilogd child with args (plus an ephemeral -addr,
+// unless the caller pinned one, published through addrFile) and waits until
+// /v1/readyz answers 200 — for a follower that means bootstrapped AND
+// synced with its primary.
+func (h *Harness) launch(ctx context.Context, addrFile string, args []string) (*daemon, error) {
+	os.Remove(addrFile) //nolint:errcheck // stale from the previous incarnation
+	pinned := false
+	for _, a := range args {
+		if a == "-addr" {
+			pinned = true
+		}
+	}
+	if !pinned {
+		args = append(args, "-addr", "127.0.0.1:0")
+	}
+	args = append(args, "-addr-file", addrFile)
+	d := &daemon{logs: &strings.Builder{}, done: make(chan struct{})}
 	d.cmd = exec.Command(h.Bin, args...)
 	d.cmd.Stdout = d.logs
 	d.cmd.Stderr = d.logs
 	if err := d.cmd.Start(); err != nil {
 		return nil, err
 	}
-	go func() { d.done <- d.cmd.Wait() }()
+	go func() { d.exitErr = d.cmd.Wait(); close(d.done) }()
 
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -210,8 +228,8 @@ func (h *Harness) start(ctx context.Context, dir string, sc Scenario, progPath s
 			}
 		}
 		select {
-		case err := <-d.done:
-			return nil, fmt.Errorf("daemon exited before ready (%v); logs:\n%s", err, d.logs)
+		case <-d.done:
+			return nil, fmt.Errorf("daemon exited before ready (%v); logs:\n%s", d.exitErr, d.logs)
 		case <-time.After(25 * time.Millisecond):
 		}
 	}

@@ -15,9 +15,14 @@ const (
 	TypeLoad RecordType = 1
 	// TypeUpdate is an assert/retract delta.
 	TypeUpdate RecordType = 2
-	// typeCheckpoint frames a checkpoint file's body; it never appears in a
-	// log segment.
-	typeCheckpoint RecordType = 3
+	// TypeCheckpoint frames a checkpoint file's body; it never appears in a
+	// log segment. Exported so the replication layer can validate a shipped
+	// snapshot frame.
+	TypeCheckpoint RecordType = 3
+	// TypeHeartbeat is a stream-only record: the primary sends it on an idle
+	// replication stream, Seq carrying its current last sequence number so
+	// followers can compute lag. It is never stored in a segment.
+	TypeHeartbeat RecordType = 4
 )
 
 // Record is one sequenced log entry.
@@ -38,9 +43,9 @@ type Record struct {
 // guessing. CRC32C (Castagnoli) is the standard storage checksum.
 
 const (
-	frameHeaderLen = 8           // u32 len + u32 crc
-	bodyFixedLen   = 9           // u64 seq + u8 type
-	maxBodyLen     = 1 << 26     // 64 MiB: no real record is near this; a
+	frameHeaderLen = 8       // u32 len + u32 crc
+	bodyFixedLen   = 9       // u64 seq + u8 type
+	maxBodyLen     = 1 << 26 // 64 MiB: no real record is near this; a
 	// corrupt length field must not drive a giant allocation.
 )
 

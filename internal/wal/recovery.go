@@ -98,7 +98,7 @@ func (s *Store) loadCheckpoint(rec *Recovery) error {
 			s.logf("wal: checkpoint %s rejected: %v", c.name, derr)
 		case n != len(data):
 			s.logf("wal: checkpoint %s rejected: %d trailing byte(s)", c.name, len(data)-n)
-		case frame.Type != typeCheckpoint:
+		case frame.Type != TypeCheckpoint:
 			s.logf("wal: checkpoint %s rejected: record type %d", c.name, frame.Type)
 		case frame.Seq != c.seq:
 			s.logf("wal: checkpoint %s rejected: seq %d does not match its name", c.name, frame.Seq)

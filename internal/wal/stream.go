@@ -1,0 +1,274 @@
+package wal
+
+// stream.go is the replication face of the store: everything a primary
+// needs to ship its log tail to followers, and everything a follower needs
+// to mirror it byte-for-byte at the same sequence numbers.
+//
+// The design invariant is 1:1 sequence mirroring. A follower's own WAL
+// holds the primary's records at the primary's seqs: bootstrap installs the
+// primary's newest checkpoint (covering seq S) and repositions the log with
+// AdvanceTo(S); streaming then appends records S+1, S+2, ... with
+// AppendMirror, which refuses any gap. Because the two logs agree record
+// for record, a promoted follower serves /v1/repl/stream from its own store
+// with no translation, and the recovery path (recovery.go) replays a
+// follower's directory exactly as it replays a primary's.
+//
+// Reads tolerate concurrent appends: ReadFrom bounds itself by a LastSeq
+// captured under the store mutex, and a frame is fully written before its
+// seq is published, so a torn tail can only lie beyond the bound.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCompacted reports that records a reader asked for were pruned into a
+// checkpoint: the follower must re-bootstrap from a snapshot. Match with
+// errors.Is.
+var ErrCompacted = errors.New("wal: requested records compacted into a checkpoint")
+
+// EncodeFrame renders a record in the on-disk/on-wire frame format
+// (u32 len | u32 crc32c | u64 seq | u8 type | payload). The replication
+// stream ships exactly these bytes, so a follower's CRC check covers the
+// whole path from the primary's memory to its own disk.
+func EncodeFrame(rec Record) []byte {
+	return encodeFrame(rec.Seq, rec.Type, rec.Payload)
+}
+
+// DecodeFrameBytes decodes exactly one frame occupying all of b (the shape
+// of a shipped checkpoint). Trailing bytes are an error.
+func DecodeFrameBytes(b []byte) (Record, error) {
+	rec, n, err := decodeFrame(b)
+	if err != nil {
+		return Record{}, err
+	}
+	if n != len(b) {
+		return Record{}, fmt.Errorf("wal: %d trailing byte(s) after frame", len(b)-n)
+	}
+	return rec, nil
+}
+
+// FrameScanner decodes a sequence of frames from a byte stream (the
+// replication stream's body). Next returns io.EOF at a clean end-of-stream;
+// a torn or corrupt frame returns a non-EOF error, and the caller must drop
+// the connection — nothing past a bad frame is trustworthy.
+type FrameScanner struct {
+	r io.Reader
+}
+
+// NewFrameScanner wraps r.
+func NewFrameScanner(r io.Reader) *FrameScanner { return &FrameScanner{r: r} }
+
+// Next decodes one frame.
+func (sc *FrameScanner) Next() (Record, error) {
+	hdr := make([]byte, frameHeaderLen)
+	if _, err := io.ReadFull(sc.r, hdr); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, &frameError{Torn: true, Reason: "torn frame header in stream"}
+		}
+		return Record{}, err // io.EOF: clean end of stream
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr)
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if bodyLen < bodyFixedLen || bodyLen > maxBodyLen {
+		return Record{}, &frameError{Reason: fmt.Sprintf("implausible frame length %d", bodyLen)}
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(sc.r, body); err != nil {
+		return Record{}, &frameError{Torn: true, Reason: fmt.Sprintf("torn frame body: %v", err)}
+	}
+	if got := crc32.Checksum(body, crcTable); got != wantCRC {
+		return Record{}, &frameError{Reason: fmt.Sprintf("checksum mismatch: %08x, want %08x", got, wantCRC)}
+	}
+	return Record{
+		Seq:     binary.LittleEndian.Uint64(body),
+		Type:    RecordType(body[8]),
+		Payload: append([]byte(nil), body[bodyFixedLen:]...),
+	}, nil
+}
+
+// ReadFrom returns up to max committed records with Seq > from, in order.
+// Safe against concurrent appends: only records whose seq was published
+// before the call are returned, and a torn active-segment tail (an append
+// racing the read) is simply not yet committed. Returns ErrCompacted when
+// record from+1 has been pruned into a checkpoint; max <= 0 means no bound.
+func (s *Store) ReadFrom(from uint64, max int) ([]Record, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("wal: store is closed")
+	}
+	last := s.seq
+	s.mu.Unlock()
+	if from >= last {
+		return nil, nil
+	}
+	segs, err := listSeqFiles(s.dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+scan:
+	for _, seg := range segs {
+		data, err := os.ReadFile(filepath.Join(s.dir, seg.name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // pruned between the listing and the read
+			}
+			return nil, err
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, derr := decodeFrame(data[off:])
+			if derr != nil {
+				break // a concurrent append's torn tail: beyond last by the invariant
+			}
+			off += n
+			if rec.Seq <= from {
+				continue
+			}
+			if rec.Seq > last {
+				break scan
+			}
+			out = append(out, rec)
+			if max > 0 && len(out) >= max {
+				break scan
+			}
+		}
+	}
+	if len(out) == 0 || out[0].Seq != from+1 {
+		return nil, ErrCompacted
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Seq != out[i-1].Seq+1 {
+			// A middle segment vanished under the scan (pruned mid-read).
+			return nil, ErrCompacted
+		}
+	}
+	return out, nil
+}
+
+// WaitFor blocks until a record with sequence number >= seq is committed,
+// ctx is done, or the store is closed or broken.
+func (s *Store) WaitFor(ctx context.Context, seq uint64) error {
+	for {
+		s.mu.Lock()
+		switch {
+		case s.broken != nil:
+			err := s.broken
+			s.mu.Unlock()
+			return err
+		case s.closed:
+			s.mu.Unlock()
+			return fmt.Errorf("wal: store is closed")
+		case s.seq >= seq:
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.notify
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// AppendMirror appends a record shipped from a primary, preserving its
+// sequence number. The record must be exactly the next one (LastSeq+1):
+// mirrored logs never have gaps, so recovery and re-streaming work on a
+// follower's directory unchanged.
+func (s *Store) AppendMirror(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Seq != s.seq+1 {
+		return fmt.Errorf("wal: mirror append out of sequence: record %d after %d", rec.Seq, s.seq)
+	}
+	return s.appendLocked(rec.Seq, rec.Type, rec.Payload)
+}
+
+// AdvanceTo repositions the store to append after seq, deleting every
+// existing log segment. The caller must have installed (WriteCheckpoint) a
+// checkpoint covering seq first: this is the follower-bootstrap move —
+// snapshot at seq S, then a fresh segment for S+1 — and dropping the old
+// segments is what keeps recovery's sequence-continuity check satisfied
+// (checkpoint S followed immediately by records from S+1).
+func (s *Store) AdvanceTo(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	if seq < s.seq {
+		return fmt.Errorf("wal: cannot advance backwards: at %d, asked %d", s.seq, seq)
+	}
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	if s.f != nil {
+		if err := s.f.Close(); err != nil {
+			return s.breakWith(fmt.Errorf("wal: sealing segment: %w", err))
+		}
+		s.f = nil
+	}
+	segs, err := listSeqFiles(s.dir, segPrefix, segSuffix)
+	if err != nil {
+		return s.breakWith(err)
+	}
+	for _, seg := range segs {
+		if err := os.Remove(filepath.Join(s.dir, seg.name)); err != nil {
+			return s.breakWith(fmt.Errorf("wal: dropping covered segment: %w", err))
+		}
+	}
+	f, err := createSegment(s.dir, seq+1)
+	if err != nil {
+		return s.breakWith(err)
+	}
+	s.f, s.segFirst, s.seq, s.dirty = f, seq+1, seq, false
+	s.broadcastLocked()
+	return nil
+}
+
+// NewestCheckpoint returns the newest valid checkpoint's covered seq and
+// raw frame bytes (ready to ship to a bootstrapping follower), or (0, nil,
+// nil) when no usable checkpoint exists.
+func (s *Store) NewestCheckpoint() (uint64, []byte, error) {
+	ckpts, err := listSeqFiles(s.dir, ckptPrefix, ckptSuffix)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		c := ckpts[i]
+		data, err := os.ReadFile(filepath.Join(s.dir, c.name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // pruned between the listing and the read
+			}
+			return 0, nil, err
+		}
+		rec, err := DecodeFrameBytes(data)
+		if err != nil || rec.Type != TypeCheckpoint || rec.Seq != c.seq {
+			continue // recovery-grade skepticism: skip anything invalid
+		}
+		return c.seq, data, nil
+	}
+	return 0, nil, nil
+}
+
+// broadcastLocked wakes every WaitFor waiter; the caller holds s.mu.
+func (s *Store) broadcastLocked() {
+	if s.notify != nil {
+		close(s.notify)
+	}
+	s.notify = make(chan struct{})
+}

@@ -1,0 +1,313 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// activeSegment returns the path of the newest log segment file.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no log segments on disk")
+	}
+	return filepath.Join(dir, segs[len(segs)-1].name)
+}
+
+func TestReadFromResumesAtSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	appendN(t, st, 0, 5)
+	if _, err := st.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, 5, 5)
+
+	// A follower that stopped exactly at the sealed segment's last record
+	// resumes with the next segment's first.
+	recs, err := st.ReadFrom(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Seq != 6 || recs[4].Seq != 10 {
+		t.Fatalf("resume at boundary: got seqs %v", seqsOf(recs))
+	}
+	// And a resume one record earlier spans the boundary seamlessly.
+	recs, err = st.ReadFrom(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 || recs[0].Seq != 5 || recs[1].Seq != 6 {
+		t.Fatalf("resume across boundary: got seqs %v", seqsOf(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("gap in resumed records: %v", seqsOf(recs))
+		}
+	}
+}
+
+func TestReadFromAfterTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	appendN(t, st, 0, 8)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last frame: a crash mid-append leaves a short tail that
+	// recovery truncates. A follower that already mirrored seq 7 must be
+	// able to resume; seq 8 was never durable and is re-minted.
+	seg := activeSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir, Options{})
+	if rec.TruncatedRecords == 0 {
+		t.Fatal("expected the torn tail to be truncated")
+	}
+	if got := st2.LastSeq(); got != 7 {
+		t.Fatalf("LastSeq after truncation = %d, want 7", got)
+	}
+	if _, err := st2.Append(TypeUpdate, []byte("rec-7-take2")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st2.ReadFrom(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 7 || recs[1].Seq != 8 {
+		t.Fatalf("post-truncation resume: got seqs %v", seqsOf(recs))
+	}
+	if string(recs[1].Payload) != "rec-7-take2" {
+		t.Fatalf("seq 8 payload = %q, want the re-minted record", recs[1].Payload)
+	}
+}
+
+func TestReadFromCompactedReportsErrCompacted(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir, Options{})
+	appendN(t, st, 0, 10)
+	last, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteCheckpoint(last, []byte("snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, 10, 3)
+
+	// Records 1..10 were pruned into the checkpoint: a reader asking for
+	// them must be told to re-bootstrap, not silently given a gap.
+	if _, err := st.ReadFrom(5, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom(5) = %v, want ErrCompacted", err)
+	}
+	// Reading from the checkpoint boundary still works.
+	recs, err := st.ReadFrom(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Seq != 11 {
+		t.Fatalf("post-checkpoint read: got seqs %v", seqsOf(recs))
+	}
+}
+
+// TestBootstrapMidCheckpoint is the full follower-bootstrap move against a
+// primary whose stream begins mid-checkpoint: the snapshot covers seq S, the
+// tail starts at S+1, and the mirrored store must agree with the primary
+// record for record — including after its own restart, and when serving the
+// stream itself post-promotion.
+func TestBootstrapMidCheckpoint(t *testing.T) {
+	pdir := t.TempDir()
+	p, _ := openT(t, pdir, Options{})
+	appendN(t, p, 0, 10)
+	last, err := p.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteCheckpoint(last, []byte("state@10")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, p, 10, 5)
+
+	ckSeq, frame, err := p.NewestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckSeq != 10 || frame == nil {
+		t.Fatalf("NewestCheckpoint = (%d, %d bytes), want seq 10", ckSeq, len(frame))
+	}
+	ckRec, err := DecodeFrameBytes(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckRec.Type != TypeCheckpoint || ckRec.Seq != 10 || string(ckRec.Payload) != "state@10" {
+		t.Fatalf("shipped checkpoint decoded to %+v", ckRec)
+	}
+
+	fdir := t.TempDir()
+	f, _ := openT(t, fdir, Options{})
+	if err := f.WriteCheckpoint(ckRec.Seq, ckRec.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AdvanceTo(ckRec.Seq); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := p.ReadFrom(ckRec.Seq, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tail {
+		if err := f.AppendMirror(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.LastSeq(); got != p.LastSeq() {
+		t.Fatalf("mirror LastSeq = %d, primary = %d", got, p.LastSeq())
+	}
+
+	// The mirrored store serves the same stream a promoted follower would.
+	mine, err := f.ReadFrom(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theirs, _ := p.ReadFrom(10, 0)
+	if len(mine) != len(theirs) {
+		t.Fatalf("mirror serves %d records, primary %d", len(mine), len(theirs))
+	}
+	for i := range mine {
+		if !bytes.Equal(EncodeFrame(mine[i]), EncodeFrame(theirs[i])) {
+			t.Fatalf("frame %d differs between mirror and primary", i)
+		}
+	}
+
+	// And the mirrored directory recovers exactly: checkpoint at 10, tail
+	// 11..15 — the continuity check must hold with the old segments gone.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, rec := openT(t, fdir, Options{})
+	if rec.CheckpointSeq != 10 || string(rec.Checkpoint) != "state@10" {
+		t.Fatalf("mirror recovery checkpoint = (%d, %q)", rec.CheckpointSeq, rec.Checkpoint)
+	}
+	if len(rec.Records) != 5 || rec.Records[0].Seq != 11 {
+		t.Fatalf("mirror recovery replays seqs %v", seqsOf(rec.Records))
+	}
+	if got := f2.LastSeq(); got != 15 {
+		t.Fatalf("mirror LastSeq after reopen = %d, want 15", got)
+	}
+}
+
+func TestAppendMirrorRefusesGaps(t *testing.T) {
+	st, _ := openT(t, t.TempDir(), Options{})
+	if err := st.AppendMirror(Record{Seq: 2, Type: TypeUpdate, Payload: []byte("x")}); err == nil {
+		t.Fatal("AppendMirror accepted seq 2 on an empty log")
+	}
+	if err := st.AppendMirror(Record{Seq: 1, Type: TypeUpdate, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendMirror(Record{Seq: 1, Type: TypeUpdate, Payload: []byte("x")}); err == nil {
+		t.Fatal("AppendMirror accepted a replayed seq")
+	}
+	if err := st.AppendMirror(Record{Seq: 3, Type: TypeUpdate, Payload: []byte("x")}); err == nil {
+		t.Fatal("AppendMirror accepted a gap")
+	}
+	if err := st.AppendMirror(Record{Seq: 2, Type: TypeUpdate, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvanceToRefusesRewind(t *testing.T) {
+	st, _ := openT(t, t.TempDir(), Options{})
+	appendN(t, st, 0, 4)
+	if err := st.AdvanceTo(2); err == nil {
+		t.Fatal("AdvanceTo accepted a rewind below LastSeq")
+	}
+}
+
+func TestWaitForWakesOnAppend(t *testing.T) {
+	st, _ := openT(t, t.TempDir(), Options{})
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- st.WaitFor(ctx, 1)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := st.Append(TypeUpdate, []byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("WaitFor after append: %v", err)
+	}
+	// A canceled wait returns the context error, not a hang.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := st.WaitFor(ctx, 99); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitFor on canceled ctx = %v", err)
+	}
+}
+
+func TestFrameScannerRejectsTornAndCorrupt(t *testing.T) {
+	frames := new(bytes.Buffer)
+	for i := 1; i <= 3; i++ {
+		frames.Write(EncodeFrame(Record{Seq: uint64(i), Type: TypeUpdate, Payload: []byte(fmt.Sprintf("p%d", i))}))
+	}
+	clean := frames.Bytes()
+
+	sc := NewFrameScanner(bytes.NewReader(clean))
+	for i := 1; i <= 3; i++ {
+		rec, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != uint64(i) {
+			t.Fatalf("frame %d decoded seq %d", i, rec.Seq)
+		}
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("clean end of stream = %v, want io.EOF", err)
+	}
+
+	// A flipped payload byte fails the CRC.
+	corrupt := append([]byte(nil), clean...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	sc = NewFrameScanner(bytes.NewReader(corrupt))
+	sc.Next() //nolint:errcheck // frames 1 and 2 are intact
+	sc.Next() //nolint:errcheck
+	if _, err := sc.Next(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt frame = %v, want a checksum error", err)
+	}
+
+	// A connection dropped mid-frame is torn, not a clean EOF.
+	sc = NewFrameScanner(bytes.NewReader(clean[:len(clean)-4]))
+	sc.Next() //nolint:errcheck
+	sc.Next() //nolint:errcheck
+	if _, err := sc.Next(); err == nil || err == io.EOF {
+		t.Fatalf("torn frame = %v, want a framing error", err)
+	}
+}
+
+func seqsOf(recs []Record) []uint64 {
+	out := make([]uint64, len(recs))
+	for i, r := range recs {
+		out[i] = r.Seq
+	}
+	return out
+}

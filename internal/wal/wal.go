@@ -117,11 +117,12 @@ type Store struct {
 	dir  string
 
 	mu       sync.Mutex
-	f        *os.File // active segment
-	segFirst uint64   // first seq the active segment can hold
-	seq      uint64   // last assigned seq
-	dirty    bool     // unsynced appends in f
-	broken   error    // set on a write failure: all later appends fail
+	f        *os.File      // active segment
+	segFirst uint64        // first seq the active segment can hold
+	seq      uint64        // last assigned seq
+	dirty    bool          // unsynced appends in f
+	broken   error         // set on a write failure: all later appends fail
+	notify   chan struct{} // closed+replaced on every commit; WaitFor parks here
 
 	ckMu sync.Mutex // serializes checkpoint writes
 
@@ -176,7 +177,7 @@ func Open(opts Options) (*Store, *Recovery, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	s := &Store{opts: opts, dir: opts.Dir, evN: map[faultinject.FileEvent]int64{}}
+	s := &Store{opts: opts, dir: opts.Dir, evN: map[faultinject.FileEvent]int64{}, notify: make(chan struct{})}
 	rec, err := s.recover()
 	if err != nil {
 		return nil, nil, err
@@ -203,21 +204,32 @@ func (s *Store) logf(format string, args ...any) {
 func (s *Store) Append(t RecordType, payload []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	seq := s.seq + 1
+	if err := s.appendLocked(seq, t, payload); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// appendLocked writes one frame at an explicit seq (the caller holds s.mu
+// and guarantees seq == s.seq+1). Shared by Append (local writes) and
+// AppendMirror (replicated writes), so both paths hit the same fsync
+// contract and fault-injection probes.
+func (s *Store) appendLocked(seq uint64, t RecordType, payload []byte) error {
 	if s.broken != nil {
-		return 0, s.broken
+		return s.broken
 	}
 	if s.closed {
-		return 0, fmt.Errorf("wal: store is closed")
+		return fmt.Errorf("wal: store is closed")
 	}
-	seq := s.seq + 1
 	frame := encodeFrame(seq, t, payload)
 
 	switch act := s.fire(faultinject.FileAppendStart); act {
 	case faultinject.FileErr:
-		return 0, s.breakWith(&faultinject.InjectedFile{Event: faultinject.FileAppendStart, N: s.count(faultinject.FileAppendStart), Action: act})
+		return s.breakWith(&faultinject.InjectedFile{Event: faultinject.FileAppendStart, N: s.count(faultinject.FileAppendStart), Action: act})
 	case faultinject.FileShortWrite:
 		s.tornWrite(frame)
-		return 0, s.breakWith(&faultinject.InjectedFile{Event: faultinject.FileAppendStart, N: s.count(faultinject.FileAppendStart), Action: act})
+		return s.breakWith(&faultinject.InjectedFile{Event: faultinject.FileAppendStart, N: s.count(faultinject.FileAppendStart), Action: act})
 	case faultinject.FileKill:
 		s.killNow()
 	case faultinject.FileKillTorn:
@@ -226,14 +238,14 @@ func (s *Store) Append(t RecordType, payload []byte) (uint64, error) {
 	}
 
 	if _, err := s.f.Write(frame); err != nil {
-		return 0, s.breakWith(fmt.Errorf("wal: append: %w", err))
+		return s.breakWith(fmt.Errorf("wal: append: %w", err))
 	}
 	if s.fire(faultinject.FileAppendWritten) == faultinject.FileKill {
 		s.killNow()
 	}
 	if s.opts.Sync == SyncAlways {
 		if err := s.f.Sync(); err != nil {
-			return 0, s.breakWith(fmt.Errorf("wal: fsync: %w", err))
+			return s.breakWith(fmt.Errorf("wal: fsync: %w", err))
 		}
 		s.syncs.Add(1)
 	} else {
@@ -244,7 +256,8 @@ func (s *Store) Append(t RecordType, payload []byte) (uint64, error) {
 	}
 	s.seq = seq
 	s.appended.Add(1)
-	return seq, nil
+	s.broadcastLocked()
+	return nil
 }
 
 // tornWrite leaves a durable half-record on disk: the injected mid-append
@@ -335,7 +348,7 @@ func (s *Store) Rotate() (uint64, error) {
 func (s *Store) WriteCheckpoint(seq uint64, payload []byte) error {
 	s.ckMu.Lock()
 	defer s.ckMu.Unlock()
-	frame := encodeFrame(seq, typeCheckpoint, payload)
+	frame := encodeFrame(seq, TypeCheckpoint, payload)
 	final := filepath.Join(s.dir, ckptName(seq))
 	tmp := final + tmpSuffix
 	if err := writeFileSync(tmp, frame); err != nil {
@@ -377,6 +390,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.broadcastLocked() // wake WaitFor waiters so they observe the close
 	err := s.syncLocked()
 	if s.f != nil {
 		if cerr := s.f.Close(); err == nil {
@@ -427,15 +441,7 @@ func (s *Store) count(ev faultinject.FileEvent) int64 {
 
 // killNow hard-kills the process: the injected SIGKILL of a crash plan.
 // Only the crash harness's child daemons ever take this path.
-func (s *Store) killNow() {
-	p, err := os.FindProcess(os.Getpid())
-	if err == nil {
-		p.Kill() //nolint:errcheck // dying is the point
-	}
-	for {
-		time.Sleep(time.Second) // SIGKILL lands before this matters
-	}
-}
+func (s *Store) killNow() { faultinject.KillNow() }
 
 // ---- file helpers ----
 
