@@ -135,7 +135,9 @@ func FileActionOnce(action FileAction, ev FileEvent, n int64) FilePlan {
 // CombineFilePlans merges plans: the first non-OK answer at a probe point
 // wins. nil plans are skipped; an empty combination is a nil plan.
 func CombineFilePlans(plans ...FilePlan) FilePlan {
-	live := plans[:0]
+	// Filter into a fresh slice: compacting plans in place would mutate the
+	// caller's backing array when a slice is spread in.
+	live := make([]FilePlan, 0, len(plans))
 	for _, p := range plans {
 		if p != nil {
 			live = append(live, p)
@@ -147,9 +149,8 @@ func CombineFilePlans(plans ...FilePlan) FilePlan {
 	case 1:
 		return live[0]
 	}
-	combined := append([]FilePlan(nil), live...)
 	return func(ev FileEvent, n int64) FileAction {
-		for _, p := range combined {
+		for _, p := range live {
 			if act := p(ev, n); act != FileOK {
 				return act
 			}

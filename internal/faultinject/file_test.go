@@ -125,3 +125,26 @@ func TestCombineFilePlans(t *testing.T) {
 		t.Errorf("past the one-shot: got %s, want corrupt", got)
 	}
 }
+
+func TestCombineFilePlansDoesNotMutateInput(t *testing.T) {
+	plans := []FilePlan{
+		nil,
+		FileActionAt(FileErr, FileAppendStart, 1),
+		nil,
+	}
+	combined := CombineFilePlans(plans...)
+	if combined == nil {
+		t.Fatal("combined plan is nil")
+	}
+	if act := combined(FileAppendStart, 1); act != FileErr {
+		t.Fatalf("combined plan = %v, want err", act)
+	}
+	// The caller's slice must be untouched: filtering in place would shift
+	// the live plan into plans[0] and leave stale entries behind.
+	if plans[0] != nil || plans[2] != nil {
+		t.Fatal("CombineFilePlans compacted the caller's slice in place")
+	}
+	if plans[1] == nil {
+		t.Fatal("CombineFilePlans lost the caller's live plan")
+	}
+}

@@ -2,12 +2,17 @@ package replica_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -500,5 +505,179 @@ func TestRouterBandPinning(t *testing.T) {
 	if l0Sessions != 2 || highSessions != 2 {
 		t.Fatalf("band pinning spread sessions (l0 replica: %d, l1/l2 replica: %d), want 2/2",
 			l0Sessions, highSessions)
+	}
+}
+
+// TestSilentStreamStallReconnects simulates a silent network partition: the
+// primary's stream answers with headers and then goes mute — no frames, no
+// heartbeats, no FIN. The follower's stall watchdog must cut the connection
+// and reconnect instead of blocking in the read forever.
+func TestSilentStreamStallReconnects(t *testing.T) {
+	var streams atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/repl/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Repl-Seq", "0")
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/repl/stream", func(w http.ResponseWriter, r *http.Request) {
+		streams.Add(1)
+		w.Header().Set("X-Repl-Last-Seq", "0")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // mute: the silent-partition shape
+	})
+	stub := httptest.NewServer(mux)
+	t.Cleanup(func() { stub.CloseClientConnections(); stub.Close() })
+
+	f := startFollower(t, stub.URL)
+	deadline := time.Now().Add(20 * time.Second)
+	for streams.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never cut the silent stream (streams=%d, err=%q)",
+				streams.Load(), f.n.Srv.Repl().StreamError())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := f.n.Srv.Repl().StreamError(); !strings.Contains(got, "silent") {
+		t.Fatalf("stream error %q does not mention the stall", got)
+	}
+}
+
+// TestDivergedFollowerHaltsReplication streams a poisoned tail — a real
+// retract record re-shipped at the next seq, a no-op for a follower whose
+// state already reflects it — and requires the replicator to HALT: no
+// reconnect may resume past a record that was mirrored but never applied.
+func TestDivergedFollowerHaltsReplication(t *testing.T) {
+	ctx := context.Background()
+	p := startPrimary(t, testProgram, nil)
+	sess, err := p.cl.Open(ctx, server.OpenRequest{Subject: "w", Clearance: "s", Mode: "fir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.cl.Assert(ctx, sess.Session, "s[emp(frank: salary -s-> high)]."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.cl.Retract(ctx, sess.Session, "s[emp(frank: salary -s-> high)]."); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := p.store.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := recs[len(recs)-1]
+	poison.Seq++
+	recs = append(recs, poison)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/repl/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Repl-Seq", "0")
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/repl/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Repl-Last-Seq", strconv.FormatUint(poison.Seq, 10))
+		w.WriteHeader(http.StatusOK)
+		for _, rec := range recs {
+			w.Write(wal.EncodeFrame(rec)) //nolint:errcheck // test stream
+		}
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	})
+	stub := httptest.NewServer(mux)
+	t.Cleanup(func() { stub.CloseClientConnections(); stub.Close() })
+
+	store, rec, err := wal.Open(wal.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	nd, err := replica.NewFollower(server.Config{}, store, rec, stub.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { nd.Rep.Run(rctx); close(done) }()
+	t.Cleanup(func() { cancel(); nd.Rep.Stop() })
+
+	select {
+	case <-done: // Run returned on its own: the halt
+	case <-time.After(20 * time.Second):
+		t.Fatalf("replicator kept running past divergence (diverged=%v, err=%q)",
+			nd.Srv.Diverged(), nd.Srv.Repl().StreamError())
+	}
+	if !nd.Srv.Diverged() || nd.Srv.Synced() {
+		t.Fatalf("diverged=%v synced=%v, want true/false", nd.Srv.Diverged(), nd.Srv.Synced())
+	}
+	// The poisoned record is mirrored (the log is contiguous for the
+	// post-mortem) but the node is out of the fleet.
+	if got := store.LastSeq(); got != poison.Seq {
+		t.Fatalf("local log at seq %d, want %d", got, poison.Seq)
+	}
+}
+
+// TestCanceledWriteDoesNotDeposePrimary: a writer that hangs up mid-write
+// (its context cancels while the primary is slow) must NOT depose the
+// primary — deposal is irreversible, and a canceled call says nothing
+// about the primary's health.
+func TestCanceledWriteDoesNotDeposePrimary(t *testing.T) {
+	ctx := context.Background()
+	var asserts atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.OpenResponse{Session: "b-1", DB: "test", Epoch: 1}) //nolint:errcheck // test stub
+	})
+	mux.HandleFunc("POST /v1/assert", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck // drain so close detection works
+		if asserts.Add(1) == 1 {
+			<-r.Context().Done() // the slow write the client abandons
+			return
+		}
+		json.NewEncoder(w).Encode(server.UpdateResponse{Epoch: 2, Changed: 1}) //nolint:errcheck // test stub
+	})
+	mux.HandleFunc("GET /v1/repl/status", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.ReplicationStats{Role: "primary", Synced: true}) //nolint:errcheck // test stub
+	})
+	stub := httptest.NewServer(mux)
+	t.Cleanup(func() { stub.CloseClientConnections(); stub.Close() })
+
+	rt, err := replica.NewRouter(replica.RouterConfig{Primary: stub.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { rh.CloseClientConnections(); rh.Close() })
+	rcl := server.NewClient(rh.URL, nil)
+
+	sess, err := rcl.Open(ctx, server.OpenRequest{Subject: "w", Clearance: "s", Mode: "fir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(ctx)
+	go func() {
+		for asserts.Load() == 0 { // hang up only once the write is in flight
+			time.Sleep(5 * time.Millisecond)
+		}
+		time.Sleep(50 * time.Millisecond)
+		wcancel()
+	}()
+	if _, err := rcl.Assert(wctx, sess.Session, "s[emp(gary: salary -s-> high)]."); err == nil {
+		t.Fatal("abandoned write reported success")
+	}
+	wcancel()
+
+	// The primary must still be in place and healthy: no failover, no
+	// deposal, and the next write goes straight through.
+	st, err := rcl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replication == nil || st.Replication.Failovers != 0 {
+		t.Fatalf("router failed over after a canceled write: %+v", st.Replication)
+	}
+	if len(st.Replication.Nodes) != 1 || !st.Replication.Nodes[0].Healthy {
+		t.Fatalf("primary deposed after a canceled write: %+v", st.Replication.Nodes)
+	}
+	if _, err := rcl.Assert(ctx, sess.Session, "s[emp(gary: salary -s-> high)]."); err != nil {
+		t.Fatalf("write after the canceled one: %v", err)
 	}
 }

@@ -26,9 +26,35 @@ import (
 	"strings"
 	"sync"
 
+	"time"
+
 	"repro/internal/server"
 	"repro/internal/wal"
 )
+
+// streamStallTimeout bounds silence on a live stream. The primary
+// heartbeats every 500ms even when idle, so hearing nothing for several
+// intervals means the connection is dead — a silent partition (no FIN, no
+// RST) would otherwise leave the follower blocked in the read forever,
+// counting heartbeats but never noticing their absence. The watchdog
+// cancels the stream so the normal reconnect-with-backoff path takes over.
+const streamStallTimeout = 2500 * time.Millisecond
+
+// stallGuard wraps a stream body and pushes the watchdog deadline out on
+// every chunk of bytes that arrives, so steady progress (even mid-frame,
+// e.g. a large checkpoint) never trips it while true silence does.
+type stallGuard struct {
+	r io.Reader
+	t *time.Timer
+}
+
+func (g *stallGuard) Read(p []byte) (int, error) {
+	n, err := g.r.Read(p)
+	if n > 0 {
+		g.t.Reset(streamStallTimeout)
+	}
+	return n, err
+}
 
 // Replicator streams a primary's WAL into a follower Server. Create with
 // NewReplicator, start with Run (usually in a goroutine), stop with Stop.
@@ -59,8 +85,9 @@ func NewReplicator(srv *server.Server, store *wal.Store, primary string, logf fu
 		store:  store,
 		policy: server.DefaultRetryPolicy(),
 		logf:   logf,
-		// No overall timeout: the stream is long-lived by design. Dial and
-		// response-header stalls are bounded by the per-stream context.
+		// No overall timeout: the stream is long-lived by design. Dial,
+		// response-header and body-read stalls are all bounded by the
+		// per-attempt stall watchdog in streamOnce.
 		hc:      &http.Client{},
 		primary: normalizeURL(primary),
 		done:    make(chan struct{}),
@@ -144,6 +171,14 @@ func (r *Replicator) Run(ctx context.Context) {
 		if stopped {
 			return
 		}
+		if errors.Is(err, server.ErrDiverged) {
+			// The local WAL holds a record the serving state could not
+			// apply; reconnecting would resume past it and silently skip it
+			// forever. Halt — the node is out of the fleet (readiness is
+			// already failed) until its data directory is rebuilt.
+			r.logf("replica: replication HALTED at seq %d: %v", r.store.LastSeq(), err)
+			return
+		}
 		if progressed {
 			attempt = 0
 		}
@@ -170,23 +205,39 @@ func (r *Replicator) streamOnce(ctx context.Context) (progressed bool, err error
 	if primary == "" {
 		return false, fmt.Errorf("replica: no primary configured")
 	}
+
+	// The stall watchdog: rctx governs every request this attempt makes,
+	// and the timer cancels it when nothing — no frame, no heartbeat, not a
+	// byte — arrives for streamStallTimeout. stalled rewrites the resulting
+	// "context canceled" into what actually happened.
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	stall := time.AfterFunc(streamStallTimeout, rcancel)
+	defer stall.Stop()
+	stalled := func(err error) error {
+		if rctx.Err() != nil && ctx.Err() == nil {
+			return fmt.Errorf("replica: stream from %s went silent for %v: %w", primary, streamStallTimeout, err)
+		}
+		return err
+	}
+
 	from := r.store.LastSeq()
 	if from == 0 && r.srv.Applied() == 0 {
-		if err := r.bootstrap(ctx, primary); err != nil {
-			return false, err
+		if err := r.bootstrap(rctx, primary, stall); err != nil {
+			return false, stalled(err)
 		}
 		progressed = true
 		from = r.store.LastSeq()
 	}
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
 		primary+"/v1/repl/stream?from="+strconv.FormatUint(from, 10), nil)
 	if err != nil {
 		return progressed, err
 	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
-		return progressed, err
+		return progressed, stalled(err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -196,8 +247,8 @@ func (r *Replicator) streamOnce(ctx context.Context) (progressed bool, err error
 		// let the caller reconnect (which will stream from the new base).
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for keep-alive
 		r.logf("replica: primary compacted past seq %d; re-bootstrapping", from)
-		if err := r.bootstrap(ctx, primary); err != nil {
-			return progressed, err
+		if err := r.bootstrap(rctx, primary, stall); err != nil {
+			return progressed, stalled(err)
 		}
 		return true, nil
 	default:
@@ -211,10 +262,13 @@ func (r *Replicator) streamOnce(ctx context.Context) (progressed bool, err error
 	}
 	r.maybeSynced()
 
-	sc := wal.NewFrameScanner(resp.Body)
+	sc := wal.NewFrameScanner(&stallGuard{r: resp.Body, t: stall})
 	for {
 		rec, serr := sc.Next()
 		if serr != nil {
+			if rctx.Err() != nil && ctx.Err() == nil {
+				return progressed, stalled(serr)
+			}
 			if errors.Is(serr, io.EOF) {
 				// The primary closed the stream cleanly (drain or injected
 				// drop); reconnect from wherever we are.
@@ -249,8 +303,10 @@ func (r *Replicator) maybeSynced() {
 }
 
 // bootstrap installs the primary's newest checkpoint as the follower's
-// entire state, positioning the local log at the checkpoint's seq.
-func (r *Replicator) bootstrap(ctx context.Context, primary string) error {
+// entire state, positioning the local log at the checkpoint's seq. stall
+// is the caller's watchdog timer; the snapshot body read feeds it so a
+// stalled transfer is cut like a stalled stream.
+func (r *Replicator) bootstrap(ctx context.Context, primary string, stall *time.Timer) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/v1/repl/snapshot", nil)
 	if err != nil {
 		return err
@@ -268,7 +324,7 @@ func (r *Replicator) bootstrap(ctx context.Context, primary string) error {
 	if err != nil {
 		return fmt.Errorf("replica: snapshot %s: bad X-Repl-Seq %q", primary, resp.Header.Get("X-Repl-Seq"))
 	}
-	frame, err := io.ReadAll(resp.Body)
+	frame, err := io.ReadAll(&stallGuard{r: resp.Body, t: stall})
 	if err != nil {
 		return fmt.Errorf("replica: reading snapshot: %w", err)
 	}

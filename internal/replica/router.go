@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -481,13 +482,26 @@ func (r *Router) handleUpdate(w http.ResponseWriter, q *http.Request, retract bo
 			}
 		}
 		if isTransport(err) {
-			// The primary is gone mid-write. Fail over for the NEXT writer,
-			// but surface 503 for this one: the write's fate is unknown, and
-			// re-sending a possibly-applied write is the client's call.
-			r.failover(prim)
-			writeErrJSON(w, http.StatusServiceUnavailable, server.CodeOverloaded,
-				"primary lost mid-write; failing over — retry")
-			return nil
+			// A canceled request (the writer hung up) or a timed-out backend
+			// call says nothing about the primary's health — a slow write is
+			// not a dead node, and deposing is irreversible. Leave those to
+			// the probe loop and surface the error.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			// A hard transport error (refused, reset, EOF) is still only one
+			// observation; confirm with a fresh status probe before deposing,
+			// matching the probe loop's more-than-one-failure bar.
+			if r.primaryConfirmedDead(prim) {
+				// The primary is gone mid-write. Fail over for the NEXT
+				// writer, but surface 503 for this one: the write's fate is
+				// unknown, and re-sending a possibly-applied write is the
+				// client's call.
+				r.failover(prim)
+				writeErrJSON(w, http.StatusServiceUnavailable, server.CodeOverloaded,
+					"primary lost mid-write; failing over — retry")
+				return nil
+			}
 		}
 		return err
 	}
@@ -567,13 +581,45 @@ func (r *Router) ackOnReplicas(_ context.Context, seq uint64) {
 	wg.Wait()
 }
 
+// primaryConfirmedDead re-probes a primary whose write just failed at the
+// transport level: only an independent second failure deposes it. The
+// probe deliberately uses a fresh background context — the writer's own
+// context may already be canceled, and that must not count as evidence.
+func (r *Router) primaryConfirmedDead(prim *backend) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeInterval*4)
+	defer cancel()
+	_, err := prim.client.ReplStatus(ctx)
+	return err != nil
+}
+
+// canonicalHostPort reduces a node address to a comparable host:port:
+// scheme and path stripped, host lowercased, the loopback spellings
+// unified — so "localhost:7070", "127.0.0.1:7070" and
+// "http://localhost:7070" all compare equal, and "internal:7070" can never
+// match "a.internal:7070".
+func canonicalHostPort(addr string) string {
+	u, err := url.Parse(normalizeURL(addr))
+	if err != nil || u.Host == "" {
+		return addr
+	}
+	host, port := strings.ToLower(u.Hostname()), u.Port()
+	if port == "" {
+		port = "80"
+	}
+	switch host {
+	case "", "localhost", "::1":
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
 // adoptPrimary switches the router's primary pointer to the backend at
-// addr (matching loosely on host:port); nil when addr is not a known
+// addr (compared as canonical host:port); nil when addr is not a known
 // backend.
 func (r *Router) adoptPrimary(addr string) *backend {
-	want := normalizeURL(addr)
+	want := canonicalHostPort(addr)
 	for _, b := range r.backends {
-		if b.addr == want || strings.HasSuffix(b.addr, strings.TrimPrefix(want, "http://")) {
+		if canonicalHostPort(b.addr) == want {
 			r.primMu.Lock()
 			r.primary = b
 			r.primMu.Unlock()

@@ -283,6 +283,10 @@ func (s *Server) health() HealthResponse {
 		h.ReplayTotal = s.replayTotal.Load()
 	case s.draining.Load():
 		h.Status = "draining"
+	case s.diverged.Load():
+		// The follower's WAL and serving state disagree; it must not serve
+		// until rebuilt. Distinct from "syncing" — this one never clears.
+		h.Status = "diverged"
 	case !s.synced.Load():
 		// A follower that has not yet caught up serves stale reads at best;
 		// keep it out of rotation until the stream reaches the primary's tip.

@@ -180,6 +180,10 @@ type ReplicationStats struct {
 	// Synced is true once a follower has caught up to the primary seq it
 	// first heard (primaries are always synced).
 	Synced bool `json:"synced"`
+	// Diverged is true once a record was mirrored into the local WAL but
+	// could not be applied: the node is failed out permanently (Synced
+	// stays false) until rebuilt from a fresh bootstrap.
+	Diverged bool `json:"diverged,omitempty"`
 	// LastStreamError is the most recent replication-stream failure (empty
 	// when streaming is healthy).
 	LastStreamError string `json:"last_stream_error,omitempty"`
@@ -243,9 +247,10 @@ type RecoveryStats struct {
 // HealthResponse is the /v1/healthz (liveness: always 200) and /v1/readyz
 // (readiness: 503 until recovery completes, and while draining) body.
 type HealthResponse struct {
-	// Status is "ok", "recovering", "syncing" or "draining". A follower
-	// reports "syncing" (and 503 on /v1/readyz) until it has caught up to
-	// the primary seq it first heard.
+	// Status is "ok", "recovering", "syncing", "diverged" or "draining". A
+	// follower reports "syncing" (and 503 on /v1/readyz) until it has
+	// caught up to the primary seq it first heard; "diverged" (also 503) is
+	// permanent — the node must be rebuilt from a fresh bootstrap.
 	Status string `json:"status"`
 	// Recovering is true while the boot-time log replay is running; writes
 	// are refused (503, code "recovering") until it finishes.

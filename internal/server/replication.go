@@ -153,10 +153,45 @@ func (s *Server) Applied() uint64 {
 func (s *Server) Repl() *ReplCounters { return &s.repl }
 
 // MarkSynced declares the follower caught up: /v1/readyz flips to 200.
-func (s *Server) MarkSynced() { s.synced.Store(true) }
+// A no-op once the node has diverged — a diverged follower must never
+// re-enter rotation.
+func (s *Server) MarkSynced() {
+	if !s.diverged.Load() {
+		s.synced.Store(true)
+	}
+}
 
 // Synced reports whether the node considers itself caught up.
 func (s *Server) Synced() bool { return s.synced.Load() }
+
+// ErrDiverged marks a follower whose local WAL holds a record its serving
+// state could not apply: the log position and the state no longer agree,
+// and resuming the stream from the local seq would silently skip the
+// record forever. Match with errors.Is; the replication layer halts on it.
+var ErrDiverged = errors.New("server: follower state diverged from the primary")
+
+// MarkDiverged permanently fails the node out of the fleet: synced goes
+// (and stays) false, so /v1/readyz reports 503 "diverged" and the router's
+// probes drop the node from read rotation and ack quorums. The only way
+// back is a rebuild — wipe the data directory and re-bootstrap.
+func (s *Server) MarkDiverged(reason string) {
+	if s.diverged.CompareAndSwap(false, true) {
+		s.synced.Store(false)
+		s.repl.SetStreamError(reason)
+		s.logf("follower DIVERGED; leaving rotation until rebuilt: %s", reason)
+	}
+}
+
+// Diverged reports whether the node has been failed out by MarkDiverged.
+func (s *Server) Diverged() bool { return s.diverged.Load() }
+
+// divergedErr marks the node diverged and wraps err in ErrDiverged: the
+// record is durably mirrored in the local WAL but absent from the serving
+// state, the one gap the resume protocol cannot close.
+func (s *Server) divergedErr(err error) error {
+	s.MarkDiverged(err.Error())
+	return fmt.Errorf("%w: %v", ErrDiverged, err)
+}
 
 // Promote flips a follower into the primary role: the write gate lifts and
 // the node's own mirrored WAL — which holds the primary's records at the
@@ -198,7 +233,7 @@ func (s *Server) ApplyReplicated(rec wal.Record) error {
 			return err
 		}
 		if err := s.installProgram(lr.DB, lr.Src, 1); err != nil {
-			return fmt.Errorf("server: applying replicated load %d: %w", rec.Seq, err)
+			return s.divergedErr(fmt.Errorf("server: applying replicated load %d: %w", rec.Seq, err))
 		}
 		s.cache.Reset(lr.DB)
 	case wal.TypeUpdate:
@@ -217,16 +252,22 @@ func (s *Server) ApplyReplicated(rec wal.Record) error {
 		}
 		epoch, changed, inv, err := prog.update(ur.Clauses, lattice.Label(ur.Clearance), ur.Retract, commit)
 		if err != nil {
-			return fmt.Errorf("server: applying replicated update %d: %w", rec.Seq, err)
+			err = fmt.Errorf("server: applying replicated update %d: %w", rec.Seq, err)
+			if mirrored {
+				// The record is in the local WAL but not in the serving
+				// state: resuming from the local seq would skip it forever.
+				return s.divergedErr(err)
+			}
+			return err
 		}
 		if !mirrored {
-			// The primary never logs no-op updates, so changed==0 here would
-			// mean divergence — but the seq stream must stay contiguous
-			// regardless, so mirror the record before failing loudly.
+			// The primary never logs no-op updates, so changed==0 here means
+			// divergence — but the seq stream must stay contiguous
+			// regardless, so mirror the record before failing the node out.
 			if err := s.wal.AppendMirror(rec); err != nil {
 				return err
 			}
-			return fmt.Errorf("server: replicated update %d was a no-op here: follower state diverged", rec.Seq)
+			return s.divergedErr(fmt.Errorf("server: replicated update %d was a no-op here: follower state diverged", rec.Seq))
 		}
 		if changed > 0 {
 			if s.cfg.GlobalInvalidation || inv.all {
@@ -449,6 +490,7 @@ func (s *Server) replicationStats() *ReplicationStats {
 		Primary:         s.PrimaryAddr(),
 		AppliedSeq:      s.Applied(),
 		Synced:          s.synced.Load(),
+		Diverged:        s.diverged.Load(),
 		LastStreamError: s.repl.StreamError(),
 
 		Resumes:            s.repl.Resumes.Load(),

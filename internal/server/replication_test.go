@@ -357,3 +357,76 @@ func TestFollowerReadyzTracksSync(t *testing.T) {
 		t.Fatalf("synced follower readyz = %d, want 200", got)
 	}
 }
+
+// TestMirroredButUnappliedRecordDiverges pins the contract for the one gap
+// the resume protocol cannot close: a record durably mirrored into the
+// follower's WAL that the serving state could not apply. The node must
+// fail out permanently — otherwise the replicator resumes from the local
+// seq on reconnect and the record is silently skipped forever.
+func TestMirroredButUnappliedRecordDiverges(t *testing.T) {
+	ctx := context.Background()
+	_, pc, pstore, purl := replServer(t, t.TempDir(), server.RolePrimary, "")
+	ps := openAt(t, pc, "s", "")
+	if _, err := pc.Assert(ctx, ps, "s[emp(carol: salary -s-> top)]."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Retract(ctx, ps, "s[emp(carol: salary -s-> top)]."); err != nil {
+		t.Fatal(err)
+	}
+
+	fsrv, fc, fstore, _ := replServer(t, t.TempDir(), server.RoleFollower, purl)
+	mirrorAll(t, fsrv, pstore, 0)
+	fsrv.MarkSynced()
+	if !fsrv.Synced() {
+		t.Fatal("caught-up follower should report synced")
+	}
+
+	// Re-ship the primary's last update at the next seq: the retract's
+	// clause is already gone, so the apply is a no-op — exactly the signal
+	// a real stream produces when follower state has drifted from the log.
+	recs, err := pstore.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := recs[len(recs)-1]
+	if poison.Type != wal.TypeUpdate {
+		t.Fatalf("last primary record has type %d, want an update", poison.Type)
+	}
+	poison.Seq = fstore.LastSeq() + 1
+	aerr := fsrv.ApplyReplicated(poison)
+	if !errors.Is(aerr, server.ErrDiverged) {
+		t.Fatalf("ApplyReplicated = %v, want ErrDiverged", aerr)
+	}
+	// The record is still mirrored: the local log stays contiguous for the
+	// post-mortem.
+	if got := fstore.LastSeq(); got != poison.Seq {
+		t.Fatalf("local log at seq %d, want %d (record must be mirrored)", got, poison.Seq)
+	}
+	// The node is failed out, stickily: MarkSynced cannot resurrect it.
+	if !fsrv.Diverged() || fsrv.Synced() {
+		t.Fatalf("diverged=%v synced=%v, want true/false", fsrv.Diverged(), fsrv.Synced())
+	}
+	fsrv.MarkSynced()
+	if fsrv.Synced() {
+		t.Fatal("MarkSynced resurrected a diverged follower")
+	}
+	// Readiness fails with the permanent status; the repl view carries it.
+	h, rerr := fc.Ready(ctx)
+	if rerr == nil {
+		t.Fatalf("readyz succeeded on a diverged node (status %q)", h.Status)
+	}
+	var re *server.RemoteError
+	if !errors.As(rerr, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz error = %v, want HTTP 503", rerr)
+	}
+	st, serr := fc.ReplStatus(ctx)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if !st.Diverged || st.Synced {
+		t.Fatalf("repl status diverged=%v synced=%v, want true/false", st.Diverged, st.Synced)
+	}
+	if st.LastStreamError == "" {
+		t.Fatal("divergence reason missing from the repl status")
+	}
+}

@@ -165,6 +165,7 @@ type Server struct {
 	// follower first catches up to the primary.
 	role        atomic.Int32
 	synced      atomic.Bool
+	diverged    atomic.Bool // sticky: a diverged follower never re-syncs
 	applied     atomic.Uint64
 	primaryMu   sync.Mutex
 	primaryAddr string
