@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: build test check vet race fuzz-smoke campaign chaos staticcheck \
-	staticcheck-install analyzers lint serve-smoke crash cluster-chaos \
+	staticcheck-install analyzers lint analyze serve-smoke crash cluster-chaos \
 	bench-smoke
 
 build:
@@ -64,6 +64,14 @@ analyzers:
 lint:
 	$(GO) run ./cmd/multivet -strict examples/ cmd/multilog/testdata
 
+# analyze runs the full pass catalog (including the whole-program flow and
+# cost analyses) over the example corpus and emits the findings as a SARIF
+# artifact for code-scanning upload. The corpus is clean, so the artifact
+# normally carries an empty result set under the full rule catalog.
+analyze:
+	$(GO) run ./cmd/multivet -sarif examples/ cmd/multilog/testdata > multivet.sarif
+	@echo "analyze: wrote multivet.sarif"
+
 # serve-smoke is the end-to-end daemon gate: generate a workload program,
 # start multilogd, storm it with serveload (concurrent sessions plus
 # assert/retract churn), cross-check /v1/stats, verify a clean SIGTERM
@@ -97,8 +105,8 @@ bench-smoke:
 	sh scripts/bench_smoke.sh
 
 # check is the CI tier: vet, the custom analyzers, staticcheck, build, the
-# program linter, the race-enabled suite, the chaos tier, the crash-recovery
+# program linter, the SARIF analysis artifact, the race-enabled suite, the chaos tier, the crash-recovery
 # matrix, the replication cluster-chaos matrix, the daemon smoke, the
 # write-mix bench smoke, and a bounded differential fuzz smoke.
-check: vet analyzers staticcheck build lint race chaos crash cluster-chaos serve-smoke bench-smoke fuzz-smoke
+check: vet analyzers staticcheck build lint analyze race chaos crash cluster-chaos serve-smoke bench-smoke fuzz-smoke
 	@echo "check: all gates passed"

@@ -22,6 +22,7 @@
 // Endpoints (see internal/server/protocol.go for the wire types):
 //
 //	POST /v1/session  /v1/session/close  /v1/query  /v1/assert  /v1/retract
+//	POST /v1/lint     (full static-analysis report + per-predicate flow table)
 //	GET  /v1/stats    /v1/healthz    /v1/readyz
 //
 // SIGINT/SIGTERM drains: open sessions are closed, in-flight requests

@@ -1,18 +1,24 @@
 // Command multivet is the standalone MultiLog/Datalog linter. It runs the
 // full pass registry from internal/lint — safety, undefined/unused
 // predicates, arity mismatches, duplicate/subsumed/dead rules,
-// stratifiability and the MultiLog belief/lattice checks — over .dl and
-// .mlg files and prints every finding with its file:line:col.
+// stratifiability, the MultiLog belief/lattice checks, and the
+// whole-program analyses from internal/analysis (MLS information flow:
+// downgrade channels, implicit modes, clearance-dependent queries,
+// unsatisfiable rules; cost shapes: cartesian products, nonlinear
+// recursion, join fan-out) — over .dl and .mlg files and prints every
+// finding with its file:line:col.
 //
 // Usage:
 //
 //	multivet prog.mlg                 # lint one program
 //	multivet examples/                # lint a tree recursively
 //	multivet -strict prog.dl          # warnings also fail the run
+//	multivet -sarif examples/         # emit SARIF 2.1.0 for code scanning
 //	multivet -modes rumor prog.mlg    # register user-defined belief modes
 //	multivet -passes                  # print the pass catalog
 //
-// Exit status: 0 clean, 1 findings, 2 usage or I/O failure.
+// Exit status: 0 clean, 1 findings (errors, or warnings under -strict;
+// info findings never fail the run), 2 usage or I/O failure.
 package main
 
 import (

@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Adorn runs the adornment/groundness analysis: starting from the seed
+// goals (normally the program's queries), it propagates b/f binding
+// patterns top-down through rule bodies using exactly the sideways
+// information passing the engines use — datalog.OrderBody for literal
+// order and datalog.AdornmentOf for what counts as bound — and records
+// every adornment that can reach each predicate. Sharing those two
+// helpers with the magic-sets rewrite is the point: a plan cache keyed on
+// this summary prepares precisely the specializations MagicSet would
+// build.
+//
+// When seeds is empty the analysis assumes nothing about callers and
+// seeds every predicate with the all-free adornment (the bottom-up
+// posture: any predicate may be demanded with no bindings).
+func Adorn(p *datalog.Program, seeds []datalog.Atom) *Summary {
+	s := newSummary(p)
+
+	type adSet = map[string]bool
+	solver := Solver[adSet]{
+		Bottom: func(string) adSet { return adSet{} },
+		Join: func(cur, in adSet) (adSet, bool) {
+			grew := false
+			for ad := range in {
+				if !cur[ad] {
+					cur[ad] = true
+					grew = true
+				}
+			}
+			return cur, grew
+		},
+	}
+
+	// One transfer per clause: it reads the head predicate's reachable
+	// adornments and pushes the induced body adornments sideways.
+	reads := func(i int) []string { return []string{p.Clauses[i].Head.Pred} }
+	transfer := func(i int, get func(string) adSet) []Contribution[adSet] {
+		c := p.Clauses[i]
+		var out []Contribution[adSet]
+		for ad := range get(c.Head.Pred) {
+			if len(ad) != len(c.Head.Args) {
+				continue // arity mismatch; DL004's problem, not ours
+			}
+			for _, call := range bodyCalls(c, ad) {
+				out = append(out, Contribution[adSet]{Key: call.Pred, Value: adSet{call.Ad: true}})
+			}
+		}
+		return out
+	}
+
+	var seedContribs []Contribution[adSet]
+	if len(seeds) == 0 {
+		for name, info := range s.Preds {
+			seedContribs = append(seedContribs, Contribution[adSet]{
+				Key: name, Value: adSet{strings.Repeat("f", info.Arity): true},
+			})
+		}
+	}
+	for _, q := range seeds {
+		if q.IsBuiltin() {
+			continue
+		}
+		seedContribs = append(seedContribs, Contribution[adSet]{
+			Key: q.Pred, Value: adSet{datalog.AdornmentOf(q, nil): true},
+		})
+	}
+
+	values, converged := solver.Solve(len(p.Clauses), reads, transfer, seedContribs)
+	s.Converged = converged
+
+	for name, ads := range values {
+		info := s.Preds[name]
+		if info == nil {
+			continue // builtin or arity-mismatched ghost
+		}
+		for ad := range ads {
+			info.Adornments = append(info.Adornments, ad)
+		}
+		sort.Strings(info.Adornments)
+	}
+
+	markRecursion(p, s)
+	markFloundering(p, s, values)
+	return s
+}
+
+// bodyCalls simulates one SIPS pass over the clause under a head
+// adornment and returns every non-builtin (pred, adornment) call site in
+// order: variables bound by the head's 'b' arguments and by each passed
+// positive literal bind the literals to their right, exactly as
+// MagicSet's adornRule walks the same OrderBody order.
+func bodyCalls(c datalog.Clause, headAd string) []struct{ Pred, Ad string } {
+	bound := map[string]bool{}
+	for i, t := range c.Head.Args {
+		if headAd[i] == 'b' {
+			for _, v := range t.Vars(nil) {
+				bound[v] = true
+			}
+		}
+	}
+	var out []struct{ Pred, Ad string }
+	for _, l := range datalog.OrderBody(c.Body) {
+		if !l.Atom.IsBuiltin() {
+			out = append(out, struct{ Pred, Ad string }{l.Atom.Pred, datalog.AdornmentOf(l.Atom, bound)})
+		}
+		if !l.Negated && l.Atom.Pred != datalog.BuiltinNeq {
+			for _, v := range l.Atom.Vars(nil) {
+				bound[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// newSummary scaffolds PredInfo for every non-builtin predicate.
+func newSummary(p *datalog.Program) *Summary {
+	s := &Summary{Preds: map[string]*PredInfo{}, Converged: true}
+	touch := func(a datalog.Atom) *PredInfo {
+		if a.IsBuiltin() {
+			return nil
+		}
+		info := s.Preds[a.Pred]
+		if info == nil {
+			info = &PredInfo{Name: a.Pred, Arity: len(a.Args), EDB: true}
+			s.Preds[a.Pred] = info
+		}
+		return info
+	}
+	for _, c := range p.Clauses {
+		info := touch(c.Head)
+		if info != nil {
+			if c.IsFact() {
+				info.Facts++
+			} else {
+				info.Rules++
+				info.EDB = false
+			}
+		}
+		for _, l := range c.Body {
+			touch(l.Atom)
+		}
+	}
+	for _, q := range p.Queries {
+		touch(q)
+	}
+	return s
+}
+
+// markRecursion sets the Recursive / NonlinearRecursion / UnboundRecursion
+// flags from the positive+negative dependency SCCs.
+func markRecursion(p *datalog.Program, s *Summary) {
+	succ := map[string][]string{}
+	self := map[string]bool{}
+	for _, e := range datalog.DependencyGraph(p) {
+		succ[e.From] = append(succ[e.From], e.To)
+		if e.From == e.To {
+			self[e.From] = true
+		}
+	}
+	comp := SCCs(s.PredNames(), succ)
+	sizes := map[int]int{}
+	for _, c := range comp {
+		sizes[c]++
+	}
+	for name, info := range s.Preds {
+		c, ok := comp[name]
+		if !ok {
+			continue
+		}
+		info.Recursive = self[name] || sizes[c] > 1
+		if !info.Recursive {
+			continue
+		}
+		if info.Arity > 0 {
+			allFree := strings.Repeat("f", info.Arity)
+			for _, ad := range info.Adornments {
+				if ad == allFree {
+					info.UnboundRecursion = true
+				}
+			}
+		}
+	}
+	// Nonlinear: some rule has >= 2 body literals in the head's component.
+	for _, c := range p.Clauses {
+		info := s.Preds[c.Head.Pred]
+		if info == nil || !info.Recursive {
+			continue
+		}
+		headComp := comp[c.Head.Pred]
+		n := 0
+		for _, l := range c.Body {
+			if l.Atom.IsBuiltin() {
+				continue
+			}
+			if bc, ok := comp[l.Atom.Pred]; ok && bc == headComp {
+				n++
+			}
+		}
+		if n >= 2 {
+			info.NonlinearRecursion = true
+		}
+	}
+}
+
+// markFloundering re-walks every clause under each reachable head
+// adornment and records negated / '!=' literals reached with an unbound
+// variable. With range restriction (DL001) and the OrderBody deferral
+// this cannot happen, so a hit here always coincides with an unsafe
+// program — but the plan cache must know either way.
+func markFloundering(p *datalog.Program, s *Summary, values map[string]map[string]bool) {
+	for ci, c := range p.Clauses {
+		info := s.Preds[c.Head.Pred]
+		if info == nil {
+			continue
+		}
+		for ad := range values[c.Head.Pred] {
+			if len(ad) != len(c.Head.Args) {
+				continue
+			}
+			bound := map[string]bool{}
+			for i, t := range c.Head.Args {
+				if ad[i] == 'b' {
+					for _, v := range t.Vars(nil) {
+						bound[v] = true
+					}
+				}
+			}
+			for _, l := range datalog.OrderBody(c.Body) {
+				if l.Negated || l.Atom.Pred == datalog.BuiltinNeq {
+					for _, v := range l.Atom.Vars(nil) {
+						if !bound[v] {
+							info.Floundering = append(info.Floundering, FlounderSite{
+								Clause: ci, Pos: c.Head.Pos, Literal: l.String(), Adornment: ad,
+							})
+							break
+						}
+					}
+				}
+				if !l.Negated && l.Atom.Pred != datalog.BuiltinNeq {
+					for _, v := range l.Atom.Vars(nil) {
+						bound[v] = true
+					}
+				}
+			}
+		}
+		sort.Slice(info.Floundering, func(i, j int) bool {
+			a, b := info.Floundering[i], info.Floundering[j]
+			if a.Clause != b.Clause {
+				return a.Clause < b.Clause
+			}
+			if a.Adornment != b.Adornment {
+				return a.Adornment < b.Adornment
+			}
+			return a.Literal < b.Literal
+		})
+	}
+}
+
+// Datalog is the everything analysis for a classical program: adornments
+// seeded from the program's own queries, recursion shape, floundering,
+// and cost estimates merged into one Summary.
+func Datalog(p *datalog.Program) *Summary {
+	s := Adorn(p, p.Queries)
+	cost := AnalyzeCost(p, CostOptions{})
+	for name, est := range cost.Sizes {
+		if info := s.Preds[name]; info != nil {
+			info.SizeEstimate = est
+		}
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/multilog"
+)
+
+func mustParse(t *testing.T, src string) *datalog.Program {
+	t.Helper()
+	p, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestAdornFromQuery(t *testing.T) {
+	p := mustParse(t, `
+		edge(a, b). edge(b, c).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+		?- tc(a, W).
+	`)
+	s := Datalog(p)
+	if !s.Converged {
+		t.Fatal("adornment fixpoint did not converge")
+	}
+	if got := s.Pred("tc").Adornments; !reflect.DeepEqual(got, []string{"bf"}) {
+		t.Errorf("tc adornments = %v, want [bf]", got)
+	}
+	// edge is called with X bound (from the head) in both rules.
+	if got := s.Pred("edge").Adornments; !reflect.DeepEqual(got, []string{"bf"}) {
+		t.Errorf("edge adornments = %v, want [bf]", got)
+	}
+	tc := s.Pred("tc")
+	if !tc.Recursive || tc.NonlinearRecursion || tc.UnboundRecursion {
+		t.Errorf("tc flags = rec:%v nonlinear:%v unbound:%v, want rec only",
+			tc.Recursive, tc.NonlinearRecursion, tc.UnboundRecursion)
+	}
+	if edge := s.Pred("edge"); !edge.EDB || edge.Facts != 2 {
+		t.Errorf("edge should be EDB with 2 facts, got %+v", edge)
+	}
+}
+
+func TestAdornMultipleAdornments(t *testing.T) {
+	p := mustParse(t, `
+		edge(a, b).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+		?- tc(a, W).
+		?- tc(U, V).
+	`)
+	s := Adorn(p, p.Queries)
+	if got := s.Pred("tc").Adornments; !reflect.DeepEqual(got, []string{"bf", "ff"}) {
+		t.Errorf("tc adornments = %v, want [bf ff]", got)
+	}
+	if !s.Pred("tc").UnboundRecursion {
+		t.Error("tc reachable all-free and recursive: UnboundRecursion should be set")
+	}
+}
+
+// TestAdornNoSeeds pins the bottom-up posture: with no queries every
+// predicate is assumed demanded all-free.
+func TestAdornNoSeeds(t *testing.T) {
+	p := mustParse(t, `
+		edge(a, b).
+		tc(X, Y) :- edge(X, Y).
+	`)
+	s := Adorn(p, nil)
+	if got := s.Pred("tc").Adornments; !reflect.DeepEqual(got, []string{"ff"}) {
+		t.Errorf("tc adornments = %v, want [ff]", got)
+	}
+}
+
+// TestAdornNonlinear pins nonlinear-recursion detection on the classic
+// doubled transitive closure.
+func TestAdornNonlinear(t *testing.T) {
+	p := mustParse(t, `
+		edge(a, b).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- tc(X, Y), tc(Y, Z).
+		?- tc(a, W).
+	`)
+	s := Adorn(p, p.Queries)
+	if !s.Pred("tc").NonlinearRecursion {
+		t.Error("doubled tc rule should be flagged nonlinear")
+	}
+}
+
+// TestAdornFloundering pins the floundering field on an unsafe program:
+// not reached(Y) with Y unbound flounders even after OrderBody's
+// deferral, because nothing in the body binds Y.
+func TestAdornFloundering(t *testing.T) {
+	p := mustParse(t, `
+		node(a).
+		isolated(X) :- node(X), not linked(X, Y).
+		linked(a, b).
+		?- isolated(a).
+	`)
+	s := Adorn(p, p.Queries)
+	fl := s.Pred("isolated").Floundering
+	if len(fl) != 1 {
+		t.Fatalf("want 1 flounder site, got %v", fl)
+	}
+	if fl[0].Adornment != "b" || fl[0].Literal != "not linked(X, Y)" {
+		t.Errorf("flounder site = %+v", fl[0])
+	}
+}
+
+// TestSummaryOnFigure12Reduction pins the stable Summary API on the
+// paper's Figure 10 database D1 reduced at user level c (the Figure 12
+// axioms + τ translation): the plan-cache contract is that the Example
+// 5.2 query demands the optimistic belief at c with adornment bbbf,
+// which flows to the dominated rel relations and the classical support
+// q, while the s-level relation stays out of the demanded cone.
+func TestSummaryOnFigure12Reduction(t *testing.T) {
+	red, err := multilog.Reduce(multilog.D1(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduction of r10 (?- c[p(k: a -R-> v)] << opt): bel args are
+	// (Key, Attr, Value, Class).
+	seed, err := datalog.ParseAtom("mlbel_p_c_opt(k, a, v, R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Adorn(red.Program, []datalog.Atom{seed})
+	if !s.Converged {
+		t.Fatal("fixpoint did not converge")
+	}
+	want := map[string][]string{
+		"mlbel_p_c_opt": {"bbbf"}, // the query itself
+		"mlrel_p_c":     {"bbbf"}, // a5 at level c
+		"mlrel_p_u":     {"bbbf"}, // a5 at the dominated level u
+		"q":             {"b"},    // r7's classical support, fully bound
+		"mlrel_p_s":     nil,      // clearance c never demands the s level
+	}
+	for pred, ads := range want {
+		got := s.Pred(pred).Adornments
+		if !reflect.DeepEqual(got, ads) {
+			t.Errorf("%s adornments = %v, want %v", pred, got, ads)
+		}
+	}
+	if _, ok := s.Preds["mlrel_p_s"]; !ok {
+		t.Error("mlrel_p_s should still be summarized (it exists in the program)")
+	}
+	if !s.Pred("dominate").Recursive {
+		t.Error("dominate (axiom a3) should be recursive")
+	}
+}

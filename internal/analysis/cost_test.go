@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestCostCartesian(t *testing.T) {
+	p := mustParse(t, `
+		a(1). b(2).
+		pair(X, Y) :- a(X), b(Y).
+		joined(X) :- a(X), b(X).
+	`)
+	cost := AnalyzeCost(p, CostOptions{})
+	if len(cost.Cartesian) != 1 {
+		t.Fatalf("want 1 cartesian site, got %+v", cost.Cartesian)
+	}
+	site := cost.Cartesian[0]
+	if site.Head != "pair" || len(site.Groups) != 2 {
+		t.Errorf("cartesian site = %+v", site)
+	}
+}
+
+// TestCostCartesianIgnoresGroundLiterals pins that zero-variable body
+// literals are existence filters, not product factors.
+func TestCostCartesianIgnoresGroundLiterals(t *testing.T) {
+	p := mustParse(t, `
+		flag(on). a(1).
+		gated(X) :- flag(on), a(X).
+	`)
+	if cost := AnalyzeCost(p, CostOptions{}); len(cost.Cartesian) != 0 {
+		t.Errorf("ground guard should not be a cartesian factor: %+v", cost.Cartesian)
+	}
+}
+
+func TestCostNonlinear(t *testing.T) {
+	p := mustParse(t, `
+		edge(a, b).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- tc(X, Y), tc(Y, Z).
+	`)
+	cost := AnalyzeCost(p, CostOptions{})
+	if len(cost.Nonlinear) != 1 || cost.Nonlinear[0].Head != "tc" || len(cost.Nonlinear[0].Recursive) != 2 {
+		t.Errorf("nonlinear sites = %+v", cost.Nonlinear)
+	}
+}
+
+// TestCostFanout pins the first-order size estimate: a three-way
+// cross-ish join of 10-fact relations estimates 1000 rows and trips the
+// default threshold, while the recursive rule stays finite because the
+// recursive literal contributes its base size, not its closure.
+func TestCostFanout(t *testing.T) {
+	src := ""
+	for i := 0; i < 10; i++ {
+		src += "r1(a" + string(rune('0'+i)) + ", x). r2(b" + string(rune('0'+i)) + ", x). r3(c" + string(rune('0'+i)) + ", x).\n"
+	}
+	src += "wide(A, B, C) :- r1(A, X), r2(B, X), r3(C, X).\n"
+	src += "tc(X, Y) :- r1(X, Y).\n"
+	src += "tc(X, Z) :- r1(X, Y), tc(Y, Z).\n"
+	p := mustParse(t, src)
+	cost := AnalyzeCost(p, CostOptions{})
+	if len(cost.Fanout) != 1 || cost.Fanout[0].Head != "wide" {
+		t.Fatalf("fanout sites = %+v", cost.Fanout)
+	}
+	if got := cost.Fanout[0].Estimate; got != 1000 {
+		t.Errorf("wide estimate = %d, want 1000", got)
+	}
+	if got := cost.Sizes["tc"]; got <= 0 || got > 100 {
+		t.Errorf("recursive tc estimate should stay first-order, got %d", got)
+	}
+	// Raising the threshold suppresses the finding.
+	if c2 := AnalyzeCost(p, CostOptions{FanoutThreshold: 10000}); len(c2.Fanout) != 0 {
+		t.Errorf("threshold 10000 should suppress the finding: %+v", c2.Fanout)
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/multilog"
+)
+
+func mustParseML(t *testing.T, src string) *multilog.Database {
+	t.Helper()
+	db, err := multilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return db
+}
+
+// TestFlowD1 pins the analysis on the paper's Figure 10 database: the
+// showcase program is flow-clean (no downgrades — r8 lifts u-classified
+// data *up* to s), p is mode-divergent (asserted at u, c and s, which is
+// the whole point of Example 5.2), and p is clearance-dependent because
+// the c-classified cell of r7 is visible only to subjects cleared at c.
+func TestFlowD1(t *testing.T) {
+	f, err := AnalyzeFlow(multilog.D1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Converged {
+		t.Fatal("flow fixpoint did not converge")
+	}
+	if len(f.Downgrades)+len(f.ImplicitModes)+len(f.DependentQueries)+len(f.Unsatisfiable) != 0 {
+		t.Errorf("D1 should be flow-clean, got %+v %+v %+v %+v",
+			f.Downgrades, f.ImplicitModes, f.DependentQueries, f.Unsatisfiable)
+	}
+	p := f.Preds["p"]
+	if p == nil {
+		t.Fatal("no flow info for p")
+	}
+	if got := p.Sources; !reflect.DeepEqual(got, []lattice.Label{"c", "u"}) {
+		t.Errorf("p sources = %v, want [c u]", got)
+	}
+	if !p.ModeDivergent {
+		t.Error("p is asserted at u, c and s: ModeDivergent should be set")
+	}
+	if p.ClearanceIndependent {
+		t.Error("p depends on the c-classified cell: not clearance-independent")
+	}
+	if !p.HasBound || p.Bound != "c" {
+		t.Errorf("p bound = %v/%v, want c", p.Bound, p.HasBound)
+	}
+	if got := p.HeadLevels; !reflect.DeepEqual(got, []lattice.Label{"c", "s", "u"}) {
+		t.Errorf("p head levels = %v, want [c s u]", got)
+	}
+}
+
+// TestFlowDowngrade pins ML005: publishing an unclassified digest of
+// secret mission data is a downgrade channel — the u-level head's
+// derivations depend on s-level premises, so the digest's presence
+// signals classified state to low-cleared subjects.
+func TestFlowDowngrade(t *testing.T) {
+	db := mustParseML(t, `
+		level(u). level(s). order(u, s).
+		s[mission(m1: objective -s-> spying)].
+		u[digest(m1: gist -u-> active)] :- s[mission(m1: objective -C-> spying)] << opt.
+	`)
+	f, err := AnalyzeFlow(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Downgrades) == 0 {
+		t.Fatal("want a downgrade finding")
+	}
+	d := f.Downgrades[0]
+	if d.Pred != "digest" || d.HeadLevel != "u" || d.Source != "s" {
+		t.Errorf("downgrade = %+v", d)
+	}
+	if f.Preds["digest"].ClearanceIndependent {
+		t.Error("a downgraded predicate is clearance-dependent by construction")
+	}
+}
+
+// TestFlowClearanceIndependent pins the claim the differential campaign
+// validates: a predicate whose whole cone sits at the universally
+// dominated level is answer-stable across clearances.
+func TestFlowClearanceIndependent(t *testing.T) {
+	db := mustParseML(t, `
+		level(u). level(s). order(u, s).
+		u[pub(k1: a -u-> v1)].
+		u[pub2(k1: a -u-> v2)] :- u[pub(k1: a -u-> v1)] << fir.
+		s[sec(k1: a -s-> v3)].
+	`)
+	f, err := AnalyzeFlow(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []string{"pub", "pub2"} {
+		info := f.Preds[pred]
+		if info == nil || !info.ClearanceIndependent {
+			t.Errorf("%s should be clearance-independent: %+v", pred, info)
+		}
+	}
+	if f.Preds["sec"].ClearanceIndependent {
+		t.Error("sec carries an s classification: not clearance-independent")
+	}
+}
+
+// TestFlowImplicitMode pins ML006: a plain m-atom over a predicate
+// asserted at two comparable levels silently means firm-mode visibility.
+func TestFlowImplicitMode(t *testing.T) {
+	db := mustParseML(t, `
+		level(u). level(s). order(u, s).
+		u[intel(base: status -u-> nominal)].
+		s[intel(base: status -s-> compromised)].
+		s[watch(base: action -s-> monitor)] :- s[intel(base: status -C-> V)].
+	`)
+	f, err := AnalyzeFlow(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.ImplicitModes) != 1 {
+		t.Fatalf("want 1 implicit-mode site, got %+v", f.ImplicitModes)
+	}
+	site := f.ImplicitModes[0]
+	if site.Pred != "intel" || site.Query != -1 {
+		t.Errorf("site = %+v", site)
+	}
+	if got := site.Levels; !reflect.DeepEqual(got, []lattice.Label{"s", "u"}) {
+		t.Errorf("divergent levels = %v, want [s u]", got)
+	}
+}
+
+// TestFlowDependentQuery pins ML007: a stored query fixed at a low level
+// over a predicate whose cone reaches higher classifications answers
+// differently depending on who asks.
+func TestFlowDependentQuery(t *testing.T) {
+	db := mustParseML(t, `
+		level(u). level(s). order(u, s).
+		s[report(r1: body -s-> details)].
+		u[board(r1: summary -u-> posted)] :- s[report(r1: body -C-> V)] << fir.
+		?- u[board(r1: summary -u-> S)].
+	`)
+	f, err := AnalyzeFlow(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.DependentQueries) != 1 {
+		t.Fatalf("want 1 dependent-query site, got %+v", f.DependentQueries)
+	}
+	q := f.DependentQueries[0]
+	if q.Pred != "board" || q.Level != "u" || q.Source != "s" {
+		t.Errorf("site = %+v", q)
+	}
+}
+
+// TestFlowUnsatisfiable pins ML008 on an incomparable pair: no asserted
+// clearance dominates both wings, so the rule can never produce a
+// visible answer for anyone.
+func TestFlowUnsatisfiable(t *testing.T) {
+	db := mustParseML(t, `
+		level(army). level(navy).
+		army[ops(o1: status -army-> go)] :- navy[fleet(f1: status -navy-> ready)] << fir.
+		navy[fleet(f1: status -navy-> ready)].
+	`)
+	f, err := AnalyzeFlow(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Unsatisfiable) != 1 {
+		t.Fatalf("want 1 unsatisfiable site, got %+v", f.Unsatisfiable)
+	}
+	u := f.Unsatisfiable[0]
+	if u.Pred != "ops" {
+		t.Errorf("site = %+v", u)
+	}
+	if got := u.Levels; !reflect.DeepEqual(got, []lattice.Label{"army", "navy"}) {
+		t.Errorf("levels = %v, want [army navy]", got)
+	}
+}
+
+// TestFlowLevelVariableBlankets pins the conservative treatment of level
+// variables: the predicate loses every independence claim.
+func TestFlowLevelVariableBlankets(t *testing.T) {
+	db := mustParseML(t, `
+		level(u). level(s). order(u, s).
+		u[base(k1: a -u-> v)].
+		u[echo(k1: a -u-> v)] :- L[base(k1: a -u-> v)] << opt.
+	`)
+	f, err := AnalyzeFlow(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := f.Preds["echo"]
+	if info == nil || !info.AllLabels || info.ClearanceIndependent {
+		t.Errorf("level-variable body should blanket echo: %+v", info)
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestSolverReachability exercises the generic solver on the simplest
+// monotone analysis: graph reachability as a boolean lattice.
+func TestSolverReachability(t *testing.T) {
+	edges := [][2]string{{"a", "b"}, {"b", "c"}, {"c", "b"}, {"d", "e"}}
+	s := Solver[bool]{
+		Bottom: func(string) bool { return false },
+		Join: func(cur, in bool) (bool, bool) {
+			return cur || in, in && !cur
+		},
+	}
+	values, ok := s.Solve(len(edges),
+		func(i int) []string { return []string{edges[i][0]} },
+		func(i int, get func(string) bool) []Contribution[bool] {
+			if get(edges[i][0]) {
+				return []Contribution[bool]{{Key: edges[i][1], Value: true}}
+			}
+			return nil
+		},
+		[]Contribution[bool]{{Key: "a", Value: true}},
+	)
+	if !ok {
+		t.Fatal("solver did not converge")
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !values[want] {
+			t.Errorf("%s should be reachable", want)
+		}
+	}
+	if values["d"] || values["e"] {
+		t.Errorf("d/e should be unreachable, got %v", values)
+	}
+}
+
+// TestSolverBudget pins that a runaway domain stops at the application
+// budget and reports non-convergence instead of hanging.
+func TestSolverBudget(t *testing.T) {
+	s := Solver[int]{
+		Bottom: func(string) int { return 0 },
+		// Deliberately non-idempotent join: grows forever.
+		Join:            func(cur, in int) (int, bool) { return cur + in, true },
+		MaxApplications: 100,
+	}
+	_, ok := s.Solve(1,
+		func(int) []string { return []string{"x"} },
+		func(i int, get func(string) int) []Contribution[int] {
+			return []Contribution[int]{{Key: "x", Value: 1}}
+		},
+		nil,
+	)
+	if ok {
+		t.Fatal("non-terminating domain reported convergence")
+	}
+}
+
+// TestSCCs pins the component decomposition used for recursion detection.
+func TestSCCs(t *testing.T) {
+	succ := map[string][]string{
+		"a": {"b"},
+		"b": {"c"},
+		"c": {"a"},
+		"d": {"a", "e"},
+		"e": {},
+		"f": {"f"},
+	}
+	comp := SCCs([]string{"a", "b", "c", "d", "e", "f"}, succ)
+	if comp["a"] != comp["b"] || comp["b"] != comp["c"] {
+		t.Errorf("a,b,c should share a component: %v", comp)
+	}
+	distinct := map[int]bool{comp["a"]: true, comp["d"]: true, comp["e"]: true, comp["f"]: true}
+	if len(distinct) != 4 {
+		t.Errorf("want 4 distinct components among {abc}, d, e, f: %v", comp)
+	}
+	var keys []string
+	for k := range comp {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if !reflect.DeepEqual(keys, []string{"a", "b", "c", "d", "e", "f"}) {
+		t.Errorf("every node should be assigned: %v", comp)
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Summary is the stable per-predicate product of the whole-program
+// analyses over a classical Datalog program. It is the contract between
+// the analyses and their consumers: the lint passes format findings from
+// it, and a compiled engine's plan cache keys on Adornments to decide
+// which join plans to build per predicate (ROADMAP item 1). Fields are
+// only ever added, never renamed or removed.
+type Summary struct {
+	// Preds maps every non-builtin predicate (IDB and EDB) to its info.
+	Preds map[string]*PredInfo
+	// Converged is false only when a fixpoint hit its application budget;
+	// the summary is then a sound partial result but may miss reachable
+	// adornments.
+	Converged bool
+}
+
+// PredInfo is the analysis result for one predicate.
+type PredInfo struct {
+	Name  string
+	Arity int
+	// EDB reports the predicate is defined by facts only (no proper rule).
+	EDB bool
+	// Facts counts the predicate's fact clauses; Rules its proper rules.
+	Facts int
+	Rules int
+	// Adornments lists every reachable b/f binding pattern, sorted. An
+	// empty list means the predicate is not reachable from any seed goal
+	// (the plan cache needs no plan for it).
+	Adornments []string
+	// Recursive reports the predicate depends on itself (any cycle).
+	Recursive bool
+	// NonlinearRecursion reports some rule for this predicate has two or
+	// more body literals inside the predicate's own recursive component.
+	NonlinearRecursion bool
+	// UnboundRecursion reports the predicate is recursive and reachable
+	// with the all-free adornment: top-down evaluation gets no bound
+	// argument to drive magic sets or index selection, so such calls
+	// degrade to a full bottom-up fixpoint.
+	UnboundRecursion bool
+	// Floundering lists body literals that are negated (or '!=') and can
+	// be reached with an unbound variable under some reachable head
+	// adornment, even after the SIPS reordering.
+	Floundering []FlounderSite
+	// SizeEstimate is the cost analysis' first-order relation-size
+	// estimate (see AnalyzeCost); 0 when the cost analysis did not run.
+	SizeEstimate int64
+}
+
+// FlounderSite locates one floundering literal.
+type FlounderSite struct {
+	Clause    int              // index into Program.Clauses
+	Pos       datalog.Position // the clause's position
+	Literal   string           // the literal that flounders, rendered
+	Adornment string           // head adornment under which it flounders
+}
+
+// Pred returns the info for name, or an empty placeholder so callers can
+// chain field accesses without nil checks.
+func (s *Summary) Pred(name string) *PredInfo {
+	if p, ok := s.Preds[name]; ok {
+		return p
+	}
+	return &PredInfo{Name: name}
+}
+
+// PredNames returns the summarized predicates, sorted.
+func (s *Summary) PredNames() []string {
+	names := make([]string, 0, len(s.Preds))
+	for n := range s.Preds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the summary one predicate per line, for debugging and
+// golden tests.
+func (s *Summary) String() string {
+	var b strings.Builder
+	for _, n := range s.PredNames() {
+		p := s.Preds[n]
+		kind := "idb"
+		if p.EDB {
+			kind = "edb"
+		}
+		fmt.Fprintf(&b, "%s/%d %s adorn=[%s]", p.Name, p.Arity, kind, strings.Join(p.Adornments, " "))
+		if p.Recursive {
+			b.WriteString(" rec")
+		}
+		if p.NonlinearRecursion {
+			b.WriteString(" nonlinear")
+		}
+		if p.UnboundRecursion {
+			b.WriteString(" unbound-rec")
+		}
+		if len(p.Floundering) > 0 {
+			fmt.Fprintf(&b, " flounder=%d", len(p.Floundering))
+		}
+		if p.SizeEstimate > 0 {
+			fmt.Fprintf(&b, " size~%d", p.SizeEstimate)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package datalog
+
+import "testing"
+
+// TestAdornmentOf pins the public adornment helper shared by the
+// magic-sets rewrite and internal/analysis: an argument is 'b' exactly
+// when all its variables are bound (constants are trivially bound).
+func TestAdornmentOf(t *testing.T) {
+	cases := []struct {
+		atom  string
+		bound []string
+		want  string
+	}{
+		{"p(a, b)", nil, "bb"},
+		{"p(X, b)", nil, "fb"},
+		{"p(X, b)", []string{"X"}, "bb"},
+		{"p(X, Y, c)", []string{"Y"}, "fbb"},
+		{"p(f(X, Y))", []string{"X"}, "f"},
+		{"p(f(X, Y))", []string{"X", "Y"}, "b"},
+		{"p()", nil, ""},
+	}
+	for _, tc := range cases {
+		a, err := ParseAtom(tc.atom)
+		if err != nil {
+			t.Fatalf("ParseAtom(%q): %v", tc.atom, err)
+		}
+		bound := map[string]bool{}
+		for _, v := range tc.bound {
+			bound[v] = true
+		}
+		if got := AdornmentOf(a, bound); got != tc.want {
+			t.Errorf("AdornmentOf(%s, %v) = %q, want %q", tc.atom, tc.bound, got, tc.want)
+		}
+	}
+}
+
+// TestOrderBodyDefersNegationAndNeq pins the SIPS order: positives keep
+// source order, negated and '!=' literals stably move to the end.
+func TestOrderBodyDefersNegationAndNeq(t *testing.T) {
+	c, err := ParseClause("a(X) :- not b(X), c(X), X != d, e(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := OrderBody(c.Body)
+	want := []string{"c(X)", "e(X)", "not b(X)", "X != d"}
+	if len(got) != len(want) {
+		t.Fatalf("OrderBody returned %d literals, want %d", len(got), len(want))
+	}
+	for i, l := range got {
+		if l.String() != want[i] {
+			t.Errorf("OrderBody[%d] = %s, want %s", i, l.String(), want[i])
+		}
+	}
+	// A body with nothing to defer is returned unchanged.
+	c2, _ := ParseClause("a(X) :- b(X), c(X).")
+	got2 := OrderBody(c2.Body)
+	for i, l := range got2 {
+		if l.String() != c2.Body[i].String() {
+			t.Errorf("no-defer OrderBody[%d] = %s, want %s", i, l.String(), c2.Body[i].String())
+		}
+	}
+}

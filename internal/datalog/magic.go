@@ -68,7 +68,7 @@ func MagicSet(p *Program, query Atom) (*Program, Atom, error) {
 		return p, query, nil
 	}
 
-	queryAd := adornmentOf(query, map[string]bool{})
+	queryAd := AdornmentOf(query, map[string]bool{})
 	type job struct {
 		pred, ad string
 	}
@@ -112,10 +112,13 @@ func MagicSet(p *Program, query Atom) (*Program, Atom, error) {
 	return out, adornAtom(query, queryAd), nil
 }
 
-// adornmentOf computes the b/f pattern of an atom given the currently
+// AdornmentOf computes the b/f pattern of an atom given the currently
 // bound variables: an argument is bound when it is ground or all its
-// variables are bound.
-func adornmentOf(a Atom, bound map[string]bool) string {
+// variables are bound. It is the single adornment definition shared by
+// the magic-sets rewrite and the whole-program adornment analysis
+// (internal/analysis); both must agree on what "bound" means or plan
+// selection would diverge from rewriting.
+func AdornmentOf(a Atom, bound map[string]bool) string {
 	var b strings.Builder
 	for _, t := range a.Args {
 		vars := t.Vars(nil)
@@ -175,9 +178,9 @@ func adornRule(c Clause, headAd string, idb map[string]bool) (Clause, []Clause, 
 	// The body is reordered (negation and '!=' last) so every prefix cut at
 	// an IDB call keeps the positive literals that range-restrict it.
 	prefix := []Literal{guard}
-	for _, l := range orderBody(c.Body) {
+	for _, l := range OrderBody(c.Body) {
 		if !l.Negated && idb[l.Atom.Pred] && !l.Atom.IsBuiltin() {
-			ad := adornmentOf(l.Atom, bound)
+			ad := AdornmentOf(l.Atom, bound)
 			// Magic rule: the bindings that reach this call.
 			magicRules = append(magicRules, Clause{
 				Head: magicAtom(l.Atom, ad),

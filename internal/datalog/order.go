@@ -1,6 +1,6 @@
 package datalog
 
-// orderBody stably moves '!=' and negated literals after the positive
+// OrderBody stably moves '!=' and negated literals after the positive
 // ones. The bottom-up evaluator picks body literals dynamically ("first
 // ready"), but SLD, tabling, and the magic-sets rewrite consume bodies in
 // source order, so a range-restricted clause like
@@ -12,7 +12,11 @@ package datalog
 // literal, so after this reordering those variables are ground when the
 // deferred literal is reached. '=' binds and never flounders; it stays in
 // place among the positives.
-func orderBody(body []Literal) []Literal {
+//
+// Exported because it *is* the sideways-information-passing order: the
+// magic-sets rewrite, SLD, tabling, and the adornment analysis in
+// internal/analysis all walk bodies in this order, and they must agree.
+func OrderBody(body []Literal) []Literal {
 	var pos, deferred []Literal
 	for _, l := range body {
 		if l.Negated || l.Atom.Pred == BuiltinNeq {

@@ -158,7 +158,7 @@ func (sld *SLD) ProveContext(ctx context.Context, goal Atom, max int) ([]Answer,
 			// Prove the body left to right (negation and '!=' deferred to
 			// the end so range-restricted clauses cannot flounder),
 			// accumulating subproofs.
-			body := orderBody(rc.Body)
+			body := OrderBody(rc.Body)
 			var proveBody func(i int, s term.Subst, subs []*ProofNode) error
 			proveBody = func(i int, s term.Subst, subs []*ProofNode) error {
 				if i == len(body) {

@@ -211,7 +211,7 @@ func (tb *Tabled) onePass(tab *answerTable) error {
 		if !term.UnifyAll(goal.Args, rc.Head.Args, s) {
 			continue
 		}
-		err := tb.solveBody(orderBody(rc.Body), s, func(s2 term.Subst) error {
+		err := tb.solveBody(OrderBody(rc.Body), s, func(s2 term.Subst) error {
 			ans := rc.Head.Apply(s2)
 			if !ans.IsGround() {
 				return fmt.Errorf("datalog: tabled answer %s is not ground (unsafe clause %s)", ans, c)

@@ -33,11 +33,12 @@ func langForPath(path string) string {
 func CLI(name string, args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet(name, flag.ContinueOnError)
 	fl.SetOutput(stderr)
-	strict := fl.Bool("strict", false, "exit non-zero on warnings, not just errors")
+	strict := fl.Bool("strict", false, "exit non-zero on warnings, not just errors (info findings never fail the run)")
 	listPasses := fl.Bool("passes", false, "print the pass catalog and exit")
+	sarif := fl.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout (for CI code-scanning upload)")
 	modesFlag := fl.String("modes", "", "comma-separated user-defined belief modes to treat as known")
 	fl.Usage = func() {
-		fmt.Fprintf(stderr, "usage: %s [-strict] [-modes m1,m2] <file-or-dir>...\n", name)
+		fmt.Fprintf(stderr, "usage: %s [-strict] [-sarif] [-modes m1,m2] <file-or-dir>...\n", name)
 		fmt.Fprintf(stderr, "lints MultiLog (.mlg) and Datalog (.dl) programs; see -passes for the catalog\n")
 		fl.PrintDefaults()
 	}
@@ -94,7 +95,8 @@ func CLI(name string, args []string, stdout, stderr io.Writer) int {
 	}
 	sort.Strings(files)
 
-	var errors, warnings int
+	var errors, warnings, infos int
+	var all Diagnostics
 	for _, path := range files {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -109,17 +111,31 @@ func CLI(name string, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Fprintln(stdout, d)
-			if d.Severity == Error {
+			if !*sarif {
+				fmt.Fprintln(stdout, d)
+			}
+			switch d.Severity {
+			case Error:
 				errors++
-			} else {
+			case Warning:
 				warnings++
+			default:
+				infos++
 			}
 		}
+		all = append(all, diags...)
 	}
-	if errors+warnings > 0 {
-		fmt.Fprintf(stdout, "%s: %d file(s) checked: %d error(s), %d warning(s)\n", name, len(files), errors, warnings)
+	if *sarif {
+		if err := WriteSARIF(stdout, name, all); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			return 2
+		}
+	} else if errors+warnings+infos > 0 {
+		fmt.Fprintf(stdout, "%s: %d file(s) checked: %d error(s), %d warning(s), %d info(s)\n",
+			name, len(files), errors, warnings, infos)
 	}
+	// Info findings are advisory shapes (cost estimates, mode reminders);
+	// they never flip the exit code, strict or not.
 	if errors > 0 || (*strict && warnings > 0) {
 		return 1
 	}

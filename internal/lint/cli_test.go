@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -81,6 +82,77 @@ func TestCLIPassCatalog(t *testing.T) {
 		if !strings.Contains(out.String(), code) {
 			t.Errorf("pass catalog missing %s:\n%s", code, out.String())
 		}
+	}
+}
+
+func TestCLIInfoNeverFails(t *testing.T) {
+	// cartesian.dl produces only Info findings: exit 0 even under -strict.
+	path := filepath.Join("testdata", "cartesian.dl")
+	var out, errOut strings.Builder
+	if code := CLI("multivet", []string{"-strict", path}, &out, &errOut); code != 0 {
+		t.Fatalf("info-only file under -strict: exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "DL009") {
+		t.Fatalf("info finding not rendered:\n%s", out.String())
+	}
+}
+
+func TestCLISARIF(t *testing.T) {
+	var out, errOut strings.Builder
+	code := CLI("multivet", []string{"-sarif",
+		filepath.Join("testdata", "downgrade_channel.mlg"),
+		filepath.Join("testdata", "cartesian.dl"),
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("sarif over warning+info findings: exit %d, want 0\nstderr: %s", code, errOut.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("sarif output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one 2.1.0 run, got version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "multivet" || len(run.Tool.Driver.Rules) != len(Passes()) {
+		t.Errorf("driver = %s with %d rules, want multivet with the full pass catalog (%d)",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules), len(Passes()))
+	}
+	levels := map[string]string{}
+	for _, res := range run.Results {
+		levels[res.RuleID] = res.Level
+		if len(res.Locations) == 0 || res.Locations[0].PhysicalLocation.Region == nil {
+			t.Errorf("%s result has no positioned location", res.RuleID)
+		}
+	}
+	if levels["ML005"] != "warning" || levels["DL009"] != "note" {
+		t.Errorf("result levels = %v, want ML005=warning, DL009=note", levels)
 	}
 }
 

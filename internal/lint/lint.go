@@ -160,11 +160,18 @@ func Passes() []PassInfo {
 		{"DL006", "subsumed", Warning, "datalog", "a clause is subsumed by a more general clause and can never contribute a new fact"},
 		{"DL007", "deadrule", Warning, "datalog", "a rule body depends (transitively) on a predicate that no fact or live rule can ever derive; the rule can never fire in any engine"},
 		{"DL008", "stratify", Error, "datalog", "negation through recursion; the offending dependency cycle is spelled out (Theorem 6.1 precondition)"},
+		{"DL009", "cartesian", Info, "datalog", "a rule body's positive literals split into variable-disjoint groups, so the body computes a cartesian product"},
+		{"DL010", "nonlinear", Info, "datalog", "two or more body literals sit in the head's recursive component; seminaive evaluation re-joins each per round"},
+		{"DL011", "fanout", Info, "datalog", "the estimated (first-order) join size of a rule body exceeds the fan-out threshold"},
 		{"ML000", "parse", Error, "multilog", "syntax errors reported by the parser, repositioned as diagnostics"},
 		{"ML001", "malformed-belief", Error, "multilog", "a belief or m-atom whose security level or classification is the distinguished null or a compound term"},
 		{"ML002", "belief-mode", Error, "multilog", "a b-atom uses a mode that is neither built-in (fir, opt, cau) nor defined by bel/7 clauses in Pi nor registered"},
 		{"ML003", "dominance", Error, "multilog", "a ground m- or b-atom whose assertion level fails to dominate the believed fact's classification in the security lattice (the paper's dominance order c <= s)"},
 		{"ML004", "admissible", Error, "multilog", "Definition 5.3 admissibility: a security level or classification constant is not asserted by Lambda, or Lambda does not define a partial order"},
+		{"ML005", "downgrade", Warning, "multilog", "downgrade channel: a rule's visible head depends (transitively) on premises classified above the head's level, so low-cleared subjects observe consequences of facts they cannot see"},
+		{"ML006", "implicit-mode", Info, "multilog", "a plain m-atom reads a predicate asserted at two comparable levels — raw visibility is the firm mode in disguise, and opt/cau answers diverge"},
+		{"ML007", "clearance-dependent", Info, "multilog", "a stored query fixes a level whose derivation cone reaches higher classifications, so its answers vary with the asker's clearance"},
+		{"ML008", "unsatisfiable", Warning, "multilog", "no asserted level dominates a rule's head and body levels jointly, so no subject can both fire the rule and see its result"},
 	}
 }
 
@@ -178,6 +185,7 @@ func Datalog(p *datalog.Program, opts Options) Diagnostics {
 	lintDatalogDuplicates(r, p)
 	lintDatalogDeadRules(r, p)
 	lintDatalogStratify(r, p)
+	lintDatalogCost(r, p)
 	r.diags.Sort()
 	return r.diags
 }
@@ -190,12 +198,14 @@ func MultiLog(db *multilog.Database, opts Options) Diagnostics {
 	lintMultiLogSafety(r, db)
 	lintMultiLogBeliefs(r, db, opts)
 	lintMultiLogLattice(r, db)
+	lintMultiLogFlow(r, db)
 	// Π is a classical program; every Datalog pass applies to it.
 	pi := piProgram(db)
 	lintDatalogSafety(r, pi)
 	lintDatalogArity(r, pi)
 	lintDatalogDuplicates(r, pi)
 	lintDatalogStratify(r, pi)
+	lintDatalogCost(r, pi)
 	r.diags.Sort()
 	return r.diags
 }

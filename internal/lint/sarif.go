@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 types, minimal subset: enough for GitHub code scanning and
+// editors to place the findings. One run, one tool, one result per
+// diagnostic.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	Name             string       `json:"name,omitempty"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps lint severities onto the SARIF level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// WriteSARIF renders the diagnostics as one SARIF 2.1.0 run, the format
+// CI systems ingest for inline code annotation. The rule catalog carries
+// every registered pass so consumers can show pass documentation even
+// for codes with no findings in this run.
+func WriteSARIF(w io.Writer, toolName string, diags Diagnostics) error {
+	driver := sarifDriver{
+		Name:           toolName,
+		InformationURI: "https://en.wikipedia.org/wiki/Datalog",
+	}
+	for _, pi := range Passes() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               pi.Code,
+			Name:             pi.Name,
+			ShortDescription: sarifMessage{Text: pi.Doc},
+		})
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		msg := d.Message
+		if d.Fix != "" {
+			msg += " (fix: " + d.Fix + ")"
+		}
+		res := sarifResult{
+			RuleID:  d.Code,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: msg},
+		}
+		file := d.File
+		if file == "" {
+			file = "<input>"
+		}
+		loc := sarifPhysicalLocation{ArtifactLocation: sarifArtifactLocation{URI: file}}
+		if d.Pos.Line > 0 {
+			loc.Region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
+		}
+		res.Locations = []sarifLocation{{PhysicalLocation: loc}}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

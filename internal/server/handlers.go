@@ -26,6 +26,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/assert", s.wrap(s.handleAssert))
 	mux.HandleFunc("POST /v1/retract", s.wrap(s.handleRetract))
 	mux.HandleFunc("GET /v1/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("POST /v1/lint", s.wrap(s.handleLint))
 	// Replication plane: followers bootstrap from the snapshot, then stream
 	// the log tail. Status is ungated like health — the router's failover
 	// logic must be able to read it under any condition short of death.
@@ -146,6 +147,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, retract bo
 		return err
 	}
 	resp, err := s.Update(sess, req, retract)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) error {
+	var req LintRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	resp, err := s.Lint(req)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,119 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// postLint hits POST /v1/lint directly (the endpoint is sessionless, so no
+// client-side wrapper is involved).
+func postLint(t *testing.T, url string, req server.LintRequest) *server.LintResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/lint", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/lint: status %d", resp.StatusCode)
+	}
+	var out server.LintResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestLintEndpointClean pins /v1/lint on the clean test program: no
+// diagnostics, a converged flow table, and emp reported as mode-divergent
+// (it is polyinstantiated at u, c and s) but not clearance-independent.
+func TestLintEndpointClean(t *testing.T) {
+	srv := server.New(server.Config{})
+	if err := srv.Load("test", testProgram); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	out := postLint(t, hs.URL, server.LintRequest{})
+	if out.DB != "test" || out.Epoch != 1 {
+		t.Errorf("db/epoch = %s/%d, want test/1", out.DB, out.Epoch)
+	}
+	if len(out.Diagnostics) != 0 {
+		t.Errorf("clean program produced diagnostics: %+v", out.Diagnostics)
+	}
+	if !out.Converged {
+		t.Error("flow fixpoint should converge on the test program")
+	}
+	var emp *server.LintFlowInfo
+	for i := range out.Flow {
+		if out.Flow[i].Pred == "emp" {
+			emp = &out.Flow[i]
+		}
+	}
+	if emp == nil {
+		t.Fatalf("no flow info for emp: %+v", out.Flow)
+	}
+	if !emp.ModeDivergent {
+		t.Error("emp is polyinstantiated across u<c<s: ModeDivergent expected")
+	}
+	if emp.ClearanceIndependent {
+		t.Error("emp carries c- and s-classified cells: not clearance-independent")
+	}
+}
+
+// TestLintEndpointFindings pins /v1/lint on a program with a downgrade
+// channel: the ML005 diagnostic comes back with its code, severity,
+// position and fix, and the downgraded predicate loses the independence
+// claim.
+func TestLintEndpointFindings(t *testing.T) {
+	srv := server.New(server.Config{})
+	const src = `level(u). level(s). order(u, s).
+s[mission(m1: objective -s-> spying)].
+u[digest(m1: gist -u-> active)] :- s[mission(m1: objective -C-> V)] << opt.
+`
+	if err := srv.Load("leaky", src); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	out := postLint(t, hs.URL, server.LintRequest{DB: "leaky"})
+	var ml005 *server.LintDiagnostic
+	for i := range out.Diagnostics {
+		if out.Diagnostics[i].Code == "ML005" {
+			ml005 = &out.Diagnostics[i]
+		}
+	}
+	if ml005 == nil {
+		t.Fatalf("no ML005 diagnostic: %+v", out.Diagnostics)
+	}
+	if ml005.Severity != "warning" || ml005.Line != 3 || ml005.Fix == "" {
+		t.Errorf("ML005 = %+v, want warning at line 3 with a fix", ml005)
+	}
+	for _, fi := range out.Flow {
+		if fi.Pred == "digest" && fi.ClearanceIndependent {
+			t.Error("downgraded digest must not claim clearance independence")
+		}
+	}
+
+	// Unknown databases map to the standard not-found error shape.
+	body, _ := json.Marshal(server.LintRequest{DB: "nope"})
+	resp, err := http.Post(hs.URL+"/v1/lint", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown db: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -299,3 +299,57 @@ type DBStats struct {
 	Reductions int    `json:"reductions"` // prepared (per-clearance) reductions
 	Updates    int64  `json:"updates"`
 }
+
+// LintRequest asks for a full static-analysis report on a loaded database.
+// Lint is sessionless: it reads the current program snapshot and computes
+// nothing clearance-specific.
+type LintRequest struct {
+	// DB names the database; empty selects the daemon's sole database when
+	// exactly one is loaded.
+	DB string `json:"db,omitempty"`
+}
+
+// LintDiagnostic is one finding, flattened for transport.
+type LintDiagnostic struct {
+	Code     string `json:"code"`     // stable pass code, e.g. "ML005"
+	Severity string `json:"severity"` // "error", "warning" or "info"
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+}
+
+// LintFlowInfo is the information-flow summary for one m-predicate.
+type LintFlowInfo struct {
+	Pred string `json:"pred"`
+	// Sources is the over-approximated set of classification labels the
+	// predicate's derivations can depend on.
+	Sources []string `json:"sources,omitempty"`
+	// AllLabels means a level variable or lattice builtin contaminated the
+	// cone: Sources is the whole label set.
+	AllLabels bool `json:"all_labels,omitempty"`
+	// Bound is the least upper bound of Sources when the lattice has one.
+	Bound string `json:"bound,omitempty"`
+	// ClearanceIndependent claims fixed-level answers at universally
+	// dominated levels are identical for every clearance.
+	ClearanceIndependent bool `json:"clearance_independent"`
+	// ModeDivergent means the predicate is asserted at two comparable
+	// levels, so fir/opt/cau answers can differ.
+	ModeDivergent bool `json:"mode_divergent"`
+}
+
+// LintResponse is the static-analysis report: every diagnostic the lint
+// passes produce on the loaded source, plus the per-predicate flow table.
+type LintResponse struct {
+	DB    string `json:"db"`
+	Epoch uint64 `json:"epoch"`
+	// Diagnostics is empty for a clean program (a loaded program never has
+	// error-severity findings; Load rejects those).
+	Diagnostics []LintDiagnostic `json:"diagnostics"`
+	// Flow lists per-predicate information-flow summaries, sorted by
+	// predicate name. Omitted if the flow analysis could not run (e.g. the
+	// fixpoint budget was exhausted before convergence).
+	Flow []LintFlowInfo `json:"flow,omitempty"`
+	// Converged reports that the flow fixpoint completed within budget.
+	Converged bool `json:"converged"`
+}

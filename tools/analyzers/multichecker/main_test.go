@@ -23,3 +23,24 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 }
+
+// TestSubsystemsPinnedClean pins the replication, WAL and static-analysis
+// subsystems individually: these packages hold the daemon's durability and
+// trust invariants, so their analyzer cleanliness is asserted by name —
+// a regression names the subsystem, not just a file in a repo-wide sweep.
+func TestSubsystemsPinnedClean(t *testing.T) {
+	suite := []*analysis.Analyzer{govcontext.Analyzer, nopanic.Analyzer, typederr.Analyzer}
+	for _, dir := range []string{
+		"../../../internal/replica",
+		"../../../internal/wal",
+		"../../../internal/analysis",
+	} {
+		findings, err := analysis.RunDir(dir, suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s", dir, f)
+		}
+	}
+}
