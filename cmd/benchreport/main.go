@@ -91,17 +91,27 @@ func run(in, ratio, jsonOut, gate string, out io.Writer) error {
 	return nil
 }
 
-// checkGate parses "group/dim/base:metric>=min" and fails unless every dim
-// variant's metric is ≥ min times the base arm's.
+// checkGate parses "group[case]/dim/base:metric>=min" and fails unless
+// every dim variant's metric is ≥ min times the base arm's. The optional
+// [case] component restricts the comparison to cases containing that
+// '/'-separated part (e.g. "[facts=320]" pins the gate to one size).
 func checkGate(results []benchreport.Result, gate string, out io.Writer) error {
 	head, bound, ok := strings.Cut(gate, ":")
 	if !ok {
-		return fmt.Errorf("gate spec must be group/dim/base:metric>=min")
+		return fmt.Errorf("gate spec must be group[case]/dim/base:metric>=min")
 	}
 	parts := strings.Split(head, "/")
 	metric, minStr, ok := strings.Cut(bound, ">=")
 	if len(parts) != 3 || !ok {
-		return fmt.Errorf("gate spec must be group/dim/base:metric>=min")
+		return fmt.Errorf("gate spec must be group[case]/dim/base:metric>=min")
+	}
+	if group, filter, found := strings.Cut(parts[0], "["); found {
+		component, closed := strings.CutSuffix(filter, "]")
+		if !closed {
+			return fmt.Errorf("gate case filter %q must end with ']'", filter)
+		}
+		parts[0] = group
+		results = benchreport.FilterCase(results, component)
 	}
 	minRatio, err := strconv.ParseFloat(minStr, 64)
 	if err != nil {

@@ -12,6 +12,8 @@ import (
 
 const sample = `BenchmarkFoo/n=1/kind=a  	     100	      1000 ns/op
 BenchmarkFoo/n=1/kind=b  	      10	     10000 ns/op	    7000 p50-read-ns
+BenchmarkFoo/n=2/kind=a  	     100	      1000 ns/op
+BenchmarkFoo/n=2/kind=b  	      50	      2000 ns/op
 PASS
 `
 
@@ -57,19 +59,32 @@ func TestRunJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &results); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v\n%s", err, raw)
 	}
-	if len(results) != 2 || results[1].Metrics["p50-read-ns"] != 7000 {
+	if len(results) != 4 || results[1].Metrics["p50-read-ns"] != 7000 {
 		t.Errorf("artifact lost results or custom metrics: %+v", results)
 	}
 }
 
 func TestRunGate(t *testing.T) {
-	// kind=b's ns/op is 10x kind=a's: a gate of >=5 on the base arm a holds,
-	// >=20 does not.
-	if err := run(writeSample(t), "", "", "Foo/kind/a:ns/op>=5", &strings.Builder{}); err != nil {
+	// kind=b's ns/op is 10x kind=a's at n=1 but only 2x at n=2: the
+	// unfiltered gate holds at >=2 (every case) and fails at >=5, while a
+	// [n=1] case filter pins the >=5 assertion to the size where it holds.
+	if err := run(writeSample(t), "", "", "Foo/kind/a:ns/op>=2", &strings.Builder{}); err != nil {
 		t.Errorf("satisfied gate failed: %v", err)
 	}
-	if err := run(writeSample(t), "", "", "Foo/kind/a:ns/op>=20", &strings.Builder{}); err == nil {
-		t.Error("violated gate passed")
+	if err := run(writeSample(t), "", "", "Foo/kind/a:ns/op>=5", &strings.Builder{}); err == nil {
+		t.Error("gate must check every case: n=2 is only 2x")
+	}
+	if err := run(writeSample(t), "", "", "Foo[n=1]/kind/a:ns/op>=5", &strings.Builder{}); err != nil {
+		t.Errorf("satisfied filtered gate failed: %v", err)
+	}
+	if err := run(writeSample(t), "", "", "Foo[n=1]/kind/a:ns/op>=20", &strings.Builder{}); err == nil {
+		t.Error("violated filtered gate passed")
+	}
+	if err := run(writeSample(t), "", "", "Foo[n=3]/kind/a:ns/op>=2", &strings.Builder{}); err == nil {
+		t.Error("filter matching nothing must fail loudly")
+	}
+	if err := run(writeSample(t), "", "", "Foo[n=1/kind/a:ns/op>=2", &strings.Builder{}); err == nil {
+		t.Error("unterminated case filter must fail")
 	}
 	if err := run(writeSample(t), "", "", "Foo/kind/a:absent-metric>=2", &strings.Builder{}); err == nil {
 		t.Error("gate on an absent metric must fail loudly")

@@ -246,6 +246,10 @@ func (r *repl) remoteStats() error {
 	fmt.Fprintf(r.out, "cache:    %d hits, %d misses, %d evictions, %d invalidations (%d/%d entries)\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Invalidations,
 		st.Cache.Entries, st.Cache.Capacity)
+	fmt.Fprintf(r.out, "plans:    %d hits, %d misses, %d compiles (%s), %d invalidations (%d/%d entries)\n",
+		st.Compiled.Hits, st.Compiled.Misses, st.Compiled.Compiles,
+		time.Duration(st.Compiled.CompileNS), st.Compiled.Invalidations,
+		st.Compiled.Entries, st.Compiled.Capacity)
 	names := make([]string, 0, len(st.Databases))
 	for n := range st.Databases {
 		names = append(names, n)

@@ -25,6 +25,10 @@
 //	POST /v1/lint     (full static-analysis report + per-predicate flow table)
 //	GET  /v1/stats    /v1/healthz    /v1/readyz
 //
+// With -pprof-addr, a separate listener serves net/http/pprof
+// (/debug/pprof/*) for live CPU and heap profiles; /v1/stats reports the
+// compiled engine's plan-cache counters alongside the result cache's.
+//
 // SIGINT/SIGTERM drains: open sessions are closed, in-flight requests
 // finish (bounded by -drain), a final checkpoint is written, and the
 // process exits 0 on a clean drain.
@@ -55,6 +59,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -pprof-addr mux
 	"os"
 	"os/signal"
 	"strings"
@@ -118,6 +124,7 @@ type options struct {
 	maxFacts     int64
 	maxSteps     int64
 	quiet        bool
+	pprofAddr    string
 
 	dataDir       string
 	fsync         string
@@ -147,6 +154,7 @@ func main() {
 	flag.Int64Var(&o.maxFacts, "max-facts", 0, "per-request derived-fact budget (0 = unlimited)")
 	flag.Int64Var(&o.maxSteps, "max-steps", 0, "per-request evaluation-step budget (0 = unlimited)")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress the event log")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof (/debug/pprof/*) on this address (empty = disabled)")
 	flag.StringVar(&o.dataDir, "data-dir", "", "durability directory for the WAL and checkpoints (empty = in-memory only)")
 	flag.StringVar(&o.fsync, "fsync", "always", "WAL fsync policy: always (ack ⇒ durable), interval, or never")
 	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 50*time.Millisecond, "background fsync cadence under -fsync=interval")
@@ -168,6 +176,16 @@ func main() {
 }
 
 func run(o options) error {
+	// The profiling listener is separate from the API address on purpose:
+	// it is never exposed by default, and an operator can firewall it
+	// independently of the query plane.
+	if o.pprofAddr != "" {
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug listener
+	}
 	switch o.role {
 	case "", "primary":
 		return runPrimary(o)

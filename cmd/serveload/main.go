@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/workload"
+	"repro/internal/workload/serverload"
 )
 
 func main() {
@@ -119,7 +120,7 @@ func run(addr, db string, sessions, queries, updates, writeEvery int, timeout, w
 		return runOneShot(ctx, c, db, one)
 	}
 
-	rep := workload.ServerLoad(ctx, c, workload.ServerLoadConfig{
+	rep := serverload.Run(ctx, c, serverload.Config{
 		Sessions: sessions, Queries: queries, Updates: updates, WriteEvery: writeEvery,
 		Program: cfg, Seed: cfg.Seed, DB: db, Endpoints: endpoints,
 	})

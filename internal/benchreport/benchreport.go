@@ -202,6 +202,23 @@ func MetricRatios(results []Result, group, dim, base, metric string) map[string]
 	return out
 }
 
+// FilterCase returns the results whose Case contains component as one of
+// its '/'-separated parts — e.g. component "facts=320" keeps exactly the
+// cases of that size. Gates use it to pin a ratio assertion to the scale
+// point where the compared arms are past their fixed costs.
+func FilterCase(results []Result, component string) []Result {
+	var out []Result
+	for _, r := range results {
+		for _, p := range strings.Split(r.Case, "/") {
+			if p == component {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Ratios computes, for groups whose cases share a parameter prefix and end
 // with a distinguishing suffix (e.g. "n=64/eval=seminaive" vs
 // "n=64/eval=naive"), the ratio table baseline/variant. The variant whose

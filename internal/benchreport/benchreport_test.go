@@ -101,3 +101,18 @@ func TestParseTolerantOfGarbage(t *testing.T) {
 		t.Errorf("garbage should parse to nothing, got %v", rs)
 	}
 }
+
+func TestFilterCase(t *testing.T) {
+	results := []Result{
+		{Group: "G", Case: "n=1/kind=a"},
+		{Group: "G", Case: "n=12/kind=a"},
+		{Group: "G", Case: "n=1/kind=b"},
+	}
+	got := FilterCase(results, "n=1")
+	if len(got) != 2 || got[0].Case != "n=1/kind=a" || got[1].Case != "n=1/kind=b" {
+		t.Fatalf("FilterCase must match whole components only: %+v", got)
+	}
+	if len(FilterCase(results, "n=")) != 0 {
+		t.Fatal("partial component must not match")
+	}
+}

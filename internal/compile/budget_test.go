@@ -1,0 +1,56 @@
+package compile
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/resource"
+	"repro/internal/workload"
+)
+
+// TestCompiledBudgetExceededNotOOM is the adversarial memory test: a
+// cross-product program whose model holds ~3M wide facts must come back as
+// a typed *ErrBudgetExceeded under a small MaxMemory — with the interner
+// and index memory charged, not just the fact text — instead of grinding
+// toward process OOM.
+func TestCompiledBudgetExceededNotOOM(t *testing.T) {
+	p, _ := workload.ExponentialDatalog(12, 6)
+	start := time.Now()
+	model, stats, err := EvalContext(context.Background(), p, nil, Options{
+		Limits: resource.Limits{MaxMemory: 1 << 20}, // 1 MiB against a multi-GiB model
+	})
+	var be *resource.ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("want *ErrBudgetExceeded, got %v", err)
+	}
+	if be.Resource != "memory" {
+		t.Fatalf("want memory budget, got %q", be.Resource)
+	}
+	if model == nil {
+		t.Fatal("want the partial model alongside the limit error")
+	}
+	if !stats.Resource.Truncated {
+		t.Fatalf("stats must report truncation: %+v", stats)
+	}
+	// The point of the budget is stopping early: well under the full model.
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("budget stop took %v; the governor is not cutting the run short", d)
+	}
+}
+
+// TestCompiledIndexMemoryCharged drives the same adversarial program with
+// a budget sized so the seeded facts fit but the derived cross-product
+// (rows, index postings, interner growth) cannot; the typed error must
+// still surface, proving the auxiliary structures are metered too.
+func TestCompiledIndexMemoryCharged(t *testing.T) {
+	p, _ := workload.ExponentialDatalog(8, 5) // 32k-row model
+	_, _, err := EvalContext(context.Background(), p, nil, Options{
+		Limits: resource.Limits{MaxMemory: 16 << 10},
+	})
+	var be *resource.ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != "memory" {
+		t.Fatalf("want memory *ErrBudgetExceeded, got %v", err)
+	}
+}

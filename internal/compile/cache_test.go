@@ -1,0 +1,172 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/lattice"
+	"repro/internal/multilog"
+	"repro/internal/term"
+)
+
+func tcProgram(extraFact string) *datalog.Program {
+	atom := datalog.NewAtom
+	v, c := term.Var, term.Const
+	p := &datalog.Program{}
+	p.Add(datalog.Fact(atom("e", c("a"), c("b"))))
+	if extraFact != "" {
+		p.Add(datalog.Fact(atom("e", c("b"), c(extraFact))))
+	}
+	p.Add(datalog.Rule(atom("tc", v("X"), v("Y")), datalog.Pos(atom("e", v("X"), v("Y")))),
+		datalog.Rule(atom("tc", v("X"), v("Z")),
+			datalog.Pos(atom("e", v("X"), v("Y"))), datalog.Pos(atom("tc", v("Y"), v("Z")))))
+	return p
+}
+
+// TestCacheFactOnlyHit pins the core plan-cache property: programs that
+// differ only in facts share one plan.
+func TestCacheFactOnlyHit(t *testing.T) {
+	c := NewCache(8)
+	p1, hit, err := c.Plan(tcProgram(""))
+	if err != nil || hit {
+		t.Fatalf("first Plan: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := c.Plan(tcProgram("c"))
+	if err != nil || !hit {
+		t.Fatalf("fact-only variant: hit=%v err=%v", hit, err)
+	}
+	if p1 != p2 {
+		t.Fatal("fact-only variant must reuse the identical plan")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Compiles != 1 || s.Entries != 1 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+// TestCacheRuleChangeMisses: a rule edit changes the key.
+func TestCacheRuleChangeMisses(t *testing.T) {
+	c := NewCache(8)
+	if _, _, err := c.Plan(tcProgram("")); err != nil {
+		t.Fatal(err)
+	}
+	p := tcProgram("")
+	p.Add(datalog.Rule(datalog.NewAtom("sym", term.Var("X"), term.Var("Y")),
+		datalog.Pos(datalog.NewAtom("tc", term.Var("Y"), term.Var("X")))))
+	if _, hit, err := c.Plan(p); err != nil || hit {
+		t.Fatalf("rule change: hit=%v err=%v", hit, err)
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("want two entries, got %+v", s)
+	}
+}
+
+// TestCacheInvalidateByPredicate: Invalidate drops exactly the plans that
+// reference an affected predicate.
+func TestCacheInvalidateByPredicate(t *testing.T) {
+	c := NewCache(8)
+	if _, _, err := c.Plan(tcProgram("")); err != nil {
+		t.Fatal(err)
+	}
+	other := &datalog.Program{}
+	other.Add(datalog.Fact(datalog.NewAtom("q", term.Const("a"))),
+		datalog.Rule(datalog.NewAtom("r", term.Var("X")), datalog.Pos(datalog.NewAtom("q", term.Var("X")))))
+	if _, _, err := c.Plan(other); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Invalidate([]string{"unrelated"}); n != 0 {
+		t.Fatalf("unrelated predicate dropped %d plans", n)
+	}
+	if n := c.Invalidate([]string{"tc"}); n != 1 {
+		t.Fatalf("tc should drop exactly the tc plan, dropped %d", n)
+	}
+	if _, hit, err := c.Plan(other); err != nil || !hit {
+		t.Fatalf("untouched plan must survive: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := c.Plan(tcProgram("")); err != nil || hit {
+		t.Fatalf("invalidated plan must recompile: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestCacheLRUEviction: the cache holds at most its capacity, evicting the
+// least recently used plan.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	progs := []*datalog.Program{tcProgram(""), nil, nil}
+	for i := 1; i < 3; i++ {
+		p := &datalog.Program{}
+		pred := string(rune('q' + i))
+		p.Add(datalog.Fact(datalog.NewAtom(pred, term.Const("a"))),
+			datalog.Rule(datalog.NewAtom("out"+pred, term.Var("X")), datalog.Pos(datalog.NewAtom(pred, term.Var("X")))))
+		progs[i] = p
+	}
+	for _, p := range progs {
+		if _, _, err := c.Plan(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("capacity 2, got %d entries", s.Entries)
+	}
+	// progs[0] was evicted (least recent): re-asking must miss.
+	if _, hit, err := c.Plan(progs[0]); err != nil || hit {
+		t.Fatalf("evicted plan: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestCacheInvalidationOverImpactGraph wires the cache to the PR 6 impact
+// graph exactly as the server does: reduce a MultiLog database at every
+// clearance (plans cached), apply a write, map it through ImpactGraph, and
+// Invalidate. A fact write must keep every plan; invalidating with the
+// impact closure of a rule-relevant predicate must drop the reduction
+// plans that read it.
+func TestCacheInvalidationOverImpactGraph(t *testing.T) {
+	db := multilog.D1()
+	graph, err := multilog.NewImpactGraph(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(16)
+	users := []lattice.Label{lattice.Unclassified, lattice.Classified, lattice.Secret}
+	for _, u := range users {
+		red, err := multilog.Reduce(db, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, hit, err := c.Plan(red.Program); err != nil || hit {
+			t.Fatalf("first reduce at %s: hit=%v err=%v", u, hit, err)
+		}
+	}
+	// Fact-only write: every clearance re-reduces to the same rules, so
+	// every Plan call is a hit.
+	for _, u := range users {
+		red, err := multilog.Reduce(db, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, hit, err := c.Plan(red.Program); err != nil || !hit {
+			t.Fatalf("fact-only re-reduce at %s: hit=%v err=%v", u, hit, err)
+		}
+	}
+	// A write to predicate p at level c: its impact closure names the
+	// translated predicates any plan could read; invalidating them must
+	// drop every reduction plan that references p's translation.
+	goals, err := multilog.ParseGoals("c[p(k: a -R-> v)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := graph.Impact([]multilog.Clause{{Head: goals[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) == 0 {
+		t.Fatal("impact closure is empty")
+	}
+	dropped := c.Invalidate(preds)
+	if dropped == 0 {
+		t.Fatalf("impact closure %v dropped no plans", preds)
+	}
+	if s := c.Stats(); s.Invalidations != int64(dropped) {
+		t.Fatalf("stats out of sync: %+v vs dropped %d", s, dropped)
+	}
+}

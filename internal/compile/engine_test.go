@@ -1,0 +1,207 @@
+package compile
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/resource"
+	"repro/internal/term"
+	"repro/internal/workload"
+)
+
+// dump renders a model as a sorted fact list, the comparison form for
+// whole-model agreement.
+func dump(s *datalog.Store) []string {
+	var out []string
+	for _, pred := range s.Preds() {
+		for _, f := range s.Facts(pred) {
+			out = append(out, f.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalDump(t *testing.T, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("model size mismatch: interpreter %d facts, compiled %d facts", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("model mismatch at fact %d: interpreter %q, compiled %q", i, want[i], got[i])
+		}
+	}
+}
+
+// TestCompiledAgreesWithInterpreter compares whole minimal models between
+// the compiled engine and the semi-naive interpreter across every workload
+// family and a spread of seeds.
+func TestCompiledAgreesWithInterpreter(t *testing.T) {
+	for fam := 0; fam < workload.NumDatalogFamilies; fam++ {
+		fam := workload.DatalogFamily(fam)
+		t.Run(fam.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				p, _ := workload.DatalogProgram(workload.DatalogConfig{Family: fam, Size: 8, Seed: seed})
+				want, err := datalog.Eval(p, nil)
+				if err != nil {
+					t.Fatalf("seed %d: interpreter: %v", seed, err)
+				}
+				got, err := Eval(p, nil)
+				if err != nil {
+					t.Fatalf("seed %d: compiled: %v", seed, err)
+				}
+				equalDump(t, dump(want), dump(got))
+			}
+		})
+	}
+}
+
+// TestCompiledAgreesOnEdgeCases exercises hand-written programs covering
+// the op kinds the generator families may not combine: repeated variables,
+// constants in rule bodies and heads, negation interleaved with '!=',
+// equality chains, and facts arriving through the edb store.
+func TestCompiledAgreesOnEdgeCases(t *testing.T) {
+	atom := datalog.NewAtom
+	v, c := term.Var, term.Const
+	cases := []struct {
+		name string
+		prog func() (*datalog.Program, *datalog.Store)
+	}{
+		{"repeated-var", func() (*datalog.Program, *datalog.Store) {
+			p := &datalog.Program{}
+			p.Add(datalog.Fact(atom("e", c("a"), c("a"))),
+				datalog.Fact(atom("e", c("a"), c("b"))),
+				datalog.Fact(atom("e", c("b"), c("b"))),
+				datalog.Rule(atom("loop", v("X")), datalog.Pos(atom("e", v("X"), v("X")))))
+			return p, nil
+		}},
+		{"const-in-body", func() (*datalog.Program, *datalog.Store) {
+			p := &datalog.Program{}
+			p.Add(datalog.Fact(atom("e", c("a"), c("b"))),
+				datalog.Fact(atom("e", c("b"), c("c"))),
+				datalog.Rule(atom("from_a", v("Y")), datalog.Pos(atom("e", c("a"), v("Y")))))
+			return p, nil
+		}},
+		{"const-in-head", func() (*datalog.Program, *datalog.Store) {
+			p := &datalog.Program{}
+			p.Add(datalog.Fact(atom("p", c("x"))),
+				datalog.Rule(atom("tagged", c("t"), v("X")), datalog.Pos(atom("p", v("X")))))
+			return p, nil
+		}},
+		{"eq-bind-then-neg", func() (*datalog.Program, *datalog.Store) {
+			p := &datalog.Program{}
+			p.Add(datalog.Fact(atom("p", c("x"))), datalog.Fact(atom("p", c("y"))),
+				datalog.Fact(atom("bad", c("y"))),
+				datalog.Rule(atom("good", v("Y")),
+					datalog.Pos(atom("p", v("X"))),
+					datalog.Pos(atom(datalog.BuiltinEq, v("Y"), v("X"))),
+					datalog.Neg(atom("bad", v("Y")))))
+			return p, nil
+		}},
+		{"null-neq", func() (*datalog.Program, *datalog.Store) {
+			p := &datalog.Program{}
+			p.Add(datalog.Fact(atom("p", term.Null())), datalog.Fact(atom("p", c("x"))),
+				datalog.Rule(atom("d", v("X"), v("Y")),
+					datalog.Pos(atom("p", v("X"))), datalog.Pos(atom("p", v("Y"))),
+					datalog.Pos(atom(datalog.BuiltinNeq, v("X"), v("Y")))))
+			return p, nil
+		}},
+		{"edb-store", func() (*datalog.Program, *datalog.Store) {
+			p := &datalog.Program{}
+			p.Add(datalog.Rule(atom("tc", v("X"), v("Y")), datalog.Pos(atom("e", v("X"), v("Y")))),
+				datalog.Rule(atom("tc", v("X"), v("Z")),
+					datalog.Pos(atom("e", v("X"), v("Y"))), datalog.Pos(atom("tc", v("Y"), v("Z")))))
+			edb := datalog.NewStore()
+			edb.Insert(atom("e", c("a"), c("b")))
+			edb.Insert(atom("e", c("b"), c("c")))
+			edb.Insert(atom("e", c("c"), c("a")))
+			return p, edb
+		}},
+		{"compound-terms", func() (*datalog.Program, *datalog.Store) {
+			p := &datalog.Program{}
+			f := term.Comp("f", c("a"), c("b"))
+			p.Add(datalog.Fact(atom("p", f)), datalog.Fact(atom("p", c("a"))),
+				datalog.Rule(atom("q", v("X")), datalog.Pos(atom("p", v("X")))))
+			return p, nil
+		}},
+		{"zero-round-stratum", func() (*datalog.Program, *datalog.Store) {
+			p := &datalog.Program{}
+			p.Add(datalog.Rule(atom("q", v("X")), datalog.Pos(atom("nothing", v("X")))),
+				datalog.Fact(atom("other", c("z"))))
+			return p, nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, edb := tc.prog()
+			want, err := datalog.Eval(p, edb)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			got, err := Eval(p, edb)
+			if err != nil {
+				t.Fatalf("compiled: %v", err)
+			}
+			equalDump(t, dump(want), dump(got))
+		})
+	}
+}
+
+// TestCompiledFallbacks asserts the compiler routes its documented refusal
+// cases to the interpreter via *ErrFallback rather than mis-evaluating.
+func TestCompiledFallbacks(t *testing.T) {
+	atom := datalog.NewAtom
+	v, c := term.Var, term.Const
+	t.Run("nonlinear-recursion", func(t *testing.T) {
+		p := &datalog.Program{}
+		p.Add(datalog.Fact(atom("e", c("a"), c("b"))),
+			datalog.Rule(atom("tc", v("X"), v("Y")), datalog.Pos(atom("e", v("X"), v("Y")))),
+			datalog.Rule(atom("tc", v("X"), v("Z")),
+				datalog.Pos(atom("tc", v("X"), v("Y"))), datalog.Pos(atom("tc", v("Y"), v("Z")))))
+		if _, err := Compile(p); !IsFallback(err) {
+			t.Fatalf("nonlinear recursion: want *ErrFallback, got %v", err)
+		}
+	})
+	t.Run("non-ground-compound", func(t *testing.T) {
+		p := &datalog.Program{}
+		f := term.Comp("f", v("X"))
+		p.Add(datalog.Fact(atom("p", c("a"))),
+			datalog.Rule(atom("q", f), datalog.Pos(atom("p", v("X")))))
+		if _, err := Compile(p); !IsFallback(err) {
+			t.Fatalf("non-ground compound: want *ErrFallback, got %v", err)
+		}
+	})
+}
+
+// TestCompiledStats sanity-checks the run statistics.
+func TestCompiledStats(t *testing.T) {
+	p, _ := workload.DatalogProgram(workload.DatalogConfig{Family: workload.FamChainTC, Size: 6, Seed: 1})
+	model, stats, err := EvalContext(context.Background(), p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Facts != model.Len() {
+		t.Fatalf("stats.Facts = %d, model has %d", stats.Facts, model.Len())
+	}
+	if stats.Symbols == 0 || stats.Rounds == 0 {
+		t.Fatalf("expected non-zero symbols and rounds, got %+v", stats)
+	}
+}
+
+// TestCompiledPartialModelOnLimit mirrors the interpreter contract: a
+// budget stop returns the partial model alongside the typed error.
+func TestCompiledPartialModelOnLimit(t *testing.T) {
+	p, _ := workload.DatalogProgram(workload.DatalogConfig{Family: workload.FamChainTC, Size: 30, Seed: 1})
+	model, _, err := EvalContext(context.Background(), p, nil, Options{Limits: resource.Limits{MaxFacts: 40}})
+	var be *resource.ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("want *ErrBudgetExceeded, got %v", err)
+	}
+	if model == nil {
+		t.Fatal("want partial model alongside the limit error")
+	}
+}

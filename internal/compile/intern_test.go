@@ -1,0 +1,152 @@
+package compile
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/lattice"
+	"repro/internal/multilog"
+	"repro/internal/resource"
+	"repro/internal/term"
+)
+
+// corpusPrograms collects the reduced datalog programs of the paper's
+// running examples — database D1 (Figures 10–12) reduced at every level,
+// with and without the Figure 13 filter — plus hand-parsed programs. These
+// are the term shapes the engine must round-trip exactly.
+func corpusPrograms(t *testing.T) []*datalog.Program {
+	t.Helper()
+	var out []*datalog.Program
+	db := multilog.D1()
+	for _, u := range []lattice.Label{lattice.Unclassified, lattice.Classified, lattice.Secret} {
+		for _, filter := range []bool{false, true} {
+			red, err := multilog.ReduceOpts(db, u, multilog.Options{Filter: filter})
+			if err != nil {
+				t.Fatalf("reduce D1 at %s (filter=%v): %v", u, filter, err)
+			}
+			// The Figure 13 filter can make a cautious reduction
+			// unstratifiable; those programs no engine evaluates, so they
+			// are outside the corpus.
+			if _, serr := datalog.Strata(red.Program); serr != nil {
+				continue
+			}
+			out = append(out, red.Program)
+		}
+	}
+	for _, src := range []string{
+		"p('quoted atom'). q(X) :- p(X).",
+		"r(f(g(a), null), 42). s(V) :- r(V, 42).",
+		"t(null). u(X) :- t(X).",
+	} {
+		p, err := datalog.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestInternRoundTrip is the parse→intern→extern identity property over
+// the figure corpus: every ground term in every clause (and in the
+// evaluated model) externs back structurally equal, with equal canonical
+// keys, and interning is idempotent on the ID.
+func TestInternRoundTrip(t *testing.T) {
+	for pi, p := range corpusPrograms(t) {
+		in := NewInterner(nil)
+		check := func(tm term.Term) {
+			if !tm.IsGround() {
+				return
+			}
+			id, err := in.Intern(tm)
+			if err != nil {
+				t.Fatalf("program %d: intern %s: %v", pi, tm, err)
+			}
+			back := in.Extern(id)
+			if !back.Equal(tm) || back.Key() != tm.Key() {
+				t.Fatalf("program %d: round trip %s -> %d -> %s", pi, tm, id, back)
+			}
+			id2, err := in.Intern(tm)
+			if err != nil || id2 != id {
+				t.Fatalf("program %d: re-intern %s: got %d want %d (err %v)", pi, tm, id2, id, err)
+			}
+		}
+		for _, c := range p.Clauses {
+			for _, a := range c.Head.Args {
+				check(a)
+			}
+			for _, l := range c.Body {
+				for _, a := range l.Atom.Args {
+					check(a)
+				}
+			}
+		}
+		model, err := datalog.Eval(p, nil)
+		if err != nil {
+			t.Fatalf("program %d: eval: %v", pi, err)
+		}
+		for _, pred := range model.Preds() {
+			for _, f := range model.Facts(pred) {
+				for _, a := range f.Args {
+					check(a)
+				}
+			}
+		}
+	}
+}
+
+// TestInternRejectsNonGround checks the defensive contract: variables and
+// open compounds report *ErrFallback, never a bogus ID.
+func TestInternRejectsNonGround(t *testing.T) {
+	in := NewInterner(nil)
+	for _, tm := range []term.Term{term.Var("X"), term.Comp("f", term.Var("X"))} {
+		if _, err := in.Intern(tm); !IsFallback(err) {
+			t.Fatalf("intern %s: want *ErrFallback, got %v", tm, err)
+		}
+	}
+}
+
+// TestInternerChargesGovernor pins the memory accounting: interning under
+// a tiny MaxMemory budget fails with *ErrBudgetExceeded.
+func TestInternerChargesGovernor(t *testing.T) {
+	gov := resource.New(nil, resource.Limits{MaxMemory: 100})
+	in := NewInterner(gov)
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		_, err = in.Intern(term.Const(string(rune('a' + i%26))))
+		if err == nil {
+			_, err = in.Intern(term.Comp("f", term.Const(string(rune('a'+i%26))), term.Const("xxxxxxxx")))
+		}
+	}
+	var be *resource.ErrBudgetExceeded
+	if !errors.As(err, &be) || be.Resource != "memory" {
+		t.Fatalf("want memory *ErrBudgetExceeded, got %v", err)
+	}
+}
+
+// TestCompiledAgreesOnFigureCorpus runs whole-model agreement over every
+// corpus program that compiles (the D1 reductions exercise wide atoms,
+// negation, and per-level specialization far beyond the generator
+// families).
+func TestCompiledAgreesOnFigureCorpus(t *testing.T) {
+	compiledAny := false
+	for pi, p := range corpusPrograms(t) {
+		want, err := datalog.Eval(p, nil)
+		if err != nil {
+			t.Fatalf("program %d: interpreter: %v", pi, err)
+		}
+		got, err := Eval(p, nil)
+		if IsFallback(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("program %d: compiled: %v", pi, err)
+		}
+		compiledAny = true
+		equalDump(t, dump(want), dump(got))
+	}
+	if !compiledAny {
+		t.Fatal("every corpus program fell back to the interpreter")
+	}
+}

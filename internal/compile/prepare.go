@@ -1,0 +1,35 @@
+package compile
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/multilog"
+)
+
+// PrepareReduction materializes a reduction's minimal model through the
+// compiled engine and installs it for QueryPrepared. The returned bool
+// reports which path prepared the reduction: true for the compiled engine,
+// false when the compiler routed the program to the interpreter
+// (*ErrFallback) and r.Prepare ran instead. Resource-limit and genuine
+// errors propagate with the reduction left unprepared, matching Prepare.
+//
+// The reduced program's rules depend only on the database's rules, the
+// lattice, and the registered belief needs — not on the fact set — so
+// consecutive reductions of a database under fact-only writes hit the same
+// cached plan; that cache hit is the compiled fast path the server serves
+// per clearance.
+func PrepareReduction(ctx context.Context, r *multilog.Reduction, opts Options) (bool, error) {
+	model, _, err := EvalContext(ctx, r.Program, nil, opts)
+	if err != nil {
+		if IsFallback(err) {
+			if perr := r.Prepare(ctx, opts.Limits); perr != nil {
+				return false, perr
+			}
+			return false, nil
+		}
+		return false, fmt.Errorf("multilog: reduced program: %w", err)
+	}
+	r.InstallPrepared(model)
+	return true, nil
+}

@@ -78,6 +78,64 @@ func (s *Store) Insert(a Atom) (bool, error) {
 	return true, nil
 }
 
+// InsertBatch bulk-loads ground facts of one predicate with their keys
+// precomputed by the caller: keys[i] must equal facts[i].Key(), and
+// argKeys[i][j], when argKeys is non-nil, must equal facts[i].Args[j].Key().
+// It behaves like repeated Insert — duplicates are dropped, the fault hook
+// is honored, indexes stay consistent — but presizes the relation's dedup
+// and index maps for the whole batch and skips key recomputation, which is
+// what makes materializing a large derived model in one shot cheap. It
+// returns the number of facts that were new.
+func (s *Store) InsertBatch(pred string, facts []Atom, keys []string, argKeys [][]string) (int, error) {
+	if len(keys) != len(facts) || (argKeys != nil && len(argKeys) != len(facts)) {
+		return 0, fmt.Errorf("datalog: InsertBatch: %d facts with %d keys, %d arg-key rows",
+			len(facts), len(keys), len(argKeys))
+	}
+	r := s.rels[pred]
+	if r == nil {
+		r = &relation{seen: make(map[string]int, len(facts)), index: map[int]map[string][]int{}}
+		s.rels[pred] = r
+	}
+	added := 0
+	for i, a := range facts {
+		if !a.IsGround() {
+			return added, fmt.Errorf("datalog: insert of non-ground atom %s", a)
+		}
+		if s.InsertFault != nil {
+			if err := s.InsertFault(a); err != nil {
+				return added, err
+			}
+		}
+		if _, ok := r.seen[keys[i]]; ok {
+			continue
+		}
+		pos := len(r.facts)
+		r.seen[keys[i]] = pos
+		r.facts = append(r.facts, a)
+		if s.indexing {
+			for j, t := range a.Args {
+				m := r.index[j]
+				if m == nil {
+					// No size hint: positions holding low-cardinality
+					// constants (levels, modes) would waste a full-width
+					// table on a handful of distinct keys.
+					m = map[string][]int{}
+					r.index[j] = m
+				}
+				tk := ""
+				if argKeys != nil {
+					tk = argKeys[i][j]
+				} else {
+					tk = t.Key()
+				}
+				m[tk] = append(m[tk], pos)
+			}
+		}
+		added++
+	}
+	return added, nil
+}
+
 // Contains reports whether the ground atom is present.
 func (s *Store) Contains(a Atom) bool {
 	r := s.rels[a.Pred]

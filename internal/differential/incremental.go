@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/compile"
 	"repro/internal/datalog"
 	"repro/internal/term"
 	"repro/internal/workload"
@@ -203,7 +204,10 @@ func (b *incBase) rebuild(rules *datalog.Program) *datalog.Program {
 
 // compareToFull re-derives the patched program from scratch and diffs the
 // maintained engine against it: the tuple sets must be identical and every
-// tuple's (base, derived) counts must match exactly.
+// tuple's (base, derived) counts must match exactly. The compiled engine
+// evaluates the same patched program as a third voice — its model must
+// match the reference at every step of the write sequence, which is how
+// the stateful campaign covers the plan cache under evolving fact sets.
 func compareToFull(inc *datalog.Incremental, rules *datalog.Program, base *incBase) string {
 	full := base.rebuild(rules)
 	fresh, err := datalog.NewIncremental(full, nil)
@@ -215,6 +219,16 @@ func compareToFull(inc *datalog.Incremental, rules *datalog.Program, base *incBa
 	}
 	if got, want := inc.Counts(), fresh.Counts(); !reflect.DeepEqual(got, want) {
 		return fmt.Sprintf("derivation-count mismatch\nincremental: %v\nfull:        %v", got, want)
+	}
+	switch compiled, err := compile.Eval(full, nil); {
+	case compile.IsFallback(err):
+		// Routed to the interpreter; nothing to compare.
+	case err != nil:
+		return fmt.Sprintf("compiled re-derivation failed: %v", err)
+	default:
+		if got, want := compiled.String(), fresh.Model().String(); got != want {
+			return fmt.Sprintf("model mismatch\ncompiled:\n%s\nfull:\n%s", got, want)
+		}
 	}
 	return ""
 }

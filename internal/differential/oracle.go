@@ -1,10 +1,12 @@
 package differential
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
+	"repro/internal/compile"
 	"repro/internal/datalog"
 	"repro/internal/lattice"
 	"repro/internal/multilog"
@@ -115,6 +117,27 @@ func (o tabledOracle) Answer(p *datalog.Program, goal datalog.Atom) (Result, err
 	return substResult(subs), nil
 }
 
+// compiledOracle is the compiled bottom-up engine (internal/compile):
+// interned terms, columnar relations, plan-cache execution. Programs the
+// compiler routes to the interpreter (*ErrFallback — e.g. DL010 nonlinear
+// recursion, which FamSameGen never triggers but hand-shrunk cases can)
+// are reported unsupported rather than silently answered by a different
+// engine.
+type compiledOracle struct{}
+
+func (compiledOracle) Name() string { return "compiled" }
+
+func (compiledOracle) Answer(p *datalog.Program, goal datalog.Atom) (Result, error) {
+	model, _, err := compile.EvalContext(context.Background(), p, nil, compile.Options{})
+	if err != nil {
+		if compile.IsFallback(err) {
+			return Result{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
+		}
+		return Result{}, unsupported(err)
+	}
+	return substResult(datalog.QueryStore(model, goal)), nil
+}
+
 // DatalogOracles returns the full oracle set, semi-naive first (it is the
 // reference implementation the others are compared against).
 func DatalogOracles() []DatalogOracle {
@@ -131,6 +154,7 @@ func DatalogOracles() []DatalogOracle {
 		sldOracle{maxDepth: 64, maxSteps: 5_000},
 		tabledOracle{},
 		incrementalOracle{},
+		compiledOracle{},
 	}
 }
 
@@ -185,8 +209,37 @@ func (reduceOracle) Answer(db *multilog.Database, user lattice.Label, q multilog
 	return NewResult(tuples), nil
 }
 
-// MultiLogOracles returns both MultiLog semantics, reduction first (it is
-// the reference: Theorem 6.1 equates the prover to it).
+// compiledReduceOracle runs the same Figure 12 reduction, but materializes
+// the minimal model through the compiled engine (PrepareReduction) and
+// answers via QueryPrepared. It must byte-agree with reduceOracle — and,
+// through Theorem 6.1, with the prover — at every clearance and belief
+// mode.
+type compiledReduceOracle struct{}
+
+func (compiledReduceOracle) Name() string { return "reduce-compiled" }
+
+func (compiledReduceOracle) Answer(db *multilog.Database, user lattice.Label, q multilog.Query) (Result, error) {
+	red, err := multilog.Reduce(db, user)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := compile.PrepareReduction(context.Background(), red, compile.Options{}); err != nil {
+		return Result{}, unsupported(err)
+	}
+	answers, _, err := red.QueryPrepared(context.Background(), q, resource.Limits{})
+	if err != nil {
+		return Result{}, unsupported(err)
+	}
+	tuples := make([]string, len(answers))
+	for i, a := range answers {
+		tuples[i] = a.Bindings.String()
+	}
+	return NewResult(tuples), nil
+}
+
+// MultiLogOracles returns the MultiLog semantics, reduction first (it is
+// the reference: Theorem 6.1 equates the prover to it), plus the
+// compiled-engine reduction.
 func MultiLogOracles() []MultiLogOracle {
-	return []MultiLogOracle{reduceOracle{}, proverOracle{maxDepth: 512}}
+	return []MultiLogOracle{reduceOracle{}, proverOracle{maxDepth: 512}, compiledReduceOracle{}}
 }

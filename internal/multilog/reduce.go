@@ -102,7 +102,7 @@ func (r *Reduction) QueryContext(ctx context.Context, q Query, limits resource.L
 // of being re-derived from scratch. The extra cost over a plain Eval is one
 // full enumeration of the rules to seed derivation counts.
 func (r *Reduction) Prepare(ctx context.Context, limits resource.Limits) error {
-	if r.inc != nil {
+	if r.inc != nil || r.compiled {
 		return nil
 	}
 	inc, err := datalog.NewIncrementalContext(ctx, r.Program, nil, limits)
@@ -114,6 +114,26 @@ func (r *Reduction) Prepare(ctx context.Context, limits resource.Limits) error {
 	r.deps = dependencyEdges(r.Program)
 	return nil
 }
+
+// InstallPrepared installs an externally materialized minimal model of the
+// reduced program — the compiled engine's output (internal/compile) — and
+// marks the reduction prepared, so QueryPrepared serves it exactly as if
+// Prepare had built it. The caller guarantees the model is the complete
+// lfp of r.Program; installing a partial model would silently drop answers.
+// A reduction prepared this way has no incremental engine: AdvanceFrom
+// from it falls back to a full Prepare, and callers on the compiled path
+// advance by re-running the (cached) plan instead.
+func (r *Reduction) InstallPrepared(model *datalog.Store) {
+	r.model = model
+	r.compiled = true
+	if r.deps == nil {
+		r.deps = dependencyEdges(r.Program)
+	}
+}
+
+// Prepared reports whether the reduction can serve QueryPrepared, whether
+// via Prepare or InstallPrepared.
+func (r *Reduction) Prepared() bool { return r.model != nil && (r.inc != nil || r.compiled) }
 
 // QueryPrepared answers q against the prepared model without mutating the
 // reduction, so it is safe for concurrent use by any number of goroutines

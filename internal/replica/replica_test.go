@@ -21,6 +21,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/wal"
 	"repro/internal/workload"
+	"repro/internal/workload/serverload"
 )
 
 const testProgram = `
@@ -348,7 +349,7 @@ func TestRouterReadYourWritesUnderStorm(t *testing.T) {
 	rc := server.NewClient(rurl, nil)
 	waitHealthyReplicas(t, rc, 2)
 
-	rep := workload.ServerLoad(context.Background(), rc, workload.ServerLoadConfig{
+	rep := serverload.Run(context.Background(), rc, serverload.Config{
 		Sessions: 8, Queries: 40, WriteEvery: 9,
 		Program: workload.ProgramConfig{Levels: 3, Preds: 2}, Seed: 1,
 	})

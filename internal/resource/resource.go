@@ -229,6 +229,25 @@ func (g *Governor) Insert(bytes int64) error {
 	return nil
 }
 
+// Charge counts bytes retained by auxiliary evaluation structures — symbol
+// interner tables, hash indexes — against MaxMemory without counting a
+// derived fact. The compiled engine (internal/compile) charges its interner
+// and per-pattern indexes here so an adversarial workload exhausts the
+// budget as a typed error instead of exhausting the process.
+func (g *Governor) Charge(bytes int64) error {
+	if g == nil {
+		return nil
+	}
+	if f := g.failed.Load(); f != nil {
+		return f.err
+	}
+	m := g.mem.Add(bytes)
+	if g.limits.MaxMemory > 0 && m > g.limits.MaxMemory {
+		return g.fail(&ErrBudgetExceeded{Resource: "memory", Used: m, Limit: g.limits.MaxMemory})
+	}
+	return nil
+}
+
 // StratumDone counts one completed stratum and polls the context.
 func (g *Governor) StratumDone() error {
 	if g == nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/workload"
+	"repro/internal/workload/serverload"
 )
 
 // benchProgram is sized so the match phase dominates HTTP transport: the
@@ -123,12 +124,12 @@ func BenchmarkWriteMixStorm(b *testing.B) {
 			c := server.NewClient(hs.URL, hc)
 			// Warm-up storm: compile reductions and populate the cache so the
 			// timed run measures steady state, not Prepare.
-			workload.ServerLoad(context.Background(), c, workload.ServerLoadConfig{
+			serverload.Run(context.Background(), c, serverload.Config{
 				Sessions: sessions, Queries: 24, Program: shape, Seed: 1, DB: "bench",
 			})
 			perSession := (b.N + sessions - 1) / sessions
 			b.ResetTimer()
-			rep := workload.ServerLoad(context.Background(), c, workload.ServerLoadConfig{
+			rep := serverload.Run(context.Background(), c, serverload.Config{
 				Sessions: sessions, Queries: perSession, WriteEvery: 9,
 				Program: shape, Seed: 2, DB: "bench",
 			})

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/compile"
 	"repro/internal/lattice"
 	"repro/internal/lint"
 	"repro/internal/multilog"
@@ -106,6 +107,10 @@ func (p *preparedProgram) current() *snapshot {
 // compiling it on first use. Compilation (parse-free: the database is
 // already in memory) runs Reduce plus an eager model build under limits,
 // so a hostile program cannot wedge the first query at a level forever.
+// The model build goes through the compiled engine (compile.
+// PrepareReduction): its plan cache is keyed by the reduced program's
+// rules, so re-preparing after a fact-only write reuses the plan, and
+// programs the compiler routes to the interpreter fall back transparently.
 func (s *snapshot) reductionAt(ctx context.Context, u lattice.Label, limits resource.Limits) (*multilog.Reduction, error) {
 	s.redMu.RLock()
 	red := s.reductions[u]
@@ -122,7 +127,7 @@ func (s *snapshot) reductionAt(ctx context.Context, u lattice.Label, limits reso
 	if err != nil {
 		return nil, err
 	}
-	if err := red.Prepare(ctx, limits); err != nil {
+	if _, err := compile.PrepareReduction(ctx, red, compile.Options{Limits: limits}); err != nil {
 		return nil, err
 	}
 	s.reductions[u] = red
@@ -216,6 +221,7 @@ func (p *preparedProgram) update(src string, clearance lattice.Label, retract bo
 		return 0, 0, none, err
 	}
 	inv := p.planInvalidation(cur, snap, deltaClauses)
+	p.invalidatePlans(cur, inv)
 	p.advanceReductions(cur, snap, &inv)
 	if commit != nil {
 		if err := commit(); err != nil {
@@ -261,6 +267,42 @@ func (p *preparedProgram) planInvalidation(cur, snap *snapshot, deltaClauses []m
 		return invalidation{all: true}
 	}
 	return invalidation{preds: preds}
+}
+
+// invalidatePlans keeps the compiled plan cache honest across updates.
+// Plans are keyed by the reduced program's rule set, so a fact-only write
+// leaves every cached plan valid — the next prepare at any clearance
+// re-runs the same plan over the new facts, which is the compiled fast
+// path. A rule write changes the reduced rule set at every clearance,
+// stranding this program's cached plans under keys that can never be hit
+// again; those are dropped by the translated predicate names the program's
+// prepared reductions mention (a clearance never prepared compiled no
+// plan, so an empty set is complete).
+func (p *preparedProgram) invalidatePlans(cur *snapshot, inv invalidation) {
+	if !inv.all {
+		return
+	}
+	seen := map[string]bool{}
+	var preds []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			preds = append(preds, name)
+		}
+	}
+	cur.redMu.RLock()
+	for _, red := range cur.reductions {
+		for _, c := range red.Program.Clauses {
+			add(c.Head.Pred)
+			for _, l := range c.Body {
+				if !l.Atom.IsBuiltin() {
+					add(l.Atom.Pred)
+				}
+			}
+		}
+	}
+	cur.redMu.RUnlock()
+	compile.DefaultCache.Invalidate(preds)
 }
 
 // impactGraph returns the snapshot's reverse dependency graph, building it

@@ -1,6 +1,9 @@
 package server
 
-import "repro/internal/resource"
+import (
+	"repro/internal/compile"
+	"repro/internal/resource"
+)
 
 // The wire protocol is plain JSON over HTTP/1.1, versioned under /v1/.
 // Endpoints:
@@ -146,10 +149,14 @@ type UpdateResponse struct {
 
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
-	UptimeMS  int64              `json:"uptime_ms"`
-	Sessions  SessionStats       `json:"sessions"`
-	Queries   QueryStats         `json:"queries"`
-	Cache     CacheStats         `json:"cache"`
+	UptimeMS int64        `json:"uptime_ms"`
+	Sessions SessionStats `json:"sessions"`
+	Queries  QueryStats   `json:"queries"`
+	Cache    CacheStats   `json:"cache"`
+	// Compiled is the process-wide compiled-engine plan cache: hit/miss/
+	// compile counters and cumulative compile time for the hash-join plans
+	// prepared reductions run on.
+	Compiled  compile.CacheStats `json:"compiled"`
 	Databases map[string]DBStats `json:"databases"`
 	// Durability is nil when the daemon runs without a data directory.
 	Durability *DurabilityStats `json:"durability,omitempty"`

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compile"
 	"repro/internal/faultinject"
 	"repro/internal/lattice"
 	"repro/internal/multilog"
@@ -437,6 +438,7 @@ func (s *Server) Stats() StatsResponse {
 		Sessions:    s.sessions.Stats(),
 		Queries:     QueryStats{Served: s.queries.Load(), Errors: s.qErrors.Load(), Truncated: s.qTrunc.Load()},
 		Cache:       s.cache.Stats(),
+		Compiled:    compile.DefaultCache.Stats(),
 		Databases:   dbs,
 		Durability:  s.durabilityStats(),
 		Replication: s.replicationStats(),

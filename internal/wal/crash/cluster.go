@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/workload"
+	"repro/internal/workload/serverload"
 )
 
 // ClusterScenario is one cell of the cluster-chaos matrix.
@@ -251,7 +252,7 @@ func (h *Harness) RunCluster(ctx context.Context, sc ClusterScenario) error {
 	storm.Add(1)
 	go func() {
 		defer storm.Done()
-		workload.ServerLoad(stormCtx, server.NewClient(cl.router.addr, nil), workload.ServerLoadConfig{
+		serverload.Run(stormCtx, server.NewClient(cl.router.addr, nil), serverload.Config{
 			Sessions: 4, Queries: 100_000, Program: programCfg, Seed: 99, DB: dbName,
 		})
 	}()

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/workload"
+	"repro/internal/workload/serverload"
 )
 
 // Scenario is one cell of the crash matrix.
@@ -334,7 +335,7 @@ func (h *Harness) drive(ctx context.Context, d *daemon) (acked []string, inFligh
 		defer storm.Done()
 		// Read-only concurrency across clearances and modes; its errors are
 		// expected once the daemon dies.
-		workload.ServerLoad(stormCtx, server.NewClient(d.addr, nil), workload.ServerLoadConfig{
+		serverload.Run(stormCtx, server.NewClient(d.addr, nil), serverload.Config{
 			Sessions: 4, Queries: 10_000, Program: programCfg, Seed: 99, DB: dbName,
 		})
 	}()
@@ -517,7 +518,7 @@ func (h *Harness) driveStorm(ctx context.Context, d *daemon) (acked []stormOp, i
 	storm.Add(1)
 	go func() {
 		defer storm.Done()
-		workload.ServerLoad(stormCtx, server.NewClient(d.addr, nil), workload.ServerLoadConfig{
+		serverload.Run(stormCtx, server.NewClient(d.addr, nil), serverload.Config{
 			Sessions: 4, Queries: 10_000, Program: programCfg, Seed: 99, DB: dbName,
 		})
 	}()

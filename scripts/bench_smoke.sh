@@ -1,12 +1,17 @@
 #!/bin/sh
-# bench_smoke.sh — CI smoke for the incremental-invalidation benchmark: run
-# BenchmarkWriteMixStorm at a short benchtime and gate the cached-read p50
-# ratio between the per-predicate incremental arm and the global
-# nuke-the-cache baseline through benchreport. The smoke gate is deliberately
-# looser (>=2x) than the committed BENCH_incremental.json (>=5x): short runs
-# are noisy and the smoke only has to catch the invalidation path regressing
-# to global behaviour, not re-certify the headline number. Regenerate the
-# committed artifact with:
+# bench_smoke.sh — CI smoke for the two committed benchmark artifacts.
+#
+# 1. BenchmarkWriteMixStorm: gate the cached-read p50 ratio between the
+#    per-predicate incremental arm and the global nuke-the-cache baseline.
+# 2. BenchmarkOperationalVsReduction: gate the model-construction time
+#    ratio between the interpreted reduction arm and the compiled engine
+#    at the largest fact count (smaller sizes are fixed-cost-dominated;
+#    the [facts=320] filter pins the assertion to the scale point).
+#
+# Both smoke gates are deliberately looser (>=2x) than the committed
+# artifacts (>=5x): short runs are noisy and the smoke only has to catch
+# the fast path regressing to baseline behaviour, not re-certify the
+# headline numbers. Regenerate the committed artifacts with:
 #
 #   go test ./internal/server -run '^$' -bench BenchmarkWriteMixStorm \
 #       -benchtime 500x -count=1 | tee /tmp/bench_incremental.txt
@@ -14,16 +19,30 @@
 #       -json BENCH_incremental.json \
 #       -gate 'WriteMixStorm/invalidation/incremental:p50-read-ns>=5'
 #
+#   go test . -run '^$' -bench BenchmarkOperationalVsReduction \
+#       -benchtime 100x -count=1 | tee /tmp/bench_compiled.txt
+#   go test . -run '^$' -bench BenchmarkBeliefModesScaling \
+#       -count=1 | tee -a /tmp/bench_compiled.txt
+#   go run ./cmd/benchreport -in /tmp/bench_compiled.txt \
+#       -json BENCH_compiled.json \
+#       -gate 'OperationalVsReduction[facts=320]/engine/compiled:model-ns>=5'
+#
 # Run via `make bench-smoke`.
 set -eu
 
 GO=${GO:-go}
 BENCHTIME=${BENCH_SMOKE_TIME:-120x}
 GATE=${BENCH_SMOKE_GATE:-'WriteMixStorm/invalidation/incremental:p50-read-ns>=2'}
+COMPILED_BENCHTIME=${BENCH_SMOKE_COMPILED_TIME:-10x}
+COMPILED_GATE=${BENCH_SMOKE_COMPILED_GATE:-'OperationalVsReduction[facts=320]/engine/compiled:model-ns>=2'}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT INT TERM
 
 $GO test ./internal/server -run '^$' -bench BenchmarkWriteMixStorm \
     -benchtime "$BENCHTIME" -count=1 | tee "$TMP/bench.txt"
 $GO run ./cmd/benchreport -in "$TMP/bench.txt" -gate "$GATE"
+
+$GO test . -run '^$' -bench 'BenchmarkOperationalVsReduction/facts=320' \
+    -benchtime "$COMPILED_BENCHTIME" -count=1 | tee "$TMP/bench_compiled.txt"
+$GO run ./cmd/benchreport -in "$TMP/bench_compiled.txt" -gate "$COMPILED_GATE"
 echo "bench-smoke: ok"
