@@ -6,7 +6,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: build test check vet race fuzz-smoke campaign chaos staticcheck \
 	staticcheck-install analyzers lint analyze serve-smoke crash cluster-chaos \
-	bench-smoke
+	bench-smoke overload-chaos
 
 build:
 	$(GO) build ./...
@@ -96,6 +96,17 @@ crash:
 cluster-chaos:
 	CRASH_MATRIX=full $(GO) test -race -count=1 -run TestClusterChaos ./internal/wal/crash
 
+# overload-chaos runs the overload-protection harness under the race
+# detector: a serveload storm driven far past the admission controller's
+# capacity with fault-injected latency spikes, asserting bounded
+# admitted-read p99, a never-starved control plane (healthz and
+# replication bypass admission), brownout stale serving, zero acked-write
+# loss during overload, and zero goroutine leaks after drain.
+overload-chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestOverloadChaos|TestSustainedOverloadNoLeaks|TestBrownoutServesStale' \
+		./internal/server
+
 # bench-smoke runs the 90/10 write-mix benchmark at a short benchtime and
 # gates the cached-read p50 ratio of per-predicate vs global invalidation
 # through benchreport. The smoke bar (>=2x) is looser than the committed
@@ -106,7 +117,8 @@ bench-smoke:
 
 # check is the CI tier: vet, the custom analyzers, staticcheck, build, the
 # program linter, the SARIF analysis artifact, the race-enabled suite, the chaos tier, the crash-recovery
-# matrix, the replication cluster-chaos matrix, the daemon smoke, the
-# write-mix bench smoke, and a bounded differential fuzz smoke.
-check: vet analyzers staticcheck build lint analyze race chaos crash cluster-chaos serve-smoke bench-smoke fuzz-smoke
+# matrix, the replication cluster-chaos matrix, the overload-protection
+# harness, the daemon smoke, the bench smokes (write-mix, compiled,
+# overload goodput), and a bounded differential fuzz smoke.
+check: vet analyzers staticcheck build lint analyze race chaos crash cluster-chaos overload-chaos serve-smoke bench-smoke fuzz-smoke
 	@echo "check: all gates passed"

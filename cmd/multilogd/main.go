@@ -33,6 +33,16 @@
 // finish (bounded by -drain), a final checkpoint is written, and the
 // process exits 0 on a clean drain.
 //
+// # Overload protection
+//
+// An adaptive admission controller (-max-inflight cost units, AIMD-tuned,
+// CoDel-style queue-delay shedding) sits in front of query and write
+// handling; health and replication traffic always bypasses it. Shed
+// requests get HTTP 429 with a Retry-After hint, and — with -max-stale —
+// reads may instead be answered from recently invalidated cache entries,
+// marked by an X-Multilog-Stale header. -admission=false turns the
+// controller off (the benchmark baseline).
+//
 // # Replication
 //
 // multilogd also runs as a fleet (see internal/replica):
@@ -123,6 +133,9 @@ type options struct {
 	drain        time.Duration
 	maxFacts     int64
 	maxSteps     int64
+	maxInflight  int
+	maxStale     time.Duration
+	admission    bool
 	quiet        bool
 	pprofAddr    string
 
@@ -139,6 +152,7 @@ type options struct {
 	ackTimeout    time.Duration
 	rywHold       time.Duration
 	probeInterval time.Duration
+	rebootstrap   bool
 }
 
 func main() {
@@ -153,6 +167,9 @@ func main() {
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "shutdown drain timeout")
 	flag.Int64Var(&o.maxFacts, "max-facts", 0, "per-request derived-fact budget (0 = unlimited)")
 	flag.Int64Var(&o.maxSteps, "max-steps", 0, "per-request evaluation-step budget (0 = unlimited)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 64, "admission control: peak concurrent query/write cost units (0 = admission off)")
+	flag.DurationVar(&o.maxStale, "max-stale", 0, "brownout: serve invalidated cache entries up to this old while shedding (0 = never stale)")
+	flag.BoolVar(&o.admission, "admission", true, "enable adaptive admission control (false = admit everything)")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress the event log")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof (/debug/pprof/*) on this address (empty = disabled)")
 	flag.StringVar(&o.dataDir, "data-dir", "", "durability directory for the WAL and checkpoints (empty = in-memory only)")
@@ -167,6 +184,7 @@ func main() {
 	flag.DurationVar(&o.ackTimeout, "ack-timeout", 5*time.Second, "router: per-replica write-ack deadline before it is dropped from the quorum")
 	flag.DurationVar(&o.rywHold, "ryw-hold", 2*time.Second, "router: how long a read waits for its replica to reach the session's last-write epoch")
 	flag.DurationVar(&o.probeInterval, "probe-interval", 250*time.Millisecond, "router: backend health-probe cadence")
+	flag.BoolVar(&o.rebootstrap, "rebootstrap-on-diverge", false, "follower: on divergence, wipe local state and re-bootstrap from the primary instead of halting")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -207,6 +225,10 @@ func baseConfig(o options) server.Config {
 		Limits:             resource.Limits{MaxFacts: o.maxFacts, MaxSteps: o.maxSteps},
 		CheckpointInterval: o.ckptInterval,
 		CheckpointEvery:    o.ckptEvery,
+	}
+	if o.admission {
+		cfg.MaxInflight = o.maxInflight
+		cfg.MaxStale = o.maxStale
 	}
 	if !o.quiet {
 		logger := log.New(os.Stderr, "multilogd: ", log.LstdFlags)
@@ -365,6 +387,7 @@ func runFollower(o options) error {
 		store.Close() //nolint:errcheck // exiting anyway
 		return err
 	}
+	node.Rep.RebootstrapOnDiverge = o.rebootstrap
 	ln, err := listen(o)
 	if err != nil {
 		store.Close() //nolint:errcheck // exiting anyway

@@ -39,6 +39,16 @@ const (
 	// connection. The cluster-chaos harness injects short writes, corrupt
 	// frames and SIGKILLs here.
 	ReplStreamFrame FileEvent = "repl.stream.frame"
+	// ReplApplyRecord fires on a follower once per replicated record, after
+	// the record is mirrored into the local WAL and before it is applied to
+	// the serving state. An injected err here is the shape of a divergence:
+	// mirrored but unappliable, the terminal follower failure the
+	// rebootstrap-on-diverge path recovers from.
+	ReplApplyRecord FileEvent = "repl.apply.record"
+	// ServerQueryWork fires inside the admitted span of every non-cached
+	// query, after admission and before the governed match. The overload
+	// harness injects latency spikes here (action "slow").
+	ServerQueryWork FileEvent = "server.query.work"
 )
 
 // FileEvents lists every probe point, for plan validation and harness
@@ -46,7 +56,7 @@ const (
 var FileEvents = []FileEvent{
 	FileAppendStart, FileAppendWritten, FileAppendSynced,
 	FileCheckpointTemp, FileCheckpointRenamed,
-	ReplStreamFrame,
+	ReplStreamFrame, ReplApplyRecord, ServerQueryWork,
 }
 
 // FileAction is what a plan tells the file layer to do at a probe point.
@@ -71,7 +81,14 @@ const (
 	// the receiving side must catch. Combine with :once — a sticky corrupt
 	// plan re-corrupts every retry and never converges.
 	FileCorrupt
+	// FileSlow stalls the operation for FileSlowDuration, then lets it
+	// proceed: an injected latency spike (a seeking disk, a GC pause), the
+	// degradation signal the overload harness drives admission control with.
+	FileSlow
 )
+
+// FileSlowDuration is how long a FileSlow probe point stalls.
+const FileSlowDuration = 50 * time.Millisecond
 
 // String names the action in plan syntax.
 func (a FileAction) String() string {
@@ -88,6 +105,8 @@ func (a FileAction) String() string {
 		return "kill-torn"
 	case FileCorrupt:
 		return "corrupt"
+	case FileSlow:
+		return "slow"
 	}
 	return fmt.Sprintf("FileAction(%d)", int(a))
 }
@@ -199,8 +218,10 @@ func parseFileDirective(s string) (FilePlan, error) {
 		action = FileKillTorn
 	case "corrupt":
 		action = FileCorrupt
+	case "slow":
+		action = FileSlow
 	default:
-		return nil, fmt.Errorf("faultinject: plan %q: unknown action %q (want err, short, kill, kill-torn or corrupt)", s, actionStr)
+		return nil, fmt.Errorf("faultinject: plan %q: unknown action %q (want err, short, kill, kill-torn, corrupt or slow)", s, actionStr)
 	}
 	once := false
 	if trimmed, found := strings.CutSuffix(rest, ":once"); found {

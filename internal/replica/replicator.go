@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"time"
 
@@ -64,6 +65,15 @@ type Replicator struct {
 	policy server.RetryPolicy
 	logf   func(format string, args ...any)
 	hc     *http.Client
+
+	// RebootstrapOnDiverge, when set before Run, turns divergence from a
+	// terminal halt into a wipe-and-rebuild: instead of leaving the fleet
+	// forever, the follower discards its serving state by installing a fresh
+	// primary snapshot (which repositions its log past the unappliable
+	// record) and rejoins. Opt-in because it destroys the local evidence of
+	// what diverged.
+	RebootstrapOnDiverge bool
+	forceBootstrap       atomic.Bool
 
 	mu       sync.Mutex
 	primary  string
@@ -174,10 +184,20 @@ func (r *Replicator) Run(ctx context.Context) {
 		if errors.Is(err, server.ErrDiverged) {
 			// The local WAL holds a record the serving state could not
 			// apply; reconnecting would resume past it and silently skip it
-			// forever. Halt — the node is out of the fleet (readiness is
-			// already failed) until its data directory is rebuilt.
-			r.logf("replica: replication HALTED at seq %d: %v", r.store.LastSeq(), err)
-			return
+			// forever.
+			if !r.RebootstrapOnDiverge {
+				// Halt — the node is out of the fleet (readiness is already
+				// failed) until its data directory is rebuilt.
+				r.logf("replica: replication HALTED at seq %d: %v", r.store.LastSeq(), err)
+				return
+			}
+			// Opt-in recovery: discard the diverged state by forcing a fresh
+			// snapshot bootstrap on the next attempt. Installing the
+			// primary's checkpoint (whose seq covers the unappliable record)
+			// replaces the serving state wholesale and repositions the local
+			// log past the gap.
+			r.forceBootstrap.Store(true)
+			r.logf("replica: state diverged at seq %d: %v; re-bootstrapping from %s", r.store.LastSeq(), err, r.Primary())
 		}
 		if progressed {
 			attempt = 0
@@ -222,9 +242,16 @@ func (r *Replicator) streamOnce(ctx context.Context) (progressed bool, err error
 	}
 
 	from := r.store.LastSeq()
-	if from == 0 && r.srv.Applied() == 0 {
+	if r.forceBootstrap.Load() || (from == 0 && r.srv.Applied() == 0) {
 		if err := r.bootstrap(rctx, primary, stall); err != nil {
 			return false, stalled(err)
+		}
+		if r.forceBootstrap.CompareAndSwap(true, false) {
+			// The diverged state is gone; the node may re-enter rotation
+			// once it catches up like any fresh bootstrap.
+			r.srv.ClearDiverged()
+			r.srv.Repl().Rebootstraps.Add(1)
+			r.logf("replica: rebootstrapped after divergence; resuming from seq %d", r.store.LastSeq())
 		}
 		progressed = true
 		from = r.store.LastSeq()

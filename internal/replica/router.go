@@ -95,6 +95,7 @@ type backend struct {
 	deposed  atomic.Bool // a failed-over ex-primary; never auto-reintegrated
 	applied  atomic.Uint64
 	sessions atomic.Int64
+	qdepth   atomic.Int64 // last gossiped admission queue depth
 	failures atomic.Int32 // consecutive probe failures
 }
 
@@ -142,6 +143,7 @@ type Router struct {
 	rywHolds     atomic.Int64
 	rywForwards  atomic.Int64
 	readFallback atomic.Int64
+	resheds      atomic.Int64
 	failovers    atomic.Int64
 }
 
@@ -186,9 +188,12 @@ func (r *Router) currentPrimary() *backend {
 	return r.primary
 }
 
-// pickReplica chooses the healthy replica with the fewest pinned sessions
-// among those serving the clearance's band; nil when none qualifies (reads
-// then go to the primary).
+// pickReplica chooses the least-loaded healthy replica among those serving
+// the clearance's band; nil when none qualifies (reads then go to the
+// primary). Load is the admission queue depth each node gossips on
+// /v1/repl/status, with pinned sessions as the tiebreak — so a replica
+// buried in queued work stops attracting new sessions even if few are
+// pinned to it.
 func (r *Router) pickReplica(clearance string) *backend {
 	prim := r.currentPrimary()
 	var best *backend
@@ -196,11 +201,20 @@ func (r *Router) pickReplica(clearance string) *backend {
 		if b == prim || !b.healthy.Load() || !b.servesBand(clearance) {
 			continue
 		}
-		if best == nil || b.sessions.Load() < best.sessions.Load() {
+		if best == nil || lighterLoaded(b, best) {
 			best = b
 		}
 	}
 	return best
+}
+
+// lighterLoaded orders replicas by gossiped queue depth, then by pinned
+// sessions.
+func lighterLoaded(a, b *backend) bool {
+	if da, db := a.qdepth.Load(), b.qdepth.Load(); da != db {
+		return da < db
+	}
+	return a.sessions.Load() < b.sessions.Load()
 }
 
 // Handler speaks the standard /v1 protocol.
@@ -364,6 +378,15 @@ func (r *Router) handleQuery(w http.ResponseWriter, q *http.Request) error {
 			r.qErrors.Add(1)
 			return rerr
 		}
+		if isShed(rerr) {
+			// The pinned replica shed the read (429): move the pin to the
+			// least-loaded replica and retry there before burdening the
+			// primary with fallback reads.
+			if resp, ok := r.reshedQuery(q.Context(), s, rep, req, floor); ok {
+				r.countQuery(resp)
+				return writeJSON(w, http.StatusOK, resp)
+			}
+		}
 		r.readFallback.Add(1)
 	}
 	resp, rerr := r.queryOn(q.Context(), s, r.currentPrimary(), req, true)
@@ -382,6 +405,37 @@ func (r *Router) countQuery(resp *server.QueryResponse) {
 	}
 }
 
+// reshedQuery moves a session whose pinned replica shed its read to the
+// least-loaded eligible replica (by queue-depth gossip) and retries there
+// once. The pin moves permanently — the gossip already says the old home is
+// the busier one. ok=false when no other replica qualifies or the retry
+// fails or is stale; the caller then falls back to the primary.
+func (r *Router) reshedQuery(ctx context.Context, s *routedSession, from *backend, req server.QueryRequest, floor uint64) (*server.QueryResponse, bool) {
+	alt := r.pickReplica(s.open.Clearance)
+	if alt == nil || alt == from {
+		return nil, false
+	}
+	s.mu.Lock()
+	if s.replica == from {
+		s.replica, s.replicaTok = alt, ""
+		from.sessions.Add(-1)
+		alt.sessions.Add(1)
+	}
+	s.mu.Unlock()
+	r.resheds.Add(1)
+	resp, err := r.queryOn(ctx, s, alt, req, false)
+	if err != nil || resp.Epoch < floor {
+		return nil, false
+	}
+	return resp, true
+}
+
+// isShed says whether a backend reply was an admission-control 429.
+func isShed(err error) bool {
+	var re *server.RemoteError
+	return errors.As(err, &re) && re.Status == http.StatusTooManyRequests
+}
+
 // errStale marks a replica read that could not reach the session's RYW
 // epoch floor in time; the caller forwards to the primary.
 var errStale = errors.New("replica: read is stale past the hold window")
@@ -396,7 +450,8 @@ func fallbackWorthy(err error) bool {
 	}
 	var re *server.RemoteError
 	if errors.As(err, &re) {
-		return re.Status == http.StatusServiceUnavailable || re.Status == http.StatusNotFound
+		return re.Status == http.StatusServiceUnavailable || re.Status == http.StatusNotFound ||
+			re.Status == http.StatusTooManyRequests
 	}
 	return true // transport-level
 }
@@ -564,6 +619,7 @@ func (r *Router) ackOnReplicas(_ context.Context, seq uint64) {
 				st, err := b.client.ReplStatus(ctx)
 				if err == nil {
 					b.applied.Store(st.AppliedSeq)
+					b.qdepth.Store(st.QueueDepth)
 					if st.AppliedSeq >= seq {
 						return
 					}
@@ -735,6 +791,7 @@ func (r *Router) probeLoop(ctx context.Context) {
 			ready := err == nil
 			if ready {
 				b.applied.Store(st.AppliedSeq)
+				b.qdepth.Store(st.QueueDepth)
 				// A follower that is still syncing serves stale reads; keep
 				// it out of pinning and ack quorums until it catches up.
 				ready = st.Synced || b == prim
@@ -769,6 +826,7 @@ func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) error {
 		RYWHolds:     r.rywHolds.Load(),
 		RYWForwards:  r.rywForwards.Load(),
 		ReadFallback: r.readFallback.Load(),
+		Resheds:      r.resheds.Load(),
 		Failovers:    r.failovers.Load(),
 	}
 	for _, b := range r.backends {
@@ -782,7 +840,8 @@ func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) error {
 		}
 		rs.Nodes = append(rs.Nodes, server.NodeReplStats{
 			Addr: b.addr, Role: role, Healthy: b.healthy.Load(),
-			AppliedSeq: b.applied.Load(), Sessions: b.sessions.Load(), Bands: bands,
+			AppliedSeq: b.applied.Load(), Sessions: b.sessions.Load(),
+			QueueDepth: b.qdepth.Load(), Bands: bands,
 		})
 	}
 	r.sessMu.Lock()

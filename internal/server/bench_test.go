@@ -146,6 +146,57 @@ func BenchmarkWriteMixStorm(b *testing.B) {
 	}
 }
 
+// BenchmarkOverloadStorm drives a serverload storm ~5x past the admission
+// controller's capacity against both arms: admission on (adaptive limit,
+// CoDel shedding, brownout) and admission off (every request executes).
+// The workload is a 90/10 read/write mix with a tight per-request deadline,
+// so the off arm rides congestion into deadline misses — work executed and
+// thrown away — while the on arm sheds early and keeps admitted work
+// inside the deadline. The reported goodput (completed queries per second)
+// is what the committed BENCH_overload.json gates: on/off >= 1.5x.
+func BenchmarkOverloadStorm(b *testing.B) {
+	arms := []struct {
+		name        string
+		maxInflight int
+	}{
+		{"admission=on", 16},
+		{"admission=off", 0},
+	}
+	const sessions = 40 // vs ~4 concurrent cost-4 reads on the on arm
+	shape := workload.ProgramConfig{Levels: 4, Facts: 1200, Rules: 24, Preds: 6, Seed: 7, Poly: 0.3}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			srv := server.New(server.Config{
+				CacheEntries: 4096, QueryTimeout: 150 * time.Millisecond,
+				MaxSessions: 256, MaxInflight: arm.maxInflight, MaxStale: 30 * time.Second,
+			})
+			if err := srv.Load("bench", workload.ProgramSource(shape)); err != nil {
+				b.Fatal(err)
+			}
+			hs := httptest.NewServer(srv.Handler())
+			b.Cleanup(hs.Close)
+			hc := &http.Client{Timeout: time.Minute, Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+			c := server.NewClient(hs.URL, hc)
+			// Warm-up: compile every reduction and populate the cache so the
+			// timed storm measures steady-state overload, not Prepare.
+			serverload.Run(context.Background(), c, serverload.Config{
+				Sessions: 4, Queries: 24, Program: shape, Seed: 1, DB: "bench", Sustain: true,
+			})
+			perSession := (b.N + sessions - 1) / sessions
+			b.ResetTimer()
+			rep := serverload.Run(context.Background(), c, serverload.Config{
+				Sessions: sessions, Queries: perSession, WriteEvery: 9,
+				Program: shape, Seed: 2, DB: "bench", Sustain: true,
+			})
+			b.StopTimer()
+			b.ReportMetric(rep.QPS(), "goodput")
+			b.ReportMetric(float64(rep.Shed), "shed")
+			b.ReportMetric(float64(rep.Errors), "deadline-misses")
+			b.ReportMetric(float64(rep.ReadP99.Nanoseconds()), "p99-read-ns")
+		})
+	}
+}
+
 // BenchmarkServerSessions compares 1 reader against 64 concurrent readers
 // sharing one warm cache, measuring per-query latency under contention.
 func BenchmarkServerSessions(b *testing.B) {

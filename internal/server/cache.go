@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // resultCache is the invalidating answer cache: finished (complete,
@@ -30,7 +31,21 @@ type resultCache struct {
 	by  map[string]*list.Element // key -> element
 	dbs map[string]*dbEpochs     // per-database invalidation state
 
+	// keepStale retains invalidated entries in a bounded side table for
+	// brownout serving (Config.MaxStale > 0): under shed, a read may be
+	// answered from a recently invalidated entry instead of rejected.
+	keepStale bool
+	stale     map[string]*staleEntry
+
 	hits, misses, evictions, invalidations int64
+}
+
+// staleEntry is a brownout candidate: answers an invalidation dropped,
+// kept with the moment they went stale.
+type staleEntry struct {
+	db      string
+	at      time.Time
+	answers []map[string]string
 }
 
 // dbEpochs is one database's invalidation state: the load generation (part
@@ -67,7 +82,40 @@ func cacheKey(db string, gen uint64, clearance, mode, query string) string {
 // <= 0 disables caching (every Get misses, every Put is dropped).
 func newResultCache(capacity int) *resultCache {
 	return &resultCache{cap: capacity, lru: list.New(), by: map[string]*list.Element{},
-		dbs: map[string]*dbEpochs{}}
+		dbs: map[string]*dbEpochs{}, stale: map[string]*staleEntry{}}
+}
+
+// retire moves an invalidated entry into the stale side table (bounded by
+// the cache capacity; an arbitrary victim makes room). Callers hold c.mu.
+func (c *resultCache) retire(ent *cacheEntry, now time.Time) {
+	if !c.keepStale {
+		return
+	}
+	if len(c.stale) >= c.cap {
+		for k := range c.stale {
+			delete(c.stale, k)
+			break
+		}
+	}
+	c.stale[ent.key] = &staleEntry{db: ent.db, at: now, answers: ent.answers}
+}
+
+// GetStale returns the invalidated answers previously stored under key if
+// they went stale no longer than maxAge ago — the brownout read. Entries
+// past maxAge are dropped on probe.
+func (c *resultCache) GetStale(key string, maxAge time.Duration) ([]map[string]string, time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.stale[key]
+	if !ok {
+		return nil, 0, false
+	}
+	age := time.Since(ent.at)
+	if age > maxAge {
+		delete(c.stale, key)
+		return nil, 0, false
+	}
+	return ent.answers, age, true
 }
 
 // epochs returns db's invalidation state, creating it on first use. Callers
@@ -123,6 +171,7 @@ func (c *resultCache) Put(key, db string, epoch uint64, deps []string, answers [
 			return
 		}
 	}
+	delete(c.stale, key) // a fresh result supersedes any brownout copy
 	if el, ok := c.by[key]; ok {
 		c.lru.MoveToFront(el)
 		ent := el.Value.(*cacheEntry)
@@ -154,12 +203,14 @@ func (c *resultCache) InvalidatePreds(db string, epoch uint64, preds []string) i
 		}
 	}
 	n := 0
+	now := time.Now()
 	for el := c.lru.Front(); el != nil; {
 		next := el.Next()
 		ent := el.Value.(*cacheEntry)
 		if ent.db == db && ent.epoch < epoch && dependsOn(ent.deps, touched) {
 			c.lru.Remove(el)
 			delete(c.by, ent.key)
+			c.retire(ent, now)
 			n++
 		}
 		el = next
@@ -194,12 +245,14 @@ func (c *resultCache) InvalidateAll(db string, epoch uint64) int {
 		e.all = epoch
 	}
 	n := 0
+	now := time.Now()
 	for el := c.lru.Front(); el != nil; {
 		next := el.Next()
 		ent := el.Value.(*cacheEntry)
 		if ent.db == db && ent.epoch < epoch {
 			c.lru.Remove(el)
 			delete(c.by, ent.key)
+			c.retire(ent, now)
 			n++
 		}
 		el = next
@@ -218,6 +271,13 @@ func (c *resultCache) Reset(db string) int {
 	e.gen++
 	e.all = 0
 	e.preds = map[string]uint64{}
+	// A reload changes what the predicates mean; its brownout copies are
+	// not merely stale but wrong.
+	for k, ent := range c.stale {
+		if ent.db == db {
+			delete(c.stale, k)
+		}
+	}
 	n := 0
 	for el := c.lru.Front(); el != nil; {
 		next := el.Next()

@@ -254,8 +254,14 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 func decodeRemoteError(resp *http.Response) error {
 	re := &RemoteError{Status: resp.StatusCode}
 	if s := resp.Header.Get("Retry-After"); s != "" {
+		// RFC 9110 allows both forms: delta-seconds and an HTTP-date. A date
+		// in the past (or clock skew) clamps to zero, not negative.
 		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
 			re.RetryAfter = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(s); err == nil {
+			if d := time.Until(at); d > 0 {
+				re.RetryAfter = d
+			}
 		}
 	}
 	var er ErrorResponse

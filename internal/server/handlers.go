@@ -1,11 +1,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 
+	"repro/internal/admission"
 	"repro/internal/datalog"
 	"repro/internal/resource"
 	"repro/internal/wal"
@@ -37,11 +41,13 @@ func (s *Server) Handler() http.Handler {
 	// recovery progress in the body. Not gated by wrap: health must answer
 	// even while draining or replaying.
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		defer s.bypass(admission.Health).Done(0, false)
 		writeJSON(w, http.StatusOK, s.health()) //nolint:errcheck // best-effort health body
 	})
 	// Readiness: 200 only when the daemon can take real traffic — recovery
 	// done, not draining.
 	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		defer s.bypass(admission.Health).Done(0, false)
 		h := s.health()
 		status := http.StatusOK
 		if h.Status != "ok" {
@@ -50,6 +56,14 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, status, h) //nolint:errcheck // best-effort health body
 	})
 	return mux
+}
+
+// bypass takes a ticket for a health or replication request. These classes
+// never queue and are never shed — the controller only counts them, so
+// /v1/stats shows the full request mix. Safe with admission disabled.
+func (s *Server) bypass(pri admission.Priority) *admission.Ticket {
+	t, _ := s.adm.Admit(context.Background(), pri, 1)
+	return t
 }
 
 // wrap adds in-flight tracking, the drain gate and panic containment
@@ -121,6 +135,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		}
 		return err
 	}
+	if resp.StaleMS > 0 {
+		// Brownout answer: surfaced in a header too, so clients and proxies
+		// can spot staleness without parsing the body.
+		w.Header().Set("X-Multilog-Stale", strconv.FormatInt(resp.StaleMS, 10))
+	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 
@@ -146,7 +165,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, retract bo
 	if err != nil {
 		return err
 	}
-	resp, err := s.Update(sess, req, retract)
+	resp, err := s.Update(r.Context(), sess, req, retract)
 	if err != nil {
 		return err
 	}
@@ -196,6 +215,7 @@ func writeError(w http.ResponseWriter, err error) {
 	primary := ""
 	var (
 		overload   *OverloadError
+		shed       *admission.OverloadError
 		denied     *DeniedError
 		lintErr    *LintError
 		budget     *resource.ErrBudgetExceeded
@@ -215,6 +235,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusGone, CodeCompacted
 	case errors.Is(err, ErrRecovering):
 		status, code = http.StatusServiceUnavailable, CodeRecovering
+	case errors.As(err, &shed):
+		// 429: the admission controller shed the request; Retry-After below
+		// carries its computed backoff, not the generic transient hint.
+		status, code = http.StatusTooManyRequests, CodeOverloaded
 	case errors.As(err, &overload), errors.Is(err, ErrShuttingDown):
 		status, code = http.StatusServiceUnavailable, CodeOverloaded
 	case errors.As(err, &denied):
@@ -243,6 +267,15 @@ func writeError(w http.ResponseWriter, err error) {
 		// Overload, drain and recovery are all transient; tell well-behaved
 		// clients how long to hold off before retrying (or rotating).
 		w.Header().Set("Retry-After", "1")
+	}
+	if shed != nil {
+		// The controller's estimate of when the backlog drains, rounded up
+		// to whole seconds (the header's granularity), never below 1.
+		secs := int64(math.Ceil(shed.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(ErrorResponse{Code: code, Message: err.Error(), Primary: primary}) //nolint:errcheck // best-effort error body

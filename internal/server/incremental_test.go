@@ -46,7 +46,7 @@ func runQuery(t *testing.T, s *Server, sess *Session, q string) *QueryResponse {
 
 func runUpdate(t *testing.T, s *Server, sess *Session, clauses string, retract bool) *UpdateResponse {
 	t.Helper()
-	resp, err := s.Update(sess, UpdateRequest{Clauses: clauses}, retract)
+	resp, err := s.Update(context.Background(), sess, UpdateRequest{Clauses: clauses}, retract)
 	if err != nil {
 		t.Fatalf("update %q: %v", clauses, err)
 	}

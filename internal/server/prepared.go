@@ -134,6 +134,15 @@ func (s *snapshot) reductionAt(ctx context.Context, u lattice.Label, limits reso
 	return red, nil
 }
 
+// hasReduction reports whether the clearance's reduction is already
+// compiled — the admission controller prices a match-only read far below a
+// first query that must pay the reduction build.
+func (s *snapshot) hasReduction(u lattice.Label) bool {
+	s.redMu.RLock()
+	defer s.redMu.RUnlock()
+	return s.reductions[u] != nil
+}
+
 // stats snapshots the program's counters.
 func (p *preparedProgram) stats() DBStats {
 	s := p.current()

@@ -118,6 +118,11 @@ type QueryResponse struct {
 	// Stats reports the matching work (zero on cache hits and on the
 	// ungoverned fast path).
 	Stats resource.Stats `json:"stats"`
+	// StaleMS, when nonzero, marks a brownout answer: the admission
+	// controller was shedding and this response was served from an
+	// invalidated cache entry this many milliseconds old (bounded by the
+	// server's -max-stale). Mirrored in the X-Multilog-Stale header.
+	StaleMS int64 `json:"stale_ms,omitempty"`
 }
 
 // UpdateRequest asserts or retracts clauses on the session's database.
@@ -163,6 +168,33 @@ type StatsResponse struct {
 	// Replication is nil on a plain single-node daemon; a durable primary, a
 	// follower and the router all report their replication view here.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Admission is nil when the admission controller is disabled
+	// (-admission=off / Config.MaxInflight == 0).
+	Admission *AdmissionStats `json:"admission,omitempty"`
+}
+
+// AdmissionStats is the admission controller's view: the adaptive limit,
+// the live load, and the shed/brownout counters.
+type AdmissionStats struct {
+	// Limit is the current AIMD concurrency limit, in cost units.
+	Limit float64 `json:"limit"`
+	// Inflight is the admitted cost currently executing.
+	Inflight int `json:"inflight"`
+	// Queued is the number of requests parked in the admission queues.
+	Queued int `json:"queued"`
+	// Admitted counts gated requests (reads/writes/prepares) admitted.
+	Admitted int64 `json:"admitted"`
+	// Bypassed counts health/replication requests waved through the limiter.
+	Bypassed int64 `json:"bypassed"`
+	// Shed counts requests rejected with 429.
+	Shed int64 `json:"shed"`
+	// Shedding reports the controller is currently in its CoDel shed state.
+	Shedding bool `json:"shedding,omitempty"`
+	// StaleServed counts brownout answers served from invalidated cache
+	// entries instead of rejecting.
+	StaleServed int64 `json:"stale_served,omitempty"`
+	// LimitDecreases counts multiplicative AIMD cuts since boot.
+	LimitDecreases int64 `json:"limit_decreases,omitempty"`
 }
 
 // ReplicationStats is the replication view of one node (or the router),
@@ -195,9 +227,17 @@ type ReplicationStats struct {
 	// when streaming is healthy).
 	LastStreamError string `json:"last_stream_error,omitempty"`
 
+	// QueueDepth is the node's admission-controller load (queued + running
+	// gated requests): the gossip signal the router sheds reads to the
+	// least-loaded replica with. Zero when admission is disabled.
+	QueueDepth int64 `json:"queue_depth,omitempty"`
+
 	// Follower-side stream counters.
 	Resumes            int64 `json:"resumes,omitempty"`             // stream reconnects after a failure
 	SnapshotBootstraps int64 `json:"snapshot_bootstraps,omitempty"` // full snapshot installs
+	// Rebootstraps counts diverged-state wipes followed by a fresh snapshot
+	// bootstrap (the opt-in -rebootstrap-on-diverge path).
+	Rebootstraps int64 `json:"rebootstraps,omitempty"`
 	FramesReceived     int64 `json:"frames_received,omitempty"`
 	BytesReceived      int64 `json:"bytes_received,omitempty"`
 
@@ -213,6 +253,7 @@ type ReplicationStats struct {
 	RYWHolds     int64 `json:"ryw_holds,omitempty"`      // reads held for the replica to catch up
 	RYWForwards  int64 `json:"ryw_forwards,omitempty"`   // reads forwarded to the primary after a hold expired
 	ReadFallback int64 `json:"read_fallbacks,omitempty"` // reads moved off a failed replica
+	Resheds      int64 `json:"resheds,omitempty"`        // pins moved off a shedding replica (queue-depth gossip)
 	// Nodes is the router's per-backend view.
 	Nodes []NodeReplStats `json:"nodes,omitempty"`
 }
@@ -223,8 +264,9 @@ type NodeReplStats struct {
 	Role       string   `json:"role"` // "primary" or "replica"
 	Healthy    bool     `json:"healthy"`
 	AppliedSeq uint64   `json:"applied_seq"`
-	Sessions   int64    `json:"sessions"`        // sessions pinned to this backend
-	Bands      []string `json:"bands,omitempty"` // clearance bands served (empty = all)
+	Sessions   int64    `json:"sessions"`              // sessions pinned to this backend
+	QueueDepth int64    `json:"queue_depth,omitempty"` // last gossiped admission load
+	Bands      []string `json:"bands,omitempty"`       // clearance bands served (empty = all)
 }
 
 // DurabilityStats reports the WAL counters and what the last recovery did.

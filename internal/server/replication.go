@@ -35,6 +35,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/admission"
 	"repro/internal/faultinject"
 	"repro/internal/lattice"
 	"repro/internal/wal"
@@ -85,6 +86,7 @@ type ReplCounters struct {
 	BytesReceived      atomic.Int64
 	Resumes            atomic.Int64
 	SnapshotBootstraps atomic.Int64
+	Rebootstraps       atomic.Int64 // diverged-state wipes + fresh bootstraps
 
 	StreamsServed   atomic.Int64
 	FramesSent      atomic.Int64
@@ -185,6 +187,17 @@ func (s *Server) MarkDiverged(reason string) {
 // Diverged reports whether the node has been failed out by MarkDiverged.
 func (s *Server) Diverged() bool { return s.diverged.Load() }
 
+// ClearDiverged re-admits a node the rebootstrap-on-diverge path has just
+// rebuilt from a primary snapshot: the mirrored-log/serving-state gap the
+// divergence marked is gone along with the wiped state. Only that path may
+// call it; MarkSynced starts working again afterwards.
+func (s *Server) ClearDiverged() {
+	if s.diverged.CompareAndSwap(true, false) {
+		s.repl.SetStreamError("")
+		s.logf("divergence cleared by rebootstrap")
+	}
+}
+
 // divergedErr marks the node diverged and wraps err in ErrDiverged: the
 // record is durably mirrored in the local WAL but absent from the serving
 // state, the one gap the resume protocol cannot close.
@@ -223,6 +236,16 @@ func (s *Server) ApplyReplicated(rec wal.Record) error {
 	}
 	s.walMu.RLock()
 	defer s.walMu.RUnlock()
+	if s.cfg.StreamFaults != nil &&
+		s.cfg.StreamFaults(faultinject.ReplApplyRecord, s.applyEvN.Add(1)) == faultinject.FileErr {
+		// Injected divergence: durably mirror the record, then fail the
+		// apply — the mirrored-but-unappliable gap the resume protocol
+		// cannot close, which only a rebootstrap recovers from.
+		if err := s.wal.AppendMirror(rec); err != nil {
+			return err
+		}
+		return s.divergedErr(fmt.Errorf("server: injected apply fault at replicated record %d", rec.Seq))
+	}
 	switch rec.Type {
 	case wal.TypeLoad:
 		var lr loadRecord
@@ -343,6 +366,7 @@ const streamHeartbeatEvery = 500 * 1000 * 1000 // 500ms in ns; avoids importing 
 // primary with an empty log serves seq 0 and no body: bootstrap from
 // nothing, stream from 0.
 func (s *Server) handleReplSnapshot(w http.ResponseWriter, _ *http.Request) error {
+	defer s.bypass(admission.Replication).Done(0, false)
 	if s.wal == nil {
 		return &badRequestError{fmt.Errorf("replication requires a data directory")}
 	}
@@ -368,6 +392,7 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, _ *http.Request) erro
 // while idle. Compaction past `from` is a 410 (code "compacted"): the
 // follower must re-bootstrap from the snapshot.
 func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) error {
+	defer s.bypass(admission.Replication).Done(0, false)
 	if s.wal == nil {
 		return &badRequestError{fmt.Errorf("replication requires a data directory")}
 	}
@@ -471,9 +496,11 @@ func (s *Server) fireStreamFault() faultinject.FileAction {
 // handleReplStatus serves the raw replication view; the router polls this
 // for write acks, lag and promotion decisions.
 func (s *Server) handleReplStatus(w http.ResponseWriter, _ *http.Request) {
+	defer s.bypass(admission.Replication).Done(0, false)
 	st := s.replicationStats()
 	if st == nil {
-		st = &ReplicationStats{Role: s.Role().String(), Synced: s.Synced()}
+		st = &ReplicationStats{Role: s.Role().String(), Synced: s.Synced(),
+			QueueDepth: int64(s.adm.QueueDepth())}
 	}
 	writeJSON(w, http.StatusOK, st) //nolint:errcheck // best-effort status body
 }
@@ -492,9 +519,11 @@ func (s *Server) replicationStats() *ReplicationStats {
 		Synced:          s.synced.Load(),
 		Diverged:        s.diverged.Load(),
 		LastStreamError: s.repl.StreamError(),
+		QueueDepth:      int64(s.adm.QueueDepth()),
 
 		Resumes:            s.repl.Resumes.Load(),
 		SnapshotBootstraps: s.repl.SnapshotBootstraps.Load(),
+		Rebootstraps:       s.repl.Rebootstraps.Load(),
 		FramesReceived:     s.repl.FramesReceived.Load(),
 		BytesReceived:      s.repl.BytesReceived.Load(),
 		StreamsServed:      s.repl.StreamsServed.Load(),

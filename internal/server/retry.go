@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
 )
 
@@ -26,12 +27,75 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps a single backoff sleep. Default 1s.
 	MaxDelay time.Duration
+	// MaxElapsed caps the cumulative backoff sleeping across one attempt
+	// chain: the final sleep is clamped to what remains and a chain that
+	// has slept its fill stops retrying. 0 = no cap. Endpoint rotations
+	// sleep nothing and so never count against it.
+	MaxElapsed time.Duration
+	// Budget, when set, is a retry token bucket, usually shared by every
+	// client in the process (DefaultRetryBudget): each backoff retry
+	// consumes one token, and an empty bucket ends the chain immediately —
+	// under a fleet-wide overload, clients collectively stop amplifying the
+	// load instead of each one retrying its own quota. Rotating to a
+	// different endpoint is free: failover spreads load rather than adding
+	// it. nil retries without a budget.
+	Budget *RetryBudget
 }
 
 // DefaultRetryPolicy retries enough to ride out a daemon restart: 5
-// attempts, 25ms base, 1s cap — worst case a little over 2s of waiting.
+// attempts, 25ms base, 1s cap — worst case a little over 2s of waiting —
+// drawing on the process-shared DefaultRetryBudget.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 5, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second,
+		MaxElapsed: 10 * time.Second, Budget: DefaultRetryBudget}
+}
+
+// RetryBudget is a token bucket bounding how many retries its holders may
+// add on top of first attempts. Retries are the classic overload
+// amplifier — a daemon at 5x capacity shedding 80% of requests sees its
+// load double again if every client retries — so the budget is meant to be
+// shared process-wide: once it drains, every chain in the process stops
+// retrying until the refill trickles tokens back.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	refill float64 // tokens per second
+	last   time.Time
+}
+
+// NewRetryBudget returns a full bucket holding burst tokens that refills at
+// perSecond.
+func NewRetryBudget(burst int, perSecond float64) *RetryBudget {
+	return &RetryBudget{tokens: float64(burst), max: float64(burst), refill: perSecond}
+}
+
+// DefaultRetryBudget backs DefaultRetryPolicy: generous enough that a
+// restart blip never exhausts it, small enough that a sustained overload
+// caps the whole process's retry traffic at the refill rate.
+var DefaultRetryBudget = NewRetryBudget(128, 32)
+
+// Allow consumes one retry token; false means the budget is exhausted and
+// the retry must not be sent. A nil budget always allows.
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.refill
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -82,6 +146,7 @@ func (c *Client) doIdempotent(ctx context.Context, f func() error) error {
 	}
 	p = p.withDefaults()
 	var last error
+	var slept time.Duration
 	for attempt := 1; attempt <= attempts; attempt++ {
 		idx := c.cur.Load()
 		last = f()
@@ -94,12 +159,26 @@ func (c *Client) doIdempotent(ctx context.Context, f func() error) error {
 		if c.rotateFrom(idx) {
 			continue // fail over to the next endpoint right away
 		}
+		// A same-endpoint retry adds load to a node that just failed us: it
+		// spends from the shared retry budget and the chain's backoff cap.
+		if p.MaxElapsed > 0 && slept >= p.MaxElapsed {
+			return &RetryError{Attempts: attempt, Err: last}
+		}
+		if !p.Budget.Allow() {
+			return &RetryError{Attempts: attempt, Err: last}
+		}
 		floor := time.Duration(0)
 		var re *RemoteError
 		if errors.As(last, &re) {
 			floor = re.RetryAfter
 		}
-		if err := sleepBackoff(ctx, p, attempt, floor); err != nil {
+		remaining := time.Duration(0) // 0 = uncapped
+		if p.MaxElapsed > 0 {
+			remaining = p.MaxElapsed - slept
+		}
+		d, err := sleepBackoff(ctx, p, attempt, floor, remaining)
+		slept += d
+		if err != nil {
 			return &RetryError{Attempts: attempt, Err: last}
 		}
 	}
@@ -107,15 +186,15 @@ func (c *Client) doIdempotent(ctx context.Context, f func() error) error {
 }
 
 // retryable says whether an idempotent request may be re-sent: transport
-// failures (dial refused mid-restart) and 503 replies, unless the caller's
-// context is already done.
+// failures (dial refused mid-restart), 503 replies and admission-shed 429s,
+// unless the caller's context is already done.
 func retryable(ctx context.Context, err error) bool {
 	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var re *RemoteError
 	if errors.As(err, &re) {
-		return re.Status == http.StatusServiceUnavailable
+		return re.Status == http.StatusServiceUnavailable || re.Status == http.StatusTooManyRequests
 	}
 	var ue *url.Error
 	return errors.As(err, &ue) // connection-level failure
@@ -126,13 +205,15 @@ func retryable(ctx context.Context, err error) bool {
 // retry loops (the replication stream's reconnect) that want the same
 // decorrelated-backoff discipline.
 func (p RetryPolicy) SleepBackoff(ctx context.Context, n int) error {
-	return sleepBackoff(ctx, p.withDefaults(), n, 0)
+	_, err := sleepBackoff(ctx, p.withDefaults(), n, 0, 0)
+	return err
 }
 
 // sleepBackoff waits the jittered exponential delay for retry number n
-// (1-based) — at least floor (a server's Retry-After hint) — or returns
-// early when ctx is done.
-func sleepBackoff(ctx context.Context, p RetryPolicy, n int, floor time.Duration) error {
+// (1-based) — at least floor (a server's Retry-After hint), at most cap
+// (the chain's remaining MaxElapsed; 0 = uncapped) — or returns early when
+// ctx is done. Returns how long it actually slept.
+func sleepBackoff(ctx context.Context, p RetryPolicy, n int, floor, cap time.Duration) (time.Duration, error) {
 	ceil := p.BaseDelay << (n - 1)
 	if ceil > p.MaxDelay || ceil <= 0 {
 		ceil = p.MaxDelay
@@ -143,12 +224,16 @@ func sleepBackoff(ctx context.Context, p RetryPolicy, n int, floor time.Duration
 	if d < floor {
 		d = floor
 	}
+	if cap > 0 && d > cap {
+		d = cap // the elapsed cap beats the server's hint
+	}
+	start := time.Now()
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
-		return ctx.Err()
+		return time.Since(start), ctx.Err()
 	case <-t.C:
-		return nil
+		return d, nil
 	}
 }

@@ -140,6 +140,95 @@ func TestRetryStopsWhenContextEnds(t *testing.T) {
 	}
 }
 
+// overloadedHandler always answers 503 with the given Retry-After header.
+func overloadedHandler(retryAfter string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"code":"overloaded","message":"injected"}`)) //nolint:errcheck
+	})
+}
+
+func TestRetryAfterBothForms(t *testing.T) {
+	cases := []struct {
+		name     string
+		header   string
+		min, max time.Duration
+	}{
+		{"delta-seconds", "3", 3 * time.Second, 3 * time.Second},
+		// The HTTP-date form has whole-second granularity and time passes
+		// between the server formatting it and the client parsing it, so the
+		// parsed hint may round down by up to a second.
+		{"http-date", time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat),
+			3 * time.Second, 5 * time.Second},
+		{"past-date", time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, 0},
+		{"garbage", "soon", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hs := httptest.NewServer(overloadedHandler(tc.header))
+			defer hs.Close()
+			_, err := server.NewClient(hs.URL, hs.Client()).Stats(context.Background())
+			var re *server.RemoteError
+			if !errors.As(err, &re) {
+				t.Fatalf("got %v, want *RemoteError", err)
+			}
+			if re.RetryAfter < tc.min || re.RetryAfter > tc.max {
+				t.Errorf("RetryAfter = %s, want in [%s, %s]", re.RetryAfter, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+func TestRetryBudgetStopsRetries(t *testing.T) {
+	fh := &flakyHandler{next: nil, fail: 1 << 30}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+	p := fastPolicy(10)
+	p.Budget = server.NewRetryBudget(2, 0) // two retries ever, no refill
+	c := server.NewClient(hs.URL, hs.Client()).WithRetry(p)
+
+	_, err := c.Stats(context.Background())
+	var rerr *server.RetryError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("got %T (%v), want *RetryError", err, err)
+	}
+	if got := fh.calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (first attempt + 2 budgeted retries)", got)
+	}
+	// The bucket is empty now: a second chain gets its first attempt and
+	// nothing more.
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("stats succeeded against a permanent 503")
+	}
+	if got := fh.calls.Load(); got != 4 {
+		t.Errorf("server saw %d requests, want 4 (exhausted budget must not retry)", got)
+	}
+}
+
+func TestRetryMaxElapsedCapsBackoff(t *testing.T) {
+	// Every reply demands a 2s Retry-After floor; a 100ms elapsed cap must
+	// end the chain after roughly one clamped sleep, not 9 x 2s.
+	hs := httptest.NewServer(overloadedHandler("2"))
+	defer hs.Close()
+	p := fastPolicy(10)
+	p.MaxElapsed = 100 * time.Millisecond
+	c := server.NewClient(hs.URL, hs.Client()).WithRetry(p)
+
+	start := time.Now()
+	_, err := c.Stats(context.Background())
+	var rerr *server.RetryError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("got %T (%v), want *RetryError", err, err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("attempt chain slept %s; MaxElapsed=100ms must cap total backoff", took)
+	}
+}
+
 func TestZeroPolicyDoesNotRetry(t *testing.T) {
 	fh := &flakyHandler{next: nil, fail: 1 << 30}
 	hs := httptest.NewServer(fh)

@@ -28,6 +28,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -37,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/compile"
 	"repro/internal/faultinject"
 	"repro/internal/lattice"
@@ -95,9 +97,25 @@ type Config struct {
 	// rejected writers (and /v1/repl/status reports).
 	PrimaryAddr string
 	// StreamFaults, when set, is consulted once per outgoing replication
-	// stream frame (faultinject.ReplStreamFrame); the cluster-chaos harness
-	// uses it to corrupt, short-write, or kill mid-stream. nil disables.
+	// stream frame (faultinject.ReplStreamFrame), once per replicated record
+	// applied (faultinject.ReplApplyRecord), and once per admitted query
+	// (faultinject.ServerQueryWork); the chaos harnesses use it to corrupt,
+	// short-write, kill mid-stream, force a divergence, or inject latency
+	// spikes. nil disables.
 	StreamFaults faultinject.FilePlan
+	// MaxInflight, when positive, enables the admission controller: an AIMD
+	// concurrency ceiling, in cost units, over the gated work classes
+	// (reads ≪ writes ≪ prepares; health and replication always bypass).
+	// Beyond the limit requests queue FIFO per priority, are shed
+	// CoDel-style once queue delay persists, and rejected requests get a
+	// typed 429 with a computed Retry-After. 0 disables admission.
+	MaxInflight int
+	// MaxStale bounds brownout serving: while the admission controller is
+	// shedding, reads may be answered from invalidated result-cache entries
+	// at most this old instead of rejected, marked by QueryResponse.StaleMS
+	// and the X-Multilog-Stale header. 0 disables brownout. Requires
+	// MaxInflight > 0 to ever trigger.
+	MaxStale time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -166,12 +184,19 @@ type Server struct {
 	// follower first catches up to the primary.
 	role        atomic.Int32
 	synced      atomic.Bool
-	diverged    atomic.Bool // sticky: a diverged follower never re-syncs
+	diverged    atomic.Bool // cleared only by the rebootstrap-on-diverge path
 	applied     atomic.Uint64
 	primaryMu   sync.Mutex
 	primaryAddr string
 	repl        ReplCounters
 	streamEvN   atomic.Int64
+	applyEvN    atomic.Int64
+
+	// Overload protection. adm is nil when admission is disabled
+	// (Config.MaxInflight == 0); staleServed counts brownout answers.
+	adm         *admission.Controller
+	staleServed atomic.Int64
+	queryEvN    atomic.Int64
 }
 
 // New builds an empty server with cfg (zero value = defaults).
@@ -192,7 +217,35 @@ func New(cfg Config) *Server {
 	s.primaryAddr = cfg.PrimaryAddr
 	// A follower is not ready until it has caught up to the primary once.
 	s.synced.Store(cfg.Role != RoleFollower)
+	if cfg.MaxInflight > 0 {
+		s.adm = admission.New(admission.Config{MaxInflight: cfg.MaxInflight})
+	}
+	s.cache.keepStale = cfg.MaxStale > 0
 	return s
+}
+
+// Admission cost estimates, in controller cost units: a cached read never
+// reaches admission at all, a compiled prepared query is match-only, a
+// write clones/lints/swaps, and a first query at a clearance pays a full
+// reduction build.
+const (
+	costRead    = 4
+	costWrite   = 8
+	costPrepare = 16
+)
+
+// admit asks the admission controller for a slot (nil controller admits
+// everything). A context deadline hit while queued is reported as the
+// governor's cancellation so it maps to 408, not 400.
+func (s *Server) admit(ctx context.Context, pri admission.Priority, cost int) (*admission.Ticket, error) {
+	t, err := s.adm.Admit(ctx, pri, cost)
+	if err != nil && ctx.Err() != nil {
+		var oe *admission.OverloadError
+		if !errors.As(err, &oe) {
+			return nil, fmt.Errorf("%w (while queued for admission)", resource.ErrCanceled)
+		}
+	}
+	return t, err
 }
 
 // Load parses, lints and installs a MultiLog program under name. Programs
@@ -333,8 +386,39 @@ func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*Q
 
 	ctx, cancel := s.deadline(ctx, req.TimeoutMS)
 	defer cancel()
+
+	// Cost-aware admission: a cache hit never got here; a clearance whose
+	// reduction is already compiled is a cheap match-only read, a first
+	// query at a clearance pays the full reduction build. Under shed, a
+	// recently invalidated answer may be served stale (brownout) instead
+	// of rejecting outright.
+	pri, cost := admission.Read, costRead
+	if !snap.hasReduction(sess.Clearance) {
+		pri, cost = admission.Prepare, costPrepare
+	}
+	ticket, aerr := s.admit(ctx, pri, cost)
+	if aerr != nil {
+		var shed *admission.OverloadError
+		if errors.As(aerr, &shed) {
+			if resp := s.staleResponse(key, canonical, snap.epoch); resp != nil {
+				s.queries.Add(1)
+				return resp, nil
+			}
+		}
+		s.qErrors.Add(1)
+		return nil, aerr
+	}
+	start := time.Now()
+	degraded := false
+	defer func() { ticket.Done(time.Since(start), degraded) }()
+	if s.cfg.StreamFaults != nil &&
+		s.cfg.StreamFaults(faultinject.ServerQueryWork, s.queryEvN.Add(1)) == faultinject.FileSlow {
+		time.Sleep(faultinject.FileSlowDuration)
+	}
+
 	red, err := snap.reductionAt(ctx, sess.Clearance, s.prepLimits())
 	if err != nil {
+		degraded = resource.IsLimit(err)
 		s.qErrors.Add(1)
 		return nil, err
 	}
@@ -342,7 +426,9 @@ func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*Q
 	if err != nil {
 		if resource.IsLimit(err) {
 			// Graceful truncation: report the partial answers with the
-			// typed limit error; never cache them.
+			// typed limit error; never cache them. A governor abort is the
+			// controller's degradation signal.
+			degraded = true
 			s.queries.Add(1)
 			s.qTrunc.Add(1)
 			return &QueryResponse{Answers: renderAnswers(answers), Query: canonical,
@@ -366,7 +452,7 @@ func (s *Server) Query(ctx context.Context, sess *Session, req QueryRequest) (*Q
 // appended (and fsynced, under always) inside the update's critical
 // section, after lint and before the snapshot swap: an update a client saw
 // acknowledged, or a query could have observed, is durable.
-func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*UpdateResponse, error) {
+func (s *Server) Update(ctx context.Context, sess *Session, req UpdateRequest, retract bool) (*UpdateResponse, error) {
 	if s.Role() == RoleFollower {
 		return nil, &NotPrimaryError{Primary: s.PrimaryAddr()}
 	}
@@ -374,6 +460,13 @@ func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*Update
 	if err != nil {
 		return nil, err
 	}
+	ticket, aerr := s.admit(ctx, admission.Write, costWrite)
+	if aerr != nil {
+		return nil, aerr
+	}
+	start := time.Now()
+	degraded := false
+	defer func() { ticket.Done(time.Since(start), degraded) }()
 	var seq uint64
 	var commit func() error
 	if s.wal != nil {
@@ -397,6 +490,7 @@ func (s *Server) Update(sess *Session, req UpdateRequest, retract bool) (*Update
 	epoch, changed, inv, err := prog.update(req.Clauses, sess.Clearance, retract, commit)
 	s.walMu.RUnlock()
 	if err != nil {
+		degraded = resource.IsLimit(err)
 		return nil, err
 	}
 	s.kickCheckpoint()
@@ -442,6 +536,48 @@ func (s *Server) Stats() StatsResponse {
 		Databases:   dbs,
 		Durability:  s.durabilityStats(),
 		Replication: s.replicationStats(),
+		Admission:   s.admissionStats(),
+	}
+}
+
+// staleResponse answers a shed read from the brownout side table when a
+// recently invalidated copy of exactly this query's answers exists and is
+// no older than Config.MaxStale. nil means no brownout answer: the caller
+// propagates the overload rejection.
+func (s *Server) staleResponse(key, canonical string, epoch uint64) *QueryResponse {
+	if s.cfg.MaxStale <= 0 {
+		return nil
+	}
+	answers, age, ok := s.cache.GetStale(key, s.cfg.MaxStale)
+	if !ok {
+		return nil
+	}
+	s.staleServed.Add(1)
+	staleMS := age.Milliseconds()
+	if staleMS < 1 {
+		staleMS = 1 // omitempty would erase 0 and the answer would read as fresh
+	}
+	return &QueryResponse{Answers: answers, Query: canonical, Cached: true,
+		Epoch: epoch, StaleMS: staleMS}
+}
+
+// admissionStats maps the controller snapshot for /v1/stats; nil when
+// admission is disabled.
+func (s *Server) admissionStats() *AdmissionStats {
+	if s.adm == nil {
+		return nil
+	}
+	st := s.adm.Snapshot()
+	return &AdmissionStats{
+		Limit:          st.Limit,
+		Inflight:       st.Inflight,
+		Queued:         st.Queued,
+		Admitted:       st.Admitted,
+		Bypassed:       st.Bypassed,
+		Shed:           st.Shed,
+		Shedding:       st.Shedding,
+		StaleServed:    s.staleServed.Load(),
+		LimitDecreases: st.LimitDecreases,
 	}
 }
 

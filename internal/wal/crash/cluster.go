@@ -54,6 +54,12 @@ type ClusterScenario struct {
 	// PartitionFollower kills one follower mid-run and restarts it on the
 	// same data directory; it must catch up and rejoin.
 	PartitionFollower bool
+	// FollowerPlan is follower 1's -crashplan (e.g. an injected apply fault
+	// at repl.apply.record that leaves its state diverged).
+	FollowerPlan string
+	// Rebootstrap runs follower 1 with -rebootstrap-on-diverge and asserts
+	// it wiped, re-bootstrapped from the primary and rejoined byte-equal.
+	Rebootstrap bool
 }
 
 // ClusterMatrix is the fleet-chaos grid run by `make cluster-chaos` and CI.
@@ -90,6 +96,14 @@ func ClusterMatrix() []ClusterScenario {
 		{
 			Name:              "follower-partition-catchup",
 			PartitionFollower: true,
+		},
+		{
+			// An apply fault leaves follower 1 with a mirrored record it can
+			// never apply — permanent divergence. -rebootstrap-on-diverge must
+			// turn that into a wipe + fresh snapshot instead of a halt.
+			Name:         "diverge-rebootstrap",
+			FollowerPlan: "err@repl.apply.record:6:once",
+			Rebootstrap:  true,
 		},
 	}
 }
@@ -161,6 +175,12 @@ func (h *Harness) startCluster(ctx context.Context, dir string, sc ClusterScenar
 	}
 	cl.f1Dir = filepath.Join(dir, "f1")
 	cl.f1Args = followerArgs("f1")
+	if sc.FollowerPlan != "" {
+		cl.f1Args = append(cl.f1Args, "-crashplan", sc.FollowerPlan)
+	}
+	if sc.Rebootstrap {
+		cl.f1Args = append(cl.f1Args, "-rebootstrap-on-diverge")
+	}
 	cl.f1AddrFile = filepath.Join(dir, "f1.addr")
 	if cl.f1, err = h.launch(ctx, cl.f1AddrFile, cl.f1Args); err != nil {
 		return nil, fmt.Errorf("starting follower 1: %w", err)
@@ -310,6 +330,17 @@ func (h *Harness) RunCluster(ctx context.Context, sc ClusterScenario) error {
 		if st.Replication == nil || st.Replication.AckTimeouts == 0 {
 			return fmt.Errorf("partitioned follower never timed out of the ack quorum")
 		}
+	}
+	if sc.Rebootstrap {
+		st, err := server.NewClient(cl.f1.addr, nil).ReplStatus(ctx)
+		if err != nil {
+			return fmt.Errorf("diverged follower status: %w", err)
+		}
+		if st.Rebootstraps == 0 {
+			return fmt.Errorf("apply fault %q never forced a re-bootstrap on follower 1; logs:\n%s",
+				sc.FollowerPlan, cl.f1.logs)
+		}
+		h.logf("%s: follower 1 re-bootstrapped %d time(s) and rejoined byte-equal", sc.Name, st.Rebootstraps)
 	}
 	return nil
 }

@@ -19,11 +19,12 @@ func TestClusterChaos(t *testing.T) {
 	bin := daemonBin(t)
 	scenarios := ClusterMatrix()
 	if !fullMatrix() {
-		// Representative subset: one promotion path, one stream fault.
+		// Representative subset: one promotion path, one stream fault, the
+		// diverge-and-rebootstrap recovery path.
 		subset := scenarios[:0]
 		for _, sc := range scenarios {
 			switch sc.Name {
-			case "promote-mid-stream", "corrupt-frame-resume":
+			case "promote-mid-stream", "corrupt-frame-resume", "diverge-rebootstrap":
 				subset = append(subset, sc)
 			}
 		}

@@ -7,11 +7,14 @@
 #    ratio between the interpreted reduction arm and the compiled engine
 #    at the largest fact count (smaller sizes are fixed-cost-dominated;
 #    the [facts=320] filter pins the assertion to the scale point).
+# 3. BenchmarkOverloadStorm: gate the goodput ratio between admission
+#    control on and the no-admission baseline under a 5x-capacity storm.
 #
-# Both smoke gates are deliberately looser (>=2x) than the committed
-# artifacts (>=5x): short runs are noisy and the smoke only has to catch
-# the fast path regressing to baseline behaviour, not re-certify the
-# headline numbers. Regenerate the committed artifacts with:
+# The smoke gates are deliberately looser than the committed artifacts
+# (>=2x vs >=5x for the first two, >=1.2x vs >=1.5x for overload): short
+# runs are noisy and the smoke only has to catch the fast path regressing
+# to baseline behaviour, not re-certify the headline numbers. Regenerate
+# the committed artifacts with:
 #
 #   go test ./internal/server -run '^$' -bench BenchmarkWriteMixStorm \
 #       -benchtime 500x -count=1 | tee /tmp/bench_incremental.txt
@@ -27,6 +30,12 @@
 #       -json BENCH_compiled.json \
 #       -gate 'OperationalVsReduction[facts=320]/engine/compiled:model-ns>=5'
 #
+#   go test ./internal/server -run '^$' -bench BenchmarkOverloadStorm \
+#       -benchtime 2000x -count=1 | tee /tmp/bench_overload.txt
+#   go run ./cmd/benchreport -in /tmp/bench_overload.txt \
+#       -json BENCH_overload.json \
+#       -gate 'OverloadStorm/admission/off:goodput>=1.5'
+#
 # Run via `make bench-smoke`.
 set -eu
 
@@ -35,6 +44,8 @@ BENCHTIME=${BENCH_SMOKE_TIME:-120x}
 GATE=${BENCH_SMOKE_GATE:-'WriteMixStorm/invalidation/incremental:p50-read-ns>=2'}
 COMPILED_BENCHTIME=${BENCH_SMOKE_COMPILED_TIME:-10x}
 COMPILED_GATE=${BENCH_SMOKE_COMPILED_GATE:-'OperationalVsReduction[facts=320]/engine/compiled:model-ns>=2'}
+OVERLOAD_BENCHTIME=${BENCH_SMOKE_OVERLOAD_TIME:-800x}
+OVERLOAD_GATE=${BENCH_SMOKE_OVERLOAD_GATE:-'OverloadStorm/admission/off:goodput>=1.2'}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT INT TERM
 
@@ -45,4 +56,8 @@ $GO run ./cmd/benchreport -in "$TMP/bench.txt" -gate "$GATE"
 $GO test . -run '^$' -bench 'BenchmarkOperationalVsReduction/facts=320' \
     -benchtime "$COMPILED_BENCHTIME" -count=1 | tee "$TMP/bench_compiled.txt"
 $GO run ./cmd/benchreport -in "$TMP/bench_compiled.txt" -gate "$COMPILED_GATE"
+
+$GO test ./internal/server -run '^$' -bench BenchmarkOverloadStorm \
+    -benchtime "$OVERLOAD_BENCHTIME" -count=1 | tee "$TMP/bench_overload.txt"
+$GO run ./cmd/benchreport -in "$TMP/bench_overload.txt" -gate "$OVERLOAD_GATE"
 echo "bench-smoke: ok"

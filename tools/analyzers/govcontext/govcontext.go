@@ -21,8 +21,11 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// entryPrefixes marks the verbs that start evaluation.
-var entryPrefixes = []string{"Eval", "Prove", "Query"}
+// entryPrefixes marks the verbs that start evaluation — or, for Admit,
+// that can park a request behind the admission controller's backlog:
+// either way, an exported entry point with no cancellable form is a
+// denial-of-service bug waiting for a caller.
+var entryPrefixes = []string{"Eval", "Prove", "Query", "Admit"}
 
 // key identifies a function by receiver type (empty for package level) and
 // name; siblings must live on the same receiver.
